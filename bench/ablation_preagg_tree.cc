@@ -1,0 +1,72 @@
+// Ablation (Fig. 6): the pre-aggregate tree vs folding the metric log day
+// by day. The tree merges O(log C) nodes for a C-day range, so the
+// pre-experiment computation's sumBSI step speeds up accordingly.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bsi/bsi_aggregate.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "storage/preagg_tree.h"
+
+using namespace expbsi;
+
+namespace {
+
+std::vector<Bsi> MakeDailyLeaves(uint64_t users, int days) {
+  Rng rng(99);
+  std::vector<Bsi> leaves;
+  leaves.reserve(days);
+  for (int d = 0; d < days; ++d) {
+    std::vector<std::pair<uint32_t, uint64_t>> pairs;
+    for (uint32_t pos = 0; pos < users; ++pos) {
+      if (rng.NextBernoulli(0.4)) {
+        pairs.emplace_back(pos, 1 + rng.NextBounded(500));
+      }
+    }
+    leaves.push_back(Bsi::FromPairs(std::move(pairs)));
+  }
+  return leaves;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t users = bench_util::ScaledUsers(200000);
+  const int kDays = 28;
+
+  bench_util::PrintBanner(
+      "Ablation: pre-aggregate tree (Fig. 6) vs day-by-day sumBSI",
+      "aggregating C days should merge O(log C) tree nodes instead of C");
+  std::printf("scale: %llu positions/day, %d days of metric log\n\n",
+              static_cast<unsigned long long>(users), kDays);
+
+  Stopwatch build_watch;
+  PreAggTree tree(MakeDailyLeaves(users, kDays),
+                  [](const Bsi& a, const Bsi& b) { return SumBsi(a, b); });
+  std::printf("tree build (one-time): %.2fs\n\n", build_watch.ElapsedSeconds());
+
+  std::printf("%-12s %10s %12s %12s %9s\n", "range(days)", "nodes",
+              "tree(ms)", "linear(ms)", "speedup");
+  for (int c : {4, 7, 14, 21, 28}) {
+    const int lo = kDays - c, hi = kDays - 1;
+    int nodes = 0;
+    CpuTimer tree_timer;
+    Bsi via_tree = tree.Query(lo, hi, &nodes);
+    const double tree_ms = tree_timer.ElapsedSeconds() * 1e3;
+    CpuTimer linear_timer;
+    Bsi via_linear = tree.QueryLinear(lo, hi);
+    const double linear_ms = linear_timer.ElapsedSeconds() * 1e3;
+    if (!via_tree.Equals(via_linear)) {
+      std::printf("MISMATCH for range of %d days!\n", c);
+      return 1;
+    }
+    std::printf("%-12d %10d %12.1f %12.1f %8.1fx\n", c, nodes, tree_ms,
+                linear_ms, linear_ms / tree_ms);
+  }
+  std::printf("\n(the Fig. 6 example: a 7-day range merges 3 nodes instead "
+              "of folding 7 leaves)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef EXPBSI_BENCH_BENCH_UTIL_H_
+#define EXPBSI_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace expbsi {
+namespace bench_util {
+
+// Benchmarks run at a laptop-scale fraction of the paper's production
+// deployment; the env var below scales the synthetic user base so the same
+// binaries can run larger reproductions on bigger machines.
+inline uint64_t ScaledUsers(uint64_t default_users) {
+  const char* env = std::getenv("EXPBSI_BENCH_USERS");
+  if (env == nullptr) return default_users;
+  const uint64_t v = std::strtoull(env, nullptr, 10);
+  return v > 0 ? v : default_users;
+}
+
+inline std::string HumanBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.2f TB", bytes / 1e12);
+  } else if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+inline std::string HumanCount(double n) {
+  char buf[64];
+  if (n >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f billion", n / 1e9);
+  } else if (n >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f million", n / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", n);
+  }
+  return buf;
+}
+
+inline void PrintBanner(const char* experiment, const char* paper_shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper shape: %s\n", paper_shape);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench_util
+}  // namespace expbsi
+
+#endif  // EXPBSI_BENCH_BENCH_UTIL_H_

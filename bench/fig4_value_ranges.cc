@@ -1,0 +1,49 @@
+// Figure 4: value-range cardinality distribution of the fleet's 5890
+// user-level metrics in one day. We regenerate the published histogram from
+// the calibrated metric population and print it as the figure's bar data.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "expdata/generator.h"
+
+using namespace expbsi;
+
+int main() {
+  bench_util::PrintBanner(
+      "Figure 4: value range cardinalities of 5890 real-world metrics",
+      "most metrics have small ranges; 3979 of 5890 have cardinality <= 100");
+
+  const std::vector<MetricConfig> metrics =
+      MakeFleetMetricPopulation(5890, 1, /*seed=*/20240227);
+
+  const uint64_t edges[] = {10,      100,      1000,     10000,
+                            100000,  1000000,  10000000, 100000000};
+  const char* labels[] = {"(0, 10]",      "(10, 10^2]",   "(10^2, 10^3]",
+                          "(10^3, 10^4]", "(10^4, 10^5]", "(10^5, 10^6]",
+                          "(10^6, 10^7]", "(10^7, 10^8]"};
+  int counts[8] = {0};
+  for (const MetricConfig& m : metrics) {
+    for (int b = 0; b < 8; ++b) {
+      if (m.value_range <= edges[b]) {
+        ++counts[b];
+        break;
+      }
+    }
+  }
+  std::printf("%-14s %8s %12s  histogram\n", "range card", "metrics",
+              "proportion");
+  int le_100 = 0;
+  for (int b = 0; b < 8; ++b) {
+    std::printf("%-14s %8d %11.1f%%  ", labels[b], counts[b],
+                100.0 * counts[b] / 5890);
+    for (int star = 0; star < counts[b] / 40; ++star) std::printf("#");
+    std::printf("\n");
+    if (b < 2) le_100 += counts[b];
+  }
+  std::printf("\nmetrics with range cardinality <= 100: %d / 5890 "
+              "(paper: 3979 / 5890)\n",
+              le_100);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks for BSI arithmetic (§2.3, §4.1): cost of the slice-wise
+// operations that the scorecard pipeline composes, as a function of value
+// range (slice count) and density.
+
+#include <benchmark/benchmark.h>
+
+#include "bsi/bsi.h"
+#include "bsi/bsi_group_by.h"
+#include "common/rng.h"
+
+namespace expbsi {
+namespace {
+
+Bsi MakeBsi(uint64_t seed, uint32_t universe, double density,
+            uint64_t max_value) {
+  Rng rng(seed);
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;
+  for (uint32_t pos = 0; pos < universe; ++pos) {
+    if (rng.NextBernoulli(density)) {
+      pairs.emplace_back(pos, 1 + rng.NextBounded(max_value));
+    }
+  }
+  return Bsi::FromPairs(std::move(pairs));
+}
+
+// Value range drives the slice count, which the paper's complexity analysis
+// says addition scales with.
+void BM_BsiAdd(benchmark::State& state) {
+  const uint64_t max_value = static_cast<uint64_t>(state.range(0));
+  Bsi x = MakeBsi(1, 1 << 20, 0.4, max_value);
+  Bsi y = MakeBsi(2, 1 << 20, 0.4, max_value);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bsi::Add(x, y));
+  }
+}
+BENCHMARK(BM_BsiAdd)->Arg(1)->Arg(50)->Arg(21600)->Arg(100000000);
+
+void BM_BsiMultiplyByBinary(benchmark::State& state) {
+  Bsi x = MakeBsi(1, 1 << 20, 0.4, 21600);
+  RoaringBitmap mask = MakeBsi(2, 1 << 20, 0.5, 1).existence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bsi::MultiplyByBinary(x, mask));
+  }
+}
+BENCHMARK(BM_BsiMultiplyByBinary);
+
+void BM_BsiSumUnderMask(benchmark::State& state) {
+  Bsi x = MakeBsi(1, 1 << 20, 0.4, 21600);
+  RoaringBitmap mask = MakeBsi(2, 1 << 20, 0.5, 1).existence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.SumUnderMask(mask));
+  }
+}
+BENCHMARK(BM_BsiSumUnderMask);
+
+void BM_BsiRangeLe(benchmark::State& state) {
+  Bsi x = MakeBsi(1, 1 << 20, 0.4, 21600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.RangeLe(5000));
+  }
+}
+BENCHMARK(BM_BsiRangeLe);
+
+void BM_BsiCompareLt(benchmark::State& state) {
+  Bsi x = MakeBsi(1, 1 << 19, 0.4, 21600);
+  Bsi y = MakeBsi(2, 1 << 19, 0.4, 21600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bsi::Lt(x, y));
+  }
+}
+BENCHMARK(BM_BsiCompareLt);
+
+void BM_BsiSum(benchmark::State& state) {
+  Bsi x = MakeBsi(1, 1 << 20, 0.4, 21600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.Sum());
+  }
+}
+BENCHMARK(BM_BsiSum);
+
+void BM_BsiGroupSumByBucket(benchmark::State& state) {
+  const int buckets = static_cast<int>(state.range(0));
+  Bsi value = MakeBsi(1, 1 << 18, 0.4, 1000);
+  Rng rng(9);
+  std::vector<std::pair<uint32_t, uint64_t>> bucket_pairs;
+  for (uint32_t pos = 0; pos < (1 << 18); ++pos) {
+    bucket_pairs.emplace_back(pos, 1 + rng.NextBounded(buckets));
+  }
+  Bsi bucket = Bsi::FromPairs(std::move(bucket_pairs));
+  RoaringBitmap universe;
+  universe.AddRange(0, 1 << 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GroupSumByBucket(value, bucket, buckets, universe));
+  }
+}
+BENCHMARK(BM_BsiGroupSumByBucket)->Arg(16)->Arg(1024);
+
+void BM_BsiFromPairs(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;
+  for (uint32_t pos = 0; pos < (1 << 20); ++pos) {
+    if (rng.NextBernoulli(0.3)) {
+      pairs.emplace_back(pos, 1 + rng.NextBounded(21600));
+    }
+  }
+  for (auto _ : state) {
+    auto copy = pairs;
+    benchmark::DoNotOptimize(Bsi::FromPairs(std::move(copy)));
+  }
+}
+BENCHMARK(BM_BsiFromPairs);
+
+}  // namespace
+}  // namespace expbsi
+
+BENCHMARK_MAIN();

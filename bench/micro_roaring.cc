@@ -1,0 +1,109 @@
+// Microbenchmarks for the Roaring bitmap substrate (§2.1): the claim that
+// operation speed tracks data density -- dense (compact-position) bitmaps
+// run word-at-a-time, sparse ones element-at-a-time.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "roaring/roaring_bitmap.h"
+
+namespace expbsi {
+namespace {
+
+RoaringBitmap MakeBitmap(uint64_t seed, uint32_t universe, double density) {
+  Rng rng(seed);
+  std::vector<uint32_t> values;
+  values.reserve(static_cast<size_t>(universe * density));
+  for (uint32_t v = 0; v < universe; ++v) {
+    if (rng.NextBernoulli(density)) values.push_back(v);
+  }
+  return RoaringBitmap::FromSorted(values);
+}
+
+void BM_RoaringAnd(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 1000.0;
+  RoaringBitmap a = MakeBitmap(1, 1 << 22, density);
+  RoaringBitmap b = MakeBitmap(2, 1 << 22, density);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::And(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.Cardinality()));
+}
+BENCHMARK(BM_RoaringAnd)->Arg(1)->Arg(50)->Arg(500);
+
+void BM_RoaringOr(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 1000.0;
+  RoaringBitmap a = MakeBitmap(1, 1 << 22, density);
+  RoaringBitmap b = MakeBitmap(2, 1 << 22, density);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::Or(a, b));
+  }
+}
+BENCHMARK(BM_RoaringOr)->Arg(1)->Arg(50)->Arg(500);
+
+void BM_RoaringXor(benchmark::State& state) {
+  RoaringBitmap a = MakeBitmap(1, 1 << 22, 0.3);
+  RoaringBitmap b = MakeBitmap(2, 1 << 22, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::Xor(a, b));
+  }
+}
+BENCHMARK(BM_RoaringXor);
+
+void BM_RoaringAndNot(benchmark::State& state) {
+  RoaringBitmap a = MakeBitmap(1, 1 << 22, 0.3);
+  RoaringBitmap b = MakeBitmap(2, 1 << 22, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::AndNot(a, b));
+  }
+}
+BENCHMARK(BM_RoaringAndNot);
+
+void BM_RoaringAndCardinality(benchmark::State& state) {
+  RoaringBitmap a = MakeBitmap(1, 1 << 22, 0.3);
+  RoaringBitmap b = MakeBitmap(2, 1 << 22, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::AndCardinality(a, b));
+  }
+}
+BENCHMARK(BM_RoaringAndCardinality);
+
+void BM_RoaringContains(benchmark::State& state) {
+  RoaringBitmap a = MakeBitmap(1, 1 << 22, 0.1);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        a.Contains(static_cast<uint32_t>(rng.NextBounded(1 << 22))));
+  }
+}
+BENCHMARK(BM_RoaringContains);
+
+void BM_RoaringFromSorted(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint32_t> values;
+  for (uint32_t v = 0; v < (1 << 20); ++v) {
+    if (rng.NextBernoulli(0.2)) values.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::FromSorted(values));
+  }
+}
+BENCHMARK(BM_RoaringFromSorted);
+
+void BM_RoaringRunOptimizedAnd(benchmark::State& state) {
+  // Dense prefix (engagement-ordered layout) in run form.
+  RoaringBitmap a;
+  a.AddRange(0, 1 << 20);
+  RoaringBitmap b = MakeBitmap(5, 1 << 21, 0.4);
+  a.RunOptimize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::And(a, b));
+  }
+}
+BENCHMARK(BM_RoaringRunOptimizedAnd);
+
+}  // namespace
+}  // namespace expbsi
+
+BENCHMARK_MAIN();

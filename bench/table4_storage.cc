@@ -1,0 +1,140 @@
+// Table 4: storage of the 105 core metrics over a month (29 days), normal
+// row format vs BSI format, both raw and LZ4-compressed.
+//
+// Paper (production scale): normal = 890 billion rows, 15.6 TB raw /
+// 4.1 TB LZ4; BSI = 3.1 million rows, 1.7 TB raw / 1.6 TB LZ4. The shapes
+// to reproduce: (a) BSI raw is ~9x smaller than normal raw, (b) BSI is
+// already compressed -- LZ4 barely shrinks it further -- while normal rows
+// compress ~3.8x, (c) compressed BSI is ~0.4x of compressed normal.
+//
+// Scaling note: the paper's 1024 segments each hold on the order of a
+// million users, which is what makes the roaring containers dense (bitmap /
+// run encoded). Storage cost per segment is independent of the segment
+// count, so we reproduce ONE segment at the largest user count the bench
+// budget allows (EXPBSI_BENCH_USERS, default 100k) rather than many
+// unrealistically sparse segments.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "expdata/bsi_builder.h"
+#include "expdata/generator.h"
+#include "expdata/position_encoder.h"
+#include "storage/block_compressor.h"
+#include "storage/column_store.h"
+
+using namespace expbsi;
+
+int main() {
+  const uint64_t users = bench_util::ScaledUsers(100000);
+  const int kDays = 29;
+  const int kMetrics = 105;
+  const int kBatch = 15;  // metrics generated per pass (bounds memory)
+
+  bench_util::PrintBanner(
+      "Table 4: storage of 105 core metrics in a month (29 days)",
+      "BSI raw ~9x smaller than normal raw; LZ4 shrinks normal ~3.8x but "
+      "BSI only ~1.06x (already compressed); compressed BSI ~0.4x of "
+      "compressed normal");
+  std::printf("scale: %llu users in one dense segment, %d days, %d metrics\n\n",
+              static_cast<unsigned long long>(users), kDays, kMetrics);
+
+  DatasetConfig config;
+  config.num_users = users;
+  config.num_segments = 1;
+  config.num_days = kDays;
+  config.start_date = 0;
+  config.seed = 20231121;
+
+  const std::vector<MetricConfig> all_metrics =
+      MakeCoreMetricPopulation(kMetrics, 1001, 9);
+
+  uint64_t normal_rows = 0;
+  size_t normal_raw = 0;
+  size_t normal_compressed = 0;
+  uint64_t bsi_rows = 0;
+  size_t bsi_original = 0;
+  size_t bsi_compressed = 0;
+  Stopwatch wall;
+
+  for (int batch_start = 0; batch_start < kMetrics; batch_start += kBatch) {
+    std::vector<MetricConfig> batch(
+        all_metrics.begin() + batch_start,
+        all_metrics.begin() +
+            std::min<size_t>(kMetrics, batch_start + kBatch));
+    Dataset ds = GenerateDataset(config, {}, batch, {});
+    const SegmentData& seg = ds.segments[0];
+
+    // Normal format: columnar part sorted by (metric, date, unit), as a
+    // ClickHouse primary key would cluster it; LZ4 per column.
+    NormalMetricTable normal;
+    normal.Reserve(seg.metrics.size());
+    for (const MetricRow& row : seg.metrics) {
+      normal.Append(0, row);
+    }
+    normal.SortForStorage();
+    normal_rows += normal.NumRows();
+    normal_raw += normal.RawBytes();
+    normal_compressed += normal.CompressedBytes();
+
+    // BSI format: one value BSI per (metric, date); engagement-ordered
+    // position encoding; LZ4 chunk per metric-month.
+    PositionEncoder encoder;
+    encoder.PreassignRanked(ds.users_by_engagement[0]);
+    std::map<std::pair<uint64_t, Date>, std::vector<MetricRow>> groups;
+    for (const MetricRow& row : seg.metrics) {
+      groups[{row.metric_id, row.date}].push_back(row);
+    }
+    std::map<uint64_t, std::string> chunk_per_metric;
+    for (auto& [key, rows] : groups) {
+      MetricBsi bsi = BuildMetricBsi(rows, encoder);
+      bsi.value.RunOptimize();
+      std::string bytes;
+      bsi.Serialize(&bytes);
+      bsi_original += bytes.size();
+      chunk_per_metric[key.first] += bytes;
+      ++bsi_rows;
+    }
+    for (const auto& [metric_id, chunk] : chunk_per_metric) {
+      bsi_compressed += CompressedSize(chunk);
+    }
+    std::printf("  metrics %d-%zu done (%s normal rows so far, %.0fs)\n",
+                batch_start + 1, batch_start + batch.size(),
+                bench_util::HumanCount(
+                    static_cast<double>(normal_rows)).c_str(),
+                wall.ElapsedSeconds());
+  }
+
+  std::printf("\n%-8s %16s %18s %18s\n", "Format", "Rows",
+              "Compressed(LZ4)", "Original");
+  std::printf("%-8s %16s %18s %18s\n", "Normal",
+              bench_util::HumanCount(
+                  static_cast<double>(normal_rows)).c_str(),
+              bench_util::HumanBytes(
+                  static_cast<double>(normal_compressed)).c_str(),
+              bench_util::HumanBytes(static_cast<double>(normal_raw)).c_str());
+  std::printf("%-8s %16s %18s %18s\n", "BSI",
+              bench_util::HumanCount(static_cast<double>(bsi_rows)).c_str(),
+              bench_util::HumanBytes(
+                  static_cast<double>(bsi_compressed)).c_str(),
+              bench_util::HumanBytes(
+                  static_cast<double>(bsi_original)).c_str());
+
+  std::printf("\nshape checks vs paper:\n");
+  std::printf("  normal raw / BSI raw           = %5.2fx   (paper: 9.2x)\n",
+              static_cast<double>(normal_raw) / bsi_original);
+  std::printf("  normal raw / normal compressed = %5.2fx   (paper: 3.8x)\n",
+              static_cast<double>(normal_raw) / normal_compressed);
+  std::printf("  BSI raw / BSI compressed       = %5.2fx   (paper: 1.06x; "
+              "BSI is already compressed)\n",
+              static_cast<double>(bsi_original) / bsi_compressed);
+  std::printf("  BSI compressed / normal compr. = %5.2fx   (paper: 0.39x)\n",
+              static_cast<double>(bsi_compressed) / normal_compressed);
+  std::printf("\ntotal wall time: %.1fs\n", wall.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,513 @@
+#include "bsi/bsi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace expbsi {
+namespace {
+
+// Shared empty bitmap for "slice beyond the top" accesses.
+const RoaringBitmap& EmptyBitmap() {
+  static const RoaringBitmap* empty = new RoaringBitmap();
+  return *empty;
+}
+
+const RoaringBitmap& SliceOrEmpty(const Bsi& x, int i) {
+  return i < x.num_slices() ? x.slice(i) : EmptyBitmap();
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+Bsi Bsi::FromPairs(std::vector<std::pair<uint32_t, uint64_t>> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Bsi out;
+  uint64_t all_bits = 0;
+  std::vector<uint32_t> present;
+  present.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].second == 0) continue;
+    CHECK(present.empty() || present.back() != pairs[i].first);
+    present.push_back(pairs[i].first);
+    all_bits |= pairs[i].second;
+  }
+  const int num_slices = BitWidth64(all_bits);
+  std::vector<std::vector<uint32_t>> slice_positions(num_slices);
+  for (const auto& [pos, value] : pairs) {
+    uint64_t v = value;
+    while (v != 0) {
+      const int bit = CountTrailingZeros64(v);
+      slice_positions[bit].push_back(pos);
+      v &= v - 1;
+    }
+  }
+  out.slices_.reserve(num_slices);
+  for (int i = 0; i < num_slices; ++i) {
+    out.slices_.push_back(RoaringBitmap::FromSorted(slice_positions[i]));
+  }
+  out.existence_ = RoaringBitmap::FromSorted(present);
+  return out;
+}
+
+Bsi Bsi::FromValues(const std::vector<uint64_t>& values) {
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;
+  pairs.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != 0) {
+      pairs.emplace_back(static_cast<uint32_t>(i), values[i]);
+    }
+  }
+  return FromPairs(std::move(pairs));
+}
+
+Bsi Bsi::FromBinary(RoaringBitmap positions) {
+  Bsi out;
+  if (!positions.IsEmpty()) {
+    out.existence_ = positions;
+    out.slices_.push_back(std::move(positions));
+  }
+  return out;
+}
+
+uint64_t Bsi::Get(uint32_t pos) const {
+  if (!existence_.Contains(pos)) return 0;
+  uint64_t value = 0;
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    if (slices_[i].Contains(pos)) value |= uint64_t{1} << i;
+  }
+  return value;
+}
+
+bool Bsi::Equals(const Bsi& other) const {
+  if (slices_.size() != other.slices_.size()) return false;
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    if (!slices_[i].Equals(other.slices_[i])) return false;
+  }
+  return true;  // existence is derived from slices
+}
+
+size_t Bsi::SizeInBytes() const {
+  size_t total = existence_.SizeInBytes();
+  for (const RoaringBitmap& s : slices_) total += s.SizeInBytes();
+  return total;
+}
+
+void Bsi::TrimTopSlices() {
+  while (!slices_.empty() && slices_.back().IsEmpty()) slices_.pop_back();
+}
+
+Bsi Bsi::Add(const Bsi& x, const Bsi& y) {
+  if (x.IsEmpty()) return y;
+  if (y.IsEmpty()) return x;
+  const int s = std::max(x.num_slices(), y.num_slices());
+  Bsi out;
+  out.slices_.reserve(s + 1);
+  RoaringBitmap carry;
+  for (int i = 0; i < s; ++i) {
+    const RoaringBitmap& xi = SliceOrEmpty(x, i);
+    const RoaringBitmap& yi = SliceOrEmpty(y, i);
+    RoaringBitmap xy = RoaringBitmap::Xor(xi, yi);
+    // sum bit = xi ^ yi ^ carry; carry' = (xi & yi) | ((xi ^ yi) & carry).
+    RoaringBitmap next_carry = RoaringBitmap::Or(
+        RoaringBitmap::And(xi, yi), RoaringBitmap::And(xy, carry));
+    out.slices_.push_back(RoaringBitmap::Xor(xy, carry));
+    carry = std::move(next_carry);
+  }
+  if (!carry.IsEmpty()) out.slices_.push_back(std::move(carry));
+  out.TrimTopSlices();
+  out.existence_ = RoaringBitmap::Or(x.existence_, y.existence_);
+  return out;
+}
+
+Bsi Bsi::Subtract(const Bsi& x, const Bsi& y) {
+  if (y.IsEmpty()) return x;
+  const int s = std::max(x.num_slices(), y.num_slices());
+  Bsi out;
+  out.slices_.reserve(s);
+  RoaringBitmap borrow;
+  for (int i = 0; i < s; ++i) {
+    const RoaringBitmap& xi = SliceOrEmpty(x, i);
+    const RoaringBitmap& yi = SliceOrEmpty(y, i);
+    RoaringBitmap yb = RoaringBitmap::Xor(yi, borrow);
+    // diff bit = xi ^ yi ^ borrow;
+    // borrow' = ((yi ^ borrow) andnot xi) | (yi & borrow).
+    RoaringBitmap next_borrow = RoaringBitmap::Or(
+        RoaringBitmap::AndNot(yb, xi), RoaringBitmap::And(yi, borrow));
+    out.slices_.push_back(RoaringBitmap::Xor(xi, std::move(yb)));
+    borrow = std::move(next_borrow);
+  }
+  if (!borrow.IsEmpty()) {
+    // Positions that went negative: clamp to zero (absent).
+    for (RoaringBitmap& slice : out.slices_) slice.AndNotInPlace(borrow);
+  }
+  out.TrimTopSlices();
+  // Existence: positions with a non-zero difference.
+  RoaringBitmap exist;
+  for (const RoaringBitmap& slice : out.slices_) exist.OrInPlace(slice);
+  out.existence_ = std::move(exist);
+  return out;
+}
+
+Bsi Bsi::MultiplyByBinary(const Bsi& x, const RoaringBitmap& mask) {
+  Bsi out;
+  out.slices_.reserve(x.slices_.size());
+  for (const RoaringBitmap& slice : x.slices_) {
+    out.slices_.push_back(RoaringBitmap::And(slice, mask));
+  }
+  out.TrimTopSlices();
+  out.existence_ = RoaringBitmap::And(x.existence_, mask);
+  return out;
+}
+
+Bsi Bsi::Multiply(const Bsi& x, const Bsi& y) {
+  // Schoolbook shift-add over the slices of the narrower operand; each
+  // partial product y * x_i is a binary multiply (linear), so the total is
+  // O(s_x * s_y) as in the paper.
+  const Bsi& narrow = x.num_slices() <= y.num_slices() ? x : y;
+  const Bsi& wide = x.num_slices() <= y.num_slices() ? y : x;
+  Bsi acc;
+  for (int i = 0; i < narrow.num_slices(); ++i) {
+    if (narrow.slice(i).IsEmpty()) continue;
+    Bsi partial = ShiftLeft(MultiplyByBinary(wide, narrow.slice(i)), i);
+    acc = Add(acc, partial);
+  }
+  return acc;
+}
+
+Bsi Bsi::AddScalar(const Bsi& x, uint64_t k) {
+  if (k == 0 || x.IsEmpty()) return x;
+  const int kbits = BitWidth64(k);
+  const int s = std::max(x.num_slices(), kbits);
+  Bsi out;
+  out.slices_.reserve(s + 1);
+  RoaringBitmap carry;
+  for (int i = 0; i < s; ++i) {
+    const RoaringBitmap& xi = SliceOrEmpty(x, i);
+    // Constant operand: bit i of k is set at every present position.
+    const RoaringBitmap& ki =
+        ((k >> i) & 1) != 0 ? x.existence_ : EmptyBitmap();
+    RoaringBitmap xy = RoaringBitmap::Xor(xi, ki);
+    RoaringBitmap next_carry = RoaringBitmap::Or(
+        RoaringBitmap::And(xi, ki), RoaringBitmap::And(xy, carry));
+    out.slices_.push_back(RoaringBitmap::Xor(xy, carry));
+    carry = std::move(next_carry);
+  }
+  if (!carry.IsEmpty()) out.slices_.push_back(std::move(carry));
+  out.TrimTopSlices();
+  out.existence_ = x.existence_;
+  return out;
+}
+
+Bsi Bsi::MultiplyScalar(const Bsi& x, uint64_t k) {
+  if (k == 0 || x.IsEmpty()) return Bsi();
+  Bsi acc;
+  uint64_t bits = k;
+  while (bits != 0) {
+    const int bit = CountTrailingZeros64(bits);
+    acc = Add(acc, ShiftLeft(x, bit));
+    bits &= bits - 1;
+  }
+  return acc;
+}
+
+Bsi Bsi::ShiftLeft(const Bsi& x, int bits) {
+  CHECK_GE(bits, 0);
+  if (bits == 0 || x.IsEmpty()) return x;
+  Bsi out;
+  out.slices_.reserve(x.slices_.size() + bits);
+  for (int i = 0; i < bits; ++i) out.slices_.emplace_back();
+  for (const RoaringBitmap& slice : x.slices_) out.slices_.push_back(slice);
+  out.existence_ = x.existence_;
+  return out;
+}
+
+RoaringBitmap Bsi::Lt(const Bsi& x, const Bsi& y) {
+  // Algorithm 1, ascending slices:
+  //   L <- [(Y^i OR L) ANDNOT X^i] OR (Y^i AND L)
+  const int s = std::max(x.num_slices(), y.num_slices());
+  RoaringBitmap lt;
+  for (int i = 0; i < s; ++i) {
+    const RoaringBitmap& xi = SliceOrEmpty(x, i);
+    const RoaringBitmap& yi = SliceOrEmpty(y, i);
+    RoaringBitmap keep = RoaringBitmap::And(yi, lt);
+    RoaringBitmap gain =
+        RoaringBitmap::AndNot(RoaringBitmap::Or(yi, lt), xi);
+    lt = RoaringBitmap::Or(gain, keep);
+  }
+  lt.AndInPlace(x.existence_);
+  lt.AndInPlace(y.existence_);
+  return lt;
+}
+
+RoaringBitmap Bsi::Eq(const Bsi& x, const Bsi& y) {
+  // Algorithm 2: start from X's existence, peel off differing slices.
+  RoaringBitmap eq = x.existence_;
+  const int s = std::max(x.num_slices(), y.num_slices());
+  for (int i = 0; i < s && !eq.IsEmpty(); ++i) {
+    eq.AndNotInPlace(
+        RoaringBitmap::Xor(SliceOrEmpty(x, i), SliceOrEmpty(y, i)));
+  }
+  return eq;
+}
+
+RoaringBitmap Bsi::Ne(const Bsi& x, const Bsi& y) {
+  // Algorithm 3: OR of slice XORs, restricted to both-present positions.
+  RoaringBitmap ne;
+  const int s = std::max(x.num_slices(), y.num_slices());
+  for (int i = 0; i < s; ++i) {
+    ne.OrInPlace(RoaringBitmap::Xor(SliceOrEmpty(x, i), SliceOrEmpty(y, i)));
+  }
+  ne.AndInPlace(x.existence_);
+  ne.AndInPlace(y.existence_);
+  return ne;
+}
+
+RoaringBitmap Bsi::Le(const Bsi& x, const Bsi& y) {
+  RoaringBitmap both = RoaringBitmap::And(x.existence_, y.existence_);
+  both.AndNotInPlace(Lt(y, x));
+  return both;
+}
+
+namespace {
+
+// Shared top-down scan for constant comparisons: partitions the present
+// positions of x into {value < k}, {value == k}, {value > k}.
+struct ScalarCompareResult {
+  RoaringBitmap lt;
+  RoaringBitmap eq;
+  RoaringBitmap gt;
+};
+
+ScalarCompareResult ScalarCompare(const Bsi& x, uint64_t k) {
+  ScalarCompareResult r;
+  r.eq = x.existence();
+  const int top = std::max(x.num_slices(), BitWidth64(k));
+  for (int i = top - 1; i >= 0 && !r.eq.IsEmpty(); --i) {
+    const RoaringBitmap& si = SliceOrEmpty(x, i);
+    if (((k >> i) & 1) != 0) {
+      r.lt.OrInPlace(RoaringBitmap::AndNot(r.eq, si));
+      r.eq.AndInPlace(si);
+    } else {
+      r.gt.OrInPlace(RoaringBitmap::And(r.eq, si));
+      r.eq.AndNotInPlace(si);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+RoaringBitmap Bsi::RangeEq(uint64_t k) const {
+  if (k == 0) return RoaringBitmap();  // zero means absent
+  return ScalarCompare(*this, k).eq;
+}
+
+RoaringBitmap Bsi::RangeNe(uint64_t k) const {
+  if (k == 0) return existence_;
+  RoaringBitmap out = existence_;
+  out.AndNotInPlace(ScalarCompare(*this, k).eq);
+  return out;
+}
+
+RoaringBitmap Bsi::RangeLt(uint64_t k) const {
+  if (k == 0) return RoaringBitmap();
+  return ScalarCompare(*this, k).lt;
+}
+
+RoaringBitmap Bsi::RangeLe(uint64_t k) const {
+  if (k == 0) return RoaringBitmap();
+  ScalarCompareResult r = ScalarCompare(*this, k);
+  r.lt.OrInPlace(r.eq);
+  return std::move(r.lt);
+}
+
+RoaringBitmap Bsi::RangeGt(uint64_t k) const {
+  if (k == 0) return existence_;
+  return ScalarCompare(*this, k).gt;
+}
+
+RoaringBitmap Bsi::RangeGe(uint64_t k) const {
+  if (k == 0) return existence_;
+  ScalarCompareResult r = ScalarCompare(*this, k);
+  r.gt.OrInPlace(r.eq);
+  return std::move(r.gt);
+}
+
+RoaringBitmap Bsi::RangeBetween(uint64_t lo, uint64_t hi) const {
+  CHECK_LE(lo, hi);
+  RoaringBitmap out = RangeGe(lo);
+  out.AndInPlace(RangeLe(hi));
+  return out;
+}
+
+uint64_t Bsi::Sum() const {
+  unsigned __int128 total = 0;
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    total += static_cast<unsigned __int128>(slices_[i].Cardinality()) << i;
+  }
+  CHECK(total <= ~uint64_t{0});
+  return static_cast<uint64_t>(total);
+}
+
+uint64_t Bsi::SumUnderMask(const RoaringBitmap& mask) const {
+  unsigned __int128 total = 0;
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    total += static_cast<unsigned __int128>(
+                 RoaringBitmap::AndCardinality(slices_[i], mask))
+             << i;
+  }
+  CHECK(total <= ~uint64_t{0});
+  return static_cast<uint64_t>(total);
+}
+
+double Bsi::Average() const {
+  const uint64_t n = Cardinality();
+  if (n == 0) return 0.0;
+  return static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+uint64_t Bsi::MinValue() const {
+  CHECK(!IsEmpty());
+  RoaringBitmap candidates = existence_;
+  uint64_t value = 0;
+  for (int i = num_slices() - 1; i >= 0; --i) {
+    RoaringBitmap zeros = RoaringBitmap::AndNot(candidates, slices_[i]);
+    if (!zeros.IsEmpty()) {
+      candidates = std::move(zeros);
+    } else {
+      value |= uint64_t{1} << i;
+    }
+  }
+  return value;
+}
+
+uint64_t Bsi::MaxValue() const {
+  CHECK(!IsEmpty());
+  RoaringBitmap candidates = existence_;
+  uint64_t value = 0;
+  for (int i = num_slices() - 1; i >= 0; --i) {
+    RoaringBitmap ones = RoaringBitmap::And(candidates, slices_[i]);
+    if (!ones.IsEmpty()) {
+      candidates = std::move(ones);
+      value |= uint64_t{1} << i;
+    }
+  }
+  return value;
+}
+
+uint64_t Bsi::Quantile(double q) const {
+  CHECK(!IsEmpty());
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  const uint64_t n = Cardinality();
+  uint64_t rank = static_cast<uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(n))));
+  if (rank > n) rank = n;
+  RoaringBitmap candidates = existence_;
+  uint64_t value = 0;
+  uint64_t remaining = rank;
+  for (int i = num_slices() - 1; i >= 0; --i) {
+    RoaringBitmap zeros = RoaringBitmap::AndNot(candidates, slices_[i]);
+    const uint64_t num_zeros = zeros.Cardinality();
+    if (remaining <= num_zeros) {
+      candidates = std::move(zeros);
+    } else {
+      remaining -= num_zeros;
+      candidates.AndInPlace(slices_[i]);
+      value |= uint64_t{1} << i;
+    }
+  }
+  return value;
+}
+
+void Bsi::SetValue(uint32_t pos, uint64_t value) {
+  const int kbits = BitWidth64(value);
+  while (num_slices() < kbits) slices_.emplace_back();
+  for (int i = 0; i < num_slices(); ++i) {
+    if (((value >> i) & 1) != 0) {
+      slices_[i].Add(pos);
+    } else {
+      slices_[i].Remove(pos);
+    }
+  }
+  if (value != 0) {
+    existence_.Add(pos);
+  } else {
+    existence_.Remove(pos);
+  }
+  TrimTopSlices();
+}
+
+void Bsi::RunOptimize() {
+  existence_.RunOptimize();
+  for (RoaringBitmap& slice : slices_) slice.RunOptimize();
+}
+
+void Bsi::Serialize(std::string* out) const {
+  PutU32(out, static_cast<uint32_t>(slices_.size()));
+  std::string block = existence_.SerializeToString();
+  PutU32(out, static_cast<uint32_t>(block.size()));
+  out->append(block);
+  for (const RoaringBitmap& slice : slices_) {
+    block = slice.SerializeToString();
+    PutU32(out, static_cast<uint32_t>(block.size()));
+    out->append(block);
+  }
+}
+
+std::string Bsi::SerializeToString() const {
+  std::string out;
+  Serialize(&out);
+  return out;
+}
+
+Result<Bsi> Bsi::Deserialize(std::string_view bytes) {
+  size_t cursor = 0;
+  auto read_u32 = [&bytes, &cursor](uint32_t* v) {
+    if (bytes.size() - cursor < sizeof(uint32_t)) return false;
+    std::memcpy(v, bytes.data() + cursor, sizeof(uint32_t));
+    cursor += sizeof(uint32_t);
+    return true;
+  };
+  uint32_t num_slices = 0;
+  if (!read_u32(&num_slices)) return Status::Corruption("bsi: truncated");
+  if (num_slices > 64) return Status::Corruption("bsi: too many slices");
+  Bsi out;
+  for (uint32_t i = 0; i <= num_slices; ++i) {
+    uint32_t len = 0;
+    if (!read_u32(&len)) return Status::Corruption("bsi: truncated block");
+    if (bytes.size() - cursor < len) {
+      return Status::Corruption("bsi: truncated block body");
+    }
+    Result<RoaringBitmap> bm =
+        RoaringBitmap::Deserialize(bytes.substr(cursor, len));
+    if (!bm.ok()) return bm.status();
+    cursor += len;
+    if (i == 0) {
+      out.existence_ = std::move(bm).value();
+    } else {
+      out.slices_.push_back(std::move(bm).value());
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> Bsi::ToPairs() const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  out.reserve(Cardinality());
+  existence_.ForEach([this, &out](uint32_t pos) {
+    out.emplace_back(pos, Get(pos));
+  });
+  return out;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,136 @@
+#include "bsi/bsi_aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace expbsi {
+
+Bsi SumBsi(const std::vector<const Bsi*>& inputs) {
+  Bsi acc;
+  for (const Bsi* input : inputs) acc = Bsi::Add(acc, *input);
+  return acc;
+}
+
+Bsi MaxBsi(const Bsi& x, const Bsi& y) {
+  // Positions where x wins: x > y (both present) plus x-only positions.
+  RoaringBitmap x_wins = Bsi::Gt(x, y);
+  x_wins.OrInPlace(RoaringBitmap::AndNot(x.existence(), y.existence()));
+  // y takes every other present position (y >= x or y-only).
+  RoaringBitmap y_wins = RoaringBitmap::AndNot(y.existence(), x_wins);
+  // The two masks are disjoint, so Add is a plain merge.
+  return Bsi::Add(Bsi::MultiplyByBinary(x, x_wins),
+                  Bsi::MultiplyByBinary(y, y_wins));
+}
+
+Bsi MinBsi(const Bsi& x, const Bsi& y) {
+  const RoaringBitmap both = RoaringBitmap::And(x.existence(), y.existence());
+  RoaringBitmap x_wins = Bsi::Lt(x, y);  // x < y, both present
+  RoaringBitmap y_wins = RoaringBitmap::AndNot(both, x_wins);
+  return Bsi::Add(Bsi::MultiplyByBinary(x, x_wins),
+                  Bsi::MultiplyByBinary(y, y_wins));
+}
+
+RoaringBitmap DistinctPos(const std::vector<const Bsi*>& inputs) {
+  RoaringBitmap out;
+  for (const Bsi* input : inputs) out.OrInPlace(input->existence());
+  return out;
+}
+
+Bsi WeightedSumBsi(const std::vector<WeightedBsi>& inputs) {
+  Bsi acc;
+  for (const WeightedBsi& input : inputs) {
+    CHECK(input.bsi != nullptr);
+    acc = Bsi::Add(acc, Bsi::MultiplyScalar(*input.bsi, input.weight));
+  }
+  return acc;
+}
+
+uint64_t QuantileOverInputs(const std::vector<MaskedBsi>& inputs, double q) {
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  // Candidates per input: present positions within the mask.
+  std::vector<RoaringBitmap> candidates;
+  candidates.reserve(inputs.size());
+  uint64_t n = 0;
+  int max_slices = 0;
+  for (const MaskedBsi& input : inputs) {
+    CHECK(input.bsi != nullptr);
+    RoaringBitmap c = input.mask == nullptr
+                          ? input.bsi->existence()
+                          : RoaringBitmap::And(input.bsi->existence(),
+                                               *input.mask);
+    n += c.Cardinality();
+    max_slices = std::max(max_slices, input.bsi->num_slices());
+    candidates.push_back(std::move(c));
+  }
+  CHECK_GT(n, 0u);
+  uint64_t rank = static_cast<uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(n))));
+  if (rank > n) rank = n;
+
+  uint64_t value = 0;
+  uint64_t remaining = rank;
+  for (int i = max_slices - 1; i >= 0; --i) {
+    // Count candidates whose bit i is zero, across every input.
+    uint64_t num_zeros = 0;
+    std::vector<RoaringBitmap> zeros(inputs.size());
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      if (i < inputs[s].bsi->num_slices()) {
+        zeros[s] =
+            RoaringBitmap::AndNot(candidates[s], inputs[s].bsi->slice(i));
+      } else {
+        zeros[s] = candidates[s];  // missing high slices are all-zero
+      }
+      num_zeros += zeros[s].Cardinality();
+    }
+    if (remaining <= num_zeros) {
+      candidates = std::move(zeros);
+    } else {
+      remaining -= num_zeros;
+      value |= uint64_t{1} << i;
+      for (size_t s = 0; s < inputs.size(); ++s) {
+        if (i < inputs[s].bsi->num_slices()) {
+          candidates[s].AndInPlace(inputs[s].bsi->slice(i));
+        } else {
+          candidates[s].Clear();
+        }
+      }
+    }
+  }
+  return value;
+}
+
+RoaringBitmap TopK(const Bsi& x, uint64_t k) {
+  if (k == 0 || x.IsEmpty()) return RoaringBitmap();
+  if (k >= x.Cardinality()) return x.existence();
+  // Slice descent: G holds positions certainly in the top-k, E the still
+  // undecided candidates at the current prefix.
+  RoaringBitmap certain;
+  RoaringBitmap candidates = x.existence();
+  for (int i = x.num_slices() - 1; i >= 0; --i) {
+    RoaringBitmap with_bit = RoaringBitmap::And(candidates, x.slice(i));
+    const uint64_t n = certain.Cardinality() + with_bit.Cardinality();
+    if (n > k) {
+      candidates = std::move(with_bit);
+    } else if (n < k) {
+      certain.OrInPlace(with_bit);
+      candidates.AndNotInPlace(x.slice(i));
+    } else {
+      certain.OrInPlace(with_bit);
+      return certain;
+    }
+  }
+  // Ties at the k-th value: take the smallest positions among candidates.
+  uint64_t need = k - certain.Cardinality();
+  candidates.ForEach([&certain, &need](uint32_t pos) {
+    if (need > 0) {
+      certain.Add(pos);
+      --need;
+    }
+  });
+  return certain;
+}
+
+}  // namespace expbsi

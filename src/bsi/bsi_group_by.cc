@@ -1,0 +1,75 @@
+#include "bsi/bsi_group_by.h"
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace expbsi {
+namespace {
+
+const RoaringBitmap& EmptySlice() {
+  static const RoaringBitmap* empty = new RoaringBitmap();
+  return *empty;
+}
+
+void PartitionRecursive(
+    const Bsi& bucket, int level, uint64_t prefix, const RoaringBitmap& mask,
+    int num_buckets,
+    const std::function<void(int, const RoaringBitmap&)>& visit) {
+  if (mask.IsEmpty()) return;
+  if (level < 0) {
+    // Stored value is bucket_id + 1; prefix 0 cannot occur for present rows.
+    DCHECK_GE(prefix, 1u);
+    const uint64_t bucket_id = prefix - 1;
+    if (bucket_id < static_cast<uint64_t>(num_buckets)) {
+      visit(static_cast<int>(bucket_id), mask);
+    }
+    return;
+  }
+  const RoaringBitmap& slice =
+      level < bucket.num_slices() ? bucket.slice(level) : EmptySlice();
+  RoaringBitmap ones = RoaringBitmap::And(mask, slice);
+  RoaringBitmap zeros = RoaringBitmap::AndNot(mask, slice);
+  PartitionRecursive(bucket, level - 1, prefix << 1, zeros, num_buckets,
+                     visit);
+  PartitionRecursive(bucket, level - 1, (prefix << 1) | 1, ones, num_buckets,
+                     visit);
+}
+
+}  // namespace
+
+void PartitionByBucket(
+    const Bsi& bucket_plus_one, int num_buckets, const RoaringBitmap& universe,
+    const std::function<void(int, const RoaringBitmap&)>& visit) {
+  CHECK_GT(num_buckets, 0);
+  // Only positions with a bucket assignment participate.
+  RoaringBitmap mask =
+      RoaringBitmap::And(universe, bucket_plus_one.existence());
+  const int levels = BitWidth64(static_cast<uint64_t>(num_buckets));
+  PartitionRecursive(bucket_plus_one, levels - 1, 0, mask, num_buckets,
+                     visit);
+}
+
+std::vector<uint64_t> GroupSumByBucket(const Bsi& value,
+                                       const Bsi& bucket_plus_one,
+                                       int num_buckets,
+                                       const RoaringBitmap& universe) {
+  std::vector<uint64_t> sums(num_buckets, 0);
+  PartitionByBucket(bucket_plus_one, num_buckets, universe,
+                    [&value, &sums](int bucket_id, const RoaringBitmap& mask) {
+                      sums[bucket_id] = value.SumUnderMask(mask);
+                    });
+  return sums;
+}
+
+std::vector<uint64_t> GroupCountByBucket(const Bsi& bucket_plus_one,
+                                         int num_buckets,
+                                         const RoaringBitmap& universe) {
+  std::vector<uint64_t> counts(num_buckets, 0);
+  PartitionByBucket(bucket_plus_one, num_buckets, universe,
+                    [&counts](int bucket_id, const RoaringBitmap& mask) {
+                      counts[bucket_id] = mask.Cardinality();
+                    });
+  return counts;
+}
+
+}  // namespace expbsi

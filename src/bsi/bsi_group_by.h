@@ -1,0 +1,41 @@
+#ifndef EXPBSI_BSI_BSI_GROUP_BY_H_
+#define EXPBSI_BSI_BSI_GROUP_BY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bsi/bsi.h"
+
+namespace expbsi {
+
+// Group-by over a bucket-id BSI (paper §4.2: "sum the filtered-value by
+// bucket-id, generating 1024 bucket-values for each segment").
+//
+// The bucket column stores bucket_id + 1 (the zero-is-absent convention means
+// bucket 0 could not otherwise be represented). Grouping radix-partitions
+// `universe` by the bucket BSI's slices top-down, so the cost is
+// O(2^ceil(log2 buckets)) bitmap operations rather than one comparison per
+// bucket.
+
+// Invokes visit(bucket_id, members) for every bucket with a non-empty
+// intersection of `universe` and the bucket partition. bucket_id is 0-based.
+void PartitionByBucket(
+    const Bsi& bucket_plus_one, int num_buckets, const RoaringBitmap& universe,
+    const std::function<void(int, const RoaringBitmap&)>& visit);
+
+// Per-bucket sum of `value` over positions in `universe`. Returns
+// num_buckets entries (missing buckets are 0).
+std::vector<uint64_t> GroupSumByBucket(const Bsi& value,
+                                       const Bsi& bucket_plus_one,
+                                       int num_buckets,
+                                       const RoaringBitmap& universe);
+
+// Per-bucket count of positions in `universe`.
+std::vector<uint64_t> GroupCountByBucket(const Bsi& bucket_plus_one,
+                                         int num_buckets,
+                                         const RoaringBitmap& universe);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_BSI_BSI_GROUP_BY_H_

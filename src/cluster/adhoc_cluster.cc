@@ -1,0 +1,234 @@
+#include "cluster/adhoc_cluster.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace expbsi {
+
+BsiStore BuildColdStore(const ExperimentBsiData& data) {
+  BsiStore store;
+  for (int seg = 0; seg < data.num_segments; ++seg) {
+    const SegmentBsiData& sbd = data.segments[seg];
+    for (const auto& [strategy_id, expose] : sbd.expose) {
+      std::string bytes;
+      expose.Serialize(&bytes);
+      store.Put(BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kExpose,
+                            strategy_id, 0},
+                std::move(bytes));
+    }
+    for (const auto& [key, metric] : sbd.metrics) {
+      std::string bytes;
+      metric.Serialize(&bytes);
+      store.Put(BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kMetric,
+                            key.first, key.second},
+                std::move(bytes));
+    }
+  }
+  return store;
+}
+
+AdhocCluster::AdhocCluster(const Dataset* dataset,
+                           const ExperimentBsiData* bsi,
+                           AdhocClusterConfig config)
+    : dataset_(dataset), bsi_(bsi), config_(config) {
+  CHECK(dataset != nullptr);
+  CHECK(bsi != nullptr);
+  CHECK(dataset->config.bucket_equals_segment);
+  CHECK_GT(config_.num_nodes, 0);
+  CHECK_GT(config_.threads_per_node, 0);
+  cold_ = BuildColdStore(*bsi);
+  // Cluster-local layout of the normal-format rows, clustered by
+  // (metric, segment) like a ClickHouse primary key.
+  normal_index_ =
+      std::make_unique<NormalDataIndex>(NormalDataIndex::Build(*dataset));
+  node_tiers_.reserve(config_.num_nodes);
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    node_tiers_.push_back(std::make_unique<TieredStore>(
+        &cold_, config_.hot_capacity_bytes_per_node));
+  }
+}
+
+Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
+    const std::vector<uint64_t>& strategy_ids,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
+  CHECK_LE(date_lo, date_hi);
+  QueryStats stats;
+  const int num_segments = bsi_->num_segments;
+  // Per-pair per-segment partials, assembled after all nodes "ran".
+  std::map<StrategyMetricPair, BucketValues> partials;
+  for (uint64_t s : strategy_ids) {
+    for (uint64_t m : metric_ids) {
+      BucketValues bv;
+      bv.sums.assign(num_segments, 0.0);
+      bv.counts.assign(num_segments, 0.0);
+      partials.emplace(StrategyMetricPair{s, m}, std::move(bv));
+    }
+  }
+
+  double max_node_latency = 0.0;
+  for (int node = 0; node < config_.num_nodes; ++node) {
+    TieredStore& tier = *node_tiers_[node];
+    const TieredStore::Stats io_before = tier.stats();
+    CpuTimer cpu;
+    for (int seg = node; seg < num_segments; seg += config_.num_nodes) {
+      // Fetch + decode the expose BSIs once per (segment, strategy) and
+      // precompute the per-day masks all metrics share.
+      struct StrategyMasks {
+        std::vector<RoaringBitmap> by_day;  // index: date - date_lo
+        uint64_t exposed_by_hi = 0;
+      };
+      std::unordered_map<uint64_t, StrategyMasks> masks;
+      for (uint64_t strategy_id : strategy_ids) {
+        Result<std::shared_ptr<const std::string>> blob = tier.Fetch(
+            BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kExpose,
+                        strategy_id, 0});
+        if (!blob.ok()) continue;  // strategy absent from this segment
+        Result<ExposeBsi> expose = ExposeBsi::Deserialize(*blob.value());
+        if (!expose.ok()) return expose.status();
+        StrategyMasks sm;
+        sm.by_day.reserve(date_hi - date_lo + 1);
+        for (Date d = date_lo; d <= date_hi; ++d) {
+          sm.by_day.push_back(expose.value().ExposedOnOrBefore(d));
+        }
+        sm.exposed_by_hi = sm.by_day.back().Cardinality();
+        masks.emplace(strategy_id, std::move(sm));
+      }
+      for (uint64_t metric_id : metric_ids) {
+        for (Date d = date_lo; d <= date_hi; ++d) {
+          Result<std::shared_ptr<const std::string>> blob = tier.Fetch(
+              BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kMetric,
+                          metric_id, d});
+          if (!blob.ok()) continue;  // no data for this (metric, day)
+          Result<MetricBsi> metric = MetricBsi::Deserialize(*blob.value());
+          if (!metric.ok()) return metric.status();
+          for (const auto& [strategy_id, sm] : masks) {
+            partials[{strategy_id, metric_id}].sums[seg] +=
+                static_cast<double>(
+                    metric.value().value.SumUnderMask(sm.by_day[d - date_lo]));
+          }
+        }
+        for (const auto& [strategy_id, sm] : masks) {
+          partials[{strategy_id, metric_id}].counts[seg] +=
+              static_cast<double>(sm.exposed_by_hi);
+        }
+      }
+    }
+    const double node_cpu = cpu.ElapsedSeconds();
+    const uint64_t node_cold_bytes =
+        tier.stats().bytes_from_cold - io_before.bytes_from_cold;
+    stats.total_cpu_seconds += node_cpu;
+    stats.bytes_from_cold += node_cold_bytes;
+    stats.hot_hits += tier.stats().hot_hits - io_before.hot_hits;
+    const double node_latency =
+        node_cpu / config_.threads_per_node +
+        static_cast<double>(node_cold_bytes) /
+            config_.cold_bandwidth_bytes_per_sec;
+    max_node_latency = std::max(max_node_latency, node_latency);
+  }
+  // Coordinator merge is a handful of vector adds; fold it into the
+  // measured assembly below.
+  CpuTimer merge_cpu;
+  stats.results = std::move(partials);
+  stats.latency_seconds = max_node_latency + merge_cpu.ElapsedSeconds();
+  return stats;
+}
+
+const ExposeBitmapCache& AdhocCluster::GetOrBuildBitmapCache(
+    uint64_t strategy_id, Date date_lo, Date date_hi) {
+  auto it = bitmap_caches_.find(strategy_id);
+  if (it != bitmap_caches_.end() && it->second.date_lo() <= date_lo &&
+      it->second.date_hi() >= date_hi) {
+    return it->second;
+  }
+  ExposeBitmapCache cache =
+      ExposeBitmapCache::Build(*dataset_, strategy_id, date_lo, date_hi);
+  auto [new_it, _] = bitmap_caches_.insert_or_assign(strategy_id,
+                                                     std::move(cache));
+  return new_it->second;
+}
+
+Result<AdhocCluster::QueryStats> AdhocCluster::QueryNormalBitmap(
+    const std::vector<uint64_t>& strategy_ids,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
+  CHECK_LE(date_lo, date_hi);
+  QueryStats stats;
+  const int num_segments = dataset_->config.num_segments;
+  // The paper's baseline caches the expose bitmaps in memory up front; the
+  // cache build is not part of the repeated-query latency.
+  std::vector<const ExposeBitmapCache*> caches;
+  caches.reserve(strategy_ids.size());
+  for (uint64_t strategy_id : strategy_ids) {
+    caches.push_back(&GetOrBuildBitmapCache(strategy_id, date_lo, date_hi));
+  }
+
+  std::map<StrategyMetricPair, BucketValues> partials;
+  for (uint64_t s : strategy_ids) {
+    for (uint64_t m : metric_ids) {
+      BucketValues bv;
+      bv.sums.assign(num_segments, 0.0);
+      bv.counts.assign(num_segments, 0.0);
+      partials.emplace(StrategyMetricPair{s, m}, std::move(bv));
+    }
+  }
+
+  double max_node_latency = 0.0;
+  for (int node = 0; node < config_.num_nodes; ++node) {
+    CpuTimer cpu;
+    for (int seg = node; seg < num_segments; seg += config_.num_nodes) {
+      // Scan each requested metric's clustered rows (ClickHouse primary-key
+      // order prunes other metrics), filtering each row through the per-day
+      // expose bitmap. Masks are hoisted and sums accumulate in registers,
+      // as a columnar engine would.
+      const int num_days = static_cast<int>(date_hi - date_lo) + 1;
+      std::vector<const RoaringBitmap*> day_masks(strategy_ids.size() *
+                                                  num_days);
+      for (size_t si = 0; si < strategy_ids.size(); ++si) {
+        for (int d = 0; d < num_days; ++d) {
+          day_masks[si * num_days + d] =
+              &caches[si]->For(seg, date_lo + static_cast<Date>(d));
+        }
+      }
+      std::vector<double> local_sums(strategy_ids.size());
+      for (uint64_t metric_id : metric_ids) {
+        const std::vector<MetricRow>* rows =
+            normal_index_->MetricRows(metric_id, seg);
+        if (rows == nullptr) continue;
+        std::fill(local_sums.begin(), local_sums.end(), 0.0);
+        for (const MetricRow& row : *rows) {
+          if (row.date < date_lo || row.date > date_hi) continue;
+          const uint32_t unit = static_cast<uint32_t>(row.analysis_unit_id);
+          const int d = static_cast<int>(row.date - date_lo);
+          for (size_t si = 0; si < strategy_ids.size(); ++si) {
+            if (day_masks[si * num_days + d]->Contains(unit)) {
+              local_sums[si] += static_cast<double>(row.value);
+            }
+          }
+        }
+        for (size_t si = 0; si < strategy_ids.size(); ++si) {
+          partials[{strategy_ids[si], metric_id}].sums[seg] +=
+              local_sums[si];
+        }
+      }
+      for (size_t si = 0; si < strategy_ids.size(); ++si) {
+        const double exposed = static_cast<double>(
+            caches[si]->For(seg, date_hi).Cardinality());
+        for (uint64_t m : metric_ids) {
+          partials[{strategy_ids[si], m}].counts[seg] += exposed;
+        }
+      }
+    }
+    const double node_cpu = cpu.ElapsedSeconds();
+    stats.total_cpu_seconds += node_cpu;
+    max_node_latency =
+        std::max(max_node_latency, node_cpu / config_.threads_per_node);
+  }
+  stats.results = std::move(partials);
+  stats.latency_seconds = max_node_latency;
+  return stats;
+}
+
+}  // namespace expbsi

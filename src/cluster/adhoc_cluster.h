@@ -1,0 +1,96 @@
+#ifndef EXPBSI_CLUSTER_ADHOC_CLUSTER_H_
+#define EXPBSI_CLUSTER_ADHOC_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/precompute_pipeline.h"
+#include "engine/experiment_data.h"
+#include "engine/normal_engine.h"
+#include "expdata/generator.h"
+#include "storage/bsi_store.h"
+#include "storage/tiered_store.h"
+
+namespace expbsi {
+
+// ClickHouse-like ad-hoc query cluster (§5.3, Fig. 8, Table 8): every
+// segment lives on one node; queries fan out, run locally and in parallel on
+// each node, and the coordinator merges per-segment partials. Nodes keep hot
+// data in a local tier and pull cold blobs from the warehouse on demand.
+//
+// The machine running this simulation may have a single core, so latency is
+// derived analytically from measured per-node CPU time:
+//   node_latency  = node_cpu_seconds / threads_per_node
+//                 + bytes_from_cold / cold_bandwidth
+//   query_latency = max over nodes + coordinator merge time.
+struct AdhocClusterConfig {
+  int num_nodes = 4;
+  int threads_per_node = 4;
+  size_t hot_capacity_bytes_per_node = 256u << 20;
+  double cold_bandwidth_bytes_per_sec = 200e6;
+};
+
+class AdhocCluster {
+ public:
+  struct QueryStats {
+    double latency_seconds = 0.0;
+    double total_cpu_seconds = 0.0;
+    uint64_t bytes_from_cold = 0;
+    uint64_t hot_hits = 0;
+    std::map<StrategyMetricPair, BucketValues> results;
+  };
+
+  // `dataset` backs the normal-format baseline; `bsi` is serialized into the
+  // cluster's cold warehouse store. Both must outlive the cluster. The
+  // dataset must use bucket_equals_segment (the ad-hoc scenario).
+  AdhocCluster(const Dataset* dataset, const ExperimentBsiData* bsi,
+               AdhocClusterConfig config);
+
+  // BSI method: per node, fetch + deserialize expose/metric blobs (hot tier
+  // first), range-search the expose filter and popcount the masked sums.
+  // Returns Corruption if a warehouse blob fails to decode.
+  Result<QueryStats> QueryBsi(const std::vector<uint64_t>& strategy_ids,
+                              const std::vector<uint64_t>& metric_ids,
+                              Date date_lo, Date date_hi);
+
+  // Normal-format baseline (§6.3): per-day expose bitmaps cached in memory,
+  // metric-log rows scanned and filtered through them.
+  Result<QueryStats> QueryNormalBitmap(
+      const std::vector<uint64_t>& strategy_ids,
+      const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi);
+
+  int NodeOfSegment(int segment) const {
+    return segment % config_.num_nodes;
+  }
+
+  const BsiStore& cold_store() const { return cold_; }
+
+  // Mutable access to the warehouse store, for failure injection in tests
+  // and for operational re-ingestion.
+  BsiStore& mutable_cold_store() { return cold_; }
+
+ private:
+  // Lazily built (and then reused) per-strategy expose bitmap caches for the
+  // baseline, mirroring the paper's "cache these bitmaps in memory".
+  const ExposeBitmapCache& GetOrBuildBitmapCache(uint64_t strategy_id,
+                                                 Date date_lo, Date date_hi);
+
+  const Dataset* dataset_;
+  const ExperimentBsiData* bsi_;
+  std::unique_ptr<NormalDataIndex> normal_index_;
+  AdhocClusterConfig config_;
+  BsiStore cold_;
+  std::vector<std::unique_ptr<TieredStore>> node_tiers_;
+  std::map<uint64_t, ExposeBitmapCache> bitmap_caches_;
+};
+
+// Serializes every expose/metric BSI of `data` into a BsiStore (the
+// warehouse contents of Fig. 7).
+BsiStore BuildColdStore(const ExperimentBsiData& data);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_CLUSTER_ADHOC_CLUSTER_H_

@@ -1,0 +1,165 @@
+#include "cluster/precompute_pipeline.h"
+
+#include <mutex>
+
+#include "common/check.h"
+#include "common/threadpool.h"
+#include "common/timer.h"
+#include "engine/normal_engine.h"
+#include "engine/scorecard.h"
+
+namespace expbsi {
+
+PrecomputePipeline::PrecomputePipeline(const Dataset* dataset,
+                                       const ExperimentBsiData* bsi,
+                                       PrecomputeConfig config)
+    : dataset_(dataset), bsi_(bsi), config_(config) {
+  CHECK_GT(config_.num_threads, 0);
+  CHECK_GT(config_.batch_size, 0);
+}
+
+namespace {
+
+// Runs `pairs` through `compute_one` on a pool, batching like the paper's
+// jobs, and accumulates CPU time across tasks.
+template <typename ComputeFn>
+PrecomputeStats RunPairs(const std::vector<StrategyMetricPair>& pairs,
+                         const PrecomputeConfig& config,
+                         std::map<StrategyMetricPair, BucketValues>* cache,
+                         ComputeFn compute_one) {
+  PrecomputeStats stats;
+  Stopwatch wall;
+  ThreadPool pool(config.num_threads);
+  std::mutex mu;
+  for (size_t batch_start = 0; batch_start < pairs.size();
+       batch_start += config.batch_size) {
+    const size_t batch_end =
+        std::min(pairs.size(), batch_start + config.batch_size);
+    // One job per batch; within the job each pair is a task.
+    for (size_t i = batch_start; i < batch_end; ++i) {
+      const StrategyMetricPair pair = pairs[i];
+      pool.Submit([&, pair] {
+        CpuTimer cpu;
+        uint64_t bytes = 0;
+        BucketValues result = compute_one(pair, &bytes);
+        const double cpu_used = cpu.ElapsedSeconds();
+        std::lock_guard<std::mutex> lock(mu);
+        stats.cpu_seconds += cpu_used;
+        stats.bytes_read += bytes;
+        ++stats.pairs_computed;
+        (*cache)[pair] = std::move(result);
+      });
+    }
+    pool.Wait();  // job barrier
+  }
+  stats.wall_seconds = wall.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace
+
+PrecomputeStats PrecomputePipeline::RunBsi(
+    const std::vector<StrategyMetricPair>& pairs, Date date_lo,
+    Date date_hi) {
+  CHECK(bsi_ != nullptr);
+  // Expose filters are shared by every metric of a strategy; build them
+  // once per batch (this is why jobs batch strategy-metric pairs, §5.2).
+  // The build cost is part of the measured CPU.
+  std::map<uint64_t, ExposeMaskCache> mask_caches;
+  CpuTimer prep;
+  for (const StrategyMetricPair& pair : pairs) {
+    if (mask_caches.find(pair.first) == mask_caches.end()) {
+      mask_caches.emplace(pair.first, ExposeMaskCache::Build(
+                                          *bsi_, pair.first, date_lo,
+                                          date_hi));
+    }
+  }
+  const double prep_cpu = prep.ElapsedSeconds();
+  PrecomputeStats stats = RunPairs(
+      pairs, config_, &cache_,
+      [this, &mask_caches, date_lo, date_hi](const StrategyMetricPair& pair,
+                                             uint64_t* bytes) {
+        *bytes = BsiPairReadBytes(*bsi_, pair.first, pair.second, date_lo,
+                                  date_hi);
+        return ComputeStrategyMetricBsiCached(*bsi_,
+                                              mask_caches.at(pair.first),
+                                              pair.second, date_lo, date_hi);
+      });
+  stats.cpu_seconds += prep_cpu;
+  return stats;
+}
+
+PrecomputeStats PrecomputePipeline::RunNormal(
+    const std::vector<StrategyMetricPair>& pairs, Date date_lo,
+    Date date_hi) {
+  CHECK(dataset_ != nullptr);
+  if (normal_index_ == nullptr) {
+    normal_index_ =
+        std::make_unique<NormalDataIndex>(NormalDataIndex::Build(*dataset_));
+  }
+  return RunPairs(
+      pairs, config_, &cache_,
+      [this, date_lo, date_hi](const StrategyMetricPair& pair,
+                               uint64_t* bytes) {
+        // Byte accounting through the index (cheap lookups; rows at their
+        // §6.1/§6.2 row widths).
+        uint64_t b = 0;
+        for (int seg = 0; seg < dataset_->config.num_segments; ++seg) {
+          const std::vector<ExposeRow>* expose =
+              normal_index_->ExposeRows(pair.first, seg);
+          if (expose != nullptr) b += expose->size() * 16;
+          const std::vector<MetricRow>* rows =
+              normal_index_->MetricRows(pair.second, seg);
+          if (rows != nullptr) {
+            for (const MetricRow& row : *rows) {
+              if (row.date >= date_lo && row.date <= date_hi) b += 18;
+            }
+          }
+        }
+        *bytes = b;
+        return ComputeStrategyMetricNormalIndexed(*dataset_, *normal_index_,
+                                                  pair.first, pair.second,
+                                                  date_lo, date_hi);
+      });
+}
+
+const BucketValues* PrecomputePipeline::GetResult(
+    const StrategyMetricPair& pair) const {
+  auto it = cache_.find(pair);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+uint64_t BsiPairReadBytes(const ExperimentBsiData& data, uint64_t strategy_id,
+                          uint64_t metric_id, Date date_lo, Date date_hi) {
+  uint64_t bytes = 0;
+  for (const SegmentBsiData& seg : data.segments) {
+    const ExposeBsi* expose = seg.FindExpose(strategy_id);
+    if (expose != nullptr) bytes += expose->SizeInBytes();
+    for (Date date = date_lo; date <= date_hi; ++date) {
+      const MetricBsi* metric = seg.FindMetric(metric_id, date);
+      if (metric != nullptr) bytes += metric->SizeInBytes();
+    }
+  }
+  return bytes;
+}
+
+uint64_t NormalPairReadBytes(const Dataset& dataset, uint64_t strategy_id,
+                             uint64_t metric_id, Date date_lo, Date date_hi) {
+  constexpr uint64_t kExposeRowBytes = 16;  // §6.2 normal expose schema
+  constexpr uint64_t kMetricRowBytes = 18;  // §6.1 normal metric schema
+  uint64_t bytes = 0;
+  for (const SegmentData& seg : dataset.segments) {
+    for (const ExposeRow& row : seg.expose) {
+      if (row.strategy_id == strategy_id) bytes += kExposeRowBytes;
+    }
+    for (const MetricRow& row : seg.metrics) {
+      if (row.metric_id == metric_id && row.date >= date_lo &&
+          row.date <= date_hi) {
+        bytes += kMetricRowBytes;
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,83 @@
+#ifndef EXPBSI_CLUSTER_PRECOMPUTE_PIPELINE_H_
+#define EXPBSI_CLUSTER_PRECOMPUTE_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/experiment_data.h"
+#include "engine/normal_engine.h"
+#include "expdata/generator.h"
+#include "stats/bucket_stats.h"
+
+namespace expbsi {
+
+// Spark-like batch pre-compute pipeline (§5.2, Table 7). The paper submits
+// daily jobs that each compute a batch of strategy-metric pairs; we model an
+// executor pool (thread pool), per-pair tasks, CPU-time accounting (Table 7
+// reports CPU hours, which are scheduler-independent) and warehouse-read
+// traffic accounting.
+struct PrecomputeConfig {
+  int num_threads = 4;
+  // Pairs per job; batching amortizes warehouse reads (§5.2: "each job
+  // computes a batch of strategy-metric pairs for better utilizing network
+  // traffic").
+  int batch_size = 64;
+};
+
+struct PrecomputeStats {
+  double cpu_seconds = 0.0;   // summed across all tasks
+  double wall_seconds = 0.0;
+  uint64_t bytes_read = 0;    // simulated reads from the warehouse
+  int pairs_computed = 0;
+};
+
+// (strategy_id, metric_id).
+using StrategyMetricPair = std::pair<uint64_t, uint64_t>;
+
+class PrecomputePipeline {
+ public:
+  // Both representations of the same dataset; either may be omitted
+  // (nullptr) if only one method will run. Pointers must outlive the
+  // pipeline.
+  PrecomputePipeline(const Dataset* dataset, const ExperimentBsiData* bsi,
+                     PrecomputeConfig config);
+
+  // Computes every pair's scorecard bucket values over [date_lo, date_hi]
+  // with the BSI method (§4.2). Results are cached for GetResult.
+  PrecomputeStats RunBsi(const std::vector<StrategyMetricPair>& pairs,
+                         Date date_lo, Date date_hi);
+
+  // Same computation with the normal-format baseline (§6.2: Spark-SQL-style
+  // join + aggregate over pruned (strategy, metric) partitions). The
+  // partition index is built once on first use -- it models the warehouse's
+  // data layout, not per-pair work -- so it is excluded from the CPU stats.
+  PrecomputeStats RunNormal(const std::vector<StrategyMetricPair>& pairs,
+                            Date date_lo, Date date_hi);
+
+  // Cached result of the last run for a pair, or nullptr.
+  const BucketValues* GetResult(const StrategyMetricPair& pair) const;
+
+ private:
+  const Dataset* dataset_;
+  const ExperimentBsiData* bsi_;
+  PrecomputeConfig config_;
+  std::unique_ptr<NormalDataIndex> normal_index_;
+  std::map<StrategyMetricPair, BucketValues> cache_;
+};
+
+// Warehouse bytes a BSI-method pair read: the strategy's expose BSIs plus
+// the metric's per-day value BSIs (what the job pulls over the network).
+uint64_t BsiPairReadBytes(const ExperimentBsiData& data, uint64_t strategy_id,
+                          uint64_t metric_id, Date date_lo, Date date_hi);
+
+// Warehouse bytes the normal-format pair read: its expose rows plus the
+// metric rows of the date range at their row widths.
+uint64_t NormalPairReadBytes(const Dataset& dataset, uint64_t strategy_id,
+                             uint64_t metric_id, Date date_lo, Date date_hi);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_CLUSTER_PRECOMPUTE_PIPELINE_H_

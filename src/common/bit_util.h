@@ -1,0 +1,25 @@
+#ifndef EXPBSI_COMMON_BIT_UTIL_H_
+#define EXPBSI_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace expbsi {
+
+// Number of set bits in a 64-bit word.
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+
+// Number of bits needed to represent v (0 needs 0 bits, 5 needs 3, ...).
+inline int BitWidth64(uint64_t v) { return std::bit_width(v); }
+
+// Index of the lowest set bit; undefined for x == 0.
+inline int CountTrailingZeros64(uint64_t x) { return std::countr_zero(x); }
+
+// Rounds up to the next multiple of `multiple` (a power of two).
+inline uint64_t RoundUpPow2(uint64_t value, uint64_t multiple) {
+  return (value + multiple - 1) & ~(multiple - 1);
+}
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_BIT_UTIL_H_

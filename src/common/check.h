@@ -1,0 +1,53 @@
+#ifndef EXPBSI_COMMON_CHECK_H_
+#define EXPBSI_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros.
+//
+// The library does not use C++ exceptions (see DESIGN.md). Programming errors
+// (broken invariants, out-of-contract calls) abort via CHECK; recoverable
+// conditions (bad input data, corrupt serialized bytes) surface as Status.
+//
+// CHECK*   are always on.
+// DCHECK*  compile away in NDEBUG builds and guard hot paths.
+
+#define EXPBSI_CHECK_IMPL(cond, cond_str)                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, cond_str);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CHECK(cond) EXPBSI_CHECK_IMPL((cond), #cond)
+#define CHECK_EQ(a, b) EXPBSI_CHECK_IMPL((a) == (b), #a " == " #b)
+#define CHECK_NE(a, b) EXPBSI_CHECK_IMPL((a) != (b), #a " != " #b)
+#define CHECK_LT(a, b) EXPBSI_CHECK_IMPL((a) < (b), #a " < " #b)
+#define CHECK_LE(a, b) EXPBSI_CHECK_IMPL((a) <= (b), #a " <= " #b)
+#define CHECK_GT(a, b) EXPBSI_CHECK_IMPL((a) > (b), #a " > " #b)
+#define CHECK_GE(a, b) EXPBSI_CHECK_IMPL((a) >= (b), #a " >= " #b)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  do {               \
+  } while (0)
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#endif
+
+#endif  // EXPBSI_COMMON_CHECK_H_

@@ -1,0 +1,31 @@
+#ifndef EXPBSI_COMMON_HASH_H_
+#define EXPBSI_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace expbsi {
+
+// SplitMix64 finalizer: a strong 64-bit mixing function. Used both for
+// segmentation / bucketing (the paper's deterministic HASH, §3.2/§3.3) and as
+// the stream-splitting step of the RNG. The segmentation hash and the
+// bucketing hash must be independent of each other and of traffic
+// randomization; we achieve that with distinct fixed salts.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Hashes `id` under a salt identifying the hash's role (segment vs bucket).
+inline uint64_t SaltedHash64(uint64_t id, uint64_t salt) {
+  return Mix64(id ^ Mix64(salt));
+}
+
+// Salts for the two independent deterministic randomization processes.
+inline constexpr uint64_t kSegmentHashSalt = 0x5e61e4a1c7a1u;
+inline constexpr uint64_t kBucketHashSalt = 0xb0c4e7a93d15u;
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_HASH_H_

@@ -1,0 +1,139 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace expbsi {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four lanes with SplitMix64, per the xoshiro authors' advice.
+  uint64_t s = seed;
+  for (auto& lane : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    lane = Mix64(s);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Lemire's multiply-shift; bias is negligible for our bounds (<< 2^64).
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextGeometric(double p) {
+  CHECK_GT(p, 0.0);
+  CHECK_LE(p, 1.0);
+  if (p == 1.0) return 0;
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  CHECK_GE(n, 1u);
+  CHECK_GT(s, 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s));
+}
+
+// H(x) = integral of x^-s: the rejection-inversion hat function.
+double ZipfDistribution::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= threshold_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+std::vector<uint64_t> SampleDistinct(Rng& rng, uint64_t n, uint64_t k) {
+  CHECK_LE(k, n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k > n / 2) {
+    // Dense case: partial Fisher-Yates over the full range.
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      const uint64_t j = i + rng.NextBounded(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const uint64_t v = rng.NextBounded(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,77 @@
+#ifndef EXPBSI_COMMON_RNG_H_
+#define EXPBSI_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace expbsi {
+
+// Deterministic xoshiro256** PRNG. All synthetic-data generation flows
+// through this so every test and benchmark is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound); bound > 0. Uses rejection-free multiply-shift.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBernoulli(double p);
+
+  // Geometric number of failures before first success, success prob p in
+  // (0, 1]. Mean (1-p)/p.
+  uint64_t NextGeometric(double p);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Zipf(s) sampler on {1, ..., n}: P(k) proportional to k^-s. The paper's data
+// follows the Pareto principle (§3.5, Fig. 5) -- metric values concentrate in a
+// small range near zero -- which Zipf-distributed values model directly.
+//
+// Uses the rejection-inversion method of Hormann & Derflinger, O(1) per
+// sample with no O(n) setup table, so large n is cheap.
+class ZipfDistribution {
+ public:
+  // n >= 1; s > 0, s != 1 handled as well as s == 1.
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+// Samples without replacement k distinct values from [0, n).
+std::vector<uint64_t> SampleDistinct(Rng& rng, uint64_t n, uint64_t k);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_RNG_H_

@@ -1,0 +1,98 @@
+#ifndef EXPBSI_COMMON_STATUS_H_
+#define EXPBSI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace expbsi {
+
+// Error category for recoverable failures (bad arguments, corrupt bytes,
+// missing keys). Invariant violations abort via CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kCorruption = 3,
+  kOutOfRange = 4,
+  kAlreadyExists = 5,
+};
+
+// Lightweight status object for fallible APIs; cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" form, e.g. "NotFound: key 42".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-error return type. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    CHECK(!status_.ok());  // A Result built from a Status must carry an error.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagates a non-OK Status out of the calling function.
+#define RETURN_IF_ERROR(expr)              \
+  do {                                     \
+    ::expbsi::Status _st = (expr);         \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_STATUS_H_

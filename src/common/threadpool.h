@@ -1,0 +1,49 @@
+#ifndef EXPBSI_COMMON_THREADPOOL_H_
+#define EXPBSI_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace expbsi {
+
+// Fixed-size worker pool. The cluster simulations (src/cluster) schedule
+// per-segment tasks on it, mirroring Spark executors / ClickHouse per-node
+// query threads. Tasks must not throw (the library does not use exceptions).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; runs on some worker thread.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;  // queued + running
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+void ParallelFor(ThreadPool& pool, int n, const std::function<void(int)>& fn);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_THREADPOOL_H_

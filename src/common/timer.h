@@ -1,0 +1,48 @@
+#ifndef EXPBSI_COMMON_TIMER_H_
+#define EXPBSI_COMMON_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace expbsi {
+
+// Wall-clock stopwatch (monotonic).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// CPU time consumed by the calling thread, in seconds. The pre-compute
+// pipeline sums this across tasks to report "CPU hours" the way the paper's
+// Table 7 does (independent of scheduling and core count).
+inline double ThreadCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// CPU-time stopwatch for the calling thread.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(ThreadCpuSeconds()) {}
+  void Reset() { start_ = ThreadCpuSeconds(); }
+  double ElapsedSeconds() const { return ThreadCpuSeconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_TIMER_H_

@@ -1,0 +1,132 @@
+#include "engine/deepdive.h"
+
+#include "bsi/bsi_group_by.h"
+#include "common/check.h"
+
+namespace expbsi {
+
+RoaringBitmap DimensionFilterMask(const SegmentBsiData& segment,
+                                  const std::vector<DimensionPredicate>& preds,
+                                  Date date) {
+  CHECK(!preds.empty());
+  RoaringBitmap mask;
+  bool first = true;
+  for (const DimensionPredicate& pred : preds) {
+    const DimensionBsi* dim =
+        segment.FindDimension(pred.dimension_id, date);
+    if (dim == nullptr) return RoaringBitmap();  // no data -> nothing passes
+    RoaringBitmap filter;
+    switch (pred.op) {
+      case DimensionPredicate::Op::kEq:
+        filter = dim->value.RangeEq(pred.value);
+        break;
+      case DimensionPredicate::Op::kNe:
+        filter = dim->value.RangeNe(pred.value);
+        break;
+      case DimensionPredicate::Op::kLt:
+        filter = dim->value.RangeLt(pred.value);
+        break;
+      case DimensionPredicate::Op::kLe:
+        filter = dim->value.RangeLe(pred.value);
+        break;
+      case DimensionPredicate::Op::kGt:
+        filter = dim->value.RangeGt(pred.value);
+        break;
+      case DimensionPredicate::Op::kGe:
+        filter = dim->value.RangeGe(pred.value);
+        break;
+    }
+    if (first) {
+      mask = std::move(filter);
+      first = false;
+    } else {
+      mask.AndInPlace(filter);  // mulBSI of binary filters = intersection
+    }
+    if (mask.IsEmpty()) break;
+  }
+  return mask;
+}
+
+BucketValues ComputeStrategyMetricBsiFiltered(
+    const ExperimentBsiData& data, uint64_t strategy_id, uint64_t metric_id,
+    Date date_lo, Date date_hi,
+    const std::vector<DimensionPredicate>& preds, Date dim_date) {
+  CHECK_LE(date_lo, date_hi);
+  BucketValues out;
+  out.sums.assign(data.effective_buckets(), 0.0);
+  out.counts.assign(data.effective_buckets(), 0.0);
+  for (int seg = 0; seg < data.num_segments; ++seg) {
+    const SegmentBsiData& sbd = data.segments[seg];
+    const ExposeBsi* expose = sbd.FindExpose(strategy_id);
+    if (expose == nullptr) continue;
+    const RoaringBitmap dim_mask = DimensionFilterMask(sbd, preds, dim_date);
+    if (dim_mask.IsEmpty()) continue;
+    for (Date date = date_lo; date <= date_hi; ++date) {
+      const MetricBsi* metric = sbd.FindMetric(metric_id, date);
+      if (metric == nullptr) continue;
+      RoaringBitmap mask = expose->ExposedOnOrBefore(date);
+      mask.AndInPlace(dim_mask);
+      if (mask.IsEmpty()) continue;
+      if (data.bucket_equals_segment) {
+        out.sums[seg] += static_cast<double>(metric->value.SumUnderMask(mask));
+      } else {
+        const std::vector<uint64_t> sums = GroupSumByBucket(
+            metric->value, expose->bucket, data.num_buckets, mask);
+        for (int b = 0; b < data.num_buckets; ++b) {
+          out.sums[b] += static_cast<double>(sums[b]);
+        }
+      }
+    }
+    RoaringBitmap count_mask = expose->ExposedOnOrBefore(date_hi);
+    count_mask.AndInPlace(dim_mask);
+    if (data.bucket_equals_segment) {
+      out.counts[seg] += static_cast<double>(count_mask.Cardinality());
+    } else {
+      const std::vector<uint64_t> counts =
+          GroupCountByBucket(expose->bucket, data.num_buckets, count_mask);
+      for (int b = 0; b < data.num_buckets; ++b) {
+        out.counts[b] += static_cast<double>(counts[b]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DimensionBreakdownEntry> ComputeDimensionBreakdown(
+    const ExperimentBsiData& data, uint64_t control_id, uint64_t treatment_id,
+    uint64_t metric_id, Date date_lo, Date date_hi, uint32_t dimension_id,
+    const std::vector<uint64_t>& dim_values, Date dim_date) {
+  std::vector<DimensionBreakdownEntry> out;
+  out.reserve(dim_values.size());
+  for (uint64_t value : dim_values) {
+    const std::vector<DimensionPredicate> preds = {
+        {dimension_id, DimensionPredicate::Op::kEq, value}};
+    const BucketValues treat = ComputeStrategyMetricBsiFiltered(
+        data, treatment_id, metric_id, date_lo, date_hi, preds, dim_date);
+    const BucketValues control = ComputeStrategyMetricBsiFiltered(
+        data, control_id, metric_id, date_lo, date_hi, preds, dim_date);
+    out.push_back(DimensionBreakdownEntry{
+        value, CompareStrategies(metric_id, treatment_id, treat, control_id,
+                                 control)});
+  }
+  return out;
+}
+
+std::vector<ScorecardEntry> ComputeDailyBreakdown(
+    const ExperimentBsiData& data, uint64_t control_id, uint64_t treatment_id,
+    uint64_t metric_id, Date date_lo, Date date_hi) {
+  std::vector<ScorecardEntry> out;
+  out.reserve(date_hi - date_lo + 1);
+  for (Date date = date_lo; date <= date_hi; ++date) {
+    const BucketValues treat =
+        ComputeStrategyMetricBsi(data, treatment_id, metric_id, date, date);
+    const BucketValues control =
+        ComputeStrategyMetricBsi(data, control_id, metric_id, date, date);
+    out.push_back(
+        CompareStrategies(metric_id, treatment_id, treat, control_id,
+                          control));
+  }
+  return out;
+}
+
+}  // namespace expbsi

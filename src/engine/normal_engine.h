@@ -1,0 +1,94 @@
+#ifndef EXPBSI_ENGINE_NORMAL_ENGINE_H_
+#define EXPBSI_ENGINE_NORMAL_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "expdata/generator.h"
+#include "roaring/roaring_bitmap.h"
+#include "stats/bucket_stats.h"
+
+namespace expbsi {
+
+// The two "normal format" baselines the paper compares against (§6.2, §6.3).
+// They compute exactly the same bucket values as the BSI engine -- the
+// integration tests assert bit-for-bit equality -- just the way the
+// pre-BSI production system did.
+
+// Baseline 1 (pre-compute, §6.2): Spark-SQL style. Per segment, hash-join
+// the expose rows of `strategy_id` with the metric rows of `metric_id` on
+// analysis-unit-id, filter to rows dated on/after the unit's first-expose
+// date, and aggregate sums per bucket. Counts are the units exposed by
+// date_hi.
+BucketValues ComputeStrategyMetricNormal(const Dataset& dataset,
+                                         uint64_t strategy_id,
+                                         uint64_t metric_id, Date date_lo,
+                                         Date date_hi);
+
+// Partition index over the normal-format rows: rows grouped by
+// (strategy, segment) and (metric, segment), the layout a Spark job reads
+// when it prunes partitions. Build once; the per-pair baseline then only
+// touches the rows it actually needs (matching the paper's job inputs,
+// rather than rescanning the whole log per pair).
+class NormalDataIndex {
+ public:
+  static NormalDataIndex Build(const Dataset& dataset);
+
+  // Rows for (strategy_id, segment) / (metric_id, segment); nullptr if none.
+  const std::vector<ExposeRow>* ExposeRows(uint64_t strategy_id,
+                                           int segment) const;
+  const std::vector<MetricRow>* MetricRows(uint64_t metric_id,
+                                           int segment) const;
+
+ private:
+  std::map<std::pair<uint64_t, int>, std::vector<ExposeRow>> expose_;
+  std::map<std::pair<uint64_t, int>, std::vector<MetricRow>> metrics_;
+};
+
+// Baseline 1 served from the partition index (same results, Spark-like
+// partition pruning).
+BucketValues ComputeStrategyMetricNormalIndexed(const Dataset& dataset,
+                                                const NormalDataIndex& index,
+                                                uint64_t strategy_id,
+                                                uint64_t metric_id,
+                                                Date date_lo, Date date_hi);
+
+// Baseline 2 (ad-hoc, §6.3): ClickHouse style with per-day expose bitmaps.
+// "Join is slow in Clickhouse": instead of joining, cache one bitmap of
+// exposed user-ids per (segment, day) and filter the metric-log scan
+// through it.
+class ExposeBitmapCache {
+ public:
+  // Builds bitmaps for `strategy_id` covering days [date_lo, date_hi].
+  static ExposeBitmapCache Build(const Dataset& dataset, uint64_t strategy_id,
+                                 Date date_lo, Date date_hi);
+
+  // Exposed unit-ids of `segment` as of `date`.
+  const RoaringBitmap& For(int segment, Date date) const;
+
+  Date date_lo() const { return date_lo_; }
+  Date date_hi() const { return date_hi_; }
+
+  // Total heap bytes of the cached bitmaps (memory the baseline must pin).
+  size_t SizeInBytes() const;
+
+ private:
+  Date date_lo_ = 0;
+  Date date_hi_ = 0;
+  int num_days_ = 0;
+  // bitmaps_[segment * num_days_ + day_index]
+  std::vector<RoaringBitmap> bitmaps_;
+};
+
+// The bitmap-filtered scan itself. Only defined for the common case where
+// buckets coincide with segments (the ad-hoc scenario of §6.3).
+BucketValues ComputeStrategyMetricExposeBitmap(const Dataset& dataset,
+                                               const ExposeBitmapCache& cache,
+                                               uint64_t metric_id,
+                                               Date date_lo, Date date_hi);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_ENGINE_NORMAL_ENGINE_H_

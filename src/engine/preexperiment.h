@@ -1,0 +1,70 @@
+#ifndef EXPBSI_ENGINE_PREEXPERIMENT_H_
+#define EXPBSI_ENGINE_PREEXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "stats/cuped.h"
+#include "storage/preagg_tree.h"
+
+namespace expbsi {
+
+// Pre-experiment computation (§4.3): joins the expose log with metric data
+// from BEFORE the experiment start to build the CUPED covariate. The shape
+// is the scorecard computation with two changes: the expose filter is
+// "exposed by as_of_date" (not per-day), and C days of metric log are folded
+// with sumBSI first -- which the pre-aggregate tree accelerates.
+
+// Per-bucket pre-period sums/counts for `strategy_id`: metric summed over
+// [expt_start - lookback_days, expt_start - 1] for every unit exposed by
+// `as_of_date`. Folds the days linearly with sumBSI.
+BucketValues ComputePreExperimentBsi(const ExperimentBsiData& data,
+                                     uint64_t strategy_id, uint64_t metric_id,
+                                     Date expt_start, int lookback_days,
+                                     Date as_of_date);
+
+// Pre-aggregate index: one sumBSI tree per segment over the metric's days
+// [first_date, last_date]. Build once, query any sub-range of days with
+// O(log C) merges (Fig. 6).
+struct PreAggIndex {
+  uint64_t metric_id = 0;
+  Date first_date = 0;
+  Date last_date = 0;
+  std::vector<PreAggTree> per_segment;
+};
+
+PreAggIndex BuildPreAggIndex(const ExperimentBsiData& data, uint64_t metric_id,
+                             Date first_date, Date last_date);
+
+// Same result as ComputePreExperimentBsi but served from the tree.
+BucketValues ComputePreExperimentWithTree(const ExperimentBsiData& data,
+                                          const PreAggIndex& index,
+                                          uint64_t strategy_id,
+                                          Date expt_start, int lookback_days,
+                                          Date as_of_date);
+
+// CUPED-adjusted scorecard line: the raw comparison plus the
+// variance-reduced one, using a pooled theta across both arms.
+struct CupedScorecardEntry {
+  ScorecardEntry raw;
+  double theta = 0.0;
+  MetricEstimate treatment_adjusted;
+  MetricEstimate control_adjusted;
+  TTestResult adjusted_ttest;
+  double treatment_variance_reduction = 0.0;
+  double control_variance_reduction = 0.0;
+};
+
+CupedScorecardEntry CompareWithCuped(uint64_t metric_id,
+                                     uint64_t treatment_id,
+                                     const BucketValues& treatment_y,
+                                     const BucketValues& treatment_x,
+                                     uint64_t control_id,
+                                     const BucketValues& control_y,
+                                     const BucketValues& control_x);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_ENGINE_PREEXPERIMENT_H_

@@ -1,0 +1,249 @@
+#include "engine/scorecard.h"
+
+#include "bsi/bsi_group_by.h"
+#include "common/check.h"
+
+namespace expbsi {
+namespace {
+
+// Adds one segment-day's contribution to `out`.
+void AccumulateSegmentDay(const ExperimentBsiData& data, int segment,
+                          const ExposeBsi& expose, const MetricBsi& metric,
+                          Date date, BucketValues* out) {
+  const RoaringBitmap mask = expose.ExposedOnOrBefore(date);
+  if (mask.IsEmpty()) return;
+  if (data.bucket_equals_segment) {
+    out->sums[segment] +=
+        static_cast<double>(metric.value.SumUnderMask(mask));
+  } else {
+    const std::vector<uint64_t> sums = GroupSumByBucket(
+        metric.value, expose.bucket, data.num_buckets, mask);
+    for (int b = 0; b < data.num_buckets; ++b) {
+      out->sums[b] += static_cast<double>(sums[b]);
+    }
+  }
+}
+
+// Adds the exposed-unit counts as of `date` (the metric denominator).
+void AccumulateExposedCounts(const ExperimentBsiData& data, int segment,
+                             const ExposeBsi& expose, Date date,
+                             BucketValues* out) {
+  const RoaringBitmap mask = expose.ExposedOnOrBefore(date);
+  if (mask.IsEmpty()) return;
+  if (data.bucket_equals_segment) {
+    out->counts[segment] += static_cast<double>(mask.Cardinality());
+  } else {
+    const std::vector<uint64_t> counts =
+        GroupCountByBucket(expose.bucket, data.num_buckets, mask);
+    for (int b = 0; b < data.num_buckets; ++b) {
+      out->counts[b] += static_cast<double>(counts[b]);
+    }
+  }
+}
+
+BucketValues MakeEmptyBuckets(const ExperimentBsiData& data) {
+  BucketValues out;
+  out.sums.assign(data.effective_buckets(), 0.0);
+  out.counts.assign(data.effective_buckets(), 0.0);
+  return out;
+}
+
+}  // namespace
+
+BucketValues ComputeStrategyMetricBsi(const ExperimentBsiData& data,
+                                      uint64_t strategy_id,
+                                      uint64_t metric_id, Date date_lo,
+                                      Date date_hi) {
+  CHECK_LE(date_lo, date_hi);
+  BucketValues out = MakeEmptyBuckets(data);
+  for (int seg = 0; seg < data.num_segments; ++seg) {
+    const SegmentBsiData& sbd = data.segments[seg];
+    const ExposeBsi* expose = sbd.FindExpose(strategy_id);
+    if (expose == nullptr) continue;
+    for (Date date = date_lo; date <= date_hi; ++date) {
+      const MetricBsi* metric = sbd.FindMetric(metric_id, date);
+      if (metric == nullptr) continue;
+      AccumulateSegmentDay(data, seg, *expose, *metric, date, &out);
+    }
+    AccumulateExposedCounts(data, seg, *expose, date_hi, &out);
+  }
+  return out;
+}
+
+BucketValues ComputeStrategyRatioMetricBsi(const ExperimentBsiData& data,
+                                           uint64_t strategy_id,
+                                           uint64_t numerator_metric_id,
+                                           uint64_t denominator_metric_id,
+                                           Date date_lo, Date date_hi) {
+  BucketValues numerator = ComputeStrategyMetricBsi(
+      data, strategy_id, numerator_metric_id, date_lo, date_hi);
+  const BucketValues denominator = ComputeStrategyMetricBsi(
+      data, strategy_id, denominator_metric_id, date_lo, date_hi);
+  // The ratio's denominator is the other metric's sum, not the exposed
+  // count.
+  numerator.counts = denominator.sums;
+  return numerator;
+}
+
+BucketValues ComputeStrategyUniqueVisitorsBsi(const ExperimentBsiData& data,
+                                              uint64_t strategy_id,
+                                              uint64_t metric_id, Date date_lo,
+                                              Date date_hi) {
+  CHECK_LE(date_lo, date_hi);
+  BucketValues out = MakeEmptyBuckets(data);
+  for (int seg = 0; seg < data.num_segments; ++seg) {
+    const SegmentBsiData& sbd = data.segments[seg];
+    const ExposeBsi* expose = sbd.FindExpose(strategy_id);
+    if (expose == nullptr) continue;
+    // distinctPos across days: OR of per-day (value > 0 AND exposed) states.
+    RoaringBitmap visitors;
+    for (Date date = date_lo; date <= date_hi; ++date) {
+      const MetricBsi* metric = sbd.FindMetric(metric_id, date);
+      if (metric == nullptr) continue;
+      RoaringBitmap day_state = RoaringBitmap::And(
+          metric->value.existence(), expose->ExposedOnOrBefore(date));
+      visitors.OrInPlace(day_state);
+    }
+    if (data.bucket_equals_segment) {
+      out.sums[seg] += static_cast<double>(visitors.Cardinality());
+    } else {
+      const std::vector<uint64_t> counts =
+          GroupCountByBucket(expose->bucket, data.num_buckets, visitors);
+      for (int b = 0; b < data.num_buckets; ++b) {
+        out.sums[b] += static_cast<double>(counts[b]);
+      }
+    }
+    AccumulateExposedCounts(data, seg, *expose, date_hi, &out);
+  }
+  return out;
+}
+
+ExposeMaskCache ExposeMaskCache::Build(const ExperimentBsiData& data,
+                                       uint64_t strategy_id, Date date_lo,
+                                       Date date_hi) {
+  CHECK_LE(date_lo, date_hi);
+  ExposeMaskCache cache;
+  cache.strategy_id_ = strategy_id;
+  cache.date_lo_ = date_lo;
+  cache.date_hi_ = date_hi;
+  cache.num_days_ = static_cast<int>(date_hi - date_lo) + 1;
+  cache.masks_.resize(static_cast<size_t>(data.num_segments) *
+                      cache.num_days_);
+  for (int seg = 0; seg < data.num_segments; ++seg) {
+    const ExposeBsi* expose = data.segments[seg].FindExpose(strategy_id);
+    if (expose == nullptr) continue;
+    for (Date date = date_lo; date <= date_hi; ++date) {
+      cache.masks_[static_cast<size_t>(seg) * cache.num_days_ +
+                   (date - date_lo)] = expose->ExposedOnOrBefore(date);
+    }
+  }
+  return cache;
+}
+
+const RoaringBitmap& ExposeMaskCache::Mask(int segment, Date date) const {
+  DCHECK_GE(date, date_lo_);
+  DCHECK_LE(date, date_hi_);
+  return masks_[static_cast<size_t>(segment) * num_days_ +
+                (date - date_lo_)];
+}
+
+BucketValues ComputeStrategyMetricBsiCached(const ExperimentBsiData& data,
+                                            const ExposeMaskCache& cache,
+                                            uint64_t metric_id, Date date_lo,
+                                            Date date_hi) {
+  CHECK_LE(date_lo, date_hi);
+  CHECK_GE(date_lo, cache.date_lo());
+  CHECK_LE(date_hi, cache.date_hi());
+  BucketValues out = MakeEmptyBuckets(data);
+  for (int seg = 0; seg < data.num_segments; ++seg) {
+    const SegmentBsiData& sbd = data.segments[seg];
+    for (Date date = date_lo; date <= date_hi; ++date) {
+      const MetricBsi* metric = sbd.FindMetric(metric_id, date);
+      if (metric == nullptr) continue;
+      const RoaringBitmap& mask = cache.Mask(seg, date);
+      if (mask.IsEmpty()) continue;
+      if (data.bucket_equals_segment) {
+        out.sums[seg] += static_cast<double>(metric->value.SumUnderMask(mask));
+      } else {
+        const ExposeBsi* expose = sbd.FindExpose(cache.strategy_id());
+        const std::vector<uint64_t> sums = GroupSumByBucket(
+            metric->value, expose->bucket, data.num_buckets, mask);
+        for (int b = 0; b < data.num_buckets; ++b) {
+          out.sums[b] += static_cast<double>(sums[b]);
+        }
+      }
+    }
+    const RoaringBitmap& final_mask = cache.Mask(seg, date_hi);
+    if (final_mask.IsEmpty()) continue;
+    if (data.bucket_equals_segment) {
+      out.counts[seg] += static_cast<double>(final_mask.Cardinality());
+    } else {
+      const ExposeBsi* expose = sbd.FindExpose(cache.strategy_id());
+      const std::vector<uint64_t> counts =
+          GroupCountByBucket(expose->bucket, data.num_buckets, final_mask);
+      for (int b = 0; b < data.num_buckets; ++b) {
+        out.counts[b] += static_cast<double>(counts[b]);
+      }
+    }
+  }
+  return out;
+}
+
+ScorecardEntry CompareStrategies(uint64_t metric_id, uint64_t treatment_id,
+                                 const BucketValues& treatment_buckets,
+                                 uint64_t control_id,
+                                 const BucketValues& control_buckets) {
+  ScorecardEntry entry;
+  entry.metric_id = metric_id;
+  entry.treatment_id = treatment_id;
+  entry.control_id = control_id;
+  entry.treatment = EstimateRatio(treatment_buckets);
+  entry.control = EstimateRatio(control_buckets);
+  entry.ttest = WelchTTest(entry.treatment.mean, entry.treatment.var_of_mean,
+                           entry.treatment.df, entry.control.mean,
+                           entry.control.var_of_mean, entry.control.df);
+  return entry;
+}
+
+std::vector<std::vector<double>> ComputeMetricCovarianceMatrix(
+    const ExperimentBsiData& data, uint64_t strategy_id,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
+  const size_t n = metric_ids.size();
+  std::vector<BucketValues> buckets;
+  buckets.reserve(n);
+  for (uint64_t metric_id : metric_ids) {
+    buckets.push_back(ComputeStrategyMetricBsi(data, strategy_id, metric_id,
+                                               date_lo, date_hi));
+  }
+  std::vector<std::vector<double>> cov(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double c = EstimateRatioCovariance(buckets[i], buckets[j]);
+      cov[i][j] = c;
+      cov[j][i] = c;
+    }
+  }
+  return cov;
+}
+
+std::vector<ScorecardEntry> ComputeScorecard(
+    const ExperimentBsiData& data, uint64_t control_id,
+    const std::vector<uint64_t>& treatment_ids,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
+  std::vector<ScorecardEntry> entries;
+  entries.reserve(treatment_ids.size() * metric_ids.size());
+  for (uint64_t metric_id : metric_ids) {
+    const BucketValues control_buckets = ComputeStrategyMetricBsi(
+        data, control_id, metric_id, date_lo, date_hi);
+    for (uint64_t treatment_id : treatment_ids) {
+      const BucketValues treatment_buckets = ComputeStrategyMetricBsi(
+          data, treatment_id, metric_id, date_lo, date_hi);
+      entries.push_back(CompareStrategies(metric_id, treatment_id,
+                                          treatment_buckets, control_id,
+                                          control_buckets));
+    }
+  }
+  return entries;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,183 @@
+#include "expdata/bsi_builder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "expdata/segmenter.h"
+
+namespace expbsi {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::string_view bytes, size_t* cursor, uint32_t* v) {
+  if (bytes.size() - *cursor < sizeof(uint32_t)) return false;
+  std::memcpy(v, bytes.data() + *cursor, sizeof(uint32_t));
+  *cursor += sizeof(uint32_t);
+  return true;
+}
+
+bool ReadU64(std::string_view bytes, size_t* cursor, uint64_t* v) {
+  if (bytes.size() - *cursor < sizeof(uint64_t)) return false;
+  std::memcpy(v, bytes.data() + *cursor, sizeof(uint64_t));
+  *cursor += sizeof(uint64_t);
+  return true;
+}
+
+void PutBsi(std::string* out, const Bsi& bsi) {
+  std::string block = bsi.SerializeToString();
+  PutU32(out, static_cast<uint32_t>(block.size()));
+  out->append(block);
+}
+
+Result<Bsi> ReadBsi(std::string_view bytes, size_t* cursor) {
+  uint32_t len = 0;
+  if (!ReadU32(bytes, cursor, &len) || bytes.size() - *cursor < len) {
+    return Status::Corruption("bsi block truncated");
+  }
+  Result<Bsi> bsi = Bsi::Deserialize(bytes.substr(*cursor, len));
+  if (bsi.ok()) *cursor += len;
+  return bsi;
+}
+
+}  // namespace
+
+RoaringBitmap ExposeBsi::ExposedOnOrBefore(Date date) const {
+  if (date < min_expose_date) return RoaringBitmap();
+  return offset.RangeLe(static_cast<uint64_t>(date - min_expose_date) + 1);
+}
+
+RoaringBitmap ExposeBsi::ExposedBetween(Date from, Date to) const {
+  if (to < min_expose_date || from > to) return RoaringBitmap();
+  const uint64_t lo =
+      from <= min_expose_date
+          ? 1
+          : static_cast<uint64_t>(from - min_expose_date) + 1;
+  const uint64_t hi = static_cast<uint64_t>(to - min_expose_date) + 1;
+  return offset.RangeBetween(lo, hi);
+}
+
+size_t ExposeBsi::SizeInBytes() const {
+  return offset.SizeInBytes() + bucket.SizeInBytes();
+}
+
+void ExposeBsi::Serialize(std::string* out) const {
+  PutU64(out, strategy_id);
+  PutU32(out, min_expose_date);
+  PutBsi(out, offset);
+  PutBsi(out, bucket);
+}
+
+Result<ExposeBsi> ExposeBsi::Deserialize(std::string_view bytes) {
+  ExposeBsi out;
+  size_t cursor = 0;
+  uint32_t date = 0;
+  if (!ReadU64(bytes, &cursor, &out.strategy_id) ||
+      !ReadU32(bytes, &cursor, &date)) {
+    return Status::Corruption("expose bsi: truncated header");
+  }
+  out.min_expose_date = date;
+  Result<Bsi> offset = ReadBsi(bytes, &cursor);
+  if (!offset.ok()) return offset.status();
+  out.offset = std::move(offset).value();
+  Result<Bsi> bucket = ReadBsi(bytes, &cursor);
+  if (!bucket.ok()) return bucket.status();
+  out.bucket = std::move(bucket).value();
+  return out;
+}
+
+void MetricBsi::Serialize(std::string* out) const {
+  PutU32(out, date);
+  PutU64(out, metric_id);
+  PutBsi(out, value);
+}
+
+Result<MetricBsi> MetricBsi::Deserialize(std::string_view bytes) {
+  MetricBsi out;
+  size_t cursor = 0;
+  uint32_t date = 0;
+  if (!ReadU32(bytes, &cursor, &date) ||
+      !ReadU64(bytes, &cursor, &out.metric_id)) {
+    return Status::Corruption("metric bsi: truncated header");
+  }
+  out.date = date;
+  Result<Bsi> value = ReadBsi(bytes, &cursor);
+  if (!value.ok()) return value.status();
+  out.value = std::move(value).value();
+  return out;
+}
+
+ExposeBsi BuildExposeBsi(const std::vector<ExposeRow>& rows,
+                         PositionEncoder& encoder, int num_buckets) {
+  ExposeBsi out;
+  if (rows.empty()) return out;
+  out.strategy_id = rows.front().strategy_id;
+  Date min_date = std::numeric_limits<Date>::max();
+  for (const ExposeRow& row : rows) {
+    DCHECK_EQ(row.strategy_id, out.strategy_id);
+    min_date = std::min(min_date, row.first_expose_date);
+  }
+  out.min_expose_date = min_date;
+  std::vector<std::pair<uint32_t, uint64_t>> offset_pairs;
+  std::vector<std::pair<uint32_t, uint64_t>> bucket_pairs;
+  offset_pairs.reserve(rows.size());
+  if (num_buckets > 0) bucket_pairs.reserve(rows.size());
+  for (const ExposeRow& row : rows) {
+    const uint32_t pos = encoder.Encode(row.analysis_unit_id);
+    offset_pairs.emplace_back(
+        pos, static_cast<uint64_t>(row.first_expose_date - min_date) + 1);
+    if (num_buckets > 0) {
+      bucket_pairs.emplace_back(
+          pos, static_cast<uint64_t>(
+                   BucketOf(row.randomization_unit_id, num_buckets)) +
+                   1);
+    }
+  }
+  out.offset = Bsi::FromPairs(std::move(offset_pairs));
+  if (num_buckets > 0) out.bucket = Bsi::FromPairs(std::move(bucket_pairs));
+  return out;
+}
+
+MetricBsi BuildMetricBsi(const std::vector<MetricRow>& rows,
+                         PositionEncoder& encoder) {
+  MetricBsi out;
+  if (rows.empty()) return out;
+  out.date = rows.front().date;
+  out.metric_id = rows.front().metric_id;
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;
+  pairs.reserve(rows.size());
+  for (const MetricRow& row : rows) {
+    DCHECK_EQ(row.date, out.date);
+    DCHECK_EQ(row.metric_id, out.metric_id);
+    pairs.emplace_back(encoder.Encode(row.analysis_unit_id), row.value);
+  }
+  out.value = Bsi::FromPairs(std::move(pairs));
+  return out;
+}
+
+DimensionBsi BuildDimensionBsi(const std::vector<DimensionRow>& rows,
+                               PositionEncoder& encoder) {
+  DimensionBsi out;
+  if (rows.empty()) return out;
+  out.date = rows.front().date;
+  out.dimension_id = rows.front().dimension_id;
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;
+  pairs.reserve(rows.size());
+  for (const DimensionRow& row : rows) {
+    DCHECK_EQ(row.date, out.date);
+    DCHECK_EQ(row.dimension_id, out.dimension_id);
+    pairs.emplace_back(encoder.Encode(row.analysis_unit_id), row.value);
+  }
+  out.value = Bsi::FromPairs(std::move(pairs));
+  return out;
+}
+
+}  // namespace expbsi

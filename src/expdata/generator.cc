@@ -1,0 +1,381 @@
+#include "expdata/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "expdata/segmenter.h"
+
+namespace expbsi {
+namespace {
+
+// Deterministic uniform [0,1) from an id and a salt (order-independent,
+// unlike consuming an RNG stream).
+double HashToUnit(uint64_t id, uint64_t salt) {
+  return static_cast<double>(SaltedHash64(id, salt) >> 11) * 0x1.0p-53;
+}
+
+// Engagement multiplier for the user with engagement rank `rank` (0 = most
+// engaged) among n users: ((n / (rank+1))^e, normalized to mean ~1 so the
+// configured participation is the population average.
+double EngagementFactor(uint64_t rank, uint64_t n, double e) {
+  const double raw =
+      std::pow(static_cast<double>(n) / static_cast<double>(rank + 1), e);
+  return raw * (1.0 - e);  // mean of (n/x)^e over x in [1,n] is ~1/(1-e)
+}
+
+}  // namespace
+
+Dataset GenerateDataset(const DatasetConfig& config,
+                        std::vector<ExperimentConfig> experiments,
+                        std::vector<MetricConfig> metrics,
+                        std::vector<DimensionConfig> dimensions) {
+  CHECK_GT(config.num_segments, 0);
+  CHECK_GT(config.num_days, 0);
+  for (const ExperimentConfig& e : experiments) {
+    CHECK_EQ(e.strategy_ids.size(), e.arm_effects.size());
+    CHECK(!e.strategy_ids.empty());
+  }
+
+  Dataset ds;
+  ds.config = config;
+  ds.experiments = std::move(experiments);
+  ds.metrics = std::move(metrics);
+  ds.dimensions = std::move(dimensions);
+  ds.segments.resize(config.num_segments);
+  ds.users_by_engagement.resize(config.num_segments);
+
+  std::vector<ZipfDistribution> metric_value_dists;
+  metric_value_dists.reserve(ds.metrics.size());
+  for (const MetricConfig& m : ds.metrics) {
+    metric_value_dists.emplace_back(std::max<uint64_t>(1, m.value_range),
+                                    m.zipf_s);
+  }
+  std::vector<ZipfDistribution> dim_value_dists;
+  dim_value_dists.reserve(ds.dimensions.size());
+  for (const DimensionConfig& d : ds.dimensions) {
+    dim_value_dists.emplace_back(std::max<uint64_t>(1, d.cardinality),
+                                 d.zipf_s);
+  }
+
+  // Scratch per experiment: arm index and expose day (-1 = never exposed in
+  // the window).
+  std::vector<int> arm_of(ds.experiments.size());
+  std::vector<int> expose_day(ds.experiments.size());
+
+  // Unit ids: production user-ids are allocated roughly sequentially, so a
+  // platform's id space is dense. Draw a random distinct subset of
+  // [0, 4 * num_users) -- arbitrary-looking 32-bit ids (as in the paper's
+  // UInt32 columns) that keep the realistic clustering. The id permutation
+  // is independent of the engagement rank i.
+  Rng id_rng(Mix64(config.seed ^ 0x1d5a11beefULL));
+  const std::vector<uint64_t> uid_of =
+      SampleDistinct(id_rng, config.num_users * 4, config.num_users);
+
+  for (uint64_t i = 0; i < config.num_users; ++i) {
+    // i is the engagement rank.
+    const UnitId uid = uid_of[i];
+    const int seg = SegmentOf(uid, config.num_segments);
+    SegmentData& segment = ds.segments[seg];
+    ds.users_by_engagement[seg].push_back(uid);
+
+    Rng rng(Mix64(uid ^ config.seed));
+    const double engagement = EngagementFactor(i, config.num_users,
+                                               config.engagement_exponent);
+
+    // --- Experiment assignment and exposure --------------------------------
+    for (size_t x = 0; x < ds.experiments.size(); ++x) {
+      const ExperimentConfig& exp = ds.experiments[x];
+      arm_of[x] = -1;
+      expose_day[x] = -1;
+      if (HashToUnit(uid, exp.traffic_salt ^ 0x7a11f1cULL) >=
+          exp.traffic_fraction) {
+        continue;
+      }
+      arm_of[x] = StrategyArmOf(uid, exp.traffic_salt,
+                                static_cast<int>(exp.strategy_ids.size()));
+      // Highly engaged users show up (and get exposed) earlier.
+      const uint64_t g = rng.NextGeometric(
+          std::min(0.95, exp.expose_day_p * std::min(2.0, engagement)));
+      if (g < static_cast<uint64_t>(config.num_days)) {
+        expose_day[x] = static_cast<int>(g);
+        segment.expose.push_back(
+            ExposeRow{exp.strategy_ids[arm_of[x]], uid, uid,
+                      config.start_date + static_cast<Date>(g)});
+      }
+    }
+
+    // --- Per-user metric bases ---------------------------------------------
+    // A stable per-user level makes values correlate across days, which is
+    // what the CUPED pre-experiment adjustment exploits.
+    std::vector<uint64_t> base_value(ds.metrics.size());
+    for (size_t m = 0; m < ds.metrics.size(); ++m) {
+      base_value[m] = metric_value_dists[m].Sample(rng);
+    }
+    std::vector<uint64_t> dim_value(ds.dimensions.size());
+    for (size_t d = 0; d < ds.dimensions.size(); ++d) {
+      dim_value[d] = dim_value_dists[d].Sample(rng);
+    }
+
+    // --- Daily rows ---------------------------------------------------------
+    for (int day = 0; day < config.num_days; ++day) {
+      const Date date = config.start_date + static_cast<Date>(day);
+      // Treatment effect active for every experiment the user is already
+      // exposed to on this day.
+      double effect = 1.0;
+      for (size_t x = 0; x < ds.experiments.size(); ++x) {
+        if (expose_day[x] >= 0 && day >= expose_day[x]) {
+          effect *= ds.experiments[x].arm_effects[arm_of[x]];
+        }
+      }
+      for (size_t m = 0; m < ds.metrics.size(); ++m) {
+        const MetricConfig& metric = ds.metrics[m];
+        const double p =
+            std::min(1.0, metric.daily_participation * engagement);
+        if (!rng.NextBernoulli(p)) continue;
+        const double noise = 0.6 + 0.8 * rng.NextDouble();
+        const double raw =
+            static_cast<double>(base_value[m]) * noise * effect;
+        const uint64_t value = std::min<uint64_t>(
+            metric.value_range,
+            std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(raw))));
+        segment.metrics.push_back(
+            MetricRow{date, metric.metric_id, uid, value});
+      }
+      for (size_t d = 0; d < ds.dimensions.size(); ++d) {
+        // Attributes are mostly stable; 2% chance of change per day
+        // (client upgrades etc.).
+        if (rng.NextBernoulli(0.02)) {
+          dim_value[d] = dim_value_dists[d].Sample(rng);
+        }
+        segment.dimensions.push_back(DimensionRow{
+            date, ds.dimensions[d].dimension_id, uid, dim_value[d]});
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset GenerateSessionDataset(const DatasetConfig& config,
+                               std::vector<ExperimentConfig> experiments,
+                               std::vector<MetricConfig> metrics,
+                               double sessions_per_user_day) {
+  CHECK_GT(config.num_segments, 0);
+  CHECK_GT(config.num_days, 0);
+  CHECK_GT(sessions_per_user_day, 0.0);
+  for (const ExperimentConfig& e : experiments) {
+    CHECK_EQ(e.strategy_ids.size(), e.arm_effects.size());
+    CHECK(!e.strategy_ids.empty());
+  }
+
+  Dataset ds;
+  ds.config = config;
+  ds.config.bucket_equals_segment = false;  // session != user, always
+  ds.experiments = std::move(experiments);
+  ds.metrics = std::move(metrics);
+  ds.segments.resize(config.num_segments);
+  ds.users_by_engagement.resize(config.num_segments);
+
+  std::vector<ZipfDistribution> metric_value_dists;
+  metric_value_dists.reserve(ds.metrics.size());
+  for (const MetricConfig& m : ds.metrics) {
+    metric_value_dists.emplace_back(std::max<uint64_t>(1, m.value_range),
+                                    m.zipf_s);
+  }
+
+  Rng id_rng(Mix64(config.seed ^ 0x5e5510u));
+  const std::vector<uint64_t> uid_of =
+      SampleDistinct(id_rng, config.num_users * 4, config.num_users);
+
+  uint64_t next_session_id = 1;  // session ids are dense and sequential
+  std::vector<int> arm_of(ds.experiments.size());
+  std::vector<int> expose_day(ds.experiments.size());
+
+  for (uint64_t i = 0; i < config.num_users; ++i) {
+    const UnitId uid = uid_of[i];
+    Rng rng(Mix64(uid ^ config.seed ^ 0x5e55ULL));
+    const double engagement = EngagementFactor(i, config.num_users,
+                                               config.engagement_exponent);
+
+    for (size_t x = 0; x < ds.experiments.size(); ++x) {
+      const ExperimentConfig& exp = ds.experiments[x];
+      arm_of[x] = -1;
+      expose_day[x] = -1;
+      if (HashToUnit(uid, exp.traffic_salt ^ 0x7a11f1cULL) >=
+          exp.traffic_fraction) {
+        continue;
+      }
+      arm_of[x] = StrategyArmOf(uid, exp.traffic_salt,
+                                static_cast<int>(exp.strategy_ids.size()));
+      const uint64_t g = rng.NextGeometric(
+          std::min(0.95, exp.expose_day_p * std::min(2.0, engagement)));
+      if (g < static_cast<uint64_t>(config.num_days)) {
+        expose_day[x] = static_cast<int>(g);
+      }
+    }
+
+    // Sessions of one user share a per-user level (making them correlated,
+    // the situation bucketing-by-user exists to handle).
+    std::vector<uint64_t> base_value(ds.metrics.size());
+    for (size_t m = 0; m < ds.metrics.size(); ++m) {
+      base_value[m] = metric_value_dists[m].Sample(rng);
+    }
+
+    for (int day = 0; day < config.num_days; ++day) {
+      const Date date = config.start_date + static_cast<Date>(day);
+      double effect = 1.0;
+      bool exposed_today = false;
+      for (size_t x = 0; x < ds.experiments.size(); ++x) {
+        if (expose_day[x] >= 0 && day >= expose_day[x]) {
+          effect *= ds.experiments[x].arm_effects[arm_of[x]];
+          exposed_today = true;
+        }
+      }
+      // Session count per day scales with engagement.
+      const double mean_sessions =
+          sessions_per_user_day * std::min(3.0, engagement);
+      const uint64_t sessions = rng.NextGeometric(
+          1.0 / (1.0 + mean_sessions));  // geometric with this mean
+      for (uint64_t s = 0; s < sessions; ++s) {
+        const UnitId sid = next_session_id++;
+        const int seg = SegmentOf(sid, config.num_segments);
+        SegmentData& segment = ds.segments[seg];
+        ds.users_by_engagement[seg].push_back(sid);
+        if (exposed_today) {
+          for (size_t x = 0; x < ds.experiments.size(); ++x) {
+            if (expose_day[x] >= 0 && day >= expose_day[x]) {
+              segment.expose.push_back(
+                  ExposeRow{ds.experiments[x].strategy_ids[arm_of[x]], sid,
+                            uid, date});
+            }
+          }
+        }
+        for (size_t m = 0; m < ds.metrics.size(); ++m) {
+          const MetricConfig& metric = ds.metrics[m];
+          if (!rng.NextBernoulli(metric.daily_participation)) continue;
+          const double noise = 0.6 + 0.8 * rng.NextDouble();
+          const double raw =
+              static_cast<double>(base_value[m]) * noise * effect;
+          const uint64_t value = std::min<uint64_t>(
+              metric.value_range,
+              std::max<uint64_t>(1,
+                                 static_cast<uint64_t>(std::llround(raw))));
+          segment.metrics.push_back(
+              MetricRow{date, metric.metric_id, sid, value});
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+namespace {
+
+// One histogram bucket of value-range cardinalities: `fraction` of metrics
+// get a range drawn log-uniformly from (lo, hi].
+struct RangeBucket {
+  double fraction;
+  uint64_t lo;
+  uint64_t hi;
+};
+
+std::vector<MetricConfig> MakePopulation(int n, uint64_t first_metric_id,
+                                         uint64_t seed,
+                                         const std::vector<RangeBucket>& hist) {
+  std::vector<MetricConfig> out;
+  out.reserve(n);
+  Rng rng(seed);
+  // Largest-remainder apportionment of n metrics over the buckets.
+  std::vector<int> counts(hist.size(), 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  int assigned = 0;
+  for (size_t b = 0; b < hist.size(); ++b) {
+    const double exact = hist[b].fraction * n;
+    counts[b] = static_cast<int>(exact);
+    assigned += counts[b];
+    remainders.emplace_back(exact - counts[b], b);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (int k = 0; k < n - assigned; ++k) {
+    counts[remainders[k % remainders.size()].second]++;
+  }
+  uint64_t metric_id = first_metric_id;
+  for (size_t b = 0; b < hist.size(); ++b) {
+    for (int k = 0; k < counts[b]; ++k) {
+      const double log_lo = std::log(static_cast<double>(hist[b].lo) + 1.0);
+      const double log_hi = std::log(static_cast<double>(hist[b].hi));
+      const uint64_t range = std::max<uint64_t>(
+          hist[b].lo + 1,
+          static_cast<uint64_t>(
+              std::exp(log_lo + rng.NextDouble() * (log_hi - log_lo))));
+      MetricConfig m;
+      m.metric_id = metric_id++;
+      m.value_range = std::min(range, hist[b].hi);
+      m.zipf_s = 1.1 + 0.6 * rng.NextDouble();
+      // Wider-range metrics tend to be logged by fewer users per day.
+      m.daily_participation =
+          std::max(0.02, 0.5 / std::sqrt(1.0 + std::log10(
+                                                    static_cast<double>(
+                                                        m.value_range) +
+                                                    1.0)));
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MetricConfig> MakeCoreMetricPopulation(int n,
+                                                   uint64_t first_metric_id,
+                                                   uint64_t seed) {
+  // Table 3 proportions (105 core metrics).
+  const std::vector<RangeBucket> hist = {
+      {33.0 / 105, 0, 10},          {4.0 / 105, 10, 100},
+      {26.0 / 105, 100, 1000},      {18.0 / 105, 1000, 10000},
+      {12.0 / 105, 10000, 100000},  {5.0 / 105, 100000, 1000000},
+      {5.0 / 105, 1000000, 10000000},
+      {2.0 / 105, 10000000, 100000000},
+  };
+  return MakePopulation(n, first_metric_id, seed, hist);
+}
+
+std::vector<MetricConfig> MakeFleetMetricPopulation(int n,
+                                                    uint64_t first_metric_id,
+                                                    uint64_t seed) {
+  // Figure 4 shape: 3979 of 5890 metrics (67.5%) have range <= 100, with a
+  // long tail up to 10^8.
+  const std::vector<RangeBucket> hist = {
+      {0.440, 0, 10},        {0.235, 10, 100},
+      {0.150, 100, 1000},    {0.080, 1000, 10000},
+      {0.050, 10000, 100000}, {0.025, 100000, 1000000},
+      {0.015, 1000000, 10000000},
+      {0.005, 10000000, 100000000},
+  };
+  return MakePopulation(n, first_metric_id, seed, hist);
+}
+
+std::vector<MetricConfig> MakeTypicalMetricsABC() {
+  // Table 5. Row counts in the paper are 316M (A), 34M (B), 510M (C) over
+  // the same user base; participation ratios below mirror those densities.
+  MetricConfig a;
+  a.metric_id = 9001;
+  a.value_range = 1;
+  a.zipf_s = 1.0;
+  a.daily_participation = 0.62;
+  MetricConfig b;
+  b.metric_id = 9002;
+  b.value_range = 50;
+  b.zipf_s = 1.2;
+  b.daily_participation = 0.067;
+  MetricConfig c;
+  c.metric_id = 9003;
+  c.value_range = 21600;
+  c.zipf_s = 1.4;
+  c.daily_participation = 1.0;
+  return {a, b, c};
+}
+
+}  // namespace expbsi

@@ -1,0 +1,33 @@
+#include "expdata/position_encoder.h"
+
+#include "common/check.h"
+
+namespace expbsi {
+
+uint32_t PositionEncoder::Encode(UnitId id) {
+  auto [it, inserted] =
+      forward_.try_emplace(id, static_cast<uint32_t>(reverse_.size()));
+  if (inserted) reverse_.push_back(id);
+  return it->second;
+}
+
+std::optional<uint32_t> PositionEncoder::Lookup(UnitId id) const {
+  auto it = forward_.find(id);
+  if (it == forward_.end()) return std::nullopt;
+  return it->second;
+}
+
+UnitId PositionEncoder::Decode(uint32_t pos) const {
+  CHECK_LT(pos, reverse_.size());
+  return reverse_[pos];
+}
+
+void PositionEncoder::PreassignRanked(const std::vector<UnitId>& ids_by_rank) {
+  CHECK_EQ(reverse_.size(), 0u);
+  forward_.reserve(ids_by_rank.size());
+  reverse_.reserve(ids_by_rank.size());
+  for (UnitId id : ids_by_rank) Encode(id);
+  CHECK_EQ(reverse_.size(), ids_by_rank.size());  // ranked ids must be unique
+}
+
+}  // namespace expbsi

@@ -1,0 +1,47 @@
+#ifndef EXPBSI_EXPDATA_POSITION_ENCODER_H_
+#define EXPBSI_EXPDATA_POSITION_ENCODER_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "expdata/schema.h"
+
+namespace expbsi {
+
+// Position encoding (§3.4.1): maps each analysis-unit-id of one segment to a
+// dense position 0, 1, 2, ... assigned in first-seen order. All BSIs of a
+// segment share one encoder, which is what makes them join-free: the value of
+// the same analysis unit lives at the same position in every BSI (§4.1.1).
+//
+// The paper prefers encoding high-engagement users to small positions so the
+// roaring containers stay dense; achieve that by calling Encode() over units
+// in engagement order before ingesting data (see PreassignRanked()).
+class PositionEncoder {
+ public:
+  PositionEncoder() = default;
+
+  // Returns the position for `id`, assigning the next free one if new.
+  uint32_t Encode(UnitId id);
+
+  // Position for `id` if already assigned.
+  std::optional<uint32_t> Lookup(UnitId id) const;
+
+  // The unit at `pos`; pos must have been assigned.
+  UnitId Decode(uint32_t pos) const;
+
+  // Assigns positions 0..n-1 to `ids_by_rank` in order (highest engagement
+  // first). Must be called on an empty encoder.
+  void PreassignRanked(const std::vector<UnitId>& ids_by_rank);
+
+  uint32_t size() const { return static_cast<uint32_t>(reverse_.size()); }
+
+ private:
+  std::unordered_map<UnitId, uint32_t> forward_;
+  std::vector<UnitId> reverse_;
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_EXPDATA_POSITION_ENCODER_H_

@@ -1,0 +1,63 @@
+#include "expdata/raw_log.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace expbsi {
+
+std::vector<ExposeRow> AggregateRawExposeEvents(
+    std::vector<RawExposeEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const RawExposeEvent& a, const RawExposeEvent& b) {
+              if (a.strategy_id != b.strategy_id) {
+                return a.strategy_id < b.strategy_id;
+              }
+              if (a.analysis_unit_id != b.analysis_unit_id) {
+                return a.analysis_unit_id < b.analysis_unit_id;
+              }
+              return a.date < b.date;
+            });
+  std::vector<ExposeRow> rows;
+  for (const RawExposeEvent& event : events) {
+    if (!rows.empty() && rows.back().strategy_id == event.strategy_id &&
+        rows.back().analysis_unit_id == event.analysis_unit_id) {
+      // Same unit: the first (minimum) date already won; later events must
+      // carry the same randomization unit.
+      CHECK_EQ(rows.back().randomization_unit_id,
+               event.randomization_unit_id);
+      continue;
+    }
+    rows.push_back(ExposeRow{event.strategy_id, event.analysis_unit_id,
+                             event.randomization_unit_id, event.date});
+  }
+  return rows;
+}
+
+std::vector<MetricRow> AggregateRawMetricEvents(
+    std::vector<RawMetricEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const RawMetricEvent& a, const RawMetricEvent& b) {
+              if (a.metric_id != b.metric_id) return a.metric_id < b.metric_id;
+              if (a.date != b.date) return a.date < b.date;
+              return a.analysis_unit_id < b.analysis_unit_id;
+            });
+  std::vector<MetricRow> rows;
+  for (const RawMetricEvent& event : events) {
+    if (!rows.empty() && rows.back().metric_id == event.metric_id &&
+        rows.back().date == event.date &&
+        rows.back().analysis_unit_id == event.analysis_unit_id) {
+      rows.back().value += event.value;
+      continue;
+    }
+    rows.push_back(MetricRow{event.date, event.metric_id,
+                             event.analysis_unit_id, event.value});
+  }
+  // Zero-sum rows carry no information under the zero-is-absent convention.
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [](const MetricRow& row) { return row.value == 0; }),
+             rows.end());
+  return rows;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,43 @@
+#ifndef EXPBSI_EXPDATA_SEGMENTER_H_
+#define EXPBSI_EXPDATA_SEGMENTER_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "expdata/schema.h"
+
+namespace expbsi {
+
+// Deterministic segmentation (§3.2): segment-id = HASH(analysis-unit-id) % N.
+// Segments are the unit of parallel computing and load balancing; all
+// operations on a segment's data are independent of other segments.
+inline int SegmentOf(UnitId analysis_unit_id, int num_segments) {
+  DCHECK_GT(num_segments, 0);
+  return static_cast<int>(SaltedHash64(analysis_unit_id, kSegmentHashSalt) %
+                          static_cast<uint64_t>(num_segments));
+}
+
+// Deterministic bucketing (§3.3): assigns randomization units to buckets,
+// independent of both segmentation and traffic randomization, so per-bucket
+// metric values form independent replicates for variance estimation.
+inline int BucketOf(UnitId randomization_unit_id, int num_buckets) {
+  DCHECK_GT(num_buckets, 0);
+  return static_cast<int>(SaltedHash64(randomization_unit_id,
+                                       kBucketHashSalt) %
+                          static_cast<uint64_t>(num_buckets));
+}
+
+// Deterministic traffic split (which strategy a unit sees), independent of
+// the two hashes above; `salt` identifies the experiment layer.
+inline int StrategyArmOf(UnitId randomization_unit_id, uint64_t experiment_salt,
+                         int num_arms) {
+  DCHECK_GT(num_arms, 0);
+  return static_cast<int>(SaltedHash64(randomization_unit_id,
+                                       experiment_salt) %
+                          static_cast<uint64_t>(num_arms));
+}
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_EXPDATA_SEGMENTER_H_

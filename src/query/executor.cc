@@ -1,0 +1,308 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "bsi/bsi_aggregate.h"
+#include "bsi/bsi_group_by.h"
+#include "query/parser.h"
+
+namespace expbsi {
+namespace {
+
+RoaringBitmap ApplyRange(const Bsi& bsi, CompareOp op, uint64_t k) {
+  switch (op) {
+    case CompareOp::kEq:
+      return bsi.RangeEq(k);
+    case CompareOp::kNe:
+      return bsi.RangeNe(k);
+    case CompareOp::kLt:
+      return bsi.RangeLt(k);
+    case CompareOp::kLe:
+      return bsi.RangeLe(k);
+    case CompareOp::kGt:
+      return bsi.RangeGt(k);
+    case CompareOp::kGe:
+      return bsi.RangeGe(k);
+  }
+  return RoaringBitmap();
+}
+
+// Execution state of one (segment, scan-day) cell. Expose sources have a
+// single cell per segment (the expose log is not dated).
+struct SegmentScan {
+  const Bsi* source = nullptr;   // value BSI (metric) or offset BSI (expose)
+  RoaringBitmap mask;            // positions passing all predicates
+  const Bsi* bucket = nullptr;   // bucket BSI when grouping by bucket
+};
+
+Status Validate(const ExperimentBsiData& data, const Query& query) {
+  for (const QueryPredicate& pred : query.predicates) {
+    if (pred.kind == QueryPredicate::Kind::kOffset &&
+        query.source != Query::Source::kExpose) {
+      return Status::InvalidArgument(
+          "offset predicates require an expose(...) source");
+    }
+  }
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  if (query.group_by_bucket) {
+    for (const QueryAggregate& agg : query.aggregates) {
+      if (agg.func != QueryAggregate::Func::kSum &&
+          agg.func != QueryAggregate::Func::kCount &&
+          agg.func != QueryAggregate::Func::kAvg) {
+        return Status::InvalidArgument(
+            "GROUP BY BUCKET supports sum/count/avg only");
+      }
+    }
+    if (!data.bucket_equals_segment) {
+      int exposed_preds = 0;
+      for (const QueryPredicate& pred : query.predicates) {
+        exposed_preds +=
+            pred.kind == QueryPredicate::Kind::kExposed ? 1 : 0;
+      }
+      if (exposed_preds != 1) {
+        return Status::InvalidArgument(
+            "GROUP BY BUCKET with bucket != segment requires exactly one "
+            "exposed(...) predicate (the bucket ids live in that strategy's "
+            "expose log)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Builds the source pointer and combined predicate mask for one segment on
+// one scan day. Returns an empty-source scan when the segment has no data.
+SegmentScan BuildScan(const SegmentBsiData& seg, const Query& query,
+                      Date scan_date) {
+  SegmentScan scan;
+  if (query.source == Query::Source::kMetric) {
+    const MetricBsi* metric = seg.FindMetric(query.source_id, scan_date);
+    if (metric == nullptr) return scan;
+    scan.source = &metric->value;
+  } else if (query.source == Query::Source::kDimension) {
+    const DimensionBsi* dim = seg.FindDimension(
+        static_cast<uint32_t>(query.source_id), scan_date);
+    if (dim == nullptr) return scan;
+    scan.source = &dim->value;
+  } else {
+    const ExposeBsi* source_expose = seg.FindExpose(query.source_id);
+    if (source_expose == nullptr) return scan;
+    scan.source = &source_expose->offset;
+  }
+  scan.mask = scan.source->existence();
+  for (const QueryPredicate& pred : query.predicates) {
+    if (scan.mask.IsEmpty()) break;
+    switch (pred.kind) {
+      case QueryPredicate::Kind::kValue:
+        scan.mask.AndInPlace(ApplyRange(*scan.source, pred.op, pred.constant));
+        break;
+      case QueryPredicate::Kind::kOffset:
+        // Validated: only on expose sources, where source == offset.
+        scan.mask.AndInPlace(ApplyRange(*scan.source, pred.op, pred.constant));
+        break;
+      case QueryPredicate::Kind::kDimension: {
+        const DimensionBsi* dim =
+            seg.FindDimension(pred.dimension_id, pred.dim_date);
+        if (dim == nullptr) {
+          scan.mask.Clear();
+          break;
+        }
+        scan.mask.AndInPlace(ApplyRange(dim->value, pred.op, pred.constant));
+        break;
+      }
+      case QueryPredicate::Kind::kExposed: {
+        const ExposeBsi* expose = seg.FindExpose(pred.strategy_id);
+        if (expose == nullptr) {
+          scan.mask.Clear();
+          break;
+        }
+        const Date cutoff =
+            pred.per_scan_day ? scan_date : pred.on_or_before;
+        scan.mask.AndInPlace(expose->ExposedOnOrBefore(cutoff));
+        if (scan.bucket == nullptr && !expose->bucket.IsEmpty()) {
+          scan.bucket = &expose->bucket;
+        }
+        break;
+      }
+    }
+  }
+  return scan;
+}
+
+}  // namespace
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += columns[i];
+    out += i + 1 < columns.size() ? " | " : "\n";
+  }
+  char buf[64];
+  auto append_row = [&out, &buf](const std::vector<double>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.6g", r[i]);
+      out += buf;
+      out += i + 1 < r.size() ? " | " : "\n";
+    }
+  };
+  append_row(row);
+  for (const std::vector<double>& bucket_row : per_bucket) {
+    append_row(bucket_row);
+  }
+  return out;
+}
+
+Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
+                                 const Query& query) {
+  RETURN_IF_ERROR(Validate(data, query));
+
+  // Scan days: the dated source's window, or one undated cell for expose.
+  std::vector<Date> days;
+  if (query.source == Query::Source::kExpose) {
+    days.push_back(0);
+  } else {
+    for (Date d = query.date; d <= query.date_to; ++d) days.push_back(d);
+  }
+
+  // One scan per (segment, day); aggregates fold the partials.
+  std::vector<std::vector<SegmentScan>> scans(data.num_segments);
+  for (int seg = 0; seg < data.num_segments; ++seg) {
+    scans[seg].reserve(days.size());
+    for (Date d : days) {
+      scans[seg].push_back(BuildScan(data.segments[seg], query, d));
+    }
+  }
+
+  const bool needs_quantile = std::any_of(
+      query.aggregates.begin(), query.aggregates.end(),
+      [](const QueryAggregate& a) {
+        return a.func == QueryAggregate::Func::kMedian ||
+               a.func == QueryAggregate::Func::kQuantile;
+      });
+  std::vector<MaskedBsi> quantile_inputs;
+
+  double total_sum = 0.0;
+  double total_count = 0.0;
+  double total_uv = 0.0;
+  uint64_t global_min = std::numeric_limits<uint64_t>::max();
+  uint64_t global_max = 0;
+  bool any_value = false;
+  for (int seg = 0; seg < data.num_segments; ++seg) {
+    // uv: distinct positions with a value on ANY scan day (distinctPos).
+    RoaringBitmap distinct;
+    for (const SegmentScan& scan : scans[seg]) {
+      if (scan.source == nullptr || scan.mask.IsEmpty()) continue;
+      total_sum += static_cast<double>(scan.source->SumUnderMask(scan.mask));
+      total_count += static_cast<double>(scan.mask.Cardinality());
+      distinct.OrInPlace(scan.mask);
+      const Bsi filtered = Bsi::MultiplyByBinary(*scan.source, scan.mask);
+      if (!filtered.IsEmpty()) {
+        any_value = true;
+        global_min = std::min(global_min, filtered.MinValue());
+        global_max = std::max(global_max, filtered.MaxValue());
+      }
+      if (needs_quantile) {
+        quantile_inputs.push_back(MaskedBsi{scan.source, &scan.mask});
+      }
+    }
+    // Positions are segment-local, so distinct counts add across segments.
+    total_uv += static_cast<double>(distinct.Cardinality());
+  }
+
+  QueryResult result;
+  for (const QueryAggregate& agg : query.aggregates) {
+    result.columns.push_back(agg.label);
+    double value = 0.0;
+    switch (agg.func) {
+      case QueryAggregate::Func::kSum:
+        value = total_sum;
+        break;
+      case QueryAggregate::Func::kCount:
+        value = total_count;
+        break;
+      case QueryAggregate::Func::kAvg:
+        value = total_count > 0 ? total_sum / total_count : 0.0;
+        break;
+      case QueryAggregate::Func::kUv:
+        value = total_uv;
+        break;
+      case QueryAggregate::Func::kMin:
+        value = any_value ? static_cast<double>(global_min) : 0.0;
+        break;
+      case QueryAggregate::Func::kMax:
+        value = any_value ? static_cast<double>(global_max) : 0.0;
+        break;
+      case QueryAggregate::Func::kMedian:
+      case QueryAggregate::Func::kQuantile: {
+        const double q =
+            agg.func == QueryAggregate::Func::kMedian ? 0.5 : agg.quantile_q;
+        value = quantile_inputs.empty()
+                    ? 0.0
+                    : static_cast<double>(
+                          QuantileOverInputs(quantile_inputs, q));
+        break;
+      }
+    }
+    result.row.push_back(value);
+  }
+
+  if (query.group_by_bucket) {
+    const int buckets = data.effective_buckets();
+    std::vector<double> sums(buckets, 0.0), counts(buckets, 0.0);
+    for (int seg = 0; seg < data.num_segments; ++seg) {
+      for (const SegmentScan& scan : scans[seg]) {
+        if (scan.source == nullptr || scan.mask.IsEmpty()) continue;
+        if (data.bucket_equals_segment) {
+          sums[seg] +=
+              static_cast<double>(scan.source->SumUnderMask(scan.mask));
+          counts[seg] += static_cast<double>(scan.mask.Cardinality());
+        } else {
+          // Validated: scan.bucket comes from the single exposed()
+          // predicate.
+          if (scan.bucket == nullptr) continue;
+          const std::vector<uint64_t> s = GroupSumByBucket(
+              *scan.source, *scan.bucket, buckets, scan.mask);
+          const std::vector<uint64_t> c =
+              GroupCountByBucket(*scan.bucket, buckets, scan.mask);
+          for (int b = 0; b < buckets; ++b) {
+            sums[b] += static_cast<double>(s[b]);
+            counts[b] += static_cast<double>(c[b]);
+          }
+        }
+      }
+    }
+    result.per_bucket.assign(buckets, {});
+    for (int b = 0; b < buckets; ++b) {
+      for (const QueryAggregate& agg : query.aggregates) {
+        switch (agg.func) {
+          case QueryAggregate::Func::kSum:
+            result.per_bucket[b].push_back(sums[b]);
+            break;
+          case QueryAggregate::Func::kCount:
+            result.per_bucket[b].push_back(counts[b]);
+            break;
+          case QueryAggregate::Func::kAvg:
+            result.per_bucket[b].push_back(
+                counts[b] > 0 ? sums[b] / counts[b] : 0.0);
+            break;
+          default:
+            break;  // validated unreachable
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> RunQuery(const ExperimentBsiData& data,
+                             const std::string& text) {
+  Result<Query> query = ParseQuery(text);
+  if (!query.ok()) return query.status();
+  return ExecuteQuery(data, query.value());
+}
+
+}  // namespace expbsi

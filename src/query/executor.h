@@ -1,0 +1,32 @@
+#ifndef EXPBSI_QUERY_EXECUTOR_H_
+#define EXPBSI_QUERY_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/experiment_data.h"
+#include "query/ast.h"
+
+namespace expbsi {
+
+// Executes a parsed EQL query against the BSI data: per segment, the WHERE
+// predicates become bitmap masks (range searches / expose filters /
+// dimension filters), aggregates fold the source BSI under the combined
+// mask, and segment partials merge into the result. Median/quantile merge
+// exactly via the cross-input slice descent (non-decomposable aggregates,
+// §4.2), not by approximation.
+//
+// Validation errors (unknown constructs for the source, unsupported grouped
+// aggregates) return InvalidArgument. Missing data (unknown metric-id,
+// strategy without exposure in a segment) is not an error -- those segments
+// simply contribute nothing, as in the production system.
+Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
+                                 const Query& query);
+
+// Parses and executes in one step.
+Result<QueryResult> RunQuery(const ExperimentBsiData& data,
+                             const std::string& text);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_QUERY_EXECUTOR_H_

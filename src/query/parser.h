@@ -1,0 +1,17 @@
+#ifndef EXPBSI_QUERY_PARSER_H_
+#define EXPBSI_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace expbsi {
+
+// Parses an EQL query (grammar in query/ast.h) into its AST. Returns
+// InvalidArgument with a position-annotated message on syntax errors.
+Result<Query> ParseQuery(const std::string& text);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_QUERY_PARSER_H_

@@ -1,0 +1,152 @@
+#ifndef EXPBSI_ROARING_ROARING_BITMAP_H_
+#define EXPBSI_ROARING_ROARING_BITMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "roaring/container.h"
+
+namespace expbsi {
+
+// Compressed bitmap over 32-bit unsigned integers (Chambi et al., 2016),
+// built from scratch: a sorted list of (16-bit key, container) pairs where
+// each container stores the low 16 bits of the values sharing that key.
+//
+// This is the building block of the bit-sliced indexes in src/bsi: every BSI
+// slice is one RoaringBitmap, and BSI arithmetic reduces to the AND / OR /
+// XOR / ANDNOT operations below (the word-at-a-time bitmap kernels are
+// autovectorized by the compiler, standing in for the paper's SIMD JNI
+// kernels).
+class RoaringBitmap {
+ public:
+  RoaringBitmap() = default;
+
+  RoaringBitmap(const RoaringBitmap&) = default;
+  RoaringBitmap& operator=(const RoaringBitmap&) = default;
+  RoaringBitmap(RoaringBitmap&&) = default;
+  RoaringBitmap& operator=(RoaringBitmap&&) = default;
+
+  // Builds from strictly increasing values (fast bulk path).
+  static RoaringBitmap FromSorted(const std::vector<uint32_t>& values);
+
+  // Convenience builder from arbitrary (possibly duplicated) values.
+  static RoaringBitmap FromUnsorted(std::vector<uint32_t> values);
+
+  void Add(uint32_t value);
+  void Remove(uint32_t value);
+  bool Contains(uint32_t value) const;
+
+  // Adds every value in [begin, end).
+  void AddRange(uint64_t begin, uint64_t end);
+
+  uint64_t Cardinality() const;
+  bool IsEmpty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+  // Smallest / largest member; bitmap must be non-empty.
+  uint32_t Minimum() const;
+  uint32_t Maximum() const;
+
+  // Set algebra. The static forms return a new bitmap; the *InPlace forms
+  // mutate the receiver and avoid re-allocating untouched containers.
+  static RoaringBitmap And(const RoaringBitmap& a, const RoaringBitmap& b);
+  static RoaringBitmap Or(const RoaringBitmap& a, const RoaringBitmap& b);
+  static RoaringBitmap Xor(const RoaringBitmap& a, const RoaringBitmap& b);
+  static RoaringBitmap AndNot(const RoaringBitmap& a, const RoaringBitmap& b);
+
+  void AndInPlace(const RoaringBitmap& other);
+  void OrInPlace(const RoaringBitmap& other);
+  void XorInPlace(const RoaringBitmap& other);
+  void AndNotInPlace(const RoaringBitmap& other);
+
+  // |a AND b| without materializing the intersection.
+  static uint64_t AndCardinality(const RoaringBitmap& a,
+                                 const RoaringBitmap& b);
+
+  // True if the two bitmaps share at least one value.
+  static bool Intersects(const RoaringBitmap& a, const RoaringBitmap& b);
+
+  // Number of members <= value.
+  uint64_t Rank(uint32_t value) const;
+
+  // i-th smallest member (0-based); requires i < Cardinality().
+  uint32_t Select(uint64_t i) const;
+
+  bool Equals(const RoaringBitmap& other) const;
+  friend bool operator==(const RoaringBitmap& a, const RoaringBitmap& b) {
+    return a.Equals(b);
+  }
+
+  // Switches containers to run encoding where that is smaller.
+  void RunOptimize();
+
+  // Total heap bytes of container payloads (the "already compressed"
+  // in-memory footprint the paper's Table 4 contrasts with row storage).
+  size_t SizeInBytes() const;
+
+  // Serialization: [num_containers:u32] then per container
+  // [key:u16][container bytes].
+  void Serialize(std::string* out) const;
+  std::string SerializeToString() const;
+  static Result<RoaringBitmap> Deserialize(std::string_view bytes);
+
+  // Invokes fn(uint32_t) for every member in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      const uint32_t high = static_cast<uint32_t>(e.key) << 16;
+      e.container.ForEach(
+          [&fn, high](uint16_t low) { fn(high | low); });
+    }
+  }
+
+  std::vector<uint32_t> ToVector() const;
+
+  // Streaming cursor over the members in ascending order. Invalidated by
+  // any mutation of the bitmap.
+  class Iterator {
+   public:
+    explicit Iterator(const RoaringBitmap& bm);
+
+    bool HasValue() const { return has_value_; }
+    // Requires HasValue().
+    uint32_t value() const { return value_; }
+    // Advances to the next member.
+    void Next();
+    // Advances to the first member >= target (no-op if already there).
+    void SkipTo(uint32_t target);
+
+   private:
+    // Positions at the first member >= (key, low); low spans [0, 65536].
+    void Seek(uint16_t key, uint32_t low);
+
+    const RoaringBitmap* bm_;
+    size_t entry_ = 0;
+    bool has_value_ = false;
+    uint32_t value_ = 0;
+  };
+
+  // Internal statistics (exposed for benchmarks/ablations).
+  int NumContainers() const { return static_cast<int>(entries_.size()); }
+  int NumRunContainers() const;
+  int NumBitmapContainers() const;
+
+ private:
+  struct Entry {
+    uint16_t key;
+    Container container;
+  };
+
+  // Index of entry with `key`, or -1.
+  int FindKey(uint16_t key) const;
+  // Returns the container for `key`, creating it (empty) if absent.
+  Container* GetOrCreate(uint16_t key);
+
+  std::vector<Entry> entries_;  // sorted by key
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_ROARING_ROARING_BITMAP_H_

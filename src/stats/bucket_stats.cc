@@ -1,0 +1,107 @@
+#include "stats/bucket_stats.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace expbsi {
+
+double BucketValues::total_sum() const {
+  double total = 0.0;
+  for (double s : sums) total += s;
+  return total;
+}
+
+double BucketValues::total_count() const {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  return total;
+}
+
+void BucketValues::MergeFrom(const BucketValues& other) {
+  if (sums.empty()) {
+    sums.assign(other.sums.size(), 0.0);
+    counts.assign(other.counts.size(), 0.0);
+  }
+  CHECK_EQ(sums.size(), other.sums.size());
+  CHECK_EQ(counts.size(), other.counts.size());
+  for (size_t b = 0; b < sums.size(); ++b) {
+    sums[b] += other.sums[b];
+    counts[b] += other.counts[b];
+  }
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(n - 1);
+}
+
+double SampleCovariance(const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  CHECK_EQ(xs.size(), ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double ss = 0.0;
+  for (size_t i = 0; i < n; ++i) ss += (xs[i] - mx) * (ys[i] - my);
+  return ss / static_cast<double>(n - 1);
+}
+
+MetricEstimate EstimateRatio(const BucketValues& buckets) {
+  CHECK_EQ(buckets.sums.size(), buckets.counts.size());
+  MetricEstimate est;
+  const int b = buckets.num_buckets();
+  est.total_sum = buckets.total_sum();
+  est.total_count = buckets.total_count();
+  est.df = b > 1 ? b - 1 : 0;
+  if (est.total_count <= 0.0) return est;
+  est.mean = est.total_sum / est.total_count;
+  if (b < 2) return est;
+  const double nbar = est.total_count / b;
+  const double var_s = SampleVariance(buckets.sums);
+  const double var_n = SampleVariance(buckets.counts);
+  const double cov_sn = SampleCovariance(buckets.sums, buckets.counts);
+  const double r = est.mean;
+  est.var_of_mean = (var_s + r * r * var_n - 2.0 * r * cov_sn) /
+                    (static_cast<double>(b) * nbar * nbar);
+  est.var_of_mean = std::max(0.0, est.var_of_mean);
+  return est;
+}
+
+double EstimateRatioCovariance(const BucketValues& x, const BucketValues& y) {
+  CHECK_EQ(x.sums.size(), y.sums.size());
+  const int b = x.num_buckets();
+  if (b < 2) return 0.0;
+  const double nx = x.total_count();
+  const double ny = y.total_count();
+  if (nx <= 0.0 || ny <= 0.0) return 0.0;
+  const double rx = x.total_sum() / nx;
+  const double ry = y.total_sum() / ny;
+  const double nbar_x = nx / b;
+  const double nbar_y = ny / b;
+  // Delta method on (Sx - rx*Nx) and (Sy - ry*Ny), the linearized residuals.
+  double ss = 0.0;
+  const double mean_sx = Mean(x.sums), mean_nx = Mean(x.counts);
+  const double mean_sy = Mean(y.sums), mean_ny = Mean(y.counts);
+  for (int i = 0; i < b; ++i) {
+    const double ex = (x.sums[i] - mean_sx) - rx * (x.counts[i] - mean_nx);
+    const double ey = (y.sums[i] - mean_sy) - ry * (y.counts[i] - mean_ny);
+    ss += ex * ey;
+  }
+  const double cov_resid = ss / static_cast<double>(b - 1);
+  return cov_resid / (static_cast<double>(b) * nbar_x * nbar_y);
+}
+
+}  // namespace expbsi

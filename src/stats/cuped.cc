@@ -1,0 +1,91 @@
+#include "stats/cuped.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace expbsi {
+namespace {
+
+// Per-bucket ratio values y_b = S_b / N_b. Buckets with a zero denominator
+// in either series are skipped in the paired covariance computation.
+std::vector<double> BucketRatios(const BucketValues& v) {
+  std::vector<double> out(v.sums.size(), 0.0);
+  for (size_t b = 0; b < v.sums.size(); ++b) {
+    out[b] = v.counts[b] > 0.0 ? v.sums[b] / v.counts[b] : 0.0;
+  }
+  return out;
+}
+
+void PairedSeries(const BucketValues& y, const BucketValues& x,
+                  std::vector<double>* ys, std::vector<double>* xs) {
+  CHECK_EQ(y.sums.size(), x.sums.size());
+  ys->clear();
+  xs->clear();
+  for (size_t b = 0; b < y.sums.size(); ++b) {
+    if (y.counts[b] > 0.0 && x.counts[b] > 0.0) {
+      ys->push_back(y.sums[b] / y.counts[b]);
+      xs->push_back(x.sums[b] / x.counts[b]);
+    }
+  }
+}
+
+MetricEstimate ReplicateEstimate(const std::vector<double>& values) {
+  MetricEstimate est;
+  const int b = static_cast<int>(values.size());
+  est.mean = Mean(values);
+  est.df = b > 1 ? b - 1 : 0;
+  est.var_of_mean = b > 1 ? SampleVariance(values) / b : 0.0;
+  est.total_count = b;
+  est.total_sum = est.mean * b;
+  return est;
+}
+
+}  // namespace
+
+CupedResult ApplyCuped(const BucketValues& y, const BucketValues& x,
+                       double theta_override) {
+  CupedResult result;
+  std::vector<double> ys, xs;
+  PairedSeries(y, x, &ys, &xs);
+  if (ys.size() < 2) {
+    result.unadjusted = ReplicateEstimate(BucketRatios(y));
+    result.adjusted = result.unadjusted;
+    return result;
+  }
+  const double var_x = SampleVariance(xs);
+  const double cov_yx = SampleCovariance(ys, xs);
+  result.theta = theta_override >= 0.0
+                     ? theta_override
+                     : (var_x > 0.0 ? cov_yx / var_x : 0.0);
+  const double mean_x = Mean(xs);
+  std::vector<double> adjusted(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    adjusted[i] = ys[i] - result.theta * (xs[i] - mean_x);
+  }
+  result.unadjusted = ReplicateEstimate(ys);
+  result.adjusted = ReplicateEstimate(adjusted);
+  if (result.unadjusted.var_of_mean > 0.0) {
+    result.variance_reduction =
+        1.0 - result.adjusted.var_of_mean / result.unadjusted.var_of_mean;
+  }
+  return result;
+}
+
+double PooledCupedTheta(const std::vector<const BucketValues*>& ys,
+                        const std::vector<const BucketValues*>& xs) {
+  CHECK_EQ(ys.size(), xs.size());
+  double cov_total = 0.0;
+  double var_total = 0.0;
+  for (size_t arm = 0; arm < ys.size(); ++arm) {
+    std::vector<double> y_vals, x_vals;
+    PairedSeries(*ys[arm], *xs[arm], &y_vals, &x_vals);
+    if (y_vals.size() < 2) continue;
+    const double weight = static_cast<double>(y_vals.size() - 1);
+    cov_total += SampleCovariance(y_vals, x_vals) * weight;
+    var_total += SampleVariance(x_vals) * weight;
+  }
+  return var_total > 0.0 ? cov_total / var_total : 0.0;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,41 @@
+#ifndef EXPBSI_STATS_CUPED_H_
+#define EXPBSI_STATS_CUPED_H_
+
+#include "stats/bucket_stats.h"
+
+namespace expbsi {
+
+// CUPED variance reduction (Deng, Xu, Kohavi & Walker 2013; paper §4.3):
+// uses the same metric computed over the C days BEFORE the experiment start
+// as a covariate X to reduce the variance of the experiment metric Y:
+//
+//   Y_adj = Y - theta * (X - E[X]),  theta = Cov(Y, X) / Var(X).
+//
+// Here both Y and X are ratio metrics estimated from bucket replicates, so
+// theta and the adjusted variance come straight from the bucket-level
+// variance/covariance estimators of bucket_stats.h.
+struct CupedResult {
+  double theta = 0.0;
+  // Adjusted estimate: mean is centered so E[adjustment] = 0 within the arm;
+  // cross-arm differences of adjusted means remove the covariate noise.
+  MetricEstimate adjusted;
+  MetricEstimate unadjusted;
+  // 1 - Var_adj/Var_raw: fraction of variance removed (rho^2).
+  double variance_reduction = 0.0;
+};
+
+// y: experiment-period bucket values; x: pre-experiment bucket values over
+// the SAME buckets. `theta_override` < 0 means estimate theta from the
+// buckets (pass the pooled theta when adjusting multiple arms so the
+// adjustment is identical across arms, as CUPED requires).
+CupedResult ApplyCuped(const BucketValues& y, const BucketValues& x,
+                       double theta_override = -1.0);
+
+// Pooled theta from several arms' bucket values (e.g. treatment + control):
+// sums the covariances and variances across arms before taking the ratio.
+double PooledCupedTheta(const std::vector<const BucketValues*>& ys,
+                        const std::vector<const BucketValues*>& xs);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_STATS_CUPED_H_

@@ -1,0 +1,116 @@
+#include "stats/ttest.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace expbsi {
+namespace {
+
+// log Gamma via Lanczos approximation.
+double LogGamma(double x) {
+  static const double kCoeffs[6] = {76.18009172947146,  -86.50532032941677,
+                                    24.01409824083091,  -1.231739572450155,
+                                    0.1208650973866179e-2,
+                                    -0.5395239384953e-5};
+  double y = x;
+  double tmp = x + 5.5;
+  tmp -= (x + 0.5) * std::log(tmp);
+  double ser = 1.000000000190015;
+  for (double coeff : kCoeffs) ser += coeff / ++y;
+  return -tmp + std::log(2.5066282746310005 * ser / x);
+}
+
+// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 3.0e-12;
+  constexpr double kFpMin = 1.0e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  CHECK_GT(a, 0.0);
+  CHECK_GT(b, 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  CHECK_GT(df, 0.0);
+  const double x = df / (df + t * t);
+  const double p = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+TTestResult WelchTTest(double mean_treat, double var_of_mean_treat,
+                       double df_treat, double mean_control,
+                       double var_of_mean_control, double df_control) {
+  TTestResult r;
+  r.mean_diff = mean_treat - mean_control;
+  r.relative_diff =
+      mean_control != 0.0 ? r.mean_diff / mean_control : 0.0;
+  const double var_sum = var_of_mean_treat + var_of_mean_control;
+  r.std_error = std::sqrt(std::max(0.0, var_sum));
+  if (r.std_error <= 0.0) {
+    // Degenerate data (no variance): the difference is either exactly zero
+    // or trivially "significant"; report accordingly.
+    r.t_stat = 0.0;
+    r.df = df_treat + df_control;
+    r.p_value = r.mean_diff == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_stat = r.mean_diff / r.std_error;
+  // Welch-Satterthwaite degrees of freedom.
+  const double num = var_sum * var_sum;
+  double denom = 0.0;
+  if (df_treat > 0.0) {
+    denom += var_of_mean_treat * var_of_mean_treat / df_treat;
+  }
+  if (df_control > 0.0) {
+    denom += var_of_mean_control * var_of_mean_control / df_control;
+  }
+  r.df = denom > 0.0 ? num / denom : df_treat + df_control;
+  r.p_value = 2.0 * (1.0 - StudentTCdf(std::fabs(r.t_stat), r.df));
+  return r;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,35 @@
+#ifndef EXPBSI_STATS_TTEST_H_
+#define EXPBSI_STATS_TTEST_H_
+
+namespace expbsi {
+
+// Standard normal CDF.
+double NormalCdf(double x);
+
+// Regularized incomplete beta function I_x(a, b), a,b > 0, x in [0,1].
+// Continued-fraction evaluation (Lentz); the basis of the Student-t CDF.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+// Welch's two-sample t-test on two estimates, each given as a mean, the
+// variance OF THE MEAN (already divided by the replicate count), and the
+// replicate degrees of freedom. In this system the replicates are the 1024
+// statistical buckets (§3.3), so df is typically num_buckets - 1.
+struct TTestResult {
+  double mean_diff = 0.0;     // treatment - control
+  double relative_diff = 0.0; // mean_diff / control mean (0 if control is 0)
+  double std_error = 0.0;
+  double t_stat = 0.0;
+  double df = 0.0;            // Welch-Satterthwaite
+  double p_value = 1.0;       // two-sided
+};
+
+TTestResult WelchTTest(double mean_treat, double var_of_mean_treat,
+                       double df_treat, double mean_control,
+                       double var_of_mean_control, double df_control);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_STATS_TTEST_H_

@@ -1,0 +1,36 @@
+#ifndef EXPBSI_STORAGE_BLOCK_COMPRESSOR_H_
+#define EXPBSI_STORAGE_BLOCK_COMPRESSOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace expbsi {
+
+// LZ4-style byte compressor, built from scratch (no external codec is
+// available offline). Same design space as the LZ4 the paper's Table 4 uses:
+// greedy LZ77 with a hash table over 4-byte windows and a token format of
+// [literal-run | match] pairs. It is a fast byte-level codec -- exactly what
+// is needed to contrast "normal rows compress well" against "BSI bytes are
+// already compressed" (§3.5, Table 4).
+
+// Compresses `input`; output is the raw token stream (no header).
+std::string Lz4LikeCompress(std::string_view input);
+
+// Reverses Lz4LikeCompress; `original_size` must match the input size.
+Result<std::string> Lz4LikeDecompress(std::string_view compressed,
+                                      size_t original_size);
+
+// Framed helpers: prepend the original size so blocks are self-describing.
+std::string CompressBlock(std::string_view input);
+Result<std::string> DecompressBlock(std::string_view block);
+
+// Convenience for size accounting (Table 4): compressed byte count only.
+inline size_t CompressedSize(std::string_view input) {
+  return CompressBlock(input).size();
+}
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_STORAGE_BLOCK_COMPRESSOR_H_

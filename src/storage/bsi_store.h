@@ -1,0 +1,78 @@
+#ifndef EXPBSI_STORAGE_BSI_STORE_H_
+#define EXPBSI_STORAGE_BSI_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace expbsi {
+
+// What a stored blob represents.
+enum class BsiKind : uint8_t { kExpose = 0, kMetric = 1, kDimension = 2 };
+
+// Key of one BSI blob in the warehouse: (segment, kind, id, date), where id
+// is the strategy-id / metric-id / dimension-id and date is 0 for expose
+// blobs (an expose log is per strategy, not per date -- Table 2).
+struct BsiStoreKey {
+  uint16_t segment = 0;
+  BsiKind kind = BsiKind::kMetric;
+  uint64_t id = 0;
+  uint32_t date = 0;
+
+  friend bool operator==(const BsiStoreKey& a, const BsiStoreKey& b) {
+    return a.segment == b.segment && a.kind == b.kind && a.id == b.id &&
+           a.date == b.date;
+  }
+};
+
+struct BsiStoreKeyHash {
+  size_t operator()(const BsiStoreKey& k) const;
+};
+
+// In-memory stand-in for the "distributed data warehouse system" of Fig. 7:
+// a keyed blob store holding serialized BSI representations. The ad-hoc
+// cluster's cold tier reads from here (with simulated network accounting in
+// TieredStore); the pre-compute pipeline reads from here directly.
+class BsiStore {
+ public:
+  BsiStore() = default;
+
+  BsiStore(const BsiStore&) = delete;
+  BsiStore& operator=(const BsiStore&) = delete;
+  BsiStore(BsiStore&&) = default;
+  BsiStore& operator=(BsiStore&&) = default;
+
+  // Stores `bytes` under `key`, replacing any previous blob.
+  void Put(const BsiStoreKey& key, std::string bytes);
+
+  bool Contains(const BsiStoreKey& key) const;
+
+  // Returns a view of the stored blob (valid until the next Put).
+  Result<const std::string*> Get(const BsiStoreKey& key) const;
+
+  size_t NumBlobs() const { return blobs_.size(); }
+
+  // Total stored bytes (the BSI "original size" of Table 4).
+  size_t TotalBytes() const { return total_bytes_; }
+
+  // Persistence: the warehouse contents as one file of length-prefixed
+  // records. IO and format problems surface as Status.
+  Status SaveToFile(const std::string& path) const;
+  static Result<BsiStore> LoadFromFile(const std::string& path);
+
+  // Invokes fn(key, bytes) for every stored blob (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, bytes] : blobs_) fn(key, bytes);
+  }
+
+ private:
+  std::unordered_map<BsiStoreKey, std::string, BsiStoreKeyHash> blobs_;
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_STORAGE_BSI_STORE_H_

@@ -1,0 +1,109 @@
+#include "storage/column_store.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string_view>
+
+#include "common/check.h"
+#include "storage/block_compressor.h"
+
+namespace expbsi {
+namespace {
+
+template <typename T>
+size_t CompressedColumnBytes(const std::vector<T>& column) {
+  return CompressedSize(std::string_view(
+      reinterpret_cast<const char*>(column.data()),
+      column.size() * sizeof(T)));
+}
+
+template <typename T>
+void ApplyPermutation(std::vector<T>& column,
+                      const std::vector<uint32_t>& perm) {
+  std::vector<T> tmp(column.size());
+  for (size_t i = 0; i < perm.size(); ++i) tmp[i] = column[perm[i]];
+  column = std::move(tmp);
+}
+
+}  // namespace
+
+void NormalMetricTable::Append(uint16_t segment, const MetricRow& row) {
+  segment_.push_back(segment);
+  date_.push_back(row.date);
+  metric_id_.push_back(static_cast<uint32_t>(row.metric_id));
+  unit_id_.push_back(static_cast<uint32_t>(row.analysis_unit_id));
+  value_.push_back(static_cast<uint32_t>(row.value));
+}
+
+void NormalMetricTable::Reserve(size_t rows) {
+  segment_.reserve(rows);
+  date_.reserve(rows);
+  metric_id_.reserve(rows);
+  unit_id_.reserve(rows);
+  value_.reserve(rows);
+}
+
+void NormalMetricTable::SortForStorage() {
+  std::vector<uint32_t> perm(NumRows());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [this](uint32_t a, uint32_t b) {
+    if (segment_[a] != segment_[b]) return segment_[a] < segment_[b];
+    if (metric_id_[a] != metric_id_[b]) return metric_id_[a] < metric_id_[b];
+    if (date_[a] != date_[b]) return date_[a] < date_[b];
+    return unit_id_[a] < unit_id_[b];
+  });
+  ApplyPermutation(segment_, perm);
+  ApplyPermutation(date_, perm);
+  ApplyPermutation(metric_id_, perm);
+  ApplyPermutation(unit_id_, perm);
+  ApplyPermutation(value_, perm);
+}
+
+size_t NormalMetricTable::CompressedBytes() const {
+  return CompressedColumnBytes(segment_) + CompressedColumnBytes(date_) +
+         CompressedColumnBytes(metric_id_) + CompressedColumnBytes(unit_id_) +
+         CompressedColumnBytes(value_);
+}
+
+void NormalExposeTable::Append(uint16_t segment, uint16_t bucket,
+                               const ExposeRow& row) {
+  segment_.push_back(segment);
+  strategy_id_.push_back(static_cast<uint32_t>(row.strategy_id));
+  bucket_.push_back(bucket);
+  first_expose_date_.push_back(row.first_expose_date);
+  unit_id_.push_back(static_cast<uint32_t>(row.analysis_unit_id));
+}
+
+void NormalExposeTable::Reserve(size_t rows) {
+  segment_.reserve(rows);
+  strategy_id_.reserve(rows);
+  bucket_.reserve(rows);
+  first_expose_date_.reserve(rows);
+  unit_id_.reserve(rows);
+}
+
+void NormalExposeTable::SortForStorage() {
+  std::vector<uint32_t> perm(NumRows());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [this](uint32_t a, uint32_t b) {
+    if (segment_[a] != segment_[b]) return segment_[a] < segment_[b];
+    if (strategy_id_[a] != strategy_id_[b]) {
+      return strategy_id_[a] < strategy_id_[b];
+    }
+    return unit_id_[a] < unit_id_[b];
+  });
+  ApplyPermutation(segment_, perm);
+  ApplyPermutation(strategy_id_, perm);
+  ApplyPermutation(bucket_, perm);
+  ApplyPermutation(first_expose_date_, perm);
+  ApplyPermutation(unit_id_, perm);
+}
+
+size_t NormalExposeTable::CompressedBytes() const {
+  return CompressedColumnBytes(segment_) +
+         CompressedColumnBytes(strategy_id_) + CompressedColumnBytes(bucket_) +
+         CompressedColumnBytes(first_expose_date_) +
+         CompressedColumnBytes(unit_id_);
+}
+
+}  // namespace expbsi

@@ -1,0 +1,88 @@
+#ifndef EXPBSI_STORAGE_COLUMN_STORE_H_
+#define EXPBSI_STORAGE_COLUMN_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "expdata/schema.h"
+
+namespace expbsi {
+
+// Columnar storage of the "normal format" tables the paper benchmarks
+// against (§6.1): metric log rows as
+//   (segment-id UInt16, date UInt32, metric-id UInt32, user-id UInt32,
+//    value UInt32)
+// and expose log rows as
+//   (segment-id UInt16, strategy-id UInt32, bucket-id UInt16,
+//    first-expose-date UInt32) + the user-id needed for the join.
+//
+// These stores exist for two purposes: measuring the storage cost of the
+// normal representation (Table 4) and feeding the baseline engines
+// (src/engine/normal_engine).
+
+class NormalMetricTable {
+ public:
+  void Append(uint16_t segment, const MetricRow& row);
+  void Reserve(size_t rows);
+
+  size_t NumRows() const { return segment_.size(); }
+
+  // Sorts rows by (segment, metric, date, unit): the clustered order a
+  // ClickHouse-style primary key would give, which is what the paper's
+  // compressed sizes reflect.
+  void SortForStorage();
+
+  // Raw (uncompressed) byte size: 18 bytes per row.
+  size_t RawBytes() const { return NumRows() * 18; }
+
+  // Byte size after LZ4-style compression of each column.
+  size_t CompressedBytes() const;
+
+  // Column accessors for scans.
+  const std::vector<uint16_t>& segment() const { return segment_; }
+  const std::vector<uint32_t>& date() const { return date_; }
+  const std::vector<uint32_t>& metric_id() const { return metric_id_; }
+  const std::vector<uint32_t>& unit_id() const { return unit_id_; }
+  const std::vector<uint32_t>& value() const { return value_; }
+
+ private:
+  std::vector<uint16_t> segment_;
+  std::vector<uint32_t> date_;
+  std::vector<uint32_t> metric_id_;
+  std::vector<uint32_t> unit_id_;
+  std::vector<uint32_t> value_;
+};
+
+class NormalExposeTable {
+ public:
+  void Append(uint16_t segment, uint16_t bucket, const ExposeRow& row);
+  void Reserve(size_t rows);
+
+  size_t NumRows() const { return segment_.size(); }
+
+  void SortForStorage();
+
+  // 16 bytes per row (u16 + u32 + u16 + u32 + u32).
+  size_t RawBytes() const { return NumRows() * 16; }
+  size_t CompressedBytes() const;
+
+  const std::vector<uint16_t>& segment() const { return segment_; }
+  const std::vector<uint32_t>& strategy_id() const { return strategy_id_; }
+  const std::vector<uint16_t>& bucket() const { return bucket_; }
+  const std::vector<uint32_t>& first_expose_date() const {
+    return first_expose_date_;
+  }
+  const std::vector<uint32_t>& unit_id() const { return unit_id_; }
+
+ private:
+  std::vector<uint16_t> segment_;
+  std::vector<uint32_t> strategy_id_;
+  std::vector<uint16_t> bucket_;
+  std::vector<uint32_t> first_expose_date_;
+  std::vector<uint32_t> unit_id_;
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_STORAGE_COLUMN_STORE_H_

@@ -1,0 +1,57 @@
+#include "storage/preagg_tree.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace expbsi {
+
+PreAggTree::PreAggTree(std::vector<Bsi> leaves, MergeFn merge)
+    : num_leaves_(static_cast<int>(leaves.size())), merge_(std::move(merge)) {
+  CHECK_GT(num_leaves_, 0);
+  while (extent_ < num_leaves_) extent_ *= 2;
+  nodes_.assign(2 * extent_, Bsi());
+  for (int i = 0; i < num_leaves_; ++i) {
+    nodes_[extent_ + i] = std::move(leaves[i]);
+  }
+  for (int node = extent_ - 1; node >= 1; --node) {
+    nodes_[node] = merge_(nodes_[2 * node], nodes_[2 * node + 1]);
+  }
+}
+
+Bsi PreAggTree::Query(int lo, int hi, int* nodes_merged) const {
+  CHECK_GE(lo, 0);
+  CHECK_LE(lo, hi);
+  CHECK_LT(hi, num_leaves_);
+  if (nodes_merged != nullptr) *nodes_merged = 0;
+  return QueryRecursive(1, 0, extent_ - 1, lo, hi, nodes_merged);
+}
+
+Bsi PreAggTree::QueryRecursive(int node, int node_lo, int node_hi, int lo,
+                               int hi, int* nodes_merged) const {
+  if (hi < node_lo || node_hi < lo) return Bsi();
+  if (lo <= node_lo && node_hi <= hi) {
+    if (nodes_merged != nullptr) ++*nodes_merged;
+    return nodes_[node];
+  }
+  const int mid = (node_lo + node_hi) / 2;
+  Bsi left = QueryRecursive(2 * node, node_lo, mid, lo, hi, nodes_merged);
+  Bsi right =
+      QueryRecursive(2 * node + 1, mid + 1, node_hi, lo, hi, nodes_merged);
+  if (left.IsEmpty()) return right;
+  if (right.IsEmpty()) return left;
+  return merge_(left, right);
+}
+
+Bsi PreAggTree::QueryLinear(int lo, int hi) const {
+  CHECK_GE(lo, 0);
+  CHECK_LE(lo, hi);
+  CHECK_LT(hi, num_leaves_);
+  Bsi acc = nodes_[extent_ + lo];
+  for (int i = lo + 1; i <= hi; ++i) {
+    acc = merge_(acc, nodes_[extent_ + i]);
+  }
+  return acc;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,48 @@
+#ifndef EXPBSI_STORAGE_PREAGG_TREE_H_
+#define EXPBSI_STORAGE_PREAGG_TREE_H_
+
+#include <functional>
+#include <vector>
+
+#include "bsi/bsi.h"
+
+namespace expbsi {
+
+// Pre-aggregate tree over consecutive dates (§4.3, Fig. 6): a segment tree
+// whose leaves are per-day BSIs and whose inner nodes are merged from their
+// two children by an aggregate function over BSIs (sumBSI, maxBSI, ...).
+// Aggregating C successive days then merges O(log C) nodes instead of C.
+//
+// Used by the pre-experiment computation to fold the metric log of the C
+// days before the experiment start into one covariate BSI.
+class PreAggTree {
+ public:
+  using MergeFn = std::function<Bsi(const Bsi&, const Bsi&)>;
+
+  // `leaves[i]` is the BSI of day i (relative to the tree's first day).
+  PreAggTree(std::vector<Bsi> leaves, MergeFn merge);
+
+  int num_days() const { return num_leaves_; }
+
+  // Aggregate of days [lo, hi], inclusive. If `nodes_merged` is non-null it
+  // receives the number of tree nodes combined (the Fig. 6 "3 nodes instead
+  // of 7" effect, used by the ablation bench).
+  Bsi Query(int lo, int hi, int* nodes_merged = nullptr) const;
+
+  // The day-by-day fold the tree replaces (for the ablation baseline).
+  Bsi QueryLinear(int lo, int hi) const;
+
+ private:
+  // Nodes in heap order over a power-of-two extent; missing leaves are empty.
+  Bsi QueryRecursive(int node, int node_lo, int node_hi, int lo, int hi,
+                     int* nodes_merged) const;
+
+  int num_leaves_ = 0;
+  int extent_ = 1;  // power of two >= num_leaves_
+  std::vector<Bsi> nodes_;  // 1-based heap; nodes_[1] is the root
+  MergeFn merge_;
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_STORAGE_PREAGG_TREE_H_

@@ -1,0 +1,61 @@
+#include "storage/tiered_store.h"
+
+#include "common/check.h"
+
+namespace expbsi {
+
+TieredStore::TieredStore(const BsiStore* cold, size_t hot_capacity_bytes)
+    : cold_(cold), hot_capacity_bytes_(hot_capacity_bytes) {
+  CHECK(cold != nullptr);
+}
+
+Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
+    const BsiStoreKey& key) {
+  auto it = hot_.find(key);
+  if (it != hot_.end()) {
+    ++stats_.hot_hits;
+    // Move to the front of the LRU list.
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    return it->second.blob;
+  }
+  Result<std::shared_ptr<const std::string>> blob = LoadFromCold(key);
+  if (blob.ok()) {
+    ++stats_.cold_reads;
+    stats_.bytes_from_cold += blob.value()->size();
+  }
+  return blob;
+}
+
+Status TieredStore::Warm(const BsiStoreKey& key) {
+  if (hot_.find(key) != hot_.end()) return Status::OK();
+  Result<std::shared_ptr<const std::string>> blob = LoadFromCold(key);
+  return blob.ok() ? Status::OK() : blob.status();
+}
+
+Result<std::shared_ptr<const std::string>> TieredStore::LoadFromCold(
+    const BsiStoreKey& key) {
+  Result<const std::string*> cold_blob = cold_->Get(key);
+  if (!cold_blob.ok()) return cold_blob.status();
+  auto blob = std::make_shared<const std::string>(*cold_blob.value());
+  lru_.push_front(key);
+  hot_.emplace(key, HotEntry{blob, lru_.begin()});
+  hot_bytes_ += blob->size();
+  EvictIfNeeded();
+  return blob;
+}
+
+void TieredStore::EvictIfNeeded() {
+  while (hot_bytes_ > hot_capacity_bytes_ && lru_.size() > 1) {
+    const BsiStoreKey victim = lru_.back();
+    lru_.pop_back();
+    auto it = hot_.find(victim);
+    CHECK(it != hot_.end());
+    hot_bytes_ -= it->second.blob->size();
+    hot_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace expbsi

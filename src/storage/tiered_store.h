@@ -1,0 +1,70 @@
+#ifndef EXPBSI_STORAGE_TIERED_STORE_H_
+#define EXPBSI_STORAGE_TIERED_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "storage/bsi_store.h"
+
+namespace expbsi {
+
+// Hot/cold tiering (§5.3): ad-hoc query nodes keep hot data (recent or
+// recently visited) on fast local storage and pull cold data from the
+// distributed warehouse on demand. Here the cold tier is a BsiStore and the
+// hot tier an LRU cache with a byte budget; reads through the cold path are
+// accounted as simulated network traffic.
+class TieredStore {
+ public:
+  struct Stats {
+    uint64_t hot_hits = 0;
+    uint64_t cold_reads = 0;
+    uint64_t bytes_from_cold = 0;
+    uint64_t evictions = 0;
+  };
+
+  // `cold` must outlive this object. hot_capacity_bytes bounds the hot tier.
+  TieredStore(const BsiStore* cold, size_t hot_capacity_bytes);
+
+  TieredStore(const TieredStore&) = delete;
+  TieredStore& operator=(const TieredStore&) = delete;
+
+  // Fetches a blob, preferring the hot tier. A cold read copies the blob
+  // into the hot tier (evicting LRU entries beyond the budget) and adds its
+  // size to bytes_from_cold. The returned pointer stays valid until the blob
+  // is evicted AND released by all callers (shared ownership).
+  Result<std::shared_ptr<const std::string>> Fetch(const BsiStoreKey& key);
+
+  // Pre-warms the hot tier without counting toward query-time stats
+  // (the paper keeps data with recent dates hot ahead of queries).
+  Status Warm(const BsiStoreKey& key);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  size_t hot_bytes() const { return hot_bytes_; }
+
+ private:
+  struct HotEntry {
+    std::shared_ptr<const std::string> blob;
+    std::list<BsiStoreKey>::iterator lru_it;
+  };
+
+  // Loads from cold into hot; does not touch stats.
+  Result<std::shared_ptr<const std::string>> LoadFromCold(
+      const BsiStoreKey& key);
+  void EvictIfNeeded();
+
+  const BsiStore* cold_;
+  size_t hot_capacity_bytes_;
+  size_t hot_bytes_ = 0;
+  std::list<BsiStoreKey> lru_;  // front = most recent
+  std::unordered_map<BsiStoreKey, HotEntry, BsiStoreKeyHash> hot_;
+  Stats stats_;
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_STORAGE_TIERED_STORE_H_

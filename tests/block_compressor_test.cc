@@ -1,0 +1,121 @@
+#include "storage/block_compressor.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace expbsi {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t n) {
+  std::string out(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<char>(rng.NextBounded(256));
+  }
+  return out;
+}
+
+void ExpectRoundTrip(const std::string& input) {
+  const std::string compressed = Lz4LikeCompress(input);
+  Result<std::string> back = Lz4LikeDecompress(compressed, input.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(BlockCompressorTest, EmptyInput) { ExpectRoundTrip(""); }
+
+TEST(BlockCompressorTest, TinyInput) {
+  ExpectRoundTrip("a");
+  ExpectRoundTrip("hello");
+}
+
+TEST(BlockCompressorTest, HighlyRepetitiveCompressesWell) {
+  std::string input;
+  for (int i = 0; i < 1000; ++i) input += "abcdefgh";
+  const std::string compressed = Lz4LikeCompress(input);
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  ExpectRoundTrip(input);
+}
+
+TEST(BlockCompressorTest, AllZerosCompressesWell) {
+  const std::string input(100000, '\0');
+  const std::string compressed = Lz4LikeCompress(input);
+  EXPECT_LT(compressed.size(), input.size() / 50);
+  ExpectRoundTrip(input);
+}
+
+TEST(BlockCompressorTest, RandomDataDoesNotExplode) {
+  Rng rng(1);
+  const std::string input = RandomBytes(rng, 100000);
+  const std::string compressed = Lz4LikeCompress(input);
+  // Incompressible data should stay close to its original size.
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 100 + 64);
+  ExpectRoundTrip(input);
+}
+
+TEST(BlockCompressorTest, LongMatchesAndExtendedLengths) {
+  // > 255 literal run followed by > 255 match length to exercise the
+  // extension chains.
+  Rng rng(2);
+  std::string input = RandomBytes(rng, 400);
+  input += std::string(2000, 'x');
+  input += RandomBytes(rng, 300);
+  ExpectRoundTrip(input);
+}
+
+TEST(BlockCompressorTest, OverlappingMatchReplication) {
+  // "ababab..." forces matches whose offset < length (self-overlap).
+  std::string input;
+  for (int i = 0; i < 5000; ++i) input += (i % 2 == 0 ? 'a' : 'b');
+  ExpectRoundTrip(input);
+}
+
+TEST(BlockCompressorTest, FramedBlockRoundTrip) {
+  std::string input = "the quick brown fox jumps over the lazy dog ";
+  for (int i = 0; i < 6; ++i) input += input;
+  const std::string block = CompressBlock(input);
+  Result<std::string> back = DecompressBlock(block);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(BlockCompressorTest, CorruptionDetected) {
+  std::string input(5000, 'q');
+  const std::string compressed = Lz4LikeCompress(input);
+  // Wrong original size.
+  EXPECT_FALSE(Lz4LikeDecompress(compressed, input.size() + 1).ok());
+  // Truncated stream.
+  EXPECT_FALSE(
+      Lz4LikeDecompress(compressed.substr(0, compressed.size() / 2),
+                        input.size())
+          .ok());
+  // Truncated frame header.
+  EXPECT_FALSE(DecompressBlock("abc").ok());
+}
+
+class CompressorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressorPropertyTest, RoundTripMixedContent) {
+  Rng rng(GetParam());
+  std::string input;
+  // Alternating compressible and incompressible chunks of random sizes.
+  const int chunks = 1 + static_cast<int>(rng.NextBounded(20));
+  for (int c = 0; c < chunks; ++c) {
+    const size_t len = rng.NextBounded(5000);
+    if (rng.NextBernoulli(0.5)) {
+      input += std::string(len, static_cast<char>(rng.NextBounded(256)));
+    } else {
+      input += RandomBytes(rng, len);
+    }
+  }
+  ExpectRoundTrip(input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressorPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
+
+}  // namespace
+}  // namespace expbsi

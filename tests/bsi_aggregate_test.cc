@@ -1,0 +1,251 @@
+#include "bsi/bsi_aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace expbsi {
+namespace {
+
+using testing_util::RandomValueMap;
+using testing_util::ToPairVector;
+
+using ValueMap = std::map<uint32_t, uint64_t>;
+
+ValueMap ToMap(const Bsi& bsi) {
+  ValueMap out;
+  for (const auto& [pos, value] : bsi.ToPairs()) out[pos] = value;
+  return out;
+}
+
+// --- In-BSI aggregates ------------------------------------------------------
+
+class BsiInAggregateTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    values_ = RandomValueMap(rng, 3000, 30000, 1u << 14);
+    bsi_ = Bsi::FromPairs(ToPairVector(values_));
+  }
+
+  ValueMap values_;
+  Bsi bsi_;
+};
+
+TEST_P(BsiInAggregateTest, SumAverageMinMax) {
+  uint64_t expect_sum = 0;
+  uint64_t expect_min = ~uint64_t{0};
+  uint64_t expect_max = 0;
+  for (const auto& [pos, v] : values_) {
+    (void)pos;
+    expect_sum += v;
+    expect_min = std::min(expect_min, v);
+    expect_max = std::max(expect_max, v);
+  }
+  EXPECT_EQ(bsi_.Sum(), expect_sum);
+  EXPECT_DOUBLE_EQ(bsi_.Average(),
+                   static_cast<double>(expect_sum) / values_.size());
+  EXPECT_EQ(bsi_.MinValue(), expect_min);
+  EXPECT_EQ(bsi_.MaxValue(), expect_max);
+}
+
+TEST_P(BsiInAggregateTest, SumUnderMask) {
+  Rng rng(GetParam() + 100);
+  RoaringBitmap mask;
+  uint64_t expect = 0;
+  for (const auto& [pos, v] : values_) {
+    if (rng.NextBernoulli(0.4)) {
+      mask.Add(pos);
+      expect += v;
+    }
+  }
+  // Positions in the mask but absent from the BSI contribute nothing.
+  mask.Add(4000000);
+  EXPECT_EQ(bsi_.SumUnderMask(mask), expect);
+}
+
+TEST_P(BsiInAggregateTest, QuantilesMatchSortedOrder) {
+  std::vector<uint64_t> sorted;
+  sorted.reserve(values_.size());
+  for (const auto& [pos, v] : values_) {
+    (void)pos;
+    sorted.push_back(v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const uint64_t n = sorted.size();
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    uint64_t rank = static_cast<uint64_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(n))));
+    if (rank > n) rank = n;
+    EXPECT_EQ(bsi_.Quantile(q), sorted[rank - 1]) << "q=" << q;
+  }
+  EXPECT_EQ(bsi_.Quantile(0.0), sorted.front());
+}
+
+TEST_P(BsiInAggregateTest, TopK) {
+  for (uint64_t k : {1u, 10u, 500u}) {
+    RoaringBitmap top = TopK(bsi_, k);
+    ASSERT_EQ(top.Cardinality(), std::min<uint64_t>(k, values_.size()));
+    // Every selected value must be >= every unselected value.
+    uint64_t min_selected = ~uint64_t{0};
+    top.ForEach([this, &min_selected](uint32_t pos) {
+      min_selected = std::min(min_selected, values_.at(pos));
+    });
+    for (const auto& [pos, v] : values_) {
+      if (!top.Contains(pos)) {
+        EXPECT_LE(v, min_selected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BsiInAggregateTest,
+                         ::testing::Values(51, 52, 53));
+
+TEST(BsiInAggregateEdge, TopKDegenerate) {
+  Bsi bsi = Bsi::FromValues({5, 5, 5, 5});
+  EXPECT_EQ(TopK(bsi, 0).Cardinality(), 0u);
+  EXPECT_EQ(TopK(bsi, 2).Cardinality(), 2u);   // ties broken deterministically
+  EXPECT_EQ(TopK(bsi, 100).Cardinality(), 4u);
+  EXPECT_TRUE(TopK(Bsi(), 3).IsEmpty());
+}
+
+// --- Aggregates over BSIs (sumBSI / maxBSI / mulBSI / distinctPos) ----------
+
+class BsiOverAggregateTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    map_x_ = RandomValueMap(rng, 2000, 20000, 1000);
+    map_y_ = RandomValueMap(rng, 2000, 20000, 1000);
+    x_ = Bsi::FromPairs(ToPairVector(map_x_));
+    y_ = Bsi::FromPairs(ToPairVector(map_y_));
+  }
+
+  ValueMap map_x_, map_y_;
+  Bsi x_, y_;
+};
+
+TEST_P(BsiOverAggregateTest, MaxBsi) {
+  ValueMap expect;
+  for (const auto& [pos, v] : map_x_) expect[pos] = v;
+  for (const auto& [pos, v] : map_y_) {
+    auto [it, inserted] = expect.try_emplace(pos, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  EXPECT_EQ(ToMap(MaxBsi(x_, y_)), expect);
+}
+
+TEST_P(BsiOverAggregateTest, MinBsi) {
+  // Min with an absent (zero) operand is zero, i.e. absent.
+  ValueMap expect;
+  for (const auto& [pos, v] : map_x_) {
+    auto it = map_y_.find(pos);
+    if (it != map_y_.end()) expect[pos] = std::min(v, it->second);
+  }
+  EXPECT_EQ(ToMap(MinBsi(x_, y_)), expect);
+}
+
+TEST_P(BsiOverAggregateTest, DistinctPos) {
+  std::set<uint32_t> expect;
+  for (const auto& [pos, v] : map_x_) {
+    (void)v;
+    expect.insert(pos);
+  }
+  for (const auto& [pos, v] : map_y_) {
+    (void)v;
+    expect.insert(pos);
+  }
+  RoaringBitmap distinct = DistinctPos(x_, y_);
+  EXPECT_EQ(distinct.Cardinality(), expect.size());
+  for (uint32_t pos : expect) EXPECT_TRUE(distinct.Contains(pos));
+}
+
+TEST_P(BsiOverAggregateTest, SumBsiList) {
+  Rng rng(GetParam() + 7);
+  ValueMap map_z = RandomValueMap(rng, 2000, 20000, 1000);
+  Bsi z = Bsi::FromPairs(ToPairVector(map_z));
+  ValueMap expect;
+  for (const ValueMap* m : {&map_x_, &map_y_, &map_z}) {
+    for (const auto& [pos, v] : *m) expect[pos] += v;
+  }
+  EXPECT_EQ(ToMap(SumBsi({&x_, &y_, &z})), expect);
+}
+
+TEST_P(BsiOverAggregateTest, MaxBsiMatchesPaperFormulaOnIntersection) {
+  // On both-present positions, maxBSI must equal the paper's
+  // X * (X > Y) + Y * (X <= Y).
+  RoaringBitmap gt = Bsi::Gt(x_, y_);
+  RoaringBitmap le = Bsi::Le(x_, y_);
+  Bsi formula = Bsi::Add(Bsi::MultiplyByBinary(x_, gt),
+                         Bsi::MultiplyByBinary(y_, le));
+  Bsi ours = MaxBsi(x_, y_);
+  RoaringBitmap both = RoaringBitmap::And(x_.existence(), y_.existence());
+  EXPECT_TRUE(Bsi::MultiplyByBinary(ours, both).Equals(formula));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BsiOverAggregateTest,
+                         ::testing::Values(61, 62, 63));
+
+}  // namespace
+}  // namespace expbsi
+
+namespace expbsi {
+namespace {
+
+using testing_util::RandomValueMap;
+using testing_util::ToPairVector;
+
+TEST(MultiplyScalarTest, MatchesNaive) {
+  Rng rng(71);
+  auto values = RandomValueMap(rng, 2000, 20000, 1000);
+  Bsi x = Bsi::FromPairs(ToPairVector(values));
+  for (uint64_t k : {0ull, 1ull, 2ull, 3ull, 7ull, 100ull, 255ull}) {
+    Bsi product = Bsi::MultiplyScalar(x, k);
+    if (k == 0) {
+      EXPECT_TRUE(product.IsEmpty());
+      continue;
+    }
+    for (const auto& [pos, v] : values) {
+      EXPECT_EQ(product.Get(pos), v * k) << "k=" << k << " pos=" << pos;
+    }
+    EXPECT_EQ(product.Cardinality(), x.Cardinality());
+  }
+}
+
+TEST(WeightedSumBsiTest, PreferenceQueryScore) {
+  // A preference query: score = 3*price_rank + 1*quality_rank, then top-k.
+  Rng rng(72);
+  auto a_map = RandomValueMap(rng, 1500, 10000, 100);
+  auto b_map = RandomValueMap(rng, 1500, 10000, 100);
+  Bsi a = Bsi::FromPairs(ToPairVector(a_map));
+  Bsi b = Bsi::FromPairs(ToPairVector(b_map));
+  Bsi score = WeightedSumBsi({{&a, 3}, {&b, 1}});
+  std::map<uint32_t, uint64_t> expect;
+  for (const auto& [pos, v] : a_map) expect[pos] += 3 * v;
+  for (const auto& [pos, v] : b_map) expect[pos] += v;
+  for (const auto& [pos, v] : expect) {
+    EXPECT_EQ(score.Get(pos), v);
+  }
+  EXPECT_EQ(score.Cardinality(), expect.size());
+  // Top-k of the score agrees with a naive sort.
+  const RoaringBitmap top = TopK(score, 10);
+  std::vector<uint64_t> sorted;
+  for (const auto& [pos, v] : expect) sorted.push_back(v);
+  std::sort(sorted.rbegin(), sorted.rend());
+  uint64_t min_selected = ~uint64_t{0};
+  top.ForEach([&](uint32_t pos) {
+    min_selected = std::min(min_selected, expect[pos]);
+  });
+  EXPECT_EQ(min_selected, sorted[9]);
+}
+
+}  // namespace
+}  // namespace expbsi

@@ -1,0 +1,99 @@
+#include "bsi/bsi_group_by.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace expbsi {
+namespace {
+
+using testing_util::ToPairVector;
+
+struct GroupCase {
+  uint64_t seed;
+  int num_buckets;
+  int num_positions;
+};
+
+class BsiGroupByTest : public ::testing::TestWithParam<GroupCase> {};
+
+TEST_P(BsiGroupByTest, SumsAndCountsMatchNaive) {
+  const GroupCase& param = GetParam();
+  Rng rng(param.seed);
+  // Every position gets a bucket; a subset gets a value; the universe is a
+  // random subset of positions (the "exposed" mask of a scorecard).
+  std::map<uint32_t, uint64_t> bucket_of;
+  std::map<uint32_t, uint64_t> value_of;
+  RoaringBitmap universe;
+  for (int i = 0; i < param.num_positions; ++i) {
+    const uint32_t pos = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+    bucket_of[pos] = rng.NextBounded(param.num_buckets);
+    if (rng.NextBernoulli(0.6)) value_of[pos] = 1 + rng.NextBounded(1000);
+    if (rng.NextBernoulli(0.7)) universe.Add(pos);
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> bucket_pairs;
+  for (const auto& [pos, b] : bucket_of) bucket_pairs.emplace_back(pos, b + 1);
+  Bsi bucket = Bsi::FromPairs(bucket_pairs);
+  Bsi value = Bsi::FromPairs(ToPairVector(value_of));
+
+  std::vector<uint64_t> expect_sums(param.num_buckets, 0);
+  std::vector<uint64_t> expect_counts(param.num_buckets, 0);
+  for (const auto& [pos, b] : bucket_of) {
+    if (!universe.Contains(pos)) continue;
+    ++expect_counts[b];
+    auto it = value_of.find(pos);
+    if (it != value_of.end()) expect_sums[b] += it->second;
+  }
+
+  EXPECT_EQ(GroupSumByBucket(value, bucket, param.num_buckets, universe),
+            expect_sums);
+  EXPECT_EQ(GroupCountByBucket(bucket, param.num_buckets, universe),
+            expect_counts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BsiGroupByTest,
+    ::testing::Values(GroupCase{71, 4, 2000},     // few buckets
+                      GroupCase{72, 1024, 20000}, // the paper's bucket count
+                      GroupCase{73, 1000, 20000}, // non-power-of-two
+                      GroupCase{74, 1, 500},      // single bucket
+                      GroupCase{75, 1024, 100})); // buckets >> positions
+
+TEST(BsiGroupByTest, PartitionVisitsDisjointMasks) {
+  Rng rng(76);
+  std::vector<std::pair<uint32_t, uint64_t>> bucket_pairs;
+  for (uint32_t pos = 0; pos < 5000; ++pos) {
+    bucket_pairs.emplace_back(pos, 1 + rng.NextBounded(16));
+  }
+  Bsi bucket = Bsi::FromPairs(bucket_pairs);
+  RoaringBitmap universe;
+  universe.AddRange(0, 5000);
+  RoaringBitmap seen;
+  uint64_t total = 0;
+  PartitionByBucket(bucket, 16, universe,
+                    [&seen, &total](int bucket_id, const RoaringBitmap& mask) {
+                      EXPECT_GE(bucket_id, 0);
+                      EXPECT_LT(bucket_id, 16);
+                      EXPECT_FALSE(RoaringBitmap::Intersects(seen, mask));
+                      seen.OrInPlace(mask);
+                      total += mask.Cardinality();
+                    });
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(BsiGroupByTest, UniverseOutsideBucketAssignmentIsIgnored) {
+  Bsi bucket = Bsi::FromPairs({{1, 1}, {2, 2}});  // buckets 0 and 1
+  Bsi value = Bsi::FromPairs({{1, 10}, {2, 20}, {3, 30}});
+  RoaringBitmap universe;
+  universe.AddRange(0, 10);  // includes position 3, which has no bucket
+  const std::vector<uint64_t> sums =
+      GroupSumByBucket(value, bucket, 2, universe);
+  EXPECT_EQ(sums, (std::vector<uint64_t>{10, 20}));
+}
+
+}  // namespace
+}  // namespace expbsi

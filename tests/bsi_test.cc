@@ -1,0 +1,282 @@
+#include "bsi/bsi.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace expbsi {
+namespace {
+
+using testing_util::RandomValueMap;
+using testing_util::ToPairVector;
+
+using ValueMap = std::map<uint32_t, uint64_t>;
+
+ValueMap ToMap(const Bsi& bsi) {
+  ValueMap out;
+  for (const auto& [pos, value] : bsi.ToPairs()) out[pos] = value;
+  return out;
+}
+
+TEST(BsiTest, EmptyBsi) {
+  Bsi bsi;
+  EXPECT_TRUE(bsi.IsEmpty());
+  EXPECT_EQ(bsi.Cardinality(), 0u);
+  EXPECT_EQ(bsi.Get(0), 0u);
+  EXPECT_EQ(bsi.num_slices(), 0);
+  EXPECT_EQ(bsi.Sum(), 0u);
+}
+
+TEST(BsiTest, FromPairsAndGet) {
+  Bsi bsi = Bsi::FromPairs({{1, 5}, {2, 0}, {3, 127}, {4, 23}, {5, 200}});
+  // The zero value at position 2 is absent (paper convention).
+  EXPECT_EQ(bsi.Cardinality(), 4u);
+  EXPECT_FALSE(bsi.Exists(2));
+  EXPECT_EQ(bsi.Get(1), 5u);
+  EXPECT_EQ(bsi.Get(3), 127u);
+  EXPECT_EQ(bsi.Get(4), 23u);
+  EXPECT_EQ(bsi.Get(5), 200u);
+  EXPECT_EQ(bsi.Get(999), 0u);
+  EXPECT_EQ(bsi.num_slices(), 8);  // 200 needs 8 bits
+}
+
+TEST(BsiTest, Figure1PaperExample) {
+  // The exact BSI of Figure 1: ids 1..8 with values 5,0,127,23,200,9,64,39.
+  const std::vector<uint64_t> values = {5, 0, 127, 23, 200, 9, 64, 39};
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;
+  for (uint32_t id = 1; id <= 8; ++id) {
+    pairs.emplace_back(id, values[id - 1]);
+  }
+  Bsi bsi = Bsi::FromPairs(pairs);
+  // Check individual slice membership for a few cells of the figure.
+  EXPECT_TRUE(bsi.slice(0).Contains(1));   // B0 of id 1 (value 5 = 101b)
+  EXPECT_FALSE(bsi.slice(1).Contains(1));  // B1 of id 1
+  EXPECT_TRUE(bsi.slice(2).Contains(1));   // B2 of id 1
+  EXPECT_TRUE(bsi.slice(7).Contains(5));   // B7 of id 5 (value 200)
+  EXPECT_TRUE(bsi.slice(6).Contains(7));   // B6 of id 7 (value 64)
+  EXPECT_EQ(bsi.Sum(), 5u + 127 + 23 + 200 + 9 + 64 + 39);
+}
+
+TEST(BsiTest, FromValuesSkipsZeros) {
+  Bsi bsi = Bsi::FromValues({0, 3, 0, 7});
+  EXPECT_EQ(bsi.Cardinality(), 2u);
+  EXPECT_EQ(bsi.Get(1), 3u);
+  EXPECT_EQ(bsi.Get(3), 7u);
+}
+
+TEST(BsiTest, FromBinary) {
+  RoaringBitmap positions = RoaringBitmap::FromSorted({2, 5, 9});
+  Bsi bsi = Bsi::FromBinary(positions);
+  EXPECT_EQ(bsi.num_slices(), 1);
+  EXPECT_EQ(bsi.Get(2), 1u);
+  EXPECT_EQ(bsi.Get(5), 1u);
+  EXPECT_EQ(bsi.Get(3), 0u);
+}
+
+TEST(BsiTest, SetValueUpdatesAndRemoves) {
+  Bsi bsi = Bsi::FromPairs({{1, 5}});
+  bsi.SetValue(1, 9);
+  EXPECT_EQ(bsi.Get(1), 9u);
+  bsi.SetValue(2, 1000);
+  EXPECT_EQ(bsi.Get(2), 1000u);
+  bsi.SetValue(1, 0);
+  EXPECT_FALSE(bsi.Exists(1));
+  EXPECT_EQ(bsi.Cardinality(), 1u);
+  bsi.SetValue(2, 0);
+  EXPECT_TRUE(bsi.IsEmpty());
+  EXPECT_EQ(bsi.num_slices(), 0);
+}
+
+TEST(BsiTest, AddFigure2PaperExample) {
+  // Figure 2: X = {0,1,2,3,1,3,2,0}, Y = {2,1,1,2,3,0,2,1} at positions 0..7.
+  Bsi x = Bsi::FromValues({0, 1, 2, 3, 1, 3, 2, 0});
+  Bsi y = Bsi::FromValues({2, 1, 1, 2, 3, 0, 2, 1});
+  Bsi s = Bsi::Add(x, y);
+  const std::vector<uint64_t> expect = {2, 2, 3, 5, 4, 3, 4, 1};
+  for (uint32_t j = 0; j < expect.size(); ++j) {
+    EXPECT_EQ(s.Get(j), expect[j]) << "position " << j;
+  }
+  EXPECT_EQ(s.num_slices(), 3);
+}
+
+TEST(BsiTest, SerializeRoundTrip) {
+  Rng rng(5);
+  Bsi bsi = Bsi::FromPairs(ToPairVector(RandomValueMap(rng, 5000, 100000,
+                                                       1u << 20)));
+  bsi.RunOptimize();
+  const std::string bytes = bsi.SerializeToString();
+  Result<Bsi> parsed = Bsi::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Equals(bsi));
+  EXPECT_EQ(parsed.value().existence().Cardinality(), bsi.Cardinality());
+}
+
+TEST(BsiTest, DeserializeRejectsCorruption) {
+  EXPECT_FALSE(Bsi::Deserialize("zz").ok());
+  Bsi bsi = Bsi::FromValues({1, 2, 3});
+  std::string bytes = bsi.SerializeToString();
+  EXPECT_FALSE(Bsi::Deserialize(bytes.substr(0, bytes.size() - 3)).ok());
+}
+
+// --- Arithmetic property tests against naive per-position math -------------
+
+class BsiArithmeticTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    map_x_ = RandomValueMap(rng, 4000, 50000, 1u << 16);
+    map_y_ = RandomValueMap(rng, 4000, 50000, 1u << 16);
+    x_ = Bsi::FromPairs(ToPairVector(map_x_));
+    y_ = Bsi::FromPairs(ToPairVector(map_y_));
+  }
+
+  ValueMap map_x_, map_y_;
+  Bsi x_, y_;
+};
+
+TEST_P(BsiArithmeticTest, Add) {
+  ValueMap expect = map_x_;
+  for (const auto& [pos, v] : map_y_) expect[pos] += v;
+  EXPECT_EQ(ToMap(Bsi::Add(x_, y_)), expect);
+}
+
+TEST_P(BsiArithmeticTest, SubtractClampsAtZero) {
+  ValueMap expect;
+  for (const auto& [pos, v] : map_x_) {
+    auto it = map_y_.find(pos);
+    const uint64_t yv = it == map_y_.end() ? 0 : it->second;
+    if (v > yv) expect[pos] = v - yv;
+  }
+  EXPECT_EQ(ToMap(Bsi::Subtract(x_, y_)), expect);
+}
+
+TEST_P(BsiArithmeticTest, AddThenSubtractRecoversOperand) {
+  Bsi sum = Bsi::Add(x_, y_);
+  Bsi diff = Bsi::Subtract(sum, y_);
+  // diff should equal x on positions where x is present; positions present
+  // only in y become zero and vanish.
+  EXPECT_EQ(ToMap(diff), map_x_);
+}
+
+TEST_P(BsiArithmeticTest, MultiplyGeneral) {
+  // Use narrower operands to keep the naive check fast.
+  Rng rng(GetParam() + 1);
+  ValueMap ma = RandomValueMap(rng, 1000, 20000, 1u << 8);
+  ValueMap mb = RandomValueMap(rng, 1000, 20000, 1u << 8);
+  Bsi a = Bsi::FromPairs(ToPairVector(ma));
+  Bsi b = Bsi::FromPairs(ToPairVector(mb));
+  ValueMap expect;
+  for (const auto& [pos, v] : ma) {
+    auto it = mb.find(pos);
+    if (it != mb.end()) expect[pos] = v * it->second;
+  }
+  EXPECT_EQ(ToMap(Bsi::Multiply(a, b)), expect);
+}
+
+TEST_P(BsiArithmeticTest, MultiplyByBinary) {
+  Rng rng(GetParam() + 2);
+  RoaringBitmap mask;
+  for (const auto& [pos, v] : map_x_) {
+    (void)v;
+    if (rng.NextBernoulli(0.5)) mask.Add(pos);
+  }
+  ValueMap expect;
+  for (const auto& [pos, v] : map_x_) {
+    if (mask.Contains(pos)) expect[pos] = v;
+  }
+  EXPECT_EQ(ToMap(Bsi::MultiplyByBinary(x_, mask)), expect);
+}
+
+TEST_P(BsiArithmeticTest, AddScalar) {
+  const uint64_t k = 12345;
+  ValueMap expect;
+  for (const auto& [pos, v] : map_x_) expect[pos] = v + k;
+  EXPECT_EQ(ToMap(Bsi::AddScalar(x_, k)), expect);
+  // k = 0 is identity.
+  EXPECT_TRUE(Bsi::AddScalar(x_, 0).Equals(x_));
+}
+
+TEST_P(BsiArithmeticTest, ShiftLeft) {
+  ValueMap expect;
+  for (const auto& [pos, v] : map_x_) expect[pos] = v << 3;
+  EXPECT_EQ(ToMap(Bsi::ShiftLeft(x_, 3)), expect);
+}
+
+TEST_P(BsiArithmeticTest, AdditionIsCommutativeAndAssociative) {
+  EXPECT_TRUE(Bsi::Add(x_, y_).Equals(Bsi::Add(y_, x_)));
+  Rng rng(GetParam() + 3);
+  Bsi z = Bsi::FromPairs(
+      ToPairVector(RandomValueMap(rng, 2000, 50000, 1u << 12)));
+  EXPECT_TRUE(Bsi::Add(Bsi::Add(x_, y_), z)
+                  .Equals(Bsi::Add(x_, Bsi::Add(y_, z))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BsiArithmeticTest,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+TEST(BsiArithmeticEdge, AddWithEmpty) {
+  Bsi x = Bsi::FromValues({1, 2, 3});
+  Bsi empty;
+  EXPECT_TRUE(Bsi::Add(x, empty).Equals(x));
+  EXPECT_TRUE(Bsi::Add(empty, x).Equals(x));
+  EXPECT_TRUE(Bsi::Multiply(x, empty).IsEmpty());
+  EXPECT_TRUE(Bsi::Subtract(empty, x).IsEmpty());
+}
+
+TEST(BsiArithmeticEdge, CarryChainAcrossManySlices) {
+  // 0xFFFF + 1 exercises a carry through 16 slices.
+  Bsi x = Bsi::FromPairs({{7, 0xFFFF}});
+  Bsi y = Bsi::FromPairs({{7, 1}});
+  Bsi s = Bsi::Add(x, y);
+  EXPECT_EQ(s.Get(7), 0x10000u);
+  EXPECT_EQ(s.num_slices(), 17);
+}
+
+TEST(BsiArithmeticEdge, SubtractEqualValuesVanishes) {
+  Bsi x = Bsi::FromPairs({{3, 42}, {4, 10}});
+  Bsi y = Bsi::FromPairs({{3, 42}});
+  Bsi d = Bsi::Subtract(x, y);
+  EXPECT_FALSE(d.Exists(3));  // difference of zero is absent
+  EXPECT_EQ(d.Get(4), 10u);
+}
+
+}  // namespace
+}  // namespace expbsi
+
+namespace expbsi {
+namespace {
+
+// Run-optimizing the operand slices must not change any operation's result
+// (storage-form BSIs flow straight into the compute path).
+TEST(BsiRunOptimizedTest, OpsUnchangedByRunOptimize) {
+  Rng rng(999);
+  // Dense prefix + sparse tail, so RunOptimize actually switches containers.
+  std::vector<std::pair<uint32_t, uint64_t>> pairs_x, pairs_y;
+  for (uint32_t pos = 0; pos < 30000; ++pos) {
+    pairs_x.emplace_back(pos, 1 + rng.NextBounded(100));
+    if (rng.NextBernoulli(0.5)) {
+      pairs_y.emplace_back(pos, 1 + rng.NextBounded(100));
+    }
+  }
+  Bsi x = Bsi::FromPairs(pairs_x);
+  Bsi y = Bsi::FromPairs(pairs_y);
+  Bsi xo = x, yo = y;
+  xo.RunOptimize();
+  yo.RunOptimize();
+  EXPECT_TRUE(Bsi::Add(xo, yo).Equals(Bsi::Add(x, y)));
+  EXPECT_TRUE(Bsi::Subtract(xo, yo).Equals(Bsi::Subtract(x, y)));
+  EXPECT_TRUE(Bsi::Lt(xo, yo).Equals(Bsi::Lt(x, y)));
+  EXPECT_TRUE(Bsi::Eq(xo, yo).Equals(Bsi::Eq(x, y)));
+  EXPECT_TRUE(xo.RangeGe(50).Equals(x.RangeGe(50)));
+  EXPECT_EQ(xo.Sum(), x.Sum());
+  EXPECT_EQ(xo.Median(), x.Median());
+  EXPECT_EQ(xo.SumUnderMask(yo.existence()), x.SumUnderMask(y.existence()));
+}
+
+}  // namespace
+}  // namespace expbsi

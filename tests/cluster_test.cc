@@ -1,0 +1,175 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/adhoc_cluster.h"
+#include "cluster/precompute_pipeline.h"
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+
+namespace expbsi {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.num_users = 10000;
+    config.num_segments = 8;
+    config.num_days = 7;
+    config.start_date = 50;
+    config.seed = 31;
+
+    ExperimentConfig exp;
+    exp.strategy_ids = {801, 802, 803};
+    exp.arm_effects = {1.0, 1.1, 1.0};
+    exp.traffic_salt = 3;
+
+    MetricConfig m1;
+    m1.metric_id = 901;
+    m1.value_range = 100;
+    m1.daily_participation = 0.5;
+    MetricConfig m2;
+    m2.metric_id = 902;
+    m2.value_range = 1;
+    m2.daily_participation = 0.7;
+
+    dataset_ = new Dataset(GenerateDataset(config, {exp}, {m1, m2}, {}));
+    bsi_ = new ExperimentBsiData(BuildExperimentBsiData(*dataset_, true));
+  }
+
+  static void TearDownTestSuite() {
+    delete bsi_;
+    delete dataset_;
+  }
+
+  static Dataset* dataset_;
+  static ExperimentBsiData* bsi_;
+};
+
+Dataset* ClusterTest::dataset_ = nullptr;
+ExperimentBsiData* ClusterTest::bsi_ = nullptr;
+
+TEST_F(ClusterTest, PrecomputeBsiMatchesDirectEngine) {
+  PrecomputePipeline pipeline(dataset_, bsi_, PrecomputeConfig{4, 3});
+  const std::vector<StrategyMetricPair> pairs = {
+      {801, 901}, {802, 901}, {803, 901}, {801, 902}, {802, 902},
+  };
+  const PrecomputeStats stats = pipeline.RunBsi(pairs, 50, 56);
+  EXPECT_EQ(stats.pairs_computed, 5);
+  EXPECT_GT(stats.cpu_seconds, 0.0);
+  EXPECT_GT(stats.bytes_read, 0u);
+  for (const StrategyMetricPair& pair : pairs) {
+    const BucketValues* cached = pipeline.GetResult(pair);
+    ASSERT_NE(cached, nullptr);
+    const BucketValues direct =
+        ComputeStrategyMetricBsi(*bsi_, pair.first, pair.second, 50, 56);
+    EXPECT_EQ(cached->sums, direct.sums);
+    EXPECT_EQ(cached->counts, direct.counts);
+  }
+}
+
+TEST_F(ClusterTest, PrecomputeNormalMatchesBsi) {
+  PrecomputePipeline bsi_pipe(dataset_, bsi_, PrecomputeConfig{2, 8});
+  PrecomputePipeline normal_pipe(dataset_, bsi_, PrecomputeConfig{2, 8});
+  const std::vector<StrategyMetricPair> pairs = {{801, 901}, {802, 902}};
+  bsi_pipe.RunBsi(pairs, 50, 56);
+  const PrecomputeStats normal_stats = normal_pipe.RunNormal(pairs, 50, 56);
+  EXPECT_EQ(normal_stats.pairs_computed, 2);
+  for (const StrategyMetricPair& pair : pairs) {
+    EXPECT_EQ(bsi_pipe.GetResult(pair)->sums,
+              normal_pipe.GetResult(pair)->sums);
+    EXPECT_EQ(bsi_pipe.GetResult(pair)->counts,
+              normal_pipe.GetResult(pair)->counts);
+  }
+}
+
+TEST_F(ClusterTest, NormalReadsMoreBytesThanBsi) {
+  // The headline network-traffic claim: BSI blobs are much smaller than the
+  // rows the normal method must move.
+  const uint64_t bsi_bytes = BsiPairReadBytes(*bsi_, 802, 901, 50, 56);
+  const uint64_t normal_bytes =
+      NormalPairReadBytes(*dataset_, 802, 901, 50, 56);
+  EXPECT_LT(bsi_bytes, normal_bytes);
+}
+
+TEST_F(ClusterTest, AdhocBsiQueryMatchesDirectEngine) {
+  AdhocClusterConfig config;
+  config.num_nodes = 3;
+  AdhocCluster cluster(dataset_, bsi_, config);
+  Result<AdhocCluster::QueryStats> stats_or =
+      cluster.QueryBsi({801, 802}, {901, 902}, 50, 56);
+  ASSERT_TRUE(stats_or.ok());
+  const AdhocCluster::QueryStats& stats = stats_or.value();
+  EXPECT_GT(stats.latency_seconds, 0.0);
+  ASSERT_EQ(stats.results.size(), 4u);
+  for (const auto& [pair, result] : stats.results) {
+    const BucketValues direct =
+        ComputeStrategyMetricBsi(*bsi_, pair.first, pair.second, 50, 56);
+    EXPECT_EQ(result.sums, direct.sums) << pair.first << "/" << pair.second;
+    EXPECT_EQ(result.counts, direct.counts);
+  }
+}
+
+TEST_F(ClusterTest, AdhocNormalBitmapMatchesBsiResults) {
+  AdhocCluster cluster(dataset_, bsi_, AdhocClusterConfig{});
+  const auto bsi_stats = cluster.QueryBsi({802}, {901}, 50, 56);
+  const auto normal_stats = cluster.QueryNormalBitmap({802}, {901}, 50, 56);
+  ASSERT_TRUE(bsi_stats.ok());
+  ASSERT_TRUE(normal_stats.ok());
+  const BucketValues& a = bsi_stats.value().results.at({802, 901});
+  const BucketValues& b = normal_stats.value().results.at({802, 901});
+  EXPECT_EQ(a.sums, b.sums);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST_F(ClusterTest, RepeatQueriesHitHotTier) {
+  AdhocCluster cluster(dataset_, bsi_, AdhocClusterConfig{});
+  const auto first_or = cluster.QueryBsi({801}, {901}, 50, 56);
+  ASSERT_TRUE(first_or.ok());
+  EXPECT_GT(first_or.value().bytes_from_cold, 0u);
+  const auto second_or = cluster.QueryBsi({801}, {901}, 50, 56);
+  ASSERT_TRUE(second_or.ok());
+  EXPECT_EQ(second_or.value().bytes_from_cold, 0u);
+  EXPECT_GT(second_or.value().hot_hits, 0u);
+}
+
+TEST_F(ClusterTest, ColdStoreHoldsAllBlobs) {
+  const BsiStore store = BuildColdStore(*bsi_);
+  // 8 segments x (3 expose + 2 metrics x 7 days) = 8 * 17 blobs, minus any
+  // (metric, day) with no rows in a segment.
+  EXPECT_GT(store.NumBlobs(), 100u);
+  EXPECT_GT(store.TotalBytes(), 0u);
+  EXPECT_TRUE(store.Contains(BsiStoreKey{0, BsiKind::kExpose, 801, 0}));
+}
+
+TEST_F(ClusterTest, CorruptColdBlobSurfacesAsStatusNotCrash) {
+  AdhocCluster cluster(dataset_, bsi_, AdhocClusterConfig{});
+  // Inject garbage over a metric blob in the warehouse.
+  cluster.mutable_cold_store().Put(BsiStoreKey{0, BsiKind::kMetric, 901, 52},
+                                   "garbage bytes that are not a bsi");
+  const auto result = cluster.QueryBsi({801}, {901}, 50, 56);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  // Queries that avoid the corrupt blob still work.
+  const auto other = cluster.QueryBsi({801}, {902}, 50, 56);
+  EXPECT_TRUE(other.ok());
+}
+
+TEST_F(ClusterTest, SegmentOwnershipCoversAllNodes) {
+  AdhocClusterConfig config;
+  config.num_nodes = 3;
+  AdhocCluster cluster(dataset_, bsi_, config);
+  std::vector<int> owned(3, 0);
+  for (int seg = 0; seg < dataset_->config.num_segments; ++seg) {
+    const int node = cluster.NodeOfSegment(seg);
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, 3);
+    ++owned[node];
+  }
+  for (int n : owned) EXPECT_GT(n, 0);
+}
+
+}  // namespace
+}  // namespace expbsi

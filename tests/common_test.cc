@@ -1,0 +1,187 @@
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bit_util.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "common/timer.h"
+
+namespace expbsi {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> err(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BitUtilTest, Basics) {
+  EXPECT_EQ(PopCount64(0), 0);
+  EXPECT_EQ(PopCount64(~uint64_t{0}), 64);
+  EXPECT_EQ(BitWidth64(0), 0);
+  EXPECT_EQ(BitWidth64(1), 1);
+  EXPECT_EQ(BitWidth64(5), 3);
+  EXPECT_EQ(BitWidth64(1024), 11);
+  EXPECT_EQ(CountTrailingZeros64(8), 3);
+}
+
+TEST(HashTest, SaltsProduceIndependentStreams) {
+  // The same id hashed under the segment and bucket salts must not be
+  // correlated: check that collisions of (seg % 16 == bucket % 16) occur at
+  // roughly the 1/16 chance rate.
+  int agree = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t id = Mix64(i + 1);
+    if (SaltedHash64(id, kSegmentHashSalt) % 16 ==
+        SaltedHash64(id, kBucketHashSalt) % 16) {
+      ++agree;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(agree) / n, 1.0 / 16, 0.02);
+}
+
+TEST(RngTest, DeterministicAndSeedSensitive) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  bool differs = false;
+  Rng a2(1);
+  for (int i = 0; i < 100; ++i) differs |= (a2.Next() != c.Next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BoundedAndRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(4);
+  const double p = 0.4;
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.NextGeometric(p));
+  EXPECT_NEAR(total / n, (1 - p) / p, 0.05);
+  // p = 1 always returns 0.
+  EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(ZipfTest, RespectsSupportAndSkew) {
+  Rng rng(6);
+  ZipfDistribution zipf(1000, 1.3);
+  int small = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+    if (v <= 10) ++small;
+  }
+  // With s = 1.3 the head carries most of the mass (Pareto principle).
+  EXPECT_GT(small, n / 2);
+}
+
+TEST(ZipfTest, DegenerateSupport) {
+  Rng rng(7);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, SEqualsOneIsHandled) {
+  Rng rng(8);
+  ZipfDistribution zipf(100, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(SampleDistinctTest, DistinctAndComplete) {
+  Rng rng(9);
+  // Sparse path.
+  std::vector<uint64_t> sample = SampleDistinct(rng, 1000000, 100);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  // Dense path: asking for everything returns a permutation.
+  sample = SampleDistinct(rng, 50, 50);
+  unique = {sample.begin(), sample.end()};
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool is reusable after Wait.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  ParallelFor(pool, 50, [&hits](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(TimerTest, CpuAndWallAdvance) {
+  CpuTimer cpu;
+  Stopwatch wall;
+  // Busy loop long enough to register.
+  volatile double x = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    x = x + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GT(cpu.ElapsedSeconds(), 0.0);
+  EXPECT_GT(wall.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace expbsi

@@ -1,0 +1,198 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expdata/bsi_builder.h"
+#include "expdata/position_encoder.h"
+#include "expdata/segmenter.h"
+
+namespace expbsi {
+namespace {
+
+TEST(PositionEncoderTest, SequentialAssignment) {
+  PositionEncoder encoder;
+  EXPECT_EQ(encoder.Encode(100), 0u);
+  EXPECT_EQ(encoder.Encode(200), 1u);
+  EXPECT_EQ(encoder.Encode(100), 0u);  // idempotent
+  EXPECT_EQ(encoder.size(), 2u);
+  EXPECT_EQ(encoder.Decode(0), 100u);
+  EXPECT_EQ(encoder.Decode(1), 200u);
+  EXPECT_EQ(encoder.Lookup(200), std::optional<uint32_t>(1));
+  EXPECT_EQ(encoder.Lookup(999), std::nullopt);
+}
+
+TEST(PositionEncoderTest, PreassignRanked) {
+  PositionEncoder encoder;
+  encoder.PreassignRanked({50, 40, 30});
+  EXPECT_EQ(encoder.Lookup(50), std::optional<uint32_t>(0));
+  EXPECT_EQ(encoder.Lookup(30), std::optional<uint32_t>(2));
+  // New ids continue after the preassigned block.
+  EXPECT_EQ(encoder.Encode(99), 3u);
+}
+
+TEST(SegmenterTest, DeterministicAndInRange) {
+  for (UnitId id = 1; id < 1000; ++id) {
+    const int seg = SegmentOf(id, 1024);
+    EXPECT_GE(seg, 0);
+    EXPECT_LT(seg, 1024);
+    EXPECT_EQ(seg, SegmentOf(id, 1024));
+  }
+}
+
+TEST(SegmenterTest, RoughlyUniform) {
+  const int n = 100000, segments = 16;
+  std::vector<int> counts(segments, 0);
+  for (UnitId id = 1; id <= n; ++id) ++counts[SegmentOf(id, segments)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / segments, n / segments * 0.1);
+  }
+}
+
+TEST(SegmenterTest, BucketIndependentOfSegment) {
+  // Within one segment, bucket assignment should still be ~uniform.
+  const int segments = 16, buckets = 8;
+  std::vector<int> bucket_counts(buckets, 0);
+  int in_segment = 0;
+  for (UnitId id = 1; id <= 200000; ++id) {
+    if (SegmentOf(id, segments) != 3) continue;
+    ++in_segment;
+    ++bucket_counts[BucketOf(id, buckets)];
+  }
+  for (int c : bucket_counts) {
+    EXPECT_NEAR(static_cast<double>(c), in_segment / buckets,
+                in_segment / buckets * 0.15);
+  }
+}
+
+TEST(SegmenterTest, StrategyArmSplit) {
+  int arm0 = 0;
+  const int n = 100000;
+  for (UnitId id = 1; id <= n; ++id) {
+    const int arm = StrategyArmOf(id, 777, 2);
+    ASSERT_GE(arm, 0);
+    ASSERT_LT(arm, 2);
+    arm0 += arm == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(arm0) / n, 0.5, 0.01);
+}
+
+// --- BSI builders -----------------------------------------------------------
+
+TEST(BsiBuilderTest, ExposeBsiOffsetsAndDates) {
+  PositionEncoder encoder;
+  std::vector<ExposeRow> rows = {
+      {8746325, 11, 11, 105},
+      {8746325, 22, 22, 103},
+      {8746325, 33, 33, 110},
+  };
+  ExposeBsi expose = BuildExposeBsi(rows, encoder, /*num_buckets=*/0);
+  EXPECT_EQ(expose.strategy_id, 8746325u);
+  EXPECT_EQ(expose.min_expose_date, 103u);
+  // offset = date - min + 1.
+  EXPECT_EQ(expose.offset.Get(*encoder.Lookup(11)), 3u);
+  EXPECT_EQ(expose.offset.Get(*encoder.Lookup(22)), 1u);
+  EXPECT_EQ(expose.offset.Get(*encoder.Lookup(33)), 8u);
+  EXPECT_TRUE(expose.bucket.IsEmpty());
+
+  // ExposedOnOrBefore honors the reconstructed dates.
+  EXPECT_TRUE(expose.ExposedOnOrBefore(102).IsEmpty());
+  EXPECT_EQ(expose.ExposedOnOrBefore(103).Cardinality(), 1u);
+  EXPECT_EQ(expose.ExposedOnOrBefore(105).Cardinality(), 2u);
+  EXPECT_EQ(expose.ExposedOnOrBefore(200).Cardinality(), 3u);
+
+  // ExposedBetween (the paper's 2nd-to-5th-day example).
+  const RoaringBitmap mid = expose.ExposedBetween(104, 109);
+  EXPECT_EQ(mid.Cardinality(), 1u);
+  EXPECT_TRUE(mid.Contains(*encoder.Lookup(11)));
+  EXPECT_EQ(expose.ExposedBetween(103, 103).Cardinality(), 1u);
+  EXPECT_TRUE(expose.ExposedBetween(120, 130).IsEmpty());
+}
+
+TEST(BsiBuilderTest, ExposeBsiWithBuckets) {
+  PositionEncoder encoder;
+  std::vector<ExposeRow> rows;
+  for (UnitId id = 1; id <= 500; ++id) {
+    rows.push_back({7, id, id, 100});
+  }
+  ExposeBsi expose = BuildExposeBsi(rows, encoder, /*num_buckets=*/32);
+  EXPECT_EQ(expose.bucket.Cardinality(), 500u);
+  for (UnitId id = 1; id <= 500; ++id) {
+    const uint32_t pos = *encoder.Lookup(id);
+    EXPECT_EQ(expose.bucket.Get(pos),
+              static_cast<uint64_t>(BucketOf(id, 32)) + 1);
+  }
+}
+
+TEST(BsiBuilderTest, MetricBsiRoundTrip) {
+  PositionEncoder encoder;
+  std::vector<MetricRow> rows = {
+      {20, 8371, 5, 17},
+      {20, 8371, 6, 3},
+      {20, 8371, 7, 21600},
+  };
+  MetricBsi metric = BuildMetricBsi(rows, encoder);
+  EXPECT_EQ(metric.date, 20u);
+  EXPECT_EQ(metric.metric_id, 8371u);
+  for (const MetricRow& row : rows) {
+    EXPECT_EQ(metric.value.Get(*encoder.Lookup(row.analysis_unit_id)),
+              row.value);
+  }
+}
+
+TEST(BsiBuilderTest, SharedEncoderJoinsLogs) {
+  // The same unit must land on the same position in expose and metric BSIs
+  // (the position-encoding join of §4.1.1).
+  PositionEncoder encoder;
+  ExposeBsi expose =
+      BuildExposeBsi({{1, 42, 42, 10}, {1, 43, 43, 11}}, encoder, 0);
+  MetricBsi metric = BuildMetricBsi({{11, 5, 43, 99}}, encoder);
+  const uint32_t pos43 = *encoder.Lookup(43);
+  EXPECT_EQ(expose.offset.Get(pos43), 2u);
+  EXPECT_EQ(metric.value.Get(pos43), 99u);
+  // Masking the metric by the expose filter keeps exactly unit 43's value.
+  const RoaringBitmap mask = expose.ExposedOnOrBefore(11);
+  EXPECT_EQ(metric.value.SumUnderMask(mask), 99u);
+  EXPECT_EQ(metric.value.SumUnderMask(expose.ExposedOnOrBefore(10)), 0u);
+}
+
+TEST(BsiBuilderTest, ExposeSerializeRoundTrip) {
+  PositionEncoder encoder;
+  std::vector<ExposeRow> rows;
+  for (UnitId id = 1; id <= 300; ++id) {
+    rows.push_back({99, id, id, static_cast<Date>(100 + id % 7)});
+  }
+  ExposeBsi expose = BuildExposeBsi(rows, encoder, 16);
+  std::string bytes;
+  expose.Serialize(&bytes);
+  Result<ExposeBsi> parsed = ExposeBsi::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().strategy_id, 99u);
+  EXPECT_EQ(parsed.value().min_expose_date, 100u);
+  EXPECT_TRUE(parsed.value().offset.Equals(expose.offset));
+  EXPECT_TRUE(parsed.value().bucket.Equals(expose.bucket));
+}
+
+TEST(BsiBuilderTest, MetricSerializeRoundTrip) {
+  PositionEncoder encoder;
+  MetricBsi metric = BuildMetricBsi({{5, 123, 9, 77}}, encoder);
+  std::string bytes;
+  metric.Serialize(&bytes);
+  Result<MetricBsi> parsed = MetricBsi::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().date, 5u);
+  EXPECT_EQ(parsed.value().metric_id, 123u);
+  EXPECT_TRUE(parsed.value().value.Equals(metric.value));
+  EXPECT_FALSE(MetricBsi::Deserialize(bytes.substr(0, 4)).ok());
+}
+
+TEST(BsiBuilderTest, EmptyRows) {
+  PositionEncoder encoder;
+  ExposeBsi expose = BuildExposeBsi({}, encoder, 0);
+  EXPECT_TRUE(expose.offset.IsEmpty());
+  MetricBsi metric = BuildMetricBsi({}, encoder);
+  EXPECT_TRUE(metric.value.IsEmpty());
+}
+
+}  // namespace
+}  // namespace expbsi

@@ -1,0 +1,240 @@
+#include "expdata/generator.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "expdata/segmenter.h"
+
+namespace expbsi {
+namespace {
+
+DatasetConfig SmallConfig() {
+  DatasetConfig config;
+  config.num_users = 5000;
+  config.num_segments = 8;
+  config.num_days = 5;
+  config.start_date = 100;
+  config.seed = 123;
+  return config;
+}
+
+ExperimentConfig TwoArmExperiment(double effect) {
+  ExperimentConfig exp;
+  exp.strategy_ids = {1001, 1002};
+  exp.arm_effects = {1.0, effect};
+  exp.traffic_salt = 99;
+  return exp;
+}
+
+MetricConfig SimpleMetric() {
+  MetricConfig m;
+  m.metric_id = 42;
+  m.value_range = 100;
+  m.daily_participation = 0.5;
+  return m;
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  Dataset a = GenerateDataset(SmallConfig(), {TwoArmExperiment(1.1)},
+                              {SimpleMetric()}, {});
+  Dataset b = GenerateDataset(SmallConfig(), {TwoArmExperiment(1.1)},
+                              {SimpleMetric()}, {});
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  size_t expose_rows = 0, metric_rows = 0;
+  for (size_t s = 0; s < a.segments.size(); ++s) {
+    ASSERT_EQ(a.segments[s].expose.size(), b.segments[s].expose.size());
+    ASSERT_EQ(a.segments[s].metrics.size(), b.segments[s].metrics.size());
+    expose_rows += a.segments[s].expose.size();
+    metric_rows += a.segments[s].metrics.size();
+    for (size_t i = 0; i < a.segments[s].metrics.size(); ++i) {
+      EXPECT_EQ(a.segments[s].metrics[i].value,
+                b.segments[s].metrics[i].value);
+      EXPECT_EQ(a.segments[s].metrics[i].analysis_unit_id,
+                b.segments[s].metrics[i].analysis_unit_id);
+    }
+  }
+  EXPECT_GT(expose_rows, 0u);
+  EXPECT_GT(metric_rows, 0u);
+}
+
+TEST(GeneratorTest, RowsLandInCorrectSegments) {
+  Dataset ds = GenerateDataset(SmallConfig(), {TwoArmExperiment(1.0)},
+                               {SimpleMetric()}, {});
+  for (int seg = 0; seg < ds.config.num_segments; ++seg) {
+    for (const MetricRow& row : ds.segments[seg].metrics) {
+      EXPECT_EQ(SegmentOf(row.analysis_unit_id, ds.config.num_segments), seg);
+      EXPECT_GE(row.value, 1u);
+      EXPECT_LE(row.value, 100u);
+      EXPECT_GE(row.date, 100u);
+      EXPECT_LT(row.date, 105u);
+    }
+    for (const ExposeRow& row : ds.segments[seg].expose) {
+      EXPECT_EQ(SegmentOf(row.analysis_unit_id, ds.config.num_segments), seg);
+    }
+  }
+}
+
+TEST(GeneratorTest, UserIdsUniqueAndTrafficSplitBalanced) {
+  Dataset ds = GenerateDataset(SmallConfig(), {TwoArmExperiment(1.0)},
+                               {SimpleMetric()}, {});
+  std::set<UnitId> users;
+  std::map<uint64_t, int> by_strategy;
+  for (const SegmentData& seg : ds.segments) {
+    for (const ExposeRow& row : seg.expose) {
+      EXPECT_TRUE(users.insert(row.analysis_unit_id).second)
+          << "unit exposed twice in one experiment";
+      ++by_strategy[row.strategy_id];
+      EXPECT_LE(row.analysis_unit_id, 0xFFFFFFFFull);  // 32-bit ids
+    }
+  }
+  ASSERT_EQ(by_strategy.size(), 2u);
+  const double ratio = static_cast<double>(by_strategy[1001]) /
+                       (by_strategy[1001] + by_strategy[1002]);
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(GeneratorTest, ExposureDecaysGeometrically) {
+  DatasetConfig config = SmallConfig();
+  config.num_users = 20000;
+  Dataset ds = GenerateDataset(config, {TwoArmExperiment(1.0)},
+                               {SimpleMetric()}, {});
+  std::map<Date, int> by_day;
+  for (const SegmentData& seg : ds.segments) {
+    for (const ExposeRow& row : seg.expose) ++by_day[row.first_expose_date];
+  }
+  // Most exposures in the first days (§3.5).
+  ASSERT_GT(by_day[100], 0);
+  EXPECT_GT(by_day[100], by_day[101]);
+  EXPECT_GT(by_day[101], by_day[102]);
+  EXPECT_GT(by_day[100] + by_day[101],
+            by_day[102] + by_day[103] + by_day[104]);
+}
+
+TEST(GeneratorTest, TreatmentEffectShiftsValues) {
+  DatasetConfig config = SmallConfig();
+  config.num_users = 30000;
+  ExperimentConfig exp = TwoArmExperiment(1.5);  // strong effect
+  Dataset ds = GenerateDataset(config, {exp}, {SimpleMetric()}, {});
+  // Map unit -> arm from the expose rows.
+  std::map<UnitId, uint64_t> arm_of;
+  std::map<UnitId, Date> exposed_on;
+  for (const SegmentData& seg : ds.segments) {
+    for (const ExposeRow& row : seg.expose) {
+      arm_of[row.analysis_unit_id] = row.strategy_id;
+      exposed_on[row.analysis_unit_id] = row.first_expose_date;
+    }
+  }
+  double sum_c = 0, n_c = 0, sum_t = 0, n_t = 0;
+  for (const SegmentData& seg : ds.segments) {
+    for (const MetricRow& row : seg.metrics) {
+      auto it = arm_of.find(row.analysis_unit_id);
+      if (it == arm_of.end()) continue;
+      if (row.date < exposed_on[row.analysis_unit_id]) continue;
+      if (it->second == 1001) {
+        sum_c += static_cast<double>(row.value);
+        ++n_c;
+      } else {
+        sum_t += static_cast<double>(row.value);
+        ++n_t;
+      }
+    }
+  }
+  ASSERT_GT(n_c, 1000.0);
+  ASSERT_GT(n_t, 1000.0);
+  EXPECT_GT(sum_t / n_t, 1.2 * (sum_c / n_c));
+}
+
+TEST(GeneratorTest, EngagementOrderingSkewsParticipation) {
+  DatasetConfig config = SmallConfig();
+  config.num_users = 10000;
+  config.num_segments = 1;  // everything in one segment for easy ranking
+  Dataset ds = GenerateDataset(config, {}, {SimpleMetric()}, {});
+  const std::vector<UnitId>& ranked = ds.users_by_engagement[0];
+  ASSERT_EQ(ranked.size(), 10000u);
+  std::map<UnitId, int> activity;
+  for (const MetricRow& row : ds.segments[0].metrics) {
+    ++activity[row.analysis_unit_id];
+  }
+  double head = 0, tail = 0;
+  for (size_t i = 0; i < 1000; ++i) head += activity[ranked[i]];
+  for (size_t i = 9000; i < 10000; ++i) tail += activity[ranked[i]];
+  EXPECT_GT(head, 2 * tail);  // engaged users log far more rows
+}
+
+TEST(GeneratorTest, DimensionValuesMostlyStable) {
+  DatasetConfig config = SmallConfig();
+  DimensionConfig dim;
+  dim.dimension_id = 7;
+  dim.cardinality = 5;
+  Dataset ds = GenerateDataset(config, {}, {}, {dim});
+  std::map<UnitId, std::set<uint64_t>> values_of;
+  size_t rows = 0;
+  for (const SegmentData& seg : ds.segments) {
+    for (const DimensionRow& row : seg.dimensions) {
+      EXPECT_EQ(row.dimension_id, 7u);
+      EXPECT_GE(row.value, 1u);
+      EXPECT_LE(row.value, 5u);
+      values_of[row.analysis_unit_id].insert(row.value);
+      ++rows;
+    }
+  }
+  // One row per user per day.
+  EXPECT_EQ(rows, config.num_users * config.num_days);
+  int stable = 0;
+  for (const auto& [unit, vals] : values_of) {
+    stable += vals.size() == 1 ? 1 : 0;
+  }
+  EXPECT_GT(stable, static_cast<int>(values_of.size() * 0.8));
+}
+
+TEST(MetricPopulationTest, CoreMatchesTable3Proportions) {
+  const std::vector<MetricConfig> metrics =
+      MakeCoreMetricPopulation(105, 1, 9);
+  ASSERT_EQ(metrics.size(), 105u);
+  std::map<int, int> histogram;  // log10 bucket -> count
+  for (const MetricConfig& m : metrics) {
+    int bucket = 0;
+    uint64_t hi = 10;
+    while (m.value_range > hi) {
+      hi *= 10;
+      ++bucket;
+    }
+    ++histogram[bucket];
+  }
+  // Table 3 exact counts.
+  EXPECT_EQ(histogram[0], 33);
+  EXPECT_EQ(histogram[1], 4);
+  EXPECT_EQ(histogram[2], 26);
+  EXPECT_EQ(histogram[3], 18);
+  EXPECT_EQ(histogram[4], 12);
+  EXPECT_EQ(histogram[5], 5);
+  EXPECT_EQ(histogram[6], 5);
+  EXPECT_EQ(histogram[7], 2);
+}
+
+TEST(MetricPopulationTest, FleetMatchesFigure4Constraint) {
+  const std::vector<MetricConfig> metrics =
+      MakeFleetMetricPopulation(5890, 1, 10);
+  ASSERT_EQ(metrics.size(), 5890u);
+  int small = 0;
+  for (const MetricConfig& m : metrics) {
+    if (m.value_range <= 100) ++small;
+  }
+  // Paper: 3979 of 5890 metrics have range cardinality <= 100.
+  EXPECT_NEAR(small, 3979, 30);
+}
+
+TEST(MetricPopulationTest, TypicalMetricsABC) {
+  const std::vector<MetricConfig> abc = MakeTypicalMetricsABC();
+  ASSERT_EQ(abc.size(), 3u);
+  EXPECT_EQ(abc[0].value_range, 1u);      // A: binary
+  EXPECT_EQ(abc[1].value_range, 50u);     // B
+  EXPECT_EQ(abc[2].value_range, 21600u);  // C
+  EXPECT_GT(abc[0].daily_participation, abc[1].daily_participation);
+  EXPECT_GT(abc[2].daily_participation, abc[0].daily_participation);
+}
+
+}  // namespace
+}  // namespace expbsi

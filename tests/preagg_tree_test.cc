@@ -1,0 +1,103 @@
+#include "storage/preagg_tree.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bsi/bsi_aggregate.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace expbsi {
+namespace {
+
+using testing_util::RandomValueMap;
+using testing_util::ToPairVector;
+
+std::vector<Bsi> MakeDailyLeaves(uint64_t seed, int days) {
+  Rng rng(seed);
+  std::vector<Bsi> leaves;
+  leaves.reserve(days);
+  for (int d = 0; d < days; ++d) {
+    leaves.push_back(
+        Bsi::FromPairs(ToPairVector(RandomValueMap(rng, 500, 5000, 100))));
+  }
+  return leaves;
+}
+
+PreAggTree::MergeFn SumMerge() {
+  return [](const Bsi& a, const Bsi& b) { return SumBsi(a, b); };
+}
+
+TEST(PreAggTreeTest, SingleLeaf) {
+  std::vector<Bsi> leaves = MakeDailyLeaves(1, 1);
+  const Bsi expect = leaves[0];
+  PreAggTree tree(std::move(leaves), SumMerge());
+  EXPECT_TRUE(tree.Query(0, 0).Equals(expect));
+}
+
+TEST(PreAggTreeTest, QueryEqualsLinearFoldAllRanges) {
+  const int days = 7;  // the Fig. 6 example size
+  PreAggTree tree(MakeDailyLeaves(2, days), SumMerge());
+  for (int lo = 0; lo < days; ++lo) {
+    for (int hi = lo; hi < days; ++hi) {
+      EXPECT_TRUE(tree.Query(lo, hi).Equals(tree.QueryLinear(lo, hi)))
+          << "range [" << lo << ", " << hi << "]";
+    }
+  }
+}
+
+TEST(PreAggTreeTest, Figure6NodeCount) {
+  // Fig. 6: sumBSI of days 1..7 (indices 0..6) merges 3 nodes (1234, 56, 7)
+  // instead of 7.
+  PreAggTree tree(MakeDailyLeaves(3, 7), SumMerge());
+  int nodes = 0;
+  tree.Query(0, 6, &nodes);
+  EXPECT_EQ(nodes, 3);
+  tree.Query(0, 3, &nodes);  // exactly node "1234"
+  EXPECT_EQ(nodes, 1);
+  tree.Query(0, 7 - 1, &nodes);
+  EXPECT_EQ(nodes, 3);
+}
+
+TEST(PreAggTreeTest, NodeCountIsLogarithmic) {
+  const int days = 30;  // a month, as in the pre-experiment lookback
+  PreAggTree tree(MakeDailyLeaves(4, days), SumMerge());
+  for (int lo = 0; lo < days; lo += 3) {
+    for (int hi = lo; hi < days; hi += 5) {
+      int nodes = 0;
+      tree.Query(lo, hi, &nodes);
+      // A segment tree touches at most 2*ceil(log2(extent)) covered nodes.
+      EXPECT_LE(nodes, 2 * static_cast<int>(std::ceil(std::log2(32))));
+    }
+  }
+}
+
+TEST(PreAggTreeTest, NonPowerOfTwoLeafCount) {
+  const int days = 29;  // Table 4's month
+  PreAggTree tree(MakeDailyLeaves(5, days), SumMerge());
+  EXPECT_TRUE(tree.Query(0, days - 1).Equals(tree.QueryLinear(0, days - 1)));
+  EXPECT_TRUE(tree.Query(13, 27).Equals(tree.QueryLinear(13, 27)));
+}
+
+TEST(PreAggTreeTest, WorksWithMaxMerge) {
+  std::vector<Bsi> leaves = MakeDailyLeaves(6, 8);
+  std::vector<Bsi> copy = leaves;
+  PreAggTree tree(std::move(leaves),
+                  [](const Bsi& a, const Bsi& b) { return MaxBsi(a, b); });
+  Bsi expect = copy[2];
+  for (int d = 3; d <= 6; ++d) expect = MaxBsi(expect, copy[d]);
+  EXPECT_TRUE(tree.Query(2, 6).Equals(expect));
+}
+
+TEST(PreAggTreeTest, EmptyLeavesAreIdentity) {
+  std::vector<Bsi> leaves(5);
+  leaves[2] = Bsi::FromValues({1, 2, 3});
+  PreAggTree tree(std::move(leaves), SumMerge());
+  EXPECT_TRUE(tree.Query(0, 4).Equals(Bsi::FromValues({1, 2, 3})));
+  EXPECT_TRUE(tree.Query(0, 1).IsEmpty());
+}
+
+}  // namespace
+}  // namespace expbsi

@@ -1,0 +1,98 @@
+#include "expdata/raw_log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace expbsi {
+namespace {
+
+TEST(AggregateRawExposeTest, KeepsFirstDatePerUnit) {
+  std::vector<RawExposeEvent> events = {
+      {7, 100, 100, 5}, {7, 100, 100, 3}, {7, 100, 100, 9},  // unit 100
+      {7, 200, 200, 4},                                      // unit 200
+      {8, 100, 100, 6},                                      // other strategy
+  };
+  const std::vector<ExposeRow> rows =
+      AggregateRawExposeEvents(std::move(events));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].strategy_id, 7u);
+  EXPECT_EQ(rows[0].analysis_unit_id, 100u);
+  EXPECT_EQ(rows[0].first_expose_date, 3u);  // min of 5, 3, 9
+  EXPECT_EQ(rows[1].analysis_unit_id, 200u);
+  EXPECT_EQ(rows[1].first_expose_date, 4u);
+  EXPECT_EQ(rows[2].strategy_id, 8u);
+  EXPECT_EQ(rows[2].first_expose_date, 6u);
+}
+
+TEST(AggregateRawExposeTest, EmptyInput) {
+  EXPECT_TRUE(AggregateRawExposeEvents({}).empty());
+}
+
+TEST(AggregateRawExposeTest, PropertyMinDateSurvives) {
+  Rng rng(5);
+  std::vector<RawExposeEvent> events;
+  std::map<UnitId, Date> expect_min;
+  for (int i = 0; i < 5000; ++i) {
+    const UnitId unit = 1 + rng.NextBounded(300);
+    const Date date = static_cast<Date>(rng.NextBounded(30));
+    events.push_back({1, unit, unit, date});
+    auto [it, inserted] = expect_min.try_emplace(unit, date);
+    if (!inserted) it->second = std::min(it->second, date);
+  }
+  const std::vector<ExposeRow> rows =
+      AggregateRawExposeEvents(std::move(events));
+  ASSERT_EQ(rows.size(), expect_min.size());
+  for (const ExposeRow& row : rows) {
+    EXPECT_EQ(row.first_expose_date, expect_min.at(row.analysis_unit_id));
+  }
+}
+
+TEST(AggregateRawMetricTest, SumsPerUnitDay) {
+  std::vector<RawMetricEvent> events = {
+      {1, 42, 100, 3}, {1, 42, 100, 4},  // same unit/day: sums to 7
+      {2, 42, 100, 5},                   // next day
+      {1, 42, 200, 1},
+      {1, 43, 100, 9},                   // other metric
+      {1, 42, 300, 0}, {1, 42, 300, 0},  // zero sum: dropped
+  };
+  const std::vector<MetricRow> rows =
+      AggregateRawMetricEvents(std::move(events));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].metric_id, 42u);
+  EXPECT_EQ(rows[0].date, 1u);
+  EXPECT_EQ(rows[0].analysis_unit_id, 100u);
+  EXPECT_EQ(rows[0].value, 7u);
+  EXPECT_EQ(rows[1].analysis_unit_id, 200u);
+  EXPECT_EQ(rows[2].date, 2u);
+  EXPECT_EQ(rows[2].value, 5u);
+  EXPECT_EQ(rows[3].metric_id, 43u);
+}
+
+TEST(AggregateRawMetricTest, PropertySumMatchesNaive) {
+  Rng rng(6);
+  std::vector<RawMetricEvent> events;
+  std::map<std::tuple<uint64_t, Date, UnitId>, uint64_t> expect;
+  for (int i = 0; i < 8000; ++i) {
+    RawMetricEvent e;
+    e.metric_id = 1 + rng.NextBounded(3);
+    e.date = static_cast<Date>(rng.NextBounded(5));
+    e.analysis_unit_id = 1 + rng.NextBounded(200);
+    e.value = rng.NextBounded(10);
+    expect[{e.metric_id, e.date, e.analysis_unit_id}] += e.value;
+    events.push_back(e);
+  }
+  size_t nonzero = 0;
+  for (const auto& [key, v] : expect) nonzero += v > 0 ? 1 : 0;
+  const std::vector<MetricRow> rows =
+      AggregateRawMetricEvents(std::move(events));
+  EXPECT_EQ(rows.size(), nonzero);
+  for (const MetricRow& row : rows) {
+    EXPECT_EQ(row.value,
+              expect.at({row.metric_id, row.date, row.analysis_unit_id}));
+    EXPECT_GT(row.value, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace expbsi

@@ -1,0 +1,273 @@
+#include "roaring/roaring_bitmap.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace expbsi {
+namespace {
+
+using testing_util::RandomSet;
+
+RoaringBitmap FromSet(const std::set<uint32_t>& s) {
+  return RoaringBitmap::FromSorted({s.begin(), s.end()});
+}
+
+std::set<uint32_t> ToSet(const RoaringBitmap& bm) {
+  std::set<uint32_t> out;
+  bm.ForEach([&out](uint32_t v) { out.insert(v); });
+  return out;
+}
+
+TEST(RoaringBitmapTest, EmptyBitmap) {
+  RoaringBitmap bm;
+  EXPECT_TRUE(bm.IsEmpty());
+  EXPECT_EQ(bm.Cardinality(), 0u);
+  EXPECT_FALSE(bm.Contains(0));
+  EXPECT_EQ(bm.NumContainers(), 0);
+}
+
+TEST(RoaringBitmapTest, AddAcrossContainers) {
+  RoaringBitmap bm;
+  bm.Add(1);
+  bm.Add(70000);        // second container
+  bm.Add(4000000000u);  // high key
+  EXPECT_EQ(bm.Cardinality(), 3u);
+  EXPECT_EQ(bm.NumContainers(), 3);
+  EXPECT_TRUE(bm.Contains(1));
+  EXPECT_TRUE(bm.Contains(70000));
+  EXPECT_TRUE(bm.Contains(4000000000u));
+  EXPECT_FALSE(bm.Contains(2));
+  EXPECT_EQ(bm.Minimum(), 1u);
+  EXPECT_EQ(bm.Maximum(), 4000000000u);
+}
+
+TEST(RoaringBitmapTest, RemoveDropsEmptyContainers) {
+  RoaringBitmap bm;
+  bm.Add(70000);
+  EXPECT_EQ(bm.NumContainers(), 1);
+  bm.Remove(70000);
+  EXPECT_EQ(bm.NumContainers(), 0);
+  EXPECT_TRUE(bm.IsEmpty());
+}
+
+TEST(RoaringBitmapTest, AddRangeSpanningContainers) {
+  RoaringBitmap bm;
+  bm.AddRange(65000, 140000);
+  EXPECT_EQ(bm.Cardinality(), 140000u - 65000u);
+  EXPECT_TRUE(bm.Contains(65000));
+  EXPECT_TRUE(bm.Contains(65536));
+  EXPECT_TRUE(bm.Contains(139999));
+  EXPECT_FALSE(bm.Contains(140000));
+  EXPECT_FALSE(bm.Contains(64999));
+}
+
+TEST(RoaringBitmapTest, FromUnsortedDeduplicates) {
+  RoaringBitmap bm = RoaringBitmap::FromUnsorted({5, 1, 5, 70000, 1});
+  EXPECT_EQ(bm.Cardinality(), 3u);
+  EXPECT_EQ(ToSet(bm), (std::set<uint32_t>{1, 5, 70000}));
+}
+
+TEST(RoaringBitmapTest, RankSelect) {
+  RoaringBitmap bm = RoaringBitmap::FromSorted({10, 20, 70000, 200000});
+  EXPECT_EQ(bm.Rank(9), 0u);
+  EXPECT_EQ(bm.Rank(10), 1u);
+  EXPECT_EQ(bm.Rank(70000), 3u);
+  EXPECT_EQ(bm.Rank(4000000000u), 4u);
+  EXPECT_EQ(bm.Select(0), 10u);
+  EXPECT_EQ(bm.Select(2), 70000u);
+  EXPECT_EQ(bm.Select(3), 200000u);
+}
+
+TEST(RoaringBitmapTest, SerializeRoundTrip) {
+  Rng rng(99);
+  RoaringBitmap bm;
+  for (int i = 0; i < 20000; ++i) {
+    bm.Add(static_cast<uint32_t>(rng.NextBounded(1u << 24)));
+  }
+  bm.AddRange(5000000, 5200000);
+  bm.RunOptimize();
+  const std::string bytes = bm.SerializeToString();
+  Result<RoaringBitmap> parsed = RoaringBitmap::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Equals(bm));
+}
+
+TEST(RoaringBitmapTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(RoaringBitmap::Deserialize("xy").ok());
+  RoaringBitmap bm;
+  bm.Add(7);
+  std::string bytes = bm.SerializeToString();
+  EXPECT_FALSE(
+      RoaringBitmap::Deserialize(bytes.substr(0, bytes.size() - 1)).ok());
+}
+
+TEST(RoaringBitmapTest, RunOptimizeKeepsSemantics) {
+  RoaringBitmap bm;
+  for (uint32_t v = 0; v < 100000; ++v) bm.Add(v);  // bitmap containers
+  RoaringBitmap copy = bm;
+  bm.RunOptimize();
+  EXPECT_GT(bm.NumRunContainers(), 0);
+  EXPECT_TRUE(bm.Equals(copy));
+  EXPECT_LT(bm.SizeInBytes(), copy.SizeInBytes());
+}
+
+// Property tests over random universes, including cross-container values.
+class RoaringOpTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoaringOpTest, MatchesSetAlgebra) {
+  Rng rng(GetParam());
+  // Mix of sparse wide-range values and a dense band, to cross container
+  // types within one bitmap.
+  std::set<uint32_t> set_a = RandomSet(rng, 3000, 1u << 22);
+  std::set<uint32_t> set_b = RandomSet(rng, 3000, 1u << 22);
+  for (int i = 0; i < 20000; ++i) {
+    set_a.insert(static_cast<uint32_t>(100000 + rng.NextBounded(30000)));
+    set_b.insert(static_cast<uint32_t>(110000 + rng.NextBounded(30000)));
+  }
+  RoaringBitmap a = FromSet(set_a);
+  RoaringBitmap b = FromSet(set_b);
+  if (GetParam() % 2 == 0) {
+    a.RunOptimize();
+    b.RunOptimize();
+  }
+
+  std::set<uint32_t> expect_and, expect_or, expect_xor, expect_andnot;
+  std::set_intersection(set_a.begin(), set_a.end(), set_b.begin(),
+                        set_b.end(),
+                        std::inserter(expect_and, expect_and.begin()));
+  std::set_union(set_a.begin(), set_a.end(), set_b.begin(), set_b.end(),
+                 std::inserter(expect_or, expect_or.begin()));
+  std::set_symmetric_difference(
+      set_a.begin(), set_a.end(), set_b.begin(), set_b.end(),
+      std::inserter(expect_xor, expect_xor.begin()));
+  std::set_difference(set_a.begin(), set_a.end(), set_b.begin(), set_b.end(),
+                      std::inserter(expect_andnot, expect_andnot.begin()));
+
+  EXPECT_EQ(ToSet(RoaringBitmap::And(a, b)), expect_and);
+  EXPECT_EQ(ToSet(RoaringBitmap::Or(a, b)), expect_or);
+  EXPECT_EQ(ToSet(RoaringBitmap::Xor(a, b)), expect_xor);
+  EXPECT_EQ(ToSet(RoaringBitmap::AndNot(a, b)), expect_andnot);
+  EXPECT_EQ(RoaringBitmap::AndCardinality(a, b), expect_and.size());
+  EXPECT_EQ(RoaringBitmap::Intersects(a, b), !expect_and.empty());
+
+  // In-place variants agree with the static ones.
+  RoaringBitmap t = a;
+  t.AndInPlace(b);
+  EXPECT_EQ(ToSet(t), expect_and);
+  t = a;
+  t.OrInPlace(b);
+  EXPECT_EQ(ToSet(t), expect_or);
+  t = a;
+  t.XorInPlace(b);
+  EXPECT_EQ(ToSet(t), expect_xor);
+  t = a;
+  t.AndNotInPlace(b);
+  EXPECT_EQ(ToSet(t), expect_andnot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoaringOpTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(RoaringBitmapTest, OpsWithEmptyOperand) {
+  RoaringBitmap a = RoaringBitmap::FromSorted({1, 2, 3});
+  RoaringBitmap empty;
+  EXPECT_TRUE(RoaringBitmap::And(a, empty).IsEmpty());
+  EXPECT_TRUE(RoaringBitmap::And(empty, a).IsEmpty());
+  EXPECT_TRUE(RoaringBitmap::Or(a, empty).Equals(a));
+  EXPECT_TRUE(RoaringBitmap::Or(empty, a).Equals(a));
+  EXPECT_TRUE(RoaringBitmap::Xor(a, empty).Equals(a));
+  EXPECT_TRUE(RoaringBitmap::AndNot(a, empty).Equals(a));
+  EXPECT_TRUE(RoaringBitmap::AndNot(empty, a).IsEmpty());
+  EXPECT_EQ(RoaringBitmap::AndCardinality(a, empty), 0u);
+  EXPECT_FALSE(RoaringBitmap::Intersects(a, empty));
+}
+
+TEST(RoaringBitmapTest, SizeInBytesReflectsDensity) {
+  // A dense, compact-position bitmap must be far smaller per element than a
+  // scattered one -- the §3.4 rationale for engagement-ordered encoding.
+  RoaringBitmap dense;
+  dense.AddRange(0, 1000000);
+  dense.RunOptimize();
+  Rng rng(7);
+  RoaringBitmap sparse;
+  for (int i = 0; i < 1000000; ++i) {
+    sparse.Add(static_cast<uint32_t>(rng.NextBounded(1u << 31)));
+  }
+  const double dense_bytes_per_elem =
+      static_cast<double>(dense.SizeInBytes()) /
+      static_cast<double>(dense.Cardinality());
+  const double sparse_bytes_per_elem =
+      static_cast<double>(sparse.SizeInBytes()) /
+      static_cast<double>(sparse.Cardinality());
+  EXPECT_LT(dense_bytes_per_elem * 20, sparse_bytes_per_elem);
+}
+
+}  // namespace
+}  // namespace expbsi
+
+namespace expbsi {
+namespace {
+
+TEST(RoaringIteratorTest, WalksAllValuesInOrder) {
+  Rng rng(201);
+  std::set<uint32_t> values = testing_util::RandomSet(rng, 5000, 1u << 24);
+  values.insert(0);
+  values.insert(0xFFFFFFFFu);
+  RoaringBitmap bm = RoaringBitmap::FromSorted({values.begin(), values.end()});
+  bm.AddRange(1u << 20, (1u << 20) + 30000);  // dense stretch
+  bm.RunOptimize();
+  std::vector<uint32_t> expect = bm.ToVector();
+  std::vector<uint32_t> got;
+  for (RoaringBitmap::Iterator it(bm); it.HasValue(); it.Next()) {
+    got.push_back(it.value());
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(RoaringIteratorTest, EmptyBitmap) {
+  RoaringBitmap bm;
+  RoaringBitmap::Iterator it(bm);
+  EXPECT_FALSE(it.HasValue());
+}
+
+TEST(RoaringIteratorTest, SkipTo) {
+  RoaringBitmap bm = RoaringBitmap::FromSorted({10, 20, 70000, 200000});
+  RoaringBitmap::Iterator it(bm);
+  it.SkipTo(15);
+  ASSERT_TRUE(it.HasValue());
+  EXPECT_EQ(it.value(), 20u);
+  it.SkipTo(20);  // no-op: already at/after target
+  EXPECT_EQ(it.value(), 20u);
+  it.SkipTo(65537);
+  ASSERT_TRUE(it.HasValue());
+  EXPECT_EQ(it.value(), 70000u);
+  it.SkipTo(300000);
+  EXPECT_FALSE(it.HasValue());
+}
+
+TEST(RoaringIteratorTest, SkipToPropertyMatchesLowerBound) {
+  Rng rng(202);
+  std::set<uint32_t> values = testing_util::RandomSet(rng, 3000, 1u << 22);
+  RoaringBitmap bm = RoaringBitmap::FromSorted({values.begin(), values.end()});
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t target = static_cast<uint32_t>(rng.NextBounded(1u << 22));
+    RoaringBitmap::Iterator it(bm);
+    it.SkipTo(target);
+    auto lb = values.lower_bound(target);
+    if (lb == values.end()) {
+      EXPECT_FALSE(it.HasValue());
+    } else {
+      ASSERT_TRUE(it.HasValue());
+      EXPECT_EQ(it.value(), *lb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expbsi

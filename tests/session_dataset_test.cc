@@ -1,0 +1,152 @@
+// Tests for the unit-hierarchy case (§3.1.1): session-level analysis units
+// randomized (and bucketed) by user. "The randomization unit should always
+// be higher or equal to the analysis unit."
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+#include "expdata/segmenter.h"
+
+namespace expbsi {
+namespace {
+
+class SessionDatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.num_users = 8000;
+    config.num_segments = 4;
+    config.num_buckets = 64;
+    config.num_days = 5;
+    config.seed = 88;
+
+    ExperimentConfig exp;
+    exp.strategy_ids = {31, 32};
+    exp.arm_effects = {1.0, 1.25};
+    exp.traffic_salt = 19;
+
+    MetricConfig m;  // forwarding-count-per-session
+    m.metric_id = 777;
+    m.value_range = 30;
+    m.daily_participation = 0.8;
+
+    dataset_ = new Dataset(
+        GenerateSessionDataset(config, {exp}, {m}, /*sessions_per_day=*/1.5));
+    bsi_ = new ExperimentBsiData(BuildExperimentBsiData(*dataset_, true));
+  }
+
+  static void TearDownTestSuite() {
+    delete bsi_;
+    delete dataset_;
+  }
+
+  static Dataset* dataset_;
+  static ExperimentBsiData* bsi_;
+};
+
+Dataset* SessionDatasetTest::dataset_ = nullptr;
+ExperimentBsiData* SessionDatasetTest::bsi_ = nullptr;
+
+TEST_F(SessionDatasetTest, AnalysisUnitIsSessionRandomizationIsUser) {
+  EXPECT_FALSE(dataset_->config.bucket_equals_segment);
+  size_t expose_rows = 0;
+  std::set<UnitId> sessions;
+  std::set<UnitId> users;
+  for (const SegmentData& seg : dataset_->segments) {
+    for (const ExposeRow& row : seg.expose) {
+      // Session ids are distinct from user ids and never repeat.
+      EXPECT_TRUE(sessions.insert(row.analysis_unit_id).second);
+      users.insert(row.randomization_unit_id);
+      // The session lives in the segment of its own (analysis) id.
+      EXPECT_EQ(SegmentOf(row.analysis_unit_id, 4),
+                &seg - dataset_->segments.data());
+      ++expose_rows;
+    }
+  }
+  EXPECT_GT(expose_rows, 1000u);
+  // Many sessions per user.
+  EXPECT_GT(sessions.size(), users.size());
+}
+
+TEST_F(SessionDatasetTest, SessionsOfAUserShareTheBucket) {
+  // Bucket assignment comes from the randomization unit (user), so all of a
+  // user's sessions land in the same statistical bucket even though they
+  // scatter across segments.
+  std::map<UnitId, std::set<int>> buckets_of_user;
+  for (const SegmentData& seg : dataset_->segments) {
+    for (const ExposeRow& row : seg.expose) {
+      buckets_of_user[row.randomization_unit_id].insert(
+          BucketOf(row.randomization_unit_id, 64));
+    }
+  }
+  for (const auto& [user, buckets] : buckets_of_user) {
+    EXPECT_EQ(buckets.size(), 1u);
+  }
+}
+
+TEST_F(SessionDatasetTest, BucketedScorecardMatchesBruteForce) {
+  const Date lo = 0, hi = 4;
+  BucketValues expect;
+  expect.sums.assign(64, 0.0);
+  expect.counts.assign(64, 0.0);
+  for (const SegmentData& seg : dataset_->segments) {
+    std::map<UnitId, std::pair<Date, int>> exposed;  // session -> (date, bucket)
+    for (const ExposeRow& row : seg.expose) {
+      if (row.strategy_id != 32) continue;
+      exposed[row.analysis_unit_id] = {row.first_expose_date,
+                                       BucketOf(row.randomization_unit_id,
+                                                64)};
+    }
+    for (const auto& [sid, info] : exposed) {
+      if (info.first <= hi) expect.counts[info.second] += 1.0;
+    }
+    for (const MetricRow& row : seg.metrics) {
+      if (row.metric_id != 777 || row.date < lo || row.date > hi) continue;
+      auto it = exposed.find(row.analysis_unit_id);
+      if (it != exposed.end() && it->second.first <= row.date) {
+        expect.sums[it->second.second] += static_cast<double>(row.value);
+      }
+    }
+  }
+  const BucketValues got = ComputeStrategyMetricBsi(*bsi_, 32, 777, lo, hi);
+  EXPECT_EQ(got.sums, expect.sums);
+  EXPECT_EQ(got.counts, expect.counts);
+}
+
+TEST_F(SessionDatasetTest, PerSessionEffectIsDetected) {
+  const std::vector<ScorecardEntry> entries =
+      ComputeScorecard(*bsi_, 31, {32}, {777}, 0, 4);
+  ASSERT_EQ(entries.size(), 1u);
+  // forwarding-count-per-session: treatment should be up.
+  EXPECT_GT(entries[0].ttest.mean_diff, 0.0);
+  EXPECT_LT(entries[0].ttest.p_value, 0.05);
+  // Degrees of freedom come from the user-level buckets, not sessions.
+  EXPECT_EQ(entries[0].treatment.df, 63.0);
+}
+
+TEST_F(SessionDatasetTest, DeterministicAcrossRuns) {
+  DatasetConfig config = dataset_->config;
+  ExperimentConfig exp;
+  exp.strategy_ids = {31, 32};
+  exp.arm_effects = {1.0, 1.25};
+  exp.traffic_salt = 19;
+  MetricConfig m;
+  m.metric_id = 777;
+  m.value_range = 30;
+  m.daily_participation = 0.8;
+  Dataset again = GenerateSessionDataset(config, {exp}, {m}, 1.5);
+  for (int seg = 0; seg < 4; ++seg) {
+    ASSERT_EQ(again.segments[seg].metrics.size(),
+              dataset_->segments[seg].metrics.size());
+    ASSERT_EQ(again.segments[seg].expose.size(),
+              dataset_->segments[seg].expose.size());
+  }
+}
+
+}  // namespace
+}  // namespace expbsi

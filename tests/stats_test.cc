@@ -1,0 +1,209 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/bucket_stats.h"
+#include "stats/cuped.h"
+#include "stats/ttest.h"
+
+namespace expbsi {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.9750021, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.0249979, 1e-6);
+}
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 2, 0.4), 0.16 * (3 - 0.8), 1e-10);
+  // Boundaries.
+  EXPECT_EQ(RegularizedIncompleteBeta(3, 4, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(3, 4, 1.0), 1.0);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.5, 0.3),
+              1.0 - RegularizedIncompleteBeta(4.5, 2.5, 0.7), 1e-10);
+}
+
+TEST(StudentTCdfTest, KnownValues) {
+  // With df = 1 (Cauchy): CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-9);
+  // df = 10: t = 2.228 is the 97.5th percentile (classic table value).
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-3);
+  // Symmetry.
+  EXPECT_NEAR(StudentTCdf(-2.0, 5.0) + StudentTCdf(2.0, 5.0), 1.0, 1e-12);
+  // Converges to the normal for large df.
+  EXPECT_NEAR(StudentTCdf(1.96, 100000.0), NormalCdf(1.96), 1e-4);
+}
+
+TEST(WelchTTestTest, NullAndAlternative) {
+  // Identical estimates: p-value 1.
+  TTestResult same = WelchTTest(5.0, 0.01, 100, 5.0, 0.01, 100);
+  EXPECT_NEAR(same.p_value, 1.0, 1e-12);
+  EXPECT_EQ(same.mean_diff, 0.0);
+  // A 10-sigma difference: p-value ~0.
+  TTestResult strong = WelchTTest(6.0, 0.005, 1000, 5.0, 0.005, 1000);
+  EXPECT_LT(strong.p_value, 1e-6);
+  EXPECT_NEAR(strong.t_stat, 10.0, 1e-9);
+  EXPECT_NEAR(strong.relative_diff, 0.2, 1e-12);
+  // Degenerate variance.
+  TTestResult degenerate = WelchTTest(1.0, 0.0, 10, 2.0, 0.0, 10);
+  EXPECT_EQ(degenerate.p_value, 0.0);
+}
+
+TEST(WelchTTestTest, SatterthwaiteDf) {
+  // Equal variances and dfs: df ~ 2 * df_arm.
+  TTestResult r = WelchTTest(0.0, 1.0, 50, 0.0, 1.0, 50);
+  EXPECT_NEAR(r.df, 100.0, 1.0);
+  // Extremely unequal variances: df approaches the dominant arm's df.
+  TTestResult skew = WelchTTest(0.0, 100.0, 50, 0.0, 1e-6, 50);
+  EXPECT_NEAR(skew.df, 50.0, 1.0);
+}
+
+TEST(BucketStatsTest, MeanVarianceCovariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(xs), 2.5);
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_DOUBLE_EQ(SampleCovariance(xs, ys), 5.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({7.0}), 0.0);
+}
+
+TEST(BucketStatsTest, EstimateRatioMatchesSimulation) {
+  // Buckets drawn from a known model: per-bucket count ~ 100, value mean 2.
+  Rng rng(11);
+  const int b = 1024;
+  BucketValues buckets;
+  buckets.sums.resize(b);
+  buckets.counts.resize(b);
+  for (int i = 0; i < b; ++i) {
+    const double n = 100 + 10 * rng.NextGaussian();
+    buckets.counts[i] = std::max(1.0, std::round(n));
+    double sum = 0;
+    for (int u = 0; u < buckets.counts[i]; ++u) {
+      sum += 2.0 + rng.NextGaussian();
+    }
+    buckets.sums[i] = sum;
+  }
+  MetricEstimate est = EstimateRatio(buckets);
+  EXPECT_NEAR(est.mean, 2.0, 0.02);
+  // True var of the mean ~ sigma^2 / total_n = 1 / 102400.
+  EXPECT_NEAR(est.var_of_mean, 1.0 / 102400, 0.3 / 102400);
+  EXPECT_EQ(est.df, b - 1);
+}
+
+TEST(BucketStatsTest, EmptyAndDegenerate) {
+  BucketValues empty;
+  MetricEstimate est = EstimateRatio(empty);
+  EXPECT_EQ(est.mean, 0.0);
+  BucketValues zero_counts;
+  zero_counts.sums = {0, 0};
+  zero_counts.counts = {0, 0};
+  est = EstimateRatio(zero_counts);
+  EXPECT_EQ(est.mean, 0.0);
+  EXPECT_EQ(est.var_of_mean, 0.0);
+}
+
+TEST(BucketStatsTest, MergeFrom) {
+  BucketValues a;
+  a.sums = {1, 2};
+  a.counts = {10, 20};
+  BucketValues b;
+  b.sums = {3, 4};
+  b.counts = {30, 40};
+  a.MergeFrom(b);
+  EXPECT_EQ(a.sums, (std::vector<double>{4, 6}));
+  EXPECT_EQ(a.counts, (std::vector<double>{40, 60}));
+  BucketValues fresh;
+  fresh.MergeFrom(b);
+  EXPECT_EQ(fresh.sums, b.sums);
+}
+
+TEST(BucketStatsTest, RatioCovarianceOfIdenticalSeriesEqualsVariance) {
+  Rng rng(12);
+  BucketValues v;
+  for (int i = 0; i < 256; ++i) {
+    const double n = 50 + rng.NextBounded(20);
+    v.counts.push_back(n);
+    v.sums.push_back(n * (1.5 + 0.2 * rng.NextGaussian()));
+  }
+  const MetricEstimate est = EstimateRatio(v);
+  const double cov = EstimateRatioCovariance(v, v);
+  EXPECT_NEAR(cov, est.var_of_mean, est.var_of_mean * 0.05);
+}
+
+TEST(CupedTest, CorrelatedCovariateReducesVariance) {
+  Rng rng(13);
+  const int b = 512;
+  BucketValues y, x;
+  for (int i = 0; i < b; ++i) {
+    const double n = 100;
+    const double user_level = rng.NextGaussian();            // shared signal
+    const double pre = 10 + 2 * user_level + 0.3 * rng.NextGaussian();
+    const double post = 20 + 4 * user_level + 0.5 * rng.NextGaussian();
+    x.counts.push_back(n);
+    x.sums.push_back(pre * n);
+    y.counts.push_back(n);
+    y.sums.push_back(post * n);
+  }
+  CupedResult result = ApplyCuped(y, x);
+  // theta should be near cov/var = (4*2)/(4+0.09) ~ 1.96.
+  EXPECT_NEAR(result.theta, 8.0 / 4.09, 0.15);
+  EXPECT_GT(result.variance_reduction, 0.8);
+  EXPECT_LT(result.adjusted.var_of_mean, result.unadjusted.var_of_mean);
+  // The adjusted mean stays centered on the raw mean (centered covariate).
+  EXPECT_NEAR(result.adjusted.mean, result.unadjusted.mean, 0.5);
+}
+
+TEST(CupedTest, UncorrelatedCovariateIsHarmless) {
+  Rng rng(14);
+  BucketValues y, x;
+  for (int i = 0; i < 512; ++i) {
+    y.counts.push_back(100);
+    y.sums.push_back(100 * (5 + rng.NextGaussian()));
+    x.counts.push_back(100);
+    x.sums.push_back(100 * (3 + rng.NextGaussian()));
+  }
+  CupedResult result = ApplyCuped(y, x);
+  EXPECT_NEAR(result.theta, 0.0, 0.1);
+  EXPECT_NEAR(result.variance_reduction, 0.0, 0.05);
+}
+
+TEST(CupedTest, PooledThetaAcrossArms) {
+  Rng rng(15);
+  auto make_arm = [&rng](double shift) {
+    BucketValues y, x;
+    for (int i = 0; i < 256; ++i) {
+      const double level = rng.NextGaussian();
+      x.counts.push_back(50);
+      x.sums.push_back(50 * (10 + level));
+      y.counts.push_back(50);
+      y.sums.push_back(50 * (shift + 3 * level + 0.1 * rng.NextGaussian()));
+    }
+    return std::pair<BucketValues, BucketValues>{y, x};
+  };
+  auto [y_t, x_t] = make_arm(21.0);
+  auto [y_c, x_c] = make_arm(20.0);
+  const double theta = PooledCupedTheta({&y_t, &y_c}, {&x_t, &x_c});
+  EXPECT_NEAR(theta, 3.0, 0.2);
+}
+
+TEST(CupedTest, TooFewBucketsFallsBackToUnadjusted) {
+  BucketValues y, x;
+  y.sums = {10};
+  y.counts = {5};
+  x.sums = {8};
+  x.counts = {5};
+  CupedResult result = ApplyCuped(y, x);
+  EXPECT_EQ(result.theta, 0.0);
+  EXPECT_EQ(result.adjusted.mean, result.unadjusted.mean);
+}
+
+}  // namespace
+}  // namespace expbsi

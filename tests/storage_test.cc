@@ -1,0 +1,215 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/bsi_store.h"
+#include "storage/column_store.h"
+#include "storage/tiered_store.h"
+
+namespace expbsi {
+namespace {
+
+TEST(NormalMetricTableTest, AppendAndRawBytes) {
+  NormalMetricTable table;
+  table.Append(3, MetricRow{10, 8371, 12345, 7});
+  table.Append(3, MetricRow{10, 8371, 12346, 9});
+  EXPECT_EQ(table.NumRows(), 2u);
+  EXPECT_EQ(table.RawBytes(), 2u * 18);
+  EXPECT_EQ(table.value()[0], 7u);
+  EXPECT_EQ(table.unit_id()[1], 12346u);
+}
+
+TEST(NormalMetricTableTest, SortImprovesCompression) {
+  Rng rng(1);
+  NormalMetricTable table;
+  for (int i = 0; i < 50000; ++i) {
+    table.Append(static_cast<uint16_t>(rng.NextBounded(16)),
+                 MetricRow{static_cast<Date>(rng.NextBounded(7)),
+                           1000 + rng.NextBounded(3),
+                           rng.NextBounded(1u << 20),
+                           1 + rng.NextBounded(50)});
+  }
+  const size_t unsorted = table.CompressedBytes();
+  table.SortForStorage();
+  const size_t sorted = table.CompressedBytes();
+  EXPECT_LT(sorted, unsorted);
+  // Sort preserves row multiset: spot-check the ordering key.
+  for (size_t i = 1; i < table.NumRows(); ++i) {
+    EXPECT_LE(table.segment()[i - 1], table.segment()[i]);
+  }
+}
+
+TEST(NormalExposeTableTest, AppendSortCompress) {
+  Rng rng(2);
+  NormalExposeTable table;
+  for (int i = 0; i < 20000; ++i) {
+    table.Append(static_cast<uint16_t>(rng.NextBounded(16)),
+                 static_cast<uint16_t>(rng.NextBounded(1024)),
+                 ExposeRow{8764293 + rng.NextBounded(3),
+                           rng.NextBounded(1u << 20),
+                           rng.NextBounded(1u << 20),
+                           static_cast<Date>(rng.NextBounded(7))});
+  }
+  EXPECT_EQ(table.RawBytes(), 20000u * 16);
+  const size_t unsorted = table.CompressedBytes();
+  table.SortForStorage();
+  EXPECT_LT(table.CompressedBytes(), unsorted);
+}
+
+TEST(BsiStoreTest, PutGetReplace) {
+  BsiStore store;
+  const BsiStoreKey key{3, BsiKind::kMetric, 8371, 20};
+  EXPECT_FALSE(store.Contains(key));
+  EXPECT_FALSE(store.Get(key).ok());
+  store.Put(key, "hello");
+  EXPECT_TRUE(store.Contains(key));
+  EXPECT_EQ(*store.Get(key).value(), "hello");
+  EXPECT_EQ(store.TotalBytes(), 5u);
+  store.Put(key, "hi");
+  EXPECT_EQ(*store.Get(key).value(), "hi");
+  EXPECT_EQ(store.TotalBytes(), 2u);
+  EXPECT_EQ(store.NumBlobs(), 1u);
+}
+
+TEST(BsiStoreTest, KeyComponentsDistinguish) {
+  BsiStore store;
+  store.Put({1, BsiKind::kMetric, 5, 10}, "a");
+  store.Put({2, BsiKind::kMetric, 5, 10}, "b");
+  store.Put({1, BsiKind::kExpose, 5, 10}, "c");
+  store.Put({1, BsiKind::kMetric, 6, 10}, "d");
+  store.Put({1, BsiKind::kMetric, 5, 11}, "e");
+  EXPECT_EQ(store.NumBlobs(), 5u);
+  EXPECT_EQ(*store.Get({1, BsiKind::kMetric, 5, 10}).value(), "a");
+  EXPECT_EQ(*store.Get({1, BsiKind::kMetric, 5, 11}).value(), "e");
+}
+
+TEST(TieredStoreTest, HotHitAfterColdRead) {
+  BsiStore cold;
+  const BsiStoreKey key{0, BsiKind::kMetric, 1, 1};
+  cold.Put(key, std::string(100, 'x'));
+  TieredStore tier(&cold, 1 << 20);
+  auto first = tier.Fetch(key);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(tier.stats().cold_reads, 1u);
+  EXPECT_EQ(tier.stats().hot_hits, 0u);
+  EXPECT_EQ(tier.stats().bytes_from_cold, 100u);
+  auto second = tier.Fetch(key);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(tier.stats().cold_reads, 1u);
+  EXPECT_EQ(tier.stats().hot_hits, 1u);
+}
+
+TEST(TieredStoreTest, LruEvictionUnderBudget) {
+  BsiStore cold;
+  for (uint64_t i = 0; i < 10; ++i) {
+    cold.Put({0, BsiKind::kMetric, i, 0}, std::string(100, 'x'));
+  }
+  TieredStore tier(&cold, 350);  // room for ~3 blobs
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tier.Fetch({0, BsiKind::kMetric, i, 0}).ok());
+  }
+  EXPECT_GT(tier.stats().evictions, 0u);
+  EXPECT_LE(tier.hot_bytes(), 350u);
+  // Most recent key is hot; the oldest has been evicted.
+  const auto before = tier.stats();
+  ASSERT_TRUE(tier.Fetch({0, BsiKind::kMetric, 9, 0}).ok());
+  EXPECT_EQ(tier.stats().hot_hits, before.hot_hits + 1);
+  ASSERT_TRUE(tier.Fetch({0, BsiKind::kMetric, 0, 0}).ok());
+  EXPECT_EQ(tier.stats().cold_reads, before.cold_reads + 1);
+}
+
+TEST(TieredStoreTest, WarmDoesNotCountAsQueryTraffic) {
+  BsiStore cold;
+  const BsiStoreKey key{0, BsiKind::kMetric, 1, 1};
+  cold.Put(key, "payload");
+  TieredStore tier(&cold, 1 << 20);
+  ASSERT_TRUE(tier.Warm(key).ok());
+  EXPECT_EQ(tier.stats().cold_reads, 0u);
+  auto fetched = tier.Fetch(key);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(tier.stats().hot_hits, 1u);
+  EXPECT_EQ(tier.stats().bytes_from_cold, 0u);
+}
+
+TEST(TieredStoreTest, MissingKeyPropagatesNotFound) {
+  BsiStore cold;
+  TieredStore tier(&cold, 100);
+  auto result = tier.Fetch({9, BsiKind::kExpose, 42, 0});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace expbsi
+
+namespace expbsi {
+namespace {
+
+TEST(BsiStorePersistenceTest, SaveLoadRoundTrip) {
+  BsiStore store;
+  store.Put({1, BsiKind::kExpose, 42, 0}, "expose blob");
+  store.Put({2, BsiKind::kMetric, 8371, 19}, std::string(5000, 'x'));
+  store.Put({3, BsiKind::kDimension, 7, 20}, "");
+  const std::string path = ::testing::TempDir() + "/bsi_store_roundtrip.bin";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  Result<BsiStore> loaded = BsiStore::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumBlobs(), 3u);
+  EXPECT_EQ(loaded.value().TotalBytes(), store.TotalBytes());
+  EXPECT_EQ(*loaded.value().Get({1, BsiKind::kExpose, 42, 0}).value(),
+            "expose blob");
+  EXPECT_EQ(loaded.value().Get({2, BsiKind::kMetric, 8371, 19}).value()->size(),
+            5000u);
+  EXPECT_TRUE(loaded.value().Contains({3, BsiKind::kDimension, 7, 20}));
+}
+
+TEST(BsiStorePersistenceTest, LoadErrors) {
+  EXPECT_EQ(BsiStore::LoadFromFile("/nonexistent/dir/f.bin").status().code(),
+            StatusCode::kNotFound);
+  // Truncated file.
+  const std::string path = ::testing::TempDir() + "/bsi_store_trunc.bin";
+  BsiStore store;
+  store.Put({1, BsiKind::kMetric, 1, 1}, "payload payload payload");
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string bytes(100, '\0');
+    const size_t n = fread(bytes.data(), 1, bytes.size(), f);
+    fclose(f);
+    f = fopen(path.c_str(), "wb");
+    fwrite(bytes.data(), 1, n - 5, f);  // drop the tail
+    fclose(f);
+  }
+  EXPECT_EQ(BsiStore::LoadFromFile(path).status().code(),
+            StatusCode::kCorruption);
+  // Bad magic.
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    const uint32_t bad = 0xdeadbeef;
+    fwrite(&bad, sizeof(bad), 1, f);
+    const uint64_t zero = 0;
+    fwrite(&zero, sizeof(zero), 1, f);
+    fclose(f);
+  }
+  EXPECT_EQ(BsiStore::LoadFromFile(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BsiStorePersistenceTest, ForEachVisitsAll) {
+  BsiStore store;
+  store.Put({1, BsiKind::kMetric, 1, 1}, "a");
+  store.Put({2, BsiKind::kMetric, 2, 2}, "bb");
+  size_t visited = 0, bytes = 0;
+  store.ForEach([&](const BsiStoreKey& key, const std::string& blob) {
+    (void)key;
+    ++visited;
+    bytes += blob.size();
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(bytes, 3u);
+}
+
+}  // namespace
+}  // namespace expbsi

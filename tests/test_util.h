@@ -1,0 +1,45 @@
+#ifndef EXPBSI_TESTS_TEST_UTIL_H_
+#define EXPBSI_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace expbsi {
+namespace testing_util {
+
+// Random set of uint32 values: `n` draws bounded by `universe`, with a bias
+// knob so some tests exercise dense containers.
+inline std::set<uint32_t> RandomSet(Rng& rng, int n, uint32_t universe) {
+  std::set<uint32_t> out;
+  for (int i = 0; i < n; ++i) {
+    out.insert(static_cast<uint32_t>(rng.NextBounded(universe)));
+  }
+  return out;
+}
+
+// Random position->value map (values in [1, max_value]).
+inline std::map<uint32_t, uint64_t> RandomValueMap(Rng& rng, int n,
+                                                   uint32_t universe,
+                                                   uint64_t max_value) {
+  std::map<uint32_t, uint64_t> out;
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<uint32_t>(rng.NextBounded(universe))] =
+        1 + rng.NextBounded(max_value);
+  }
+  return out;
+}
+
+inline std::vector<std::pair<uint32_t, uint64_t>> ToPairVector(
+    const std::map<uint32_t, uint64_t>& m) {
+  return {m.begin(), m.end()};
+}
+
+}  // namespace testing_util
+}  // namespace expbsi
+
+#endif  // EXPBSI_TESTS_TEST_UTIL_H_
