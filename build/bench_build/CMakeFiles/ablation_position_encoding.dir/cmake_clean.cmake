@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_position_encoding"
+  "../bench/ablation_position_encoding.pdb"
+  "CMakeFiles/ablation_position_encoding.dir/ablation_position_encoding.cc.o"
+  "CMakeFiles/ablation_position_encoding.dir/ablation_position_encoding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_position_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_preagg_tree"
+  "../bench/ablation_preagg_tree.pdb"
+  "CMakeFiles/ablation_preagg_tree.dir/ablation_preagg_tree.cc.o"
+  "CMakeFiles/ablation_preagg_tree.dir/ablation_preagg_tree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preagg_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

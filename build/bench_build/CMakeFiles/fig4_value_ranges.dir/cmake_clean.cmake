@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_value_ranges"
+  "../bench/fig4_value_ranges.pdb"
+  "CMakeFiles/fig4_value_ranges.dir/fig4_value_ranges.cc.o"
+  "CMakeFiles/fig4_value_ranges.dir/fig4_value_ranges.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_value_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_value_distribution"
+  "../bench/fig5_value_distribution.pdb"
+  "CMakeFiles/fig5_value_distribution.dir/fig5_value_distribution.cc.o"
+  "CMakeFiles/fig5_value_distribution.dir/fig5_value_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_value_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bsi"
+  "../bench/micro_bsi.pdb"
+  "CMakeFiles/micro_bsi.dir/micro_bsi.cc.o"
+  "CMakeFiles/micro_bsi.dir/micro_bsi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_roaring"
+  "../bench/micro_roaring.pdb"
+  "CMakeFiles/micro_roaring.dir/micro_roaring.cc.o"
+  "CMakeFiles/micro_roaring.dir/micro_roaring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_roaring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_core_metric_ranges"
+  "../bench/table3_core_metric_ranges.pdb"
+  "CMakeFiles/table3_core_metric_ranges.dir/table3_core_metric_ranges.cc.o"
+  "CMakeFiles/table3_core_metric_ranges.dir/table3_core_metric_ranges.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_core_metric_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

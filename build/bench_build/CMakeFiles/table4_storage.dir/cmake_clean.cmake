@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_storage"
+  "../bench/table4_storage.pdb"
+  "CMakeFiles/table4_storage.dir/table4_storage.cc.o"
+  "CMakeFiles/table4_storage.dir/table4_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_table6_compute"
+  "../bench/table5_table6_compute.pdb"
+  "CMakeFiles/table5_table6_compute.dir/table5_table6_compute.cc.o"
+  "CMakeFiles/table5_table6_compute.dir/table5_table6_compute.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_table6_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_precompute"
+  "../bench/table7_precompute.pdb"
+  "CMakeFiles/table7_precompute.dir/table7_precompute.cc.o"
+  "CMakeFiles/table7_precompute.dir/table7_precompute.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

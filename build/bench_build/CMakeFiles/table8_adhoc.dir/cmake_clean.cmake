@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_adhoc"
+  "../bench/table8_adhoc.pdb"
+  "CMakeFiles/table8_adhoc.dir/table8_adhoc.cc.o"
+  "CMakeFiles/table8_adhoc.dir/table8_adhoc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

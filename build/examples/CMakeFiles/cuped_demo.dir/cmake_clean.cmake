@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuped_demo.dir/cuped_demo.cpp.o"
+  "CMakeFiles/cuped_demo.dir/cuped_demo.cpp.o.d"
+  "cuped_demo"
+  "cuped_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuped_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

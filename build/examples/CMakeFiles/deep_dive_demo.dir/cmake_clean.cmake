@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_dive_demo.dir/deep_dive_demo.cpp.o"
+  "CMakeFiles/deep_dive_demo.dir/deep_dive_demo.cpp.o.d"
+  "deep_dive_demo"
+  "deep_dive_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_dive_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_demo.dir/query_demo.cpp.o"
+  "CMakeFiles/query_demo.dir/query_demo.cpp.o.d"
+  "query_demo"
+  "query_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

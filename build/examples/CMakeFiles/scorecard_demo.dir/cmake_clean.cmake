@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorecard_demo.dir/scorecard_demo.cpp.o"
+  "CMakeFiles/scorecard_demo.dir/scorecard_demo.cpp.o.d"
+  "scorecard_demo"
+  "scorecard_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorecard_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

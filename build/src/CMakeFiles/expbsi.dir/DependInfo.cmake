@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bsi/bsi.cc" "src/CMakeFiles/expbsi.dir/bsi/bsi.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/bsi/bsi.cc.o.d"
+  "/root/repo/src/bsi/bsi_aggregate.cc" "src/CMakeFiles/expbsi.dir/bsi/bsi_aggregate.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/bsi/bsi_aggregate.cc.o.d"
+  "/root/repo/src/bsi/bsi_group_by.cc" "src/CMakeFiles/expbsi.dir/bsi/bsi_group_by.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/bsi/bsi_group_by.cc.o.d"
+  "/root/repo/src/cluster/adhoc_cluster.cc" "src/CMakeFiles/expbsi.dir/cluster/adhoc_cluster.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/cluster/adhoc_cluster.cc.o.d"
+  "/root/repo/src/cluster/precompute_pipeline.cc" "src/CMakeFiles/expbsi.dir/cluster/precompute_pipeline.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/cluster/precompute_pipeline.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/expbsi.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/expbsi.dir/common/status.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/common/status.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/expbsi.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/common/threadpool.cc.o.d"
+  "/root/repo/src/engine/deepdive.cc" "src/CMakeFiles/expbsi.dir/engine/deepdive.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/engine/deepdive.cc.o.d"
+  "/root/repo/src/engine/experiment_data.cc" "src/CMakeFiles/expbsi.dir/engine/experiment_data.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/engine/experiment_data.cc.o.d"
+  "/root/repo/src/engine/normal_engine.cc" "src/CMakeFiles/expbsi.dir/engine/normal_engine.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/engine/normal_engine.cc.o.d"
+  "/root/repo/src/engine/preexperiment.cc" "src/CMakeFiles/expbsi.dir/engine/preexperiment.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/engine/preexperiment.cc.o.d"
+  "/root/repo/src/engine/scorecard.cc" "src/CMakeFiles/expbsi.dir/engine/scorecard.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/engine/scorecard.cc.o.d"
+  "/root/repo/src/expdata/bsi_builder.cc" "src/CMakeFiles/expbsi.dir/expdata/bsi_builder.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/expdata/bsi_builder.cc.o.d"
+  "/root/repo/src/expdata/generator.cc" "src/CMakeFiles/expbsi.dir/expdata/generator.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/expdata/generator.cc.o.d"
+  "/root/repo/src/expdata/position_encoder.cc" "src/CMakeFiles/expbsi.dir/expdata/position_encoder.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/expdata/position_encoder.cc.o.d"
+  "/root/repo/src/expdata/raw_log.cc" "src/CMakeFiles/expbsi.dir/expdata/raw_log.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/expdata/raw_log.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/expbsi.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/expbsi.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/token.cc" "src/CMakeFiles/expbsi.dir/query/token.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/query/token.cc.o.d"
+  "/root/repo/src/roaring/container.cc" "src/CMakeFiles/expbsi.dir/roaring/container.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/roaring/container.cc.o.d"
+  "/root/repo/src/roaring/roaring_bitmap.cc" "src/CMakeFiles/expbsi.dir/roaring/roaring_bitmap.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/roaring/roaring_bitmap.cc.o.d"
+  "/root/repo/src/stats/bucket_stats.cc" "src/CMakeFiles/expbsi.dir/stats/bucket_stats.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/stats/bucket_stats.cc.o.d"
+  "/root/repo/src/stats/cuped.cc" "src/CMakeFiles/expbsi.dir/stats/cuped.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/stats/cuped.cc.o.d"
+  "/root/repo/src/stats/ttest.cc" "src/CMakeFiles/expbsi.dir/stats/ttest.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/stats/ttest.cc.o.d"
+  "/root/repo/src/storage/block_compressor.cc" "src/CMakeFiles/expbsi.dir/storage/block_compressor.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/storage/block_compressor.cc.o.d"
+  "/root/repo/src/storage/bsi_store.cc" "src/CMakeFiles/expbsi.dir/storage/bsi_store.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/storage/bsi_store.cc.o.d"
+  "/root/repo/src/storage/column_store.cc" "src/CMakeFiles/expbsi.dir/storage/column_store.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/storage/column_store.cc.o.d"
+  "/root/repo/src/storage/preagg_tree.cc" "src/CMakeFiles/expbsi.dir/storage/preagg_tree.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/storage/preagg_tree.cc.o.d"
+  "/root/repo/src/storage/tiered_store.cc" "src/CMakeFiles/expbsi.dir/storage/tiered_store.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/storage/tiered_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/block_compressor_test.cc" "tests/CMakeFiles/expbsi_tests.dir/block_compressor_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/block_compressor_test.cc.o.d"
+  "/root/repo/tests/bsi_aggregate_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_aggregate_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_aggregate_test.cc.o.d"
+  "/root/repo/tests/bsi_compare_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_compare_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_compare_test.cc.o.d"
+  "/root/repo/tests/bsi_group_by_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_group_by_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_group_by_test.cc.o.d"
+  "/root/repo/tests/bsi_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_test.cc.o.d"
+  "/root/repo/tests/bucketed_engine_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bucketed_engine_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bucketed_engine_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/expbsi_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/expbsi_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/container_test.cc" "tests/CMakeFiles/expbsi_tests.dir/container_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/container_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/expbsi_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/expdata_test.cc" "tests/CMakeFiles/expbsi_tests.dir/expdata_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/expdata_test.cc.o.d"
+  "/root/repo/tests/generator_test.cc" "tests/CMakeFiles/expbsi_tests.dir/generator_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/generator_test.cc.o.d"
+  "/root/repo/tests/preagg_tree_test.cc" "tests/CMakeFiles/expbsi_tests.dir/preagg_tree_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/preagg_tree_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/expbsi_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/raw_log_test.cc" "tests/CMakeFiles/expbsi_tests.dir/raw_log_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/raw_log_test.cc.o.d"
+  "/root/repo/tests/roaring_test.cc" "tests/CMakeFiles/expbsi_tests.dir/roaring_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/roaring_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/expbsi_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/session_dataset_test.cc" "tests/CMakeFiles/expbsi_tests.dir/session_dataset_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/session_dataset_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/expbsi_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/expbsi_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/expbsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
