@@ -5,6 +5,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "bsi/bsi.h"
+#include "common/rng.h"
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+#include "reference/ref_column.h"
+#include "reference/ref_data.h"
+#include "reference/ref_engine.h"
 
 namespace expbsi {
 namespace bench_util {
@@ -45,6 +56,64 @@ inline std::string HumanCount(double n) {
     std::snprintf(buf, sizeof(buf), "%.0f", n);
   }
   return buf;
+}
+
+// Differential-oracle pre-flight: before a benchmark times anything, the
+// optimized path is checked against the scalar reference (src/reference/)
+// on a small workload. A benchmark that produces wrong numbers fast is
+// worse than useless, so a mismatch aborts the binary. Costs well under a
+// second. Set EXPBSI_PREFLIGHT_ONLY=1 to exit right after the check (CI
+// uses this as a standalone correctness gate).
+inline void OraclePreflight() {
+  // Raw BSI arithmetic vs the scalar column.
+  Rng rng(20260805);
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;
+  for (uint32_t pos = 0; pos < 40000; ++pos) {
+    if (rng.NextBernoulli(0.35)) {
+      pairs.emplace_back(pos, 1 + rng.NextBounded(21600));
+    }
+  }
+  const Bsi bsi_col = Bsi::FromPairs(pairs);
+  const RefColumn ref_col = RefColumn::FromPairs(pairs);
+  bool ok = bsi_col.Sum() == ref_col.Sum() &&
+            bsi_col.RangeLe(5000).ToVector() == ref_col.RangeLe(5000) &&
+            bsi_col.Quantile(0.9) == ref_col.Quantile(0.9);
+
+  // Scorecard kernel vs the scalar engine (bit-for-bit).
+  DatasetConfig config;
+  config.num_users = 300;
+  config.num_segments = 3;
+  config.num_days = 3;
+  config.seed = 97;
+  ExperimentConfig experiment;
+  experiment.strategy_ids = {800, 801};
+  experiment.arm_effects = {1.0, 1.1};
+  MetricConfig metric;
+  metric.metric_id = 11;
+  metric.value_range = 21600;
+  const Dataset dataset =
+      GenerateDataset(config, {experiment}, {metric}, {});
+  const ExperimentBsiData bsi = BuildExperimentBsiData(dataset, true);
+  const RefExperimentData ref = BuildRefExperimentData(dataset);
+  for (const uint64_t strategy : {800, 801}) {
+    const BucketValues got =
+        ComputeStrategyMetricBsi(bsi, strategy, 11, 0, 2);
+    const BucketValues want = RefComputeStrategyMetric(ref, strategy, 11, 0, 2);
+    ok = ok && got.sums == want.sums && got.counts == want.counts;
+  }
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "[preflight] FAILED: optimized engine disagrees with the "
+                 "scalar oracle; benchmark numbers would be meaningless. "
+                 "Run the differential tests for a minimal repro.\n");
+    std::abort();
+  }
+  std::printf("[preflight] oracle check passed (BSI == scalar reference)\n");
+  const char* only = std::getenv("EXPBSI_PREFLIGHT_ONLY");
+  if (only != nullptr && only[0] != '\0' && std::string(only) != "0") {
+    std::exit(0);
+  }
 }
 
 inline void PrintBanner(const char* experiment, const char* paper_shape) {

@@ -41,6 +41,7 @@ struct MetricData {
 }  // namespace
 
 int main() {
+  bench_util::OraclePreflight();
   const uint64_t users = bench_util::ScaledUsers(1u << 20);
   const int kSegments = 16;
   const int kRepeats = 5;

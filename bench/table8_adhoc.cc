@@ -19,6 +19,7 @@
 using namespace expbsi;
 
 int main() {
+  bench_util::OraclePreflight();
   const uint64_t users = bench_util::ScaledUsers(200000);
   const int kSegments = 4;
   const int kDays = 7;

@@ -138,6 +138,26 @@ bench_build/CMakeFiles/table4_storage.dir/table4_storage.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/bench/bench_util.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/bsi/bsi.h /root/repo/src/roaring/roaring_bitmap.h \
+ /root/repo/src/roaring/container.h /root/repo/src/common/bit_util.h \
+ /usr/include/c++/12/bit /root/repo/src/common/check.h \
+ /root/repo/src/common/status.h /root/repo/src/common/rng.h \
+ /root/repo/src/engine/experiment_data.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/expdata/bsi_builder.h \
+ /root/repo/src/expdata/position_encoder.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/expdata/schema.h /root/repo/src/expdata/generator.h \
+ /root/repo/src/engine/scorecard.h /root/repo/src/stats/bucket_stats.h \
+ /root/repo/src/stats/ttest.h /root/repo/src/reference/ref_column.h \
+ /root/repo/src/reference/ref_data.h \
+ /root/repo/src/reference/ref_engine.h /root/repo/src/engine/deepdive.h \
  /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime /usr/include/time.h \
@@ -147,9 +167,6 @@ bench_build/CMakeFiles/table4_storage.dir/table4_storage.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
@@ -179,17 +196,5 @@ bench_build/CMakeFiles/table4_storage.dir/table4_storage.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/expdata/bsi_builder.h /root/repo/src/bsi/bsi.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/roaring/roaring_bitmap.h \
- /root/repo/src/roaring/container.h /root/repo/src/common/bit_util.h \
- /usr/include/c++/12/bit /root/repo/src/common/check.h \
- /root/repo/src/common/status.h /root/repo/src/expdata/position_encoder.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/expdata/schema.h \
- /root/repo/src/expdata/generator.h \
  /root/repo/src/storage/block_compressor.h \
  /root/repo/src/storage/column_store.h /usr/include/c++/12/cstddef

@@ -220,4 +220,8 @@ examples/CMakeFiles/cluster_demo.dir/cluster_demo.cpp.o: \
  /root/repo/src/stats/bucket_stats.h /root/repo/src/storage/bsi_store.h \
  /root/repo/src/storage/tiered_store.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/engine/scorecard.h /root/repo/src/stats/ttest.h
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/engine/scorecard.h \
+ /root/repo/src/stats/ttest.h

@@ -28,6 +28,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/query/executor.cc" "src/CMakeFiles/expbsi.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/query/executor.cc.o.d"
   "/root/repo/src/query/parser.cc" "src/CMakeFiles/expbsi.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/query/parser.cc.o.d"
   "/root/repo/src/query/token.cc" "src/CMakeFiles/expbsi.dir/query/token.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/query/token.cc.o.d"
+  "/root/repo/src/reference/ref_column.cc" "src/CMakeFiles/expbsi.dir/reference/ref_column.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/reference/ref_column.cc.o.d"
+  "/root/repo/src/reference/ref_data.cc" "src/CMakeFiles/expbsi.dir/reference/ref_data.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/reference/ref_data.cc.o.d"
+  "/root/repo/src/reference/ref_engine.cc" "src/CMakeFiles/expbsi.dir/reference/ref_engine.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/reference/ref_engine.cc.o.d"
+  "/root/repo/src/reference/ref_query.cc" "src/CMakeFiles/expbsi.dir/reference/ref_query.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/reference/ref_query.cc.o.d"
+  "/root/repo/src/reference/ref_stats.cc" "src/CMakeFiles/expbsi.dir/reference/ref_stats.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/reference/ref_stats.cc.o.d"
   "/root/repo/src/roaring/container.cc" "src/CMakeFiles/expbsi.dir/roaring/container.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/roaring/container.cc.o.d"
   "/root/repo/src/roaring/roaring_bitmap.cc" "src/CMakeFiles/expbsi.dir/roaring/roaring_bitmap.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/roaring/roaring_bitmap.cc.o.d"
   "/root/repo/src/stats/bucket_stats.cc" "src/CMakeFiles/expbsi.dir/stats/bucket_stats.cc.o" "gcc" "src/CMakeFiles/expbsi.dir/stats/bucket_stats.cc.o.d"

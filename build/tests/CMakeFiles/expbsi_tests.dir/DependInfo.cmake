@@ -11,16 +11,20 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/block_compressor_test.cc" "tests/CMakeFiles/expbsi_tests.dir/block_compressor_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/block_compressor_test.cc.o.d"
   "/root/repo/tests/bsi_aggregate_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_aggregate_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_aggregate_test.cc.o.d"
   "/root/repo/tests/bsi_compare_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_compare_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_compare_test.cc.o.d"
+  "/root/repo/tests/bsi_edge_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_edge_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_edge_test.cc.o.d"
   "/root/repo/tests/bsi_group_by_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_group_by_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_group_by_test.cc.o.d"
   "/root/repo/tests/bsi_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bsi_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bsi_test.cc.o.d"
   "/root/repo/tests/bucketed_engine_test.cc" "tests/CMakeFiles/expbsi_tests.dir/bucketed_engine_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/bucketed_engine_test.cc.o.d"
   "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/expbsi_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/cluster_test.cc.o.d"
   "/root/repo/tests/common_test.cc" "tests/CMakeFiles/expbsi_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/expbsi_tests.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/concurrency_test.cc.o.d"
   "/root/repo/tests/container_test.cc" "tests/CMakeFiles/expbsi_tests.dir/container_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/container_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/expbsi_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/differential_test.cc.o.d"
   "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/expbsi_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/engine_test.cc.o.d"
   "/root/repo/tests/expdata_test.cc" "tests/CMakeFiles/expbsi_tests.dir/expdata_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/expdata_test.cc.o.d"
   "/root/repo/tests/generator_test.cc" "tests/CMakeFiles/expbsi_tests.dir/generator_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/generator_test.cc.o.d"
   "/root/repo/tests/preagg_tree_test.cc" "tests/CMakeFiles/expbsi_tests.dir/preagg_tree_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/preagg_tree_test.cc.o.d"
+  "/root/repo/tests/query_error_test.cc" "tests/CMakeFiles/expbsi_tests.dir/query_error_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/query_error_test.cc.o.d"
   "/root/repo/tests/query_test.cc" "tests/CMakeFiles/expbsi_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/query_test.cc.o.d"
   "/root/repo/tests/raw_log_test.cc" "tests/CMakeFiles/expbsi_tests.dir/raw_log_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/raw_log_test.cc.o.d"
   "/root/repo/tests/roaring_test.cc" "tests/CMakeFiles/expbsi_tests.dir/roaring_test.cc.o" "gcc" "tests/CMakeFiles/expbsi_tests.dir/roaring_test.cc.o.d"

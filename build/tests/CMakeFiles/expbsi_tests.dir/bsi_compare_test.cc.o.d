@@ -294,4 +294,7 @@ tests/CMakeFiles/expbsi_tests.dir/bsi_compare_test.cc.o: \
  /root/repo/src/roaring/roaring_bitmap.h \
  /root/repo/src/roaring/container.h /root/repo/src/common/bit_util.h \
  /root/repo/src/common/check.h /root/repo/src/common/status.h \
- /root/repo/src/common/rng.h /root/repo/tests/test_util.h
+ /root/repo/src/common/rng.h /root/repo/tests/test_util.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -295,4 +295,7 @@ tests/CMakeFiles/expbsi_tests.dir/bsi_group_by_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/rng.h /root/repo/tests/test_util.h
+ /root/repo/src/common/rng.h /root/repo/tests/test_util.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -305,4 +305,6 @@ tests/CMakeFiles/expbsi_tests.dir/cluster_test.cc.o: \
  /root/repo/src/stats/bucket_stats.h /root/repo/src/storage/bsi_store.h \
  /root/repo/src/storage/tiered_store.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/engine/scorecard.h /root/repo/src/stats/ttest.h

@@ -302,4 +302,7 @@ tests/CMakeFiles/expbsi_tests.dir/robustness_test.cc.o: \
  /root/repo/src/expdata/position_encoder.h \
  /root/repo/src/expdata/schema.h /root/repo/src/expdata/generator.h \
  /root/repo/src/query/parser.h /root/repo/src/query/ast.h \
- /root/repo/src/storage/block_compressor.h /root/repo/tests/test_util.h
+ /root/repo/src/storage/block_compressor.h /root/repo/tests/test_util.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -298,4 +298,6 @@ tests/CMakeFiles/expbsi_tests.dir/storage_test.cc.o: \
  /root/repo/src/storage/bsi_store.h /root/repo/src/common/status.h \
  /root/repo/src/storage/column_store.h /root/repo/src/expdata/schema.h \
  /root/repo/src/storage/tiered_store.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h

@@ -1,0 +1,292 @@
+#include "reference/ref_column.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace expbsi {
+namespace {
+
+bool Compare(uint64_t a, uint64_t b, int op) {
+  switch (op) {
+    case 0:
+      return a < b;
+    case 1:
+      return a == b;
+    case 2:
+      return a != b;
+    case 3:
+      return a <= b;
+    case 4:
+      return a > b;
+    default:
+      return a >= b;
+  }
+}
+
+}  // namespace
+
+RefColumn RefColumn::FromPairs(
+    const std::vector<std::pair<uint32_t, uint64_t>>& pairs) {
+  RefColumn out;
+  for (const auto& [pos, value] : pairs) {
+    if (value == 0) continue;
+    const bool inserted = out.values_.emplace(pos, value).second;
+    CHECK(inserted);  // duplicate positions are a caller bug, as in Bsi
+  }
+  return out;
+}
+
+RefColumn RefColumn::FromValues(const std::vector<uint64_t>& values) {
+  RefColumn out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != 0) {
+      out.values_.emplace(static_cast<uint32_t>(i), values[i]);
+    }
+  }
+  return out;
+}
+
+RefColumn RefColumn::FromBinary(const RefPositions& positions) {
+  RefColumn out;
+  for (uint32_t pos : positions) out.values_[pos] = 1;
+  return out;
+}
+
+uint64_t RefColumn::Get(uint32_t pos) const {
+  auto it = values_.find(pos);
+  return it == values_.end() ? 0 : it->second;
+}
+
+bool RefColumn::Exists(uint32_t pos) const { return values_.count(pos) > 0; }
+
+RefPositions RefColumn::Existence() const {
+  RefPositions out;
+  out.reserve(values_.size());
+  for (const auto& [pos, value] : values_) out.push_back(pos);
+  return out;
+}
+
+RefColumn RefColumn::Add(const RefColumn& x, const RefColumn& y) {
+  RefColumn out = x;
+  for (const auto& [pos, value] : y.values_) out.values_[pos] += value;
+  return out;
+}
+
+RefColumn RefColumn::Subtract(const RefColumn& x, const RefColumn& y) {
+  RefColumn out;
+  for (const auto& [pos, value] : x.values_) {
+    const uint64_t sub = y.Get(pos);
+    if (value > sub) out.values_[pos] = value - sub;
+  }
+  return out;
+}
+
+RefColumn RefColumn::Multiply(const RefColumn& x, const RefColumn& y) {
+  RefColumn out;
+  for (const auto& [pos, value] : x.values_) {
+    const uint64_t other = y.Get(pos);
+    if (other != 0) out.values_[pos] = value * other;
+  }
+  return out;
+}
+
+RefColumn RefColumn::MultiplyByBinary(const RefColumn& x,
+                                      const RefPositions& mask) {
+  RefColumn out;
+  for (uint32_t pos : mask) {
+    const uint64_t value = x.Get(pos);
+    if (value != 0) out.values_[pos] = value;
+  }
+  return out;
+}
+
+RefColumn RefColumn::AddScalar(const RefColumn& x, uint64_t k) {
+  RefColumn out;
+  for (const auto& [pos, value] : x.values_) out.values_[pos] = value + k;
+  return out;
+}
+
+RefColumn RefColumn::MultiplyScalar(const RefColumn& x, uint64_t k) {
+  RefColumn out;
+  if (k == 0) return out;
+  for (const auto& [pos, value] : x.values_) out.values_[pos] = value * k;
+  return out;
+}
+
+RefColumn RefColumn::ShiftLeft(const RefColumn& x, int bits) {
+  CHECK_GE(bits, 0);
+  RefColumn out;
+  for (const auto& [pos, value] : x.values_) {
+    out.values_[pos] = value << bits;
+  }
+  return out;
+}
+
+#define EXPBSI_REF_COMPARE(Name, op_index)                                   \
+  RefPositions RefColumn::Name(const RefColumn& x, const RefColumn& y) {     \
+    RefPositions out;                                                        \
+    for (const auto& [pos, value] : x.values_) {                             \
+      const uint64_t other = y.Get(pos);                                     \
+      if (other != 0 && Compare(value, other, op_index)) out.push_back(pos); \
+    }                                                                        \
+    return out;                                                              \
+  }
+
+EXPBSI_REF_COMPARE(Lt, 0)
+EXPBSI_REF_COMPARE(Eq, 1)
+EXPBSI_REF_COMPARE(Ne, 2)
+EXPBSI_REF_COMPARE(Le, 3)
+EXPBSI_REF_COMPARE(Gt, 4)
+EXPBSI_REF_COMPARE(Ge, 5)
+
+#undef EXPBSI_REF_COMPARE
+
+RefPositions RefColumn::RangeEq(uint64_t k) const {
+  RefPositions out;
+  for (const auto& [pos, value] : values_) {
+    if (value == k) out.push_back(pos);
+  }
+  return out;
+}
+
+RefPositions RefColumn::RangeNe(uint64_t k) const {
+  RefPositions out;
+  for (const auto& [pos, value] : values_) {
+    if (value != k) out.push_back(pos);
+  }
+  return out;
+}
+
+RefPositions RefColumn::RangeLt(uint64_t k) const {
+  RefPositions out;
+  for (const auto& [pos, value] : values_) {
+    if (value < k) out.push_back(pos);
+  }
+  return out;
+}
+
+RefPositions RefColumn::RangeLe(uint64_t k) const {
+  RefPositions out;
+  for (const auto& [pos, value] : values_) {
+    if (value <= k) out.push_back(pos);
+  }
+  return out;
+}
+
+RefPositions RefColumn::RangeGt(uint64_t k) const {
+  RefPositions out;
+  for (const auto& [pos, value] : values_) {
+    if (value > k) out.push_back(pos);
+  }
+  return out;
+}
+
+RefPositions RefColumn::RangeGe(uint64_t k) const {
+  RefPositions out;
+  for (const auto& [pos, value] : values_) {
+    if (value >= k) out.push_back(pos);
+  }
+  return out;
+}
+
+RefPositions RefColumn::RangeBetween(uint64_t lo, uint64_t hi) const {
+  RefPositions out;
+  for (const auto& [pos, value] : values_) {
+    if (value >= lo && value <= hi) out.push_back(pos);
+  }
+  return out;
+}
+
+uint64_t RefColumn::Sum() const {
+  unsigned __int128 total = 0;
+  for (const auto& [pos, value] : values_) total += value;
+  CHECK(total <= ~uint64_t{0});
+  return static_cast<uint64_t>(total);
+}
+
+uint64_t RefColumn::SumUnderMask(const RefPositions& mask) const {
+  unsigned __int128 total = 0;
+  for (uint32_t pos : mask) total += Get(pos);
+  CHECK(total <= ~uint64_t{0});
+  return static_cast<uint64_t>(total);
+}
+
+double RefColumn::Average() const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(Sum()) / static_cast<double>(values_.size());
+}
+
+uint64_t RefColumn::MinValue() const {
+  CHECK(!IsEmpty());
+  uint64_t best = ~uint64_t{0};
+  for (const auto& [pos, value] : values_) best = std::min(best, value);
+  return best;
+}
+
+uint64_t RefColumn::MaxValue() const {
+  CHECK(!IsEmpty());
+  uint64_t best = 0;
+  for (const auto& [pos, value] : values_) best = std::max(best, value);
+  return best;
+}
+
+uint64_t RefColumn::Quantile(double q) const {
+  CHECK(!IsEmpty());
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  std::vector<uint64_t> sorted;
+  sorted.reserve(values_.size());
+  for (const auto& [pos, value] : values_) sorted.push_back(value);
+  std::sort(sorted.begin(), sorted.end());
+  const uint64_t n = sorted.size();
+  uint64_t rank = static_cast<uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(n))));
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+void RefColumn::SetValue(uint32_t pos, uint64_t value) {
+  if (value == 0) {
+    values_.erase(pos);
+  } else {
+    values_[pos] = value;
+  }
+}
+
+uint64_t RefQuantileOverInputs(const std::vector<RefMaskedColumn>& inputs,
+                               double q) {
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  std::vector<uint64_t> sorted;
+  for (const RefMaskedColumn& input : inputs) {
+    CHECK(input.column != nullptr);
+    if (input.mask == nullptr) {
+      for (const auto& [pos, value] : input.column->values()) {
+        sorted.push_back(value);
+      }
+    } else {
+      for (uint32_t pos : *input.mask) {
+        const uint64_t value = input.column->Get(pos);
+        if (value != 0) sorted.push_back(value);
+      }
+    }
+  }
+  CHECK(!sorted.empty());
+  std::sort(sorted.begin(), sorted.end());
+  const uint64_t n = sorted.size();
+  uint64_t rank = static_cast<uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(n))));
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+RefPositions RefIntersect(const RefPositions& a, const RefPositions& b) {
+  RefPositions out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace expbsi

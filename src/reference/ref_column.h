@@ -1,0 +1,111 @@
+#ifndef EXPBSI_REFERENCE_REF_COLUMN_H_
+#define EXPBSI_REFERENCE_REF_COLUMN_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace expbsi {
+
+// The reference (oracle) counterpart of a RoaringBitmap result: a sorted,
+// duplicate-free list of positions. Kept as a plain vector so the oracle
+// shares no container code with src/roaring.
+using RefPositions = std::vector<uint32_t>;
+
+// Scalar reference implementation of the Bsi public surface (the
+// differential-testing oracle). One std::map from position to value, naive
+// loops everywhere, no bitmaps, no slices -- deliberately the simplest
+// possible definition of each operation so that any disagreement with Bsi
+// points at the optimized path. Semantics mirror bsi/bsi.h exactly,
+// including the zero-is-absent convention: storing value 0 removes the
+// position, and binary comparisons only report positions present in BOTH
+// operands.
+class RefColumn {
+ public:
+  RefColumn() = default;
+
+  // Zero values are skipped; duplicate positions abort (as in Bsi).
+  static RefColumn FromPairs(
+      const std::vector<std::pair<uint32_t, uint64_t>>& pairs);
+  static RefColumn FromValues(const std::vector<uint64_t>& values);
+  static RefColumn FromBinary(const RefPositions& positions);
+
+  uint64_t Get(uint32_t pos) const;
+  bool Exists(uint32_t pos) const;
+  RefPositions Existence() const;
+  uint64_t Cardinality() const { return values_.size(); }
+  bool IsEmpty() const { return values_.empty(); }
+
+  bool Equals(const RefColumn& other) const { return values_ == other.values_; }
+  friend bool operator==(const RefColumn& a, const RefColumn& b) {
+    return a.Equals(b);
+  }
+
+  // --- Arithmetic (mirrors Bsi) --------------------------------------------
+
+  static RefColumn Add(const RefColumn& x, const RefColumn& y);
+  // max(X[j] - Y[j], 0); zero results become absent.
+  static RefColumn Subtract(const RefColumn& x, const RefColumn& y);
+  static RefColumn Multiply(const RefColumn& x, const RefColumn& y);
+  static RefColumn MultiplyByBinary(const RefColumn& x,
+                                    const RefPositions& mask);
+  static RefColumn AddScalar(const RefColumn& x, uint64_t k);
+  static RefColumn MultiplyScalar(const RefColumn& x, uint64_t k);
+  static RefColumn ShiftLeft(const RefColumn& x, int bits);
+
+  // --- Comparisons (positions present in BOTH operands) --------------------
+
+  static RefPositions Lt(const RefColumn& x, const RefColumn& y);
+  static RefPositions Eq(const RefColumn& x, const RefColumn& y);
+  static RefPositions Ne(const RefColumn& x, const RefColumn& y);
+  static RefPositions Le(const RefColumn& x, const RefColumn& y);
+  static RefPositions Gt(const RefColumn& x, const RefColumn& y);
+  static RefPositions Ge(const RefColumn& x, const RefColumn& y);
+
+  // --- Range searches against a constant ------------------------------------
+
+  RefPositions RangeEq(uint64_t k) const;
+  RefPositions RangeNe(uint64_t k) const;
+  RefPositions RangeLt(uint64_t k) const;
+  RefPositions RangeLe(uint64_t k) const;
+  RefPositions RangeGt(uint64_t k) const;
+  RefPositions RangeGe(uint64_t k) const;
+  RefPositions RangeBetween(uint64_t lo, uint64_t hi) const;
+
+  // --- In-column aggregates -------------------------------------------------
+
+  // Aborts if the true sum exceeds uint64 range, matching Bsi::Sum.
+  uint64_t Sum() const;
+  uint64_t SumUnderMask(const RefPositions& mask) const;
+  double Average() const;
+  uint64_t MinValue() const;
+  uint64_t MaxValue() const;
+  // Same rank convention as Bsi::Quantile: the value at rank
+  // clamp(ceil(q * n), 1, n) among the sorted present values.
+  uint64_t Quantile(double q) const;
+  uint64_t Median() const { return Quantile(0.5); }
+
+  void SetValue(uint32_t pos, uint64_t value);
+
+  const std::map<uint32_t, uint64_t>& values() const { return values_; }
+
+ private:
+  std::map<uint32_t, uint64_t> values_;  // only non-zero values
+};
+
+// Quantile over the combined multiset of several masked columns (the oracle
+// for QuantileOverInputs). nullptr mask means all positions.
+struct RefMaskedColumn {
+  const RefColumn* column = nullptr;
+  const RefPositions* mask = nullptr;
+};
+uint64_t RefQuantileOverInputs(const std::vector<RefMaskedColumn>& inputs,
+                               double q);
+
+// Sorted intersection / helper used by the oracle and the fuzz driver.
+RefPositions RefIntersect(const RefPositions& a, const RefPositions& b);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_REFERENCE_REF_COLUMN_H_

@@ -1,0 +1,90 @@
+#include "reference/ref_data.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "expdata/segmenter.h"
+
+namespace expbsi {
+
+std::vector<UnitId> RefExpose::ExposedOnOrBefore(Date date) const {
+  std::vector<UnitId> out;
+  for (const auto& [unit, first] : first_expose) {
+    if (first <= date) out.push_back(unit);
+  }
+  return out;
+}
+
+uint64_t RefExpose::OffsetOf(UnitId unit) const {
+  auto it = first_expose.find(unit);
+  if (it == first_expose.end()) return 0;
+  return static_cast<uint64_t>(it->second - min_expose_date) + 1;
+}
+
+const RefExpose* RefSegment::FindExpose(uint64_t strategy_id) const {
+  auto it = expose.find(strategy_id);
+  return it == expose.end() ? nullptr : &it->second;
+}
+
+const std::map<UnitId, uint64_t>* RefSegment::FindMetric(uint64_t metric_id,
+                                                         Date date) const {
+  auto it = metrics.find({metric_id, date});
+  return it == metrics.end() ? nullptr : &it->second;
+}
+
+const std::map<UnitId, uint64_t>* RefSegment::FindDimension(
+    uint32_t dimension_id, Date date) const {
+  auto it = dimensions.find({dimension_id, date});
+  return it == dimensions.end() ? nullptr : &it->second;
+}
+
+RefExperimentData BuildRefExperimentData(const Dataset& dataset) {
+  RefExperimentData out;
+  out.num_segments = dataset.config.num_segments;
+  out.num_buckets = dataset.config.num_buckets;
+  out.bucket_equals_segment = dataset.config.bucket_equals_segment;
+  out.segments.resize(out.num_segments);
+  CHECK_EQ(dataset.segments.size(), static_cast<size_t>(out.num_segments));
+  for (int seg = 0; seg < out.num_segments; ++seg) {
+    const SegmentData& rows = dataset.segments[seg];
+    RefSegment& ref = out.segments[seg];
+    for (const ExposeRow& row : rows.expose) {
+      RefExpose& expose = ref.expose[row.strategy_id];
+      expose.strategy_id = row.strategy_id;
+      const bool inserted =
+          expose.first_expose.emplace(row.analysis_unit_id,
+                                      row.first_expose_date)
+              .second;
+      CHECK(inserted);  // one expose row per (strategy, unit)
+      if (!out.bucket_equals_segment) {
+        expose.bucket[row.analysis_unit_id] =
+            BucketOf(row.randomization_unit_id, out.num_buckets);
+      }
+    }
+    for (auto& [strategy_id, expose] : ref.expose) {
+      Date min_date = std::numeric_limits<Date>::max();
+      for (const auto& [unit, first] : expose.first_expose) {
+        min_date = std::min(min_date, first);
+      }
+      expose.min_expose_date = min_date;
+    }
+    for (const MetricRow& row : rows.metrics) {
+      if (row.value == 0) continue;
+      auto& column = ref.metrics[{row.metric_id, row.date}];
+      const bool inserted =
+          column.emplace(row.analysis_unit_id, row.value).second;
+      CHECK(inserted);  // one metric row per (metric, date, unit)
+    }
+    for (const DimensionRow& row : rows.dimensions) {
+      if (row.value == 0) continue;
+      auto& column = ref.dimensions[{row.dimension_id, row.date}];
+      const bool inserted =
+          column.emplace(row.analysis_unit_id, row.value).second;
+      CHECK(inserted);
+    }
+  }
+  return out;
+}
+
+}  // namespace expbsi

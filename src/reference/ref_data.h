@@ -1,0 +1,68 @@
+#ifndef EXPBSI_REFERENCE_REF_DATA_H_
+#define EXPBSI_REFERENCE_REF_DATA_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "expdata/generator.h"
+#include "expdata/schema.h"
+
+namespace expbsi {
+
+// Reference (oracle) representation of one segment's experiment data:
+// plain ordered maps keyed by analysis-unit-id, built directly from the
+// normal-format rows. No position encoding, no bitmaps, no BSIs -- the
+// scalar engines in ref_engine.h / ref_query.h scan these with naive loops.
+//
+// Unit ids are used where the BSI path uses encoded positions; since the
+// position encoding is a bijection within a segment, every aggregate the
+// engines compare (sums, counts, distinct counts, value multisets) is
+// invariant under the renaming.
+struct RefExpose {
+  uint64_t strategy_id = 0;
+  Date min_expose_date = 0;
+  std::map<UnitId, Date> first_expose;  // unit -> first expose date
+  std::map<UnitId, int> bucket;         // unit -> bucket id (if bucketed)
+
+  // Units first exposed on or before `date`, sorted.
+  std::vector<UnitId> ExposedOnOrBefore(Date date) const;
+  // Offset value stored by the BSI path for `unit`:
+  // first_expose_date - min_expose_date + 1; 0 if the unit is not exposed.
+  uint64_t OffsetOf(UnitId unit) const;
+};
+
+struct RefSegment {
+  std::map<uint64_t, RefExpose> expose;                       // by strategy
+  std::map<std::pair<uint64_t, Date>, std::map<UnitId, uint64_t>> metrics;
+  std::map<std::pair<uint32_t, Date>, std::map<UnitId, uint64_t>> dimensions;
+
+  const RefExpose* FindExpose(uint64_t strategy_id) const;
+  const std::map<UnitId, uint64_t>* FindMetric(uint64_t metric_id,
+                                               Date date) const;
+  const std::map<UnitId, uint64_t>* FindDimension(uint32_t dimension_id,
+                                                  Date date) const;
+};
+
+struct RefExperimentData {
+  int num_segments = 0;
+  int num_buckets = 0;
+  bool bucket_equals_segment = true;
+
+  std::vector<RefSegment> segments;
+
+  int effective_buckets() const {
+    return bucket_equals_segment ? num_segments : num_buckets;
+  }
+};
+
+// Builds the oracle representation from the same Dataset the BSI builders
+// consume. Zero metric/dimension values are skipped (zero-is-absent); the
+// expose bucket ids are re-derived from BucketOf(randomization_unit_id),
+// the definition the BSI builder also follows.
+RefExperimentData BuildRefExperimentData(const Dataset& dataset);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_REFERENCE_REF_DATA_H_

@@ -1,0 +1,77 @@
+#ifndef EXPBSI_REFERENCE_REF_ENGINE_H_
+#define EXPBSI_REFERENCE_REF_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/deepdive.h"
+#include "engine/scorecard.h"
+#include "reference/ref_data.h"
+#include "stats/bucket_stats.h"
+
+namespace expbsi {
+
+// Scalar reference engines mirroring engine/scorecard.h, engine/deepdive.h
+// and engine/preexperiment.h, computed by naive row scans over the
+// RefExperimentData maps. Each function is the literal SQL definition of its
+// BSI counterpart (Tables 1-2 of the paper) and accumulates per-(segment,
+// day) integer partials into doubles in the same order as the BSI engine, so
+// the differential tests can assert bit-for-bit equality of BucketValues.
+//
+// The DimensionPredicate / ScorecardEntry structs from the production
+// headers are reused as plain data types; no BSI computation is shared.
+
+BucketValues RefComputeStrategyMetric(const RefExperimentData& data,
+                                      uint64_t strategy_id,
+                                      uint64_t metric_id, Date date_lo,
+                                      Date date_hi);
+
+BucketValues RefComputeStrategyRatioMetric(const RefExperimentData& data,
+                                           uint64_t strategy_id,
+                                           uint64_t numerator_metric_id,
+                                           uint64_t denominator_metric_id,
+                                           Date date_lo, Date date_hi);
+
+BucketValues RefComputeStrategyUniqueVisitors(const RefExperimentData& data,
+                                              uint64_t strategy_id,
+                                              uint64_t metric_id,
+                                              Date date_lo, Date date_hi);
+
+BucketValues RefComputeStrategyMetricFiltered(
+    const RefExperimentData& data, uint64_t strategy_id, uint64_t metric_id,
+    Date date_lo, Date date_hi,
+    const std::vector<DimensionPredicate>& preds, Date dim_date);
+
+BucketValues RefComputePreExperiment(const RefExperimentData& data,
+                                     uint64_t strategy_id, uint64_t metric_id,
+                                     Date expt_start, int lookback_days,
+                                     Date as_of_date);
+
+// Statistical comparison built on the reference stats (ref_stats.h); agrees
+// with CompareStrategies to floating-point tolerance.
+ScorecardEntry RefCompareStrategies(uint64_t metric_id, uint64_t treatment_id,
+                                    const BucketValues& treatment_buckets,
+                                    uint64_t control_id,
+                                    const BucketValues& control_buckets);
+
+std::vector<ScorecardEntry> RefComputeScorecard(
+    const RefExperimentData& data, uint64_t control_id,
+    const std::vector<uint64_t>& treatment_ids,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi);
+
+std::vector<std::vector<double>> RefComputeMetricCovarianceMatrix(
+    const RefExperimentData& data, uint64_t strategy_id,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi);
+
+std::vector<ScorecardEntry> RefComputeDailyBreakdown(
+    const RefExperimentData& data, uint64_t control_id, uint64_t treatment_id,
+    uint64_t metric_id, Date date_lo, Date date_hi);
+
+std::vector<DimensionBreakdownEntry> RefComputeDimensionBreakdown(
+    const RefExperimentData& data, uint64_t control_id, uint64_t treatment_id,
+    uint64_t metric_id, Date date_lo, Date date_hi, uint32_t dimension_id,
+    const std::vector<uint64_t>& dim_values, Date dim_date);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_REFERENCE_REF_ENGINE_H_

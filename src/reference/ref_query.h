@@ -1,0 +1,30 @@
+#ifndef EXPBSI_REFERENCE_REF_QUERY_H_
+#define EXPBSI_REFERENCE_REF_QUERY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "reference/ref_data.h"
+
+namespace expbsi {
+
+// Scalar reference executor for EQL queries, mirroring query/executor.h over
+// the oracle data representation. The parser (and hence the Query AST) is
+// shared -- both engines execute the same parse tree -- but execution is
+// naive row scans over std::map columns, with the same validation rules and
+// error messages as the production executor so differential tests can
+// compare ok/error outcomes too.
+//
+// Integer partials are folded into doubles in the production engine's
+// (segment, day) order, so successful results compare bit-for-bit.
+Result<QueryResult> RefExecuteQuery(const RefExperimentData& data,
+                                    const Query& query);
+
+// Parses and executes in one step (shared ParseQuery + RefExecuteQuery).
+Result<QueryResult> RefRunQuery(const RefExperimentData& data,
+                                const std::string& text);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_REFERENCE_REF_QUERY_H_

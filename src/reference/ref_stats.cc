@@ -1,0 +1,262 @@
+#include "reference/ref_stats.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace expbsi {
+namespace {
+
+double LogTNorm(double df) {
+  return std::lgamma((df + 1.0) / 2.0) - std::lgamma(df / 2.0) -
+         0.5 * std::log(df * M_PI);
+}
+
+// Student-t density with `df` degrees of freedom.
+double TDensity(double x, double df) {
+  return std::exp(LogTNorm(df) -
+                  (df + 1.0) / 2.0 * std::log1p(x * x / df));
+}
+
+// Integrand of the upper-tail integral after the u = 1/x substitution:
+// integral_t^inf f(x) dx = integral_0^{1/t} f(1/u) / u^2 du. As u -> 0 the
+// integrand behaves like u^{df-1}, so it is finite for the df >= 1 values
+// the bucket replicates produce.
+double TailIntegrand(double u, double df) {
+  if (u <= 0.0) return df > 1.0 ? 0.0 : std::exp(LogTNorm(df));
+  return std::exp(LogTNorm(df) -
+                  (df + 1.0) / 2.0 * std::log1p(1.0 / (u * u * df)) -
+                  2.0 * std::log(u));
+}
+
+double Simpson(double a, double b, double fa, double fm, double fb) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+// Adaptive Simpson on integrand `f`; whole = current estimate on [a, b].
+template <typename F>
+double AdaptiveSimpson(const F& f, double a, double b, double fa, double fm,
+                       double fb, double whole, double eps, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = Simpson(a, m, fa, flm, fm);
+  const double right = Simpson(m, b, fm, frm, fb);
+  if (depth <= 0 || std::fabs(left + right - whole) <= 15.0 * eps) {
+    return left + right + (left + right - whole) / 15.0;
+  }
+  return AdaptiveSimpson(f, a, m, fa, flm, fm, left, eps / 2.0, depth - 1) +
+         AdaptiveSimpson(f, m, b, fm, frm, fb, right, eps / 2.0, depth - 1);
+}
+
+template <typename F>
+double Integrate(const F& f, double a, double b) {
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(0.5 * (a + b));
+  const double whole = Simpson(a, b, fa, fm, fb);
+  return AdaptiveSimpson(f, a, b, fa, fm, fb, whole, 1e-13, 48);
+}
+
+// Integral of the t density over [0, t], t >= 0. Only used for moderate t;
+// for large t the interval dwarfs the density's support and Simpson panels
+// straddle the spike at 0, so the tail form below takes over instead.
+double IntegrateDensity(double t, double df) {
+  if (t <= 0.0) return 0.0;
+  return Integrate([df](double x) { return TDensity(x, df); }, 0.0, t);
+}
+
+// Upper-tail mass integral_t^inf f, via the 1/x substitution (t > 0). The
+// domain [0, 1/t] is short and the integrand smooth, so this stays accurate
+// out to arbitrarily large t -- including t where the CDF rounds to 1 and
+// naive 1 - cdf would lose everything to cancellation.
+double IntegrateTail(double t, double df) {
+  if (!(t > 0.0) || std::isinf(t)) return 0.0;
+  return Integrate([df](double u) { return TailIntegrand(u, df); }, 0.0,
+                   1.0 / t);
+}
+
+}  // namespace
+
+double RefMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double RefSampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = RefMean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double RefSampleCovariance(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  CHECK_EQ(xs.size(), ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = RefMean(xs);
+  const double my = RefMean(ys);
+  double ss = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) ss += (xs[i] - mx) * (ys[i] - my);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+MetricEstimate RefEstimateRatio(const BucketValues& buckets) {
+  CHECK_EQ(buckets.sums.size(), buckets.counts.size());
+  MetricEstimate est;
+  const int b = buckets.num_buckets();
+  for (double s : buckets.sums) est.total_sum += s;
+  for (double c : buckets.counts) est.total_count += c;
+  est.df = b > 1 ? b - 1 : 0;
+  if (est.total_count <= 0.0) return est;
+  est.mean = est.total_sum / est.total_count;
+  if (b < 2) return est;
+  const double nbar = est.total_count / b;
+  const double r = est.mean;
+  // Var(R) = (Var(s) + R^2 Var(n) - 2 R Cov(s, n)) / (B * nbar^2).
+  const double var = RefSampleVariance(buckets.sums) +
+                     r * r * RefSampleVariance(buckets.counts) -
+                     2.0 * r * RefSampleCovariance(buckets.sums,
+                                                   buckets.counts);
+  est.var_of_mean = std::max(0.0, var / (static_cast<double>(b) * nbar * nbar));
+  return est;
+}
+
+double RefEstimateRatioCovariance(const BucketValues& x,
+                                  const BucketValues& y) {
+  CHECK_EQ(x.sums.size(), y.sums.size());
+  const int b = x.num_buckets();
+  if (b < 2) return 0.0;
+  double sx = 0.0, nx = 0.0, sy = 0.0, ny = 0.0;
+  for (int i = 0; i < b; ++i) {
+    sx += x.sums[i];
+    nx += x.counts[i];
+    sy += y.sums[i];
+    ny += y.counts[i];
+  }
+  if (nx <= 0.0 || ny <= 0.0) return 0.0;
+  const double rx = sx / nx;
+  const double ry = sy / ny;
+  // Covariance of the linearized residuals (S - r N), per bucket.
+  std::vector<double> ex(b), ey(b);
+  for (int i = 0; i < b; ++i) {
+    ex[i] = x.sums[i] - rx * x.counts[i];
+    ey[i] = y.sums[i] - ry * y.counts[i];
+  }
+  const double cov = RefSampleCovariance(ex, ey);
+  return cov / (static_cast<double>(b) * (nx / b) * (ny / b));
+}
+
+double RefStudentTCdf(double t, double df) {
+  CHECK_GT(df, 0.0);
+  const double at = std::fabs(t);
+  const double half =
+      at <= 8.0 ? IntegrateDensity(at, df) : 0.5 - IntegrateTail(at, df);
+  return t >= 0.0 ? 0.5 + half : 0.5 - half;
+}
+
+TTestResult RefWelchTTest(double mean_treat, double var_of_mean_treat,
+                          double df_treat, double mean_control,
+                          double var_of_mean_control, double df_control) {
+  TTestResult r;
+  r.mean_diff = mean_treat - mean_control;
+  r.relative_diff = mean_control != 0.0 ? r.mean_diff / mean_control : 0.0;
+  const double var_sum = var_of_mean_treat + var_of_mean_control;
+  r.std_error = std::sqrt(std::max(0.0, var_sum));
+  if (r.std_error <= 0.0) {
+    r.t_stat = 0.0;
+    r.df = df_treat + df_control;
+    r.p_value = r.mean_diff == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_stat = r.mean_diff / r.std_error;
+  double denom = 0.0;
+  if (df_treat > 0.0) {
+    denom += var_of_mean_treat * var_of_mean_treat / df_treat;
+  }
+  if (df_control > 0.0) {
+    denom += var_of_mean_control * var_of_mean_control / df_control;
+  }
+  r.df = denom > 0.0 ? var_sum * var_sum / denom : df_treat + df_control;
+  r.p_value = 2.0 * (1.0 - RefStudentTCdf(std::fabs(r.t_stat), r.df));
+  return r;
+}
+
+CupedResult RefApplyCuped(const BucketValues& y, const BucketValues& x,
+                          double theta_override) {
+  CHECK_EQ(y.sums.size(), x.sums.size());
+  CupedResult result;
+  // Paired per-bucket ratios; buckets with a zero denominator in either
+  // series are excluded (the convention of stats/cuped.cc).
+  std::vector<double> ys, xs;
+  for (size_t b = 0; b < y.sums.size(); ++b) {
+    if (y.counts[b] > 0.0 && x.counts[b] > 0.0) {
+      ys.push_back(y.sums[b] / y.counts[b]);
+      xs.push_back(x.sums[b] / x.counts[b]);
+    }
+  }
+  auto replicate_estimate = [](const std::vector<double>& values) {
+    MetricEstimate est;
+    const int b = static_cast<int>(values.size());
+    est.mean = RefMean(values);
+    est.df = b > 1 ? b - 1 : 0;
+    est.var_of_mean = b > 1 ? RefSampleVariance(values) / b : 0.0;
+    est.total_count = b;
+    est.total_sum = est.mean * b;
+    return est;
+  };
+  if (ys.size() < 2) {
+    std::vector<double> all_ratios(y.sums.size(), 0.0);
+    for (size_t b = 0; b < y.sums.size(); ++b) {
+      all_ratios[b] = y.counts[b] > 0.0 ? y.sums[b] / y.counts[b] : 0.0;
+    }
+    result.unadjusted = replicate_estimate(all_ratios);
+    result.adjusted = result.unadjusted;
+    return result;
+  }
+  const double var_x = RefSampleVariance(xs);
+  const double cov_yx = RefSampleCovariance(ys, xs);
+  result.theta = theta_override >= 0.0
+                     ? theta_override
+                     : (var_x > 0.0 ? cov_yx / var_x : 0.0);
+  const double mean_x = RefMean(xs);
+  std::vector<double> adjusted(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    adjusted[i] = ys[i] - result.theta * (xs[i] - mean_x);
+  }
+  result.unadjusted = replicate_estimate(ys);
+  result.adjusted = replicate_estimate(adjusted);
+  if (result.unadjusted.var_of_mean > 0.0) {
+    result.variance_reduction =
+        1.0 - result.adjusted.var_of_mean / result.unadjusted.var_of_mean;
+  }
+  return result;
+}
+
+double RefPooledCupedTheta(const std::vector<const BucketValues*>& ys,
+                           const std::vector<const BucketValues*>& xs) {
+  CHECK_EQ(ys.size(), xs.size());
+  double cov_total = 0.0;
+  double var_total = 0.0;
+  for (size_t arm = 0; arm < ys.size(); ++arm) {
+    std::vector<double> y_vals, x_vals;
+    for (size_t b = 0; b < ys[arm]->sums.size(); ++b) {
+      if (ys[arm]->counts[b] > 0.0 && xs[arm]->counts[b] > 0.0) {
+        y_vals.push_back(ys[arm]->sums[b] / ys[arm]->counts[b]);
+        x_vals.push_back(xs[arm]->sums[b] / xs[arm]->counts[b]);
+      }
+    }
+    if (y_vals.size() < 2) continue;
+    const double weight = static_cast<double>(y_vals.size() - 1);
+    cov_total += RefSampleCovariance(y_vals, x_vals) * weight;
+    var_total += RefSampleVariance(x_vals) * weight;
+  }
+  return var_total > 0.0 ? cov_total / var_total : 0.0;
+}
+
+}  // namespace expbsi

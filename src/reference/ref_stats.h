@@ -1,0 +1,50 @@
+#ifndef EXPBSI_REFERENCE_REF_STATS_H_
+#define EXPBSI_REFERENCE_REF_STATS_H_
+
+#include <vector>
+
+#include "stats/bucket_stats.h"
+#include "stats/cuped.h"
+#include "stats/ttest.h"
+
+namespace expbsi {
+
+// Reference implementations of the statistical layer, written from the
+// formulas documented in stats/*.h rather than from the optimized code. The
+// BucketValues / MetricEstimate / TTestResult / CupedResult structs are
+// reused as plain data holders; everything computed here is independent:
+// the t CDF in particular is evaluated by adaptive numerical integration of
+// the density instead of the incomplete-beta continued fraction, so it
+// cross-checks that whole code path.
+//
+// Floating-point results are expected to agree with the production stats to
+// ~1e-9 relative (same formulas, possibly different association order); the
+// differential tests compare with a tolerance, not bit-for-bit.
+
+double RefMean(const std::vector<double>& xs);
+double RefSampleVariance(const std::vector<double>& xs);
+double RefSampleCovariance(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+// Ratio estimate from bucket replicates (delta method), as specified in
+// bucket_stats.h.
+MetricEstimate RefEstimateRatio(const BucketValues& buckets);
+double RefEstimateRatioCovariance(const BucketValues& x,
+                                  const BucketValues& y);
+
+// Student-t CDF by adaptive Simpson integration of the density (lgamma-based
+// normalization). Accurate to ~1e-12 for the df ranges used here.
+double RefStudentTCdf(double t, double df);
+
+TTestResult RefWelchTTest(double mean_treat, double var_of_mean_treat,
+                          double df_treat, double mean_control,
+                          double var_of_mean_control, double df_control);
+
+CupedResult RefApplyCuped(const BucketValues& y, const BucketValues& x,
+                          double theta_override = -1.0);
+double RefPooledCupedTheta(const std::vector<const BucketValues*>& ys,
+                           const std::vector<const BucketValues*>& xs);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_REFERENCE_REF_STATS_H_

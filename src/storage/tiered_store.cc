@@ -11,6 +11,7 @@ TieredStore::TieredStore(const BsiStore* cold, size_t hot_capacity_bytes)
 
 Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
     const BsiStoreKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hot_.find(key);
   if (it != hot_.end()) {
     ++stats_.hot_hits;
@@ -29,6 +30,7 @@ Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
 }
 
 Status TieredStore::Warm(const BsiStoreKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (hot_.find(key) != hot_.end()) return Status::OK();
   Result<std::shared_ptr<const std::string>> blob = LoadFromCold(key);
   return blob.ok() ? Status::OK() : blob.status();

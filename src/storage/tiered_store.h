@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -16,6 +17,9 @@ namespace expbsi {
 // distributed warehouse on demand. Here the cold tier is a BsiStore and the
 // hot tier an LRU cache with a byte budget; reads through the cold path are
 // accounted as simulated network traffic.
+//
+// Thread-safe: Fetch / Warm / stats may be called concurrently (ad-hoc query
+// nodes serve parallel queries against one shared tier).
 class TieredStore {
  public:
   struct Stats {
@@ -41,10 +45,19 @@ class TieredStore {
   // (the paper keeps data with recent dates hot ahead of queries).
   Status Warm(const BsiStoreKey& key);
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = Stats();
+  }
 
-  size_t hot_bytes() const { return hot_bytes_; }
+  size_t hot_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hot_bytes_;
+  }
 
  private:
   struct HotEntry {
@@ -52,11 +65,12 @@ class TieredStore {
     std::list<BsiStoreKey>::iterator lru_it;
   };
 
-  // Loads from cold into hot; does not touch stats.
+  // Loads from cold into hot; does not touch stats. Caller holds mu_.
   Result<std::shared_ptr<const std::string>> LoadFromCold(
       const BsiStoreKey& key);
   void EvictIfNeeded();
 
+  mutable std::mutex mu_;
   const BsiStore* cold_;
   size_t hot_capacity_bytes_;
   size_t hot_bytes_ = 0;

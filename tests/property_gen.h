@@ -1,0 +1,371 @@
+#ifndef EXPBSI_TESTS_PROPERTY_GEN_H_
+#define EXPBSI_TESTS_PROPERTY_GEN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "expdata/generator.h"
+#include "expdata/schema.h"
+
+namespace expbsi {
+namespace propgen {
+
+// Randomized workload generation for the differential-oracle tests
+// (differential_test.cc). Everything is a pure function of the Rng state, so
+// a single seed reproduces a whole iteration: the column shapes, the dataset,
+// and the queries.
+
+// --------------------------------------------------------------------------
+// Raw column workloads (Bsi vs RefColumn).
+// --------------------------------------------------------------------------
+
+// Shapes chosen to steer the underlying roaring containers and slice counts:
+//   kEmpty     no positions (empty BSI edge case)
+//   kSingle    one position (single-container, single-slice extremes)
+//   kSparse    scattered positions -> array containers
+//   kDense     a heavily filled block -> bitset containers
+//   kRuns      consecutive position runs -> run containers
+//   kAllEqual  many positions, one value -> minimal slice count
+//   kMaxWidth  ONE position with a value up to 2^64-1 -> 64-slice BSI
+//              (single position so Sum cannot overflow the uint64 CHECK)
+//   kZipf      zipf-skewed values near 1, mixed sparse/dense positions
+enum class ColumnShape {
+  kEmpty,
+  kSingle,
+  kSparse,
+  kDense,
+  kRuns,
+  kAllEqual,
+  kMaxWidth,
+  kZipf,
+};
+inline constexpr int kNumColumnShapes = 8;
+
+inline ColumnShape RandomShape(Rng& rng) {
+  return static_cast<ColumnShape>(rng.NextBounded(kNumColumnShapes));
+}
+
+// Shape for columns feeding arithmetic (Add/Multiply/scalar ops): kMaxWidth
+// values are near 2^64 and would overflow uint64 mid-operation -- Bsi grows
+// extra slices while the scalar oracle wraps, a divergence that is out of
+// contract rather than a bug. Those columns remap to kZipf.
+inline ColumnShape RandomArithmeticShape(Rng& rng) {
+  const ColumnShape shape = RandomShape(rng);
+  return shape == ColumnShape::kMaxWidth ? ColumnShape::kZipf : shape;
+}
+
+// Position->value pairs for one column. `universe` bounds positions,
+// `value_cap` bounds values of the multi-position shapes (callers pass a
+// small cap when the column feeds arithmetic that must not overflow 64 bits,
+// e.g. Multiply). The result has strictly increasing positions, as
+// Bsi::FromPairs and RefColumn::FromPairs both require duplicate-free input.
+inline std::vector<std::pair<uint32_t, uint64_t>> GenColumnPairs(
+    Rng& rng, ColumnShape shape, uint32_t universe, uint64_t value_cap) {
+  std::map<uint32_t, uint64_t> entries;
+  const auto value = [&]() -> uint64_t {
+    return 1 + rng.NextBounded(value_cap);
+  };
+  switch (shape) {
+    case ColumnShape::kEmpty:
+      break;
+    case ColumnShape::kSingle:
+      entries[static_cast<uint32_t>(rng.NextBounded(universe))] = value();
+      break;
+    case ColumnShape::kSparse: {
+      const int n = 1 + static_cast<int>(rng.NextBounded(universe / 64 + 1));
+      for (int i = 0; i < n; ++i) {
+        entries[static_cast<uint32_t>(rng.NextBounded(universe))] = value();
+      }
+      break;
+    }
+    case ColumnShape::kDense: {
+      // A block filled at 60-95%: bitset containers once the block spans
+      // >4096 positions of one 2^16 chunk.
+      const uint32_t width = 1 + static_cast<uint32_t>(
+                                     rng.NextBounded(std::min<uint32_t>(
+                                         universe, 20000)));
+      const uint32_t start =
+          static_cast<uint32_t>(rng.NextBounded(universe));
+      const double fill = 0.6 + 0.35 * rng.NextDouble();
+      for (uint32_t i = 0; i < width; ++i) {
+        if (rng.NextBernoulli(fill)) entries[start + i] = value();
+      }
+      break;
+    }
+    case ColumnShape::kRuns: {
+      // A few runs of consecutive positions; ~half the runs share one value
+      // (run containers in the value slices), the rest vary per position.
+      const int runs = 1 + static_cast<int>(rng.NextBounded(5));
+      for (int r = 0; r < runs; ++r) {
+        const uint32_t start =
+            static_cast<uint32_t>(rng.NextBounded(universe));
+        const uint32_t len =
+            1 + static_cast<uint32_t>(rng.NextBounded(3000));
+        const bool constant_run = rng.NextBernoulli(0.5);
+        const uint64_t run_value = value();
+        for (uint32_t i = 0; i < len; ++i) {
+          entries[start + i] = constant_run ? run_value : value();
+        }
+      }
+      break;
+    }
+    case ColumnShape::kAllEqual: {
+      const int n = 1 + static_cast<int>(rng.NextBounded(2000));
+      const uint64_t v = value();
+      for (int i = 0; i < n; ++i) {
+        entries[static_cast<uint32_t>(rng.NextBounded(universe))] = v;
+      }
+      break;
+    }
+    case ColumnShape::kMaxWidth: {
+      // One position, value in [2^62, 2^64-1]: exercises the 63rd/64th bit
+      // slices without risking the Sum overflow CHECK.
+      const uint64_t hi = (uint64_t{1} << 62) +
+                          (rng.Next() >> 2) * 3;  // uniform-ish in range
+      entries[static_cast<uint32_t>(rng.NextBounded(universe))] =
+          std::max<uint64_t>(hi, uint64_t{1} << 62);
+      break;
+    }
+    case ColumnShape::kZipf: {
+      const int n = 1 + static_cast<int>(rng.NextBounded(3000));
+      ZipfDistribution zipf(std::max<uint64_t>(value_cap, 2), 1.2);
+      const bool clustered = rng.NextBernoulli(0.5);
+      const uint32_t base =
+          static_cast<uint32_t>(rng.NextBounded(universe));
+      for (int i = 0; i < n; ++i) {
+        const uint32_t pos =
+            clustered
+                ? base + static_cast<uint32_t>(rng.NextBounded(4096))
+                : static_cast<uint32_t>(rng.NextBounded(universe));
+        entries[pos] = zipf.Sample(rng);
+      }
+      break;
+    }
+  }
+  return {entries.begin(), entries.end()};
+}
+
+// A random position mask over the same universe (for SumUnderMask /
+// MultiplyByBinary), possibly empty, possibly dense.
+inline std::vector<uint32_t> GenMask(Rng& rng, uint32_t universe) {
+  std::map<uint32_t, uint64_t> m;
+  for (const auto& [pos, v] :
+       GenColumnPairs(rng, RandomShape(rng), universe, 2)) {
+    m[pos] = v;
+  }
+  std::vector<uint32_t> out;
+  out.reserve(m.size());
+  for (const auto& [pos, v] : m) out.push_back(pos);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Dataset workloads (engines + queries).
+// --------------------------------------------------------------------------
+
+struct FuzzDataset {
+  Dataset dataset;
+  bool engagement_ordered = true;  // position-encoding variant under test
+};
+
+// Ids are fixed so query generation can reference them without re-deriving.
+inline constexpr uint64_t kFuzzControlStrategy = 9100;
+inline constexpr uint64_t kFuzzTreatmentStrategy = 9101;
+inline constexpr uint64_t kFuzzExtraStrategy = 9102;
+inline constexpr uint64_t kFuzzMetricA = 501;
+inline constexpr uint64_t kFuzzMetricB = 502;
+inline constexpr uint32_t kFuzzDimension = 7;
+inline constexpr uint32_t kFuzzDimension2 = 8;
+
+// A small randomized experiment dataset: varies population size, segment and
+// bucket structure (including bucket != segment and the session-level unit
+// hierarchy), day count, metric value ranges up to 2^40 (max-slice stress),
+// participation (sparse through dense, with segments that can end up empty),
+// exposure ramp and traffic fraction, and the position-encoding order.
+// Kept deliberately small: the oracle engines are O(rows) scalar scans and
+// the suite runs hundreds of iterations.
+inline FuzzDataset GenDataset(Rng& rng) {
+  DatasetConfig config;
+  config.num_users = 30 + rng.NextBounded(270);
+  config.num_segments = 1 + static_cast<int>(rng.NextBounded(4));
+  config.bucket_equals_segment = rng.NextBernoulli(0.5);
+  config.num_buckets =
+      config.bucket_equals_segment
+          ? 1024
+          : 4 + static_cast<int>(rng.NextBounded(9));
+  config.start_date = static_cast<Date>(rng.NextBounded(3));
+  config.num_days = 2 + static_cast<int>(rng.NextBounded(4));
+  config.seed = rng.Next();
+  // The generator's engagement normalization requires an exponent < 1.
+  config.engagement_exponent = 0.2 + 0.65 * rng.NextDouble();
+
+  ExperimentConfig experiment;
+  experiment.strategy_ids = {kFuzzControlStrategy, kFuzzTreatmentStrategy};
+  experiment.arm_effects = {1.0, 0.9 + 0.3 * rng.NextDouble()};
+  if (rng.NextBernoulli(0.3)) {
+    experiment.strategy_ids.push_back(kFuzzExtraStrategy);
+    experiment.arm_effects.push_back(1.0 + 0.2 * rng.NextDouble());
+  }
+  experiment.traffic_salt = 1 + rng.NextBounded(1000);
+  const double fractions[] = {0.25, 0.6, 1.0};
+  experiment.traffic_fraction = fractions[rng.NextBounded(3)];
+  experiment.expose_day_p = 0.3 + 0.6 * rng.NextDouble();
+
+  // Metric A: value range from binary up to 2^40 (deep slice stacks).
+  // Metric B: small range, used as ratio denominator / CUPED covariate.
+  const uint64_t ranges[] = {1, 2, 50, 1000, uint64_t{1} << 20,
+                             uint64_t{1} << 40};
+  MetricConfig metric_a;
+  metric_a.metric_id = kFuzzMetricA;
+  metric_a.value_range = ranges[rng.NextBounded(6)];
+  metric_a.zipf_s = 1.05 + rng.NextDouble();
+  const double participations[] = {0.02, 0.2, 0.6};
+  metric_a.daily_participation = participations[rng.NextBounded(3)];
+  MetricConfig metric_b;
+  metric_b.metric_id = kFuzzMetricB;
+  metric_b.value_range = 1 + rng.NextBounded(100);
+  metric_b.zipf_s = 1.2;
+  metric_b.daily_participation = 0.3 + 0.4 * rng.NextDouble();
+
+  DimensionConfig dim;
+  dim.dimension_id = kFuzzDimension;
+  dim.cardinality = 2 + rng.NextBounded(5);
+  DimensionConfig dim2;
+  dim2.dimension_id = kFuzzDimension2;
+  dim2.cardinality = 2 + rng.NextBounded(3);
+
+  FuzzDataset out;
+  if (rng.NextBernoulli(0.25)) {
+    // Session-level unit hierarchy: analysis unit below the randomization
+    // unit, buckets inherited from the user id (always bucket != segment).
+    config.num_users = 20 + rng.NextBounded(120);
+    config.num_buckets = 4 + static_cast<int>(rng.NextBounded(9));
+    out.dataset = GenerateSessionDataset(config, {experiment},
+                                         {metric_a, metric_b},
+                                         0.5 + 1.5 * rng.NextDouble());
+  } else {
+    out.dataset = GenerateDataset(config, {experiment},
+                                  {metric_a, metric_b}, {dim, dim2});
+  }
+  out.engagement_ordered = rng.NextBernoulli(0.5);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Query workloads (EQL text for RunQuery vs RefRunQuery).
+// --------------------------------------------------------------------------
+
+// A random EQL query against `dataset`'s ids and date range. Most are valid;
+// ~1 in 8 deliberately violates a validation rule (offset predicate on a
+// metric source, grouped median) so the differential test also checks error
+// parity. Unknown metric ids are occasionally used too -- those are NOT
+// errors, the segments just contribute nothing.
+inline std::string GenQuery(Rng& rng, const Dataset& dataset) {
+  const Date lo = dataset.config.start_date;
+  const Date hi = lo + dataset.config.num_days - 1;
+  const auto date = [&]() -> Date {
+    return lo + static_cast<Date>(
+                    rng.NextBounded(dataset.config.num_days));
+  };
+  const auto strategy = [&]() -> uint64_t {
+    const auto& ids = dataset.experiments[0].strategy_ids;
+    return ids[rng.NextBounded(ids.size())];
+  };
+  const auto metric = [&]() -> uint64_t {
+    if (rng.NextBernoulli(0.1)) return 99999;  // unknown: empty, not error
+    return rng.NextBernoulli(0.5) ? kFuzzMetricA : kFuzzMetricB;
+  };
+  const char* cmps[] = {"=", "!=", "<", "<=", ">", ">="};
+  const auto cmp = [&]() { return cmps[rng.NextBounded(6)]; };
+
+  const bool invalid = rng.NextBernoulli(0.125);
+  const int source_kind = static_cast<int>(rng.NextBounded(3));
+
+  std::string source;
+  bool expose_source = false;
+  if (source_kind == 0) {
+    const Date d = date();
+    source = "metric(" + std::to_string(metric()) +
+             ", date = " + std::to_string(d);
+    if (rng.NextBernoulli(0.5)) {
+      const Date to = d + static_cast<Date>(rng.NextBounded(hi - d + 1));
+      source += ", to = " + std::to_string(to);
+    }
+    source += ")";
+  } else if (source_kind == 1) {
+    source = "dim(" + std::to_string(kFuzzDimension) +
+             ", date = " + std::to_string(date()) + ")";
+  } else {
+    source = "expose(" + std::to_string(strategy()) + ")";
+    expose_source = true;
+  }
+
+  std::vector<std::string> aggs;
+  if (invalid && rng.NextBernoulli(0.4)) {
+    // Grouped median / quantile / uv etc. are rejected with GROUP BY BUCKET.
+    aggs = {"median(value)"};
+  } else {
+    const char* pool[] = {"sum(value)", "count(*)",   "avg(value)",
+                          "min(value)", "max(value)", "median(value)",
+                          "uv(value)",  "quantile(value, 0.9)"};
+    const int n = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < n; ++i) aggs.push_back(pool[rng.NextBounded(8)]);
+  }
+  std::string text = "SELECT ";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) text += ", ";
+    text += aggs[i];
+  }
+  text += " FROM " + source;
+
+  std::vector<std::string> preds;
+  if (invalid && !expose_source && rng.NextBernoulli(0.7)) {
+    preds.push_back(std::string("offset ") + cmp() + " " +
+                    std::to_string(rng.NextBounded(4)));
+  }
+  const int num_preds = static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < num_preds; ++i) {
+    switch (rng.NextBounded(expose_source ? 4 : 3)) {
+      case 0: {
+        std::string pred = "exposed(" + std::to_string(strategy());
+        if (rng.NextBernoulli(0.5)) {
+          pred += ", on_or_before = " + std::to_string(date());
+        }
+        preds.push_back(pred + ")");
+        break;
+      }
+      case 1:
+        preds.push_back(std::string("value ") + cmp() + " " +
+                        std::to_string(1 + rng.NextBounded(50)));
+        break;
+      case 2:
+        preds.push_back("dim(" + std::to_string(kFuzzDimension2) +
+                        ", date = " + std::to_string(date()) + ") " +
+                        cmp() + " " +
+                        std::to_string(1 + rng.NextBounded(4)));
+        break;
+      default:  // offset predicate, only valid on an expose source
+        preds.push_back(std::string("offset ") + cmp() + " " +
+                        std::to_string(1 + rng.NextBounded(4)));
+        break;
+    }
+  }
+  for (size_t i = 0; i < preds.size(); ++i) {
+    text += (i == 0 ? " WHERE " : " AND ") + preds[i];
+  }
+
+  const bool group = invalid ? rng.NextBernoulli(0.6)
+                             : rng.NextBernoulli(0.25);
+  if (group) text += " GROUP BY BUCKET";
+  return text;
+}
+
+}  // namespace propgen
+}  // namespace expbsi
+
+#endif  // EXPBSI_TESTS_PROPERTY_GEN_H_

@@ -1,6 +1,7 @@
 #ifndef EXPBSI_TESTS_TEST_UTIL_H_
 #define EXPBSI_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -12,22 +13,29 @@
 namespace expbsi {
 namespace testing_util {
 
-// Random set of uint32 values: `n` draws bounded by `universe`, with a bias
-// knob so some tests exercise dense containers.
+// Random set of exactly min(n, universe) distinct uint32 values below
+// `universe`. Draws are deduplicated until the target size is reached (or
+// the universe is exhausted), so tests asking for n elements get n elements
+// even when the universe is small and collisions are frequent.
 inline std::set<uint32_t> RandomSet(Rng& rng, int n, uint32_t universe) {
   std::set<uint32_t> out;
-  for (int i = 0; i < n; ++i) {
+  const size_t target =
+      std::min<size_t>(static_cast<size_t>(n < 0 ? 0 : n), universe);
+  while (out.size() < target) {
     out.insert(static_cast<uint32_t>(rng.NextBounded(universe)));
   }
   return out;
 }
 
-// Random position->value map (values in [1, max_value]).
+// Random position->value map (values in [1, max_value]) with exactly
+// min(n, universe) distinct positions, deduplicated like RandomSet.
 inline std::map<uint32_t, uint64_t> RandomValueMap(Rng& rng, int n,
                                                    uint32_t universe,
                                                    uint64_t max_value) {
   std::map<uint32_t, uint64_t> out;
-  for (int i = 0; i < n; ++i) {
+  const size_t target =
+      std::min<size_t>(static_cast<size_t>(n < 0 ? 0 : n), universe);
+  while (out.size() < target) {
     out[static_cast<uint32_t>(rng.NextBounded(universe))] =
         1 + rng.NextBounded(max_value);
   }
