@@ -44,8 +44,10 @@ int main() {
               static_cast<unsigned long long>(users), kDays);
 
   Stopwatch build_watch;
-  PreAggTree tree(MakeDailyLeaves(users, kDays),
-                  [](const Bsi& a, const Bsi& b) { return SumBsi(a, b); });
+  PreAggTree tree(
+      MakeDailyLeaves(users, kDays),
+      [](const Bsi& a, const Bsi& b) { return SumBsi(a, b); },
+      [](const std::vector<const Bsi*>& nodes) { return SumBsi(nodes); });
   std::printf("tree build (one-time): %.2fs\n\n", build_watch.ElapsedSeconds());
 
   std::printf("%-12s %10s %12s %12s %9s\n", "range(days)", "nodes",
@@ -65,6 +67,10 @@ int main() {
     }
     std::printf("%-12d %10d %12.1f %12.1f %8.1fx\n", c, nodes, tree_ms,
                 linear_ms, linear_ms / tree_ms);
+    std::printf("BENCHJSON {\"op\": \"preagg_tree_query_c%d\", "
+                "\"ns_per_op\": %.0f}\n", c, tree_ms * 1e6);
+    std::printf("BENCHJSON {\"op\": \"preagg_linear_query_c%d\", "
+                "\"ns_per_op\": %.0f}\n", c, linear_ms * 1e6);
   }
   std::printf("\n(the Fig. 6 example: a 7-day range merges 3 nodes instead "
               "of folding 7 leaves)\n");

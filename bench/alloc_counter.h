@@ -1,0 +1,109 @@
+#ifndef EXPBSI_BENCH_ALLOC_COUNTER_H_
+#define EXPBSI_BENCH_ALLOC_COUNTER_H_
+
+// Replacement global operator new/delete that counts allocations and bytes.
+// Include from exactly ONE translation unit of a benchmark binary (the
+// replacement operators are program-wide); the counters then observe every
+// heap allocation in the process, which is how the multi-operand kernel
+// ablation demonstrates its "zero steady-state allocation" claim.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+// GCC flags free() inside the replacement operator delete as a mismatched
+// pair; the replacement operator new above it is malloc-backed, so the pair
+// is in fact matched.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace expbsi {
+namespace allocstats {
+
+inline std::atomic<uint64_t> g_bytes{0};
+inline std::atomic<uint64_t> g_allocs{0};
+
+struct Snapshot {
+  uint64_t bytes = 0;
+  uint64_t allocs = 0;
+};
+
+inline Snapshot Take() {
+  return {g_bytes.load(std::memory_order_relaxed),
+          g_allocs.load(std::memory_order_relaxed)};
+}
+
+// Allocation activity between two snapshots (frees are not tracked; the
+// metric is allocation churn, not live footprint).
+inline Snapshot Delta(const Snapshot& before, const Snapshot& after) {
+  return {after.bytes - before.bytes, after.allocs - before.allocs};
+}
+
+inline void* CountedAlloc(std::size_t size, std::size_t align) noexcept {
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (align > alignof(std::max_align_t)) {
+    const std::size_t padded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, padded);
+  }
+  return std::malloc(size);
+}
+
+}  // namespace allocstats
+}  // namespace expbsi
+
+void* operator new(std::size_t size) {
+  void* p = expbsi::allocstats::CountedAlloc(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = expbsi::allocstats::CountedAlloc(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = expbsi::allocstats::CountedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = expbsi::allocstats::CountedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return expbsi::allocstats::CountedAlloc(size, alignof(std::max_align_t));
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return expbsi::allocstats::CountedAlloc(size, alignof(std::max_align_t));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // EXPBSI_BENCH_ALLOC_COUNTER_H_

@@ -160,6 +160,10 @@ int main() {
     std::printf("%-7s %13.1fms %13.1fms %9.1fx %22s\n", names[idx],
                 normal_seconds * 1e3, bsi_seconds * 1e3,
                 normal_seconds / bsi_seconds, paper[idx]);
+    std::printf("BENCHJSON {\"op\": \"table6_normal_metric_%s\", "
+                "\"ns_per_op\": %.0f}\n", names[idx], normal_seconds * 1e9);
+    std::printf("BENCHJSON {\"op\": \"table6_bsi_metric_%s\", "
+                "\"ns_per_op\": %.0f}\n", names[idx], bsi_seconds * 1e9);
     ++idx;
   }
   std::printf("\n(normal format must re-aggregate every row through a hash "

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite at a pinned small scale and collects every
+# measurement into one machine-readable file (BENCH_pr2.json at the repo
+# root): [{"op": ..., "ns_per_op": ..., "bytes_per_op": ...,
+# "allocs_per_op": ...}, ...]. Two sources feed it:
+#
+#   * plain bench binaries print one `BENCHJSON {...}` line per measurement,
+#     which this script strips and collects verbatim;
+#   * the google-benchmark binaries (micro_roaring, micro_bsi) emit their
+#     native JSON, converted here to the same shape.
+#
+# The scale is pinned (EXPBSI_BENCH_USERS, default 20000) so runs stay under
+# a minute and results are comparable across machines of the same class; CI
+# runs this as a release-mode smoke check (benches build, run, agree with
+# the oracle, produce parseable numbers) with no timing assertions.
+#
+#   scripts/run_benches.sh               # writes ./BENCH_pr2.json
+#   OUT=/tmp/b.json scripts/run_benches.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_pr2.json}"
+export EXPBSI_BENCH_USERS="${EXPBSI_BENCH_USERS:-20000}"
+
+BENCH="$BUILD_DIR/bench"
+if [[ ! -x "$BENCH/ablation_multiop_kernels" ]]; then
+  echo "error: bench binaries not found under $BENCH -- build first:" >&2
+  echo "  cmake --preset release && cmake --build --preset release" >&2
+  exit 1
+fi
+
+# Correctness gate: the BSI engine must agree with the scalar oracle before
+# any timing is worth recording.
+EXPBSI_PREFLIGHT_ONLY=1 "$BENCH/table5_table6_compute"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for b in ablation_multiop_kernels ablation_preagg_tree table5_table6_compute; do
+  echo "=== $b (EXPBSI_BENCH_USERS=$EXPBSI_BENCH_USERS) ==="
+  "$BENCH/$b" | tee "$tmp/$b.out"
+  sed -n 's/^BENCHJSON //p' "$tmp/$b.out" >> "$tmp/lines.jsonl"
+done
+
+for b in micro_roaring micro_bsi; do
+  echo "=== $b ==="
+  "$BENCH/$b" --benchmark_format=json > "$tmp/$b.json"
+done
+
+python3 - "$tmp" "$OUT" <<'PY'
+import json, pathlib, sys
+
+tmp, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+results = []
+for line in (tmp / "lines.jsonl").read_text().splitlines():
+    results.append(json.loads(line))
+
+unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+for f in sorted(tmp.glob("micro_*.json")):
+    for b in json.loads(f.read_text())["benchmarks"]:
+        if b.get("run_type") != "iteration":
+            continue
+        results.append({
+            "op": b["name"],
+            "ns_per_op": b["real_time"] * unit_ns[b["time_unit"]],
+        })
+
+out.write_text(json.dumps(results, indent=1) + "\n")
+print(f"wrote {out} ({len(results)} measurements)")
+PY

@@ -69,6 +69,15 @@ Bsi Bsi::FromValues(const std::vector<uint64_t>& values) {
   return FromPairs(std::move(pairs));
 }
 
+Bsi Bsi::FromSlices(std::vector<RoaringBitmap> slices,
+                    RoaringBitmap existence) {
+  Bsi out;
+  out.slices_ = std::move(slices);
+  out.existence_ = std::move(existence);
+  out.TrimTopSlices();
+  return out;
+}
+
 Bsi Bsi::FromBinary(RoaringBitmap positions) {
   Bsi out;
   if (!positions.IsEmpty()) {

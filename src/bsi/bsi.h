@@ -36,6 +36,12 @@ class Bsi {
   // indicator column "1 at every position in `positions`".
   static Bsi FromBinary(RoaringBitmap positions);
 
+  // Adopts already-computed slices and their existence bitmap (the kernel
+  // output path of the multi-operand aggregates). The caller guarantees
+  // `existence` equals the OR of all slices; empty top slices are trimmed.
+  static Bsi FromSlices(std::vector<RoaringBitmap> slices,
+                        RoaringBitmap existence);
+
   // --- Inspection -----------------------------------------------------------
 
   // Value at `pos`; 0 means not present.

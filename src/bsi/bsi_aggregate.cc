@@ -1,16 +1,193 @@
 #include "bsi/bsi_aggregate.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <utility>
 
+#include "common/bit_util.h"
 #include "common/check.h"
+#include "common/scratch_arena.h"
+#include "roaring/union_accumulator.h"
 
 namespace expbsi {
+namespace {
+
+MultiOpKernel KernelFromEnv() {
+  const char* env = std::getenv("EXPBSI_LEGACY_PAIRWISE");
+  if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    return MultiOpKernel::kPairwise;
+  }
+  return MultiOpKernel::kMultiOperand;
+}
+
+std::atomic<MultiOpKernel>& KernelFlag() {
+  static std::atomic<MultiOpKernel> flag{KernelFromEnv()};
+  return flag;
+}
+
+// One operand of the word-level carry-save sum: `container` holds the bits
+// of weight 2^level within chunk `key`. Containers are borrowed from the
+// input BSIs' slices and must stay alive until WordCsaSum() returns.
+struct SliceRef {
+  uint16_t key;
+  uint16_t level;
+  const Container* container;
+};
+
+// Below this cardinality an array container is added with per-value carry
+// chains; at or above it, the container is expanded to a word buffer and
+// added with the full-width vector passes (a whole-buffer pass costs about
+// as much as a few hundred scalar chains, memset included).
+constexpr int kScalarAddMaxCardinality = 256;
+
+// Carry-save accumulation on raw 64-bit words. Each 2^16 chunk keeps one
+// scratch word buffer per output bit level; every input container is added
+// into the buffers with word-wise carry propagation
+//
+//   carry = acc[lvl] & bits; acc[lvl] ^= bits; bits = carry; ++lvl;
+//
+// executed as whole-buffer passes over flat 1024-word arrays (which the
+// compiler autovectorizes) with two ping-pong carry buffers, or as per-value
+// scalar chains for small array containers. The total work is amortized
+// O(1) passes per input container, since a carry at level l+1 happens at
+// most once per bit set at level l. No intermediate bitmap is ever
+// materialized: the buffers convert to Roaring containers exactly once per
+// chunk, and the buffers themselves are recycled thread-locally by the
+// scratch arena, so steady-state summation allocates only the result. The
+// sum is exact regardless of the order refs are added in.
+Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
+  constexpr size_t kWords = ScratchArena::kScratchWords;
+  std::sort(refs.begin(), refs.end(),
+            [](const SliceRef& a, const SliceRef& b) { return a.key < b.key; });
+  std::vector<ScratchArena::Lease> acc;  // one 65536-bit buffer per level
+  ScratchArena::Lease ping, pong;        // carry propagation scratch
+  std::vector<RoaringBitmap> slices;
+  size_t i = 0;
+  while (i < refs.size()) {
+    const uint16_t key = refs[i].key;
+    size_t used = 0;  // highest accumulator level written for this chunk
+    for (; i < refs.size() && refs[i].key == key; ++i) {
+      const SliceRef& ref = refs[i];
+      const uint64_t* bits = ref.container->BitmapWords();
+      if (bits == nullptr &&
+          ref.container->Cardinality() < kScalarAddMaxCardinality) {
+        // Sparse container: per-value scalar carry chains.
+        ref.container->ForEach([&acc, &used, &ref](uint16_t v) {
+          const int w = v >> 6;
+          uint64_t b = uint64_t{1} << (v & 63);
+          size_t lvl = ref.level;
+          do {
+            // The first write can start several levels up (high slice, or a
+            // shifted weighted operand), so grow to lvl, not just by one.
+            while (lvl >= acc.size()) acc.emplace_back();  // zeroed on lease
+            uint64_t* aw = acc[lvl].words() + w;
+            const uint64_t carry = *aw & b;
+            *aw ^= b;
+            b = carry;
+            ++lvl;
+          } while (b != 0);
+          used = std::max(used, lvl - 1);
+        });
+        continue;
+      }
+      if (bits == nullptr) {
+        // Dense array or run container: expand once, then use the full-width
+        // passes below.
+        std::fill_n(ping.words(), kWords, 0);
+        ref.container->UnionInto(ping.words());
+        bits = ping.words();
+      }
+      // Full adder over whole buffers: sum into acc[lvl], carries into the
+      // scratch buffer not currently holding `bits`, until they die out.
+      uint64_t* carry_buf = bits == ping.words() ? pong.words() : ping.words();
+      for (size_t lvl = ref.level;; ++lvl) {
+        while (lvl >= acc.size()) acc.emplace_back();
+        uint64_t* a = acc[lvl].words();
+        uint64_t any = 0;
+        for (size_t w = 0; w < kWords; ++w) {
+          const uint64_t x = bits[w];
+          const uint64_t carry = a[w] & x;
+          a[w] ^= x;
+          carry_buf[w] = carry;
+          any |= carry;
+        }
+        if (any == 0) {
+          used = std::max(used, lvl);
+          break;
+        }
+        bits = carry_buf;
+        carry_buf = bits == ping.words() ? pong.words() : ping.words();
+      }
+    }
+    for (size_t lvl = 0; lvl <= used && lvl < acc.size(); ++lvl) {
+      Container c = Container::FromWords(acc[lvl].words());
+      if (!c.IsEmpty()) {
+        if (slices.size() <= lvl) slices.resize(lvl + 1);
+        slices[lvl].AppendContainer(key, std::move(c));
+      }
+      std::fill_n(acc[lvl].words(), kWords, 0);
+    }
+  }
+  // Values are positive wherever present, so the sum's existence bitmap is
+  // exactly the union of the inputs' existence bitmaps.
+  return Bsi::FromSlices(std::move(slices), std::move(existence));
+}
+
+}  // namespace
+
+MultiOpKernel GetMultiOpKernel() {
+  return KernelFlag().load(std::memory_order_relaxed);
+}
+
+void SetMultiOpKernel(MultiOpKernel kernel) {
+  KernelFlag().store(kernel, std::memory_order_relaxed);
+}
+
+Bsi SumBsiCsa(const std::vector<const Bsi*>& inputs) {
+  std::vector<SliceRef> refs;
+  UnionAccumulator existence;
+  for (const Bsi* input : inputs) {
+    CHECK(input != nullptr);
+    if (input->IsEmpty()) continue;
+    existence.Add(input->existence());
+    for (int s = 0; s < input->num_slices(); ++s) {
+      const RoaringBitmap& slice = input->slice(s);
+      for (int c = 0; c < slice.NumContainers(); ++c) {
+        refs.push_back({slice.KeyAt(c), static_cast<uint16_t>(s),
+                        &slice.ContainerAt(c)});
+      }
+    }
+  }
+  return WordCsaSum(std::move(refs), existence.Finish());
+}
+
+Bsi SumBsiPairwise(const std::vector<const Bsi*>& inputs) {
+  Bsi acc;
+  bool seeded = false;
+  for (const Bsi* input : inputs) {
+    CHECK(input != nullptr);
+    if (input->IsEmpty()) continue;
+    if (!seeded) {
+      acc = *input;  // one copy to seed, instead of Add(empty, x) per round
+      seeded = true;
+    } else {
+      acc = Bsi::Add(acc, *input);
+    }
+  }
+  return acc;
+}
 
 Bsi SumBsi(const std::vector<const Bsi*>& inputs) {
-  Bsi acc;
-  for (const Bsi* input : inputs) acc = Bsi::Add(acc, *input);
-  return acc;
+  if (inputs.empty()) return Bsi();
+  if (inputs.size() == 1) {
+    CHECK(inputs[0] != nullptr);
+    return *inputs[0];
+  }
+  return GetMultiOpKernel() == MultiOpKernel::kMultiOperand
+             ? SumBsiCsa(inputs)
+             : SumBsiPairwise(inputs);
 }
 
 Bsi MaxBsi(const Bsi& x, const Bsi& y) {
@@ -32,19 +209,77 @@ Bsi MinBsi(const Bsi& x, const Bsi& y) {
                   Bsi::MultiplyByBinary(y, y_wins));
 }
 
-RoaringBitmap DistinctPos(const std::vector<const Bsi*>& inputs) {
+RoaringBitmap DistinctPosLazy(const std::vector<const Bsi*>& inputs) {
+  UnionAccumulator acc;
+  for (const Bsi* input : inputs) {
+    CHECK(input != nullptr);
+    acc.Add(input->existence());
+  }
+  return acc.Finish();
+}
+
+RoaringBitmap DistinctPosPairwise(const std::vector<const Bsi*>& inputs) {
   RoaringBitmap out;
-  for (const Bsi* input : inputs) out.OrInPlace(input->existence());
+  for (const Bsi* input : inputs) {
+    CHECK(input != nullptr);
+    out.OrInPlace(input->existence());
+  }
   return out;
 }
 
-Bsi WeightedSumBsi(const std::vector<WeightedBsi>& inputs) {
-  Bsi acc;
+RoaringBitmap DistinctPos(const std::vector<const Bsi*>& inputs) {
+  return GetMultiOpKernel() == MultiOpKernel::kMultiOperand
+             ? DistinctPosLazy(inputs)
+             : DistinctPosPairwise(inputs);
+}
+
+Bsi WeightedSumBsiCsa(const std::vector<WeightedBsi>& inputs) {
+  std::vector<SliceRef> refs;
+  UnionAccumulator existence;
   for (const WeightedBsi& input : inputs) {
     CHECK(input.bsi != nullptr);
-    acc = Bsi::Add(acc, Bsi::MultiplyScalar(*input.bsi, input.weight));
+    if (input.weight == 0 || input.bsi->IsEmpty()) continue;
+    existence.Add(input.bsi->existence());
+    // w * X = sum over set bits b of w of (X << b): slice s of X lands at
+    // adder level s + b. No per-input MultiplyScalar materialization.
+    uint64_t w = input.weight;
+    while (w != 0) {
+      const int b = CountTrailingZeros64(w);
+      for (int s = 0; s < input.bsi->num_slices(); ++s) {
+        const RoaringBitmap& slice = input.bsi->slice(s);
+        for (int c = 0; c < slice.NumContainers(); ++c) {
+          refs.push_back({slice.KeyAt(c), static_cast<uint16_t>(s + b),
+                          &slice.ContainerAt(c)});
+        }
+      }
+      w &= w - 1;
+    }
+  }
+  return WordCsaSum(std::move(refs), existence.Finish());
+}
+
+Bsi WeightedSumBsiPairwise(const std::vector<WeightedBsi>& inputs) {
+  Bsi acc;
+  bool seeded = false;
+  for (const WeightedBsi& input : inputs) {
+    CHECK(input.bsi != nullptr);
+    if (input.weight == 0 || input.bsi->IsEmpty()) continue;
+    Bsi term = Bsi::MultiplyScalar(*input.bsi, input.weight);
+    if (!seeded) {
+      acc = std::move(term);
+      seeded = true;
+    } else {
+      acc = Bsi::Add(acc, term);
+    }
   }
   return acc;
+}
+
+Bsi WeightedSumBsi(const std::vector<WeightedBsi>& inputs) {
+  if (inputs.empty()) return Bsi();
+  return GetMultiOpKernel() == MultiOpKernel::kMultiOperand
+             ? WeightedSumBsiCsa(inputs)
+             : WeightedSumBsiPairwise(inputs);
 }
 
 uint64_t QuantileOverInputs(const std::vector<MaskedBsi>& inputs, double q) {

@@ -92,7 +92,16 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
         StrategyMasks sm;
         sm.by_day.reserve(date_hi - date_lo + 1);
         for (Date d = date_lo; d <= date_hi; ++d) {
-          sm.by_day.push_back(expose.value().ExposedOnOrBefore(d));
+          if (sm.by_day.empty()) {
+            sm.by_day.push_back(expose.value().ExposedOnOrBefore(d));
+          } else {
+            // Each unit exposes once, so day d's mask is day d-1's mask plus
+            // the (disjoint) units first exposed on day d -- one small
+            // incremental union instead of a full slice-descent per day.
+            RoaringBitmap mask = sm.by_day.back();
+            mask.OrInPlace(expose.value().ExposedBetween(d, d));
+            sm.by_day.push_back(std::move(mask));
+          }
         }
         sm.exposed_by_hi = sm.by_day.back().Cardinality();
         masks.emplace(strategy_id, std::move(sm));

@@ -1,0 +1,60 @@
+#include "common/scratch_arena.h"
+
+#include <cstring>
+#include <vector>
+
+namespace expbsi {
+namespace {
+
+// One pool per thread; no locking anywhere on the lease path. Buffers are
+// raw arrays (not std::vector) so the pool can hand out stable pointers.
+struct Pool {
+  std::vector<uint64_t*> free_buffers;
+
+  ~Pool() {
+    for (uint64_t* buf : free_buffers) delete[] buf;
+  }
+};
+
+Pool& ThreadPool() {
+  static thread_local Pool pool;
+  return pool;
+}
+
+}  // namespace
+
+ScratchArena::Lease::Lease() {
+  Pool& pool = ThreadPool();
+  if (!pool.free_buffers.empty()) {
+    words_ = pool.free_buffers.back();
+    pool.free_buffers.pop_back();
+  } else {
+    words_ = new uint64_t[kScratchWords];
+  }
+  std::memset(words_, 0, kScratchWords * sizeof(uint64_t));
+}
+
+ScratchArena::Lease::~Lease() {
+  if (words_ != nullptr) ThreadPool().free_buffers.push_back(words_);
+}
+
+ScratchArena::Lease& ScratchArena::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (words_ != nullptr) ThreadPool().free_buffers.push_back(words_);
+    words_ = other.words_;
+    other.words_ = nullptr;
+  }
+  return *this;
+}
+
+size_t ScratchArena::PooledBuffersForTesting() {
+  return ThreadPool().free_buffers.size();
+}
+
+void ScratchArena::ReleaseThreadLocalPool() {
+  Pool& pool = ThreadPool();
+  for (uint64_t* buf : pool.free_buffers) delete[] buf;
+  pool.free_buffers.clear();
+}
+
+}  // namespace expbsi

@@ -1,0 +1,53 @@
+#ifndef EXPBSI_COMMON_SCRATCH_ARENA_H_
+#define EXPBSI_COMMON_SCRATCH_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace expbsi {
+
+// Per-thread pool of 65536-bit word buffers for the multi-operand kernels
+// (lazy union accumulation, CSA slice reduction). Buffers are recycled
+// thread-locally, so steady-state aggregation performs zero heap allocation
+// after warm-up: a kernel leases a buffer, fills it, converts it into a
+// container, and the lease destructor returns it to the pool.
+//
+// A lease's words are zeroed on acquisition (the caller always wants a
+// clean buffer to OR into) and the buffer memory itself is kept hot across
+// leases. Leases are movable but not copyable, and must not outlive the
+// thread that created them.
+class ScratchArena {
+ public:
+  // Words per buffer: one full Roaring container bitmap (65536 bits).
+  static constexpr size_t kScratchWords = 1024;
+
+  class Lease {
+   public:
+    Lease();
+    ~Lease();
+
+    Lease(Lease&& other) noexcept : words_(other.words_) {
+      other.words_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept;
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    uint64_t* words() { return words_; }
+    const uint64_t* words() const { return words_; }
+
+   private:
+    uint64_t* words_;
+  };
+
+  // Number of buffers currently pooled on this thread (test/bench hook).
+  static size_t PooledBuffersForTesting();
+
+  // Drops all pooled buffers on this thread (test hook; leak hygiene).
+  static void ReleaseThreadLocalPool();
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_SCRATCH_ARENA_H_

@@ -51,12 +51,15 @@ BucketValues ComputePreExperimentBsi(const ExperimentBsiData& data,
     const SegmentBsiData& sbd = data.segments[seg];
     const ExposeBsi* expose = sbd.FindExpose(strategy_id);
     if (expose == nullptr) continue;
-    // sumBSI over the C pre-period days.
-    Bsi pre_sum;
+    // sumBSI over the C pre-period days: one multi-operand kernel call over
+    // every day's BSI instead of a chain of pairwise Add materializations.
+    std::vector<const Bsi*> days;
+    days.reserve(static_cast<size_t>(lookback_days));
     for (Date date = pre_lo; date <= pre_hi; ++date) {
       const MetricBsi* metric = sbd.FindMetric(metric_id, date);
-      if (metric != nullptr) pre_sum = SumBsi(pre_sum, metric->value);
+      if (metric != nullptr) days.push_back(&metric->value);
     }
+    const Bsi pre_sum = SumBsi(days);
     AccumulatePrePeriod(data, seg, *expose, pre_sum, as_of_date, &out);
   }
   return out;
@@ -79,7 +82,8 @@ PreAggIndex BuildPreAggIndex(const ExperimentBsiData& data, uint64_t metric_id,
     }
     index.per_segment.emplace_back(
         std::move(leaves),
-        [](const Bsi& a, const Bsi& b) { return SumBsi(a, b); });
+        [](const Bsi& a, const Bsi& b) { return SumBsi(a, b); },
+        [](const std::vector<const Bsi*>& nodes) { return SumBsi(nodes); });
   }
   return index;
 }

@@ -2,6 +2,7 @@
 
 #include "bsi/bsi_group_by.h"
 #include "common/check.h"
+#include "roaring/union_accumulator.h"
 
 namespace expbsi {
 namespace {
@@ -95,15 +96,17 @@ BucketValues ComputeStrategyUniqueVisitorsBsi(const ExperimentBsiData& data,
     const SegmentBsiData& sbd = data.segments[seg];
     const ExposeBsi* expose = sbd.FindExpose(strategy_id);
     if (expose == nullptr) continue;
-    // distinctPos across days: OR of per-day (value > 0 AND exposed) states.
-    RoaringBitmap visitors;
+    // distinctPos across days: union of per-day (value > 0 AND exposed)
+    // states, accumulated lazily so N days cost one container conversion per
+    // key instead of N pairwise unions.
+    UnionAccumulator acc;
     for (Date date = date_lo; date <= date_hi; ++date) {
       const MetricBsi* metric = sbd.FindMetric(metric_id, date);
       if (metric == nullptr) continue;
-      RoaringBitmap day_state = RoaringBitmap::And(
-          metric->value.existence(), expose->ExposedOnOrBefore(date));
-      visitors.OrInPlace(day_state);
+      acc.AddOwned(RoaringBitmap::And(metric->value.existence(),
+                                      expose->ExposedOnOrBefore(date)));
     }
+    const RoaringBitmap visitors = acc.Finish();
     if (data.bucket_equals_segment) {
       out.sums[seg] += static_cast<double>(visitors.Cardinality());
     } else {

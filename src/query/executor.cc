@@ -7,6 +7,7 @@
 #include "bsi/bsi_aggregate.h"
 #include "bsi/bsi_group_by.h"
 #include "query/parser.h"
+#include "roaring/union_accumulator.h"
 
 namespace expbsi {
 namespace {
@@ -192,13 +193,15 @@ Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
   uint64_t global_max = 0;
   bool any_value = false;
   for (int seg = 0; seg < data.num_segments; ++seg) {
-    // uv: distinct positions with a value on ANY scan day (distinctPos).
-    RoaringBitmap distinct;
+    // uv: distinct positions with a value on ANY scan day (distinctPos),
+    // union-accumulated lazily across the per-day masks (which stay alive in
+    // `scans` for the whole loop).
+    UnionAccumulator distinct_acc;
     for (const SegmentScan& scan : scans[seg]) {
       if (scan.source == nullptr || scan.mask.IsEmpty()) continue;
       total_sum += static_cast<double>(scan.source->SumUnderMask(scan.mask));
       total_count += static_cast<double>(scan.mask.Cardinality());
-      distinct.OrInPlace(scan.mask);
+      distinct_acc.Add(scan.mask);
       const Bsi filtered = Bsi::MultiplyByBinary(*scan.source, scan.mask);
       if (!filtered.IsEmpty()) {
         any_value = true;
@@ -210,7 +213,7 @@ Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
       }
     }
     // Positions are segment-local, so distinct counts add across segments.
-    total_uv += static_cast<double>(distinct.Cardinality());
+    total_uv += static_cast<double>(distinct_acc.Finish().Cardinality());
   }
 
   QueryResult result;

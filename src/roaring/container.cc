@@ -19,9 +19,63 @@ bool GetU32(const uint8_t** cursor, const uint8_t* end, uint32_t* v) {
   return true;
 }
 
-// Sorted-array intersection (two-pointer).
+// First index in [lo, v.size()) with v[idx] >= key, found by exponential
+// search from lo: probes lo+1, lo+2, lo+4, ... then binary-searches the
+// bracketing block. O(log d) for a match d positions ahead, which beats the
+// linear merge when one operand is much smaller than the other.
+size_t GallopTo(const std::vector<uint16_t>& v, size_t lo, uint16_t key) {
+  if (lo >= v.size() || v[lo] >= key) return lo;
+  size_t step = 1;
+  while (lo + step < v.size() && v[lo + step] < key) step <<= 1;
+  const size_t begin = lo + (step >> 1) + 1;  // v[lo + step/2] < key
+  const size_t end = std::min(v.size(), lo + step + 1);
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + begin, v.begin() + end, key) - v.begin());
+}
+
+// Galloping intersection for skewed cardinalities: walk the small operand,
+// gallop through the large one.
+std::vector<uint16_t> ArrayAndGalloping(const std::vector<uint16_t>& small,
+                                        const std::vector<uint16_t>& large) {
+  std::vector<uint16_t> out;
+  out.reserve(small.size());
+  size_t j = 0;
+  for (const uint16_t v : small) {
+    j = GallopTo(large, j, v);
+    if (j == large.size()) break;
+    if (large[j] == v) {
+      out.push_back(v);
+      ++j;
+    }
+  }
+  return out;
+}
+
+int ArrayAndCardinalityGalloping(const std::vector<uint16_t>& small,
+                                 const std::vector<uint16_t>& large) {
+  int card = 0;
+  size_t j = 0;
+  for (const uint16_t v : small) {
+    j = GallopTo(large, j, v);
+    if (j == large.size()) break;
+    if (large[j] == v) {
+      ++card;
+      ++j;
+    }
+  }
+  return card;
+}
+
+bool UseGallop(size_t small_size, size_t large_size) {
+  return small_size * static_cast<size_t>(Container::kGallopRatio) <
+         large_size;
+}
+
+// Sorted-array intersection (two-pointer), galloping on skewed sizes.
 std::vector<uint16_t> ArrayAnd(const std::vector<uint16_t>& a,
                                const std::vector<uint16_t>& b) {
+  if (UseGallop(a.size(), b.size())) return ArrayAndGalloping(a, b);
+  if (UseGallop(b.size(), a.size())) return ArrayAndGalloping(b, a);
   std::vector<uint16_t> out;
   out.reserve(std::min(a.size(), b.size()));
   size_t i = 0, j = 0;
@@ -84,9 +138,8 @@ int BitmapCount(const std::vector<uint64_t>& words) {
   return count;
 }
 
-// Sets bits [begin, end) in a 65536-bit word array.
-void BitmapSetRange(std::vector<uint64_t>& words, uint32_t begin,
-                    uint32_t end) {
+// Sets bits [begin, end) in a 65536-bit word buffer.
+void BitmapSetRange(uint64_t* words, uint32_t begin, uint32_t end) {
   if (begin >= end) return;
   const uint32_t first_word = begin >> 6;
   const uint32_t last_word = (end - 1) >> 6;
@@ -99,6 +152,11 @@ void BitmapSetRange(std::vector<uint64_t>& words, uint32_t begin,
   words[first_word] |= first_mask;
   for (uint32_t w = first_word + 1; w < last_word; ++w) words[w] = ~uint64_t{0};
   words[last_word] |= last_mask;
+}
+
+void BitmapSetRange(std::vector<uint64_t>& words, uint32_t begin,
+                    uint32_t end) {
+  BitmapSetRange(words.data(), begin, end);
 }
 
 void BitmapClearRange(std::vector<uint64_t>& words, uint32_t begin,
@@ -621,6 +679,12 @@ int Container::AndCardinality(const Container& a, const Container& b) {
     const Container& arr = a.type_ == ContainerType::kArray ? a : b;
     const Container& other = a.type_ == ContainerType::kArray ? b : a;
     if (other.type_ == ContainerType::kArray) {
+      if (UseGallop(arr.array_.size(), other.array_.size())) {
+        return ArrayAndCardinalityGalloping(arr.array_, other.array_);
+      }
+      if (UseGallop(other.array_.size(), arr.array_.size())) {
+        return ArrayAndCardinalityGalloping(other.array_, arr.array_);
+      }
       size_t i = 0, j = 0;
       int card = 0;
       while (i < arr.array_.size() && j < other.array_.size()) {
@@ -657,12 +721,186 @@ bool Container::Intersects(const Container& a, const Container& b) {
       b.type_ == ContainerType::kArray) {
     const Container& arr = a.type_ == ContainerType::kArray ? a : b;
     const Container& other = a.type_ == ContainerType::kArray ? b : a;
+    if (other.type_ == ContainerType::kArray) {
+      // Gallop through the larger operand, early-exiting on first overlap.
+      const bool a_small = arr.array_.size() <= other.array_.size();
+      const std::vector<uint16_t>& small =
+          a_small ? arr.array_ : other.array_;
+      const std::vector<uint16_t>& large =
+          a_small ? other.array_ : arr.array_;
+      size_t j = 0;
+      for (const uint16_t v : small) {
+        j = GallopTo(large, j, v);
+        if (j == large.size()) return false;
+        if (large[j] == v) return true;
+      }
+      return false;
+    }
     for (uint16_t v : arr.array_) {
       if (other.Contains(v)) return true;
     }
     return false;
   }
   return AndCardinality(a, b) > 0;
+}
+
+void Container::UnionInto(uint64_t* words) const {
+  switch (type_) {
+    case ContainerType::kArray:
+      for (const uint16_t v : array_) {
+        words[v >> 6] |= uint64_t{1} << (v & 63);
+      }
+      break;
+    case ContainerType::kBitmap:
+      for (int w = 0; w < kWordsPerBitmap; ++w) words[w] |= words_[w];
+      break;
+    case ContainerType::kRun:
+      for (size_t r = 0; r + 1 < array_.size(); r += 2) {
+        const uint32_t start = array_[r];
+        BitmapSetRange(words, start, start + array_[r + 1] + 1);
+      }
+      break;
+  }
+}
+
+Container Container::FromWords(const uint64_t* words) {
+  int card = 0;
+  for (int w = 0; w < kWordsPerBitmap; ++w) card += PopCount64(words[w]);
+  Container c;
+  if (card == 0) return c;
+  if (card <= kArrayMaxCardinality) {
+    c.array_.reserve(card);
+    for (int w = 0; w < kWordsPerBitmap; ++w) {
+      uint64_t word = words[w];
+      while (word != 0) {
+        c.array_.push_back(
+            static_cast<uint16_t>((w << 6) + CountTrailingZeros64(word)));
+        word &= word - 1;
+      }
+    }
+    c.cardinality_ = card;
+    return c;
+  }
+  c.type_ = ContainerType::kBitmap;
+  c.words_.assign(words, words + kWordsPerBitmap);
+  c.cardinality_ = card;
+  return c;
+}
+
+void Container::OrInPlaceWith(const Container& other) {
+  if (other.IsEmpty()) return;
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  if (type_ == ContainerType::kBitmap) {
+    // OR never shrinks a bitmap below the threshold, so no normalization.
+    other.UnionInto(words_.data());
+    cardinality_ = BitmapCount(words_);
+    return;
+  }
+  if (type_ == ContainerType::kArray &&
+      other.type_ == ContainerType::kArray &&
+      cardinality_ + other.cardinality_ <= kArrayMaxCardinality) {
+    // Merge through a reusable scratch vector, then copy back into the
+    // receiver's existing capacity: steady-state, no heap traffic.
+    static thread_local std::vector<uint16_t> scratch;
+    scratch.clear();
+    scratch.reserve(kArrayMaxCardinality);
+    std::set_union(array_.begin(), array_.end(), other.array_.begin(),
+                   other.array_.end(), std::back_inserter(scratch));
+    array_.assign(scratch.begin(), scratch.end());
+    cardinality_ = static_cast<int32_t>(array_.size());
+    return;
+  }
+  *this = Or(*this, other);
+}
+
+void Container::AndInPlaceWith(const Container& other) {
+  if (IsEmpty()) return;
+  if (other.IsEmpty()) {
+    *this = Container();
+    return;
+  }
+  if (type_ == ContainerType::kBitmap &&
+      other.type_ == ContainerType::kBitmap) {
+    int card = 0;
+    for (int w = 0; w < kWordsPerBitmap; ++w) {
+      words_[w] &= other.words_[w];
+      card += PopCount64(words_[w]);
+    }
+    cardinality_ = card;
+    if (card == 0) {
+      *this = Container();
+    } else {
+      NormalizeBitmap();
+    }
+    return;
+  }
+  *this = And(*this, other);
+}
+
+void Container::XorInPlaceWith(const Container& other) {
+  if (other.IsEmpty()) return;
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  if (type_ == ContainerType::kBitmap &&
+      other.type_ == ContainerType::kBitmap) {
+    int card = 0;
+    for (int w = 0; w < kWordsPerBitmap; ++w) {
+      words_[w] ^= other.words_[w];
+      card += PopCount64(words_[w]);
+    }
+    cardinality_ = card;
+    if (card == 0) {
+      *this = Container();
+    } else {
+      NormalizeBitmap();
+    }
+    return;
+  }
+  *this = Xor(*this, other);
+}
+
+void Container::AndNotInPlaceWith(const Container& other) {
+  if (IsEmpty() || other.IsEmpty()) return;
+  if (type_ == ContainerType::kBitmap) {
+    switch (other.type_) {
+      case ContainerType::kArray:
+        for (const uint16_t v : other.array_) {
+          if (BitmapTest(words_, v)) {
+            BitmapClear(words_, v);
+            --cardinality_;
+          }
+        }
+        break;
+      case ContainerType::kBitmap: {
+        int card = 0;
+        for (int w = 0; w < kWordsPerBitmap; ++w) {
+          words_[w] &= ~other.words_[w];
+          card += PopCount64(words_[w]);
+        }
+        cardinality_ = card;
+        break;
+      }
+      case ContainerType::kRun:
+        for (size_t r = 0; r + 1 < other.array_.size(); r += 2) {
+          const uint32_t start = other.array_[r];
+          BitmapClearRange(words_, start, start + other.array_[r + 1] + 1);
+        }
+        cardinality_ = BitmapCount(words_);
+        break;
+    }
+    if (cardinality_ == 0) {
+      *this = Container();
+    } else {
+      NormalizeBitmap();
+    }
+    return;
+  }
+  *this = AndNot(*this, other);
 }
 
 int Container::NextValue(uint32_t from) const {

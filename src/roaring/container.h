@@ -32,6 +32,12 @@ class Container {
   static constexpr int kArrayMaxCardinality = 4096;
   static constexpr int kWordsPerBitmap = 1024;  // 65536 bits
 
+  // Array-array intersections switch from the linear two-pointer merge to
+  // galloping (exponential search) when one operand is at least this many
+  // times larger than the other. Below the ratio the merge's sequential
+  // access wins; above it, skipping whole blocks of the large operand does.
+  static constexpr int kGallopRatio = 32;
+
   Container() = default;
 
   Container(const Container&) = default;
@@ -68,6 +74,31 @@ class Container {
   static bool Intersects(const Container& a, const Container& b);
 
   void OrInPlace(const Container& other) { *this = Or(*this, other); }
+
+  // Destructive in-place variants: mutate the receiver without reallocating
+  // its payload where the representation allows (bitmap words are updated in
+  // place; small array-array unions reuse the existing array capacity). They
+  // fall back to the allocating static ops otherwise, so they are always
+  // semantically identical to `*this = Op(*this, other)`.
+  void OrInPlaceWith(const Container& other);
+  void AndInPlaceWith(const Container& other);
+  void XorInPlaceWith(const Container& other);
+  void AndNotInPlaceWith(const Container& other);
+
+  // ORs this container's bits into a caller-owned 65536-bit word buffer
+  // (kWordsPerBitmap words). The multi-way-union primitive: N containers of
+  // one key are folded into the buffer and converted back exactly once.
+  void UnionInto(uint64_t* words) const;
+
+  // Builds a container from a 65536-bit word buffer, normalized to array
+  // form when the cardinality is at or below kArrayMaxCardinality.
+  static Container FromWords(const uint64_t* words);
+
+  // Raw 1024-word payload when type() == kBitmap, nullptr otherwise. Lets
+  // word-at-a-time kernels read dense containers without a copy.
+  const uint64_t* BitmapWords() const {
+    return type_ == ContainerType::kBitmap ? words_.data() : nullptr;
+  }
 
   // Number of values <= `value`.
   int Rank(uint16_t value) const;

@@ -214,7 +214,24 @@ RoaringBitmap RoaringBitmap::AndNot(const RoaringBitmap& a,
 }
 
 void RoaringBitmap::AndInPlace(const RoaringBitmap& other) {
-  *this = And(*this, other);
+  // The result's keys are a subset of this bitmap's keys, so the entry
+  // vector is compacted in place: no reallocation, and containers intersect
+  // destructively where their representation allows.
+  size_t w = 0, j = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    while (j < other.entries_.size() &&
+           other.entries_[j].key < entries_[i].key) {
+      ++j;
+    }
+    if (j >= other.entries_.size()) break;
+    if (other.entries_[j].key != entries_[i].key) continue;
+    entries_[i].container.AndInPlaceWith(other.entries_[j].container);
+    if (!entries_[i].container.IsEmpty()) {
+      if (w != i) entries_[w] = std::move(entries_[i]);
+      ++w;
+    }
+  }
+  entries_.resize(w);
 }
 
 void RoaringBitmap::OrInPlace(const RoaringBitmap& other) {
@@ -223,15 +240,100 @@ void RoaringBitmap::OrInPlace(const RoaringBitmap& other) {
     *this = other;
     return;
   }
-  *this = Or(*this, other);
+  // Fast path: every key of `other` already exists here -- pure in-place
+  // container updates, no entry-vector churn. This is the common case for
+  // slice accumulation over one population.
+  {
+    size_t i = 0, j = 0;
+    bool subset = true;
+    while (j < other.entries_.size()) {
+      if (i >= entries_.size() || entries_[i].key > other.entries_[j].key) {
+        subset = false;
+        break;
+      }
+      if (entries_[i].key == other.entries_[j].key) ++j;
+      ++i;
+    }
+    if (subset) {
+      i = 0;
+      for (j = 0; j < other.entries_.size(); ++j) {
+        while (entries_[i].key != other.entries_[j].key) ++i;
+        entries_[i].container.OrInPlaceWith(other.entries_[j].container);
+      }
+      return;
+    }
+  }
+  // General path: merge into a fresh entry vector, MOVING this bitmap's
+  // containers instead of copying their payloads.
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].key < other.entries_[j].key)) {
+      merged.push_back(std::move(entries_[i]));
+      ++i;
+    } else if (i >= entries_.size() ||
+               other.entries_[j].key < entries_[i].key) {
+      merged.push_back(other.entries_[j]);
+      ++j;
+    } else {
+      entries_[i].container.OrInPlaceWith(other.entries_[j].container);
+      merged.push_back(std::move(entries_[i]));
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
 }
 
 void RoaringBitmap::XorInPlace(const RoaringBitmap& other) {
-  *this = Xor(*this, other);
+  if (other.IsEmpty()) return;
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].key < other.entries_[j].key)) {
+      merged.push_back(std::move(entries_[i]));
+      ++i;
+    } else if (i >= entries_.size() ||
+               other.entries_[j].key < entries_[i].key) {
+      merged.push_back(other.entries_[j]);
+      ++j;
+    } else {
+      entries_[i].container.XorInPlaceWith(other.entries_[j].container);
+      if (!entries_[i].container.IsEmpty()) {
+        merged.push_back(std::move(entries_[i]));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
 }
 
 void RoaringBitmap::AndNotInPlace(const RoaringBitmap& other) {
-  *this = AndNot(*this, other);
+  // Result keys are a subset of this bitmap's keys: compact in place.
+  size_t w = 0, j = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    while (j < other.entries_.size() &&
+           other.entries_[j].key < entries_[i].key) {
+      ++j;
+    }
+    if (j < other.entries_.size() &&
+        other.entries_[j].key == entries_[i].key) {
+      entries_[i].container.AndNotInPlaceWith(other.entries_[j].container);
+      if (entries_[i].container.IsEmpty()) continue;
+    }
+    if (w != i) entries_[w] = std::move(entries_[i]);
+    ++w;
+  }
+  entries_.resize(w);
 }
 
 uint64_t RoaringBitmap::AndCardinality(const RoaringBitmap& a,
@@ -433,6 +535,12 @@ int RoaringBitmap::NumBitmapContainers() const {
     n += e.container.type() == ContainerType::kBitmap ? 1 : 0;
   }
   return n;
+}
+
+void RoaringBitmap::AppendContainer(uint16_t key, Container container) {
+  if (container.IsEmpty()) return;
+  CHECK(entries_.empty() || entries_.back().key < key);
+  entries_.push_back({key, std::move(container)});
 }
 
 }  // namespace expbsi

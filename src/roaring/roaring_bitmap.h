@@ -133,7 +133,22 @@ class RoaringBitmap {
   int NumRunContainers() const;
   int NumBitmapContainers() const;
 
+  // Read-only access to the i-th (key, container) pair, ascending by key;
+  // i < NumContainers(). The multi-operand kernels in src/bsi walk the
+  // container list directly instead of going through per-value iteration.
+  uint16_t KeyAt(int i) const { return entries_[i].key; }
+  const Container& ContainerAt(int i) const { return entries_[i].container; }
+
+  // Appends a container under a key strictly greater than any key present
+  // (bulk-builder path for kernels that emit containers in ascending key
+  // order). Empty containers are skipped.
+  void AppendContainer(uint16_t key, Container container);
+
  private:
+  // Multi-way union accumulator (union_accumulator.h) reads entries_ to
+  // borrow containers and writes the merged entry list back directly.
+  friend class UnionAccumulator;
+
   struct Entry {
     uint16_t key;
     Container container;

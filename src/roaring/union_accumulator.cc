@@ -1,0 +1,65 @@
+#include "roaring/union_accumulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/scratch_arena.h"
+
+namespace expbsi {
+
+static_assert(ScratchArena::kScratchWords ==
+                  static_cast<size_t>(Container::kWordsPerBitmap),
+              "scratch buffers must hold one full container bitmap");
+
+void UnionAccumulator::Add(const RoaringBitmap& bm) {
+  for (const RoaringBitmap::Entry& e : bm.entries_) {
+    if (!e.container.IsEmpty()) pending_.push_back({e.key, &e.container});
+  }
+}
+
+void UnionAccumulator::AddOwned(RoaringBitmap&& bm) {
+  owned_.push_back(std::move(bm));
+  Add(owned_.back());
+}
+
+RoaringBitmap UnionAccumulator::Finish() {
+  RoaringBitmap out;
+  if (pending_.empty()) {
+    owned_.clear();
+    return out;
+  }
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const Ref& a, const Ref& b) { return a.key < b.key; });
+  ScratchArena::Lease lease;
+  uint64_t* words = lease.words();
+  size_t i = 0;
+  while (i < pending_.size()) {
+    size_t j = i + 1;
+    while (j < pending_.size() && pending_[j].key == pending_[i].key) ++j;
+    RoaringBitmap::Entry entry;
+    entry.key = pending_[i].key;
+    if (j == i + 1) {
+      // Sole holder of this key: plain copy, no scratch pass needed.
+      entry.container = *pending_[i].container;
+    } else {
+      std::fill(words, words + ScratchArena::kScratchWords, 0);
+      for (size_t k = i; k < j; ++k) pending_[k].container->UnionInto(words);
+      entry.container = Container::FromWords(words);
+    }
+    out.entries_.push_back(std::move(entry));
+    i = j;
+  }
+  pending_.clear();
+  owned_.clear();
+  return out;
+}
+
+RoaringBitmap UnionMany(const std::vector<const RoaringBitmap*>& inputs) {
+  UnionAccumulator acc;
+  for (const RoaringBitmap* bm : inputs) {
+    if (bm != nullptr) acc.Add(*bm);
+  }
+  return acc.Finish();
+}
+
+}  // namespace expbsi

@@ -1,0 +1,58 @@
+#ifndef EXPBSI_ROARING_UNION_ACCUMULATOR_H_
+#define EXPBSI_ROARING_UNION_ACCUMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "roaring/container.h"
+#include "roaring/roaring_bitmap.h"
+
+namespace expbsi {
+
+// Multi-way OR without intermediate materialization (CRoaring's "bitset
+// accumulation" idea): instead of folding N bitmaps through N-1 pairwise
+// unions -- each of which renormalizes every shared container -- the
+// accumulator records (key, container*) references for all inputs, and
+// Finish() processes each distinct key once. Keys held by a single input
+// are copied directly; keys held by several inputs are OR-ed into one
+// 65536-bit scratch buffer (leased from the per-thread ScratchArena) and
+// converted to the best representation exactly once.
+//
+// Add() borrows: the source bitmap must stay alive and unmodified until
+// Finish(). AddOwned() moves the bitmap into the accumulator for callers
+// whose inputs are temporaries. Finish() resets the accumulator.
+class UnionAccumulator {
+ public:
+  UnionAccumulator() = default;
+
+  // Borrows `bm`'s containers; `bm` must outlive Finish().
+  void Add(const RoaringBitmap& bm);
+
+  // Takes ownership of a temporary input.
+  void AddOwned(RoaringBitmap&& bm);
+
+  // Computes the union of everything added so far and resets the
+  // accumulator for reuse.
+  RoaringBitmap Finish();
+
+  bool empty() const { return pending_.empty(); }
+
+ private:
+  struct Ref {
+    uint16_t key;
+    const Container* container;
+  };
+
+  std::vector<Ref> pending_;
+  // Deque: stable addresses for borrowed-from-owned containers as inputs
+  // accumulate.
+  std::deque<RoaringBitmap> owned_;
+};
+
+// Convenience wrapper: union of a whole list in one accumulator pass.
+RoaringBitmap UnionMany(const std::vector<const RoaringBitmap*>& inputs);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_ROARING_UNION_ACCUMULATOR_H_

@@ -7,15 +7,28 @@
 namespace expbsi {
 
 PreAggTree::PreAggTree(std::vector<Bsi> leaves, MergeFn merge)
-    : num_leaves_(static_cast<int>(leaves.size())), merge_(std::move(merge)) {
+    : PreAggTree(std::move(leaves), std::move(merge), MultiMergeFn()) {}
+
+PreAggTree::PreAggTree(std::vector<Bsi> leaves, MergeFn merge,
+                       MultiMergeFn multi_merge)
+    : num_leaves_(static_cast<int>(leaves.size())),
+      merge_(std::move(merge)),
+      multi_merge_(std::move(multi_merge)) {
   CHECK_GT(num_leaves_, 0);
   while (extent_ < num_leaves_) extent_ *= 2;
   nodes_.assign(2 * extent_, Bsi());
   for (int i = 0; i < num_leaves_; ++i) {
     nodes_[extent_ + i] = std::move(leaves[i]);
   }
-  for (int node = extent_ - 1; node >= 1; --node) {
-    nodes_[node] = merge_(nodes_[2 * node], nodes_[2 * node + 1]);
+  if (multi_merge_) {
+    for (int node = extent_ - 1; node >= 1; --node) {
+      nodes_[node] =
+          multi_merge_({&nodes_[2 * node], &nodes_[2 * node + 1]});
+    }
+  } else {
+    for (int node = extent_ - 1; node >= 1; --node) {
+      nodes_[node] = merge_(nodes_[2 * node], nodes_[2 * node + 1]);
+    }
   }
 }
 
@@ -23,8 +36,33 @@ Bsi PreAggTree::Query(int lo, int hi, int* nodes_merged) const {
   CHECK_GE(lo, 0);
   CHECK_LE(lo, hi);
   CHECK_LT(hi, num_leaves_);
+  if (multi_merge_) {
+    // Collect the O(log C) covering nodes, then fold them in ONE
+    // multi-operand merge instead of pairwise up the recursion.
+    std::vector<const Bsi*> cover;
+    int covered = 0;
+    CollectCover(1, 0, extent_ - 1, lo, hi, &cover, &covered);
+    if (nodes_merged != nullptr) *nodes_merged = covered;
+    if (cover.empty()) return Bsi();
+    if (cover.size() == 1) return *cover[0];
+    return multi_merge_(cover);
+  }
   if (nodes_merged != nullptr) *nodes_merged = 0;
   return QueryRecursive(1, 0, extent_ - 1, lo, hi, nodes_merged);
+}
+
+void PreAggTree::CollectCover(int node, int node_lo, int node_hi, int lo,
+                              int hi, std::vector<const Bsi*>* cover,
+                              int* covered) const {
+  if (hi < node_lo || node_hi < lo) return;
+  if (lo <= node_lo && node_hi <= hi) {
+    ++*covered;
+    if (!nodes_[node].IsEmpty()) cover->push_back(&nodes_[node]);
+    return;
+  }
+  const int mid = (node_lo + node_hi) / 2;
+  CollectCover(2 * node, node_lo, mid, lo, hi, cover, covered);
+  CollectCover(2 * node + 1, mid + 1, node_hi, lo, hi, cover, covered);
 }
 
 Bsi PreAggTree::QueryRecursive(int node, int node_lo, int node_hi, int lo,

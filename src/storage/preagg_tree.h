@@ -18,9 +18,18 @@ namespace expbsi {
 class PreAggTree {
  public:
   using MergeFn = std::function<Bsi(const Bsi&, const Bsi&)>;
+  // N-way merge (e.g. the CSA sumBSI kernel): called once with every
+  // covering node of a query instead of pairwise up the recursion.
+  using MultiMergeFn = std::function<Bsi(const std::vector<const Bsi*>&)>;
 
   // `leaves[i]` is the BSI of day i (relative to the tree's first day).
   PreAggTree(std::vector<Bsi> leaves, MergeFn merge);
+
+  // As above, plus a multi-operand merge. Query() then collects the O(log C)
+  // covering nodes and folds them in ONE multi_merge call; `merge` is still
+  // used by QueryLinear (the ablation baseline). Both functions must compute
+  // the same aggregate.
+  PreAggTree(std::vector<Bsi> leaves, MergeFn merge, MultiMergeFn multi_merge);
 
   int num_days() const { return num_leaves_; }
 
@@ -37,10 +46,17 @@ class PreAggTree {
   Bsi QueryRecursive(int node, int node_lo, int node_hi, int lo, int hi,
                      int* nodes_merged) const;
 
+  // Gathers the canonical segment-tree cover of [lo, hi]: `covered` counts
+  // every fully-covered node (matching QueryRecursive's nodes_merged), and
+  // non-empty covering nodes are appended to `cover`.
+  void CollectCover(int node, int node_lo, int node_hi, int lo, int hi,
+                    std::vector<const Bsi*>* cover, int* covered) const;
+
   int num_leaves_ = 0;
   int extent_ = 1;  // power of two >= num_leaves_
   std::vector<Bsi> nodes_;  // 1-based heap; nodes_[1] is the root
   MergeFn merge_;
+  MultiMergeFn multi_merge_;  // may be empty: fall back to pairwise recursion
 };
 
 }  // namespace expbsi

@@ -325,6 +325,87 @@ void RunColumnOpsIteration(uint64_t seed) {
                          return merged;
                        }(),
                        ctx + " DistinctPos");
+
+  // Multi-operand kernels: the CSA sum, the lazy union accumulator, and the
+  // legacy pairwise folds must all agree with a scalar fold over N inputs.
+  {
+    const int n = 2 + static_cast<int>(rng.NextBounded(7));  // 2..8 operands
+    std::vector<Bsi> cols;
+    std::vector<RefColumn> ref_cols;
+    cols.reserve(n);
+    ref_cols.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      const auto pairs = propgen::GenColumnPairs(
+          rng, propgen::RandomArithmeticShape(rng), kUniverse,
+          uint64_t{1} << 16);
+      auto [b, r] = BuildBoth(pairs);
+      cols.push_back(std::move(b));
+      ref_cols.push_back(std::move(r));
+    }
+    std::vector<const Bsi*> inputs;
+    for (const Bsi& b : cols) inputs.push_back(&b);
+
+    RefColumn ref_sum;
+    for (const RefColumn& r : ref_cols) ref_sum = RefColumn::Add(ref_sum, r);
+    ExpectColumnsEqual(SumBsiCsa(inputs), ref_sum,
+                       ctx + " SumBsiCsa n=" + std::to_string(n));
+    ExpectColumnsEqual(SumBsiPairwise(inputs), ref_sum,
+                       ctx + " SumBsiPairwise n=" + std::to_string(n));
+    ExpectColumnsEqual(SumBsi(inputs), ref_sum,
+                       ctx + " SumBsi dispatch n=" + std::to_string(n));
+
+    // Weighted sum: weights up to 2^8 keep the total far below 64 bits.
+    std::vector<WeightedBsi> weighted;
+    RefColumn ref_weighted;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t w = rng.NextBounded(1 + (uint64_t{1} << 8));  // 0 valid
+      weighted.push_back({&cols[i], w});
+      ref_weighted = RefColumn::Add(
+          ref_weighted, RefColumn::MultiplyScalar(ref_cols[i], w));
+    }
+    ExpectColumnsEqual(WeightedSumBsiCsa(weighted), ref_weighted,
+                       ctx + " WeightedSumBsiCsa");
+    ExpectColumnsEqual(WeightedSumBsiPairwise(weighted), ref_weighted,
+                       ctx + " WeightedSumBsiPairwise");
+
+    RefPositions ref_union;
+    for (const RefColumn& r : ref_cols) {
+      const RefPositions e = r.Existence();
+      RefPositions merged;
+      std::set_union(ref_union.begin(), ref_union.end(), e.begin(), e.end(),
+                     std::back_inserter(merged));
+      ref_union = std::move(merged);
+    }
+    ExpectPositionsEqual(DistinctPosLazy(inputs), ref_union,
+                         ctx + " DistinctPosLazy");
+    ExpectPositionsEqual(DistinctPosPairwise(inputs), ref_union,
+                         ctx + " DistinctPosPairwise");
+  }
+
+  // Galloping intersect: skewed array-array workloads where one side is far
+  // smaller than the other (the kGallopRatio dispatch), checked against
+  // std::set_intersection in both argument orders.
+  {
+    std::vector<uint32_t> small_vals, large_vals;
+    propgen::GenSkewedArrays(rng, /*chunk_base=*/1u << 16, &small_vals,
+                             &large_vals);
+    const RoaringBitmap small_bm = RoaringBitmap::FromSorted(small_vals);
+    const RoaringBitmap large_bm = RoaringBitmap::FromSorted(large_vals);
+    RefPositions want;
+    std::set_intersection(small_vals.begin(), small_vals.end(),
+                          large_vals.begin(), large_vals.end(),
+                          std::back_inserter(want));
+    ExpectPositionsEqual(RoaringBitmap::And(small_bm, large_bm), want,
+                         ctx + " gallop And(small, large)");
+    ExpectPositionsEqual(RoaringBitmap::And(large_bm, small_bm), want,
+                         ctx + " gallop And(large, small)");
+    EXPECT_EQ(RoaringBitmap::AndCardinality(small_bm, large_bm), want.size())
+        << ctx << " gallop AndCardinality";
+    EXPECT_EQ(RoaringBitmap::Intersects(small_bm, large_bm), !want.empty())
+        << ctx << " gallop Intersects";
+    EXPECT_EQ(RoaringBitmap::Intersects(large_bm, small_bm), !want.empty())
+        << ctx << " gallop Intersects swapped";
+  }
 }
 
 TEST(DifferentialTest, ColumnOpsMatchScalarOracle) {

@@ -34,6 +34,9 @@ namespace propgen {
 //   kMaxWidth  ONE position with a value up to 2^64-1 -> 64-slice BSI
 //              (single position so Sum cannot overflow the uint64 CHECK)
 //   kZipf      zipf-skewed values near 1, mixed sparse/dense positions
+//   kBoundary  ~4090..4100 positions inside ONE 2^16 chunk: containers land
+//              on both sides of the 4096 array<->bitmap promotion boundary,
+//              so ops and the lazy-union flush cross it both ways
 enum class ColumnShape {
   kEmpty,
   kSingle,
@@ -43,8 +46,9 @@ enum class ColumnShape {
   kAllEqual,
   kMaxWidth,
   kZipf,
+  kBoundary,
 };
-inline constexpr int kNumColumnShapes = 8;
+inline constexpr int kNumColumnShapes = 9;
 
 inline ColumnShape RandomShape(Rng& rng) {
   return static_cast<ColumnShape>(rng.NextBounded(kNumColumnShapes));
@@ -146,8 +150,56 @@ inline std::vector<std::pair<uint32_t, uint64_t>> GenColumnPairs(
       }
       break;
     }
+    case ColumnShape::kBoundary: {
+      // Target cardinality hugs the 4096 promotion threshold from either
+      // side; positions are drawn from one aligned 2^16 chunk so they all
+      // land in a single container.
+      const uint32_t chunk_base =
+          universe > (1u << 16)
+              ? (static_cast<uint32_t>(rng.NextBounded(universe >> 16))
+                 << 16)
+              : 0;
+      const int target = 4090 + static_cast<int>(rng.NextBounded(11));
+      while (static_cast<int>(entries.size()) < target) {
+        entries[chunk_base + static_cast<uint32_t>(rng.NextBounded(1u << 16))] =
+            value();
+      }
+      break;
+    }
   }
   return {entries.begin(), entries.end()};
+}
+
+// A skewed array-array intersection workload for the galloping kernel: one
+// small sorted array (1..64 values) and one large one (hundreds..4096) drawn
+// from the SAME 2^16 chunk so both sides stay array containers, with roughly
+// half of the small side's values planted into the large side (hits).
+inline void GenSkewedArrays(Rng& rng, uint32_t chunk_base,
+                            std::vector<uint32_t>* small_out,
+                            std::vector<uint32_t>* large_out) {
+  const int small_n = 1 + static_cast<int>(rng.NextBounded(64));
+  const int large_n = 256 + static_cast<int>(rng.NextBounded(3841));
+  std::map<uint32_t, bool> large;  // position -> (value unused)
+  while (static_cast<int>(large.size()) < large_n) {
+    large[chunk_base + static_cast<uint32_t>(rng.NextBounded(1u << 16))] =
+        true;
+  }
+  std::map<uint32_t, bool> small;
+  while (static_cast<int>(small.size()) < small_n) {
+    if (!large.empty() && rng.NextBernoulli(0.5)) {
+      // Plant a hit: pick an existing member of the large side.
+      auto it = large.begin();
+      std::advance(it, rng.NextBounded(large.size()));
+      small[it->first] = true;
+    } else {
+      small[chunk_base + static_cast<uint32_t>(rng.NextBounded(1u << 16))] =
+          true;
+    }
+  }
+  small_out->clear();
+  for (const auto& [pos, unused] : small) small_out->push_back(pos);
+  large_out->clear();
+  for (const auto& [pos, unused] : large) large_out->push_back(pos);
 }
 
 // A random position mask over the same universe (for SumUnderMask /
