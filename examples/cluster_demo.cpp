@@ -43,7 +43,10 @@ int main() {
       pairs.emplace_back(strategy, m.metric_id);
     }
   }
-  PrecomputePipeline pipeline(&dataset, &bsi, PrecomputeConfig{4, 16});
+  PrecomputeConfig precompute_config;
+  precompute_config.num_threads = 4;
+  precompute_config.batch_size = 16;
+  PrecomputePipeline pipeline(&dataset, &bsi, precompute_config);
   const PrecomputeStats stats = pipeline.RunBsi(pairs, 0, 6);
   std::printf("\npre-computed %d strategy-metric pairs: %.3f CPU-s, "
               "%.1f MB read from the warehouse\n",

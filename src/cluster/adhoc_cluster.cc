@@ -1,10 +1,13 @@
 #include "cluster/adhoc_cluster.h"
 
 #include <algorithm>
+#include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "common/timer.h"
 
 namespace expbsi {
@@ -52,13 +55,31 @@ AdhocCluster::AdhocCluster(const Dataset* dataset,
   }
 }
 
+namespace {
+
+// One segment's contribution to every requested (strategy, metric) pair,
+// kept separate from the merged scorecard until the owning node's wave
+// completes: a crashed node loses its whole in-flight wave, like a
+// scatter-gather RPC whose response never arrives.
+struct SegPartial {
+  std::vector<double> sums;    // [si * num_metrics + mi]
+  std::vector<double> counts;
+};
+
+enum class FetchOutcome { kGot, kAbsent, kLost };
+
+}  // namespace
+
 Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
     const std::vector<uint64_t>& strategy_ids,
     const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
   CHECK_LE(date_lo, date_hi);
   QueryStats stats;
   const int num_segments = bsi_->num_segments;
-  // Per-pair per-segment partials, assembled after all nodes "ran".
+  const size_t num_metrics = metric_ids.size();
+  FaultInjector* const fi = FaultInjector::Get();
+
+  // Per-pair per-segment partials, assembled as node waves complete.
   std::map<StrategyMetricPair, BucketValues> partials;
   for (uint64_t s : strategy_ids) {
     for (uint64_t m : metric_ids) {
@@ -69,80 +90,222 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
     }
   }
 
-  double max_node_latency = 0.0;
-  for (int node = 0; node < config_.num_nodes; ++node) {
-    TieredStore& tier = *node_tiers_[node];
-    const TieredStore::Stats io_before = tier.stats();
-    CpuTimer cpu;
-    for (int seg = node; seg < num_segments; seg += config_.num_nodes) {
-      // Fetch + decode the expose BSIs once per (segment, strategy) and
-      // precompute the per-day masks all metrics share.
-      struct StrategyMasks {
-        std::vector<RoaringBitmap> by_day;  // index: date - date_lo
-        uint64_t exposed_by_hi = 0;
-      };
-      std::unordered_map<uint64_t, StrategyMasks> masks;
-      for (uint64_t strategy_id : strategy_ids) {
-        Result<std::shared_ptr<const std::string>> blob = tier.Fetch(
-            BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kExpose,
-                        strategy_id, 0});
-        if (!blob.ok()) continue;  // strategy absent from this segment
-        Result<ExposeBsi> expose = ExposeBsi::Deserialize(*blob.value());
-        if (!expose.ok()) return expose.status();
-        StrategyMasks sm;
-        sm.by_day.reserve(date_hi - date_lo + 1);
-        for (Date d = date_lo; d <= date_hi; ++d) {
-          if (sm.by_day.empty()) {
-            sm.by_day.push_back(expose.value().ExposedOnOrBefore(d));
-          } else {
-            // Each unit exposes once, so day d's mask is day d-1's mask plus
-            // the (disjoint) units first exposed on day d -- one small
-            // incremental union instead of a full slice-descent per day.
-            RoaringBitmap mask = sm.by_day.back();
-            mask.OrInPlace(expose.value().ExposedBetween(d, d));
-            sm.by_day.push_back(std::move(mask));
-          }
+  // Fetch + decode one blob through `tier` under the retry policy. NotFound
+  // is semantic absence (strategy/metric not in this segment), never
+  // retried; Unavailable/Corruption are retried with simulated backoff and,
+  // once attempts are exhausted, either degrade the segment (kLost) or fail
+  // the query (strict mode).
+  auto fetch_decoded = [&](TieredStore& tier, const BsiStoreKey& key,
+                           auto&& decode,
+                           auto* out) -> Result<FetchOutcome> {
+    using Decoded = typename std::decay_t<decltype(*out)>::value_type;
+    RetryStats rstats;
+    Result<Decoded> decoded = RetryWithPolicy<Decoded>(
+        config_.retry, BsiStoreKeyHash{}(key), &rstats,
+        [&]() -> Result<Decoded> {
+          Result<std::shared_ptr<const std::string>> blob = tier.Fetch(key);
+          if (!blob.ok()) return blob.status();
+          return decode(*blob.value());
+        });
+    stats.degraded.retries += rstats.retries;
+    if (rstats.recovered) ++stats.degraded.faults_survived;
+    if (decoded.ok()) {
+      out->emplace(std::move(decoded).value());
+      return FetchOutcome::kGot;
+    }
+    if (decoded.status().code() == StatusCode::kNotFound) {
+      return FetchOutcome::kAbsent;
+    }
+    if (config_.allow_degraded) return FetchOutcome::kLost;
+    return decoded.status();
+  };
+
+  // Runs one segment on one node's tier. ok(true): partial filled.
+  // ok(false): segment lost after retries (degraded mode only). error:
+  // permanent failure, propagated (strict mode).
+  auto process_segment = [&](TieredStore& tier, int seg,
+                             SegPartial* out) -> Result<bool> {
+    out->sums.assign(strategy_ids.size() * num_metrics, 0.0);
+    out->counts.assign(strategy_ids.size() * num_metrics, 0.0);
+    // Fetch + decode the expose BSIs once per (segment, strategy) and
+    // precompute the per-day masks all metrics share.
+    struct StrategyMasks {
+      std::vector<RoaringBitmap> by_day;  // index: date - date_lo
+      uint64_t exposed_by_hi = 0;
+    };
+    std::vector<std::optional<StrategyMasks>> masks(strategy_ids.size());
+    for (size_t si = 0; si < strategy_ids.size(); ++si) {
+      std::optional<ExposeBsi> expose;
+      Result<FetchOutcome> oc = fetch_decoded(
+          tier,
+          BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kExpose,
+                      strategy_ids[si], 0},
+          [](const std::string& b) { return ExposeBsi::Deserialize(b); },
+          &expose);
+      if (!oc.ok()) return oc.status();
+      if (oc.value() == FetchOutcome::kLost) return false;
+      if (oc.value() == FetchOutcome::kAbsent) continue;
+      StrategyMasks sm;
+      sm.by_day.reserve(date_hi - date_lo + 1);
+      for (Date d = date_lo; d <= date_hi; ++d) {
+        if (sm.by_day.empty()) {
+          sm.by_day.push_back(expose->ExposedOnOrBefore(d));
+        } else {
+          // Each unit exposes once, so day d's mask is day d-1's mask plus
+          // the (disjoint) units first exposed on day d -- one small
+          // incremental union instead of a full slice-descent per day.
+          RoaringBitmap mask = sm.by_day.back();
+          mask.OrInPlace(expose->ExposedBetween(d, d));
+          sm.by_day.push_back(std::move(mask));
         }
-        sm.exposed_by_hi = sm.by_day.back().Cardinality();
-        masks.emplace(strategy_id, std::move(sm));
       }
-      for (uint64_t metric_id : metric_ids) {
-        for (Date d = date_lo; d <= date_hi; ++d) {
-          Result<std::shared_ptr<const std::string>> blob = tier.Fetch(
-              BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kMetric,
-                          metric_id, d});
-          if (!blob.ok()) continue;  // no data for this (metric, day)
-          Result<MetricBsi> metric = MetricBsi::Deserialize(*blob.value());
-          if (!metric.ok()) return metric.status();
-          for (const auto& [strategy_id, sm] : masks) {
-            partials[{strategy_id, metric_id}].sums[seg] +=
-                static_cast<double>(
-                    metric.value().value.SumUnderMask(sm.by_day[d - date_lo]));
-          }
+      sm.exposed_by_hi = sm.by_day.back().Cardinality();
+      masks[si].emplace(std::move(sm));
+    }
+    for (size_t mi = 0; mi < num_metrics; ++mi) {
+      for (Date d = date_lo; d <= date_hi; ++d) {
+        std::optional<MetricBsi> metric;
+        Result<FetchOutcome> oc = fetch_decoded(
+            tier,
+            BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kMetric,
+                        metric_ids[mi], d},
+            [](const std::string& b) { return MetricBsi::Deserialize(b); },
+            &metric);
+        if (!oc.ok()) return oc.status();
+        if (oc.value() == FetchOutcome::kLost) return false;
+        if (oc.value() == FetchOutcome::kAbsent) continue;
+        for (size_t si = 0; si < strategy_ids.size(); ++si) {
+          if (!masks[si].has_value()) continue;
+          out->sums[si * num_metrics + mi] += static_cast<double>(
+              metric->value.SumUnderMask(masks[si]->by_day[d - date_lo]));
         }
-        for (const auto& [strategy_id, sm] : masks) {
-          partials[{strategy_id, metric_id}].counts[seg] +=
-              static_cast<double>(sm.exposed_by_hi);
-        }
+      }
+      for (size_t si = 0; si < strategy_ids.size(); ++si) {
+        if (!masks[si].has_value()) continue;
+        out->counts[si * num_metrics + mi] +=
+            static_cast<double>(masks[si]->exposed_by_hi);
       }
     }
-    const double node_cpu = cpu.ElapsedSeconds();
-    const uint64_t node_cold_bytes =
-        tier.stats().bytes_from_cold - io_before.bytes_from_cold;
-    stats.total_cpu_seconds += node_cpu;
-    stats.bytes_from_cold += node_cold_bytes;
-    stats.hot_hits += tier.stats().hot_hits - io_before.hot_hits;
-    const double node_latency =
-        node_cpu / config_.threads_per_node +
-        static_cast<double>(node_cold_bytes) /
-            config_.cold_bandwidth_bytes_per_sec;
-    max_node_latency = std::max(max_node_latency, node_latency);
+    return true;
+  };
+
+  // Segment ownership; requeued segments land on survivors in later waves.
+  std::vector<std::vector<int>> assignment(config_.num_nodes);
+  for (int seg = 0; seg < num_segments; ++seg) {
+    assignment[NodeOfSegment(seg)].push_back(seg);
   }
+  std::vector<bool> alive(config_.num_nodes, true);
+  std::vector<int> lost_segments;
+  std::set<int> requeued_segments;  // for faults_survived accounting
+  double total_latency = 0.0;
+
+  while (true) {
+    std::vector<int> requeue;
+    double max_node_latency = 0.0;
+    for (int node = 0; node < config_.num_nodes; ++node) {
+      if (!alive[node] || assignment[node].empty()) continue;
+      TieredStore& tier = *node_tiers_[node];
+      const TieredStore::Stats io_before = tier.stats();
+      CpuTimer cpu;
+      double injected_delay = 0.0;
+      bool crashed = false;
+      std::vector<std::pair<int, SegPartial>> completed;
+      std::vector<int> lost_this_wave;
+      for (const int seg : assignment[node]) {
+        if (fi != nullptr) {
+          const FaultDecision d = fi->Evaluate(fault_sites::kNodeSegment);
+          injected_delay += d.delay_seconds;
+          if (d.crash || d.fail) {
+            crashed = true;
+            break;
+          }
+        }
+        SegPartial partial;
+        Result<bool> processed = process_segment(tier, seg, &partial);
+        if (!processed.ok()) return processed.status();
+        if (processed.value()) {
+          completed.emplace_back(seg, std::move(partial));
+        } else {
+          lost_this_wave.push_back(seg);
+        }
+      }
+      const double node_cpu = cpu.ElapsedSeconds();
+      const TieredStore::Stats io_after = tier.stats();
+      const uint64_t node_cold_bytes =
+          io_after.bytes_from_cold - io_before.bytes_from_cold;
+      stats.total_cpu_seconds += node_cpu;
+      stats.bytes_from_cold += node_cold_bytes;
+      stats.hot_hits += io_after.hot_hits - io_before.hot_hits;
+      injected_delay +=
+          io_after.injected_delay_seconds - io_before.injected_delay_seconds;
+      const double node_latency =
+          node_cpu / config_.threads_per_node +
+          static_cast<double>(node_cold_bytes) /
+              config_.cold_bandwidth_bytes_per_sec +
+          injected_delay;
+      max_node_latency = std::max(max_node_latency, node_latency);
+      if (crashed) {
+        // The node died mid-wave: its response never reaches the
+        // coordinator, so everything it owned this wave -- completed, lost
+        // or untouched -- is requeued onto the survivors.
+        alive[node] = false;
+        ++stats.degraded.nodes_lost;
+        requeue.insert(requeue.end(), assignment[node].begin(),
+                       assignment[node].end());
+      } else {
+        for (auto& [seg, partial] : completed) {
+          size_t slot = 0;
+          for (uint64_t s : strategy_ids) {
+            for (uint64_t m : metric_ids) {
+              BucketValues& bv = partials[{s, m}];
+              bv.sums[seg] = partial.sums[slot];
+              bv.counts[seg] = partial.counts[slot];
+              ++slot;
+            }
+          }
+          if (requeued_segments.erase(seg) > 0) {
+            ++stats.degraded.faults_survived;
+          }
+        }
+        lost_segments.insert(lost_segments.end(), lost_this_wave.begin(),
+                             lost_this_wave.end());
+      }
+      assignment[node].clear();
+    }
+    total_latency += max_node_latency;
+    if (requeue.empty()) break;
+    std::vector<int> survivors;
+    for (int node = 0; node < config_.num_nodes; ++node) {
+      if (alive[node]) survivors.push_back(node);
+    }
+    if (survivors.empty()) {
+      if (!config_.allow_degraded) {
+        return Status::Unavailable(
+            "adhoc cluster: every node crashed mid-query");
+      }
+      lost_segments.insert(lost_segments.end(), requeue.begin(),
+                           requeue.end());
+      break;
+    }
+    for (size_t i = 0; i < requeue.size(); ++i) {
+      assignment[survivors[i % survivors.size()]].push_back(requeue[i]);
+      requeued_segments.insert(requeue[i]);
+    }
+  }
+
+  std::sort(lost_segments.begin(), lost_segments.end());
+  lost_segments.erase(
+      std::unique(lost_segments.begin(), lost_segments.end()),
+      lost_segments.end());
+  stats.degraded.segments_answered =
+      num_segments - static_cast<int>(lost_segments.size());
+  stats.degraded.lost_segments = std::move(lost_segments);
+
   // Coordinator merge is a handful of vector adds; fold it into the
   // measured assembly below.
   CpuTimer merge_cpu;
   stats.results = std::move(partials);
-  stats.latency_seconds = max_node_latency + merge_cpu.ElapsedSeconds();
+  stats.latency_seconds = total_latency + merge_cpu.ElapsedSeconds();
   return stats;
 }
 

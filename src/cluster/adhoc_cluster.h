@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/precompute_pipeline.h"
+#include "common/retry.h"
 #include "engine/experiment_data.h"
 #include "engine/normal_engine.h"
 #include "expdata/generator.h"
@@ -31,16 +32,42 @@ struct AdhocClusterConfig {
   int threads_per_node = 4;
   size_t hot_capacity_bytes_per_node = 256u << 20;
   double cold_bandwidth_bytes_per_sec = 200e6;
+  // Recovery layer: cold-tier fetch + decode runs under this policy
+  // (transient unavailability and corrupt transfers are retried with
+  // simulated backoff; NotFound is semantic absence and never retried).
+  RetryPolicy retry;
+  // When true, a segment whose blobs stay unfetchable or corrupt after
+  // retries -- or that cannot be requeued because every node died -- is
+  // dropped from the scorecard and reported in QueryStats::degraded instead
+  // of failing the whole query. Off by default: absent faults the strict
+  // mode behaves exactly as before (errors surface as Status).
+  bool allow_degraded = false;
 };
 
 class AdhocCluster {
  public:
+  // Explicit degradation accounting (never silent: a partial scorecard is
+  // returned *flagged*, following the SRM-bias argument that dropping a
+  // failed segment without saying so biases every downstream statistic).
+  struct DegradedInfo {
+    // Segments absent from the result (sorted, unique). Their slots in every
+    // BucketValues vector are zero and must be excluded from inference.
+    std::vector<int> lost_segments;
+    int segments_answered = 0;
+    int retries = 0;          // fetch retry attempts taken across the query
+    int faults_survived = 0;  // faults recovered (retry or requeue success)
+    int nodes_lost = 0;       // nodes that crashed mid-query
+
+    bool degraded() const { return !lost_segments.empty(); }
+  };
+
   struct QueryStats {
     double latency_seconds = 0.0;
     double total_cpu_seconds = 0.0;
     uint64_t bytes_from_cold = 0;
     uint64_t hot_hits = 0;
     std::map<StrategyMetricPair, BucketValues> results;
+    DegradedInfo degraded;
   };
 
   // `dataset` backs the normal-format baseline; `bsi` is serialized into the
@@ -51,7 +78,13 @@ class AdhocCluster {
 
   // BSI method: per node, fetch + deserialize expose/metric blobs (hot tier
   // first), range-search the expose filter and popcount the masked sums.
-  // Returns Corruption if a warehouse blob fails to decode.
+  //
+  // Failure handling: fetches retry under config.retry; a node that crashes
+  // mid-query (fault injection) has its in-flight wave discarded and its
+  // segments requeued onto the surviving nodes, wave by wave. A segment that
+  // cannot be recovered either fails the query (Corruption / Unavailable,
+  // the strict default) or -- with config.allow_degraded -- is dropped and
+  // reported in QueryStats::degraded.
   Result<QueryStats> QueryBsi(const std::vector<uint64_t>& strategy_ids,
                               const std::vector<uint64_t>& metric_ids,
                               Date date_lo, Date date_hi);

@@ -1,8 +1,10 @@
 #include "cluster/precompute_pipeline.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
 #include "engine/normal_engine.h"
@@ -21,7 +23,12 @@ PrecomputePipeline::PrecomputePipeline(const Dataset* dataset,
 namespace {
 
 // Runs `pairs` through `compute_one` on a pool, batching like the paper's
-// jobs, and accumulates CPU time across tasks.
+// jobs, and accumulates CPU time across tasks. Executor faults (injected at
+// fault_sites::kPipelineTask, indexed pair_index * kPipelineAttemptStride +
+// attempt so schedules do not depend on worker interleaving) fail single
+// attempts; attempts retry under config.retry and exhausted pairs are
+// reported in failed_pairs with their cache entry removed -- a failed pair
+// is explicit, never a silently missing or stale number.
 template <typename ComputeFn>
 PrecomputeStats RunPairs(const std::vector<StrategyMetricPair>& pairs,
                          const PrecomputeConfig& config,
@@ -38,20 +45,46 @@ PrecomputeStats RunPairs(const std::vector<StrategyMetricPair>& pairs,
     // One job per batch; within the job each pair is a task.
     for (size_t i = batch_start; i < batch_end; ++i) {
       const StrategyMetricPair pair = pairs[i];
-      pool.Submit([&, pair] {
+      pool.Submit([&, pair, i] {
         CpuTimer cpu;
         uint64_t bytes = 0;
-        BucketValues result = compute_one(pair, &bytes);
+        int attempt = 0;
+        RetryStats rstats;
+        Result<BucketValues> result = RetryWithPolicy<BucketValues>(
+            config.retry, /*jitter_token=*/i, &rstats,
+            [&]() -> Result<BucketValues> {
+              const int this_attempt = attempt++;
+              if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+                const FaultDecision d = fi->EvaluateAt(
+                    fault_sites::kPipelineTask,
+                    i * kPipelineAttemptStride +
+                        static_cast<uint64_t>(this_attempt));
+                if (d.fail || d.crash) {
+                  return Status::Unavailable(
+                      "precompute: injected executor failure");
+                }
+              }
+              bytes = 0;
+              return compute_one(pair, &bytes);
+            });
         const double cpu_used = cpu.ElapsedSeconds();
         std::lock_guard<std::mutex> lock(mu);
         stats.cpu_seconds += cpu_used;
-        stats.bytes_read += bytes;
-        ++stats.pairs_computed;
-        (*cache)[pair] = std::move(result);
+        stats.retries += rstats.retries;
+        stats.backoff_seconds += rstats.backoff_seconds;
+        if (result.ok()) {
+          stats.bytes_read += bytes;
+          ++stats.pairs_computed;
+          (*cache)[pair] = std::move(result).value();
+        } else {
+          stats.failed_pairs.push_back(pair);
+          cache->erase(pair);
+        }
       });
     }
     pool.Wait();  // job barrier
   }
+  std::sort(stats.failed_pairs.begin(), stats.failed_pairs.end());
   stats.wall_seconds = wall.ElapsedSeconds();
   return stats;
 }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "engine/experiment_data.h"
 #include "engine/normal_engine.h"
 #include "expdata/generator.h"
@@ -25,17 +26,28 @@ struct PrecomputeConfig {
   // computes a batch of strategy-metric pairs for better utilizing network
   // traffic").
   int batch_size = 64;
+  // Executor-failure recovery: a task attempt killed by fault injection is
+  // retried under this policy (backoff is simulated, not slept). A pair
+  // whose attempts are exhausted lands in PrecomputeStats::failed_pairs --
+  // the batch keeps running, the failure is never silent.
+  RetryPolicy retry;
 };
+
+// (strategy_id, metric_id).
+using StrategyMetricPair = std::pair<uint64_t, uint64_t>;
 
 struct PrecomputeStats {
   double cpu_seconds = 0.0;   // summed across all tasks
   double wall_seconds = 0.0;
   uint64_t bytes_read = 0;    // simulated reads from the warehouse
-  int pairs_computed = 0;
+  int pairs_computed = 0;     // pairs that produced a result
+  // Failure accounting (chaos tests). failed_pairs is sorted; a failed pair
+  // has no cached result (GetResult returns nullptr) rather than a stale or
+  // partial one.
+  int retries = 0;
+  double backoff_seconds = 0.0;  // simulated backoff, not part of wall time
+  std::vector<StrategyMetricPair> failed_pairs;
 };
-
-// (strategy_id, metric_id).
-using StrategyMetricPair = std::pair<uint64_t, uint64_t>;
 
 class PrecomputePipeline {
  public:

@@ -1,0 +1,144 @@
+#include "common/fault_injector.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace expbsi {
+namespace {
+
+// FNV-1a over the site name, mixed; stable across runs (std::hash is not
+// guaranteed stable, and schedules must replay byte-for-byte).
+uint64_t SiteHash(const std::string& site) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return Mix64(h);
+}
+
+// Uniform double in [0, 1) from one mixed draw.
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::atomic<FaultInjector*> FaultInjector::installed_{nullptr};
+
+FaultInjector::SiteConfig& FaultInjector::SiteFor(const std::string& site) {
+  return sites_[site];
+}
+
+void FaultInjector::SetFailProbability(const std::string& site, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteFor(site).fail_p = p;
+}
+
+void FaultInjector::SetCorruptProbability(const std::string& site, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteFor(site).corrupt_p = p;
+}
+
+void FaultInjector::SetCrashProbability(const std::string& site, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteFor(site).crash_p = p;
+}
+
+void FaultInjector::SetDelayProbability(const std::string& site, double p,
+                                        double delay_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteConfig& cfg = SiteFor(site);
+  cfg.delay_p = p;
+  cfg.delay_seconds = delay_seconds;
+}
+
+void FaultInjector::ScheduleFault(const std::string& site, uint64_t op_index,
+                                  FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteFor(site).one_shots[op_index] = kind;
+}
+
+FaultDecision FaultInjector::Decide(const SiteConfig& cfg,
+                                    const std::string& site,
+                                    uint64_t op_index) {
+  ++stats_.evaluations;
+  FaultDecision d;
+  // Independent per-(site, op) draws; one Mix64 chain per fault class so
+  // adding a probability to one class never perturbs another's stream.
+  const uint64_t base = Mix64(seed_ ^ SiteHash(site)) ^ op_index;
+  if (cfg.fail_p > 0 && ToUnit(Mix64(base ^ 0x1)) < cfg.fail_p) d.fail = true;
+  if (cfg.corrupt_p > 0 && ToUnit(Mix64(base ^ 0x2)) < cfg.corrupt_p) {
+    d.corrupt = true;
+  }
+  if (cfg.crash_p > 0 && ToUnit(Mix64(base ^ 0x3)) < cfg.crash_p) {
+    d.crash = true;
+  }
+  if (cfg.delay_p > 0 && ToUnit(Mix64(base ^ 0x4)) < cfg.delay_p) {
+    d.delay_seconds = cfg.delay_seconds;
+  }
+  const auto shot = cfg.one_shots.find(op_index);
+  if (shot != cfg.one_shots.end()) {
+    switch (shot->second) {
+      case FaultKind::kFail:
+        d.fail = true;
+        break;
+      case FaultKind::kCorrupt:
+        d.corrupt = true;
+        break;
+      case FaultKind::kCrash:
+        d.crash = true;
+        break;
+      case FaultKind::kDelay:
+        d.delay_seconds =
+            cfg.delay_seconds > 0 ? cfg.delay_seconds : 0.001;
+        break;
+    }
+  }
+  if (d.fail) ++stats_.fails;
+  if (d.corrupt) ++stats_.corruptions;
+  if (d.crash) ++stats_.crashes;
+  if (d.delay_seconds > 0) ++stats_.delays;
+  return d;
+}
+
+FaultDecision FaultInjector::Evaluate(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t op_index = counters_[site]++;
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    ++stats_.evaluations;
+    return FaultDecision{};
+  }
+  return Decide(it->second, site, op_index);
+}
+
+FaultDecision FaultInjector::EvaluateAt(const std::string& site,
+                                        uint64_t op_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    ++stats_.evaluations;
+    return FaultDecision{};
+  }
+  return Decide(it->second, site, op_index);
+}
+
+void FaultInjector::CorruptBlob(uint64_t token, std::string* bytes) const {
+  CHECK(bytes != nullptr);
+  if (bytes->empty()) return;
+  const uint64_t base = Mix64(seed_ ^ Mix64(token ^ 0xC0BB));
+  const int flips = 1 + static_cast<int>(base % 8);
+  const uint64_t nbits = static_cast<uint64_t>(bytes->size()) * 8;
+  for (int i = 0; i < flips; ++i) {
+    const uint64_t bit = Mix64(base + 1 + static_cast<uint64_t>(i)) % nbits;
+    (*bytes)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,149 @@
+#ifndef EXPBSI_COMMON_FAULT_INJECTOR_H_
+#define EXPBSI_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace expbsi {
+
+// Deterministic fault injection for chaos testing (docs/TESTING.md "Chaos
+// tests"). Production nodes fail, go slow and serve corrupt bytes routinely
+// (§5.2-§5.3 run on thousands of machines); this subsystem lets tests replay
+// those failures as a pure function of a seed so every found schedule is a
+// permanent regression test.
+//
+// Globally OFF by default: the only cost on an uninstrumented run is one
+// relaxed atomic load and a predicted-not-taken branch per fault site
+// (FaultInjector::Get() returning nullptr).
+//
+// A *fault site* is a named point in the code (see fault_sites:: below).
+// Every evaluation of a site consumes one *op index* (0-based, counted per
+// site, or supplied explicitly by concurrent callers). The decision for an
+// op is a pure function of (injector seed, site name, op index) plus any
+// one-shot fault scheduled at exactly that (site, op index) -- so a schedule
+// replays identically across runs, builds and sanitizers.
+
+// What the fault site is told to do for one operation.
+struct FaultDecision {
+  bool fail = false;           // surface Status::Unavailable
+  bool corrupt = false;        // bit-flip the blob about to be returned
+  bool crash = false;          // kill the containing node / executor task
+  double delay_seconds = 0.0;  // extra simulated latency
+
+  bool any() const { return fail || corrupt || crash || delay_seconds > 0; }
+};
+
+enum class FaultKind : uint8_t { kFail = 0, kCorrupt = 1, kCrash = 2, kDelay = 3 };
+
+// Canonical fault-site names. Keep docs/TESTING.md in sync.
+namespace fault_sites {
+// BsiStore::Get -- a warehouse read; supports kFail.
+inline constexpr char kWarehouseGet[] = "warehouse.get";
+// TieredStore cold-tier load -- the simulated network fetch; supports
+// kFail, kCorrupt (the returned copy is corrupted and NOT cached, so a
+// retry re-reads the warehouse) and kDelay.
+inline constexpr char kTierFetch[] = "tier.fetch";
+// AdhocCluster: evaluated once per (node, segment) step in coordinator
+// order; kCrash kills the node mid-query (its in-flight wave is discarded
+// and requeued), kDelay makes the node slow for that segment.
+inline constexpr char kNodeSegment[] = "adhoc.node_segment";
+// PrecomputePipeline executor task attempt. Indexed explicitly as
+// pair_index * kPipelineAttemptStride + attempt so schedules are
+// independent of worker-thread interleaving. kFail/kCrash fail the attempt.
+inline constexpr char kPipelineTask[] = "pipeline.task";
+}  // namespace fault_sites
+
+inline constexpr uint64_t kPipelineAttemptStride = 64;
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  // ---- configuration: call before installing -----------------------------
+  // Per-site probabilities, each drawn independently per op index.
+  void SetFailProbability(const std::string& site, double p);
+  void SetCorruptProbability(const std::string& site, double p);
+  void SetCrashProbability(const std::string& site, double p);
+  void SetDelayProbability(const std::string& site, double p,
+                           double delay_seconds);
+  // One-shot fault at exactly the `op_index`-th evaluation of `site`.
+  void ScheduleFault(const std::string& site, uint64_t op_index,
+                     FaultKind kind);
+
+  // ---- runtime (thread-safe) ---------------------------------------------
+  // Decision for the next operation at `site`, consuming the site's counter.
+  FaultDecision Evaluate(const std::string& site);
+  // Decision for an explicitly indexed operation; concurrent callers pass a
+  // stable index so schedules do not depend on thread interleaving. Does not
+  // advance the site counter.
+  FaultDecision EvaluateAt(const std::string& site, uint64_t op_index);
+
+  // Deterministically flips 1..8 bits of `bytes` (no-op when empty), keyed
+  // by the injector seed and `token` so the corruption itself reproduces.
+  void CorruptBlob(uint64_t token, std::string* bytes) const;
+
+  struct Stats {
+    uint64_t evaluations = 0;
+    uint64_t fails = 0;
+    uint64_t corruptions = 0;
+    uint64_t crashes = 0;
+    uint64_t delays = 0;
+    uint64_t any() const { return fails + corruptions + crashes + delays; }
+  };
+  Stats stats() const;
+  uint64_t seed() const { return seed_; }
+
+  // ---- global installation -----------------------------------------------
+  // The installed injector, or nullptr (the default; fault logic skipped).
+  static FaultInjector* Get() {
+    return installed_.load(std::memory_order_acquire);
+  }
+  // Installs `injector` (not owned) process-wide; nullptr disables again.
+  // Returns the previous injector.
+  static FaultInjector* Install(FaultInjector* injector) {
+    return installed_.exchange(injector, std::memory_order_acq_rel);
+  }
+
+ private:
+  struct SiteConfig {
+    double fail_p = 0.0;
+    double corrupt_p = 0.0;
+    double crash_p = 0.0;
+    double delay_p = 0.0;
+    double delay_seconds = 0.0;
+    std::map<uint64_t, FaultKind> one_shots;  // by op index
+  };
+
+  SiteConfig& SiteFor(const std::string& site);  // caller holds mu_
+  FaultDecision Decide(const SiteConfig& cfg, const std::string& site,
+                       uint64_t op_index);  // caller holds mu_
+
+  static std::atomic<FaultInjector*> installed_;
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, SiteConfig> sites_;
+  std::map<std::string, uint64_t> counters_;
+  Stats stats_;
+};
+
+// RAII install/uninstall, restoring the previous injector on scope exit.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector)
+      : previous_(FaultInjector::Install(injector)) {}
+  ~ScopedFaultInjection() { FaultInjector::Install(previous_); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_FAULT_INJECTOR_H_

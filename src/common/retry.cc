@@ -1,0 +1,25 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace expbsi {
+
+double RetryPolicy::BackoffSeconds(int attempt, uint64_t jitter_token) const {
+  double nominal = initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) nominal *= backoff_multiplier;
+  nominal = std::min(nominal, max_backoff_seconds);
+  // Deterministic jitter in [0.5, 1.0]: full jitter would let unlucky draws
+  // retry instantly; half jitter keeps backoff monotone-ish yet decorrelated.
+  const double unit =
+      static_cast<double>(Mix64(jitter_token) >> 11) * 0x1.0p-53;
+  return nominal * (0.5 + 0.5 * unit);
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kCorruption;
+}
+
+}  // namespace expbsi

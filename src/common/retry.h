@@ -1,0 +1,76 @@
+#ifndef EXPBSI_COMMON_RETRY_H_
+#define EXPBSI_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace expbsi {
+
+// Bounded retry with exponential backoff and deterministic jitter, used by
+// the ad-hoc cluster's cold-tier fetches and the pre-compute pipeline's
+// executor tasks. Backoff time is *simulated* (accumulated into latency
+// accounting, never slept), matching the rest of the cluster simulation.
+struct RetryPolicy {
+  int max_attempts = 3;                   // total attempts, >= 1
+  double initial_backoff_seconds = 0.05;  // before the first retry
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  // Per-op deadline on accumulated simulated backoff: a retry that would
+  // push the op past it is not taken and the last error is returned.
+  double op_deadline_seconds = std::numeric_limits<double>::infinity();
+
+  // Backoff before retry `attempt` (1-based: after the attempt-th failure),
+  // jittered deterministically into [0.5, 1.0] of nominal by `jitter_token`
+  // so two ops retrying in lockstep decorrelate but a seed still replays.
+  double BackoffSeconds(int attempt, uint64_t jitter_token) const;
+};
+
+// Retry classification under the failure model (DESIGN.md "Failure model"):
+// kUnavailable (node / network blip) and kCorruption (a re-read can return
+// clean bytes) are transient; kNotFound is semantic absence and everything
+// else is a permanent input/contract error.
+bool IsRetryableStatus(const Status& status);
+
+// Accounting for one retried op.
+struct RetryStats {
+  int attempts = 0;         // total attempts made
+  int retries = 0;          // attempts beyond the first
+  double backoff_seconds = 0.0;  // simulated backoff accumulated
+  bool recovered = false;   // succeeded after at least one retryable failure
+};
+
+// Runs `op` (a callable returning Result<T>) under `policy`. Returns the
+// first OK result, or the last error once attempts, the deadline, or a
+// non-retryable status stop the loop. `stats` may be nullptr.
+template <typename T, typename Fn>
+Result<T> RetryWithPolicy(const RetryPolicy& policy, uint64_t jitter_token,
+                          RetryStats* stats, Fn&& op) {
+  RetryStats local;
+  RetryStats* s = stats != nullptr ? stats : &local;
+  double waited = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    Result<T> result = op();
+    ++s->attempts;
+    if (result.ok()) {
+      s->recovered = attempt > 1;
+      return result;
+    }
+    if (!IsRetryableStatus(result.status()) ||
+        attempt >= policy.max_attempts) {
+      return result;
+    }
+    const double backoff =
+        policy.BackoffSeconds(attempt, jitter_token + attempt);
+    if (waited + backoff > policy.op_deadline_seconds) return result;
+    waited += backoff;
+    s->backoff_seconds += backoff;
+    ++s->retries;
+  }
+}
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_RETRY_H_

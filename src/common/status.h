@@ -17,6 +17,9 @@ enum class StatusCode {
   kCorruption = 3,
   kOutOfRange = 4,
   kAlreadyExists = 5,
+  // Transient inability to serve (node down, simulated network failure);
+  // retryable, unlike the permanent input errors above.
+  kUnavailable = 6,
 };
 
 // Lightweight status object for fallible APIs; cheap to copy in the OK case.
@@ -41,6 +44,9 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/fault_injector.h"
 #include "common/hash.h"
 
 namespace expbsi {
@@ -30,6 +31,24 @@ bool ReadBytes(std::FILE* f, void* data, size_t n) {
 
 }  // namespace
 
+uint64_t BlobFingerprint(std::string_view bytes) {
+  // Chained Mix64 over 8-byte words plus a zero-padded tail; seeding with
+  // the length separates blobs that differ only by trailing zero bytes.
+  uint64_t h = Mix64(bytes.size() + 0x9e3779b97f4a7c15ull);
+  size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, bytes.data() + i, 8);
+    h = Mix64(h ^ word);
+  }
+  if (i < bytes.size()) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, bytes.data() + i, bytes.size() - i);
+    h = Mix64(h ^ tail);
+  }
+  return h;
+}
+
 size_t BsiStoreKeyHash::operator()(const BsiStoreKey& k) const {
   uint64_t h = Mix64(k.id);
   h = Mix64(h ^ (static_cast<uint64_t>(k.segment) << 40) ^
@@ -38,15 +57,17 @@ size_t BsiStoreKeyHash::operator()(const BsiStoreKey& k) const {
 }
 
 void BsiStore::Put(const BsiStoreKey& key, std::string bytes) {
+  const uint64_t fingerprint = BlobFingerprint(bytes);
   auto it = blobs_.find(key);
   if (it != blobs_.end()) {
-    total_bytes_ -= it->second.size();
+    total_bytes_ -= it->second.bytes.size();
     total_bytes_ += bytes.size();
-    it->second = std::move(bytes);
+    it->second.bytes = std::move(bytes);
+    it->second.fingerprint = fingerprint;
     return;
   }
   total_bytes_ += bytes.size();
-  blobs_.emplace(key, std::move(bytes));
+  blobs_.emplace(key, Entry{std::move(bytes), fingerprint});
 }
 
 bool BsiStore::Contains(const BsiStoreKey& key) const {
@@ -54,11 +75,24 @@ bool BsiStore::Contains(const BsiStoreKey& key) const {
 }
 
 Result<const std::string*> BsiStore::Get(const BsiStoreKey& key) const {
+  if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+    if (fi->Evaluate(fault_sites::kWarehouseGet).fail) {
+      return Status::Unavailable("bsi store: injected warehouse failure");
+    }
+  }
   auto it = blobs_.find(key);
   if (it == blobs_.end()) {
     return Status::NotFound("bsi store: no blob for key");
   }
-  return &it->second;
+  return &it->second.bytes;
+}
+
+Result<uint64_t> BsiStore::Fingerprint(const BsiStoreKey& key) const {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Status::NotFound("bsi store: no blob for key");
+  }
+  return it->second.fingerprint;
 }
 
 Status BsiStore::SaveToFile(const std::string& path) const {
@@ -72,7 +106,8 @@ Status BsiStore::SaveToFile(const std::string& path) const {
       !WriteBytes(file.get(), &count, sizeof(count))) {
     return Status::Corruption("bsi store: short write of header");
   }
-  for (const auto& [key, bytes] : blobs_) {
+  for (const auto& [key, entry] : blobs_) {
+    const std::string& bytes = entry.bytes;
     const uint8_t kind = static_cast<uint8_t>(key.kind);
     const uint32_t len = static_cast<uint32_t>(bytes.size());
     if (!WriteBytes(file.get(), &key.segment, sizeof(key.segment)) ||

@@ -3,11 +3,18 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/status.h"
 
 namespace expbsi {
+
+// 64-bit content fingerprint (word-at-a-time Mix64 chain, not
+// cryptographic). The warehouse records it at Put time and the tiered store
+// verifies every cold-tier transfer against it, so a corrupted transfer
+// surfaces as Status::Corruption -- never as a silently wrong decode.
+uint64_t BlobFingerprint(std::string_view bytes);
 
 // What a stored blob represents.
 enum class BsiKind : uint8_t { kExpose = 0, kMetric = 1, kDimension = 2 };
@@ -52,6 +59,10 @@ class BsiStore {
   // Returns a view of the stored blob (valid until the next Put).
   Result<const std::string*> Get(const BsiStoreKey& key) const;
 
+  // Fingerprint recorded when the blob was Put (metadata lookup; never
+  // subject to fault injection), or NotFound.
+  Result<uint64_t> Fingerprint(const BsiStoreKey& key) const;
+
   size_t NumBlobs() const { return blobs_.size(); }
 
   // Total stored bytes (the BSI "original size" of Table 4).
@@ -65,11 +76,16 @@ class BsiStore {
   // Invokes fn(key, bytes) for every stored blob (unspecified order).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [key, bytes] : blobs_) fn(key, bytes);
+    for (const auto& [key, entry] : blobs_) fn(key, entry.bytes);
   }
 
  private:
-  std::unordered_map<BsiStoreKey, std::string, BsiStoreKeyHash> blobs_;
+  struct Entry {
+    std::string bytes;
+    uint64_t fingerprint = 0;
+  };
+
+  std::unordered_map<BsiStoreKey, Entry, BsiStoreKeyHash> blobs_;
   size_t total_bytes_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "storage/tiered_store.h"
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 
 namespace expbsi {
 
@@ -20,6 +21,42 @@ Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
     lru_.push_front(key);
     it->second.lru_it = lru_.begin();
     return it->second.blob;
+  }
+  // Cold path = the simulated network fetch; this is where chaos schedules
+  // inject unavailability, latency and bit-flips.
+  FaultDecision fault;
+  FaultInjector* const fi = FaultInjector::Get();
+  if (fi != nullptr) {
+    fault = fi->Evaluate(fault_sites::kTierFetch);
+    if (fault.delay_seconds > 0) {
+      ++stats_.injected_faults;
+      stats_.injected_delay_seconds += fault.delay_seconds;
+    }
+    if (fault.fail) {
+      ++stats_.injected_faults;
+      return Status::Unavailable("tiered store: injected cold-fetch failure");
+    }
+  }
+  if (fault.corrupt) {
+    // A corrupted transfer: the flipped copy fails the fingerprint check
+    // below and is never cached, so a retry re-reads the warehouse and can
+    // succeed. (The bytes still count as network traffic.)
+    Result<const std::string*> cold_blob = cold_->Get(key);
+    if (!cold_blob.ok()) return cold_blob.status();
+    ++stats_.injected_faults;
+    ++stats_.cold_reads;
+    stats_.bytes_from_cold += cold_blob.value()->size();
+    auto corrupted = std::make_shared<std::string>(*cold_blob.value());
+    fi->CorruptBlob(stats_.cold_reads, corrupted.get());
+    const Result<uint64_t> want = cold_->Fingerprint(key);
+    if (!want.ok()) return want.status();
+    if (BlobFingerprint(*corrupted) != want.value()) {
+      return Status::Corruption(
+          "tiered store: transfer fingerprint mismatch");
+    }
+    // The flips cancelled out (possible but vanishingly rare): the bytes
+    // are verified intact, serve them.
+    return std::shared_ptr<const std::string>(std::move(corrupted));
   }
   Result<std::shared_ptr<const std::string>> blob = LoadFromCold(key);
   if (blob.ok()) {
@@ -41,6 +78,25 @@ Result<std::shared_ptr<const std::string>> TieredStore::LoadFromCold(
   Result<const std::string*> cold_blob = cold_->Get(key);
   if (!cold_blob.ok()) return cold_blob.status();
   auto blob = std::make_shared<const std::string>(*cold_blob.value());
+  // Integrity gate: the copy entering the tier must match the fingerprint
+  // the warehouse recorded at Put time. The in-process warehouse cannot
+  // corrupt a transfer spontaneously, so the per-byte hash runs only under
+  // an installed injector -- an uninstrumented run stays at one atomic
+  // load per fetch.
+  if (FaultInjector::Get() != nullptr) {
+    const Result<uint64_t> want = cold_->Fingerprint(key);
+    if (!want.ok()) return want.status();
+    if (BlobFingerprint(*blob) != want.value()) {
+      return Status::Corruption(
+          "tiered store: transfer fingerprint mismatch");
+    }
+  }
+  if (blob->size() > hot_capacity_bytes_) {
+    // The blob cannot fit even in an empty hot tier; caching it would evict
+    // everything else for nothing. Serve it directly from cold.
+    ++stats_.oversize_bypasses;
+    return blob;
+  }
   lru_.push_front(key);
   hot_.emplace(key, HotEntry{blob, lru_.begin()});
   hot_bytes_ += blob->size();

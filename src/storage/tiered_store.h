@@ -27,6 +27,13 @@ class TieredStore {
     uint64_t cold_reads = 0;
     uint64_t bytes_from_cold = 0;
     uint64_t evictions = 0;
+    // Blobs larger than the whole hot budget are served straight from cold
+    // without being cached (caching one would evict the entire tier).
+    uint64_t oversize_bypasses = 0;
+    // Fault injection (chaos tests): injected fetch failures/corruptions
+    // observed at this tier, and simulated latency added by kDelay faults.
+    uint64_t injected_faults = 0;
+    double injected_delay_seconds = 0.0;
   };
 
   // `cold` must outlive this object. hot_capacity_bytes bounds the hot tier.

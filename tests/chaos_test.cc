@@ -1,0 +1,614 @@
+// Chaos suite: seeded fault schedules (tests/property_gen.h
+// GenFaultSchedule) replayed against the PR-1 differential oracle. The
+// invariants, per docs/TESTING.md "Chaos tests":
+//
+//   (a) a non-degraded result is BIT-IDENTICAL to the fault-free run;
+//   (b) a degraded result reports exactly the lost segments -- every other
+//       segment's values still match the fault-free run bit for bit;
+//   (c) no crash, no hang, no silently wrong answer (also exercised under
+//       asan/tsan in the CI chaos job).
+//
+// Reproducing a failure: every assertion message carries the iteration
+// seed. Re-run just that seed with
+//
+//   EXPBSI_CHAOS_SEED=<seed> ./build/tests/expbsi_tests
+//       --gtest_filter='ChaosTest.*'   (one command, line-wrapped)
+//
+// EXPBSI_CHAOS_ITERS widens the random exploration (CI runs 200 in Release,
+// 20 under each sanitizer); the corpus in tests/corpus/chaos_seeds.txt is
+// replayed BEFORE the exploration so known-nasty recovery interleavings
+// stay covered. EXPBSI_CHAOS_LOG=1 prints a one-line classification per
+// seed, which is how corpus candidates are hunted.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/adhoc_cluster.h"
+#include "cluster/precompute_pipeline.h"
+#include "common/fault_injector.h"
+#include "common/rng.h"
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+#include "reference/ref_data.h"
+#include "reference/ref_engine.h"
+#include "tests/property_gen.h"
+
+namespace expbsi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed schedule (same shape as differential_test.cc).
+// ---------------------------------------------------------------------------
+
+uint64_t Splitmix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<uint64_t> CorpusSeeds() {
+  std::vector<uint64_t> seeds;
+#ifdef EXPBSI_CORPUS_DIR
+  std::ifstream in(std::string(EXPBSI_CORPUS_DIR) + "/chaos_seeds.txt");
+  EXPECT_TRUE(in.good()) << "missing corpus file " << EXPBSI_CORPUS_DIR
+                         << "/chaos_seeds.txt";
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    uint64_t seed;
+    if (ls >> seed) seeds.push_back(seed);
+  }
+  EXPECT_GE(seeds.size(), 4u) << "chaos corpus unexpectedly small";
+#endif
+  return seeds;
+}
+
+int ExploreIters() {
+  if (const char* env = std::getenv("EXPBSI_CHAOS_ITERS")) {
+    return static_cast<int>(std::strtol(env, nullptr, 0));
+  }
+  return 25;
+}
+
+std::vector<uint64_t> SeedSchedule(uint64_t base) {
+  if (const char* env = std::getenv("EXPBSI_CHAOS_SEED")) {
+    return {static_cast<uint64_t>(std::strtoull(env, nullptr, 0))};
+  }
+  std::vector<uint64_t> seeds = CorpusSeeds();
+  uint64_t x = base;
+  for (int i = 0, n = ExploreIters(); i < n; ++i) {
+    x = Splitmix(x);
+    seeds.push_back(x);
+  }
+  return seeds;
+}
+
+std::string Ctx(uint64_t seed, const std::string& what) {
+  return what + " (reproduce: EXPBSI_CHAOS_SEED=" + std::to_string(seed) +
+         " ./build/tests/expbsi_tests"
+         " --gtest_filter='ChaosTest.*')";
+}
+
+bool ChaosLogEnabled() {
+  static const bool enabled = std::getenv("EXPBSI_CHAOS_LOG") != nullptr;
+  return enabled;
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: one small dataset, fault-free baselines computed once.
+// ---------------------------------------------------------------------------
+
+constexpr Date kLo = 10;
+constexpr Date kHi = 14;
+const std::vector<uint64_t> kStrategies = {801, 802};
+const std::vector<uint64_t> kMetrics = {901, 902};
+
+std::vector<StrategyMetricPair> AllPairs() {
+  std::vector<StrategyMetricPair> pairs;
+  for (uint64_t s : kStrategies) {
+    for (uint64_t m : kMetrics) pairs.push_back({s, m});
+  }
+  return pairs;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.num_users = 3000;
+    config.num_segments = 6;
+    config.num_days = 5;
+    config.start_date = kLo;
+    config.seed = 71;
+
+    ExperimentConfig exp;
+    exp.strategy_ids = {801, 802};
+    exp.arm_effects = {1.0, 1.1};
+    exp.traffic_salt = 5;
+
+    MetricConfig m1;
+    m1.metric_id = 901;
+    m1.value_range = 100;
+    m1.daily_participation = 0.5;
+    MetricConfig m2;
+    m2.metric_id = 902;
+    m2.value_range = 1;
+    m2.daily_participation = 0.7;
+
+    dataset_ = new Dataset(GenerateDataset(config, {exp}, {m1, m2}, {}));
+    bsi_ = new ExperimentBsiData(BuildExperimentBsiData(*dataset_, true));
+    baseline_ = new std::map<StrategyMetricPair, BucketValues>();
+    for (const StrategyMetricPair& pair : AllPairs()) {
+      (*baseline_)[pair] =
+          ComputeStrategyMetricBsi(*bsi_, pair.first, pair.second, kLo, kHi);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete bsi_;
+    delete dataset_;
+  }
+
+  // Degraded-aware comparison against the fault-free baseline: segments in
+  // `lost` must be zero slots, every other segment bit-identical.
+  static void ExpectMatchesBaselineExcept(
+      const std::map<StrategyMetricPair, BucketValues>& results,
+      const std::vector<int>& lost_segments, const std::string& ctx) {
+    const std::set<int> lost(lost_segments.begin(), lost_segments.end());
+    ASSERT_EQ(results.size(), baseline_->size()) << ctx;
+    for (const auto& [pair, values] : results) {
+      const BucketValues& want = baseline_->at(pair);
+      ASSERT_EQ(values.sums.size(), want.sums.size()) << ctx;
+      ASSERT_EQ(values.counts.size(), want.counts.size()) << ctx;
+      for (size_t seg = 0; seg < values.sums.size(); ++seg) {
+        if (lost.count(static_cast<int>(seg)) > 0) {
+          EXPECT_EQ(values.sums[seg], 0.0)
+              << ctx << " lost segment " << seg << " has a nonzero sum";
+          EXPECT_EQ(values.counts[seg], 0.0)
+              << ctx << " lost segment " << seg << " has a nonzero count";
+        } else {
+          EXPECT_EQ(values.sums[seg], want.sums[seg])
+              << ctx << " pair " << pair.first << "/" << pair.second
+              << " segment " << seg << " diverged without being reported";
+          EXPECT_EQ(values.counts[seg], want.counts[seg])
+              << ctx << " pair " << pair.first << "/" << pair.second
+              << " segment " << seg << " count diverged";
+        }
+      }
+    }
+  }
+
+  static void ExpectDegradedInfoWellFormed(
+      const AdhocCluster::DegradedInfo& info, const std::string& ctx) {
+    EXPECT_TRUE(std::is_sorted(info.lost_segments.begin(),
+                               info.lost_segments.end()))
+        << ctx;
+    EXPECT_EQ(std::adjacent_find(info.lost_segments.begin(),
+                                 info.lost_segments.end()),
+              info.lost_segments.end())
+        << ctx << " duplicate lost segment";
+    for (int seg : info.lost_segments) {
+      EXPECT_GE(seg, 0) << ctx;
+      EXPECT_LT(seg, dataset_->config.num_segments) << ctx;
+    }
+    EXPECT_EQ(info.segments_answered,
+              dataset_->config.num_segments -
+                  static_cast<int>(info.lost_segments.size()))
+        << ctx;
+  }
+
+  // One full ad-hoc chaos iteration for `seed`: generate a schedule, run a
+  // fresh cluster under it in degraded mode, check invariants (a)-(c).
+  static void RunAdhocIteration(uint64_t seed) {
+    Rng rng(seed);
+    const propgen::FaultSchedule schedule = propgen::GenFaultSchedule(rng);
+    AdhocClusterConfig config;
+    config.num_nodes = 2 + static_cast<int>(rng.NextBounded(3));
+    config.allow_degraded = true;
+    AdhocCluster cluster(dataset_, bsi_, config);
+
+    FaultInjector injector(schedule.injector_seed);
+    schedule.ApplyTo(&injector);
+    Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+    {
+      ScopedFaultInjection scoped(&injector);
+      result = cluster.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+    }
+    const std::string ctx = Ctx(seed, "adhoc chaos");
+    ASSERT_TRUE(result.ok()) << ctx << " degraded-mode query failed: "
+                             << result.status().ToString();
+    const AdhocCluster::QueryStats& stats = result.value();
+    ExpectDegradedInfoWellFormed(stats.degraded, ctx);
+    ExpectMatchesBaselineExcept(stats.results, stats.degraded.lost_segments,
+                                ctx);
+    if (ChaosLogEnabled()) {
+      std::fprintf(
+          stderr,
+          "[chaos] seed=%llu lost=%d nodes_lost=%d retries=%d survived=%d "
+          "corruptions=%llu injected=%llu\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<int>(stats.degraded.lost_segments.size()),
+          stats.degraded.nodes_lost, stats.degraded.retries,
+          stats.degraded.faults_survived,
+          static_cast<unsigned long long>(injector.stats().corruptions),
+          static_cast<unsigned long long>(injector.stats().any()));
+    }
+  }
+
+  // One pipeline chaos iteration: successful pairs bit-identical, failed
+  // pairs explicit and uncached.
+  static void RunPipelineIteration(uint64_t seed) {
+    Rng rng(seed);
+    const propgen::FaultSchedule schedule = propgen::GenFaultSchedule(rng);
+    PrecomputeConfig config;
+    config.num_threads = 1 + static_cast<int>(rng.NextBounded(4));
+    config.batch_size = 1 + static_cast<int>(rng.NextBounded(6));
+    PrecomputePipeline pipeline(dataset_, bsi_, config);
+
+    FaultInjector injector(schedule.injector_seed);
+    schedule.ApplyTo(&injector);
+    const std::vector<StrategyMetricPair> pairs = AllPairs();
+    PrecomputeStats stats;
+    {
+      ScopedFaultInjection scoped(&injector);
+      stats = pipeline.RunBsi(pairs, kLo, kHi);
+    }
+    const std::string ctx = Ctx(seed, "pipeline chaos");
+    const std::set<StrategyMetricPair> failed(stats.failed_pairs.begin(),
+                                              stats.failed_pairs.end());
+    EXPECT_EQ(failed.size(), stats.failed_pairs.size())
+        << ctx << " duplicate failed pair";
+    EXPECT_EQ(stats.pairs_computed + static_cast<int>(failed.size()),
+              static_cast<int>(pairs.size()))
+        << ctx;
+    for (const StrategyMetricPair& pair : pairs) {
+      const BucketValues* got = pipeline.GetResult(pair);
+      if (failed.count(pair) > 0) {
+        EXPECT_EQ(got, nullptr)
+            << ctx << " failed pair still has a cached result";
+        continue;
+      }
+      ASSERT_NE(got, nullptr) << ctx;
+      const BucketValues& want = baseline_->at(pair);
+      EXPECT_EQ(got->sums, want.sums) << ctx;
+      EXPECT_EQ(got->counts, want.counts) << ctx;
+    }
+  }
+
+  static Dataset* dataset_;
+  static ExperimentBsiData* bsi_;
+  static std::map<StrategyMetricPair, BucketValues>* baseline_;
+};
+
+Dataset* ChaosTest::dataset_ = nullptr;
+ExperimentBsiData* ChaosTest::bsi_ = nullptr;
+std::map<StrategyMetricPair, BucketValues>* ChaosTest::baseline_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Baseline sanity: the fault-free cluster answer IS the oracle answer.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, FaultFreeBaselineMatchesScalarOracle) {
+  ASSERT_EQ(FaultInjector::Get(), nullptr);
+  const RefExperimentData ref = BuildRefExperimentData(*dataset_);
+  for (const auto& [pair, values] : *baseline_) {
+    const BucketValues want =
+        RefComputeStrategyMetric(ref, pair.first, pair.second, kLo, kHi);
+    EXPECT_EQ(values.sums, want.sums) << pair.first << "/" << pair.second;
+    EXPECT_EQ(values.counts, want.counts);
+  }
+  AdhocCluster cluster(dataset_, bsi_, AdhocClusterConfig{});
+  const auto stats = cluster.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats.value().degraded.degraded());
+  ExpectMatchesBaselineExcept(stats.value().results, {}, "fault-free");
+}
+
+// ---------------------------------------------------------------------------
+// The seeded sweeps (corpus first, then exploration).
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, AdhocSurvivesSeededFaultSchedules) {
+  for (uint64_t seed : SeedSchedule(0xADC0C5u)) {
+    RunAdhocIteration(seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(ChaosTest, PipelineSurvivesSeededFaultSchedules) {
+  for (uint64_t seed : SeedSchedule(0xF1BE5u)) {
+    RunPipelineIteration(seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Same seed, fresh cluster and injector: results and degradation accounting
+// replay identically (the whole point of deterministic injection).
+TEST_F(ChaosTest, SameSeedReplaysIdentically) {
+  const uint64_t seed = Splitmix(0xDE7E12ull);
+  auto run = [&](std::map<StrategyMetricPair, BucketValues>* results,
+                 AdhocCluster::DegradedInfo* degraded) {
+    Rng rng(seed);
+    const propgen::FaultSchedule schedule = propgen::GenFaultSchedule(rng);
+    AdhocClusterConfig config;
+    config.num_nodes = 2 + static_cast<int>(rng.NextBounded(3));
+    config.allow_degraded = true;
+    AdhocCluster cluster(dataset_, bsi_, config);
+    FaultInjector injector(schedule.injector_seed);
+    schedule.ApplyTo(&injector);
+    ScopedFaultInjection scoped(&injector);
+    const auto stats = cluster.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+    ASSERT_TRUE(stats.ok());
+    *results = stats.value().results;
+    *degraded = stats.value().degraded;
+  };
+  std::map<StrategyMetricPair, BucketValues> first, second;
+  AdhocCluster::DegradedInfo dfirst, dsecond;
+  run(&first, &dfirst);
+  run(&second, &dsecond);
+  ASSERT_EQ(first.size(), second.size());
+  for (const auto& [pair, values] : first) {
+    EXPECT_EQ(values.sums, second.at(pair).sums);
+    EXPECT_EQ(values.counts, second.at(pair).counts);
+  }
+  EXPECT_EQ(dfirst.lost_segments, dsecond.lost_segments);
+  EXPECT_EQ(dfirst.segments_answered, dsecond.segments_answered);
+  EXPECT_EQ(dfirst.retries, dsecond.retries);
+  EXPECT_EQ(dfirst.faults_survived, dsecond.faults_survived);
+  EXPECT_EQ(dfirst.nodes_lost, dsecond.nodes_lost);
+}
+
+// ---------------------------------------------------------------------------
+// Named recovery scenarios (hand-pinned schedules).
+// ---------------------------------------------------------------------------
+
+// A corrupt transfer is caught by the fingerprint gate, retried, and the
+// retry re-reads the warehouse: full recovery, flagged only in the stats.
+TEST_F(ChaosTest, CorruptTransferRecoversOnRetry) {
+  AdhocClusterConfig config;
+  config.num_nodes = 3;
+  config.allow_degraded = true;
+  AdhocCluster cluster(dataset_, bsi_, config);
+  FaultInjector injector(/*seed=*/11);
+  injector.ScheduleFault(fault_sites::kTierFetch, 0, FaultKind::kCorrupt);
+  ScopedFaultInjection scoped(&injector);
+  const auto stats = cluster.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats.value().degraded.degraded());
+  EXPECT_GE(stats.value().degraded.retries, 1);
+  EXPECT_GE(stats.value().degraded.faults_survived, 1);
+  EXPECT_EQ(injector.stats().corruptions, 1u);
+  ExpectMatchesBaselineExcept(stats.value().results, {},
+                              "corrupt-transfer-retry");
+}
+
+// Node 0 crashes in wave 1; its segments requeue onto nodes 1 and 2. Node 1
+// then crashes at the start of wave 2 -- a crash DURING requeue -- and the
+// twice-orphaned segment finishes on node 2. Nothing is lost.
+TEST_F(ChaosTest, CrashDuringRequeueStillCompletes) {
+  AdhocClusterConfig config;
+  config.num_nodes = 3;
+  config.allow_degraded = true;
+  AdhocCluster cluster(dataset_, bsi_, config);
+  // 6 segments over 3 nodes: node0={0,3} node1={1,4} node2={2,5}. Wave-1
+  // coordinator order evaluates adhoc.node_segment ops 0..4 (node0 crashes
+  // at op 0, so segments 1,4,2,5 take ops 1-4); the wave-2 requeue puts
+  // segment 0 on node1 (op 5, crash again) and segment 3 on node2 (op 6);
+  // wave 3 retries segment 0 on node2 (op 7).
+  FaultInjector injector(/*seed=*/12);
+  injector.ScheduleFault(fault_sites::kNodeSegment, 0, FaultKind::kCrash);
+  injector.ScheduleFault(fault_sites::kNodeSegment, 5, FaultKind::kCrash);
+  ScopedFaultInjection scoped(&injector);
+  const auto stats = cluster.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats.value().degraded.degraded());
+  EXPECT_EQ(stats.value().degraded.nodes_lost, 2);
+  EXPECT_GE(stats.value().degraded.faults_survived, 2);
+  ExpectMatchesBaselineExcept(stats.value().results, {},
+                              "crash-during-requeue");
+}
+
+// Every node crashes: in degraded mode the whole scorecard is lost but the
+// loss is fully reported; in strict mode the query errors out.
+TEST_F(ChaosTest, TotalNodeLossDegradesEverySegment) {
+  AdhocClusterConfig config;
+  config.num_nodes = 3;
+  config.allow_degraded = true;
+  AdhocCluster cluster(dataset_, bsi_, config);
+  FaultInjector injector(/*seed=*/13);
+  injector.SetCrashProbability(fault_sites::kNodeSegment, 1.0);
+  ScopedFaultInjection scoped(&injector);
+  const auto stats = cluster.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  ASSERT_TRUE(stats.ok());
+  const AdhocCluster::DegradedInfo& info = stats.value().degraded;
+  EXPECT_EQ(static_cast<int>(info.lost_segments.size()),
+            dataset_->config.num_segments);
+  EXPECT_EQ(info.segments_answered, 0);
+  EXPECT_EQ(info.nodes_lost, 3);
+  ExpectMatchesBaselineExcept(stats.value().results, info.lost_segments,
+                              "total-node-loss");
+
+  AdhocClusterConfig strict = config;
+  strict.allow_degraded = false;
+  AdhocCluster strict_cluster(dataset_, bsi_, strict);
+  FaultInjector strict_injector(/*seed=*/13);
+  strict_injector.SetCrashProbability(fault_sites::kNodeSegment, 1.0);
+  ScopedFaultInjection strict_scoped(&strict_injector);
+  const auto strict_result =
+      strict_cluster.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  ASSERT_FALSE(strict_result.ok());
+  EXPECT_EQ(strict_result.status().code(), StatusCode::kUnavailable);
+}
+
+// Persistent corruption (every transfer flips bits) exhausts the retry
+// budget; strict mode surfaces it as a Status instead of degrading.
+TEST_F(ChaosTest, StrictModePersistentCorruptionSurfacesAsStatus) {
+  AdhocClusterConfig config;
+  config.allow_degraded = false;
+  AdhocCluster cluster(dataset_, bsi_, config);
+  FaultInjector injector(/*seed=*/14);
+  injector.SetCorruptProbability(fault_sites::kTierFetch, 1.0);
+  ScopedFaultInjection scoped(&injector);
+  const auto result = cluster.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+// Pipeline: one pair's every attempt fails -> explicit failed_pairs entry
+// and no cached result; a single-attempt blip on another pair is retried
+// away without a trace beyond the retry counter.
+TEST_F(ChaosTest, PipelineFailedPairsAreExplicitAndUncached) {
+  const std::vector<StrategyMetricPair> pairs = AllPairs();
+  PrecomputeConfig config;
+  config.num_threads = 2;
+  config.batch_size = 2;
+  PrecomputePipeline pipeline(dataset_, bsi_, config);
+  FaultInjector injector(/*seed=*/15);
+  // Pair index 2 fails all three attempts; pair index 0 only the first.
+  for (uint64_t attempt = 0; attempt < 3; ++attempt) {
+    injector.ScheduleFault(fault_sites::kPipelineTask,
+                           2 * kPipelineAttemptStride + attempt,
+                           FaultKind::kFail);
+  }
+  injector.ScheduleFault(fault_sites::kPipelineTask, 0, FaultKind::kFail);
+  PrecomputeStats stats;
+  {
+    ScopedFaultInjection scoped(&injector);
+    stats = pipeline.RunBsi(pairs, kLo, kHi);
+  }
+  ASSERT_EQ(stats.failed_pairs.size(), 1u);
+  EXPECT_EQ(stats.failed_pairs[0], pairs[2]);
+  EXPECT_EQ(pipeline.GetResult(pairs[2]), nullptr);
+  EXPECT_EQ(stats.pairs_computed, static_cast<int>(pairs.size()) - 1);
+  EXPECT_GE(stats.retries, 3);  // 2 for the doomed pair + 1 for the blip
+  EXPECT_GT(stats.backoff_seconds, 0.0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i == 2) continue;
+    const BucketValues* got = pipeline.GetResult(pairs[i]);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->sums, baseline_->at(pairs[i]).sums);
+    EXPECT_EQ(got->counts, baseline_->at(pairs[i]).counts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behavior.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  EXPECT_EQ(FaultInjector::Get(), nullptr);
+}
+
+TEST(FaultInjectorTest, ScopedInstallRestoresPrevious) {
+  FaultInjector outer(1), inner(2);
+  {
+    ScopedFaultInjection outer_scope(&outer);
+    EXPECT_EQ(FaultInjector::Get(), &outer);
+    {
+      ScopedFaultInjection inner_scope(&inner);
+      EXPECT_EQ(FaultInjector::Get(), &inner);
+    }
+    EXPECT_EQ(FaultInjector::Get(), &outer);
+  }
+  EXPECT_EQ(FaultInjector::Get(), nullptr);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  const auto decisions = [](uint64_t seed) {
+    FaultInjector fi(seed);
+    fi.SetFailProbability(fault_sites::kTierFetch, 0.3);
+    fi.SetCorruptProbability(fault_sites::kTierFetch, 0.2);
+    fi.SetDelayProbability(fault_sites::kTierFetch, 0.25, 0.01);
+    fi.SetCrashProbability(fault_sites::kNodeSegment, 0.15);
+    std::vector<int> out;
+    for (int i = 0; i < 200; ++i) {
+      const FaultDecision a = fi.Evaluate(fault_sites::kTierFetch);
+      const FaultDecision b = fi.Evaluate(fault_sites::kNodeSegment);
+      out.push_back((a.fail ? 1 : 0) | (a.corrupt ? 2 : 0) |
+                    (a.delay_seconds > 0 ? 4 : 0) | (b.crash ? 8 : 0));
+    }
+    return out;
+  };
+  EXPECT_EQ(decisions(42), decisions(42));
+  EXPECT_NE(decisions(42), decisions(43));
+}
+
+TEST(FaultInjectorTest, OneShotFiresAtExactlyItsOpIndex) {
+  FaultInjector fi(7);
+  fi.ScheduleFault(fault_sites::kWarehouseGet, 3, FaultKind::kFail);
+  for (int i = 0; i < 10; ++i) {
+    const FaultDecision d = fi.Evaluate(fault_sites::kWarehouseGet);
+    EXPECT_EQ(d.fail, i == 3) << "op " << i;
+  }
+  EXPECT_EQ(fi.stats().fails, 1u);
+  EXPECT_EQ(fi.stats().evaluations, 10u);
+}
+
+TEST(FaultInjectorTest, EvaluateAtDoesNotAdvanceTheCounter) {
+  FaultInjector fi(8);
+  fi.ScheduleFault(fault_sites::kPipelineTask, 0, FaultKind::kFail);
+  EXPECT_TRUE(fi.EvaluateAt(fault_sites::kPipelineTask, 0).fail);
+  EXPECT_FALSE(fi.EvaluateAt(fault_sites::kPipelineTask, 1).fail);
+  // The counter-consuming path still starts at op 0.
+  EXPECT_TRUE(fi.Evaluate(fault_sites::kPipelineTask).fail);
+}
+
+TEST(FaultInjectorTest, CorruptBlobIsDeterministicAndFlipsBits) {
+  const std::string original = "serialized bsi payload bytes 0123456789";
+  FaultInjector fi(9);
+  std::string a = original, b = original;
+  fi.CorruptBlob(17, &a);
+  fi.CorruptBlob(17, &b);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, original);
+  EXPECT_EQ(a.size(), original.size());
+  std::string c = original;
+  fi.CorruptBlob(18, &c);
+  EXPECT_NE(c, a);  // different token, different flips
+  std::string empty;
+  fi.CorruptBlob(17, &empty);  // no-op, must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultInjectorTest, UnconfiguredSitesNeverFire) {
+  FaultInjector fi(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.Evaluate(fault_sites::kTierFetch).any());
+  }
+  EXPECT_EQ(fi.stats().any(), 0u);
+  EXPECT_EQ(fi.stats().evaluations, 100u);
+}
+
+// BlobFingerprint is the corruption detector; it must see single bit flips.
+TEST(FaultInjectorTest, FingerprintDetectsEveryInjectedCorruption) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string blob(1 + rng.NextBounded(300), '\0');
+    for (char& ch : blob) ch = static_cast<char>(rng.NextBounded(256));
+    const uint64_t clean = BlobFingerprint(blob);
+    FaultInjector fi(rng.Next());
+    std::string corrupted = blob;
+    fi.CorruptBlob(iter, &corrupted);
+    if (corrupted != blob) {
+      EXPECT_NE(BlobFingerprint(corrupted), clean) << "iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expbsi

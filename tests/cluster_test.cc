@@ -52,7 +52,10 @@ Dataset* ClusterTest::dataset_ = nullptr;
 ExperimentBsiData* ClusterTest::bsi_ = nullptr;
 
 TEST_F(ClusterTest, PrecomputeBsiMatchesDirectEngine) {
-  PrecomputePipeline pipeline(dataset_, bsi_, PrecomputeConfig{4, 3});
+  PrecomputeConfig config;
+  config.num_threads = 4;
+  config.batch_size = 3;
+  PrecomputePipeline pipeline(dataset_, bsi_, config);
   const std::vector<StrategyMetricPair> pairs = {
       {801, 901}, {802, 901}, {803, 901}, {801, 902}, {802, 902},
   };
@@ -71,8 +74,11 @@ TEST_F(ClusterTest, PrecomputeBsiMatchesDirectEngine) {
 }
 
 TEST_F(ClusterTest, PrecomputeNormalMatchesBsi) {
-  PrecomputePipeline bsi_pipe(dataset_, bsi_, PrecomputeConfig{2, 8});
-  PrecomputePipeline normal_pipe(dataset_, bsi_, PrecomputeConfig{2, 8});
+  PrecomputeConfig config;
+  config.num_threads = 2;
+  config.batch_size = 8;
+  PrecomputePipeline bsi_pipe(dataset_, bsi_, config);
+  PrecomputePipeline normal_pipe(dataset_, bsi_, config);
   const std::vector<StrategyMetricPair> pairs = {{801, 901}, {802, 902}};
   bsi_pipe.RunBsi(pairs, 50, 56);
   const PrecomputeStats normal_stats = normal_pipe.RunNormal(pairs, 50, 56);
@@ -155,6 +161,68 @@ TEST_F(ClusterTest, CorruptColdBlobSurfacesAsStatusNotCrash) {
   // Queries that avoid the corrupt blob still work.
   const auto other = cluster.QueryBsi({801}, {902}, 50, 56);
   EXPECT_TRUE(other.ok());
+}
+
+TEST_F(ClusterTest, QueryBsiEmptyListsYieldEmptyResults) {
+  AdhocCluster cluster(dataset_, bsi_, AdhocClusterConfig{});
+  const auto no_strategies = cluster.QueryBsi({}, {901}, 50, 56);
+  ASSERT_TRUE(no_strategies.ok());
+  EXPECT_TRUE(no_strategies.value().results.empty());
+  EXPECT_FALSE(no_strategies.value().degraded.degraded());
+  const auto no_metrics = cluster.QueryBsi({801}, {}, 50, 56);
+  ASSERT_TRUE(no_metrics.ok());
+  EXPECT_TRUE(no_metrics.value().results.empty());
+}
+
+TEST_F(ClusterTest, QueryBsiInvertedDateRangeIsACheckedContractError) {
+  AdhocCluster cluster(dataset_, bsi_, AdhocClusterConfig{});
+  EXPECT_DEATH(cluster.QueryBsi({801}, {901}, 56, 50).ok(), "CHECK failed");
+}
+
+TEST_F(ClusterTest, UnknownStrategyIsAbsenceNotDegradation) {
+  // NotFound is semantic absence: the strategy simply has no expose log, so
+  // every slot stays zero and nothing is retried, lost or flagged.
+  AdhocClusterConfig config;
+  config.allow_degraded = true;
+  AdhocCluster cluster(dataset_, bsi_, config);
+  const auto stats = cluster.QueryBsi({777777}, {901}, 50, 56);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats.value().degraded.degraded());
+  EXPECT_EQ(stats.value().degraded.retries, 0);
+  const BucketValues& values = stats.value().results.at({777777, 901});
+  for (double sum : values.sums) EXPECT_EQ(sum, 0.0);
+  for (double count : values.counts) EXPECT_EQ(count, 0.0);
+}
+
+TEST_F(ClusterTest, CorruptBlobInDegradedModeLosesOnlyItsSegment) {
+  AdhocClusterConfig config;
+  config.num_nodes = 3;
+  config.allow_degraded = true;
+  AdhocCluster cluster(dataset_, bsi_, config);
+  // Garbage stored in the warehouse itself: the transfer fingerprint
+  // matches (the warehouse faithfully serves what it stores), so detection
+  // falls to the decoder, and retries cannot help. Segment 2 alone is
+  // dropped -- and reported.
+  cluster.mutable_cold_store().Put(BsiStoreKey{2, BsiKind::kMetric, 901, 52},
+                                   "garbage bytes that are not a bsi");
+  const auto stats = cluster.QueryBsi({801, 802}, {901}, 50, 56);
+  ASSERT_TRUE(stats.ok());
+  const auto& degraded = stats.value().degraded;
+  EXPECT_EQ(degraded.lost_segments, std::vector<int>{2});
+  EXPECT_EQ(degraded.segments_answered, dataset_->config.num_segments - 1);
+  for (const auto& [pair, values] : stats.value().results) {
+    const BucketValues direct =
+        ComputeStrategyMetricBsi(*bsi_, pair.first, pair.second, 50, 56);
+    for (size_t seg = 0; seg < values.sums.size(); ++seg) {
+      if (seg == 2) {
+        EXPECT_EQ(values.sums[seg], 0.0);
+        EXPECT_EQ(values.counts[seg], 0.0);
+      } else {
+        EXPECT_EQ(values.sums[seg], direct.sums[seg]);
+        EXPECT_EQ(values.counts[seg], direct.counts[seg]);
+      }
+    }
+  }
 }
 
 TEST_F(ClusterTest, SegmentOwnershipCoversAllNodes) {

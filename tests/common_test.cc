@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <set>
@@ -7,6 +8,7 @@
 
 #include "common/bit_util.h"
 #include "common/hash.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/threadpool.h"
@@ -31,6 +33,129 @@ TEST(ResultTest, ValueAndStatus) {
   Result<int> err(Status::InvalidArgument("bad"));
   EXPECT_FALSE(err.ok());
   EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, UnavailableRoundTripsThroughResult) {
+  const Status s = Status::Unavailable("node down");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: node down");
+  Result<int> r(s);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.status().message(), "node down");
+}
+
+TEST(RetryTest, ClassificationFollowsTheFailureModel) {
+  // Transient: a re-issued op can succeed.
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("blip")));
+  EXPECT_TRUE(IsRetryableStatus(Status::Corruption("bad bytes")));
+  // Semantic absence and contract errors: retrying cannot help.
+  EXPECT_FALSE(IsRetryableStatus(Status::NotFound("absent")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("bad call")));
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+}
+
+TEST(RetryTest, BackoffIsDeterministicJitteredAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.5;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double nominal =
+        std::min(0.1 * std::pow(2.0, attempt - 1), 0.5);
+    for (uint64_t token : {0ull, 1ull, 77ull}) {
+      const double b = policy.BackoffSeconds(attempt, token);
+      EXPECT_EQ(b, policy.BackoffSeconds(attempt, token));  // deterministic
+      EXPECT_GE(b, 0.5 * nominal);
+      EXPECT_LE(b, nominal);
+    }
+  }
+  // Different tokens decorrelate (jitter actually varies).
+  EXPECT_NE(policy.BackoffSeconds(1, 0), policy.BackoffSeconds(1, 1));
+}
+
+TEST(RetryTest, RecoversFromTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int calls = 0;
+  RetryStats stats;
+  Result<int> r = RetryWithPolicy<int>(policy, 3, &stats,
+                                       [&]() -> Result<int> {
+                                         if (++calls < 3) {
+                                           return Status::Unavailable("blip");
+                                         }
+                                         return 42;
+                                       });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_GT(stats.backoff_seconds, 0.0);
+}
+
+TEST(RetryTest, FirstTrySuccessIsNotARecovery) {
+  RetryStats stats;
+  Result<int> r = RetryWithPolicy<int>(RetryPolicy{}, 0, &stats,
+                                       []() -> Result<int> { return 1; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_FALSE(stats.recovered);
+}
+
+TEST(RetryTest, NonRetryableStopsImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  Result<int> r = RetryWithPolicy<int>(
+      policy, 0, nullptr,
+      [&]() -> Result<int> {
+        ++calls;
+        return Status::NotFound("absent");
+      });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, AttemptsAreBounded) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  RetryStats stats;
+  Result<int> r = RetryWithPolicy<int>(
+      policy, 0, &stats,
+      [&]() -> Result<int> {
+        ++calls;
+        return Status::Unavailable("still down");
+      });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_FALSE(stats.recovered);
+}
+
+TEST(RetryTest, DeadlineStopsRetriesEarly) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_seconds = 1.0;
+  policy.op_deadline_seconds = 2.0;  // room for at most 2 retries
+  int calls = 0;
+  Result<int> r = RetryWithPolicy<int>(
+      policy, 0, nullptr,
+      [&]() -> Result<int> {
+        ++calls;
+        return Status::Unavailable("down");
+      });
+  EXPECT_FALSE(r.ok());
+  EXPECT_LE(calls, 5);  // bounded by the deadline, far below max_attempts
+  EXPECT_GE(calls, 2);
 }
 
 TEST(BitUtilTest, Basics) {

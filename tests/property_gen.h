@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/rng.h"
 #include "expdata/generator.h"
 #include "expdata/schema.h"
@@ -415,6 +416,114 @@ inline std::string GenQuery(Rng& rng, const Dataset& dataset) {
                              : rng.NextBernoulli(0.25);
   if (group) text += " GROUP BY BUCKET";
   return text;
+}
+
+// --------------------------------------------------------------------------
+// Fault schedules (chaos_test.cc).
+// --------------------------------------------------------------------------
+
+// One randomized chaos scenario: an injector seed, per-site fault
+// probabilities and a handful of one-shot faults pinned to small op indices.
+// Pure function of the Rng state, so a single seed replays the whole
+// schedule (see docs/TESTING.md "Chaos tests").
+struct FaultSchedule {
+  uint64_t injector_seed = 0;
+
+  struct Probability {
+    std::string site;
+    FaultKind kind = FaultKind::kFail;
+    double p = 0.0;
+    double delay_seconds = 0.0;  // only for kDelay
+  };
+  std::vector<Probability> probabilities;
+
+  struct OneShot {
+    std::string site;
+    uint64_t op_index = 0;
+    FaultKind kind = FaultKind::kFail;
+  };
+  std::vector<OneShot> one_shots;
+
+  void ApplyTo(FaultInjector* injector) const {
+    for (const Probability& prob : probabilities) {
+      switch (prob.kind) {
+        case FaultKind::kFail:
+          injector->SetFailProbability(prob.site, prob.p);
+          break;
+        case FaultKind::kCorrupt:
+          injector->SetCorruptProbability(prob.site, prob.p);
+          break;
+        case FaultKind::kCrash:
+          injector->SetCrashProbability(prob.site, prob.p);
+          break;
+        case FaultKind::kDelay:
+          injector->SetDelayProbability(prob.site, prob.p,
+                                        prob.delay_seconds);
+          break;
+      }
+    }
+    for (const OneShot& shot : one_shots) {
+      injector->ScheduleFault(shot.site, shot.op_index, shot.kind);
+    }
+  }
+};
+
+// Draws a schedule mixing background noise (per-op probabilities at a few
+// intensity levels, from rare blips to sustained outage) with one-shot
+// faults at small op indices (early fetches, first waves, first pipeline
+// attempts -- where recovery logic has the most state to get wrong). Kinds
+// are restricted to what each site supports, mirroring fault_sites::.
+inline FaultSchedule GenFaultSchedule(Rng& rng) {
+  FaultSchedule schedule;
+  schedule.injector_seed = rng.Next();
+  const double levels[] = {0.01, 0.05, 0.15, 0.4};
+  const auto maybe = [&](const char* site, FaultKind kind,
+                         double activation_p, double delay = 0.0) {
+    if (rng.NextBernoulli(activation_p)) {
+      schedule.probabilities.push_back(
+          {site, kind, levels[rng.NextBounded(4)], delay});
+    }
+  };
+  const auto delay = [&]() { return 0.001 + 0.02 * rng.NextDouble(); };
+  maybe(fault_sites::kTierFetch, FaultKind::kFail, 0.5);
+  maybe(fault_sites::kTierFetch, FaultKind::kCorrupt, 0.4);
+  maybe(fault_sites::kTierFetch, FaultKind::kDelay, 0.25, delay());
+  maybe(fault_sites::kWarehouseGet, FaultKind::kFail, 0.2);
+  maybe(fault_sites::kNodeSegment, FaultKind::kCrash, 0.35);
+  maybe(fault_sites::kNodeSegment, FaultKind::kDelay, 0.25, delay());
+  maybe(fault_sites::kPipelineTask, FaultKind::kFail, 0.4);
+
+  const int num_one_shots = static_cast<int>(rng.NextBounded(7));
+  for (int i = 0; i < num_one_shots; ++i) {
+    FaultSchedule::OneShot shot;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        shot.site = fault_sites::kTierFetch;
+        shot.op_index = rng.NextBounded(160);
+        shot.kind = rng.NextBernoulli(0.5) ? FaultKind::kCorrupt
+                                           : FaultKind::kFail;
+        break;
+      case 1:
+        shot.site = fault_sites::kWarehouseGet;
+        shot.op_index = rng.NextBounded(160);
+        shot.kind = FaultKind::kFail;
+        break;
+      case 2:
+        shot.site = fault_sites::kNodeSegment;
+        shot.op_index = rng.NextBounded(16);
+        shot.kind = FaultKind::kCrash;
+        break;
+      default:
+        shot.site = fault_sites::kPipelineTask;
+        // Pipeline op indices are pair_index * stride + attempt.
+        shot.op_index = rng.NextBounded(8) * kPipelineAttemptStride +
+                        rng.NextBounded(3);
+        shot.kind = FaultKind::kFail;
+        break;
+    }
+    schedule.one_shots.push_back(std::move(shot));
+  }
+  return schedule;
 }
 
 }  // namespace propgen

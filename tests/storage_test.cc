@@ -140,6 +140,52 @@ TEST(TieredStoreTest, MissingKeyPropagatesNotFound) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+// Regression: a blob larger than the whole hot budget used to be inserted
+// and then evict every other entry for nothing. It must be served straight
+// from cold, leaving the cache untouched.
+TEST(TieredStoreTest, OversizeBlobBypassesHotTier) {
+  BsiStore cold;
+  for (uint64_t i = 0; i < 3; ++i) {
+    cold.Put({0, BsiKind::kMetric, i, 0}, std::string(100, 'x'));
+  }
+  const BsiStoreKey big{0, BsiKind::kMetric, 99, 0};
+  cold.Put(big, std::string(5000, 'y'));
+  TieredStore tier(&cold, 350);  // fits the three small blobs, never `big`
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(tier.Fetch({0, BsiKind::kMetric, i, 0}).ok());
+  }
+  auto blob = tier.Fetch(big);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob.value()->size(), 5000u);
+  EXPECT_EQ(tier.stats().oversize_bypasses, 1u);
+  EXPECT_EQ(tier.stats().evictions, 0u);
+  EXPECT_LE(tier.hot_bytes(), 350u);
+  // The small blobs are still hot...
+  const auto before = tier.stats();
+  ASSERT_TRUE(tier.Fetch({0, BsiKind::kMetric, 0, 0}).ok());
+  EXPECT_EQ(tier.stats().hot_hits, before.hot_hits + 1);
+  // ...and the oversize blob goes back to cold every time.
+  ASSERT_TRUE(tier.Fetch(big).ok());
+  EXPECT_EQ(tier.stats().cold_reads, before.cold_reads + 1);
+  EXPECT_EQ(tier.stats().oversize_bypasses, 2u);
+}
+
+TEST(BsiStoreTest, FingerprintTracksBlobContent) {
+  BsiStore store;
+  const BsiStoreKey key{0, BsiKind::kMetric, 1, 1};
+  store.Put(key, "hello world");
+  const auto fp = store.Fingerprint(key);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(fp.value(), BlobFingerprint("hello world"));
+  store.Put(key, "hello world!");  // replaced content, new fingerprint
+  ASSERT_TRUE(store.Fingerprint(key).ok());
+  EXPECT_NE(store.Fingerprint(key).value(), fp.value());
+  EXPECT_FALSE(store.Fingerprint({9, BsiKind::kExpose, 7, 0}).ok());
+  // Single-bit sensitivity, the property corruption detection rests on.
+  EXPECT_NE(BlobFingerprint("hello world"), BlobFingerprint("hello worle"));
+  EXPECT_NE(BlobFingerprint(""), BlobFingerprint(std::string(1, '\0')));
+}
+
 }  // namespace
 }  // namespace expbsi
 
