@@ -37,7 +37,8 @@ EXPBSI_PREFLIGHT_ONLY=1 "$BENCH/table5_table6_compute"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-for b in ablation_multiop_kernels ablation_preagg_tree table5_table6_compute; do
+for b in ablation_multiop_kernels ablation_preagg_tree table5_table6_compute \
+         snapshot_persistence; do
   echo "=== $b (EXPBSI_BENCH_USERS=$EXPBSI_BENCH_USERS) ==="
   "$BENCH/$b" | tee "$tmp/$b.out"
   sed -n 's/^BENCHJSON //p' "$tmp/$b.out" >> "$tmp/lines.jsonl"

@@ -490,7 +490,14 @@ Result<Bsi> Bsi::Deserialize(std::string_view bytes) {
   uint32_t num_slices = 0;
   if (!read_u32(&num_slices)) return Status::Corruption("bsi: truncated");
   if (num_slices > 64) return Status::Corruption("bsi: too many slices");
+  // Each block carries a 4-byte length prefix; reject a slice count the
+  // remaining bytes cannot hold before looping.
+  if ((bytes.size() - cursor) / sizeof(uint32_t) <
+      static_cast<size_t>(num_slices) + 1) {
+    return Status::Corruption("bsi: slice count exceeds payload");
+  }
   Bsi out;
+  out.slices_.reserve(num_slices);
   for (uint32_t i = 0; i <= num_slices; ++i) {
     uint32_t len = 0;
     if (!read_u32(&len)) return Status::Corruption("bsi: truncated block");
@@ -506,6 +513,9 @@ Result<Bsi> Bsi::Deserialize(std::string_view bytes) {
     } else {
       out.slices_.push_back(std::move(bm).value());
     }
+  }
+  if (cursor != bytes.size()) {
+    return Status::Corruption("bsi: trailing bytes");
   }
   return out;
 }

@@ -30,24 +30,157 @@ BsiStore BuildColdStore(const ExperimentBsiData& data) {
                             key.first, key.second},
                 std::move(bytes));
     }
+    for (const auto& [key, dimension] : sbd.dimensions) {
+      std::string bytes;
+      dimension.Serialize(&bytes);
+      store.Put(BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kDimension,
+                            key.first, key.second},
+                std::move(bytes));
+    }
   }
   return store;
+}
+
+Result<ExperimentBsiData> ReconstructBsiData(const BsiStore& store,
+                                             int num_segments,
+                                             int num_buckets,
+                                             bool bucket_equals_segment) {
+  ExperimentBsiData out;
+  if (num_segments <= 0) {
+    int max_segment = -1;
+    store.ForEach([&max_segment](const BsiStoreKey& key, const std::string&) {
+      max_segment = std::max(max_segment, static_cast<int>(key.segment));
+    });
+    num_segments = max_segment + 1;
+  }
+  out.num_segments = num_segments;
+  out.num_buckets = num_buckets;
+  out.bucket_equals_segment = bucket_equals_segment;
+  out.segments.resize(static_cast<size_t>(std::max(num_segments, 0)));
+  Status status;
+  store.ForEach([&](const BsiStoreKey& key, const std::string& bytes) {
+    if (!status.ok()) return;
+    if (static_cast<int>(key.segment) >= num_segments) {
+      status = Status::Corruption(
+          "reconstruct: blob for segment beyond num_segments");
+      return;
+    }
+    SegmentBsiData& seg = out.segments[key.segment];
+    // Each blob must decode AND describe the key it was stored under -- a
+    // blob swapped between keys would otherwise be silently accepted.
+    switch (key.kind) {
+      case BsiKind::kExpose: {
+        Result<ExposeBsi> expose = ExposeBsi::Deserialize(bytes);
+        if (!expose.ok()) {
+          status = expose.status();
+          return;
+        }
+        if (expose.value().strategy_id != key.id || key.date != 0) {
+          status = Status::Corruption(
+              "reconstruct: expose blob does not match its key");
+          return;
+        }
+        seg.expose.emplace(key.id, std::move(expose).value());
+        break;
+      }
+      case BsiKind::kMetric: {
+        Result<MetricBsi> metric = MetricBsi::Deserialize(bytes);
+        if (!metric.ok()) {
+          status = metric.status();
+          return;
+        }
+        if (metric.value().metric_id != key.id ||
+            metric.value().date != key.date) {
+          status = Status::Corruption(
+              "reconstruct: metric blob does not match its key");
+          return;
+        }
+        seg.metrics.emplace(std::make_pair(key.id, key.date),
+                            std::move(metric).value());
+        break;
+      }
+      case BsiKind::kDimension: {
+        Result<DimensionBsi> dimension = DimensionBsi::Deserialize(bytes);
+        if (!dimension.ok()) {
+          status = dimension.status();
+          return;
+        }
+        if (dimension.value().dimension_id != key.id ||
+            dimension.value().date != key.date) {
+          status = Status::Corruption(
+              "reconstruct: dimension blob does not match its key");
+          return;
+        }
+        seg.dimensions.emplace(
+            std::make_pair(static_cast<uint32_t>(key.id), key.date),
+            std::move(dimension).value());
+        break;
+      }
+    }
+  });
+  if (!status.ok()) return status;
+  return out;
 }
 
 AdhocCluster::AdhocCluster(const Dataset* dataset,
                            const ExperimentBsiData* bsi,
                            AdhocClusterConfig config)
-    : dataset_(dataset), bsi_(bsi), config_(config) {
-  CHECK(dataset != nullptr);
-  CHECK(bsi != nullptr);
-  CHECK(dataset->config.bucket_equals_segment);
+    : dataset_(dataset), bsi_(bsi), config_(std::move(config)) {
   CHECK_GT(config_.num_nodes, 0);
   CHECK_GT(config_.threads_per_node, 0);
-  cold_ = BuildColdStore(*bsi);
-  // Cluster-local layout of the normal-format rows, clustered by
-  // (metric, segment) like a ClickHouse primary key.
-  normal_index_ =
-      std::make_unique<NormalDataIndex>(NormalDataIndex::Build(*dataset));
+  if (dataset_ != nullptr) CHECK(dataset_->config.bucket_equals_segment);
+
+  bool recovered = false;
+  if (!config_.snapshot_dir.empty()) {
+    Result<BsiStore> r =
+        BsiStore::Recover(config_.snapshot_dir, &recovery_report_);
+    // With a rebuild source at hand only a complete recovery is worth
+    // taking; on a pure cold start (bsi == nullptr) a partial recovery is
+    // accepted and the losses surface through DegradedInfo on every query.
+    if (r.ok() && r.value().NumBlobs() > 0 &&
+        (bsi_ == nullptr || recovery_report_.fully_recovered())) {
+      cold_ = std::move(r).value();
+      recovered = true;
+      cold_started_from_snapshot_ = true;
+    }
+  }
+  if (!recovered) {
+    CHECK(bsi_ != nullptr);  // neither a snapshot nor a build source
+    recovery_report_ = RecoveryReport{};
+    cold_ = BuildColdStore(*bsi_);
+    if (!config_.snapshot_dir.empty()) {
+      Result<SnapshotWriteStats> written =
+          SnapshotWriter::Write(cold_, config_.snapshot_dir);
+      if (!written.ok()) snapshot_write_status_ = written.status();
+    }
+  }
+
+  if (bsi_ != nullptr) {
+    num_segments_ = bsi_->num_segments;
+  } else {
+    // Cold start without shape metadata: the segment count is whatever the
+    // manifest talked about, recovered or lost.
+    int max_segment = -1;
+    cold_.ForEach([&max_segment](const BsiStoreKey& key, const std::string&) {
+      max_segment = std::max(max_segment, static_cast<int>(key.segment));
+    });
+    for (uint16_t seg : recovery_report_.lost_segments) {
+      max_segment = std::max(max_segment, static_cast<int>(seg));
+    }
+    num_segments_ = max_segment + 1;
+  }
+  for (uint16_t seg : recovery_report_.lost_segments) {
+    if (static_cast<int>(seg) < num_segments_) {
+      recovery_lost_segments_.push_back(seg);
+    }
+  }
+
+  if (dataset_ != nullptr) {
+    // Cluster-local layout of the normal-format rows, clustered by
+    // (metric, segment) like a ClickHouse primary key.
+    normal_index_ =
+        std::make_unique<NormalDataIndex>(NormalDataIndex::Build(*dataset_));
+  }
   node_tiers_.reserve(config_.num_nodes);
   for (int n = 0; n < config_.num_nodes; ++n) {
     node_tiers_.push_back(std::make_unique<TieredStore>(
@@ -75,8 +208,13 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
     const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
   CHECK_LE(date_lo, date_hi);
   QueryStats stats;
-  const int num_segments = bsi_->num_segments;
+  const int num_segments = num_segments_;
   const size_t num_metrics = metric_ids.size();
+  if (!recovery_lost_segments_.empty() && !config_.allow_degraded) {
+    return Status::Corruption(
+        "adhoc cluster: warehouse recovered with lost segments; strict mode "
+        "refuses to serve a biased scorecard");
+  }
   FaultInjector* const fi = FaultInjector::Get();
 
   // Per-pair per-segment partials, assembled as node waves complete.
@@ -190,12 +328,17 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
   };
 
   // Segment ownership; requeued segments land on survivors in later waves.
+  // Segments the snapshot recovery lost are pre-marked degraded instead of
+  // being scheduled (their warehouse blobs are quarantined on disk).
+  const std::unordered_set<int> recovery_lost(
+      recovery_lost_segments_.begin(), recovery_lost_segments_.end());
   std::vector<std::vector<int>> assignment(config_.num_nodes);
   for (int seg = 0; seg < num_segments; ++seg) {
+    if (recovery_lost.count(seg) > 0) continue;
     assignment[NodeOfSegment(seg)].push_back(seg);
   }
   std::vector<bool> alive(config_.num_nodes, true);
-  std::vector<int> lost_segments;
+  std::vector<int> lost_segments = recovery_lost_segments_;
   std::set<int> requeued_segments;  // for faults_survived accounting
   double total_latency = 0.0;
 
@@ -327,6 +470,7 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryNormalBitmap(
     const std::vector<uint64_t>& strategy_ids,
     const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
   CHECK_LE(date_lo, date_hi);
+  CHECK(dataset_ != nullptr);  // the baseline needs the normal-format rows
   QueryStats stats;
   const int num_segments = dataset_->config.num_segments;
   // The paper's baseline caches the expose bitmaps in memory up front; the

@@ -13,6 +13,7 @@
 #include "engine/normal_engine.h"
 #include "expdata/generator.h"
 #include "storage/bsi_store.h"
+#include "storage/snapshot.h"
 #include "storage/tiered_store.h"
 
 namespace expbsi {
@@ -42,6 +43,13 @@ struct AdhocClusterConfig {
   // of failing the whole query. Off by default: absent faults the strict
   // mode behaves exactly as before (errors surface as Status).
   bool allow_degraded = false;
+  // Durable warehouse (§6 of DESIGN.md). When non-empty the cluster first
+  // tries to cold-start its warehouse from the newest valid snapshot in
+  // this directory; if nothing usable is there it builds from `bsi` as
+  // before and then commits a fresh snapshot. Segments the snapshot lost
+  // are surfaced through QueryStats::degraded (or fail strict-mode queries
+  // with Corruption) -- never silently zero.
+  std::string snapshot_dir;
 };
 
 class AdhocCluster {
@@ -73,6 +81,11 @@ class AdhocCluster {
   // `dataset` backs the normal-format baseline; `bsi` is serialized into the
   // cluster's cold warehouse store. Both must outlive the cluster. The
   // dataset must use bucket_equals_segment (the ad-hoc scenario).
+  //
+  // With config.snapshot_dir set, either may be nullptr: a cluster
+  // cold-starting from a snapshot serves QueryBsi straight from the
+  // recovered warehouse (QueryNormalBitmap then requires `dataset` and
+  // CHECK-fails without it). Without a snapshot dir both are required.
   AdhocCluster(const Dataset* dataset, const ExperimentBsiData* bsi,
                AdhocClusterConfig config);
 
@@ -105,6 +118,20 @@ class AdhocCluster {
   // and for operational re-ingestion.
   BsiStore& mutable_cold_store() { return cold_; }
 
+  // Cold-start provenance (config.snapshot_dir): whether the warehouse was
+  // recovered from a snapshot instead of rebuilt, the full recovery report
+  // (lost segments, quarantined files), and the status of the snapshot
+  // written after a fresh build (OK when none was attempted).
+  bool cold_started_from_snapshot() const {
+    return cold_started_from_snapshot_;
+  }
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+  const Status& snapshot_write_status() const {
+    return snapshot_write_status_;
+  }
+
+  int num_segments() const { return num_segments_; }
+
  private:
   // Lazily built (and then reused) per-strategy expose bitmap caches for the
   // baseline, mirroring the paper's "cache these bitmaps in memory".
@@ -116,13 +143,33 @@ class AdhocCluster {
   std::unique_ptr<NormalDataIndex> normal_index_;
   AdhocClusterConfig config_;
   BsiStore cold_;
+  int num_segments_ = 0;
+  bool cold_started_from_snapshot_ = false;
+  RecoveryReport recovery_report_;
+  Status snapshot_write_status_;
+  // Segments (< num_segments_) the snapshot recovery lost; pre-marked
+  // degraded on every QueryBsi.
+  std::vector<int> recovery_lost_segments_;
   std::vector<std::unique_ptr<TieredStore>> node_tiers_;
   std::map<uint64_t, ExposeBitmapCache> bitmap_caches_;
 };
 
-// Serializes every expose/metric BSI of `data` into a BsiStore (the
-// warehouse contents of Fig. 7).
+// Serializes every expose/metric/dimension BSI of `data` into a BsiStore
+// (the warehouse contents of Fig. 7).
 BsiStore BuildColdStore(const ExperimentBsiData& data);
+
+// Inverse of BuildColdStore, for a warehouse that crossed a crash boundary:
+// decodes every blob back into an ExperimentBsiData so the full query
+// engine can run against a recovered store. Shape metadata (segment /
+// bucket counts, bucketing mode) is not stored in the warehouse and must be
+// supplied; num_segments <= 0 derives it from the largest segment id
+// present. Position encoders are build-time state and are not (and need not
+// be) reconstructed -- queries never touch them. Any undecodable or
+// mis-keyed blob fails with Corruption.
+Result<ExperimentBsiData> ReconstructBsiData(const BsiStore& store,
+                                             int num_segments,
+                                             int num_buckets,
+                                             bool bucket_equals_segment);
 
 }  // namespace expbsi
 

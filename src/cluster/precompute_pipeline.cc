@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "cluster/adhoc_cluster.h"
 #include "common/check.h"
 #include "common/fault_injector.h"
 #include "common/threadpool.h"
@@ -119,6 +120,21 @@ PrecomputeStats PrecomputePipeline::RunBsi(
                                               pair.second, date_lo, date_hi);
       });
   stats.cpu_seconds += prep_cpu;
+  if (!config_.snapshot_dir.empty() && stats.failed_pairs.empty()) {
+    // Daily-build handoff: publish the warehouse as a new snapshot version
+    // so serving clusters can cold-start from it. A batch with failed pairs
+    // must not publish -- a recovered-from snapshot missing pairs would be
+    // a silently stale warehouse.
+    const BsiStore store = BuildColdStore(*bsi_);
+    Result<SnapshotWriteStats> written =
+        SnapshotWriter::Write(store, config_.snapshot_dir);
+    if (written.ok()) {
+      stats.snapshot_written = true;
+      stats.snapshot_version = written.value().version;
+    } else {
+      stats.snapshot_error = written.status().message();
+    }
+  }
   return stats;
 }
 

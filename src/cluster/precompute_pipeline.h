@@ -31,6 +31,12 @@ struct PrecomputeConfig {
   // whose attempts are exhausted lands in PrecomputeStats::failed_pairs --
   // the batch keeps running, the failure is never silent.
   RetryPolicy retry;
+  // When non-empty, a fully successful RunBsi (no failed pairs) serializes
+  // the warehouse contents and commits a snapshot version into this
+  // directory (storage/snapshot.h), the paper's daily-build-then-serve
+  // handoff. Outcome lands in PrecomputeStats::snapshot_*; a batch with
+  // failed pairs never publishes.
+  std::string snapshot_dir;
 };
 
 // (strategy_id, metric_id).
@@ -47,6 +53,12 @@ struct PrecomputeStats {
   int retries = 0;
   double backoff_seconds = 0.0;  // simulated backoff, not part of wall time
   std::vector<StrategyMetricPair> failed_pairs;
+  // Snapshot publication (PrecomputeConfig::snapshot_dir). Written only by
+  // RunBsi and only when failed_pairs is empty; snapshot_error holds the
+  // write failure otherwise ("" = not attempted or succeeded).
+  bool snapshot_written = false;
+  uint64_t snapshot_version = 0;
+  std::string snapshot_error;
 };
 
 class PrecomputePipeline {

@@ -1,0 +1,31 @@
+#ifndef EXPBSI_COMMON_CRC32C_H_
+#define EXPBSI_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace expbsi {
+
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) -- the checksum used
+// by the snapshot format. Chosen over the fingerprint hash for on-disk
+// integrity because its error-detection properties are known: Hamming
+// distance >= 4 up to multi-KB payloads, so any 1-bit flip (and any burst up
+// to 32 bits) in a checksummed block is guaranteed to be caught, which is
+// exactly the contract the corrupt-bytes fuzzer asserts. Software
+// slicing-by-4 tables; no hardware instruction dependency.
+
+// CRC of `n` bytes starting from the standard initial state.
+uint32_t Crc32c(const void* data, size_t n);
+
+inline uint32_t Crc32c(std::string_view bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+// Continues a CRC computed by Crc32c / Crc32cExtend over a further `n`
+// bytes, as if the two ranges had been one contiguous buffer.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_CRC32C_H_

@@ -54,6 +54,20 @@ inline constexpr char kNodeSegment[] = "adhoc.node_segment";
 // pair_index * kPipelineAttemptStride + attempt so schedules are
 // independent of worker-thread interleaving. kFail/kCrash fail the attempt.
 inline constexpr char kPipelineTask[] = "pipeline.task";
+// Snapshot persistence (fileio::WriteFileAtomic callers). kSnapshotWrite is
+// evaluated once per file written: kFail aborts the write cleanly, kCrash
+// simulates a process kill mid-write (a deterministic prefix of the bytes is
+// left in the .tmp file, which is never renamed in), kCorrupt flips bits in
+// the written bytes so a *committed* file carries a block that fails its
+// CRC. kSnapshotRename is evaluated once per commit rename: kFail/kCrash
+// kill the process after the temp file is durable but before it is renamed
+// into place.
+inline constexpr char kSnapshotWrite[] = "snapshot.write";
+inline constexpr char kSnapshotRename[] = "snapshot.rename";
+// SnapshotReader, evaluated once per snapshot file read during recovery:
+// kFail makes the file unreadable (as if the sector were gone), kCorrupt
+// flips bits in the bytes read back (caught by the checksums).
+inline constexpr char kSnapshotRead[] = "snapshot.read";
 }  // namespace fault_sites
 
 inline constexpr uint64_t kPipelineAttemptStride = 64;

@@ -91,6 +91,9 @@ Result<ExposeBsi> ExposeBsi::Deserialize(std::string_view bytes) {
   Result<Bsi> bucket = ReadBsi(bytes, &cursor);
   if (!bucket.ok()) return bucket.status();
   out.bucket = std::move(bucket).value();
+  if (cursor != bytes.size()) {
+    return Status::Corruption("expose bsi: trailing bytes");
+  }
   return out;
 }
 
@@ -112,6 +115,33 @@ Result<MetricBsi> MetricBsi::Deserialize(std::string_view bytes) {
   Result<Bsi> value = ReadBsi(bytes, &cursor);
   if (!value.ok()) return value.status();
   out.value = std::move(value).value();
+  if (cursor != bytes.size()) {
+    return Status::Corruption("metric bsi: trailing bytes");
+  }
+  return out;
+}
+
+void DimensionBsi::Serialize(std::string* out) const {
+  PutU32(out, date);
+  PutU32(out, dimension_id);
+  PutBsi(out, value);
+}
+
+Result<DimensionBsi> DimensionBsi::Deserialize(std::string_view bytes) {
+  DimensionBsi out;
+  size_t cursor = 0;
+  uint32_t date = 0;
+  if (!ReadU32(bytes, &cursor, &date) ||
+      !ReadU32(bytes, &cursor, &out.dimension_id)) {
+    return Status::Corruption("dimension bsi: truncated header");
+  }
+  out.date = date;
+  Result<Bsi> value = ReadBsi(bytes, &cursor);
+  if (!value.ok()) return value.status();
+  out.value = std::move(value).value();
+  if (cursor != bytes.size()) {
+    return Status::Corruption("dimension bsi: trailing bytes");
+  }
   return out;
 }
 

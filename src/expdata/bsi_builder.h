@@ -60,6 +60,8 @@ struct DimensionBsi {
   Bsi value;
 
   size_t SizeInBytes() const { return value.SizeInBytes(); }
+  void Serialize(std::string* out) const;
+  static Result<DimensionBsi> Deserialize(std::string_view bytes);
 };
 
 // Builders: convert normal-format rows (already restricted to one segment

@@ -1116,8 +1116,16 @@ Result<Container> Container::Deserialize(const uint8_t** cursor,
         return Status::Corruption("container: truncated array");
       }
       c.array_.resize(n);
-      std::memcpy(c.array_.data(), *cursor, bytes);
+      if (bytes > 0) std::memcpy(c.array_.data(), *cursor, bytes);
       *cursor += bytes;
+      // The sorted-unique invariant is what every binary search and
+      // galloping intersect relies on; accepting an unsorted array would be
+      // a silently wrong decode, not a crash.
+      for (size_t i = 1; i < c.array_.size(); ++i) {
+        if (c.array_[i] <= c.array_[i - 1]) {
+          return Status::Corruption("container: array not sorted");
+        }
+      }
       c.cardinality_ = static_cast<int32_t>(n);
       break;
     }
@@ -1132,13 +1140,13 @@ Result<Container> Container::Deserialize(const uint8_t** cursor,
       std::memcpy(c.words_.data(), *cursor, bytes);
       *cursor += bytes;
       c.cardinality_ = static_cast<int32_t>(n);
-#ifndef NDEBUG
-      // Full popcount validation only in debug builds; the decode path is
-      // hot in the ad-hoc query engine.
+      // Unconditional: a wrong stored cardinality silently skews every
+      // count downstream, and the popcount pass is one linear sweep of the
+      // 8KB bitmap that branch-predicts perfectly -- cheap next to the
+      // memcpy above.
       if (BitmapCount(c.words_) != c.cardinality_) {
         return Status::Corruption("container: bitmap cardinality mismatch");
       }
-#endif
       break;
     }
     case ContainerType::kRun: {
@@ -1149,11 +1157,21 @@ Result<Container> Container::Deserialize(const uint8_t** cursor,
       }
       c.type_ = ContainerType::kRun;
       c.array_.resize(n * 2);
-      std::memcpy(c.array_.data(), *cursor, bytes);
+      if (bytes > 0) std::memcpy(c.array_.data(), *cursor, bytes);
       *cursor += bytes;
       int64_t card = 0;
+      int64_t prev_end = -1;  // runs must be ordered and non-overlapping
       for (size_t r = 0; r + 1 < c.array_.size(); r += 2) {
-        card += static_cast<int64_t>(c.array_[r + 1]) + 1;
+        const int64_t start = c.array_[r];
+        const int64_t len = c.array_[r + 1];
+        if (start <= prev_end) {
+          return Status::Corruption("container: runs out of order");
+        }
+        if (start + len > 65535) {
+          return Status::Corruption("container: run exceeds chunk");
+        }
+        prev_end = start + len;
+        card += len + 1;
       }
       if (card > 65536) return Status::Corruption("container: bad run card");
       c.cardinality_ = static_cast<int32_t>(card);

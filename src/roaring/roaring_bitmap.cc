@@ -452,6 +452,13 @@ Result<RoaringBitmap> RoaringBitmap::Deserialize(std::string_view bytes) {
   std::memcpy(&n, cursor, sizeof(n));
   cursor += sizeof(n);
   if (n > 65536) return Status::Corruption("roaring: too many containers");
+  // A container needs at least 7 bytes (key + type + count), so a count
+  // the remaining payload cannot hold is hostile; reject it before it
+  // sizes an allocation.
+  constexpr size_t kMinContainerBytes = 2 + 1 + 4;
+  if ((bytes.size() - sizeof(uint32_t)) / kMinContainerBytes < n) {
+    return Status::Corruption("roaring: container count exceeds payload");
+  }
   RoaringBitmap bm;
   bm.entries_.reserve(n);
   uint32_t prev_key = 0;
@@ -470,6 +477,9 @@ Result<RoaringBitmap> RoaringBitmap::Deserialize(std::string_view bytes) {
     if (!c.ok()) return c.status();
     bm.entries_.push_back(Entry{key, std::move(c).value()});
   }
+  // Exactly n containers and nothing else: trailing bytes mean the blob was
+  // extended or the count shrunk -- either way, not what was serialized.
+  if (cursor != end) return Status::Corruption("roaring: trailing bytes");
   return bm;
 }
 

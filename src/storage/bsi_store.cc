@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/fault_injector.h"
+#include "common/file_io.h"
 #include "common/hash.h"
 
 namespace expbsi {
@@ -70,6 +71,25 @@ void BsiStore::Put(const BsiStoreKey& key, std::string bytes) {
   blobs_.emplace(key, Entry{std::move(bytes), fingerprint});
 }
 
+void BsiStore::PutRecovered(const BsiStoreKey& key, std::string bytes,
+                            uint64_t fingerprint) {
+  auto it = blobs_.find(key);
+  if (it != blobs_.end()) {
+    total_bytes_ -= it->second.bytes.size();
+    total_bytes_ += bytes.size();
+    it->second = Entry{std::move(bytes), fingerprint, /*recovered=*/true};
+    return;
+  }
+  total_bytes_ += bytes.size();
+  blobs_.emplace(key, Entry{std::move(bytes), fingerprint,
+                            /*recovered=*/true});
+}
+
+bool BsiStore::WasRecovered(const BsiStoreKey& key) const {
+  auto it = blobs_.find(key);
+  return it != blobs_.end() && it->second.recovered;
+}
+
 bool BsiStore::Contains(const BsiStoreKey& key) const {
   return blobs_.find(key) != blobs_.end();
 }
@@ -126,6 +146,10 @@ Status BsiStore::SaveToFile(const std::string& path) const {
 }
 
 Result<BsiStore> BsiStore::LoadFromFile(const std::string& path) {
+  Result<uint64_t> file_size = fileio::FileSizeOf(path);
+  if (!file_size.ok()) {
+    return Status::NotFound("bsi store: cannot open " + path);
+  }
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::NotFound("bsi store: cannot open " + path);
@@ -139,6 +163,14 @@ Result<BsiStore> BsiStore::LoadFromFile(const std::string& path) {
   if (magic != kStoreMagic) {
     return Status::Corruption("bsi store: bad magic");
   }
+  // Every allocation below is bounded by what the file can actually hold:
+  // a hostile count / len header fails here instead of driving a huge
+  // resize.
+  constexpr uint64_t kRecordHeaderBytes = 2 + 1 + 8 + 4 + 4;
+  uint64_t remaining = file_size.value() - sizeof(magic) - sizeof(count);
+  if (count > remaining / kRecordHeaderBytes) {
+    return Status::Corruption("bsi store: blob count exceeds file size");
+  }
   BsiStore store;
   for (uint64_t i = 0; i < count; ++i) {
     BsiStoreKey key;
@@ -151,12 +183,17 @@ Result<BsiStore> BsiStore::LoadFromFile(const std::string& path) {
         !ReadBytes(file.get(), &len, sizeof(len))) {
       return Status::Corruption("bsi store: truncated record header");
     }
+    remaining -= kRecordHeaderBytes;
     if (kind > 2) return Status::Corruption("bsi store: bad kind byte");
     key.kind = static_cast<BsiKind>(kind);
+    if (len > remaining) {
+      return Status::Corruption("bsi store: blob length exceeds file size");
+    }
     std::string bytes(len, '\0');
     if (!ReadBytes(file.get(), bytes.data(), len)) {
       return Status::Corruption("bsi store: truncated blob body");
     }
+    remaining -= len;
     store.Put(key, std::move(bytes));
   }
   return store;

@@ -38,6 +38,8 @@ struct BsiStoreKeyHash {
   size_t operator()(const BsiStoreKey& k) const;
 };
 
+struct RecoveryReport;  // see storage/snapshot.h
+
 // In-memory stand-in for the "distributed data warehouse system" of Fig. 7:
 // a keyed blob store holding serialized BSI representations. The ad-hoc
 // cluster's cold tier reads from here (with simulated network accounting in
@@ -53,6 +55,15 @@ class BsiStore {
 
   // Stores `bytes` under `key`, replacing any previous blob.
   void Put(const BsiStoreKey& key, std::string bytes);
+
+  // Put for the recovery path: the blob arrived from disk rather than from
+  // a builder, so it keeps the fingerprint recorded before the crash and is
+  // flagged so TieredStore re-verifies it unconditionally on first fetch.
+  void PutRecovered(const BsiStoreKey& key, std::string bytes,
+                    uint64_t fingerprint);
+
+  // True iff the blob was loaded by Recover() rather than built in-process.
+  bool WasRecovered(const BsiStoreKey& key) const;
 
   bool Contains(const BsiStoreKey& key) const;
 
@@ -73,16 +84,34 @@ class BsiStore {
   Status SaveToFile(const std::string& path) const;
   static Result<BsiStore> LoadFromFile(const std::string& path);
 
+  // Rebuilds a store from the newest valid snapshot manifest in `dir`
+  // (written by SnapshotWriter, storage/snapshot.h). Torn, truncated or
+  // bitflipped segment files are quarantined and reported in `report`
+  // (never silently absent); only a missing/unusable snapshot directory or
+  // the absence of any valid manifest fails the whole recovery.
+  static Result<BsiStore> Recover(const std::string& dir,
+                                  RecoveryReport* report = nullptr);
+
   // Invokes fn(key, bytes) for every stored blob (unspecified order).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const auto& [key, entry] : blobs_) fn(key, entry.bytes);
   }
 
+  // Metadata walk: fn(key, bytes, fingerprint). The snapshot writer uses
+  // this to carry the Put-time fingerprint through to disk.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [key, entry] : blobs_) {
+      fn(key, entry.bytes, entry.fingerprint);
+    }
+  }
+
  private:
   struct Entry {
     std::string bytes;
     uint64_t fingerprint = 0;
+    bool recovered = false;
   };
 
   std::unordered_map<BsiStoreKey, Entry, BsiStoreKeyHash> blobs_;

@@ -1,0 +1,107 @@
+#ifndef EXPBSI_STORAGE_SNAPSHOT_H_
+#define EXPBSI_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/bsi_store.h"
+
+namespace expbsi {
+
+// Crash-consistent persistence for the BSI warehouse (DESIGN.md §6).
+//
+// A snapshot of a BsiStore is a directory of per-segment files plus a
+// versioned manifest:
+//
+//   seg-<segment>-<version>.snap   one file per warehouse segment
+//   MANIFEST-<version>             the commit record for that version
+//
+// Every file is published with write-temp -> fsync -> atomic-rename
+// (fileio::WriteFileAtomic), and a version is LIVE only once its manifest
+// rename lands -- a kill at any byte offset leaves either the previous
+// snapshot or the new one fully intact, never a torn mix. Recovery scans
+// manifests newest-first and takes the first one that validates; segment
+// files are checked block by block (CRC32C + the Put-time BlobFingerprint),
+// and a bad file is quarantined and *reported*, never silently dropped.
+
+// Everything Recover() observed, in the style of QueryStats::DegradedInfo:
+// losses are explicit, enumerated and classified.
+struct RecoveryReport {
+  // Version of the manifest recovery loaded from (0 = none found).
+  uint64_t manifest_version = 0;
+  // Newer manifests that existed but failed validation (torn commit of a
+  // later version; recovery fell back past them).
+  uint32_t manifests_skipped = 0;
+  // Segments loaded intact, and segments whose file was missing/corrupt.
+  // Both sorted and unique; their union is the manifest's segment list.
+  std::vector<uint16_t> segments_recovered;
+  std::vector<uint16_t> lost_segments;
+  // Files renamed to <name>.quarantine for offline inspection.
+  std::vector<std::string> quarantined_files;
+  // One classified line per validation failure (taxonomy: truncated /
+  // torn / bitflip / version-mismatch / fingerprint mismatch).
+  std::vector<std::string> errors;
+  uint64_t blobs_recovered = 0;
+  uint64_t bytes_recovered = 0;
+
+  bool fully_recovered() const { return lost_segments.empty(); }
+};
+
+struct SnapshotWriteStats {
+  uint64_t version = 0;
+  uint32_t segment_files = 0;
+  uint64_t bytes_written = 0;
+  // Files of expired versions removed after the commit (best effort).
+  uint32_t gc_removed = 0;
+};
+
+class SnapshotWriter {
+ public:
+  // Writes a new snapshot version of `store` into `dir` (created if
+  // missing). On success the new version is durably committed and all but
+  // the immediately preceding version is garbage-collected. On failure the
+  // previously committed snapshot is untouched (at most stale .tmp /
+  // uncommitted files remain, which recovery ignores and the next
+  // successful Write cleans up).
+  static Result<SnapshotWriteStats> Write(const BsiStore& store,
+                                          const std::string& dir);
+};
+
+class SnapshotReader {
+ public:
+  // Rebuilds a store from the newest valid manifest in `dir`. See
+  // BsiStore::Recover (which delegates here) for the contract. `report`
+  // may be nullptr.
+  static Result<BsiStore> Recover(const std::string& dir,
+                                  RecoveryReport* report);
+
+  // Versions that have a manifest file in `dir`, ascending. Purely
+  // name-based (no validation); empty when the directory is missing.
+  static std::vector<uint64_t> ListManifestVersions(const std::string& dir);
+};
+
+// Format constants, exposed for tests and the fuzz harness.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSegmentFileMagic = 0x45425353;   // "EBSS"
+inline constexpr uint32_t kManifestFileMagic = 0x4542534D;  // "EBSM"
+// Per-record header inside a segment file:
+// [segment u16][kind u8][id u64][date u32][len u32][fingerprint u64].
+inline constexpr size_t kSnapshotRecordHeaderBytes = 2 + 1 + 8 + 4 + 4 + 8;
+// Segment-file header: [magic u32][format u32][segment u16][version u64]
+// [blob count u64].
+inline constexpr size_t kSegmentFileHeaderBytes = 4 + 4 + 2 + 8 + 8;
+// Read caps: a snapshot file larger than this is refused before any
+// allocation sized from its metadata.
+inline constexpr uint64_t kMaxSegmentFileBytes = 1ull << 30;
+inline constexpr uint64_t kMaxManifestBytes = 16ull << 20;
+
+// File-name helpers (version rendered as 16 hex digits so lexicographic
+// order matches numeric order).
+std::string SnapshotManifestName(uint64_t version);
+std::string SnapshotSegmentFileName(uint16_t segment, uint64_t version);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_STORAGE_SNAPSHOT_H_

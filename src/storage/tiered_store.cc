@@ -50,7 +50,9 @@ Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
     fi->CorruptBlob(stats_.cold_reads, corrupted.get());
     const Result<uint64_t> want = cold_->Fingerprint(key);
     if (!want.ok()) return want.status();
+    ++stats_.fingerprint_verifications;
     if (BlobFingerprint(*corrupted) != want.value()) {
+      ++stats_.fingerprint_mismatches;
       return Status::Corruption(
           "tiered store: transfer fingerprint mismatch");
     }
@@ -79,14 +81,20 @@ Result<std::shared_ptr<const std::string>> TieredStore::LoadFromCold(
   if (!cold_blob.ok()) return cold_blob.status();
   auto blob = std::make_shared<const std::string>(*cold_blob.value());
   // Integrity gate: the copy entering the tier must match the fingerprint
-  // the warehouse recorded at Put time. The in-process warehouse cannot
-  // corrupt a transfer spontaneously, so the per-byte hash runs only under
-  // an installed injector -- an uninstrumented run stays at one atomic
-  // load per fetch.
-  if (FaultInjector::Get() != nullptr) {
+  // the warehouse recorded at Put time. An in-process warehouse built this
+  // run cannot corrupt a transfer spontaneously, so for those blobs the
+  // per-byte hash runs only under an installed injector -- an
+  // uninstrumented run stays at one atomic load per fetch. Blobs that came
+  // back from disk via Recover() ARE verified unconditionally: they crossed
+  // a crash boundary, and the Put-time fingerprint carried through the
+  // snapshot is the end-to-end check that recovery handed back the exact
+  // pre-crash bytes.
+  if (FaultInjector::Get() != nullptr || cold_->WasRecovered(key)) {
     const Result<uint64_t> want = cold_->Fingerprint(key);
     if (!want.ok()) return want.status();
+    ++stats_.fingerprint_verifications;
     if (BlobFingerprint(*blob) != want.value()) {
+      ++stats_.fingerprint_mismatches;
       return Status::Corruption(
           "tiered store: transfer fingerprint mismatch");
     }

@@ -34,6 +34,11 @@ class TieredStore {
     // observed at this tier, and simulated latency added by kDelay faults.
     uint64_t injected_faults = 0;
     double injected_delay_seconds = 0.0;
+    // Integrity gate: fingerprint checks run on cold copies (always for
+    // recovery-loaded blobs, and for every copy under an installed
+    // injector) and mismatches surfaced as Status::Corruption.
+    uint64_t fingerprint_verifications = 0;
+    uint64_t fingerprint_mismatches = 0;
   };
 
   // `cold` must outlive this object. hot_capacity_bytes bounds the hot tier.

@@ -26,6 +26,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <tuple>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -36,12 +37,15 @@
 #include "cluster/adhoc_cluster.h"
 #include "cluster/precompute_pipeline.h"
 #include "common/fault_injector.h"
+#include "common/file_io.h"
 #include "common/rng.h"
 #include "engine/experiment_data.h"
 #include "engine/scorecard.h"
 #include "expdata/generator.h"
 #include "reference/ref_data.h"
 #include "reference/ref_engine.h"
+#include "storage/bsi_store.h"
+#include "storage/snapshot.h"
 #include "tests/property_gen.h"
 
 namespace expbsi {
@@ -608,6 +612,344 @@ TEST(FaultInjectorTest, FingerprintDetectsEveryInjectedCorruption) {
       EXPECT_NE(BlobFingerprint(corrupted), clean) << "iter " << iter;
     }
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Snapshot kill-recovery chaos (DESIGN.md §6). The property under test: a
+// snapshot commit killed or corrupted at ANY step leaves the directory in a
+// state where recovery returns either the previous version or the new one
+// -- surviving segments bit-identical to that version, lost segments
+// enumerated, never a torn mix and never a silent zero.
+// ---------------------------------------------------------------------------
+
+std::string SnapCtx(uint64_t seed, const std::string& what) {
+  return what + " (reproduce: EXPBSI_CHAOS_SEED=" + std::to_string(seed) +
+         " ./build/tests/expbsi_tests"
+         " --gtest_filter='SnapshotChaosTest.*')";
+}
+
+// Fresh, emptied scratch directory (snapshot files persist across runs in
+// the test tmp root otherwise).
+std::string SnapshotChaosDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "expbsi_chaos_" + name;
+  EXPECT_TRUE(fileio::CreateDirIfMissing(dir).ok());
+  const Result<std::vector<std::string>> listing1 = fileio::ListDir(dir);
+  EXPECT_TRUE(listing1.ok());
+  if (listing1.ok()) {
+    for (const std::string& entry : listing1.value()) {
+      EXPECT_TRUE(fileio::RemoveFileIfExists(dir + "/" + entry).ok());
+    }
+  }
+  return dir;
+}
+
+// Opaque deterministic blobs; the snapshot layer never looks inside them.
+BsiStore MakeChaosStore(uint64_t seed, int num_segments) {
+  Rng rng(seed);
+  BsiStore store;
+  for (int seg = 0; seg < num_segments; ++seg) {
+    const int blobs = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int b = 0; b < blobs; ++b) {
+      std::string bytes(1 + rng.NextBounded(500), '\0');
+      for (char& c : bytes) c = static_cast<char>(rng.Next() & 0xff);
+      BsiStoreKey key;
+      key.segment = static_cast<uint16_t>(seg);
+      key.kind = static_cast<BsiKind>(b % 3);
+      key.id = 50 + b;
+      key.date = static_cast<uint32_t>(b);
+      store.Put(key, std::move(bytes));
+    }
+  }
+  return store;
+}
+
+using SnapBlobKey = std::tuple<uint16_t, uint8_t, uint64_t, uint32_t>;
+
+std::map<SnapBlobKey, std::string> SnapContentsOf(const BsiStore& store) {
+  std::map<SnapBlobKey, std::string> out;
+  store.ForEach([&](const BsiStoreKey& key, const std::string& bytes) {
+    out[{key.segment, static_cast<uint8_t>(key.kind), key.id, key.date}] =
+        bytes;
+  });
+  return out;
+}
+
+// The core invariant: `recovered` against the version the manifest says was
+// loaded. Surviving segments bit-identical, lost enumerated, nothing else.
+void ExpectRecoveredConsistent(const BsiStore& recovered,
+                               const RecoveryReport& report,
+                               const BsiStore& expected,
+                               const std::string& ctx) {
+  const std::map<SnapBlobKey, std::string> want = SnapContentsOf(expected);
+  const std::map<SnapBlobKey, std::string> got = SnapContentsOf(recovered);
+  const std::set<uint16_t> lost(report.lost_segments.begin(),
+                                report.lost_segments.end());
+  const std::set<uint16_t> ok_segs(report.segments_recovered.begin(),
+                                   report.segments_recovered.end());
+  EXPECT_EQ(lost.size(), report.lost_segments.size())
+      << ctx << " duplicate lost segment";
+  for (uint16_t seg : lost) {
+    EXPECT_EQ(ok_segs.count(seg), 0u)
+        << ctx << " segment " << seg << " both lost and recovered";
+  }
+  std::set<uint16_t> expected_segments;
+  for (const auto& [k, v] : want) expected_segments.insert(std::get<0>(k));
+  std::set<uint16_t> reported;
+  reported.insert(lost.begin(), lost.end());
+  reported.insert(ok_segs.begin(), ok_segs.end());
+  EXPECT_EQ(reported, expected_segments)
+      << ctx << " lost+recovered does not partition the manifest segments";
+  size_t live_blobs = 0;
+  for (const auto& [k, v] : want) {
+    const uint16_t seg = std::get<0>(k);
+    const auto it = got.find(k);
+    if (lost.count(seg) > 0) {
+      EXPECT_EQ(it, got.end()) << ctx << " lost segment leaked a blob";
+    } else {
+      ++live_blobs;
+      ASSERT_NE(it, got.end())
+          << ctx << " segment " << seg << " silently dropped a blob";
+      EXPECT_EQ(it->second, v)
+          << ctx << " recovered blob diverged from the committed version";
+    }
+  }
+  EXPECT_EQ(got.size(), live_blobs)
+      << ctx << " recovered store holds blobs from no committed version";
+}
+
+// One seeded iteration: commit v1 clean, attempt v2 under a generated
+// snapshot fault schedule, recover under the same injector (read faults
+// fire here), then check the invariant against whichever version the
+// manifest selected.
+void RunSnapshotChaosIteration(uint64_t seed, const std::string& dir) {
+  Rng rng(seed);
+  const int v1_segments = 1 + static_cast<int>(rng.NextBounded(3));
+  const BsiStore v1 = MakeChaosStore(rng.Next(), v1_segments);
+  ASSERT_TRUE(SnapshotWriter::Write(v1, dir).ok());
+
+  const int v2_segments =
+      v1_segments + (rng.NextBernoulli(0.3) ? 1 : 0);
+  const BsiStore v2 = MakeChaosStore(rng.Next(), v2_segments);
+  const propgen::FaultSchedule schedule = propgen::GenSnapshotFaultSchedule(
+      rng, static_cast<uint64_t>(v2_segments) + 1);
+
+  FaultInjector injector(schedule.injector_seed);
+  schedule.ApplyTo(&injector);
+  Status write_status = Status::OK();
+  Result<BsiStore> recovered(Status::Unavailable("not run"));
+  RecoveryReport report;
+  {
+    ScopedFaultInjection scoped(&injector);
+    const Result<SnapshotWriteStats> written =
+        SnapshotWriter::Write(v2, dir);
+    write_status = written.status();
+    recovered = BsiStore::Recover(dir, &report);
+  }
+  const std::string ctx = SnapCtx(seed, "snapshot chaos");
+  // v1's manifest was committed fault-free and manifest reads are never
+  // injected, so recovery always has a floor to land on.
+  ASSERT_TRUE(recovered.ok()) << ctx << ": "
+                              << recovered.status().ToString();
+  ASSERT_TRUE(report.manifest_version == 1 || report.manifest_version == 2)
+      << ctx << " manifest version " << report.manifest_version;
+  if (!write_status.ok()) {
+    EXPECT_EQ(report.manifest_version, 1u)
+        << ctx << " failed commit must not be visible";
+  }
+  const BsiStore& expected = report.manifest_version == 2 ? v2 : v1;
+  ExpectRecoveredConsistent(recovered.value(), report, expected, ctx);
+  if (ChaosLogEnabled()) {
+    std::fprintf(
+        stderr,
+        "[snapchaos] seed=%llu write_ok=%d version=%llu lost=%d skipped=%u "
+        "injected=%llu\n",
+        static_cast<unsigned long long>(seed),
+        write_status.ok() ? 1 : 0,
+        static_cast<unsigned long long>(report.manifest_version),
+        static_cast<int>(report.lost_segments.size()),
+        report.manifests_skipped,
+        static_cast<unsigned long long>(injector.stats().any()));
+  }
+}
+
+std::vector<uint64_t> SnapshotSeedSchedule(uint64_t base) {
+  if (const char* env = std::getenv("EXPBSI_CHAOS_SEED")) {
+    return {static_cast<uint64_t>(std::strtoull(env, nullptr, 0))};
+  }
+  std::vector<uint64_t> seeds;
+#ifdef EXPBSI_CORPUS_DIR
+  std::ifstream in(std::string(EXPBSI_CORPUS_DIR) + "/snapshot_seeds.txt");
+  EXPECT_TRUE(in.good()) << "missing corpus file " << EXPBSI_CORPUS_DIR
+                         << "/snapshot_seeds.txt";
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    uint64_t seed;
+    if (ls >> seed) seeds.push_back(seed);
+  }
+  EXPECT_GE(seeds.size(), 4u) << "snapshot chaos corpus unexpectedly small";
+#endif
+  uint64_t x = base;
+  for (int i = 0, n = ExploreIters(); i < n; ++i) {
+    x = Splitmix(x);
+    seeds.push_back(x);
+  }
+  return seeds;
+}
+
+TEST(SnapshotChaosTest, SurvivesSeededKillSchedules) {
+  const std::string dir = SnapshotChaosDir("seeded");
+  for (uint64_t seed : SnapshotSeedSchedule(0x5A4B111ull)) {
+    // Fresh directory per iteration: stale committed versions from the
+    // previous seed would shift version numbers.
+    const Result<std::vector<std::string>> listing2 = fileio::ListDir(dir);
+    ASSERT_TRUE(listing2.ok());
+    for (const std::string& entry : listing2.value()) {
+      ASSERT_TRUE(fileio::RemoveFileIfExists(dir + "/" + entry).ok());
+    }
+    RunSnapshotChaosIteration(seed, dir);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Exhaustive deterministic sweep: one-shot kill at EVERY write and rename
+// step of the commit. Before the manifest rename lands the old version must
+// recover exactly; a clean retry must then commit the new version with no
+// residue from the killed attempt.
+TEST(SnapshotChaosTest, KillSweepMidCommitNeverTearsASnapshot) {
+  constexpr int kSegments = 3;
+  const BsiStore v1 = MakeChaosStore(101, kSegments);
+  const BsiStore v2 = MakeChaosStore(202, kSegments);
+  const char* sites[] = {fault_sites::kSnapshotWrite,
+                         fault_sites::kSnapshotRename};
+  for (const char* site : sites) {
+    // kSegments segment files + the manifest = kSegments + 1 ops per site.
+    for (uint64_t k = 0; k <= kSegments; ++k) {
+      const std::string ctx = std::string("kill at ") + site + " op " +
+                              std::to_string(k);
+      const std::string dir = SnapshotChaosDir("kill_sweep");
+      ASSERT_TRUE(SnapshotWriter::Write(v1, dir).ok()) << ctx;
+      {
+        FaultInjector injector(7);
+        injector.ScheduleFault(site, k, FaultKind::kCrash);
+        ScopedFaultInjection scoped(&injector);
+        EXPECT_FALSE(SnapshotWriter::Write(v2, dir).ok()) << ctx;
+      }
+      RecoveryReport report;
+      Result<BsiStore> recovered = BsiStore::Recover(dir, &report);
+      ASSERT_TRUE(recovered.ok()) << ctx;
+      EXPECT_EQ(report.manifest_version, 1u) << ctx;
+      EXPECT_TRUE(report.fully_recovered()) << ctx;
+      ExpectRecoveredConsistent(recovered.value(), report, v1, ctx);
+
+      // Clean retry: the killed attempt's residue must not block or taint
+      // the next commit.
+      ASSERT_TRUE(SnapshotWriter::Write(v2, dir).ok()) << ctx;
+      report = RecoveryReport();
+      recovered = BsiStore::Recover(dir, &report);
+      ASSERT_TRUE(recovered.ok()) << ctx;
+      EXPECT_EQ(report.manifest_version, 2u) << ctx;
+      EXPECT_TRUE(report.fully_recovered()) << ctx;
+      ExpectRecoveredConsistent(recovered.value(), report, v2,
+                                ctx + " after retry");
+      const Result<std::vector<std::string>> listing3 = fileio::ListDir(dir);
+      ASSERT_TRUE(listing3.ok());
+      for (const std::string& name : listing3.value()) {
+        EXPECT_EQ(name.find(".tmp"), std::string::npos)
+            << ctx << " stale temp file " << name << " survived the commit";
+      }
+    }
+  }
+}
+
+// A kill right before the manifest rename: the new version's manifest is
+// durable as a .tmp, which must never count as a commit.
+TEST(SnapshotChaosTest, RecoverAfterTornManifestFallsBack) {
+  constexpr int kSegments = 2;
+  const std::string dir = SnapshotChaosDir("torn_manifest");
+  const BsiStore v1 = MakeChaosStore(301, kSegments);
+  const BsiStore v2 = MakeChaosStore(302, kSegments);
+  ASSERT_TRUE(SnapshotWriter::Write(v1, dir).ok());
+  {
+    FaultInjector injector(9);
+    // Crash on the write of the manifest itself (op kSegments): its .tmp
+    // holds a torn prefix.
+    injector.ScheduleFault(fault_sites::kSnapshotWrite, kSegments,
+                           FaultKind::kCrash);
+    ScopedFaultInjection scoped(&injector);
+    EXPECT_FALSE(SnapshotWriter::Write(v2, dir).ok());
+  }
+  RecoveryReport report;
+  const Result<BsiStore> recovered = BsiStore::Recover(dir, &report);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(report.manifest_version, 1u);
+  EXPECT_EQ(report.manifests_skipped, 0u);  // a .tmp is not a candidate
+  ExpectRecoveredConsistent(recovered.value(), report, v1, "torn manifest");
+}
+
+// A kill mid-way through a segment file write: v2's partial bytes exist
+// only as a .tmp; v1 recovers untouched.
+TEST(SnapshotChaosTest, RecoverAfterPartialSegmentFile) {
+  constexpr int kSegments = 2;
+  const std::string dir = SnapshotChaosDir("partial_segment");
+  const BsiStore v1 = MakeChaosStore(401, kSegments);
+  const BsiStore v2 = MakeChaosStore(402, kSegments);
+  ASSERT_TRUE(SnapshotWriter::Write(v1, dir).ok());
+  {
+    FaultInjector injector(13);
+    injector.ScheduleFault(fault_sites::kSnapshotWrite, 0,
+                           FaultKind::kCrash);
+    ScopedFaultInjection scoped(&injector);
+    EXPECT_FALSE(SnapshotWriter::Write(v2, dir).ok());
+  }
+  // The torn prefix is on disk (as .tmp), proving the kill really happened
+  // mid-write rather than before it.
+  bool saw_tmp = false;
+  const Result<std::vector<std::string>> listing4 = fileio::ListDir(dir);
+  ASSERT_TRUE(listing4.ok());
+  for (const std::string& name : listing4.value()) {
+    if (name.find(".tmp") != std::string::npos) saw_tmp = true;
+  }
+  EXPECT_TRUE(saw_tmp);
+  RecoveryReport report;
+  const Result<BsiStore> recovered = BsiStore::Recover(dir, &report);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(report.manifest_version, 1u);
+  EXPECT_TRUE(report.fully_recovered());
+  ExpectRecoveredConsistent(recovered.value(), report, v1,
+                            "partial segment");
+}
+
+// Bits flipped in a segment file while it was being written, with the
+// commit still landing: the block checksums catch it at recovery, the
+// segment is quarantined and enumerated, the rest of v2 serves.
+TEST(SnapshotChaosTest, RecoverAfterBitflippedBlockQuarantines) {
+  constexpr int kSegments = 3;
+  const std::string dir = SnapshotChaosDir("bitflipped_block");
+  const BsiStore v1 = MakeChaosStore(501, kSegments);
+  const BsiStore v2 = MakeChaosStore(502, kSegments);
+  ASSERT_TRUE(SnapshotWriter::Write(v1, dir).ok());
+  {
+    FaultInjector injector(17);
+    injector.ScheduleFault(fault_sites::kSnapshotWrite, 1,
+                           FaultKind::kCorrupt);
+    ScopedFaultInjection scoped(&injector);
+    // The corruption is silent at write time -- exactly the failure mode
+    // the read-side checksums exist for.
+    ASSERT_TRUE(SnapshotWriter::Write(v2, dir).ok());
+  }
+  RecoveryReport report;
+  const Result<BsiStore> recovered = BsiStore::Recover(dir, &report);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(report.manifest_version, 2u);
+  EXPECT_EQ(report.lost_segments, (std::vector<uint16_t>{1}));
+  EXPECT_FALSE(report.quarantined_files.empty());
+  ASSERT_FALSE(report.errors.empty());
+  ExpectRecoveredConsistent(recovered.value(), report, v2,
+                            "bitflipped block");
 }
 
 }  // namespace

@@ -1,0 +1,553 @@
+// Corrupt-bytes fuzz harness for every byte-decoding path in the codebase
+// (docs/TESTING.md "Decode fuzzing"): Container::Deserialize,
+// RoaringBitmap::Deserialize, Bsi::Deserialize, and the snapshot reader.
+// Each iteration serializes a clean object, applies one seeded mutation
+// (truncation, 1-8 bitflips, a garbage window, pure garbage, or appended
+// bytes) and replays the decoder. The contract:
+//
+//   (a) no crash, hang or sanitizer report (CI runs this under ASan);
+//   (b) no allocation sized from untrusted metadata -- hostile counts are
+//       rejected against the remaining bytes BEFORE any resize (the CI ASan
+//       leg enforces this mechanically with max_allocation_size_mb);
+//   (c) no silent wrong accept: anything a raw decoder accepts must be
+//       self-consistent (it re-serializes and re-decodes to an equal
+//       object), and the *checksummed* snapshot layer must never present a
+//       mutated file's segment as recovered -- surviving segments are bit
+//       identical, everything else is enumerated as lost.
+//
+// Reproduction knobs, same style as the chaos suite:
+//   EXPBSI_FUZZ_SEED=<seed>   replay exactly one iteration per path
+//   EXPBSI_FUZZ_ITERS=<n>     iterations per path (default 150; the CI
+//                             persistence job runs 2500 per path = 10k)
+//
+// Known-nasty blobs live in tests/corpus/malformed_blobs.txt and are
+// replayed before the random exploration.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bsi/bsi.h"
+#include "common/file_io.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "roaring/container.h"
+#include "roaring/roaring_bitmap.h"
+#include "storage/bsi_store.h"
+#include "storage/snapshot.h"
+
+namespace expbsi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed schedule and mutators
+// ---------------------------------------------------------------------------
+
+uint64_t Splitmix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+int FuzzIters() {
+  if (const char* env = std::getenv("EXPBSI_FUZZ_ITERS")) {
+    return static_cast<int>(std::strtol(env, nullptr, 0));
+  }
+  return 150;
+}
+
+std::vector<uint64_t> FuzzSeedSchedule(uint64_t base) {
+  if (const char* env = std::getenv("EXPBSI_FUZZ_SEED")) {
+    return {static_cast<uint64_t>(std::strtoull(env, nullptr, 0))};
+  }
+  std::vector<uint64_t> seeds;
+  uint64_t x = base;
+  for (int i = 0, n = FuzzIters(); i < n; ++i) {
+    x = Splitmix(x);
+    seeds.push_back(x);
+  }
+  return seeds;
+}
+
+std::string Ctx(uint64_t seed, const std::string& what) {
+  return what + " (reproduce: EXPBSI_FUZZ_SEED=" + std::to_string(seed) +
+         " ./build/tests/expbsi_tests"
+         " --gtest_filter='DecodeFuzzTest.*')";
+}
+
+enum class MutationKind {
+  kTruncate,
+  kBitflips,
+  kGarbageWindow,
+  kPureGarbage,
+  kExtend,
+};
+
+// One seeded mutation of `clean`. kBitflips always changes the bytes; the
+// others can degenerate into a no-op (e.g. truncating at full length), which
+// callers detect by comparing against `clean`.
+std::string Mutate(Rng& rng, const std::string& clean, MutationKind kind) {
+  std::string out = clean;
+  switch (kind) {
+    case MutationKind::kTruncate:
+      out = out.substr(0, rng.NextBounded(out.size() + 1));
+      break;
+    case MutationKind::kBitflips: {
+      if (out.empty()) {
+        out.push_back('\x01');
+        break;
+      }
+      const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+      for (int i = 0; i < flips; ++i) {
+        const size_t bit = rng.NextBounded(out.size() * 8);
+        out[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+      }
+      break;
+    }
+    case MutationKind::kGarbageWindow: {
+      if (out.empty()) break;
+      const size_t start = rng.NextBounded(out.size());
+      const size_t len =
+          std::min(out.size() - start, 1 + rng.NextBounded(32));
+      for (size_t i = 0; i < len; ++i) {
+        out[start + i] = static_cast<char>(rng.Next() & 0xff);
+      }
+      break;
+    }
+    case MutationKind::kPureGarbage: {
+      out.resize(rng.NextBounded(600));
+      for (char& c : out) c = static_cast<char>(rng.Next() & 0xff);
+      break;
+    }
+    case MutationKind::kExtend: {
+      const size_t extra = 1 + rng.NextBounded(64);
+      for (size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<char>(rng.Next() & 0xff));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+MutationKind RandomMutation(Rng& rng) {
+  return static_cast<MutationKind>(rng.NextBounded(5));
+}
+
+// ---------------------------------------------------------------------------
+// Clean-object builders
+// ---------------------------------------------------------------------------
+
+Container RandomContainer(Rng& rng) {
+  std::vector<uint16_t> values;
+  switch (rng.NextBounded(4)) {
+    case 0: {  // sparse array
+      std::set<uint16_t> s;
+      const int n = static_cast<int>(rng.NextBounded(200));
+      for (int i = 0; i < n; ++i) {
+        s.insert(static_cast<uint16_t>(rng.NextBounded(65536)));
+      }
+      values.assign(s.begin(), s.end());
+      break;
+    }
+    case 1: {  // dense -> bitmap
+      std::set<uint16_t> s;
+      for (int i = 0; i < 6000; ++i) {
+        s.insert(static_cast<uint16_t>(rng.NextBounded(65536)));
+      }
+      values.assign(s.begin(), s.end());
+      break;
+    }
+    case 2: {  // runs
+      uint32_t v = rng.NextBounded(100);
+      while (v < 65500 && values.size() < 5000) {
+        const uint32_t len = 1 + rng.NextBounded(50);
+        for (uint32_t i = 0; i < len && v + i < 65536; ++i) {
+          values.push_back(static_cast<uint16_t>(v + i));
+        }
+        v += len + 1 + static_cast<uint32_t>(rng.NextBounded(200));
+      }
+      break;
+    }
+    default:  // empty / tiny
+      if (rng.NextBernoulli(0.5)) {
+        values.push_back(static_cast<uint16_t>(rng.NextBounded(65536)));
+      }
+      break;
+  }
+  Container c = Container::FromSorted(values.data(),
+                                      static_cast<int>(values.size()));
+  if (rng.NextBernoulli(0.5)) c.RunOptimize();
+  return c;
+}
+
+RoaringBitmap RandomBitmap(Rng& rng) {
+  RoaringBitmap bm;
+  const int n = static_cast<int>(rng.NextBounded(3000));
+  for (int i = 0; i < n; ++i) {
+    bm.Add(static_cast<uint32_t>(rng.NextBounded(1u << 22)));
+  }
+  if (rng.NextBernoulli(0.4)) {
+    const uint32_t start = rng.NextBounded(1u << 20);
+    bm.AddRange(start, start + rng.NextBounded(20000));
+  }
+  if (rng.NextBernoulli(0.5)) bm.RunOptimize();
+  return bm;
+}
+
+Bsi RandomBsi(Rng& rng) {
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;
+  const int n = static_cast<int>(rng.NextBounded(2000));
+  const uint64_t range = uint64_t{1} << (1 + rng.NextBounded(40));
+  std::set<uint32_t> seen;
+  for (int i = 0; i < n; ++i) {
+    const uint32_t pos = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+    if (seen.insert(pos).second) {
+      pairs.push_back({pos, rng.NextBounded(range)});
+    }
+  }
+  return Bsi::FromPairs(std::move(pairs));
+}
+
+// ---------------------------------------------------------------------------
+// Raw-decoder iterations: decode; on accept, require self-consistency.
+// ---------------------------------------------------------------------------
+
+void RunContainerIteration(uint64_t seed) {
+  Rng rng(seed);
+  const Container clean = RandomContainer(rng);
+  std::string bytes;
+  clean.Serialize(&bytes);
+  const std::string mutated = Mutate(rng, bytes, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "container");
+
+  const uint8_t* cursor = reinterpret_cast<const uint8_t*>(mutated.data());
+  const uint8_t* end = cursor + mutated.size();
+  const Result<Container> parsed = Container::Deserialize(&cursor, end);
+  if (!parsed.ok()) return;  // clean rejection
+  ASSERT_LE(cursor, end) << ctx << " cursor ran past the buffer";
+  // Accepted: must round-trip to an equal object.
+  std::string again;
+  parsed.value().Serialize(&again);
+  const uint8_t* c2 = reinterpret_cast<const uint8_t*>(again.data());
+  const Result<Container> reparsed =
+      Container::Deserialize(&c2, c2 + again.size());
+  ASSERT_TRUE(reparsed.ok()) << ctx << " accepted bytes do not round-trip: "
+                             << reparsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Equals(reparsed.value())) << ctx;
+  EXPECT_EQ(parsed.value().Cardinality(), reparsed.value().Cardinality())
+      << ctx;
+}
+
+void RunRoaringIteration(uint64_t seed) {
+  Rng rng(seed);
+  const RoaringBitmap clean = RandomBitmap(rng);
+  const std::string bytes = clean.SerializeToString();
+  const std::string mutated = Mutate(rng, bytes, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "roaring");
+
+  const Result<RoaringBitmap> parsed = RoaringBitmap::Deserialize(mutated);
+  if (!parsed.ok()) return;
+  const Result<RoaringBitmap> reparsed =
+      RoaringBitmap::Deserialize(parsed.value().SerializeToString());
+  ASSERT_TRUE(reparsed.ok()) << ctx << " accepted bytes do not round-trip: "
+                             << reparsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Equals(reparsed.value())) << ctx;
+  EXPECT_EQ(parsed.value().Cardinality(),
+            static_cast<uint64_t>(parsed.value().ToVector().size()))
+      << ctx << " cardinality out of sync with contents";
+}
+
+void RunBsiIteration(uint64_t seed) {
+  Rng rng(seed);
+  const Bsi clean = RandomBsi(rng);
+  const std::string bytes = clean.SerializeToString();
+  const std::string mutated = Mutate(rng, bytes, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "bsi");
+
+  const Result<Bsi> parsed = Bsi::Deserialize(mutated);
+  if (!parsed.ok()) return;
+  const Result<Bsi> reparsed =
+      Bsi::Deserialize(parsed.value().SerializeToString());
+  ASSERT_TRUE(reparsed.ok()) << ctx << " accepted bytes do not round-trip: "
+                             << reparsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Equals(reparsed.value())) << ctx;
+  parsed.value().Sum();          // must not crash on whatever was accepted
+  parsed.value().Cardinality();
+}
+
+TEST(DecodeFuzzTest, ContainerDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0xC0117A11ull)) {
+    RunContainerIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, RoaringDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0x20A21116ull)) {
+    RunRoaringIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, BsiDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0xB51F0221ull)) {
+    RunBsiIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot reader: the checksummed layer. A mutated file must never be
+// presented as recovered -- surviving segments bit-identical, the rest
+// enumerated as lost (or the whole recovery cleanly refused).
+// ---------------------------------------------------------------------------
+
+// Each test gets its own directory: ctest runs gtest cases as concurrent
+// processes, so two tests sharing a dir would clobber each other's files.
+std::string FuzzDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "expbsi_decode_fuzz_" + name;
+  EXPECT_TRUE(fileio::CreateDirIfMissing(dir).ok());
+  const Result<std::vector<std::string>> entries = fileio::ListDir(dir);
+  EXPECT_TRUE(entries.ok());
+  for (const std::string& entry : entries.value()) {
+    EXPECT_TRUE(fileio::RemoveFileIfExists(dir + "/" + entry).ok());
+  }
+  return dir;
+}
+
+BsiStore MakeFuzzStore(Rng& rng) {
+  BsiStore store;
+  const int num_segments = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int seg = 0; seg < num_segments; ++seg) {
+    const int blobs = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int b = 0; b < blobs; ++b) {
+      std::string bytes(1 + rng.NextBounded(400), '\0');
+      for (char& c : bytes) c = static_cast<char>(rng.Next() & 0xff);
+      BsiStoreKey key;
+      key.segment = static_cast<uint16_t>(seg);
+      key.kind = static_cast<BsiKind>(b % 3);
+      key.id = 10 + b;
+      key.date = static_cast<uint32_t>(b);
+      store.Put(key, std::move(bytes));
+    }
+  }
+  return store;
+}
+
+using BlobKey = std::tuple<uint16_t, uint8_t, uint64_t, uint32_t>;
+
+std::map<BlobKey, std::string> ContentsOf(const BsiStore& store) {
+  std::map<BlobKey, std::string> out;
+  store.ForEach([&](const BsiStoreKey& key, const std::string& bytes) {
+    out[{key.segment, static_cast<uint8_t>(key.kind), key.id, key.date}] =
+        bytes;
+  });
+  return out;
+}
+
+void RunSnapshotIteration(uint64_t seed, const std::string& dir) {
+  // One committed version per iteration: with older versions on disk a
+  // mutation could hit a file recovery legitimately ignores (or legitimately
+  // falls back to), which would make the assertions below meaningless. The
+  // multi-version fallback path is chaos_test.cc territory.
+  {
+    const Result<std::vector<std::string>> stale = fileio::ListDir(dir);
+    ASSERT_TRUE(stale.ok());
+    for (const std::string& entry : stale.value()) {
+      ASSERT_TRUE(fileio::RemoveFileIfExists(dir + "/" + entry).ok());
+    }
+  }
+  Rng rng(seed);
+  const BsiStore store = MakeFuzzStore(rng);
+  const Result<SnapshotWriteStats> written = SnapshotWriter::Write(store, dir);
+  const std::string ctx = Ctx(seed, "snapshot");
+  ASSERT_TRUE(written.ok()) << ctx << ": " << written.status().ToString();
+
+  Result<std::vector<std::string>> files = fileio::ListDir(dir);
+  ASSERT_TRUE(files.ok()) << ctx;
+  ASSERT_FALSE(files.value().empty()) << ctx;
+  // Sorted so victim choice depends only on the seed, not on readdir order.
+  std::sort(files.value().begin(), files.value().end());
+  const std::string victim =
+      files.value()[rng.NextBounded(files.value().size())];
+  const Result<std::string> clean =
+      fileio::ReadFileToString(dir + "/" + victim, kMaxSegmentFileBytes);
+  ASSERT_TRUE(clean.ok()) << ctx;
+  const MutationKind kind = RandomMutation(rng);
+  const std::string mutated = Mutate(rng, clean.value(), kind);
+  const bool changed = mutated != clean.value();
+  {
+    std::ofstream out(dir + "/" + victim,
+                      std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    ASSERT_TRUE(out.good()) << ctx;
+  }
+
+  RecoveryReport report;
+  const Result<BsiStore> recovered = BsiStore::Recover(dir, &report);
+  if (changed && kind == MutationKind::kBitflips) {
+    // The checksum contract: bitflips anywhere in any snapshot file are
+    // ALWAYS caught -- a flipped file can contribute nothing to a "fully
+    // recovered" result.
+    EXPECT_FALSE(recovered.ok() && report.fully_recovered())
+        << ctx << " bitflipped " << victim << " silently accepted";
+  }
+  if (!recovered.ok()) {
+    // Refusal must be classified, never a crash.
+    EXPECT_TRUE(recovered.status().code() == StatusCode::kCorruption ||
+                recovered.status().code() == StatusCode::kNotFound)
+        << ctx << ": " << recovered.status().ToString();
+    return;
+  }
+  // Whatever was recovered must be bit-identical to the written store, and
+  // the lost/recovered lists must exactly partition the manifest segments.
+  const std::map<BlobKey, std::string> want = ContentsOf(store);
+  const std::map<BlobKey, std::string> got = ContentsOf(recovered.value());
+  const std::set<uint16_t> lost(report.lost_segments.begin(),
+                                report.lost_segments.end());
+  const std::set<uint16_t> ok_segs(report.segments_recovered.begin(),
+                                   report.segments_recovered.end());
+  for (uint16_t seg : lost) {
+    EXPECT_EQ(ok_segs.count(seg), 0u) << ctx << " segment both lost and ok";
+  }
+  for (const auto& [k, v] : want) {
+    const uint16_t seg = std::get<0>(k);
+    const auto it = got.find(k);
+    if (lost.count(seg) > 0) {
+      EXPECT_EQ(it, got.end()) << ctx << " lost segment leaked a blob";
+    } else {
+      ASSERT_NE(it, got.end())
+          << ctx << " segment " << seg << " silently dropped a blob";
+      EXPECT_EQ(it->second, v) << ctx << " recovered blob diverged";
+    }
+  }
+  EXPECT_EQ(got.size() + [&] {
+    size_t lost_blobs = 0;
+    for (const auto& [k, v] : want) {
+      if (lost.count(std::get<0>(k)) > 0) ++lost_blobs;
+    }
+    return lost_blobs;
+  }(), want.size())
+      << ctx << " recovered store holds foreign blobs";
+}
+
+TEST(DecodeFuzzTest, SnapshotRecoverySurvivesMutations) {
+  const std::string dir = FuzzDir("snapshot");
+  for (uint64_t seed : FuzzSeedSchedule(0x5A4E0F11ull)) {
+    RunSnapshotIteration(seed, dir);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-header fail-fast: counts that exceed what the payload can hold
+// must be rejected before they size an allocation.
+// ---------------------------------------------------------------------------
+
+std::string Hex(std::string_view hex) {
+  std::string out;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    EXPECT_GE(hi, 0);
+    EXPECT_GE(lo, 0);
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+TEST(DecodeFuzzTest, HostileCountsFailBeforeAllocation) {
+  {
+    // Roaring header claiming 65535 containers over a 1-byte payload.
+    const std::string bytes = Hex("ffff0000" "00");
+    const Result<RoaringBitmap> r = RoaringBitmap::Deserialize(bytes);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("count exceeds payload"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+  {
+    // Bsi header claiming 64 slices over 4 remaining bytes.
+    const std::string bytes = Hex("40000000" "00000000");
+    const Result<Bsi> r = Bsi::Deserialize(bytes);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("slice count exceeds payload"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+  {
+    // Container array claiming 70000 values (over the 65536 cap).
+    const std::string bytes = Hex("00" "70110100");
+    const uint8_t* cursor = reinterpret_cast<const uint8_t*>(bytes.data());
+    const Result<Container> r =
+        Container::Deserialize(&cursor, cursor + bytes.size());
+    ASSERT_FALSE(r.ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression corpus: hand-crafted malformed blobs, every one of which must
+// be rejected cleanly. Lines: "<decoder> <hex>  # comment", decoder one of
+// container / roaring / bsi / storefile.
+// ---------------------------------------------------------------------------
+
+TEST(DecodeFuzzTest, MalformedCorpusIsRejected) {
+#ifdef EXPBSI_CORPUS_DIR
+  std::ifstream in(std::string(EXPBSI_CORPUS_DIR) + "/malformed_blobs.txt");
+  ASSERT_TRUE(in.good()) << "missing corpus file " << EXPBSI_CORPUS_DIR
+                         << "/malformed_blobs.txt";
+  std::string line;
+  int entries = 0;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string decoder, hex;
+    if (!(ls >> decoder >> hex)) continue;
+    ++entries;
+    const std::string bytes = Hex(hex);
+    const std::string ctx = "corpus entry " + decoder + " " + hex;
+    if (decoder == "container") {
+      const uint8_t* cursor = reinterpret_cast<const uint8_t*>(bytes.data());
+      EXPECT_FALSE(Container::Deserialize(&cursor, cursor + bytes.size()).ok())
+          << ctx;
+    } else if (decoder == "roaring") {
+      EXPECT_FALSE(RoaringBitmap::Deserialize(bytes).ok()) << ctx;
+    } else if (decoder == "bsi") {
+      EXPECT_FALSE(Bsi::Deserialize(bytes).ok()) << ctx;
+    } else if (decoder == "storefile") {
+      const std::string path = FuzzDir("corpus") + "/corpus_store";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      out.close();
+      EXPECT_FALSE(BsiStore::LoadFromFile(path).ok()) << ctx;
+    } else {
+      ADD_FAILURE() << "unknown decoder in corpus: " << decoder;
+    }
+  }
+  EXPECT_GE(entries, 10) << "malformed-blob corpus unexpectedly small";
+#else
+  GTEST_SKIP() << "corpus dir not configured";
+#endif
+}
+
+}  // namespace
+}  // namespace expbsi

@@ -526,6 +526,61 @@ inline FaultSchedule GenFaultSchedule(Rng& rng) {
   return schedule;
 }
 
+// --------------------------------------------------------------------------
+// Snapshot kill/corruption schedules (chaos_test.cc kill-recovery sweep).
+// --------------------------------------------------------------------------
+
+// A schedule over the snapshot.* sites only. One SnapshotWriter::Write of an
+// N-segment store evaluates snapshot.write and snapshot.rename once per file
+// in a fixed order -- segment files first, the manifest (the commit point)
+// last -- so op indices in [0, N] pin faults to exact commit-protocol steps:
+// a torn segment .tmp, a kill after a durable .tmp but before its rename, a
+// kill right before the manifest rename, a committed file whose bytes were
+// corrupted in flight. snapshot.read faults fire during recovery instead
+// (unreadable or bitflipped files), which must lose exactly the affected
+// segment, never the whole snapshot.
+inline FaultSchedule GenSnapshotFaultSchedule(Rng& rng,
+                                              uint64_t write_file_ops) {
+  FaultSchedule schedule;
+  schedule.injector_seed = rng.Next();
+  if (rng.NextBernoulli(0.3)) {
+    const double levels[] = {0.05, 0.2, 0.5};
+    schedule.probabilities.push_back(
+        {fault_sites::kSnapshotRead, FaultKind::kCorrupt,
+         levels[rng.NextBounded(3)], 0.0});
+  }
+  const int num_one_shots = 1 + static_cast<int>(rng.NextBounded(4));
+  for (int i = 0; i < num_one_shots; ++i) {
+    FaultSchedule::OneShot shot;
+    shot.op_index = rng.NextBounded(write_file_ops + 1);
+    switch (rng.NextBounded(5)) {
+      case 0:  // kill mid-write: torn .tmp, never renamed in
+        shot.site = fault_sites::kSnapshotWrite;
+        shot.kind = FaultKind::kCrash;
+        break;
+      case 1:  // clean write failure (ENOSPC-style)
+        shot.site = fault_sites::kSnapshotWrite;
+        shot.kind = FaultKind::kFail;
+        break;
+      case 2:  // bits flipped in flight: a COMMITTED file fails its CRC
+        shot.site = fault_sites::kSnapshotWrite;
+        shot.kind = FaultKind::kCorrupt;
+        break;
+      case 3:  // kill after durable .tmp, before the rename
+        shot.site = fault_sites::kSnapshotRename;
+        shot.kind = FaultKind::kCrash;
+        break;
+      default:  // recovery-time read fault
+        shot.site = fault_sites::kSnapshotRead;
+        shot.kind = rng.NextBernoulli(0.5) ? FaultKind::kCorrupt
+                                           : FaultKind::kFail;
+        break;
+    }
+    schedule.one_shots.push_back(std::move(shot));
+  }
+  return schedule;
+}
+
 }  // namespace propgen
 }  // namespace expbsi
 
