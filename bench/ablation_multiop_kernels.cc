@@ -191,5 +191,6 @@ int main() {
               pairwise_sparse.bytes_per_op /
                   (lazy_sparse.bytes_per_op > 0 ? lazy_sparse.bytes_per_op
                                                 : 1.0));
+  bench_util::EmitRegistrySnapshot("ablation_multiop_kernels");
   return 0;
 }

@@ -74,5 +74,6 @@ int main() {
   }
   std::printf("\n(the Fig. 6 example: a 7-day range merges 3 nodes instead "
               "of folding 7 leaves)\n");
+  bench_util::EmitRegistrySnapshot("ablation_preagg_tree");
   return 0;
 }

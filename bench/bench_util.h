@@ -10,6 +10,7 @@
 
 #include "bsi/bsi.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "engine/experiment_data.h"
 #include "engine/scorecard.h"
 #include "expdata/generator.h"
@@ -114,6 +115,31 @@ inline void OraclePreflight() {
   if (only != nullptr && only[0] != '\0' && std::string(only) != "0") {
     std::exit(0);
   }
+}
+
+// Registry scrape at bench exit (docs/OBSERVABILITY.md "Bench
+// integration"). Emits one `REGISTRYJSON {...}` line that
+// scripts/run_benches.sh folds into the collected BENCH file alongside the
+// timing measurements, and -- when EXPBSI_PROM_DIR is set -- writes the
+// Prometheus text exposition to $EXPBSI_PROM_DIR/<bench>.prom for
+// scripts/check_metrics.py to validate. Under EXPBSI_NO_METRICS the dump
+// degenerates to the compiled-out marker, which the collector records
+// verbatim, so the committed BENCH pair documents both modes.
+inline void EmitRegistrySnapshot(const char* bench_name) {
+  std::printf("REGISTRYJSON {\"bench\": \"%s\", \"registry\": %s}\n",
+              bench_name,
+              obs::MetricsRegistry::Global().RenderJson().c_str());
+  const char* dir = std::getenv("EXPBSI_PROM_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + bench_name + ".prom";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string text = obs::MetricsRegistry::Global().RenderPrometheus();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
 }
 
 inline void PrintBanner(const char* experiment, const char* paper_shape) {

@@ -153,5 +153,6 @@ int main() {
               "\"bytes_per_op\": %llu}\n",
               best_recover_ns,
               static_cast<unsigned long long>(bytes_recovered));
+  bench_util::EmitRegistrySnapshot("snapshot_persistence");
   return 0;
 }

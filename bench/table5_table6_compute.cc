@@ -168,5 +168,6 @@ int main() {
   }
   std::printf("\n(normal format must re-aggregate every row through a hash "
               "table; BSI adds compressed bit-slices word-at-a-time)\n");
+  bench_util::EmitRegistrySnapshot("table5_table6_compute");
   return 0;
 }

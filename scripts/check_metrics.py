@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validates metrics registry expositions (docs/OBSERVABILITY.md).
+
+Two kinds of input, both produced by scripts/run_benches.sh:
+
+  * Prometheus text files (one per bench binary, `<bench>.prom`): every
+    sample line must parse, every family must carry a `# TYPE` declaration,
+    and histogram series must be cumulative with `_count` equal to the
+    `+Inf` bucket and consistent with `_sum`. A file containing only the
+    EXPBSI_NO_METRICS compiled-out comment is valid.
+
+  * The collected BENCH json (via `--json FILE`): the `<bench>.registry`
+    entries appended by run_benches.sh must either be the compiled-out
+    marker or carry counters/gauges/histograms maps with monotone,
+    count-consistent histogram buckets and dotted lower-case metric names.
+
+Exit status is non-zero on the first malformed exposition, so CI fails
+when an instrumentation change breaks the scrape format.
+
+  scripts/check_metrics.py out/*.prom
+  scripts/check_metrics.py --json BENCH_pr5.json out/*.prom
+"""
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+PROM_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r" (?P<value>-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|nan|[+-]?inf))$"
+)
+TYPE_RE = re.compile(r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(?P<kind>counter|gauge|histogram)$")
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_prom_file(path):
+    text = open(path).read()
+    if "metrics compiled out" in text:
+        print(f"  {path}: compiled out (EXPBSI_NO_METRICS), ok")
+        return
+    types = {}       # family -> counter|gauge|histogram
+    samples = []     # (name, le, value)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        m = TYPE_RE.match(line)
+        if m:
+            if m.group("name") in types:
+                fail(f"{path}:{lineno}: duplicate TYPE for {m.group('name')}")
+            types[m.group("name")] = m.group("kind")
+            continue
+        if line.startswith("#"):
+            continue  # HELP or free comment
+        m = PROM_SAMPLE_RE.match(line)
+        if m is None:
+            fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+        samples.append((m.group("name"), m.group("le"), m.group("value")))
+
+    if not samples:
+        fail(f"{path}: no samples and not marked compiled-out")
+
+    hist = {}  # family -> {"buckets": [(le, cum)], "sum": v, "count": v}
+    for name, le, value in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base in types and types[base] == "histogram":
+            entry = hist.setdefault(base, {"buckets": []})
+            if name.endswith("_bucket"):
+                if le is None:
+                    fail(f"{path}: {name} sample without le label")
+                entry["buckets"].append((le, float(value)))
+            elif name.endswith("_sum"):
+                entry["sum"] = float(value)
+            elif name.endswith("_count"):
+                entry["count"] = float(value)
+            else:
+                fail(f"{path}: stray histogram sample {name}")
+            continue
+        if name not in types:
+            fail(f"{path}: sample {name} has no # TYPE declaration")
+        if not name.startswith("expbsi_"):
+            fail(f"{path}: metric {name} missing expbsi_ prefix")
+        if types[name] == "counter" and float(value) < 0:
+            fail(f"{path}: counter {name} is negative ({value})")
+
+    for family, entry in hist.items():
+        if "sum" not in entry or "count" not in entry:
+            fail(f"{path}: histogram {family} missing _sum or _count")
+        buckets = entry["buckets"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            fail(f"{path}: histogram {family} does not end with le=+Inf")
+        prev_le, prev_cum = None, -1.0
+        for le, cum in buckets:
+            if cum < prev_cum:
+                fail(f"{path}: histogram {family} buckets not cumulative")
+            if le != "+Inf":
+                le_v = float(le)
+                if prev_le is not None and le_v <= prev_le:
+                    fail(f"{path}: histogram {family} le bounds not "
+                         f"ascending at {le}")
+                prev_le = le_v
+            prev_cum = cum
+        if buckets[-1][1] != entry["count"]:
+            fail(f"{path}: histogram {family} +Inf bucket != _count")
+
+    n_hist = len(hist)
+    print(f"  {path}: {len(types)} families ({n_hist} histograms), ok")
+
+
+def check_registry_json(reg, where):
+    if reg.get("compiled_out"):
+        return 0
+    for section in ("counters", "gauges", "histograms"):
+        if section not in reg:
+            fail(f"{where}: registry missing {section!r} map")
+        for name in reg[section]:
+            if not NAME_RE.match(name):
+                fail(f"{where}: bad metric name {name!r}")
+    for name, value in reg["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}: counter {name} not a non-negative int")
+    for name, h in reg["histograms"].items():
+        total, prev_le = 0, -1
+        for le, n in h["buckets"]:
+            if le <= prev_le:
+                fail(f"{where}: histogram {name} bounds not ascending")
+            if n <= 0:
+                fail(f"{where}: histogram {name} has empty bucket in view")
+            prev_le = le
+            total += n
+        if total != h["count"]:
+            fail(f"{where}: histogram {name} buckets sum {total} != "
+                 f"count {h['count']}")
+    return len(reg["counters"]) + len(reg["gauges"]) + len(reg["histograms"])
+
+
+def check_bench_json(path):
+    entries = json.load(open(path))
+    snaps = [e for e in entries if "registry" in e]
+    if not snaps:
+        fail(f"{path}: no .registry entries (bench binaries did not scrape)")
+    for e in snaps:
+        n = check_registry_json(e["registry"], f"{path}:{e['op']}")
+        print(f"  {path}: {e['op']} ({n} metrics), ok")
+
+
+def main(argv):
+    args = argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    while args and args[0] == "--json":
+        check_bench_json(args[1])
+        args = args[2:]
+    for path in args:
+        check_prom_file(path)
+    print("check_metrics: all expositions well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

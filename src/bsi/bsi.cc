@@ -7,6 +7,7 @@
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace expbsi {
 namespace {
@@ -115,9 +116,15 @@ void Bsi::TrimTopSlices() {
 }
 
 Bsi Bsi::Add(const Bsi& x, const Bsi& y) {
+  // One count per pairwise add (the baseline the CSA kernel beats); slice
+  // work is amortized into a single counted batch, not counted per slice.
+  static obs::Counter& adds = obs::GetCounter("kernel.pairwise_adds");
+  static obs::Counter& slices = obs::GetCounter("kernel.pairwise_slices");
+  adds.Add();
   if (x.IsEmpty()) return y;
   if (y.IsEmpty()) return x;
   const int s = std::max(x.num_slices(), y.num_slices());
+  slices.Add(static_cast<uint64_t>(s));
   Bsi out;
   out.slices_.reserve(s + 1);
   RoaringBitmap carry;

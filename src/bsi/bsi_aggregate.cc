@@ -9,6 +9,7 @@
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "common/scratch_arena.h"
+#include "obs/metrics.h"
 #include "roaring/union_accumulator.h"
 
 namespace expbsi {
@@ -64,9 +65,15 @@ Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
   std::vector<ScratchArena::Lease> acc;  // one 65536-bit buffer per level
   ScratchArena::Lease ping, pong;        // carry propagation scratch
   std::vector<RoaringBitmap> slices;
+  // Kernel work accounting, kept in plain locals through the hot loops and
+  // published to the registry once per call at the bottom.
+  uint64_t n_chunks = 0;
+  uint64_t n_word_passes = 0;
+  uint64_t n_scalar_adds = 0;
   size_t i = 0;
   while (i < refs.size()) {
     const uint16_t key = refs[i].key;
+    ++n_chunks;
     size_t used = 0;  // highest accumulator level written for this chunk
     for (; i < refs.size() && refs[i].key == key; ++i) {
       const SliceRef& ref = refs[i];
@@ -74,6 +81,7 @@ Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
       if (bits == nullptr &&
           ref.container->Cardinality() < kScalarAddMaxCardinality) {
         // Sparse container: per-value scalar carry chains.
+        n_scalar_adds += static_cast<uint64_t>(ref.container->Cardinality());
         ref.container->ForEach([&acc, &used, &ref](uint16_t v) {
           const int w = v >> 6;
           uint64_t b = uint64_t{1} << (v & 63);
@@ -104,6 +112,7 @@ Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
       uint64_t* carry_buf = bits == ping.words() ? pong.words() : ping.words();
       for (size_t lvl = ref.level;; ++lvl) {
         while (lvl >= acc.size()) acc.emplace_back();
+        ++n_word_passes;
         uint64_t* a = acc[lvl].words();
         uint64_t any = 0;
         for (size_t w = 0; w < kWords; ++w) {
@@ -130,6 +139,18 @@ Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
       std::fill_n(acc[lvl].words(), kWords, 0);
     }
   }
+  static obs::Counter& m_calls = obs::GetCounter("kernel.csa_calls");
+  static obs::Counter& m_containers = obs::GetCounter("kernel.csa_containers");
+  static obs::Counter& m_chunks = obs::GetCounter("kernel.csa_chunks");
+  static obs::Counter& m_passes = obs::GetCounter("kernel.csa_word_passes");
+  static obs::Counter& m_words = obs::GetCounter("kernel.csa_words_processed");
+  static obs::Counter& m_scalar = obs::GetCounter("kernel.csa_scalar_adds");
+  m_calls.Add();
+  m_containers.Add(refs.size());
+  m_chunks.Add(n_chunks);
+  m_passes.Add(n_word_passes);
+  m_words.Add(n_word_passes * kWords);
+  m_scalar.Add(n_scalar_adds);
   // Values are positive wherever present, so the sum's existence bitmap is
   // exactly the union of the inputs' existence bitmaps.
   return Bsi::FromSlices(std::move(slices), std::move(existence));
@@ -148,10 +169,12 @@ void SetMultiOpKernel(MultiOpKernel kernel) {
 Bsi SumBsiCsa(const std::vector<const Bsi*>& inputs) {
   std::vector<SliceRef> refs;
   UnionAccumulator existence;
+  uint64_t n_slices = 0;
   for (const Bsi* input : inputs) {
     CHECK(input != nullptr);
     if (input->IsEmpty()) continue;
     existence.Add(input->existence());
+    n_slices += static_cast<uint64_t>(input->num_slices());
     for (int s = 0; s < input->num_slices(); ++s) {
       const RoaringBitmap& slice = input->slice(s);
       for (int c = 0; c < slice.NumContainers(); ++c) {
@@ -160,6 +183,8 @@ Bsi SumBsiCsa(const std::vector<const Bsi*>& inputs) {
       }
     }
   }
+  static obs::Counter& m_slices = obs::GetCounter("kernel.sum_slices_touched");
+  m_slices.Add(n_slices);
   return WordCsaSum(std::move(refs), existence.Finish());
 }
 

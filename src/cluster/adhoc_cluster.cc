@@ -9,6 +9,8 @@
 #include "common/check.h"
 #include "common/fault_injector.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace expbsi {
 
@@ -208,6 +210,10 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
     const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
   CHECK_LE(date_lo, date_hi);
   QueryStats stats;
+  stats.trace = std::make_shared<obs::QueryTrace>("adhoc_query_bsi");
+  obs::ScopedTrace install_trace(stats.trace.get());
+  static obs::Counter& queries = obs::GetCounter("cluster.queries");
+  queries.Add();
   const int num_segments = num_segments_;
   const size_t num_metrics = metric_ids.size();
   if (!recovery_lost_segments_.empty() && !config_.allow_degraded) {
@@ -247,6 +253,12 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
         });
     stats.degraded.retries += rstats.retries;
     if (rstats.recovered) ++stats.degraded.faults_survived;
+    // A clean fetch stays silent; only the (rare) retried ones mark the
+    // enclosing segment span.
+    if (rstats.retries > 0) {
+      obs::CurrentSpanAttr("fetch_retries",
+                           static_cast<uint64_t>(rstats.retries));
+    }
     if (decoded.ok()) {
       out->emplace(std::move(decoded).value());
       return FetchOutcome::kGot;
@@ -263,6 +275,8 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
   // permanent failure, propagated (strict mode).
   auto process_segment = [&](TieredStore& tier, int seg,
                              SegPartial* out) -> Result<bool> {
+    obs::ScopedSpan seg_span("segment_execute");
+    seg_span.AddAttr("segment", static_cast<uint64_t>(seg));
     out->sums.assign(strategy_ids.size() * num_metrics, 0.0);
     out->counts.assign(strategy_ids.size() * num_metrics, 0.0);
     // Fetch + decode the expose BSIs once per (segment, strategy) and
@@ -341,13 +355,24 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
   std::vector<int> lost_segments = recovery_lost_segments_;
   std::set<int> requeued_segments;  // for faults_survived accounting
   double total_latency = 0.0;
+  int wave_index = 0;
+  static obs::Counter& waves_counter = obs::GetCounter("cluster.waves");
+  static obs::Counter& requeue_counter =
+      obs::GetCounter("cluster.requeued_segments");
+  static obs::Counter& crash_counter = obs::GetCounter("cluster.nodes_lost");
 
   while (true) {
     std::vector<int> requeue;
     double max_node_latency = 0.0;
+    obs::ScopedSpan wave_span("wave");
+    wave_span.AddAttr("wave", static_cast<uint64_t>(wave_index++));
+    waves_counter.Add();
     for (int node = 0; node < config_.num_nodes; ++node) {
       if (!alive[node] || assignment[node].empty()) continue;
       TieredStore& tier = *node_tiers_[node];
+      obs::ScopedSpan node_span("node_execute");
+      node_span.AddAttr("node", static_cast<uint64_t>(node));
+      node_span.AddAttr("segments", assignment[node].size());
       const TieredStore::Stats io_before = tier.stats();
       CpuTimer cpu;
       double injected_delay = 0.0;
@@ -379,6 +404,8 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
       stats.total_cpu_seconds += node_cpu;
       stats.bytes_from_cold += node_cold_bytes;
       stats.hot_hits += io_after.hot_hits - io_before.hot_hits;
+      node_span.AddAttr("cold_bytes", node_cold_bytes);
+      node_span.AddAttr("hot_hits", io_after.hot_hits - io_before.hot_hits);
       injected_delay +=
           io_after.injected_delay_seconds - io_before.injected_delay_seconds;
       const double node_latency =
@@ -393,9 +420,15 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
         // or untouched -- is requeued onto the survivors.
         alive[node] = false;
         ++stats.degraded.nodes_lost;
+        node_span.AddAttr("crashed", 1);
+        crash_counter.Add();
+        requeue_counter.Add(assignment[node].size());
         requeue.insert(requeue.end(), assignment[node].begin(),
                        assignment[node].end());
       } else {
+        static obs::Counter& seg_counter =
+            obs::GetCounter("cluster.segments_processed");
+        seg_counter.Add(completed.size());
         for (auto& [seg, partial] : completed) {
           size_t slot = 0;
           for (uint64_t s : strategy_ids) {
@@ -442,6 +475,22 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
       lost_segments.end());
   stats.degraded.segments_answered =
       num_segments - static_cast<int>(lost_segments.size());
+  if (!lost_segments.empty()) {
+    static obs::Counter& lost_counter =
+        obs::GetCounter("cluster.degraded_segments");
+    lost_counter.Add(lost_segments.size());
+  }
+  // Degradation summary on the root span, so a slow-query dump of a chaotic
+  // run shows what was retried, requeued and lost at a glance.
+  obs::CurrentSpanAttr("waves", static_cast<uint64_t>(wave_index));
+  obs::CurrentSpanAttr(
+      "segments_answered",
+      static_cast<uint64_t>(stats.degraded.segments_answered));
+  obs::CurrentSpanAttr("lost_segments", lost_segments.size());
+  obs::CurrentSpanAttr("retries",
+                       static_cast<uint64_t>(stats.degraded.retries));
+  obs::CurrentSpanAttr("nodes_lost",
+                       static_cast<uint64_t>(stats.degraded.nodes_lost));
   stats.degraded.lost_segments = std::move(lost_segments);
 
   // Coordinator merge is a handful of vector adds; fold it into the
@@ -453,12 +502,14 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
 }
 
 const ExposeBitmapCache& AdhocCluster::GetOrBuildBitmapCache(
-    uint64_t strategy_id, Date date_lo, Date date_hi) {
+    uint64_t strategy_id, Date date_lo, Date date_hi, bool* built) {
+  *built = false;
   auto it = bitmap_caches_.find(strategy_id);
   if (it != bitmap_caches_.end() && it->second.date_lo() <= date_lo &&
       it->second.date_hi() >= date_hi) {
     return it->second;
   }
+  *built = true;
   ExposeBitmapCache cache =
       ExposeBitmapCache::Build(*dataset_, strategy_id, date_lo, date_hi);
   auto [new_it, _] = bitmap_caches_.insert_or_assign(strategy_id,
@@ -472,13 +523,38 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryNormalBitmap(
   CHECK_LE(date_lo, date_hi);
   CHECK(dataset_ != nullptr);  // the baseline needs the normal-format rows
   QueryStats stats;
+  stats.trace = std::make_shared<obs::QueryTrace>("adhoc_query_normal");
+  obs::ScopedTrace install_trace(stats.trace.get());
+  static obs::Counter& queries = obs::GetCounter("cluster.queries");
+  queries.Add();
   const int num_segments = dataset_->config.num_segments;
   // The paper's baseline caches the expose bitmaps in memory up front; the
-  // cache build is not part of the repeated-query latency.
+  // cache build is not part of the repeated-query latency. It IS a read of
+  // the expose rows, though, so it is accounted exactly like the BSI path's
+  // tier accounting: a (re)build charges the scanned rows to
+  // bytes_from_cold, a reuse of the in-memory cache is a hot hit.
   std::vector<const ExposeBitmapCache*> caches;
   caches.reserve(strategy_ids.size());
-  for (uint64_t strategy_id : strategy_ids) {
-    caches.push_back(&GetOrBuildBitmapCache(strategy_id, date_lo, date_hi));
+  {
+    obs::ScopedSpan span("build_bitmap_caches");
+    for (uint64_t strategy_id : strategy_ids) {
+      bool built = false;
+      caches.push_back(
+          &GetOrBuildBitmapCache(strategy_id, date_lo, date_hi, &built));
+      if (built) {
+        for (int seg = 0; seg < num_segments; ++seg) {
+          const std::vector<ExposeRow>* rows =
+              normal_index_->ExposeRows(strategy_id, seg);
+          if (rows != nullptr) {
+            stats.bytes_from_cold += rows->size() * sizeof(ExposeRow);
+          }
+        }
+      } else {
+        ++stats.hot_hits;
+      }
+    }
+    span.AddAttr("strategies", strategy_ids.size());
+    span.AddAttr("cold_bytes", stats.bytes_from_cold);
   }
 
   std::map<StrategyMetricPair, BucketValues> partials;
@@ -493,6 +569,8 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryNormalBitmap(
 
   double max_node_latency = 0.0;
   for (int node = 0; node < config_.num_nodes; ++node) {
+    obs::ScopedSpan node_span("node_scan");
+    node_span.AddAttr("node", static_cast<uint64_t>(node));
     CpuTimer cpu;
     for (int seg = node; seg < num_segments; seg += config_.num_nodes) {
       // Scan each requested metric's clustered rows (ClickHouse primary-key
@@ -513,6 +591,13 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryNormalBitmap(
         const std::vector<MetricRow>* rows =
             normal_index_->MetricRows(metric_id, seg);
         if (rows == nullptr) continue;
+        // First scan of this row group pays the cold read; repeats hit the
+        // in-memory copy (the baseline's analogue of the BSI hot tier).
+        if (normal_scanned_.insert({metric_id, seg}).second) {
+          stats.bytes_from_cold += rows->size() * sizeof(MetricRow);
+        } else {
+          ++stats.hot_hits;
+        }
         std::fill(local_sums.begin(), local_sums.end(), 0.0);
         for (const MetricRow& row : *rows) {
           if (row.date < date_lo || row.date > date_hi) continue;

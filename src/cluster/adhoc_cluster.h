@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "engine/experiment_data.h"
 #include "engine/normal_engine.h"
 #include "expdata/generator.h"
+#include "obs/trace.h"
 #include "storage/bsi_store.h"
 #include "storage/snapshot.h"
 #include "storage/tiered_store.h"
@@ -76,6 +78,11 @@ class AdhocCluster {
     uint64_t hot_hits = 0;
     std::map<StrategyMetricPair, BucketValues> results;
     DegradedInfo degraded;
+    // Full span tree of this query (waves, per-node execution, per-segment
+    // work, retries). Created by the cluster and finished -- root closed,
+    // slow-query check applied -- before the stats are returned; shared so
+    // callers can keep it past the stats object.
+    std::shared_ptr<obs::QueryTrace> trace;
   };
 
   // `dataset` backs the normal-format baseline; `bsi` is serialized into the
@@ -134,9 +141,12 @@ class AdhocCluster {
 
  private:
   // Lazily built (and then reused) per-strategy expose bitmap caches for the
-  // baseline, mirroring the paper's "cache these bitmaps in memory".
+  // baseline, mirroring the paper's "cache these bitmaps in memory". Sets
+  // `*built` to whether this call (re)built the cache rather than reusing
+  // the in-memory copy, so the caller can account the cold read.
   const ExposeBitmapCache& GetOrBuildBitmapCache(uint64_t strategy_id,
-                                                 Date date_lo, Date date_hi);
+                                                 Date date_lo, Date date_hi,
+                                                 bool* built);
 
   const Dataset* dataset_;
   const ExperimentBsiData* bsi_;
@@ -152,6 +162,11 @@ class AdhocCluster {
   std::vector<int> recovery_lost_segments_;
   std::vector<std::unique_ptr<TieredStore>> node_tiers_;
   std::map<uint64_t, ExposeBitmapCache> bitmap_caches_;
+  // (metric_id, segment) row groups the baseline has already scanned; a
+  // first scan is a cold read of the rows' bytes, a repeat is a hot hit --
+  // the same accounting the BSI path gets from its TieredStore, so
+  // QueryStats is comparable across the two paths.
+  std::set<std::pair<uint64_t, int>> normal_scanned_;
 };
 
 // Serializes every expose/metric/dimension BSI of `data` into a BsiStore

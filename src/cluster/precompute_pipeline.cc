@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "engine/normal_engine.h"
 #include "engine/scorecard.h"
+#include "obs/metrics.h"
 
 namespace expbsi {
 
@@ -87,6 +88,19 @@ PrecomputeStats RunPairs(const std::vector<StrategyMetricPair>& pairs,
   }
   std::sort(stats.failed_pairs.begin(), stats.failed_pairs.end());
   stats.wall_seconds = wall.ElapsedSeconds();
+  // Fleet accounting (Table 7 reports the pre-compute jobs' CPU-hours):
+  // the cpu_seconds gauge accumulates monotonically across batches, so a
+  // scrape divided by 3600 is the reproduction's CPU-hour figure.
+  static obs::Counter& pairs_counter =
+      obs::GetCounter("pipeline.pairs_computed");
+  static obs::Counter& failed_counter =
+      obs::GetCounter("pipeline.pairs_failed");
+  static obs::Counter& bytes_counter = obs::GetCounter("pipeline.bytes_read");
+  static obs::Gauge& cpu_gauge = obs::GetGauge("pipeline.cpu_seconds");
+  pairs_counter.Add(static_cast<uint64_t>(stats.pairs_computed));
+  failed_counter.Add(stats.failed_pairs.size());
+  bytes_counter.Add(stats.bytes_read);
+  cpu_gauge.Add(stats.cpu_seconds);
   return stats;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace expbsi {
 namespace {
@@ -99,6 +100,29 @@ FaultDecision FaultInjector::Decide(const SiteConfig& cfg,
   if (d.corrupt) ++stats_.corruptions;
   if (d.crash) ++stats_.crashes;
   if (d.delay_seconds > 0) ++stats_.delays;
+  // Registry mirror: per-instance stats stay the source for the accessors
+  // (chaos tests diff them per schedule); the process-wide counters make an
+  // injected fault visible in the same scrape as the recovery it triggered.
+  if (d.fail || d.corrupt || d.crash || d.delay_seconds > 0) {
+    static obs::Counter& injected = obs::GetCounter("fault.injected");
+    injected.Add();
+    if (d.fail) {
+      static obs::Counter& c = obs::GetCounter("fault.injected_fails");
+      c.Add();
+    }
+    if (d.corrupt) {
+      static obs::Counter& c = obs::GetCounter("fault.injected_corruptions");
+      c.Add();
+    }
+    if (d.crash) {
+      static obs::Counter& c = obs::GetCounter("fault.injected_crashes");
+      c.Add();
+    }
+    if (d.delay_seconds > 0) {
+      static obs::Counter& c = obs::GetCounter("fault.injected_delays");
+      c.Add();
+    }
+  }
   return d;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace expbsi {
 
@@ -20,6 +21,25 @@ double RetryPolicy::BackoffSeconds(int attempt, uint64_t jitter_token) const {
 bool IsRetryableStatus(const Status& status) {
   return status.code() == StatusCode::kUnavailable ||
          status.code() == StatusCode::kCorruption;
+}
+
+void RecordRetryMetrics(const RetryStats& op_stats, bool ok) {
+  static obs::Counter& attempts = obs::GetCounter("retry.attempts");
+  attempts.Add(static_cast<uint64_t>(op_stats.attempts));
+  if (op_stats.retries > 0) {
+    static obs::Counter& retries = obs::GetCounter("retry.retries");
+    retries.Add(static_cast<uint64_t>(op_stats.retries));
+    static obs::Gauge& backoff = obs::GetGauge("retry.backoff_seconds");
+    backoff.Add(op_stats.backoff_seconds);
+  }
+  if (op_stats.recovered) {
+    static obs::Counter& recovered = obs::GetCounter("retry.recovered_ops");
+    recovered.Add();
+  }
+  if (!ok) {
+    static obs::Counter& failed = obs::GetCounter("retry.failed_ops");
+    failed.Add();
+  }
 }
 
 }  // namespace expbsi

@@ -42,32 +42,52 @@ struct RetryStats {
   bool recovered = false;   // succeeded after at least one retryable failure
 };
 
+// Publishes one finished op's retry accounting to the metrics registry
+// (retry.attempts, retry.retries, retry.recovered_ops, retry.failed_ops,
+// retry.backoff_seconds). Out-of-line so the header template does not pull
+// in the registry.
+void RecordRetryMetrics(const RetryStats& op_stats, bool ok);
+
 // Runs `op` (a callable returning Result<T>) under `policy`. Returns the
 // first OK result, or the last error once attempts, the deadline, or a
-// non-retryable status stop the loop. `stats` may be nullptr.
+// non-retryable status stop the loop. `stats` may be nullptr; it is
+// accumulated into, so one struct can aggregate across ops.
 template <typename T, typename Fn>
 Result<T> RetryWithPolicy(const RetryPolicy& policy, uint64_t jitter_token,
                           RetryStats* stats, Fn&& op) {
-  RetryStats local;
-  RetryStats* s = stats != nullptr ? stats : &local;
+  RetryStats local;  // this op only; merged into `stats` at the end
   double waited = 0.0;
   for (int attempt = 1;; ++attempt) {
     Result<T> result = op();
-    ++s->attempts;
+    ++local.attempts;
+    bool done = false;
     if (result.ok()) {
-      s->recovered = attempt > 1;
+      local.recovered = attempt > 1;
+      done = true;
+    } else if (!IsRetryableStatus(result.status()) ||
+               attempt >= policy.max_attempts) {
+      done = true;
+    } else {
+      const double backoff =
+          policy.BackoffSeconds(attempt, jitter_token + attempt);
+      if (waited + backoff > policy.op_deadline_seconds) {
+        done = true;
+      } else {
+        waited += backoff;
+        local.backoff_seconds += backoff;
+        ++local.retries;
+      }
+    }
+    if (done) {
+      RecordRetryMetrics(local, result.ok());
+      if (stats != nullptr) {
+        stats->attempts += local.attempts;
+        stats->retries += local.retries;
+        stats->backoff_seconds += local.backoff_seconds;
+        stats->recovered = stats->recovered || local.recovered;
+      }
       return result;
     }
-    if (!IsRetryableStatus(result.status()) ||
-        attempt >= policy.max_attempts) {
-      return result;
-    }
-    const double backoff =
-        policy.BackoffSeconds(attempt, jitter_token + attempt);
-    if (waited + backoff > policy.op_deadline_seconds) return result;
-    waited += backoff;
-    s->backoff_seconds += backoff;
-    ++s->retries;
   }
 }
 

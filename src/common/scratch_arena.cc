@@ -3,6 +3,8 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace expbsi {
 namespace {
 
@@ -12,6 +14,12 @@ struct Pool {
   std::vector<uint64_t*> free_buffers;
 
   ~Pool() {
+    if (!free_buffers.empty()) {
+      obs::GetGauge("arena.pooled_bytes")
+          .Sub(static_cast<double>(free_buffers.size() *
+                                   ScratchArena::kScratchWords *
+                                   sizeof(uint64_t)));
+    }
     for (uint64_t* buf : free_buffers) delete[] buf;
   }
 };
@@ -24,23 +32,37 @@ Pool& ThreadPool() {
 }  // namespace
 
 ScratchArena::Lease::Lease() {
+  static obs::Counter& leases = obs::GetCounter("arena.leases");
+  leases.Add();
   Pool& pool = ThreadPool();
   if (!pool.free_buffers.empty()) {
     words_ = pool.free_buffers.back();
     pool.free_buffers.pop_back();
+    static obs::Gauge& pooled = obs::GetGauge("arena.pooled_bytes");
+    pooled.Sub(static_cast<double>(kScratchWords * sizeof(uint64_t)));
   } else {
     words_ = new uint64_t[kScratchWords];
+    static obs::Counter& allocs = obs::GetCounter("arena.buffer_allocations");
+    allocs.Add();
   }
   std::memset(words_, 0, kScratchWords * sizeof(uint64_t));
 }
 
 ScratchArena::Lease::~Lease() {
-  if (words_ != nullptr) ThreadPool().free_buffers.push_back(words_);
+  if (words_ != nullptr) {
+    ThreadPool().free_buffers.push_back(words_);
+    static obs::Gauge& pooled = obs::GetGauge("arena.pooled_bytes");
+    pooled.Add(static_cast<double>(kScratchWords * sizeof(uint64_t)));
+  }
 }
 
 ScratchArena::Lease& ScratchArena::Lease::operator=(Lease&& other) noexcept {
   if (this != &other) {
-    if (words_ != nullptr) ThreadPool().free_buffers.push_back(words_);
+    if (words_ != nullptr) {
+      ThreadPool().free_buffers.push_back(words_);
+      static obs::Gauge& pooled = obs::GetGauge("arena.pooled_bytes");
+      pooled.Add(static_cast<double>(kScratchWords * sizeof(uint64_t)));
+    }
     words_ = other.words_;
     other.words_ = nullptr;
   }
@@ -53,6 +75,11 @@ size_t ScratchArena::PooledBuffersForTesting() {
 
 void ScratchArena::ReleaseThreadLocalPool() {
   Pool& pool = ThreadPool();
+  if (!pool.free_buffers.empty()) {
+    static obs::Gauge& pooled = obs::GetGauge("arena.pooled_bytes");
+    pooled.Sub(static_cast<double>(pool.free_buffers.size() * kScratchWords *
+                                   sizeof(uint64_t)));
+  }
   for (uint64_t* buf : pool.free_buffers) delete[] buf;
   pool.free_buffers.clear();
 }

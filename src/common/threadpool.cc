@@ -1,8 +1,35 @@
 #include "common/threadpool.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+
+#if !defined(EXPBSI_NO_METRICS)
+#include <chrono>
+#endif
 
 namespace expbsi {
+
+namespace {
+
+// Pool telemetry (docs/OBSERVABILITY.md): queue depth as a gauge, per-task
+// queue wait and run time as histograms. The clock reads are skipped
+// entirely when the registry is compiled out -- the pool's hot path must
+// not pay for disabled telemetry.
+#if !defined(EXPBSI_NO_METRICS)
+uint64_t PoolNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+#endif
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g = obs::GetGauge("pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   CHECK_GT(num_threads, 0);
@@ -22,12 +49,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Task entry;
+  entry.fn = std::move(task);
+#if !defined(EXPBSI_NO_METRICS)
+  entry.enqueue_ns = PoolNowNs();
+#endif
   {
     std::unique_lock<std::mutex> lock(mu_);
     CHECK(!shutdown_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
     ++in_flight_;
   }
+  static obs::Counter& submitted = obs::GetCounter("pool.tasks_submitted");
+  submitted.Add();
+  QueueDepthGauge().Add(1.0);
   task_available_.notify_one();
 }
 
@@ -38,7 +73,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock,
@@ -50,7 +85,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    QueueDepthGauge().Sub(1.0);
+#if !defined(EXPBSI_NO_METRICS)
+    const uint64_t start_ns = PoolNowNs();
+    static obs::Histogram& wait_us = obs::GetHistogram("pool.task_wait_us");
+    wait_us.Record((start_ns - task.enqueue_ns) / 1000);
+#endif
+    task.fn();
+#if !defined(EXPBSI_NO_METRICS)
+    static obs::Histogram& run_us = obs::GetHistogram("pool.task_run_us");
+    run_us.Record((PoolNowNs() - start_ns) / 1000);
+#endif
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -2,6 +2,7 @@
 #define EXPBSI_COMMON_THREADPOOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -32,10 +33,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Queued work plus its enqueue timestamp (steady ns; 0 when the metrics
+  // registry is compiled out) so the scrape can report queue wait times.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   int in_flight_ = 0;  // queued + running
   bool shutdown_ = false;

@@ -2,6 +2,8 @@
 
 #include "bsi/bsi_group_by.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace expbsi {
 
@@ -96,6 +98,11 @@ std::vector<DimensionBreakdownEntry> ComputeDimensionBreakdown(
     const ExperimentBsiData& data, uint64_t control_id, uint64_t treatment_id,
     uint64_t metric_id, Date date_lo, Date date_hi, uint32_t dimension_id,
     const std::vector<uint64_t>& dim_values, Date dim_date) {
+  obs::ScopedSpan span("dimension_breakdown");
+  span.AddAttr("dimension_id", dimension_id);
+  span.AddAttr("values", dim_values.size());
+  static obs::Counter& runs = obs::GetCounter("engine.deepdive_breakdowns");
+  runs.Add();
   std::vector<DimensionBreakdownEntry> out;
   out.reserve(dim_values.size());
   for (uint64_t value : dim_values) {
@@ -115,6 +122,10 @@ std::vector<DimensionBreakdownEntry> ComputeDimensionBreakdown(
 std::vector<ScorecardEntry> ComputeDailyBreakdown(
     const ExperimentBsiData& data, uint64_t control_id, uint64_t treatment_id,
     uint64_t metric_id, Date date_lo, Date date_hi) {
+  obs::ScopedSpan span("daily_breakdown");
+  span.AddAttr("days", static_cast<uint64_t>(date_hi - date_lo + 1));
+  static obs::Counter& runs = obs::GetCounter("engine.deepdive_breakdowns");
+  runs.Add();
   std::vector<ScorecardEntry> out;
   out.reserve(date_hi - date_lo + 1);
   for (Date date = date_lo; date <= date_hi; ++date) {

@@ -3,6 +3,8 @@
 #include "bsi/bsi_aggregate.h"
 #include "bsi/bsi_group_by.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace expbsi {
 namespace {
@@ -44,6 +46,10 @@ BucketValues ComputePreExperimentBsi(const ExperimentBsiData& data,
                                      Date as_of_date) {
   CHECK_GT(lookback_days, 0);
   CHECK_GE(expt_start, static_cast<Date>(lookback_days));
+  obs::ScopedSpan span("preexperiment");
+  span.AddAttr("lookback_days", static_cast<uint64_t>(lookback_days));
+  static obs::Counter& runs = obs::GetCounter("engine.preexperiment_folds");
+  runs.Add();
   BucketValues out = MakeEmptyBuckets(data);
   const Date pre_lo = expt_start - lookback_days;
   const Date pre_hi = expt_start - 1;
@@ -99,6 +105,10 @@ BucketValues ComputePreExperimentWithTree(const ExperimentBsiData& data,
   const Date pre_hi = expt_start - 1;
   CHECK_GE(pre_lo, index.first_date);
   CHECK_LE(pre_hi, index.last_date);
+  obs::ScopedSpan span("preexperiment_tree");
+  span.AddAttr("lookback_days", static_cast<uint64_t>(lookback_days));
+  static obs::Counter& runs = obs::GetCounter("engine.preexperiment_folds");
+  runs.Add();
   BucketValues out = MakeEmptyBuckets(data);
   for (int seg = 0; seg < data.num_segments; ++seg) {
     const ExposeBsi* expose = data.segments[seg].FindExpose(strategy_id);

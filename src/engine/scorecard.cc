@@ -2,6 +2,8 @@
 
 #include "bsi/bsi_group_by.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "roaring/union_accumulator.h"
 
 namespace expbsi {
@@ -205,6 +207,11 @@ ScorecardEntry CompareStrategies(uint64_t metric_id, uint64_t treatment_id,
   entry.ttest = WelchTTest(entry.treatment.mean, entry.treatment.var_of_mean,
                            entry.treatment.df, entry.control.mean,
                            entry.control.var_of_mean, entry.control.df);
+  // Data-quality gate: the two arms' unit totals must be consistent with
+  // the (even) design split before the comparison above means anything.
+  entry.srm = obs::SrmCheckCounts(
+      static_cast<uint64_t>(treatment_buckets.total_count()),
+      static_cast<uint64_t>(control_buckets.total_count()));
   return entry;
 }
 
@@ -233,9 +240,14 @@ std::vector<ScorecardEntry> ComputeScorecard(
     const ExperimentBsiData& data, uint64_t control_id,
     const std::vector<uint64_t>& treatment_ids,
     const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
+  obs::ScopedSpan span("scorecard");
+  span.AddAttr("metrics", metric_ids.size());
+  span.AddAttr("treatments", treatment_ids.size());
   std::vector<ScorecardEntry> entries;
   entries.reserve(treatment_ids.size() * metric_ids.size());
   for (uint64_t metric_id : metric_ids) {
+    obs::ScopedSpan metric_span("scorecard_metric");
+    metric_span.AddAttr("metric_id", metric_id);
     const BucketValues control_buckets = ComputeStrategyMetricBsi(
         data, control_id, metric_id, date_lo, date_hi);
     for (uint64_t treatment_id : treatment_ids) {
@@ -246,6 +258,8 @@ std::vector<ScorecardEntry> ComputeScorecard(
                                           control_buckets));
     }
   }
+  static obs::Counter& computed = obs::GetCounter("engine.scorecard_entries");
+  computed.Add(entries.size());
   return entries;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/experiment_data.h"
+#include "obs/srm.h"
 #include "stats/bucket_stats.h"
 #include "stats/ttest.h"
 
@@ -88,6 +89,12 @@ struct ScorecardEntry {
   MetricEstimate treatment;
   MetricEstimate control;
   TTestResult ttest;
+  // Sample-ratio-mismatch check over the two arms' denominators (exposed
+  // units on the standard scorecard path), against an even split. A
+  // mismatch means the randomization itself is suspect and the t-test above
+  // should not be trusted; it is carried here -- never dropped -- so every
+  // consumer sees it. See src/obs/srm.h.
+  SrmResult srm;
 };
 
 // Runs the statistical comparison given the two arms' bucket values.

@@ -1,0 +1,258 @@
+#include "obs/metrics.h"
+
+#if !defined(EXPBSI_NO_METRICS)
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace expbsi {
+namespace obs {
+
+namespace internal {
+
+uint32_t ThisThreadStripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+}  // namespace internal
+
+// --------------------------------------------------------------------------
+// Gauge
+// --------------------------------------------------------------------------
+
+uint64_t Gauge::Encode(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Decode(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+int Histogram::BucketIndex(uint64_t v) {
+  // Values below 2^kSubBits get one bucket each (exact small values);
+  // above that, the top kSubBits bits after the leading one select a
+  // linear sub-bucket within the octave.
+  if (v < kSub) return static_cast<int>(v);
+  int exp = 63 - __builtin_clzll(v);
+  int sub = static_cast<int>((v >> (exp - kSubBits)) & (kSub - 1));
+  return (((exp - kSubBits) << kSubBits) | sub) + kSub;
+}
+
+uint64_t Histogram::BucketUpperBound(int idx) {
+  if (idx < kSub) return static_cast<uint64_t>(idx);
+  int rel = idx - kSub;
+  int exp = (rel >> kSubBits) + kSubBits;
+  int sub = rel & (kSub - 1);
+  // Upper bound is the largest v with this (exp, sub): the next sub-bucket
+  // boundary minus one. Guard the top octave against shift overflow.
+  uint64_t base = uint64_t{1} << exp;
+  uint64_t width = base >> kSubBits;
+  uint64_t lo = base + static_cast<uint64_t>(sub) * width;
+  uint64_t hi = lo + width - 1;
+  return hi < lo ? UINT64_MAX : hi;  // wrapped: top of the 2^63 octave
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& s : stripes_)
+    total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const auto& s : stripes_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+MetricsSnapshot::HistogramView Histogram::View() const {
+  MetricsSnapshot::HistogramView view;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = 0;
+    for (const auto& s : stripes_)
+      n += s.buckets[i].load(std::memory_order_relaxed);
+    if (n != 0) view.buckets.emplace_back(BucketUpperBound(i), n);
+    view.count += n;
+  }
+  for (const auto& s : stripes_) view.sum += s.sum.load(std::memory_order_relaxed);
+  return view;
+}
+
+void Histogram::ResetForTesting() {
+  for (auto& s : stripes_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --------------------------------------------------------------------------
+// MetricsRegistry
+// --------------------------------------------------------------------------
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+              c == '.';
+    if (!ok) return false;
+  }
+  return name.front() != '.' && name.back() != '.';
+}
+
+// "tier.hot_hits" -> "expbsi_tier_hot_hits" for the Prometheus exposition.
+std::string PromName(const std::string& name) {
+  std::string out = "expbsi_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  // Metric names are [a-z0-9_.], so no escaping is needed.
+  out->push_back('"');
+  out->append(name);
+  out->append("\": ");
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed
+  return *r;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  CHECK(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  CHECK(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  CHECK(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram());
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->View();
+  return snap;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  MetricsSnapshot snap = Scrape();
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " ";
+    AppendDouble(&out, v);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " histogram\n";
+    uint64_t cum = 0;
+    for (const auto& [le, n] : h.buckets) {
+      cum += n;
+      out += p + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += p + "_sum " + std::to_string(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  MetricsSnapshot snap = Scrape();
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(v);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonKey(&out, name);
+    AppendDouble(&out, v);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) + ", \"buckets\": [";
+    bool bf = true;
+    for (const auto& [le, n] : h.buckets) {
+      if (!bf) out += ", ";
+      bf = false;
+      out += "[" + std::to_string(le) + ", " + std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->ResetForTesting();
+  for (auto& [name, g] : gauges_) g->ResetForTesting();
+  for (auto& [name, h] : histograms_) h->ResetForTesting();
+}
+
+}  // namespace obs
+}  // namespace expbsi
+
+#endif  // !EXPBSI_NO_METRICS

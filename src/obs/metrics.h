@@ -1,0 +1,262 @@
+#ifndef EXPBSI_OBS_METRICS_H_
+#define EXPBSI_OBS_METRICS_H_
+
+// Process-wide metrics registry (DESIGN.md "Observability model"). The
+// platform of the paper is operated as a fleet service (Table 7 reports
+// CPU-hours and latency percentiles across thousands of machines); this
+// registry is the reproduction's equivalent of its telemetry plane: named
+// counters, gauges and log-linear histograms that every layer increments on
+// its hot path and an exposition endpoint scrapes.
+//
+// Performance contract:
+//   * an increment is one relaxed atomic add on a cache-line-padded,
+//     per-thread-striped cell -- no lock, no shared-line ping-pong;
+//   * registration (GetCounter & co.) takes a mutex once per call site
+//     (cache the reference in a function-local static);
+//   * scraping merges the stripes under the registration mutex; it never
+//     blocks writers;
+//   * compiling with -DEXPBSI_NO_METRICS replaces every type below with an
+//     empty inline shell, so instrumented call sites cost literally nothing
+//     (the bench CI pins the overhead of both modes, docs/OBSERVABILITY.md).
+//
+// Naming: lower-case dotted paths, `[a-z0-9_.]`, subsystem first --
+// "tier.hot_hits", "kernel.csa_slices", "query.latency_us". Unit suffixes:
+// `_us` microseconds, `_bytes` bytes, `_seconds` (gauges only). The full
+// catalog lives in docs/OBSERVABILITY.md.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#if !defined(EXPBSI_NO_METRICS)
+#include <atomic>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace expbsi {
+namespace obs {
+
+// Point-in-time merged view of the registry, for tests and the JSON dump.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramView {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    // (inclusive upper bound, count in bucket), only non-empty buckets.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+  std::map<std::string, HistogramView> histograms;
+};
+
+#if defined(EXPBSI_NO_METRICS)
+
+// ---------------------------------------------------------------------------
+// Compiled-out shells: every operation is an empty inline function, so the
+// instrumentation in the hot paths disappears entirely.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  void Add(double) {}
+  void Sub(double) {}
+  double Value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t) {}
+  uint64_t Count() const { return 0; }
+};
+
+inline Counter& GetCounter(const char*) {
+  static Counter c;
+  return c;
+}
+inline Gauge& GetGauge(const char*) {
+  static Gauge g;
+  return g;
+}
+inline Histogram& GetHistogram(const char*) {
+  static Histogram h;
+  return h;
+}
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry r;
+    return r;
+  }
+  MetricsSnapshot Scrape() const { return {}; }
+  std::string RenderPrometheus() const {
+    return "# expbsi metrics compiled out (EXPBSI_NO_METRICS)\n";
+  }
+  std::string RenderJson() const {
+    return "{\"compiled_out\": true}";
+  }
+  void ResetForTesting() {}
+};
+
+#else  // !EXPBSI_NO_METRICS
+
+namespace internal {
+
+// Stripe count: increments land on stripe (thread-id mod kStripes). Power of
+// two, small enough that a histogram stays in the tens of KB.
+inline constexpr int kStripes = 8;
+
+// Index of the calling thread's stripe (assigned round-robin on first use).
+uint32_t ThisThreadStripe();
+
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> v{0};
+};
+
+}  // namespace internal
+
+// Monotone event count. Exact: Value() is the sum of all stripes, and every
+// Add lands in exactly one stripe.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    cells_[internal::ThisThreadStripe()].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void ResetForTesting() {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  internal::PaddedU64 cells_[internal::kStripes];
+};
+
+// A double that can move both ways (queue depth, pooled bytes, last SRM
+// p-value, accumulated CPU-seconds). Single atomic cell: gauges change at
+// task granularity, not per-container, so striping buys nothing.
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+  void Add(double delta) {
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, Encode(Decode(cur) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(double delta) { Add(-delta); }
+  double Value() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+  void ResetForTesting() { Set(0.0); }
+
+ private:
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+// Log-linear histogram of non-negative 64-bit values (latencies in
+// microseconds, sizes in bytes): 4 linear sub-buckets per power of two, so
+// the relative bucket width is <= 25% everywhere -- good enough for p50/p99
+// style questions at a fixed 252-bucket footprint.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 2;              // 4 sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kNumBuckets =
+      ((64 - kSubBits) << kSubBits) + kSub;       // 252
+
+  // Bucket index of `v` (monotone in v).
+  static int BucketIndex(uint64_t v);
+  // Inclusive upper bound of bucket `idx` (UINT64_MAX for the last ones).
+  static uint64_t BucketUpperBound(int idx);
+
+  void Record(uint64_t value) {
+    Stripe& s = stripes_[internal::ThisThreadStripe()];
+    s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  MetricsSnapshot::HistogramView View() const;
+  void ResetForTesting();
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[kNumBuckets]{};
+  };
+  Stripe stripes_[internal::kStripes];
+};
+
+// Process-wide registry. Metric objects are owned by the registry and live
+// forever at a stable address; cache the returned reference:
+//
+//   static obs::Counter& hits = obs::GetCounter("tier.hot_hits");
+//   hits.Add();
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Finds or creates. Names must match [a-z0-9_.]+ (CHECK-enforced).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Scrape() const;
+
+  // Prometheus text exposition: names are prefixed `expbsi_` with dots
+  // flattened to underscores; histograms render cumulative `_bucket{le=}`
+  // series plus `_sum`/`_count`.
+  std::string RenderPrometheus() const;
+
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {"count", "sum", "buckets": [[le, n], ...]}}}.
+  std::string RenderJson() const;
+
+  // Zeroes every registered metric in place (addresses stay valid, so
+  // references cached by call sites keep working).
+  void ResetForTesting();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+inline Counter& GetCounter(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Gauge& GetGauge(const char* name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+inline Histogram& GetHistogram(const char* name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+
+#endif  // EXPBSI_NO_METRICS
+
+}  // namespace obs
+}  // namespace expbsi
+
+#endif  // EXPBSI_OBS_METRICS_H_

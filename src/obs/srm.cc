@@ -1,0 +1,46 @@
+#include "obs/srm.h"
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "stats/ttest.h"
+
+namespace expbsi {
+namespace obs {
+
+SrmResult SrmCheckCounts(uint64_t treatment_units, uint64_t control_units,
+                         double expected_treatment_share) {
+  CHECK_GT(expected_treatment_share, 0.0);
+  CHECK_LT(expected_treatment_share, 1.0);
+  SrmResult r;
+  r.treatment_units = treatment_units;
+  r.control_units = control_units;
+  r.expected_treatment_share = expected_treatment_share;
+
+  const uint64_t total = treatment_units + control_units;
+  static Counter& checks = GetCounter("srm.checks");
+  checks.Add();
+  if (total == 0) return r;  // nothing exposed yet: not checkable
+
+  const double expected_treat =
+      static_cast<double>(total) * expected_treatment_share;
+  const double expected_control =
+      static_cast<double>(total) * (1.0 - expected_treatment_share);
+  const double dt = static_cast<double>(treatment_units) - expected_treat;
+  const double dc = static_cast<double>(control_units) - expected_control;
+  r.chi_square =
+      dt * dt / expected_treat + dc * dc / expected_control;
+  r.p_value = ChiSquareSurvival(r.chi_square, /*df=*/1.0);
+  r.checked = true;
+  r.mismatch = r.p_value < kSrmPValueThreshold;
+
+  static Gauge& last_p = GetGauge("srm.last_p_value");
+  last_p.Set(r.p_value);
+  if (r.mismatch) {
+    static Counter& mismatches = GetCounter("srm.mismatches");
+    mismatches.Add();
+  }
+  return r;
+}
+
+}  // namespace obs
+}  // namespace expbsi

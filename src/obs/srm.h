@@ -1,0 +1,54 @@
+#ifndef EXPBSI_OBS_SRM_H_
+#define EXPBSI_OBS_SRM_H_
+
+// Sample-ratio-mismatch (SRM) monitor. An A/B platform that reports a
+// beautiful p-value over a broken randomization is worse than useless, and
+// the failure is silent: the per-arm traffic split drifts from its design
+// (50/50, say, arriving as 55/45) because of bucketing bugs, logging loss
+// or bot filtering applied unevenly. The related work ("Ensure A/B Test
+// Quality at Scale", PAPERS.md) treats this as the first-line data-quality
+// gate, and so do we: every scorecard comparison runs a chi-square
+// goodness-of-fit test on the two arms' exposed-unit counts against the
+// expected split, and a mismatch is carried on the result (and the metrics
+// registry) rather than dropped.
+//
+// Test: chi2 = sum_i (observed_i - expected_i)^2 / expected_i with
+// (#arms - 1) degrees of freedom; p = ChiSquareSurvival(chi2, df). With the
+// platform's unit counts (10^4..10^9) the test is sharp: a real 55/45 skew
+// on 10^5 units gives p ~ 1e-218 while a fair split hovers near uniform, so
+// the conservative threshold below never fires on noise.
+
+#include <cstdint>
+
+namespace expbsi {
+
+struct SrmResult {
+  bool checked = false;     // false when a count was zero-vs-zero etc.
+  bool mismatch = false;    // p_value < threshold
+  double p_value = 1.0;
+  double chi_square = 0.0;
+  uint64_t treatment_units = 0;
+  uint64_t control_units = 0;
+  // The design ratio the counts were tested against (treatment share).
+  double expected_treatment_share = 0.5;
+};
+
+namespace obs {
+
+// Significance threshold: mismatches are declared at p < 1e-3. SRM checks
+// run on every scorecard, so the threshold is deliberately stricter than
+// the usual 0.05 to keep the false-positive rate negligible (a genuine SRM
+// at experiment scale produces p-values tens of orders of magnitude below
+// this; see srm_test.cc).
+inline constexpr double kSrmPValueThreshold = 1e-3;
+
+// Chi-square SRM check of two arms' exposed-unit counts against an expected
+// treatment share (0.5 = even split). Updates the registry gauges
+// `srm.last_p_value` / counter `srm.mismatches` as a side effect.
+SrmResult SrmCheckCounts(uint64_t treatment_units, uint64_t control_units,
+                         double expected_treatment_share = 0.5);
+
+}  // namespace obs
+}  // namespace expbsi
+
+#endif  // EXPBSI_OBS_SRM_H_

@@ -1,0 +1,270 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace expbsi {
+namespace obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ActiveTrace {
+  QueryTrace* trace = nullptr;
+  uint32_t current_span = 0;
+};
+
+ActiveTrace& ThreadActive() {
+  thread_local ActiveTrace active;
+  return active;
+}
+
+void AppendDurationHuman(std::string* out, uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// QueryTrace
+// --------------------------------------------------------------------------
+
+QueryTrace::QueryTrace(const std::string& name)
+    : name_(name), t0_ns_(SteadyNowNs()) {}
+
+uint64_t QueryTrace::NowNs() const { return SteadyNowNs() - t0_ns_; }
+
+uint32_t QueryTrace::BeginSpan(const std::string& name, uint32_t parent_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.id = static_cast<uint32_t>(spans_.size()) + 1;
+  s.parent_id = parent_id;
+  s.name = name;
+  s.start_ns = NowNs();
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void QueryTrace::EndSpan(uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK(id >= 1 && id <= spans_.size());
+  Span& s = spans_[id - 1];
+  if (!s.open) return;
+  s.duration_ns = NowNs() - s.start_ns;
+  s.open = false;
+}
+
+void QueryTrace::AddAttr(uint32_t id, const std::string& key, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK(id >= 1 && id <= spans_.size());
+  spans_[id - 1].attrs.emplace_back(key, value);
+}
+
+std::vector<QueryTrace::Span> QueryTrace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+uint64_t QueryTrace::TotalDurationNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.empty()) return 0;
+  const Span& root = spans_.front();
+  return root.open ? NowNs() - root.start_ns : root.duration_ns;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::vector<Span> spans = this->spans();
+  std::string out = "{\"name\": \"" + name_ + "\", \"spans\": [";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": " + std::to_string(s.id) +
+           ", \"parent\": " + std::to_string(s.parent_id) + ", \"name\": \"" +
+           s.name + "\", \"start_ns\": " + std::to_string(s.start_ns) +
+           ", \"duration_ns\": " + std::to_string(s.duration_ns) +
+           ", \"attrs\": {";
+    bool af = true;
+    for (const auto& [k, v] : s.attrs) {
+      if (!af) out += ", ";
+      af = false;
+      out += "\"" + k + "\": " + std::to_string(v);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryTrace::ToText() const {
+  std::vector<Span> spans = this->spans();
+  // Children of span id i (0 = roots), in creation order. Creation order is
+  // also start order, which is what a flame view wants.
+  std::vector<std::vector<uint32_t>> children(spans.size() + 1);
+  for (const Span& s : spans) {
+    CHECK_LT(s.parent_id, s.id);  // parents are created before children
+    children[s.parent_id].push_back(s.id);
+  }
+  std::string out = "trace \"" + name_ + "\"";
+  out += " total=";
+  AppendDurationHuman(&out, TotalDurationNs());
+  out += "\n";
+  // Depth-first with explicit stack: (id, depth).
+  std::vector<std::pair<uint32_t, int>> stack;
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it)
+    stack.emplace_back(*it, 0);
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const Span& s = spans[id - 1];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += "- " + s.name + " ";
+    AppendDurationHuman(&out, s.duration_ns);
+    if (s.open) out += " (open)";
+    for (const auto& [k, v] : s.attrs)
+      out += " " + k + "=" + std::to_string(v);
+    out += "\n";
+    for (auto it = children[id].rbegin(); it != children[id].rend(); ++it)
+      stack.emplace_back(*it, depth + 1);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// ScopedTrace / ScopedSpan
+// --------------------------------------------------------------------------
+
+ScopedTrace::ScopedTrace(QueryTrace* trace) : trace_(trace) {
+  ActiveTrace& active = ThreadActive();
+  prev_trace_ = active.trace;
+  prev_span_ = active.current_span;
+  if (trace_ == nullptr) return;
+  root_id_ = trace_->BeginSpan(trace_->name(), 0);
+  active.trace = trace_;
+  active.current_span = root_id_;
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (trace_ != nullptr) {
+    trace_->EndSpan(root_id_);
+    static Histogram& latency = GetHistogram("trace.query_latency_us");
+    latency.Record(trace_->TotalDurationNs() / 1000);
+  }
+  ActiveTrace& active = ThreadActive();
+  active.trace = prev_trace_;
+  active.current_span = prev_span_;
+  if (trace_ != nullptr) MaybeLogSlowQuery(*trace_);
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  ActiveTrace& active = ThreadActive();
+  trace_ = active.trace;
+  if (trace_ == nullptr) return;
+  prev_span_ = active.current_span;
+  id_ = trace_->BeginSpan(name, prev_span_);
+  active.current_span = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ == nullptr) return;
+  trace_->EndSpan(id_);
+  ThreadActive().current_span = prev_span_;
+}
+
+void ScopedSpan::AddAttr(const char* key, uint64_t value) {
+  if (trace_ == nullptr) return;
+  trace_->AddAttr(id_, key, value);
+}
+
+QueryTrace* CurrentTrace() { return ThreadActive().trace; }
+
+uint32_t CurrentSpanId() { return ThreadActive().current_span; }
+
+void CurrentSpanAttr(const char* key, uint64_t value) {
+  ActiveTrace& active = ThreadActive();
+  if (active.trace == nullptr || active.current_span == 0) return;
+  active.trace->AddAttr(active.current_span, key, value);
+}
+
+// --------------------------------------------------------------------------
+// Slow-query log
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Threshold state: < 0 disabled, >= 0 enabled. Loaded from the environment
+// once; the test setter wins over the env for the rest of the process.
+std::mutex g_slow_mu;
+bool g_slow_loaded = false;
+double g_slow_threshold_ms = -1.0;
+std::string g_last_slow_text;
+
+double LoadThresholdLocked() {
+  if (!g_slow_loaded) {
+    g_slow_loaded = true;
+    const char* env = std::getenv("EXPBSI_SLOW_QUERY_MS");
+    if (env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      double v = std::strtod(env, &end);
+      if (end != env) g_slow_threshold_ms = v;
+    }
+  }
+  return g_slow_threshold_ms;
+}
+
+}  // namespace
+
+double SlowQueryThresholdMs() {
+  std::lock_guard<std::mutex> lock(g_slow_mu);
+  return LoadThresholdLocked();
+}
+
+void SetSlowQueryThresholdMsForTesting(double ms) {
+  std::lock_guard<std::mutex> lock(g_slow_mu);
+  g_slow_loaded = true;
+  g_slow_threshold_ms = ms;
+}
+
+void MaybeLogSlowQuery(const QueryTrace& trace) {
+  double threshold_ms = SlowQueryThresholdMs();
+  if (threshold_ms < 0) return;
+  double elapsed_ms = trace.TotalDurationNs() / 1e6;
+  if (elapsed_ms < threshold_ms) return;
+  std::string text = trace.ToText();
+  static Counter& slow = GetCounter("trace.slow_queries");
+  slow.Add();
+  std::fprintf(stderr, "[expbsi] slow query (%.2fms >= %.2fms):\n%s",
+               elapsed_ms, threshold_ms, text.c_str());
+  std::lock_guard<std::mutex> lock(g_slow_mu);
+  g_last_slow_text = std::move(text);
+}
+
+std::string LastSlowQueryTextForTesting() {
+  std::lock_guard<std::mutex> lock(g_slow_mu);
+  return g_last_slow_text;
+}
+
+}  // namespace obs
+}  // namespace expbsi

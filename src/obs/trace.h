@@ -1,0 +1,142 @@
+#ifndef EXPBSI_OBS_TRACE_H_
+#define EXPBSI_OBS_TRACE_H_
+
+// Per-query trace spans (DESIGN.md "Observability model"). A QueryTrace is
+// a tree of timed spans covering one request end to end -- parse -> plan ->
+// per-segment execute -> store fetch -> kernel -- each span carrying its
+// duration plus numeric attributes (bytes, container/slice counts, retry
+// attempts). Span ids are deterministic: 1-based creation order, so two
+// runs of the same query on the same data produce the same tree shape and
+// ids (durations differ, obviously).
+//
+// Plumbing is RAII + a thread-local "active trace" stack:
+//
+//   QueryTrace trace("scorecard");
+//   {
+//     ScopedTrace st(&trace);               // installs it on this thread
+//     ...
+//     { ScopedSpan s("segment_execute");    // child of the enclosing span
+//       s.AddAttr("containers", n); }
+//   }                                       // root closes; slow-query check
+//
+// When no trace is installed, ScopedSpan costs one thread-local load and no
+// allocation, so the instrumentation can stay in release hot paths. Unlike
+// the metrics registry, tracing is NOT compiled out by EXPBSI_NO_METRICS:
+// it is per-query opt-in, and its off-path cost is already ~zero.
+//
+// The slow-query log (docs/OBSERVABILITY.md): if EXPBSI_SLOW_QUERY_MS is
+// set and a traced query's wall time exceeds it, the flame-style text tree
+// is printed to stderr and `trace.slow_queries` is incremented.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace expbsi {
+namespace obs {
+
+class QueryTrace {
+ public:
+  struct Span {
+    uint32_t id = 0;         // 1-based creation order; root is 1
+    uint32_t parent_id = 0;  // 0 = no parent (the root)
+    std::string name;
+    uint64_t start_ns = 0;     // offset from trace start
+    uint64_t duration_ns = 0;  // 0 while the span is still open
+    bool open = true;
+    std::vector<std::pair<std::string, uint64_t>> attrs;
+  };
+
+  explicit QueryTrace(const std::string& name);
+
+  // Opens a child of `parent_id` (0 for a root-level span) and returns its
+  // id. Thread-safe; normally called through ScopedSpan.
+  uint32_t BeginSpan(const std::string& name, uint32_t parent_id);
+  void EndSpan(uint32_t id);
+  void AddAttr(uint32_t id, const std::string& key, uint64_t value);
+
+  const std::string& name() const { return name_; }
+  // Snapshot of the spans recorded so far.
+  std::vector<Span> spans() const;
+  // Wall time of the root span (live value while it is still open).
+  uint64_t TotalDurationNs() const;
+
+  // {"name": ..., "spans": [{"id", "parent", "name", "start_ns",
+  //  "duration_ns", "attrs": {...}}, ...]}
+  std::string ToJson() const;
+  // Flame-style indented tree, one line per span with duration and attrs.
+  std::string ToText() const;
+
+ private:
+  uint64_t NowNs() const;
+
+  std::string name_;
+  uint64_t t0_ns_;  // steady-clock origin
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+// Installs `trace` as this thread's active trace for its lifetime and opens
+// the root span. The destructor closes the root, restores the previously
+// active trace (traces nest), records `trace.query_latency_us` and runs the
+// slow-query check. Pass nullptr for a no-op.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(QueryTrace* trace);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  QueryTrace* trace_;
+  QueryTrace* prev_trace_;
+  uint32_t prev_span_;
+  uint32_t root_id_ = 0;
+};
+
+// Opens a child span of the thread's current span; no-op when no trace is
+// active on this thread.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  void AddAttr(const char* key, uint64_t value);
+  bool active() const { return trace_ != nullptr; }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  QueryTrace* trace_;
+  uint32_t id_ = 0;
+  uint32_t prev_span_ = 0;
+};
+
+// The trace active on this thread, or nullptr. Exposed so layers that
+// cannot hold a ScopedSpan open across a callback boundary can still attach
+// attributes to the current span.
+QueryTrace* CurrentTrace();
+// Id of this thread's innermost open span (0 if none).
+uint32_t CurrentSpanId();
+// AddAttr on the current span; no-op without an active trace.
+void CurrentSpanAttr(const char* key, uint64_t value);
+
+// Slow-query threshold in milliseconds, from EXPBSI_SLOW_QUERY_MS (read
+// once, cached). Negative = disabled (the default).
+double SlowQueryThresholdMs();
+// Test hook; overrides the env value for the rest of the process.
+void SetSlowQueryThresholdMsForTesting(double ms);
+// Applies the threshold to a finished trace: logs the text tree to stderr,
+// bumps `trace.slow_queries` and retains the text for tests. Called by
+// ~ScopedTrace; exposed for traces finished by hand.
+void MaybeLogSlowQuery(const QueryTrace& trace);
+// Text tree of the most recent slow query ("" if none yet).
+std::string LastSlowQueryTextForTesting();
+
+}  // namespace obs
+}  // namespace expbsi
+
+#endif  // EXPBSI_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 
 #include "bsi/bsi_aggregate.h"
 #include "bsi/bsi_group_by.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "roaring/union_accumulator.h"
 
@@ -158,8 +159,21 @@ std::string QueryResult::ToString() const {
 }
 
 Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
-                                 const Query& query) {
-  RETURN_IF_ERROR(Validate(data, query));
+                                 const Query& query, obs::QueryTrace* trace) {
+  // Install the trace unless a caller higher up (RunQuery, the cluster)
+  // already did; ScopedTrace(nullptr) is a no-op.
+  obs::ScopedTrace install(obs::CurrentTrace() == trace ? nullptr : trace);
+  static obs::Counter& executed = obs::GetCounter("query.executed");
+  executed.Add();
+  {
+    obs::ScopedSpan span("validate");
+    Status st = Validate(data, query);
+    if (!st.ok()) {
+      static obs::Counter& invalid = obs::GetCounter("query.validation_errors");
+      invalid.Add();
+      return st;
+    }
+  }
 
   // Scan days: the dated source's window, or one undated cell for expose.
   std::vector<Date> days;
@@ -171,12 +185,19 @@ Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
 
   // One scan per (segment, day); aggregates fold the partials.
   std::vector<std::vector<SegmentScan>> scans(data.num_segments);
-  for (int seg = 0; seg < data.num_segments; ++seg) {
-    scans[seg].reserve(days.size());
-    for (Date d : days) {
-      scans[seg].push_back(BuildScan(data.segments[seg], query, d));
+  {
+    obs::ScopedSpan span("build_scans");
+    span.AddAttr("segments", static_cast<uint64_t>(data.num_segments));
+    span.AddAttr("days", static_cast<uint64_t>(days.size()));
+    for (int seg = 0; seg < data.num_segments; ++seg) {
+      scans[seg].reserve(days.size());
+      for (Date d : days) {
+        scans[seg].push_back(BuildScan(data.segments[seg], query, d));
+      }
     }
   }
+  static obs::Counter& scanned = obs::GetCounter("query.segment_scans");
+  scanned.Add(static_cast<uint64_t>(data.num_segments) * days.size());
 
   const bool needs_quantile = std::any_of(
       query.aggregates.begin(), query.aggregates.end(),
@@ -192,28 +213,33 @@ Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
   uint64_t global_min = std::numeric_limits<uint64_t>::max();
   uint64_t global_max = 0;
   bool any_value = false;
-  for (int seg = 0; seg < data.num_segments; ++seg) {
-    // uv: distinct positions with a value on ANY scan day (distinctPos),
-    // union-accumulated lazily across the per-day masks (which stay alive in
-    // `scans` for the whole loop).
-    UnionAccumulator distinct_acc;
-    for (const SegmentScan& scan : scans[seg]) {
-      if (scan.source == nullptr || scan.mask.IsEmpty()) continue;
-      total_sum += static_cast<double>(scan.source->SumUnderMask(scan.mask));
-      total_count += static_cast<double>(scan.mask.Cardinality());
-      distinct_acc.Add(scan.mask);
-      const Bsi filtered = Bsi::MultiplyByBinary(*scan.source, scan.mask);
-      if (!filtered.IsEmpty()) {
-        any_value = true;
-        global_min = std::min(global_min, filtered.MinValue());
-        global_max = std::max(global_max, filtered.MaxValue());
+  {
+    obs::ScopedSpan agg_span("aggregate");
+    for (int seg = 0; seg < data.num_segments; ++seg) {
+      // uv: distinct positions with a value on ANY scan day (distinctPos),
+      // union-accumulated lazily across the per-day masks (which stay alive in
+      // `scans` for the whole loop).
+      UnionAccumulator distinct_acc;
+      for (const SegmentScan& scan : scans[seg]) {
+        if (scan.source == nullptr || scan.mask.IsEmpty()) continue;
+        total_sum += static_cast<double>(scan.source->SumUnderMask(scan.mask));
+        total_count += static_cast<double>(scan.mask.Cardinality());
+        distinct_acc.Add(scan.mask);
+        const Bsi filtered = Bsi::MultiplyByBinary(*scan.source, scan.mask);
+        if (!filtered.IsEmpty()) {
+          any_value = true;
+          global_min = std::min(global_min, filtered.MinValue());
+          global_max = std::max(global_max, filtered.MaxValue());
+        }
+        if (needs_quantile) {
+          quantile_inputs.push_back(MaskedBsi{scan.source, &scan.mask});
+        }
       }
-      if (needs_quantile) {
-        quantile_inputs.push_back(MaskedBsi{scan.source, &scan.mask});
-      }
+      // Positions are segment-local, so distinct counts add across segments.
+      total_uv += static_cast<double>(distinct_acc.Finish().Cardinality());
     }
-    // Positions are segment-local, so distinct counts add across segments.
-    total_uv += static_cast<double>(distinct_acc.Finish().Cardinality());
+    agg_span.AddAttr("quantile_inputs",
+                     static_cast<uint64_t>(quantile_inputs.size()));
   }
 
   QueryResult result;
@@ -254,7 +280,9 @@ Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
   }
 
   if (query.group_by_bucket) {
+    obs::ScopedSpan span("group_by_bucket");
     const int buckets = data.effective_buckets();
+    span.AddAttr("buckets", static_cast<uint64_t>(buckets));
     std::vector<double> sums(buckets, 0.0), counts(buckets, 0.0);
     for (int seg = 0; seg < data.num_segments; ++seg) {
       for (const SegmentScan& scan : scans[seg]) {
@@ -302,10 +330,20 @@ Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
 }
 
 Result<QueryResult> RunQuery(const ExperimentBsiData& data,
-                             const std::string& text) {
-  Result<Query> query = ParseQuery(text);
-  if (!query.ok()) return query.status();
-  return ExecuteQuery(data, query.value());
+                             const std::string& text,
+                             obs::QueryTrace* trace) {
+  obs::ScopedTrace install(obs::CurrentTrace() == trace ? nullptr : trace);
+  Result<Query> query = [&text] {
+    obs::ScopedSpan span("parse");
+    span.AddAttr("text_bytes", text.size());
+    return ParseQuery(text);
+  }();
+  if (!query.ok()) {
+    static obs::Counter& parse_errors = obs::GetCounter("query.parse_errors");
+    parse_errors.Add();
+    return query.status();
+  }
+  return ExecuteQuery(data, query.value(), trace);
 }
 
 }  // namespace expbsi

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "engine/experiment_data.h"
+#include "obs/trace.h"
 #include "query/ast.h"
 
 namespace expbsi {
@@ -20,12 +21,19 @@ namespace expbsi {
 // aggregates) return InvalidArgument. Missing data (unknown metric-id,
 // strategy without exposure in a segment) is not an error -- those segments
 // simply contribute nothing, as in the production system.
+// Pass a QueryTrace to record the execution as a span tree (validate ->
+// build_scans -> aggregate -> group_by_bucket, with per-layer byte and
+// container counts); nullptr skips all tracing work. The trace is installed
+// on the calling thread for the duration, so kernels and stores reached
+// from here attach to it automatically.
 Result<QueryResult> ExecuteQuery(const ExperimentBsiData& data,
-                                 const Query& query);
+                                 const Query& query,
+                                 obs::QueryTrace* trace = nullptr);
 
 // Parses and executes in one step.
 Result<QueryResult> RunQuery(const ExperimentBsiData& data,
-                             const std::string& text);
+                             const std::string& text,
+                             obs::QueryTrace* trace = nullptr);
 
 }  // namespace expbsi
 

@@ -56,6 +56,48 @@ double BetaContinuedFraction(double a, double b, double x) {
   return h;
 }
 
+// Regularized lower incomplete gamma P(a, x) by its power series; converges
+// fast for x < a + 1 (Numerical Recipes gser).
+double GammaPBySeries(double a, double x) {
+  constexpr int kMaxIterations = 500;
+  constexpr double kEps = 3.0e-12;
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Regularized upper incomplete gamma Q(a, x) by Lentz continued fraction;
+// converges fast for x >= a + 1 (Numerical Recipes gcf).
+double GammaQByContinuedFraction(double a, double x) {
+  constexpr int kMaxIterations = 500;
+  constexpr double kEps = 3.0e-12;
+  constexpr double kFpMin = 1.0e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
 }  // namespace
 
 double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
@@ -79,6 +121,17 @@ double StudentTCdf(double t, double df) {
   const double x = df / (df + t * t);
   const double p = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
   return t >= 0.0 ? 1.0 - p : p;
+}
+
+double ChiSquareSurvival(double x, double df) {
+  CHECK_GT(df, 0.0);
+  if (x <= 0.0) return 1.0;
+  const double a = df / 2.0;
+  const double half_x = x / 2.0;
+  // Pick the representation that converges on this side of the a+1 split so
+  // we never compute a tail as 1 - (something that rounds to 1).
+  if (half_x < a + 1.0) return 1.0 - GammaPBySeries(a, half_x);
+  return GammaQByContinuedFraction(a, half_x);
 }
 
 TTestResult WelchTTest(double mean_treat, double var_of_mean_treat,

@@ -13,6 +13,12 @@ double RegularizedIncompleteBeta(double a, double b, double x);
 // CDF of Student's t distribution with `df` degrees of freedom.
 double StudentTCdf(double t, double df);
 
+// Survival function P(X >= x) of the chi-square distribution with `df`
+// degrees of freedom, i.e. the regularized upper incomplete gamma
+// Q(df/2, x/2). Used by the SRM monitor (src/obs/srm.h) to turn the
+// goodness-of-fit statistic over arm counts into a p-value.
+double ChiSquareSurvival(double x, double df);
+
 // Welch's two-sample t-test on two estimates, each given as a mean, the
 // variance OF THE MEAN (already divided by the replicate count), and the
 // replicate degrees of freedom. In this system the replicates are the 1024

@@ -7,6 +7,7 @@
 #include "common/fault_injector.h"
 #include "common/file_io.h"
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace expbsi {
 namespace {
@@ -58,6 +59,10 @@ size_t BsiStoreKeyHash::operator()(const BsiStoreKey& k) const {
 }
 
 void BsiStore::Put(const BsiStoreKey& key, std::string bytes) {
+  static obs::Counter& puts = obs::GetCounter("store.puts");
+  static obs::Counter& put_bytes = obs::GetCounter("store.put_bytes");
+  puts.Add();
+  put_bytes.Add(bytes.size());
   const uint64_t fingerprint = BlobFingerprint(bytes);
   auto it = blobs_.find(key);
   if (it != blobs_.end()) {
@@ -95,6 +100,8 @@ bool BsiStore::Contains(const BsiStoreKey& key) const {
 }
 
 Result<const std::string*> BsiStore::Get(const BsiStoreKey& key) const {
+  static obs::Counter& gets = obs::GetCounter("store.gets");
+  gets.Add();
   if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
     if (fi->Evaluate(fault_sites::kWarehouseGet).fail) {
       return Status::Unavailable("bsi store: injected warehouse failure");

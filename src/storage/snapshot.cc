@@ -10,6 +10,8 @@
 #include "common/fault_injector.h"
 #include "common/file_io.h"
 #include "common/hash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace expbsi {
 namespace {
@@ -382,6 +384,26 @@ std::vector<uint64_t> SnapshotReader::ListManifestVersions(
 
 Result<SnapshotWriteStats> SnapshotWriter::Write(const BsiStore& store,
                                                  const std::string& dir) {
+  obs::ScopedSpan span("snapshot_write");
+  static obs::Counter& writes = obs::GetCounter("snapshot.writes");
+  static obs::Counter& write_failures =
+      obs::GetCounter("snapshot.write_failures");
+  static obs::Counter& bytes_written =
+      obs::GetCounter("snapshot.bytes_written");
+  writes.Add();
+  Result<SnapshotWriteStats> result = WriteImpl(store, dir);
+  if (result.ok()) {
+    bytes_written.Add(result.value().bytes_written);
+    span.AddAttr("bytes_written", result.value().bytes_written);
+    span.AddAttr("version", result.value().version);
+  } else {
+    write_failures.Add();
+  }
+  return result;
+}
+
+Result<SnapshotWriteStats> SnapshotWriter::WriteImpl(const BsiStore& store,
+                                                     const std::string& dir) {
   RETURN_IF_ERROR(fileio::CreateDirIfMissing(dir));
   const std::vector<uint64_t> existing =
       SnapshotReader::ListManifestVersions(dir);
@@ -459,6 +481,9 @@ Result<SnapshotWriteStats> SnapshotWriter::Write(const BsiStore& store,
 
 Result<BsiStore> SnapshotReader::Recover(const std::string& dir,
                                          RecoveryReport* report) {
+  obs::ScopedSpan span("snapshot_recover");
+  static obs::Counter& recoveries = obs::GetCounter("snapshot.recoveries");
+  recoveries.Add();
   RecoveryReport local;
   RecoveryReport* const rep = report != nullptr ? report : &local;
   *rep = RecoveryReport{};
@@ -538,6 +563,19 @@ Result<BsiStore> SnapshotReader::Recover(const std::string& dir,
   }
   std::sort(rep->lost_segments.begin(), rep->lost_segments.end());
   std::sort(rep->segments_recovered.begin(), rep->segments_recovered.end());
+  static obs::Counter& blobs_recovered =
+      obs::GetCounter("snapshot.blobs_recovered");
+  static obs::Counter& bytes_recovered =
+      obs::GetCounter("snapshot.bytes_recovered");
+  static obs::Counter& lost = obs::GetCounter("snapshot.lost_segments");
+  static obs::Counter& skipped =
+      obs::GetCounter("snapshot.manifests_skipped");
+  blobs_recovered.Add(rep->blobs_recovered);
+  bytes_recovered.Add(rep->bytes_recovered);
+  lost.Add(rep->lost_segments.size());
+  skipped.Add(static_cast<uint64_t>(rep->manifests_skipped));
+  span.AddAttr("blobs_recovered", rep->blobs_recovered);
+  span.AddAttr("lost_segments", rep->lost_segments.size());
   return store;
 }
 

@@ -67,6 +67,12 @@ class SnapshotWriter {
   // successful Write cleans up).
   static Result<SnapshotWriteStats> Write(const BsiStore& store,
                                           const std::string& dir);
+
+ private:
+  // The write itself; the public wrapper adds the observability shell
+  // (snapshot.* counters and the trace span).
+  static Result<SnapshotWriteStats> WriteImpl(const BsiStore& store,
+                                              const std::string& dir);
 };
 
 class SnapshotReader {

@@ -2,8 +2,36 @@
 
 #include "common/check.h"
 #include "common/fault_injector.h"
+#include "obs/metrics.h"
 
 namespace expbsi {
+
+namespace {
+
+// Registry mirror of the per-instance Stats (docs/OBSERVABILITY.md). The
+// per-instance struct stays authoritative -- AdhocCluster diffs it per node
+// to attribute cold bytes -- while these process-wide counters feed the
+// scrape. Both are bumped at the same points.
+struct TierMetrics {
+  obs::Counter& hot_hits = obs::GetCounter("tier.hot_hits");
+  obs::Counter& cold_reads = obs::GetCounter("tier.cold_reads");
+  obs::Counter& bytes_from_cold = obs::GetCounter("tier.bytes_from_cold");
+  obs::Counter& evictions = obs::GetCounter("tier.evictions");
+  obs::Counter& oversize_bypasses = obs::GetCounter("tier.oversize_bypasses");
+  obs::Counter& injected_faults = obs::GetCounter("tier.injected_faults");
+  obs::Counter& fingerprint_verifications =
+      obs::GetCounter("tier.fingerprint_verifications");
+  obs::Counter& fingerprint_mismatches =
+      obs::GetCounter("tier.fingerprint_mismatches");
+  obs::Histogram& cold_blob_bytes = obs::GetHistogram("tier.cold_blob_bytes");
+};
+
+TierMetrics& Metrics() {
+  static TierMetrics m;
+  return m;
+}
+
+}  // namespace
 
 TieredStore::TieredStore(const BsiStore* cold, size_t hot_capacity_bytes)
     : cold_(cold), hot_capacity_bytes_(hot_capacity_bytes) {
@@ -16,6 +44,7 @@ Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
   auto it = hot_.find(key);
   if (it != hot_.end()) {
     ++stats_.hot_hits;
+    Metrics().hot_hits.Add();
     // Move to the front of the LRU list.
     lru_.erase(it->second.lru_it);
     lru_.push_front(key);
@@ -30,10 +59,12 @@ Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
     fault = fi->Evaluate(fault_sites::kTierFetch);
     if (fault.delay_seconds > 0) {
       ++stats_.injected_faults;
+      Metrics().injected_faults.Add();
       stats_.injected_delay_seconds += fault.delay_seconds;
     }
     if (fault.fail) {
       ++stats_.injected_faults;
+      Metrics().injected_faults.Add();
       return Status::Unavailable("tiered store: injected cold-fetch failure");
     }
   }
@@ -46,13 +77,19 @@ Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
     ++stats_.injected_faults;
     ++stats_.cold_reads;
     stats_.bytes_from_cold += cold_blob.value()->size();
+    Metrics().injected_faults.Add();
+    Metrics().cold_reads.Add();
+    Metrics().bytes_from_cold.Add(cold_blob.value()->size());
+    Metrics().cold_blob_bytes.Record(cold_blob.value()->size());
     auto corrupted = std::make_shared<std::string>(*cold_blob.value());
     fi->CorruptBlob(stats_.cold_reads, corrupted.get());
     const Result<uint64_t> want = cold_->Fingerprint(key);
     if (!want.ok()) return want.status();
     ++stats_.fingerprint_verifications;
+    Metrics().fingerprint_verifications.Add();
     if (BlobFingerprint(*corrupted) != want.value()) {
       ++stats_.fingerprint_mismatches;
+      Metrics().fingerprint_mismatches.Add();
       return Status::Corruption(
           "tiered store: transfer fingerprint mismatch");
     }
@@ -64,6 +101,9 @@ Result<std::shared_ptr<const std::string>> TieredStore::Fetch(
   if (blob.ok()) {
     ++stats_.cold_reads;
     stats_.bytes_from_cold += blob.value()->size();
+    Metrics().cold_reads.Add();
+    Metrics().bytes_from_cold.Add(blob.value()->size());
+    Metrics().cold_blob_bytes.Record(blob.value()->size());
   }
   return blob;
 }
@@ -93,8 +133,10 @@ Result<std::shared_ptr<const std::string>> TieredStore::LoadFromCold(
     const Result<uint64_t> want = cold_->Fingerprint(key);
     if (!want.ok()) return want.status();
     ++stats_.fingerprint_verifications;
+    Metrics().fingerprint_verifications.Add();
     if (BlobFingerprint(*blob) != want.value()) {
       ++stats_.fingerprint_mismatches;
+      Metrics().fingerprint_mismatches.Add();
       return Status::Corruption(
           "tiered store: transfer fingerprint mismatch");
     }
@@ -103,6 +145,7 @@ Result<std::shared_ptr<const std::string>> TieredStore::LoadFromCold(
     // The blob cannot fit even in an empty hot tier; caching it would evict
     // everything else for nothing. Serve it directly from cold.
     ++stats_.oversize_bypasses;
+    Metrics().oversize_bypasses.Add();
     return blob;
   }
   lru_.push_front(key);
@@ -121,6 +164,7 @@ void TieredStore::EvictIfNeeded() {
     hot_bytes_ -= it->second.blob->size();
     hot_.erase(it);
     ++stats_.evictions;
+    Metrics().evictions.Add();
   }
 }
 

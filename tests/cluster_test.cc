@@ -141,6 +141,62 @@ TEST_F(ClusterTest, RepeatQueriesHitHotTier) {
   EXPECT_GT(second_or.value().hot_hits, 0u);
 }
 
+// The normal-format baseline must report the same hot/cold IO shape as the
+// BSI path (first touch = cold bytes, reuse = hot hits), so the two paths'
+// QueryStats are comparable and the asymmetry fixed here can't regress.
+TEST_F(ClusterTest, RepeatNormalBitmapQueriesHitHotTierLikeBsi) {
+  AdhocCluster cluster(dataset_, bsi_, AdhocClusterConfig{});
+  const auto first_or = cluster.QueryNormalBitmap({801}, {901}, 50, 56);
+  ASSERT_TRUE(first_or.ok());
+  EXPECT_GT(first_or.value().bytes_from_cold, 0u);
+  EXPECT_EQ(first_or.value().hot_hits, 0u);
+  const auto second_or = cluster.QueryNormalBitmap({801}, {901}, 50, 56);
+  ASSERT_TRUE(second_or.ok());
+  EXPECT_EQ(second_or.value().bytes_from_cold, 0u);
+  EXPECT_GT(second_or.value().hot_hits, 0u);
+
+  // Same first/repeat signature the BSI path shows on a fresh cluster
+  // (RepeatQueriesHitHotTier), asserted side by side.
+  AdhocCluster bsi_cluster(dataset_, bsi_, AdhocClusterConfig{});
+  const auto bsi_first = bsi_cluster.QueryBsi({801}, {901}, 50, 56);
+  ASSERT_TRUE(bsi_first.ok());
+  const auto bsi_second = bsi_cluster.QueryBsi({801}, {901}, 50, 56);
+  ASSERT_TRUE(bsi_second.ok());
+  EXPECT_GT(bsi_first.value().bytes_from_cold, 0u);
+  EXPECT_EQ(bsi_second.value().bytes_from_cold, 0u);
+  EXPECT_GT(bsi_second.value().hot_hits, 0u);
+}
+
+TEST_F(ClusterTest, QueryStatsCarryFinishedTraceTree) {
+  AdhocCluster cluster(dataset_, bsi_, AdhocClusterConfig{});
+  const auto bsi_or = cluster.QueryBsi({801, 802}, {901}, 50, 56);
+  ASSERT_TRUE(bsi_or.ok());
+  ASSERT_NE(bsi_or.value().trace, nullptr);
+  const auto spans = bsi_or.value().trace->spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].id, 1u);
+  EXPECT_EQ(spans[0].name, "adhoc_query_bsi");
+  EXPECT_FALSE(spans[0].open);  // root closed before the stats returned
+  bool has_wave = false, has_node = false, has_segment = false;
+  for (const auto& span : spans) {
+    EXPECT_FALSE(span.open);
+    EXPECT_LT(span.parent_id, span.id);
+    if (span.name == "wave") has_wave = true;
+    if (span.name == "node_execute") has_node = true;
+    if (span.name == "segment_execute") has_segment = true;
+  }
+  EXPECT_TRUE(has_wave);
+  EXPECT_TRUE(has_node);
+  EXPECT_TRUE(has_segment);
+
+  const auto norm_or = cluster.QueryNormalBitmap({801}, {901}, 50, 56);
+  ASSERT_TRUE(norm_or.ok());
+  ASSERT_NE(norm_or.value().trace, nullptr);
+  const std::string tree = norm_or.value().trace->ToText();
+  EXPECT_NE(tree.find("adhoc_query_normal"), std::string::npos);
+  EXPECT_NE(tree.find("node_scan"), std::string::npos);
+}
+
 TEST_F(ClusterTest, ColdStoreHoldsAllBlobs) {
   const BsiStore store = BuildColdStore(*bsi_);
   // 8 segments x (3 expose + 2 metrics x 7 days) = 8 * 17 blobs, minus any

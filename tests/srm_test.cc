@@ -1,0 +1,148 @@
+// Sample-ratio-mismatch monitor (docs/OBSERVABILITY.md "SRM monitor"): the
+// chi-square survival function it is built on, the decision behavior on
+// fair vs skewed splits, the registry side effects, and the guarantee that
+// every scorecard entry carries its SRM verdict (never silently dropped).
+
+#include "obs/srm.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+#include "obs/metrics.h"
+#include "stats/ttest.h"
+
+namespace expbsi {
+namespace {
+
+TEST(SrmTest, ChiSquareSurvivalMatchesKnownQuantiles) {
+  // Standard chi-square critical values at df=1.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1.0), 0.05, 2e-3);
+  EXPECT_NEAR(ChiSquareSurvival(6.635, 1.0), 0.01, 5e-4);
+  EXPECT_NEAR(ChiSquareSurvival(10.828, 1.0), 0.001, 1e-4);
+  EXPECT_NEAR(ChiSquareSurvival(0.455, 1.0), 0.5, 2e-3);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(-1.0, 1.0), 1.0);
+  // And a df=2 spot check (survival of exp(-x/2)).
+  EXPECT_NEAR(ChiSquareSurvival(5.991, 2.0), 0.05, 2e-3);
+}
+
+TEST(SrmTest, SkewedSplitFlagsMismatch) {
+  // The acceptance case: 55/45 over 100k units. chi2 = 2 * 5000^2 / 50000
+  // = 1000, astronomically beyond the 1e-3 threshold.
+  const SrmResult r = obs::SrmCheckCounts(55000, 45000);
+  EXPECT_TRUE(r.checked);
+  EXPECT_TRUE(r.mismatch);
+  EXPECT_NEAR(r.chi_square, 1000.0, 1e-9);
+  EXPECT_LT(r.p_value, 1e-100);
+  EXPECT_EQ(r.treatment_units, 55000u);
+  EXPECT_EQ(r.control_units, 45000u);
+}
+
+TEST(SrmTest, FairSplitStaysSilent) {
+  const SrmResult even = obs::SrmCheckCounts(50000, 50000);
+  EXPECT_TRUE(even.checked);
+  EXPECT_FALSE(even.mismatch);
+  EXPECT_DOUBLE_EQ(even.p_value, 1.0);
+
+  // Ordinary sampling noise on a fair 50/50: chi2 = 2 * 100^2 / 50000 =
+  // 0.4, p ~ 0.53 -- far from the threshold, so no alarm fatigue.
+  const SrmResult noisy = obs::SrmCheckCounts(50100, 49900);
+  EXPECT_TRUE(noisy.checked);
+  EXPECT_FALSE(noisy.mismatch);
+  EXPECT_GT(noisy.p_value, 0.5);
+}
+
+TEST(SrmTest, ZeroUnitsIsUncheckedNotMismatch) {
+  const SrmResult r = obs::SrmCheckCounts(0, 0);
+  EXPECT_FALSE(r.checked);
+  EXPECT_FALSE(r.mismatch);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(SrmTest, UnevenDesignShareIsRespected) {
+  // A 90/10 design split: 90k/10k is exactly on-design, 50k/50k is wildly
+  // off it.
+  const SrmResult on_design = obs::SrmCheckCounts(90000, 10000, 0.9);
+  EXPECT_TRUE(on_design.checked);
+  EXPECT_FALSE(on_design.mismatch);
+  const SrmResult off_design = obs::SrmCheckCounts(50000, 50000, 0.9);
+  EXPECT_TRUE(off_design.checked);
+  EXPECT_TRUE(off_design.mismatch);
+}
+
+#if !defined(EXPBSI_NO_METRICS)
+TEST(SrmTest, RegistryRecordsChecksAndMismatches) {
+  obs::Counter& checks = obs::GetCounter("srm.checks");
+  obs::Counter& mismatches = obs::GetCounter("srm.mismatches");
+  obs::Gauge& last_p = obs::GetGauge("srm.last_p_value");
+  const uint64_t checks_before = checks.Value();
+  const uint64_t mismatches_before = mismatches.Value();
+
+  const SrmResult fair = obs::SrmCheckCounts(50000, 50000);
+  const SrmResult skewed = obs::SrmCheckCounts(55000, 45000);
+  EXPECT_EQ(checks.Value(), checks_before + 2);
+  EXPECT_EQ(mismatches.Value(), mismatches_before + 1);
+  EXPECT_DOUBLE_EQ(last_p.Value(), skewed.p_value);
+  (void)fair;
+}
+#endif  // !EXPBSI_NO_METRICS
+
+// A hash-based randomizer is fair by construction, so a real scorecard over
+// a generated dataset must carry a checked, non-mismatching SRM verdict on
+// every entry.
+TEST(SrmTest, ScorecardOverFairAssignmentStaysSilent) {
+  DatasetConfig config;
+  config.num_users = 20000;
+  config.num_segments = 4;
+  config.num_days = 5;
+  config.start_date = 30;
+  config.seed = 91;
+  ExperimentConfig exp;
+  exp.strategy_ids = {21, 22};
+  exp.arm_effects = {1.0, 1.05};
+  MetricConfig metric;
+  metric.metric_id = 7;
+  metric.daily_participation = 0.5;
+  const Dataset dataset = GenerateDataset(config, {exp}, {metric}, {});
+  const ExperimentBsiData bsi = BuildExperimentBsiData(dataset, true);
+
+  const std::vector<ScorecardEntry> entries =
+      ComputeScorecard(bsi, /*control_id=*/21, {22}, {7}, 30, 34);
+  ASSERT_EQ(entries.size(), 1u);
+  const SrmResult& srm = entries[0].srm;
+  EXPECT_TRUE(srm.checked);
+  EXPECT_FALSE(srm.mismatch) << "fair hash split flagged, p=" << srm.p_value;
+  EXPECT_GT(srm.treatment_units, 0u);
+  EXPECT_GT(srm.control_units, 0u);
+  EXPECT_GT(srm.p_value, obs::kSrmPValueThreshold);
+}
+
+// A knowingly skewed assignment must be flagged on the entry itself, so no
+// consumer can read the t-test without seeing the data-quality verdict.
+TEST(SrmTest, SkewedAssignmentFlaggedInScorecardEntry) {
+  auto make_buckets = [](double per_bucket_count) {
+    BucketValues bv;
+    bv.sums.assign(10, 100.0);
+    bv.counts.assign(10, per_bucket_count);
+    return bv;
+  };
+  // 55k vs 45k units across 10 buckets.
+  const BucketValues treatment = make_buckets(5500.0);
+  const BucketValues control = make_buckets(4500.0);
+  const ScorecardEntry entry =
+      CompareStrategies(/*metric_id=*/7, /*treatment_id=*/22, treatment,
+                        /*control_id=*/21, control);
+  EXPECT_TRUE(entry.srm.checked);
+  EXPECT_TRUE(entry.srm.mismatch);
+  EXPECT_LT(entry.srm.p_value, obs::kSrmPValueThreshold);
+  EXPECT_EQ(entry.srm.treatment_units, 55000u);
+  EXPECT_EQ(entry.srm.control_units, 45000u);
+}
+
+}  // namespace
+}  // namespace expbsi
