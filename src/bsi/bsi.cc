@@ -463,6 +463,32 @@ void Bsi::SetValue(uint32_t pos, uint64_t value) {
   TrimTopSlices();
 }
 
+void Bsi::MergeAppend(const Bsi& delta) {
+  static obs::Counter& disjoint = obs::GetCounter("kernel.merge_appends");
+  static obs::Counter& overlap =
+      obs::GetCounter("kernel.merge_append_overlaps");
+  if (delta.IsEmpty()) return;
+  if (IsEmpty()) {
+    *this = delta;
+    return;
+  }
+  if (RoaringBitmap::Intersects(existence_, delta.existence_)) {
+    // Overlapping positions need real addition: delegate to the adder so
+    // the result is exactly Add(*this, delta).
+    overlap.Add();
+    *this = Add(*this, delta);
+    return;
+  }
+  // Disjoint existence means no position has a bit set in both operands'
+  // slices, so slice-wise OR is carry-free addition.
+  disjoint.Add();
+  while (num_slices() < delta.num_slices()) slices_.emplace_back();
+  for (int i = 0; i < delta.num_slices(); ++i) {
+    slices_[i].OrInPlace(delta.slices_[i]);
+  }
+  existence_.OrInPlace(delta.existence_);
+}
+
 void Bsi::RunOptimize() {
   existence_.RunOptimize();
   for (RoaringBitmap& slice : slices_) slice.RunOptimize();

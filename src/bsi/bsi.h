@@ -143,6 +143,13 @@ class Bsi {
   // Point update; value 0 removes the position.
   void SetValue(uint32_t pos, uint64_t value);
 
+  // Merges `delta` into this BSI so that afterwards every position holds
+  // this[j] + delta[j]. When the existence bitmaps are disjoint (the common
+  // ingestion case: late-arriving analysis units appended to a live
+  // segment), the merge is a word-level OR per slice -- no carries, no
+  // rebuild. Overlapping positions fall back to the carry-save adder.
+  void MergeAppend(const Bsi& delta);
+
   // Run-optimizes every slice (storage form).
   void RunOptimize();
 

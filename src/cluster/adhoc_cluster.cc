@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "wal/ingest_store.h"
 
 namespace expbsi {
 
@@ -118,6 +119,10 @@ Result<ExperimentBsiData> ReconstructBsiData(const BsiStore& store,
             std::move(dimension).value());
         break;
       }
+      case BsiKind::kState:
+        // Ingest-store checkpoint state (meta / position encoders); not a
+        // BSI. The ingest store decodes these itself.
+        break;
     }
   });
   if (!status.ok()) return status;
@@ -132,8 +137,15 @@ AdhocCluster::AdhocCluster(const Dataset* dataset,
   CHECK_GT(config_.threads_per_node, 0);
   if (dataset_ != nullptr) CHECK(dataset_->config.bucket_equals_segment);
 
+  if (config_.ingest != nullptr) {
+    // The ingest store already recovered (newest good snapshot + WAL tail
+    // replay); the cluster is a serving view of its live data.
+    CHECK(bsi_ == nullptr);  // exactly one BSI source
+    bsi_ = &config_.ingest->data();
+  }
+
   bool recovered = false;
-  if (!config_.snapshot_dir.empty()) {
+  if (config_.ingest == nullptr && !config_.snapshot_dir.empty()) {
     Result<BsiStore> r =
         BsiStore::Recover(config_.snapshot_dir, &recovery_report_);
     // With a rebuild source at hand only a complete recovery is worth
@@ -150,7 +162,10 @@ AdhocCluster::AdhocCluster(const Dataset* dataset,
     CHECK(bsi_ != nullptr);  // neither a snapshot nor a build source
     recovery_report_ = RecoveryReport{};
     cold_ = BuildColdStore(*bsi_);
-    if (!config_.snapshot_dir.empty()) {
+    // With an ingest store the snapshot directory belongs to its
+    // checkpoints (whose manifests carry WAL metadata); the cluster must
+    // not publish versions of its own there.
+    if (config_.ingest == nullptr && !config_.snapshot_dir.empty()) {
       Result<SnapshotWriteStats> written =
           SnapshotWriter::Write(cold_, config_.snapshot_dir);
       if (!written.ok()) snapshot_write_status_ = written.status();

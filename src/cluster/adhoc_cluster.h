@@ -20,6 +20,8 @@
 
 namespace expbsi {
 
+class IngestStore;  // wal/ingest_store.h
+
 // ClickHouse-like ad-hoc query cluster (§5.3, Fig. 8, Table 8): every
 // segment lives on one node; queries fan out, run locally and in parallel on
 // each node, and the coordinator merges per-segment partials. Nodes keep hot
@@ -52,6 +54,13 @@ struct AdhocClusterConfig {
   // are surfaced through QueryStats::degraded (or fail strict-mode queries
   // with Corruption) -- never silently zero.
   std::string snapshot_dir;
+  // Streaming warehouse (DESIGN.md §8.5). When set (not owned, must
+  // outlive the cluster), the cluster serves the ingest store's live data:
+  // the store has already done snapshot+WAL point-in-time recovery, so the
+  // cluster's cold warehouse is built from it directly and snapshot_dir
+  // handling is left to the store's own checkpoints. Mutually exclusive
+  // with passing `bsi` (the store IS the BSI source).
+  IngestStore* ingest = nullptr;
 };
 
 class AdhocCluster {

@@ -11,6 +11,7 @@
 #include "engine/normal_engine.h"
 #include "engine/scorecard.h"
 #include "obs/metrics.h"
+#include "wal/ingest_store.h"
 
 namespace expbsi {
 
@@ -134,7 +135,20 @@ PrecomputeStats PrecomputePipeline::RunBsi(
                                               pair.second, date_lo, date_hi);
       });
   stats.cpu_seconds += prep_cpu;
-  if (!config_.snapshot_dir.empty() && stats.failed_pairs.empty()) {
+  if (config_.ingest != nullptr && stats.failed_pairs.empty()) {
+    // Streaming handoff: checkpoint through the WAL -- the ingest store
+    // snapshots its live data tagged with the last ingested sequence and
+    // trims the covered WAL segments. No full rebuild, no re-serialization
+    // of this pipeline's inputs.
+    Result<IngestCheckpointStats> checkpointed = config_.ingest->Checkpoint();
+    if (checkpointed.ok()) {
+      stats.snapshot_written = true;
+      stats.snapshot_version = checkpointed.value().snapshot.version;
+      stats.wal_checkpoint_sequence = checkpointed.value().sequence;
+    } else {
+      stats.snapshot_error = checkpointed.status().message();
+    }
+  } else if (!config_.snapshot_dir.empty() && stats.failed_pairs.empty()) {
     // Daily-build handoff: publish the warehouse as a new snapshot version
     // so serving clusters can cold-start from it. A batch with failed pairs
     // must not publish -- a recovered-from snapshot missing pairs would be

@@ -15,6 +15,8 @@
 
 namespace expbsi {
 
+class IngestStore;  // wal/ingest_store.h
+
 // Spark-like batch pre-compute pipeline (§5.2, Table 7). The paper submits
 // daily jobs that each compute a batch of strategy-metric pairs; we model an
 // executor pool (thread pool), per-pair tasks, CPU-time accounting (Table 7
@@ -37,6 +39,14 @@ struct PrecomputeConfig {
   // handoff. Outcome lands in PrecomputeStats::snapshot_*; a batch with
   // failed pairs never publishes.
   std::string snapshot_dir;
+  // Streaming handoff (DESIGN.md §8.5): when set (not owned, must outlive
+  // the pipeline), a fully successful RunBsi checkpoints the ingest store
+  // -- snapshot tagged with the last WAL sequence, WAL tail trimmed --
+  // instead of serializing the pipeline's own BSI data. This is the
+  // paper's daily rebuild replaced by an incremental checkpoint: the next
+  // recovery replays only the WAL written after it. Takes precedence over
+  // snapshot_dir.
+  IngestStore* ingest = nullptr;
 };
 
 // (strategy_id, metric_id).
@@ -59,6 +69,8 @@ struct PrecomputeStats {
   bool snapshot_written = false;
   uint64_t snapshot_version = 0;
   std::string snapshot_error;
+  // WAL sequence the checkpoint covered (PrecomputeConfig::ingest path).
+  uint64_t wal_checkpoint_sequence = 0;
 };
 
 class PrecomputePipeline {

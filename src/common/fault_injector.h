@@ -68,6 +68,21 @@ inline constexpr char kSnapshotRename[] = "snapshot.rename";
 // kFail makes the file unreadable (as if the sector were gone), kCorrupt
 // flips bits in the bytes read back (caught by the checksums).
 inline constexpr char kSnapshotRead[] = "snapshot.read";
+// Write-ahead log (src/wal). kWalAppend is evaluated once per record
+// append: kFail rejects the append cleanly (nothing written, the sequence
+// number is not consumed, the writer stays usable), kCrash simulates a
+// process kill mid-append (a deterministic prefix of the record bytes lands
+// in the segment and the writer goes dead), kCorrupt flips bits in the
+// record bytes but "succeeds" -- the corruption is only caught by the CRCs
+// at replay. kWalFsync is evaluated once per durability barrier AFTER the
+// bytes are flushed: kFail/kCrash kill the writer but the record survives
+// (replay recovers through it). kWalRoll is evaluated once per segment-file
+// creation (op 0 is the segment opened by WalWriter::Open, later ops are
+// size-triggered rolls): kFail aborts the roll cleanly, kCrash leaves a
+// torn segment header and kills the writer, kCorrupt flips header bits.
+inline constexpr char kWalAppend[] = "wal.append";
+inline constexpr char kWalFsync[] = "wal.fsync";
+inline constexpr char kWalRoll[] = "wal.roll";
 }  // namespace fault_sites
 
 inline constexpr uint64_t kPipelineAttemptStride = 64;

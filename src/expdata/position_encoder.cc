@@ -1,5 +1,7 @@
 #include "expdata/position_encoder.h"
 
+#include <cstring>
+
 #include "common/check.h"
 
 namespace expbsi {
@@ -28,6 +30,43 @@ void PositionEncoder::PreassignRanked(const std::vector<UnitId>& ids_by_rank) {
   reverse_.reserve(ids_by_rank.size());
   for (UnitId id : ids_by_rank) Encode(id);
   CHECK_EQ(reverse_.size(), ids_by_rank.size());  // ranked ids must be unique
+}
+
+void PositionEncoder::Serialize(std::string* out) const {
+  const uint32_t count = size();
+  out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (UnitId id : reverse_) {
+    out->append(reinterpret_cast<const char*>(&id), sizeof(id));
+  }
+}
+
+Result<PositionEncoder> PositionEncoder::Deserialize(std::string_view bytes) {
+  uint32_t count = 0;
+  if (bytes.size() < sizeof(count)) {
+    return Status::Corruption("position_encoder: truncated");
+  }
+  std::memcpy(&count, bytes.data(), sizeof(count));
+  if ((bytes.size() - sizeof(count)) / sizeof(UnitId) < count) {
+    return Status::Corruption("position_encoder: count exceeds payload");
+  }
+  if (bytes.size() != sizeof(count) + count * sizeof(UnitId)) {
+    return Status::Corruption("position_encoder: trailing bytes");
+  }
+  PositionEncoder out;
+  out.forward_.reserve(count);
+  out.reverse_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    UnitId id = 0;
+    std::memcpy(&id, bytes.data() + sizeof(count) + i * sizeof(UnitId),
+                sizeof(id));
+    auto [it, inserted] = out.forward_.try_emplace(id, i);
+    (void)it;
+    if (!inserted) {
+      return Status::Corruption("position_encoder: duplicate unit id");
+    }
+    out.reverse_.push_back(id);
+  }
+  return out;
 }
 
 }  // namespace expbsi

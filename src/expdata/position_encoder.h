@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "expdata/schema.h"
 
 namespace expbsi {
@@ -36,6 +39,13 @@ class PositionEncoder {
   void PreassignRanked(const std::vector<UnitId>& ids_by_rank);
 
   uint32_t size() const { return static_cast<uint32_t>(reverse_.size()); }
+
+  // Serialization (snapshot+WAL recovery needs the position assignment to
+  // survive restarts, or replayed deltas would land at different
+  // positions): [count u32][unit ids u64 ...] in position order. The
+  // forward map is rebuilt on load.
+  void Serialize(std::string* out) const;
+  static Result<PositionEncoder> Deserialize(std::string_view bytes);
 
  private:
   std::unordered_map<UnitId, uint32_t> forward_;

@@ -191,7 +191,7 @@ Result<BsiStore> BsiStore::LoadFromFile(const std::string& path) {
       return Status::Corruption("bsi store: truncated record header");
     }
     remaining -= kRecordHeaderBytes;
-    if (kind > 2) return Status::Corruption("bsi store: bad kind byte");
+    if (kind > 3) return Status::Corruption("bsi store: bad kind byte");
     key.kind = static_cast<BsiKind>(kind);
     if (len > remaining) {
       return Status::Corruption("bsi store: blob length exceeds file size");

@@ -16,8 +16,16 @@ namespace expbsi {
 // surfaces as Status::Corruption -- never as a silently wrong decode.
 uint64_t BlobFingerprint(std::string_view bytes);
 
-// What a stored blob represents.
-enum class BsiKind : uint8_t { kExpose = 0, kMetric = 1, kDimension = 2 };
+// What a stored blob represents. kState blobs carry non-BSI warehouse
+// state that must survive a crash alongside the BSIs (the ingest store's
+// checkpoint metadata and position encoders, src/wal/ingest_store.h); the
+// query paths skip them.
+enum class BsiKind : uint8_t {
+  kExpose = 0,
+  kMetric = 1,
+  kDimension = 2,
+  kState = 3,
+};
 
 // Key of one BSI blob in the warehouse: (segment, kind, id, date), where id
 // is the strategy-id / metric-id / dimension-id and date is 0 for expose

@@ -280,7 +280,7 @@ Status DecodeSegmentFile(std::string_view bytes, const ManifestEntry& entry,
       return Status::Corruption(fname + ": record header checksum mismatch "
                                         "(bitflip)");
     }
-    if (kind > 2) {
+    if (kind > 3) {
       return Status::Corruption(fname + ": bad kind byte");
     }
     rec.key.kind = static_cast<BsiKind>(kind);

@@ -1,0 +1,77 @@
+#include "wal/event_stream.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace expbsi {
+namespace {
+
+std::tuple<Date, uint8_t, uint64_t, UnitId> OrderKey(const WalEvent& e) {
+  return {e.date, static_cast<uint8_t>(e.kind), e.id, e.analysis_unit_id};
+}
+
+}  // namespace
+
+std::vector<WalEvent> MakeWalEventStream(const Dataset& dataset) {
+  std::vector<WalEvent> events;
+  size_t total = 0;
+  for (const SegmentData& segment : dataset.segments) {
+    total += segment.expose.size() + segment.metrics.size() +
+             segment.dimensions.size();
+  }
+  events.reserve(total);
+  for (const SegmentData& segment : dataset.segments) {
+    for (const ExposeRow& row : segment.expose) {
+      WalEvent e;
+      e.kind = WalEventKind::kExpose;
+      e.id = row.strategy_id;
+      e.analysis_unit_id = row.analysis_unit_id;
+      e.randomization_unit_id = row.randomization_unit_id;
+      e.date = row.first_expose_date;
+      events.push_back(e);
+    }
+    for (const MetricRow& row : segment.metrics) {
+      WalEvent e;
+      e.kind = WalEventKind::kMetric;
+      e.id = row.metric_id;
+      e.analysis_unit_id = row.analysis_unit_id;
+      e.date = row.date;
+      e.value = row.value;
+      events.push_back(e);
+    }
+    for (const DimensionRow& row : segment.dimensions) {
+      WalEvent e;
+      e.kind = WalEventKind::kDimension;
+      e.id = row.dimension_id;
+      e.analysis_unit_id = row.analysis_unit_id;
+      e.date = row.date;
+      e.value = row.value;
+      events.push_back(e);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const WalEvent& a, const WalEvent& b) {
+              return OrderKey(a) < OrderKey(b);
+            });
+  for (size_t i = 1; i < events.size(); ++i) {
+    // A duplicate (date, kind, id, unit) would make replay order ambiguous.
+    CHECK(OrderKey(events[i - 1]) != OrderKey(events[i]));
+  }
+  return events;
+}
+
+std::vector<std::vector<WalEvent>> BatchWalEvents(
+    const std::vector<WalEvent>& events, size_t batch_events) {
+  CHECK_GE(batch_events, 1u);
+  std::vector<std::vector<WalEvent>> batches;
+  batches.reserve(events.size() / batch_events + 1);
+  for (size_t i = 0; i < events.size(); i += batch_events) {
+    const size_t n = std::min(batch_events, events.size() - i);
+    batches.emplace_back(events.begin() + i, events.begin() + i + n);
+  }
+  return batches;
+}
+
+}  // namespace expbsi

@@ -1,0 +1,35 @@
+#ifndef EXPBSI_WAL_EVENT_STREAM_H_
+#define EXPBSI_WAL_EVENT_STREAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "expdata/generator.h"
+#include "wal/wal.h"
+
+namespace expbsi {
+
+// Flattens a generated dataset into the event stream a streaming collector
+// would have delivered: every expose / metric / dimension row of every
+// segment as one WalEvent, in a TOTAL deterministic order.
+//
+// Ordering is the exactness contract of WAL replay (ISSUE 6 satellite 4):
+// the generator emits rows grouped by segment in per-user iteration order,
+// so flattening them by date alone would leave same-date events in an
+// order that depends on segment count and row layout. This function orders
+// by the full key (date, kind, id, analysis_unit_id) -- a strict total
+// order over the dataset's rows -- so two runs (or two machines) always
+// produce byte-identical WAL contents for the same dataset. Duplicate full
+// keys would make "last write wins" ambiguous; the generator never emits
+// them, and this function CHECK-fails if one appears.
+std::vector<WalEvent> MakeWalEventStream(const Dataset& dataset);
+
+// Splits `events` into append-batches of at most `batch_events` (>= 1)
+// events each, preserving order. Each batch is one WAL record: the atomic
+// replay unit.
+std::vector<std::vector<WalEvent>> BatchWalEvents(
+    const std::vector<WalEvent>& events, size_t batch_events);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_WAL_EVENT_STREAM_H_

@@ -1,0 +1,109 @@
+#ifndef EXPBSI_WAL_INGEST_STORE_H_
+#define EXPBSI_WAL_INGEST_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/experiment_data.h"
+#include "storage/snapshot.h"
+#include "wal/delta_builder.h"
+#include "wal/wal.h"
+
+namespace expbsi {
+
+// Snapshot + WAL point-in-time recovery (DESIGN.md §8.4): the streaming
+// warehouse. An IngestStore owns
+//   * a live ExperimentBsiData kept current by DeltaBuilder merges,
+//   * a WalWriter every ingested batch is appended to BEFORE it is merged,
+//   * a snapshot directory it checkpoints into.
+//
+// Recovery contract: Open() loads the newest good snapshot (whose meta blob
+// records the WAL sequence it contains), then replays only the WAL records
+// with a larger sequence. A crash between the snapshot commit and the WAL
+// trim is therefore harmless -- the overlapping records are skipped by
+// sequence, never applied twice. A crash mid-append loses at most the
+// record being appended (WalWriter's torn-tail repair), and everything
+// durable replays deterministically: same log, same store, bit for bit.
+struct IngestOptions {
+  WalOptions wal;
+  // Shape of the live data; must stay fixed for the lifetime of the store
+  // (it is persisted in the snapshot meta blob and validated on recovery).
+  int num_segments = 1;
+  int num_buckets = 0;
+  bool bucket_equals_segment = true;
+};
+
+struct IngestRecoveryReport {
+  RecoveryReport snapshot;
+  WalRecoveryReport wal;
+  // True when no usable snapshot existed and the store started empty.
+  bool cold_start = false;
+  // WAL sequence the snapshot contained (0 = cold start).
+  uint64_t checkpoint_sequence = 0;
+  // WAL records / events actually applied on top of the snapshot.
+  uint64_t records_applied = 0;
+  uint64_t events_applied = 0;
+};
+
+struct IngestCheckpointStats {
+  SnapshotWriteStats snapshot;
+  // WAL sequence the checkpoint covers and segment files trimmed after it.
+  uint64_t sequence = 0;
+  uint32_t wal_segments_removed = 0;
+};
+
+// Format of the snapshot meta blob (BsiKind::kState, id 0).
+inline constexpr uint32_t kIngestMetaFormatVersion = 1;
+// kState blob ids.
+inline constexpr uint64_t kIngestMetaBlobId = 0;
+inline constexpr uint64_t kIngestEncoderBlobId = 1;
+
+class IngestStore {
+ public:
+  // Recovers (or cold-starts) the store: snapshot first, WAL tail second.
+  // A snapshot that exists but is partially lost or shape-incompatible
+  // fails with Corruption -- an ingest store must not silently serve from
+  // a store missing segments it will keep appending to.
+  static Result<std::unique_ptr<IngestStore>> Open(
+      const std::string& wal_dir, const std::string& snapshot_dir,
+      const IngestOptions& options, IngestRecoveryReport* report = nullptr);
+
+  IngestStore(const IngestStore&) = delete;
+  IngestStore& operator=(const IngestStore&) = delete;
+
+  // Appends `events` as one WAL record, then merges them into the live
+  // data. The merge happens only after the append succeeded: a rejected or
+  // crashed append leaves the live data untouched, so memory never gets
+  // ahead of the log. Returns the record's sequence number.
+  Result<uint64_t> Ingest(const std::vector<WalEvent>& events);
+
+  // Writes a snapshot of the live data (tagged with the last ingested
+  // sequence) and trims WAL segments the snapshot covers. On failure the
+  // previous snapshot and the full WAL stay intact.
+  Result<IngestCheckpointStats> Checkpoint();
+
+  const ExperimentBsiData& data() const { return live_; }
+  uint64_t last_sequence() const { return last_sequence_; }
+  uint64_t checkpoint_sequence() const { return checkpoint_sequence_; }
+  const WalWriter& wal() const { return *wal_; }
+  const std::string& snapshot_dir() const { return snapshot_dir_; }
+
+ private:
+  IngestStore(std::string snapshot_dir, IngestOptions options);
+
+  // Serializes the live data plus the kState blobs (meta + encoders).
+  BsiStore BuildSnapshotStore() const;
+
+  std::string snapshot_dir_;
+  IngestOptions options_;
+  ExperimentBsiData live_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t last_sequence_ = 0;        // last sequence merged into live_
+  uint64_t checkpoint_sequence_ = 0;  // last sequence covered by a snapshot
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_WAL_INGEST_STORE_H_

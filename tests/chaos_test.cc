@@ -22,9 +22,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <tuple>
 #include <sstream>
@@ -46,6 +48,9 @@
 #include "reference/ref_engine.h"
 #include "storage/bsi_store.h"
 #include "storage/snapshot.h"
+#include "wal/event_stream.h"
+#include "wal/ingest_store.h"
+#include "wal/wal.h"
 #include "tests/property_gen.h"
 
 namespace expbsi {
@@ -950,6 +955,365 @@ TEST(SnapshotChaosTest, RecoverAfterBitflippedBlockQuarantines) {
   ASSERT_FALSE(report.errors.empty());
   ExpectRecoveredConsistent(recovered.value(), report, v2,
                             "bitflipped block");
+}
+
+// ---------------------------------------------------------------------------
+// WAL kill-recovery chaos (DESIGN.md §8.4). The property under test: a
+// writer killed at ANY append, fsync barrier or segment roll leaves a log
+// from which IngestStore::Open recovers an exact prefix of the acked batch
+// stream -- never a torn record, never a lost acked record, never a
+// phantom -- and resuming ingestion from last_sequence() converges to an
+// answer bit-identical to the scalar reference engine's full rebuild.
+// ---------------------------------------------------------------------------
+
+std::string WalCtx(uint64_t seed, const std::string& what) {
+  return what + " (reproduce: EXPBSI_CHAOS_SEED=" + std::to_string(seed) +
+         " ./build/tests/expbsi_tests"
+         " --gtest_filter='WalChaosTest.*')";
+}
+
+std::vector<uint64_t> WalChaosCorpusSeeds() {
+  std::vector<uint64_t> seeds;
+#ifdef EXPBSI_CORPUS_DIR
+  std::ifstream in(std::string(EXPBSI_CORPUS_DIR) + "/wal_chaos_seeds.txt");
+  EXPECT_TRUE(in.good()) << "missing corpus file " << EXPBSI_CORPUS_DIR
+                         << "/wal_chaos_seeds.txt";
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    uint64_t seed;
+    if (ls >> seed) seeds.push_back(seed);
+  }
+  EXPECT_GE(seeds.size(), 4u) << "WAL chaos corpus unexpectedly small";
+#endif
+  return seeds;
+}
+
+std::vector<uint64_t> WalChaosSeedSchedule(uint64_t base) {
+  if (const char* env = std::getenv("EXPBSI_CHAOS_SEED")) {
+    return {static_cast<uint64_t>(std::strtoull(env, nullptr, 0))};
+  }
+  std::vector<uint64_t> seeds = WalChaosCorpusSeeds();
+  uint64_t x = base;
+  for (int i = 0, n = ExploreIters(); i < n; ++i) {
+    x = Splitmix(x);
+    seeds.push_back(x);
+  }
+  return seeds;
+}
+
+constexpr int kWalChaosSegments = 2;
+constexpr int kWalChaosBuckets = 5;
+constexpr size_t kWalChaosBatch = 32;
+
+// One fixed dataset for the whole WAL chaos suite: the faults are the
+// random surface here, not the data. Built (with its scalar-reference
+// oracle and the canonical event stream) once.
+struct WalChaosData {
+  Dataset dataset;
+  RefExperimentData ref;
+  std::vector<WalEvent> events;
+  std::vector<std::vector<WalEvent>> batches;  // canonical 32-event records
+  Date lo = 0;
+  Date hi = 0;
+};
+
+const WalChaosData& WalData() {
+  static const WalChaosData* data = [] {
+    auto* d = new WalChaosData();
+    DatasetConfig config;
+    config.num_users = 90;
+    config.num_segments = kWalChaosSegments;
+    config.num_buckets = kWalChaosBuckets;
+    config.bucket_equals_segment = false;
+    config.start_date = 20;
+    config.num_days = 3;
+    config.seed = 93;
+    ExperimentConfig experiment;
+    experiment.strategy_ids = {951, 952};
+    experiment.arm_effects = {1.0, 1.2};
+    experiment.traffic_fraction = 0.9;
+    MetricConfig metric_a;
+    metric_a.metric_id = 651;
+    metric_a.value_range = 40;
+    MetricConfig metric_b;
+    metric_b.metric_id = 652;
+    metric_b.value_range = 6;
+    metric_b.daily_participation = 0.5;
+    DimensionConfig dim;
+    dim.dimension_id = 21;
+    dim.cardinality = 3;
+    d->dataset =
+        GenerateDataset(config, {experiment}, {metric_a, metric_b}, {dim});
+    d->ref = BuildRefExperimentData(d->dataset);
+    d->events = MakeWalEventStream(d->dataset);
+    d->batches = BatchWalEvents(d->events, kWalChaosBatch);
+    d->lo = config.start_date;
+    d->hi = config.start_date + config.num_days - 1;
+    return d;
+  }();
+  return *data;
+}
+
+IngestOptions WalChaosOptions(uint64_t segment_bytes) {
+  IngestOptions options;
+  options.num_segments = kWalChaosSegments;
+  options.num_buckets = kWalChaosBuckets;
+  options.bucket_equals_segment = false;
+  options.wal.segment_bytes = segment_bytes;
+  return options;
+}
+
+// The answer of record: every strategy x metric scorecard query against the
+// recovered store must be bit-identical to the scalar reference, over the
+// full date range and a subrange (the subrange exercises the per-day
+// exposure filters the delta merges maintain).
+void ExpectWalMatchesReference(const IngestStore& store,
+                               const std::string& ctx) {
+  const WalChaosData& d = WalData();
+  for (uint64_t strategy : {951ull, 952ull}) {
+    for (uint64_t metric : {651ull, 652ull}) {
+      for (Date lo : {d.lo, static_cast<Date>(d.lo + 1)}) {
+        const BucketValues got =
+            ComputeStrategyMetricBsi(store.data(), strategy, metric, lo, d.hi);
+        const BucketValues want =
+            RefComputeStrategyMetric(d.ref, strategy, metric, lo, d.hi);
+        EXPECT_EQ(got.sums, want.sums)
+            << ctx << " strategy=" << strategy << " metric=" << metric
+            << " lo=" << lo << " sums diverged from the scalar oracle";
+        EXPECT_EQ(got.counts, want.counts)
+            << ctx << " strategy=" << strategy << " metric=" << metric
+            << " lo=" << lo << " counts diverged from the scalar oracle";
+      }
+    }
+  }
+}
+
+// Reopen with retry: recovery itself passes through the wal.roll site (the
+// fresh active segment's header), so a scheduled roll fault can fail the
+// first attempt. A later attempt must succeed -- each attempt consumes the
+// fault without corrupting anything.
+std::unique_ptr<IngestStore> ReopenWalStore(const std::string& wal_dir,
+                                            const std::string& snap_dir,
+                                            const IngestOptions& options,
+                                            IngestRecoveryReport* report,
+                                            const std::string& ctx) {
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    Result<std::unique_ptr<IngestStore>> store =
+        IngestStore::Open(wal_dir, snap_dir, options, report);
+    if (store.ok()) return std::move(store.value());
+  }
+  ADD_FAILURE() << ctx << " store did not reopen within 10 attempts";
+  return nullptr;
+}
+
+TEST(WalChaosTest, WalChaosCorpusIsPresent) {
+  const std::vector<uint64_t> seeds = WalChaosCorpusSeeds();
+#ifdef EXPBSI_CORPUS_DIR
+  EXPECT_GE(seeds.size(), 4u);
+#endif
+}
+
+// The kill-at-every-record sweep: for each WAL fault site, crash the writer
+// at op 0, 1, 2, ... and prove recovery lands on an exact prefix every
+// time. 1 KB segments against ~1.2 KB records force a roll before (almost)
+// every append, so the roll sweep visits every record boundary too. A
+// checkpoint halfway through makes half the sweep points recover through
+// snapshot + WAL tail rather than a cold replay.
+TEST(WalChaosTest, KillSweepAtEveryRecordRecoversExactPrefix) {
+  const WalChaosData& d = WalData();
+  const size_t num_batches = d.batches.size();
+  ASSERT_GE(num_batches, 8u) << "dataset too small to sweep";
+  const IngestOptions options = WalChaosOptions(/*segment_bytes=*/1024);
+
+  struct SweepSite {
+    const char* site;
+    const char* name;
+  };
+  const SweepSite sites[] = {{fault_sites::kWalAppend, "append"},
+                             {fault_sites::kWalFsync, "fsync"},
+                             {fault_sites::kWalRoll, "roll"}};
+  for (const SweepSite& site : sites) {
+    // wal.roll op 0 is consumed by Open() itself (the first segment's
+    // header); killing it fails Open before any batch exists, which the
+    // random sweep's reopen-retry path covers. Start the sweep at the
+    // first op that can interrupt a record.
+    const size_t first_op = (site.site == fault_sites::kWalRoll) ? 1 : 0;
+    for (size_t k = first_op; k < num_batches; ++k) {
+      const std::string ctx =
+          std::string("kill site=") + site.name + " op=" + std::to_string(k);
+      const std::string wal_dir = SnapshotChaosDir("walsweep_wal");
+      const std::string snap_dir = SnapshotChaosDir("walsweep_snap");
+
+      size_t acked = 0;
+      bool crashed = false;
+      {
+        FaultInjector injector(7);
+        injector.ScheduleFault(site.site, k, FaultKind::kCrash);
+        ScopedFaultInjection scoped(&injector);
+        Result<std::unique_ptr<IngestStore>> store =
+            IngestStore::Open(wal_dir, snap_dir, options);
+        ASSERT_TRUE(store.ok()) << ctx;
+        for (size_t i = 0; i < num_batches; ++i) {
+          if (i == num_batches / 2) {
+            ASSERT_TRUE(store.value()->Checkpoint().ok()) << ctx;
+          }
+          const Result<uint64_t> seq = store.value()->Ingest(d.batches[i]);
+          if (!seq.ok()) {
+            crashed = true;
+            break;
+          }
+          ASSERT_EQ(seq.value(), i + 1) << ctx;
+          ++acked;
+        }
+      }
+      ASSERT_TRUE(crashed) << ctx << " scheduled kill never fired";
+      // Every site is evaluated once per record, so op k dies during
+      // batch k: exactly k batches were acked before the crash.
+      ASSERT_EQ(acked, k) << ctx;
+
+      // Recover (no injector: the kill is in the past) and check the
+      // no-silent-loss window. The batch in flight may or may not have
+      // become durable:
+      //  * append-kill fsyncs a torn prefix of the record -- usually lost,
+      //    but the torn length can cover the whole record, which then
+      //    replays (CRC-complete records are indistinguishable from acked
+      //    ones, and replaying them is the correct choice);
+      //  * fsync-kill fires AFTER the flush: the record must ALWAYS
+      //    survive -- losing it would be losing flushed bytes;
+      //  * roll-kill dies writing the new segment's header, before any of
+      //    the record's bytes: the record must NEVER appear.
+      IngestRecoveryReport report;
+      Result<std::unique_ptr<IngestStore>> recovered =
+          IngestStore::Open(wal_dir, snap_dir, options, &report);
+      ASSERT_TRUE(recovered.ok()) << ctx;
+      const uint64_t resumed = recovered.value()->last_sequence();
+      ASSERT_GE(resumed, acked) << ctx << " lost an acked record";
+      ASSERT_LE(resumed, acked + 1) << ctx << " replayed a phantom record";
+      if (site.site == fault_sites::kWalFsync) {
+        ASSERT_EQ(resumed, acked + 1) << ctx << " flushed record lost";
+      }
+      if (site.site == fault_sites::kWalRoll) {
+        ASSERT_EQ(resumed, acked)
+            << ctx << " record appeared before its segment header";
+      }
+
+      // Replay determinism: recovering the same log again (after the
+      // first recovery's torn-tail repair) lands on the same sequence.
+      recovered.value().reset();
+      recovered = IngestStore::Open(wal_dir, snap_dir, options, &report);
+      ASSERT_TRUE(recovered.ok()) << ctx;
+      ASSERT_EQ(recovered.value()->last_sequence(), resumed)
+          << ctx << " recovery is not deterministic";
+
+      // Resume exactly where the log says; the final answer must be
+      // bit-identical to the oracle -- nothing lost, nothing doubled.
+      for (size_t i = resumed; i < num_batches; ++i) {
+        const Result<uint64_t> seq = recovered.value()->Ingest(d.batches[i]);
+        ASSERT_TRUE(seq.ok()) << ctx;
+        ASSERT_EQ(seq.value(), i + 1) << ctx;
+      }
+      ExpectWalMatchesReference(*recovered.value(), ctx);
+      if (HasFatalFailure() || HasNonfatalFailure()) return;
+    }
+  }
+}
+
+// One seeded iteration of the random schedule sweep: a generated fault
+// schedule (background append rejections plus crash/fail one-shots across
+// all three WAL sites), random batching, random segment sizes and random
+// checkpoints. Clean rejections retry the same batch (the writer is alive
+// and the sequence was not consumed); crashes recover and resume from
+// whatever sequence the log proves durable.
+void RunWalChaosIteration(uint64_t seed, const std::string& wal_dir,
+                          const std::string& snap_dir) {
+  const WalChaosData& d = WalData();
+  Rng rng(seed);
+  const size_t batch_sizes[] = {8, 32, 128};
+  const uint64_t segment_sizes[] = {512, 2048, 16384};
+  const double checkpoint_levels[] = {0.0, 0.1, 0.25};
+  const std::vector<std::vector<WalEvent>> batches =
+      BatchWalEvents(d.events, batch_sizes[rng.NextBounded(3)]);
+  const IngestOptions options =
+      WalChaosOptions(segment_sizes[rng.NextBounded(3)]);
+  const double checkpoint_p = checkpoint_levels[rng.NextBounded(3)];
+  const propgen::FaultSchedule schedule =
+      propgen::GenWalFaultSchedule(rng, batches.size());
+  const std::string ctx = WalCtx(seed, "wal schedule");
+
+  int crashes = 0;
+  int rejects = 0;
+  int checkpoints = 0;
+  FaultInjector injector(schedule.injector_seed);
+  schedule.ApplyTo(&injector);
+  {
+    ScopedFaultInjection scoped(&injector);
+    std::unique_ptr<IngestStore> store =
+        ReopenWalStore(wal_dir, snap_dir, options, nullptr, ctx);
+    ASSERT_TRUE(store != nullptr) << ctx;
+    ASSERT_EQ(store->last_sequence(), 0u) << ctx << " dirty scratch dir";
+    size_t next = 0;  // index of the next batch to ingest == acked count
+    while (next < batches.size()) {
+      const Result<uint64_t> seq = store->Ingest(batches[next]);
+      if (seq.ok()) {
+        ASSERT_EQ(seq.value(), next + 1) << ctx;
+        ++next;
+        if (rng.NextBernoulli(checkpoint_p)) {
+          ASSERT_TRUE(store->Checkpoint().ok()) << ctx;
+          ++checkpoints;
+        }
+        continue;
+      }
+      if (!store->wal().dead()) {
+        // Clean rejection: the append was refused before any byte was
+        // written, the sequence was not consumed and the live data was
+        // not touched. Retrying the SAME batch is the correct move.
+        ++rejects;
+        ASSERT_LT(rejects, 10000) << ctx << " reject storm never cleared";
+        continue;
+      }
+      // Crash: the writer is dead. Recover and resume from whatever the
+      // log proves durable -- at least every acked batch, at most one
+      // more (the record that was in flight when the crash hit).
+      ++crashes;
+      store.reset();
+      IngestRecoveryReport report;
+      store = ReopenWalStore(wal_dir, snap_dir, options, &report, ctx);
+      ASSERT_TRUE(store != nullptr) << ctx;
+      const uint64_t resumed = store->last_sequence();
+      ASSERT_GE(resumed, next) << ctx << " lost an acked record";
+      ASSERT_LE(resumed, next + 1) << ctx << " replayed a phantom record";
+      next = static_cast<size_t>(resumed);
+    }
+  }
+  // Fault-free final recovery: the complete stream must have landed, and
+  // the scorecards must be bit-identical to the scalar oracle.
+  IngestRecoveryReport report;
+  Result<std::unique_ptr<IngestStore>> final_store =
+      IngestStore::Open(wal_dir, snap_dir, options, &report);
+  ASSERT_TRUE(final_store.ok()) << ctx;
+  ASSERT_EQ(final_store.value()->last_sequence(), batches.size()) << ctx;
+  ExpectWalMatchesReference(*final_store.value(), ctx);
+
+  if (ChaosLogEnabled()) {
+    std::fprintf(stderr,
+                 "[walchaos] seed=%llu batches=%zu crashes=%d rejects=%d "
+                 "checkpoints=%d injected=%llu\n",
+                 static_cast<unsigned long long>(seed), batches.size(),
+                 crashes, rejects, checkpoints,
+                 static_cast<unsigned long long>(injector.stats().any()));
+  }
+}
+
+TEST(WalChaosTest, SeededScheduleSweepConvergesToOracle) {
+  for (uint64_t seed : WalChaosSeedSchedule(0x57A1C4A05ull)) {
+    const std::string wal_dir = SnapshotChaosDir("walchaos_wal");
+    const std::string snap_dir = SnapshotChaosDir("walchaos_snap");
+    RunWalChaosIteration(seed, wal_dir, snap_dir);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
 }
 
 }  // namespace

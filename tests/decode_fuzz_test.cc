@@ -1,6 +1,7 @@
 // Corrupt-bytes fuzz harness for every byte-decoding path in the codebase
 // (docs/TESTING.md "Decode fuzzing"): Container::Deserialize,
-// RoaringBitmap::Deserialize, Bsi::Deserialize, and the snapshot reader.
+// RoaringBitmap::Deserialize, Bsi::Deserialize, the snapshot reader and
+// the WAL segment replay path.
 // Each iteration serializes a clean object, applies one seeded mutation
 // (truncation, 1-8 bitflips, a garbage window, pure garbage, or appended
 // bytes) and replays the decoder. The contract:
@@ -28,6 +29,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -45,6 +47,7 @@
 #include "roaring/roaring_bitmap.h"
 #include "storage/bsi_store.h"
 #include "storage/snapshot.h"
+#include "wal/wal.h"
 
 namespace expbsi {
 namespace {
@@ -447,6 +450,220 @@ TEST(DecodeFuzzTest, SnapshotRecoverySurvivesMutations) {
   const std::string dir = FuzzDir("snapshot");
   for (uint64_t seed : FuzzSeedSchedule(0x5A4E0F11ull)) {
     RunSnapshotIteration(seed, dir);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL segments: the CRC-framed replay path (DESIGN.md §8.1-8.2). The log's
+// contract under arbitrary at-rest corruption:
+//
+//   (a) replay never crashes and never runs past the buffer;
+//   (b) a replayed record is bit-identical to one the writer appended, at
+//       its original sequence: bitflipped records never replay (header and
+//       payload CRCs), and replay stops at the first damaged record, so
+//       what comes back is an EXACT PREFIX of the appended stream --
+//       including across segments, where the sequence-continuity check
+//       drops everything after a shortened middle segment;
+//   (c) the stop point is exactly where the corruption begins: truncating
+//       a tail keeps every record wholly before the tear, and appended
+//       garbage loses nothing;
+//   (d) repair-on-open leaves a log that accepts new appends and then
+//       replays the surviving prefix plus the new record, tear-free.
+//
+// The framed layout is a deterministic function of the event counts and
+// the roll threshold, so the test rebuilds it (SimulateWalLayout) to map
+// the mutation's first damaged byte to the first record that must vanish.
+// ---------------------------------------------------------------------------
+
+std::vector<WalEvent> RandomWalEvents(Rng& rng) {
+  std::vector<WalEvent> events(1 + rng.NextBounded(6));
+  for (WalEvent& event : events) {
+    event.kind = static_cast<WalEventKind>(rng.NextBounded(3));
+    event.id = 1 + rng.NextBounded(1000);
+    event.analysis_unit_id = rng.NextBounded(5000);
+    event.randomization_unit_id = rng.NextBounded(5000);
+    event.date = static_cast<Date>(10 + rng.NextBounded(5));
+    event.value = rng.NextBounded(uint64_t{1} << 20);
+  }
+  return events;
+}
+
+struct WalSegSim {
+  uint64_t first_sequence = 0;
+  std::vector<size_t> record_sizes;  // framed sizes, in append order
+};
+
+// Mirrors WalWriter's roll rule: a record rolls to a fresh segment when the
+// active one already holds a record and would overflow the threshold.
+std::vector<WalSegSim> SimulateWalLayout(const std::vector<size_t>& counts,
+                                         uint64_t segment_bytes) {
+  std::vector<WalSegSim> segments;
+  segments.push_back({1, {}});
+  size_t active = kWalSegmentHeaderBytes;
+  uint64_t sequence = 1;
+  for (size_t count : counts) {
+    const size_t record = kWalRecordHeaderBytes + count * kWalEventBytes + 4;
+    if (active > kWalSegmentHeaderBytes && active + record > segment_bytes) {
+      segments.push_back({sequence, {}});
+      active = kWalSegmentHeaderBytes;
+    }
+    segments.back().record_sizes.push_back(record);
+    active += record;
+    ++sequence;
+  }
+  return segments;
+}
+
+void RunWalSegmentIteration(uint64_t seed, const std::string& dir) {
+  {
+    const Result<std::vector<std::string>> stale = fileio::ListDir(dir);
+    ASSERT_TRUE(stale.ok());
+    for (const std::string& entry : stale.value()) {
+      ASSERT_TRUE(fileio::RemoveFileIfExists(dir + "/" + entry).ok());
+    }
+  }
+  Rng rng(seed);
+  WalOptions options;
+  const uint64_t segment_sizes[] = {128, 512, 1ull << 20};
+  options.segment_bytes = segment_sizes[rng.NextBounded(3)];
+  options.sync_each_append = false;  // durability is chaos_test territory
+  const std::string ctx = Ctx(seed, "wal");
+
+  std::vector<WalRecord> appended;
+  std::vector<size_t> counts;
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, options);
+    ASSERT_TRUE(writer.ok()) << ctx;
+    const int n = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int i = 0; i < n; ++i) {
+      WalRecord record;
+      record.events = RandomWalEvents(rng);
+      const Result<uint64_t> seq = writer.value()->Append(record.events);
+      ASSERT_TRUE(seq.ok()) << ctx;
+      record.sequence = seq.value();
+      counts.push_back(record.events.size());
+      appended.push_back(std::move(record));
+    }
+  }
+
+  const std::vector<WalSegSim> layout =
+      SimulateWalLayout(counts, options.segment_bytes);
+  std::vector<std::string> files;
+  {
+    const Result<std::vector<std::string>> listing = fileio::ListDir(dir);
+    ASSERT_TRUE(listing.ok()) << ctx;
+    for (const std::string& name : listing.value()) {
+      uint64_t first = 0;
+      if (ParseWalSegmentFileName(name, &first)) files.push_back(name);
+    }
+    std::sort(files.begin(), files.end());
+  }
+  ASSERT_EQ(files.size(), layout.size()) << ctx << " layout model diverged";
+
+  const size_t victim_index = rng.NextBounded(files.size());
+  const WalSegSim& victim = layout[victim_index];
+  const std::string victim_path = dir + "/" + files[victim_index];
+  const Result<std::string> clean =
+      fileio::ReadFileToString(victim_path, 1u << 24);
+  ASSERT_TRUE(clean.ok()) << ctx;
+  {
+    size_t want = kWalSegmentHeaderBytes;
+    for (size_t record : victim.record_sizes) want += record;
+    ASSERT_EQ(clean.value().size(), want) << ctx << " layout model diverged";
+  }
+
+  const std::string mutated = Mutate(rng, clean.value(), RandomMutation(rng));
+  {
+    std::ofstream out(victim_path, std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    ASSERT_TRUE(out.good()) << ctx;
+  }
+
+  // First damaged byte of the CLEAN file: the first in-place difference, or
+  // the truncation point when bytes were removed. Bytes appended past the
+  // original end damage nothing that was already durable.
+  size_t damaged_from = clean.value().size();
+  const size_t common = std::min(clean.value().size(), mutated.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (clean.value()[i] != mutated[i]) {
+      damaged_from = i;
+      break;
+    }
+  }
+  if (mutated.size() < clean.value().size()) {
+    damaged_from = std::min(damaged_from, mutated.size());
+  }
+
+  // Map the damage to the first sequence that must vanish. Damage inside
+  // the segment header refuses the whole segment; damage inside record r
+  // stops replay at r; replay of later segments is then cut off by the
+  // sequence-continuity check. Bytes APPENDED to the victim damage no
+  // record, but they do tear the scan right after the victim's last
+  // record, so a middle segment's extension still drops later segments
+  // (for the last segment the same formula is a no-op).
+  uint64_t expected_last = appended.size();
+  if (damaged_from < clean.value().size()) {
+    if (damaged_from < kWalSegmentHeaderBytes) {
+      expected_last = victim.first_sequence - 1;
+    } else {
+      size_t offset = kWalSegmentHeaderBytes;
+      uint64_t sequence = victim.first_sequence;
+      for (size_t record : victim.record_sizes) {
+        if (damaged_from < offset + record) break;
+        offset += record;
+        ++sequence;
+      }
+      expected_last = sequence - 1;
+    }
+  } else if (mutated.size() > clean.value().size()) {
+    expected_last = std::min<uint64_t>(
+        expected_last,
+        victim.first_sequence + victim.record_sizes.size() - 1);
+  }
+
+  WalRecoveryReport report;
+  const Result<std::vector<WalRecord>> replayed = ReplayWal(dir, &report);
+  ASSERT_TRUE(replayed.ok()) << ctx << ": " << replayed.status().ToString();
+  ASSERT_EQ(replayed.value().size(), expected_last)
+      << ctx << " replay did not stop exactly at the corruption";
+  EXPECT_EQ(report.last_sequence, expected_last) << ctx;
+  for (size_t i = 0; i < replayed.value().size(); ++i) {
+    ASSERT_EQ(replayed.value()[i].sequence, i + 1) << ctx;
+    ASSERT_EQ(replayed.value()[i].events, appended[i].events)
+        << ctx << " replayed record diverged from what was appended";
+  }
+
+  // Repair-on-open must leave an appendable, tear-free log holding exactly
+  // the surviving prefix.
+  std::vector<WalEvent> extra;
+  {
+    WalRecoveryReport repair_report;
+    std::vector<WalRecord> survivors;
+    Result<std::unique_ptr<WalWriter>> writer =
+        WalWriter::Open(dir, options, &repair_report, &survivors);
+    ASSERT_TRUE(writer.ok()) << ctx;
+    ASSERT_EQ(survivors.size(), expected_last)
+        << ctx << " repair changed the surviving prefix";
+    extra = RandomWalEvents(rng);
+    const Result<uint64_t> seq = writer.value()->Append(extra);
+    ASSERT_TRUE(seq.ok()) << ctx << " repaired log refused an append";
+    ASSERT_EQ(seq.value(), expected_last + 1) << ctx;
+  }
+  WalRecoveryReport after;
+  const Result<std::vector<WalRecord>> final_replay = ReplayWal(dir, &after);
+  ASSERT_TRUE(final_replay.ok()) << ctx;
+  ASSERT_EQ(final_replay.value().size(), expected_last + 1) << ctx;
+  ASSERT_EQ(final_replay.value().back().events, extra)
+      << ctx << " record appended after repair diverged";
+  EXPECT_FALSE(after.tail_torn)
+      << ctx << " repaired log still reports a tear";
+}
+
+TEST(DecodeFuzzTest, WalReplaySurvivesMutations) {
+  const std::string dir = FuzzDir("wal");
+  for (uint64_t seed : FuzzSeedSchedule(0x7A111EDull)) {
+    RunWalSegmentIteration(seed, dir);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

@@ -581,6 +581,89 @@ inline FaultSchedule GenSnapshotFaultSchedule(Rng& rng,
   return schedule;
 }
 
+// --------------------------------------------------------------------------
+// WAL ingestion schedules (wal_differential_test.cc, chaos_test.cc).
+// --------------------------------------------------------------------------
+
+// One randomized ingestion run over a dataset's event stream: how events are
+// batched into records, where segments roll, and where checkpoints and
+// close/reopen recoveries land. Pure function of the Rng state (one seed
+// replays the run).
+struct WalIngestPlan {
+  size_t batch_events = 64;     // events per WAL record
+  uint64_t segment_bytes = 0;   // WalOptions::segment_bytes
+  double checkpoint_p = 0.0;    // per-batch probability of a Checkpoint()
+  double reopen_p = 0.0;        // per-batch probability of close + recover
+  bool final_checkpoint = false;
+};
+
+inline WalIngestPlan GenWalIngestPlan(Rng& rng) {
+  WalIngestPlan plan;
+  // From one-event records (every event is its own replay unit) up to
+  // whole-stream records; small segments force rolls mid-stream.
+  const size_t batches[] = {1, 7, 32, 200, 100000};
+  plan.batch_events = batches[rng.NextBounded(5)];
+  const uint64_t segment_sizes[] = {256, 1024, 16384, 4u << 20};
+  plan.segment_bytes = segment_sizes[rng.NextBounded(4)];
+  const double checkpoint_levels[] = {0.0, 0.1, 0.3};
+  plan.checkpoint_p = checkpoint_levels[rng.NextBounded(3)];
+  const double reopen_levels[] = {0.0, 0.1, 0.25};
+  plan.reopen_p = reopen_levels[rng.NextBounded(3)];
+  plan.final_checkpoint = rng.NextBernoulli(0.5);
+  return plan;
+}
+
+// A schedule over the wal.* sites only. Kinds are restricted to what the
+// sweep's invariants can pin down exactly:
+//   kFail   clean reject -- the writer stays alive, the batch retries
+//   kCrash  simulated process kill -- append leaves a torn (fsynced) record
+//           prefix, fsync dies after the flush (record durable), roll leaves
+//           a torn segment header; the writer is dead and the store recovers
+//           by snapshot + replay
+// kCorrupt is deliberately absent here: bits flipped in flight are the same
+// failure as bits flipped at rest, and the torn-log fuzzer
+// (decode_fuzz_test.cc) already sweeps those over every byte.
+inline FaultSchedule GenWalFaultSchedule(Rng& rng, uint64_t append_ops) {
+  FaultSchedule schedule;
+  schedule.injector_seed = rng.Next();
+  if (rng.NextBernoulli(0.3)) {
+    // Background append rejections: the ingest loop must retry without
+    // skipping or reordering records.
+    const double levels[] = {0.02, 0.1, 0.3};
+    schedule.probabilities.push_back({fault_sites::kWalAppend,
+                                      FaultKind::kFail,
+                                      levels[rng.NextBounded(3)], 0.0});
+  }
+  const int num_one_shots = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < num_one_shots; ++i) {
+    FaultSchedule::OneShot shot;
+    switch (rng.NextBounded(3)) {
+      case 0:
+        shot.site = fault_sites::kWalAppend;
+        shot.op_index = rng.NextBounded(append_ops + 1);
+        shot.kind = rng.NextBernoulli(0.5) ? FaultKind::kCrash
+                                           : FaultKind::kFail;
+        break;
+      case 1:
+        shot.site = fault_sites::kWalFsync;
+        shot.op_index = rng.NextBounded(append_ops + 1);
+        shot.kind = rng.NextBernoulli(0.5) ? FaultKind::kCrash
+                                           : FaultKind::kFail;
+        break;
+      default:
+        // Roll op 0 is the segment Open starts; later ops are size rolls
+        // and reopen-time restarts.
+        shot.site = fault_sites::kWalRoll;
+        shot.op_index = rng.NextBounded(8);
+        shot.kind = rng.NextBernoulli(0.5) ? FaultKind::kCrash
+                                           : FaultKind::kFail;
+        break;
+    }
+    schedule.one_shots.push_back(std::move(shot));
+  }
+  return schedule;
+}
+
 }  // namespace propgen
 }  // namespace expbsi
 

@@ -1,0 +1,292 @@
+// Differential oracle for streaming ingestion (ISSUE 6 satellite 1): seeded
+// random event streams are pushed through the full write path -- WAL append
+// batching, delta-BSI accumulation, segment rolls, mid-stream checkpoints and
+// close/reopen point-in-time recoveries -- and the resulting store must be
+// BIT-IDENTICAL (through query results and decoded per-unit values) to both
+// the one-shot batch builder and the deliberately-naive scalar reference
+// engine run over the same dataset.
+//
+// Reproducing a failure: every assertion message carries the iteration seed.
+// Re-run just that seed with
+//
+//   EXPBSI_FUZZ_SEED=<seed> ./build/tests/expbsi_tests
+//       --gtest_filter='WalDifferentialTest.*'   (one command, line-wrapped)
+//
+// EXPBSI_FUZZ_ITERS overrides the exploration count (CI cranks it up). The
+// deterministic corpus in tests/corpus/wal_seeds.txt is replayed BEFORE the
+// random exploration, so known-nasty ingestion schedules stay covered even
+// if the exploration schedule changes.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/file_io.h"
+#include "common/rng.h"
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+#include "reference/ref_data.h"
+#include "reference/ref_engine.h"
+#include "wal/event_stream.h"
+#include "wal/ingest_store.h"
+#include "wal/wal.h"
+#include "tests/property_gen.h"
+
+namespace expbsi {
+namespace {
+
+using propgen::FuzzDataset;
+using propgen::WalIngestPlan;
+
+// ---------------------------------------------------------------------------
+// Seed schedules.
+// ---------------------------------------------------------------------------
+
+uint64_t Splitmix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// tests/corpus/wal_seeds.txt: one seed per line, '#' comments.
+std::vector<uint64_t> CorpusSeeds() {
+  std::vector<uint64_t> seeds;
+#ifdef EXPBSI_CORPUS_DIR
+  std::ifstream in(std::string(EXPBSI_CORPUS_DIR) + "/wal_seeds.txt");
+  EXPECT_TRUE(in.good()) << "missing corpus file " << EXPBSI_CORPUS_DIR
+                         << "/wal_seeds.txt";
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    uint64_t seed;
+    if (ls >> seed) seeds.push_back(seed);
+  }
+  EXPECT_GE(seeds.size(), 4u) << "corpus unexpectedly small";
+#endif
+  return seeds;
+}
+
+std::vector<uint64_t> SeedSchedule(uint64_t base, int explore) {
+  if (const char* env = std::getenv("EXPBSI_FUZZ_SEED")) {
+    return {static_cast<uint64_t>(std::strtoull(env, nullptr, 0))};
+  }
+  if (const char* env = std::getenv("EXPBSI_FUZZ_ITERS")) {
+    explore = std::atoi(env);
+  }
+  std::vector<uint64_t> seeds = CorpusSeeds();
+  uint64_t x = base;
+  for (int i = 0; i < explore; ++i) {
+    x = Splitmix(x);
+    seeds.push_back(x);
+  }
+  return seeds;
+}
+
+std::string Ctx(uint64_t seed, const std::string& what) {
+  return what + " (reproduce: EXPBSI_FUZZ_SEED=" + std::to_string(seed) +
+         " ./build/tests/expbsi_tests"
+         " --gtest_filter='WalDifferentialTest.*')";
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "expbsi_" + name;
+  EXPECT_TRUE(fileio::CreateDirIfMissing(dir).ok());
+  const Result<std::vector<std::string>> entries = fileio::ListDir(dir);
+  EXPECT_TRUE(entries.ok());
+  for (const std::string& entry : entries.value()) {
+    EXPECT_TRUE(fileio::RemoveFileIfExists(dir + "/" + entry).ok());
+  }
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison helpers.
+// ---------------------------------------------------------------------------
+
+void ExpectBucketsBitEqual(const BucketValues& got, const BucketValues& want,
+                           const std::string& ctx) {
+  EXPECT_EQ(got.sums, want.sums) << ctx;
+  EXPECT_EQ(got.counts, want.counts) << ctx;
+}
+
+// Positions are an artifact of build order (the incremental encoder assigns
+// them in event order, the batch builder in row or engagement order), so
+// raw-BSI equality across builders is meaningless. Decoding every position
+// back to its analysis unit gives the build-order-independent content.
+std::map<UnitId, uint64_t> DecodeByUnit(const Bsi& bsi,
+                                        const PositionEncoder& encoder) {
+  std::map<UnitId, uint64_t> by_unit;
+  for (const auto& [pos, value] : bsi.ToPairs()) {
+    by_unit[encoder.Decode(pos)] = value;
+  }
+  return by_unit;
+}
+
+// The scorecard only reads expose + metric BSIs; dimensions are compared
+// structurally so the delta path's last-write-wins merge is pinned too.
+void ExpectDimensionsMatchBatch(const ExperimentBsiData& got,
+                                const ExperimentBsiData& want,
+                                const std::string& ctx) {
+  ASSERT_EQ(got.segments.size(), want.segments.size()) << ctx;
+  for (size_t seg = 0; seg < got.segments.size(); ++seg) {
+    const SegmentBsiData& g = got.segments[seg];
+    const SegmentBsiData& w = want.segments[seg];
+    EXPECT_EQ(g.dimensions.size(), w.dimensions.size())
+        << ctx << " segment " << seg;
+    for (const auto& [key, want_bsi] : w.dimensions) {
+      const DimensionBsi* got_bsi = g.FindDimension(key.first, key.second);
+      ASSERT_NE(got_bsi, nullptr)
+          << ctx << " segment " << seg << " missing dimension " << key.first
+          << " date " << key.second;
+      EXPECT_EQ(DecodeByUnit(got_bsi->value, g.encoder),
+                DecodeByUnit(want_bsi.value, w.encoder))
+          << ctx << " segment " << seg << " dimension " << key.first
+          << " date " << key.second;
+    }
+  }
+}
+
+void ExpectMatchesOracles(const ExperimentBsiData& got,
+                          const ExperimentBsiData& batch,
+                          const RefExperimentData& ref,
+                          const Dataset& dataset, Rng& rng,
+                          const std::string& ctx) {
+  const Date lo = dataset.config.start_date;
+  const Date hi = lo + dataset.config.num_days - 1;
+  // One random subrange per iteration exercises the offset range-search
+  // against late/early exposure dates.
+  const Date sub_lo =
+      lo + static_cast<Date>(rng.NextBounded(dataset.config.num_days));
+  const Date sub_hi =
+      sub_lo + static_cast<Date>(rng.NextBounded(hi - sub_lo + 1));
+  for (uint64_t strategy : dataset.experiments[0].strategy_ids) {
+    for (uint64_t metric : {propgen::kFuzzMetricA, propgen::kFuzzMetricB}) {
+      const std::string pair_ctx = ctx + " strategy " +
+                                   std::to_string(strategy) + " metric " +
+                                   std::to_string(metric);
+      const BucketValues full =
+          ComputeStrategyMetricBsi(got, strategy, metric, lo, hi);
+      ExpectBucketsBitEqual(
+          full, ComputeStrategyMetricBsi(batch, strategy, metric, lo, hi),
+          pair_ctx + " vs batch");
+      ExpectBucketsBitEqual(
+          full, RefComputeStrategyMetric(ref, strategy, metric, lo, hi),
+          pair_ctx + " vs reference");
+      ExpectBucketsBitEqual(
+          ComputeStrategyMetricBsi(got, strategy, metric, sub_lo, sub_hi),
+          RefComputeStrategyMetric(ref, strategy, metric, sub_lo, sub_hi),
+          pair_ctx + " subrange [" + std::to_string(sub_lo) + ", " +
+              std::to_string(sub_hi) + "]");
+    }
+  }
+  ExpectDimensionsMatchBatch(got, batch, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// One iteration.
+// ---------------------------------------------------------------------------
+
+void RunWalDifferentialIteration(uint64_t seed) {
+  Rng rng(seed);
+  const FuzzDataset fuzz = propgen::GenDataset(rng);
+  const Dataset& dataset = fuzz.dataset;
+  const WalIngestPlan plan = propgen::GenWalIngestPlan(rng);
+  const std::string ctx =
+      Ctx(seed, "batch_events=" + std::to_string(plan.batch_events) +
+                    " segment_bytes=" + std::to_string(plan.segment_bytes));
+
+  const std::vector<WalEvent> events = MakeWalEventStream(dataset);
+  const std::vector<std::vector<WalEvent>> batches =
+      BatchWalEvents(events, plan.batch_events);
+
+  const std::string wal_dir = FreshDir("wal_diff_wal");
+  const std::string snap_dir = FreshDir("wal_diff_snap");
+  IngestOptions options;
+  options.num_segments = dataset.config.num_segments;
+  options.num_buckets = dataset.config.num_buckets;
+  options.bucket_equals_segment = dataset.config.bucket_equals_segment;
+  options.wal.segment_bytes = plan.segment_bytes;
+
+  Result<std::unique_ptr<IngestStore>> store =
+      IngestStore::Open(wal_dir, snap_dir, options);
+  ASSERT_TRUE(store.ok()) << ctx << ": " << store.status().ToString();
+
+  size_t checkpoints = 0;
+  size_t reopens = 0;
+  for (const std::vector<WalEvent>& batch : batches) {
+    const uint64_t before = store.value()->last_sequence();
+    Result<uint64_t> sequence = store.value()->Ingest(batch);
+    ASSERT_TRUE(sequence.ok()) << ctx << ": " << sequence.status().ToString();
+    ASSERT_EQ(sequence.value(), before + 1) << ctx;
+    if (rng.NextBernoulli(plan.checkpoint_p)) {
+      Result<IngestCheckpointStats> checkpoint = store.value()->Checkpoint();
+      ASSERT_TRUE(checkpoint.ok())
+          << ctx << ": " << checkpoint.status().ToString();
+      ++checkpoints;
+    }
+    if (rng.NextBernoulli(plan.reopen_p)) {
+      // Mid-stream point-in-time recovery: everything ingested so far must
+      // come back from the newest snapshot plus the WAL tail.
+      const uint64_t last = store.value()->last_sequence();
+      store.value().reset();
+      IngestRecoveryReport report;
+      store = IngestStore::Open(wal_dir, snap_dir, options, &report);
+      ASSERT_TRUE(store.ok()) << ctx << ": " << store.status().ToString();
+      ASSERT_EQ(store.value()->last_sequence(), last) << ctx;
+      ++reopens;
+    }
+  }
+  if (plan.final_checkpoint) {
+    ASSERT_TRUE(store.value()->Checkpoint().ok()) << ctx;
+  }
+
+  // Always cross the final crash boundary: the compared store is the
+  // RECOVERED one, never just the in-memory accumulation.
+  const uint64_t last = store.value()->last_sequence();
+  ASSERT_EQ(last, batches.size()) << ctx;
+  store.value().reset();
+  IngestRecoveryReport report;
+  store = IngestStore::Open(wal_dir, snap_dir, options, &report);
+  ASSERT_TRUE(store.ok()) << ctx << ": " << store.status().ToString();
+  ASSERT_EQ(store.value()->last_sequence(), last) << ctx;
+
+  const ExperimentBsiData batch_build =
+      BuildExperimentBsiData(dataset, fuzz.engagement_ordered);
+  const RefExperimentData ref = BuildRefExperimentData(dataset);
+  ExpectMatchesOracles(store.value()->data(), batch_build, ref, dataset, rng,
+                       ctx + " checkpoints=" + std::to_string(checkpoints) +
+                           " reopens=" + std::to_string(reopens));
+}
+
+// ---------------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------------
+
+TEST(WalDifferentialTest, CorpusIsPresent) {
+  EXPECT_GE(CorpusSeeds().size(), 4u);
+}
+
+TEST(WalDifferentialTest, IncrementalIngestMatchesFullRebuild) {
+  for (uint64_t seed : SeedSchedule(/*base=*/0xA11CEDB5ull, /*explore=*/25)) {
+    RunWalDifferentialIteration(seed);
+    if (::testing::Test::HasFatalFailure() ||
+        ::testing::Test::HasNonfatalFailure()) {
+      return;  // the first failing seed is the repro; stop the sweep
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expbsi
