@@ -70,6 +70,42 @@ void BM_BsiCompareLt(benchmark::State& state) {
 }
 BENCHMARK(BM_BsiCompareLt);
 
+void BM_BsiEq(benchmark::State& state) {
+  // Small value range so Eq has real hits (equal draws are likely).
+  Bsi x = MakeBsi(1, 1 << 19, 0.4, 50);
+  Bsi y = MakeBsi(2, 1 << 19, 0.4, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bsi::Eq(x, y));
+  }
+}
+BENCHMARK(BM_BsiEq);
+
+void BM_BsiNe(benchmark::State& state) {
+  Bsi x = MakeBsi(1, 1 << 19, 0.4, 21600);
+  Bsi y = MakeBsi(2, 1 << 19, 0.4, 21600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bsi::Ne(x, y));
+  }
+}
+BENCHMARK(BM_BsiNe);
+
+void BM_BsiRangeBetween(benchmark::State& state) {
+  Bsi x = MakeBsi(1, 1 << 20, 0.4, 21600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.RangeBetween(5000, 15000));
+  }
+}
+BENCHMARK(BM_BsiRangeBetween);
+
+void BM_BsiMinMax(benchmark::State& state) {
+  Bsi x = MakeBsi(1, 1 << 20, 0.4, 21600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.MinValue());
+    benchmark::DoNotOptimize(x.MaxValue());
+  }
+}
+BENCHMARK(BM_BsiMinMax);
+
 void BM_BsiSum(benchmark::State& state) {
   Bsi x = MakeBsi(1, 1 << 20, 0.4, 21600);
   for (auto _ : state) {

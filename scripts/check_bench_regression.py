@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench run against the committed baseline.
+
+Usage:
+    scripts/check_bench_regression.py --baseline BENCH_pr7.json \
+        --fresh bench_results.json [--tolerance 2.5] \
+        [--expect-faster table6_bsi_metric_C:table6_normal_metric_C]
+
+Both files use the run_benches.sh shape: a JSON array of
+{"op": ..., "ns_per_op": ...} entries (".registry" snapshots are skipped).
+
+Checks, in order of severity:
+  * every timed op in the baseline must appear in the fresh run (a missing
+    op means a bench silently stopped running, which is how regressions
+    hide);
+  * no fresh timing may exceed baseline * tolerance. The default tolerance
+    is deliberately loose (2.5x): CI machines are noisy and shared, so this
+    gate only catches order-of-magnitude regressions -- an accidental
+    O(n^2) path, a kernel dispatch that silently fell back -- not few-
+    percent drift;
+  * --expect-faster A:B pairs assert a structural win recorded in the
+    baseline still holds in the fresh run (e.g. the BSI engine beating the
+    row engine on a Table 6 metric), tolerance-free since both sides ran on
+    the same machine in the same session.
+
+Exit code 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_timings(path):
+    with open(path) as f:
+        entries = json.load(f)
+    timings = {}
+    for entry in entries:
+        if "ns_per_op" in entry:
+            timings[entry["op"]] = float(entry["ns_per_op"])
+    return timings
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="bench regression gate (see module docstring)")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--tolerance", type=float, default=2.5,
+                        help="max allowed fresh/baseline ratio (default 2.5)")
+    parser.add_argument("--expect-faster", action="append", default=[],
+                        metavar="FAST_OP:SLOW_OP",
+                        help="assert ns(FAST_OP) < ns(SLOW_OP) in the fresh "
+                             "run; repeatable")
+    args = parser.parse_args()
+
+    baseline = load_timings(args.baseline)
+    fresh = load_timings(args.fresh)
+    failures = []
+
+    missing = sorted(set(baseline) - set(fresh))
+    for op in missing:
+        failures.append(f"op '{op}' in baseline but missing from fresh run")
+
+    for op in sorted(set(baseline) & set(fresh)):
+        if baseline[op] <= 0:
+            continue
+        ratio = fresh[op] / baseline[op]
+        marker = ""
+        if ratio > args.tolerance:
+            failures.append(
+                f"op '{op}' regressed {ratio:.2f}x "
+                f"(baseline {baseline[op]:.0f} ns, fresh {fresh[op]:.0f} ns, "
+                f"tolerance {args.tolerance}x)")
+            marker = "  <-- REGRESSED"
+        print(f"{op}: {baseline[op]:.0f} ns -> {fresh[op]:.0f} ns "
+              f"({ratio:.2f}x){marker}")
+
+    for pair in args.expect_faster:
+        try:
+            fast_op, slow_op = pair.split(":", 1)
+        except ValueError:
+            failures.append(f"--expect-faster '{pair}' is not FAST:SLOW")
+            continue
+        if fast_op not in fresh or slow_op not in fresh:
+            failures.append(
+                f"--expect-faster {pair}: op missing from fresh run")
+            continue
+        if fresh[fast_op] >= fresh[slow_op]:
+            failures.append(
+                f"expected '{fast_op}' ({fresh[fast_op]:.0f} ns) to beat "
+                f"'{slow_op}' ({fresh[slow_op]:.0f} ns)")
+        else:
+            print(f"{fast_op} ({fresh[fast_op]:.0f} ns) beats "
+                  f"{slow_op} ({fresh[slow_op]:.0f} ns)")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression check(s) FAILED:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall bench regression checks passed "
+          f"({len(set(baseline) & set(fresh))} ops compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstring>
 
+#include "bsi/bsi_aggregate.h"
+#include "bsi/bsi_compare.h"
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -116,6 +118,20 @@ void Bsi::TrimTopSlices() {
 }
 
 Bsi Bsi::Add(const Bsi& x, const Bsi& y) {
+  if (x.IsEmpty()) return y;
+  if (y.IsEmpty()) return x;
+  if (GetMultiOpKernel() == MultiOpKernel::kMultiOperand) {
+    // Two-operand sums ride the word-level carry-save kernel: one fused
+    // word pass per input container instead of three allocating container
+    // ops per slice.
+    return SumBsiCsa({&x, &y});
+  }
+  return AddPairwise(x, y);
+}
+
+void Bsi::AddInPlace(const Bsi& other) { *this = Add(*this, other); }
+
+Bsi Bsi::AddPairwise(const Bsi& x, const Bsi& y) {
   // One count per pairwise add (the baseline the CSA kernel beats); slice
   // work is amortized into a single counted batch, not counted per slice.
   static obs::Counter& adds = obs::GetCounter("kernel.pairwise_adds");
@@ -193,8 +209,7 @@ Bsi Bsi::Multiply(const Bsi& x, const Bsi& y) {
   Bsi acc;
   for (int i = 0; i < narrow.num_slices(); ++i) {
     if (narrow.slice(i).IsEmpty()) continue;
-    Bsi partial = ShiftLeft(MultiplyByBinary(wide, narrow.slice(i)), i);
-    acc = Add(acc, partial);
+    acc.AddInPlace(ShiftLeft(MultiplyByBinary(wide, narrow.slice(i)), i));
   }
   return acc;
 }
@@ -225,11 +240,17 @@ Bsi Bsi::AddScalar(const Bsi& x, uint64_t k) {
 
 Bsi Bsi::MultiplyScalar(const Bsi& x, uint64_t k) {
   if (k == 0 || x.IsEmpty()) return Bsi();
+  if ((k & (k - 1)) == 0) return ShiftLeft(x, CountTrailingZeros64(k));
+  if (GetMultiOpKernel() == MultiOpKernel::kMultiOperand) {
+    // One carry-save pass over all shifted copies at once, instead of
+    // popcount(k) - 1 full adds that each reallocate the accumulator.
+    return WeightedSumBsiCsa({{&x, k}});
+  }
   Bsi acc;
   uint64_t bits = k;
   while (bits != 0) {
     const int bit = CountTrailingZeros64(bits);
-    acc = Add(acc, ShiftLeft(x, bit));
+    acc = AddPairwise(acc, ShiftLeft(x, bit));
     bits &= bits - 1;
   }
   return acc;
@@ -246,123 +267,72 @@ Bsi Bsi::ShiftLeft(const Bsi& x, int bits) {
   return out;
 }
 
-RoaringBitmap Bsi::Lt(const Bsi& x, const Bsi& y) {
-  // Algorithm 1, ascending slices:
-  //   L <- [(Y^i OR L) ANDNOT X^i] OR (Y^i AND L)
-  const int s = std::max(x.num_slices(), y.num_slices());
-  RoaringBitmap lt;
-  for (int i = 0; i < s; ++i) {
-    const RoaringBitmap& xi = SliceOrEmpty(x, i);
-    const RoaringBitmap& yi = SliceOrEmpty(y, i);
-    RoaringBitmap keep = RoaringBitmap::And(yi, lt);
-    RoaringBitmap gain =
-        RoaringBitmap::AndNot(RoaringBitmap::Or(yi, lt), xi);
-    lt = RoaringBitmap::Or(gain, keep);
-  }
-  lt.AndInPlace(x.existence_);
-  lt.AndInPlace(y.existence_);
-  return lt;
-}
-
-RoaringBitmap Bsi::Eq(const Bsi& x, const Bsi& y) {
-  // Algorithm 2: start from X's existence, peel off differing slices.
-  RoaringBitmap eq = x.existence_;
-  const int s = std::max(x.num_slices(), y.num_slices());
-  for (int i = 0; i < s && !eq.IsEmpty(); ++i) {
-    eq.AndNotInPlace(
-        RoaringBitmap::Xor(SliceOrEmpty(x, i), SliceOrEmpty(y, i)));
-  }
-  return eq;
-}
-
-RoaringBitmap Bsi::Ne(const Bsi& x, const Bsi& y) {
-  // Algorithm 3: OR of slice XORs, restricted to both-present positions.
-  RoaringBitmap ne;
-  const int s = std::max(x.num_slices(), y.num_slices());
-  for (int i = 0; i < s; ++i) {
-    ne.OrInPlace(RoaringBitmap::Xor(SliceOrEmpty(x, i), SliceOrEmpty(y, i)));
-  }
-  ne.AndInPlace(x.existence_);
-  ne.AndInPlace(y.existence_);
-  return ne;
-}
-
-RoaringBitmap Bsi::Le(const Bsi& x, const Bsi& y) {
-  RoaringBitmap both = RoaringBitmap::And(x.existence_, y.existence_);
-  both.AndNotInPlace(Lt(y, x));
-  return both;
-}
-
 namespace {
 
-// Shared top-down scan for constant comparisons: partitions the present
-// positions of x into {value < k}, {value == k}, {value > k}.
-struct ScalarCompareResult {
-  RoaringBitmap lt;
-  RoaringBitmap eq;
-  RoaringBitmap gt;
-};
+// The comparison family dispatches on the same flag as the aggregate
+// kernels: word-level by default, legacy pairwise as the differential foil.
+bool UseWordCompare() {
+  return GetMultiOpKernel() == MultiOpKernel::kMultiOperand;
+}
 
-ScalarCompareResult ScalarCompare(const Bsi& x, uint64_t k) {
-  ScalarCompareResult r;
-  r.eq = x.existence();
-  const int top = std::max(x.num_slices(), BitWidth64(k));
-  for (int i = top - 1; i >= 0 && !r.eq.IsEmpty(); --i) {
-    const RoaringBitmap& si = SliceOrEmpty(x, i);
-    if (((k >> i) & 1) != 0) {
-      r.lt.OrInPlace(RoaringBitmap::AndNot(r.eq, si));
-      r.eq.AndInPlace(si);
-    } else {
-      r.gt.OrInPlace(RoaringBitmap::And(r.eq, si));
-      r.eq.AndNotInPlace(si);
-    }
-  }
-  return r;
+RoaringBitmap DispatchCompare(const Bsi& x, const Bsi& y,
+                              bsi_compare::CmpOp op) {
+  return UseWordCompare() ? bsi_compare::CompareWord(x, y, op)
+                          : bsi_compare::ComparePairwise(x, y, op);
+}
+
+RoaringBitmap DispatchRange(const Bsi& x, bsi_compare::RangeOp op,
+                            uint64_t k) {
+  return UseWordCompare() ? bsi_compare::RangeWord(x, op, k)
+                          : bsi_compare::RangePairwise(x, op, k);
 }
 
 }  // namespace
 
+RoaringBitmap Bsi::Lt(const Bsi& x, const Bsi& y) {
+  return DispatchCompare(x, y, bsi_compare::CmpOp::kLt);
+}
+
+RoaringBitmap Bsi::Eq(const Bsi& x, const Bsi& y) {
+  return DispatchCompare(x, y, bsi_compare::CmpOp::kEq);
+}
+
+RoaringBitmap Bsi::Ne(const Bsi& x, const Bsi& y) {
+  return DispatchCompare(x, y, bsi_compare::CmpOp::kNe);
+}
+
+RoaringBitmap Bsi::Le(const Bsi& x, const Bsi& y) {
+  return DispatchCompare(x, y, bsi_compare::CmpOp::kLe);
+}
+
 RoaringBitmap Bsi::RangeEq(uint64_t k) const {
-  if (k == 0) return RoaringBitmap();  // zero means absent
-  return ScalarCompare(*this, k).eq;
+  return DispatchRange(*this, bsi_compare::RangeOp::kEq, k);
 }
 
 RoaringBitmap Bsi::RangeNe(uint64_t k) const {
-  if (k == 0) return existence_;
-  RoaringBitmap out = existence_;
-  out.AndNotInPlace(ScalarCompare(*this, k).eq);
-  return out;
+  return DispatchRange(*this, bsi_compare::RangeOp::kNe, k);
 }
 
 RoaringBitmap Bsi::RangeLt(uint64_t k) const {
-  if (k == 0) return RoaringBitmap();
-  return ScalarCompare(*this, k).lt;
+  return DispatchRange(*this, bsi_compare::RangeOp::kLt, k);
 }
 
 RoaringBitmap Bsi::RangeLe(uint64_t k) const {
-  if (k == 0) return RoaringBitmap();
-  ScalarCompareResult r = ScalarCompare(*this, k);
-  r.lt.OrInPlace(r.eq);
-  return std::move(r.lt);
+  return DispatchRange(*this, bsi_compare::RangeOp::kLe, k);
 }
 
 RoaringBitmap Bsi::RangeGt(uint64_t k) const {
-  if (k == 0) return existence_;
-  return ScalarCompare(*this, k).gt;
+  return DispatchRange(*this, bsi_compare::RangeOp::kGt, k);
 }
 
 RoaringBitmap Bsi::RangeGe(uint64_t k) const {
-  if (k == 0) return existence_;
-  ScalarCompareResult r = ScalarCompare(*this, k);
-  r.gt.OrInPlace(r.eq);
-  return std::move(r.gt);
+  return DispatchRange(*this, bsi_compare::RangeOp::kGe, k);
 }
 
 RoaringBitmap Bsi::RangeBetween(uint64_t lo, uint64_t hi) const {
   CHECK_LE(lo, hi);
-  RoaringBitmap out = RangeGe(lo);
-  out.AndInPlace(RangeLe(hi));
-  return out;
+  return UseWordCompare() ? bsi_compare::RangeBetweenWord(*this, lo, hi)
+                          : bsi_compare::RangeBetweenPairwise(*this, lo, hi);
 }
 
 uint64_t Bsi::Sum() const {

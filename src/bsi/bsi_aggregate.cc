@@ -9,6 +9,7 @@
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "common/scratch_arena.h"
+#include "common/word_ops.h"
 #include "obs/metrics.h"
 #include "roaring/union_accumulator.h"
 
@@ -43,6 +44,38 @@ struct SliceRef {
 // as much as a few hundred scalar chains, memset included).
 constexpr int kScalarAddMaxCardinality = 256;
 
+// Dirty word window of one accumulator level: [lo, hi) words of the chunk
+// buffer may hold bits; everything outside is guaranteed zero. Rank-encoded
+// positions concentrate a segment's population in the first few words of a
+// chunk, so at small scale the window is a fraction of the 1024-word buffer
+// and conversion/cleanup can skip the untouched tail.
+struct WordWindow {
+  uint32_t lo = ScratchArena::kScratchWords;
+  uint32_t hi = 0;
+
+  bool empty() const { return lo >= hi; }
+  void Widen(uint32_t w_lo, uint32_t w_hi) {
+    lo = std::min(lo, w_lo);
+    hi = std::max(hi, w_hi);
+  }
+};
+
+// Carry-save full-adder step over only [lo, hi): the fixed-width SIMD pass
+// always sweeps all 1024 words, which dwarfs the real work when an input
+// container's values span a handful of words. The plain loop autovectorizes;
+// the dispatch-table pass is still used for full-width bitmap inputs.
+bool RangedCsaPass(uint64_t* acc, const uint64_t* bits, uint64_t* carry,
+                   uint32_t lo, uint32_t hi) {
+  uint64_t any = 0;
+  for (uint32_t w = lo; w < hi; ++w) {
+    const uint64_t c = acc[w] & bits[w];
+    acc[w] ^= bits[w];
+    carry[w] = c;
+    any |= c;
+  }
+  return any != 0;
+}
+
 // Carry-save accumulation on raw 64-bit words. Each 2^16 chunk keeps one
 // scratch word buffer per output bit level; every input container is added
 // into the buffers with word-wise carry propagation
@@ -60,15 +93,19 @@ constexpr int kScalarAddMaxCardinality = 256;
 // sum is exact regardless of the order refs are added in.
 Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
   constexpr size_t kWords = ScratchArena::kScratchWords;
+  static_assert(kWords == WordOps::kWords);
+  const WordOps& word_ops = ActiveWordOps();  // runtime SIMD dispatch
   std::sort(refs.begin(), refs.end(),
             [](const SliceRef& a, const SliceRef& b) { return a.key < b.key; });
   std::vector<ScratchArena::Lease> acc;  // one 65536-bit buffer per level
+  std::vector<WordWindow> win;           // dirty word window per level
   ScratchArena::Lease ping, pong;        // carry propagation scratch
   std::vector<RoaringBitmap> slices;
   // Kernel work accounting, kept in plain locals through the hot loops and
   // published to the registry once per call at the bottom.
   uint64_t n_chunks = 0;
   uint64_t n_word_passes = 0;
+  uint64_t n_words_processed = 0;
   uint64_t n_scalar_adds = 0;
   size_t i = 0;
   while (i < refs.size()) {
@@ -82,14 +119,18 @@ Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
           ref.container->Cardinality() < kScalarAddMaxCardinality) {
         // Sparse container: per-value scalar carry chains.
         n_scalar_adds += static_cast<uint64_t>(ref.container->Cardinality());
-        ref.container->ForEach([&acc, &used, &ref](uint16_t v) {
+        ref.container->ForEach([&acc, &win, &used, &ref](uint16_t v) {
           const int w = v >> 6;
           uint64_t b = uint64_t{1} << (v & 63);
           size_t lvl = ref.level;
           do {
             // The first write can start several levels up (high slice, or a
             // shifted weighted operand), so grow to lvl, not just by one.
-            while (lvl >= acc.size()) acc.emplace_back();  // zeroed on lease
+            while (lvl >= acc.size()) {
+              acc.emplace_back();  // zeroed on lease
+              win.emplace_back();
+            }
+            win[lvl].Widen(w, w + 1);
             uint64_t* aw = acc[lvl].words() + w;
             const uint64_t carry = *aw & b;
             *aw ^= b;
@@ -100,29 +141,36 @@ Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
         });
         continue;
       }
+      // Word window spanned by this container's bits. Bitmap containers lend
+      // their full payload and take the full-width dispatch-table pass;
+      // array/run containers expand into (and sweep) only their value span.
+      uint32_t b_lo = 0;
+      uint32_t b_hi = kWords;
       if (bits == nullptr) {
-        // Dense array or run container: expand once, then use the full-width
-        // passes below.
-        std::fill_n(ping.words(), kWords, 0);
+        b_lo = static_cast<uint32_t>(ref.container->Minimum() >> 6);
+        b_hi = static_cast<uint32_t>(ref.container->Maximum() >> 6) + 1;
+        std::fill(ping.words() + b_lo, ping.words() + b_hi, uint64_t{0});
         ref.container->UnionInto(ping.words());
         bits = ping.words();
       }
-      // Full adder over whole buffers: sum into acc[lvl], carries into the
-      // scratch buffer not currently holding `bits`, until they die out.
+      const bool full_width = b_hi - b_lo == kWords;
+      // Full adder: sum into acc[lvl], carries into the scratch buffer not
+      // currently holding `bits`, until they die out. Carries never escape
+      // the input's window, so ranged passes stay ranged.
       uint64_t* carry_buf = bits == ping.words() ? pong.words() : ping.words();
       for (size_t lvl = ref.level;; ++lvl) {
-        while (lvl >= acc.size()) acc.emplace_back();
-        ++n_word_passes;
-        uint64_t* a = acc[lvl].words();
-        uint64_t any = 0;
-        for (size_t w = 0; w < kWords; ++w) {
-          const uint64_t x = bits[w];
-          const uint64_t carry = a[w] & x;
-          a[w] ^= x;
-          carry_buf[w] = carry;
-          any |= carry;
+        while (lvl >= acc.size()) {
+          acc.emplace_back();
+          win.emplace_back();
         }
-        if (any == 0) {
+        win[lvl].Widen(b_lo, b_hi);
+        ++n_word_passes;
+        n_words_processed += b_hi - b_lo;
+        const bool carry_alive =
+            full_width
+                ? word_ops.csa_pass(acc[lvl].words(), bits, carry_buf)
+                : RangedCsaPass(acc[lvl].words(), bits, carry_buf, b_lo, b_hi);
+        if (!carry_alive) {
           used = std::max(used, lvl);
           break;
         }
@@ -131,12 +179,17 @@ Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
       }
     }
     for (size_t lvl = 0; lvl <= used && lvl < acc.size(); ++lvl) {
-      Container c = Container::FromWords(acc[lvl].words());
+      if (win[lvl].empty()) continue;
+      Container c = Container::FromWordsRange(
+          acc[lvl].words(), static_cast<int>(win[lvl].lo),
+          static_cast<int>(win[lvl].hi));
       if (!c.IsEmpty()) {
         if (slices.size() <= lvl) slices.resize(lvl + 1);
         slices[lvl].AppendContainer(key, std::move(c));
       }
-      std::fill_n(acc[lvl].words(), kWords, 0);
+      std::fill(acc[lvl].words() + win[lvl].lo, acc[lvl].words() + win[lvl].hi,
+                uint64_t{0});
+      win[lvl] = WordWindow();
     }
   }
   static obs::Counter& m_calls = obs::GetCounter("kernel.csa_calls");
@@ -149,7 +202,7 @@ Bsi WordCsaSum(std::vector<SliceRef> refs, RoaringBitmap existence) {
   m_containers.Add(refs.size());
   m_chunks.Add(n_chunks);
   m_passes.Add(n_word_passes);
-  m_words.Add(n_word_passes * kWords);
+  m_words.Add(n_words_processed);
   m_scalar.Add(n_scalar_adds);
   // Values are positive wherever present, so the sum's existence bitmap is
   // exactly the union of the inputs' existence bitmaps.
@@ -198,7 +251,10 @@ Bsi SumBsiPairwise(const std::vector<const Bsi*>& inputs) {
       acc = *input;  // one copy to seed, instead of Add(empty, x) per round
       seeded = true;
     } else {
-      acc = Bsi::Add(acc, *input);
+      // Explicitly pairwise: Bsi::Add now dispatches on the kernel flag, and
+      // this entry point must stay the legacy baseline even when the flag
+      // says multi-operand (ablation benches call it directly).
+      acc = Bsi::AddPairwise(acc, *input);
     }
   }
   return acc;
@@ -289,12 +345,20 @@ Bsi WeightedSumBsiPairwise(const std::vector<WeightedBsi>& inputs) {
   for (const WeightedBsi& input : inputs) {
     CHECK(input.bsi != nullptr);
     if (input.weight == 0 || input.bsi->IsEmpty()) continue;
-    Bsi term = Bsi::MultiplyScalar(*input.bsi, input.weight);
+    // Shift-add w * X with the explicitly pairwise adder (MultiplyScalar and
+    // Add both dispatch on the kernel flag now; this baseline must not).
+    Bsi term;
+    uint64_t bits = input.weight;
+    while (bits != 0) {
+      const int b = CountTrailingZeros64(bits);
+      term = Bsi::AddPairwise(term, Bsi::ShiftLeft(*input.bsi, b));
+      bits &= bits - 1;
+    }
     if (!seeded) {
       acc = std::move(term);
       seeded = true;
     } else {
-      acc = Bsi::Add(acc, term);
+      acc = Bsi::AddPairwise(acc, term);
     }
   }
   return acc;

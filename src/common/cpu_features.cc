@@ -1,0 +1,70 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace expbsi {
+namespace {
+
+SimdTier DetectTier() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kPortable;
+}
+
+SimdTier ClampToDetected(SimdTier tier) {
+  return static_cast<int>(tier) > static_cast<int>(DetectedSimdTier())
+             ? DetectedSimdTier()
+             : tier;
+}
+
+SimdTier TierFromEnv() {
+  const char* env = std::getenv("EXPBSI_KERNEL");
+  if (env == nullptr || env[0] == '\0') return DetectedSimdTier();
+  if (std::strcmp(env, "portable") == 0) return SimdTier::kPortable;
+  if (std::strcmp(env, "avx2") == 0) {
+    return ClampToDetected(SimdTier::kAvx2);
+  }
+  if (std::strcmp(env, "avx512") == 0) {
+    return ClampToDetected(SimdTier::kAvx512);
+  }
+  return DetectedSimdTier();  // unknown value: ignore
+}
+
+std::atomic<SimdTier>& ActiveFlag() {
+  static std::atomic<SimdTier> flag{TierFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kPortable:
+      return "portable";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdTier DetectedSimdTier() {
+  static const SimdTier tier = DetectTier();
+  return tier;
+}
+
+SimdTier ActiveSimdTier() {
+  return ActiveFlag().load(std::memory_order_relaxed);
+}
+
+void SetSimdTierForTesting(SimdTier tier) {
+  ActiveFlag().store(ClampToDetected(tier), std::memory_order_relaxed);
+}
+
+}  // namespace expbsi

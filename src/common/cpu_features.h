@@ -1,0 +1,42 @@
+#ifndef EXPBSI_COMMON_CPU_FEATURES_H_
+#define EXPBSI_COMMON_CPU_FEATURES_H_
+
+namespace expbsi {
+
+// Runtime SIMD dispatch tiers for the word-level kernels (word_ops.h). The
+// paper's production system ships hand-written SIMD JNI kernels; we mirror
+// that with per-tier variants compiled into one binary and selected once at
+// startup from CPUID, so the same build runs everywhere and uses the widest
+// vectors the host offers.
+//
+// Ordering is meaningful: every tier is a strict superset of the previous
+// one, so clamping a requested tier down to the detected tier is always
+// safe.
+enum class SimdTier : int {
+  kPortable = 0,  // plain uint64_t loops (autovectorized by the compiler)
+  kAvx2 = 1,      // 256-bit AVX2 intrinsics
+  kAvx512 = 2,    // 512-bit AVX-512F intrinsics (vpternlogq fused passes)
+};
+
+// Human-readable tier name ("portable" / "avx2" / "avx512").
+const char* SimdTierName(SimdTier tier);
+
+// Widest tier the host CPU supports. Computed once (CPUID on x86; always
+// kPortable elsewhere) and cached.
+SimdTier DetectedSimdTier();
+
+// The tier the kernels actually dispatch on: DetectedSimdTier() clamped by
+// the EXPBSI_KERNEL environment variable (values: portable | avx2 | avx512,
+// read once at first use; unknown values are ignored) or by the most recent
+// SetSimdTierForTesting() call. Requesting a tier above the detected one
+// clamps down rather than faulting, so tests can ask for every tier and
+// silently exercise only what the host has.
+SimdTier ActiveSimdTier();
+
+// Overrides the active tier (clamped to DetectedSimdTier()). Test/bench
+// hook; thread-safe but not synchronized with concurrent kernel calls.
+void SetSimdTierForTesting(SimdTier tier);
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_CPU_FEATURES_H_

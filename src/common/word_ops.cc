@@ -1,0 +1,407 @@
+#include "common/word_ops.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define EXPBSI_HAVE_X86_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace expbsi {
+namespace {
+
+constexpr size_t kWords = WordOps::kWords;
+
+// ---------------------------------------------------------------------------
+// Portable variants: plain word loops. The compiler autovectorizes these at
+// -O2 for whatever the build's baseline ISA is; they are also the reference
+// implementation every SIMD tier is differential-tested against.
+// ---------------------------------------------------------------------------
+
+void LtPassPortable(uint64_t* lt, const uint64_t* x, const uint64_t* y) {
+  for (size_t w = 0; w < kWords; ++w) {
+    lt[w] = (y[w] & lt[w]) | ((y[w] | lt[w]) & ~x[w]);
+  }
+}
+
+bool EqPassPortable(uint64_t* eq, const uint64_t* x, const uint64_t* y) {
+  uint64_t any = 0;
+  for (size_t w = 0; w < kWords; ++w) {
+    eq[w] &= ~(x[w] ^ y[w]);
+    any |= eq[w];
+  }
+  return any != 0;
+}
+
+bool ScalarOnePassPortable(uint64_t* lt, uint64_t* eq, const uint64_t* s) {
+  uint64_t any = 0;
+  for (size_t w = 0; w < kWords; ++w) {
+    lt[w] |= eq[w] & ~s[w];
+    eq[w] &= s[w];
+    any |= eq[w];
+  }
+  return any != 0;
+}
+
+bool ScalarZeroPassPortable(uint64_t* gt, uint64_t* eq, const uint64_t* s) {
+  uint64_t any = 0;
+  for (size_t w = 0; w < kWords; ++w) {
+    gt[w] |= eq[w] & s[w];
+    eq[w] &= ~s[w];
+    any |= eq[w];
+  }
+  return any != 0;
+}
+
+bool CsaPassPortable(uint64_t* acc, const uint64_t* bits, uint64_t* carry) {
+  uint64_t any = 0;
+  for (size_t w = 0; w < kWords; ++w) {
+    const uint64_t b = bits[w];
+    const uint64_t c = acc[w] & b;
+    acc[w] ^= b;
+    carry[w] = c;
+    any |= c;
+  }
+  return any != 0;
+}
+
+void MaskAndNot2PassPortable(uint64_t* dst, const uint64_t* mask,
+                             const uint64_t* a, const uint64_t* b) {
+  for (size_t w = 0; w < kWords; ++w) {
+    dst[w] = mask[w] & ~a[w] & ~b[w];
+  }
+}
+
+bool AndPassPortable(uint64_t* dst, const uint64_t* src) {
+  uint64_t any = 0;
+  for (size_t w = 0; w < kWords; ++w) {
+    dst[w] &= src[w];
+    any |= dst[w];
+  }
+  return any != 0;
+}
+
+bool AndNotPassPortable(uint64_t* dst, const uint64_t* src) {
+  uint64_t any = 0;
+  for (size_t w = 0; w < kWords; ++w) {
+    dst[w] &= ~src[w];
+    any |= dst[w];
+  }
+  return any != 0;
+}
+
+void OrPassPortable(uint64_t* dst, const uint64_t* src) {
+  for (size_t w = 0; w < kWords; ++w) dst[w] |= src[w];
+}
+
+constexpr WordOps kPortableOps = {
+    LtPassPortable,       EqPassPortable,     ScalarOnePassPortable,
+    ScalarZeroPassPortable, CsaPassPortable,  MaskAndNot2PassPortable,
+    AndPassPortable,      AndNotPassPortable, OrPassPortable,
+};
+
+#if defined(EXPBSI_HAVE_X86_SIMD)
+
+// ---------------------------------------------------------------------------
+// AVX2 variants: 256-bit lanes, 4 words per vector, 256 iterations per pass.
+// Compiled with a function-level target attribute so the rest of the binary
+// keeps the build's baseline ISA; only reachable after a CPUID check.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void LtPassAvx2(uint64_t* lt,
+                                                const uint64_t* x,
+                                                const uint64_t* y) {
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i xv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + w));
+    const __m256i yv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + w));
+    const __m256i lv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lt + w));
+    // (y & lt) | ((y | lt) & ~x); andnot(a, b) computes ~a & b.
+    const __m256i keep = _mm256_and_si256(yv, lv);
+    const __m256i gain = _mm256_andnot_si256(xv, _mm256_or_si256(yv, lv));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lt + w),
+                        _mm256_or_si256(keep, gain));
+  }
+}
+
+__attribute__((target("avx2"))) bool EqPassAvx2(uint64_t* eq,
+                                                const uint64_t* x,
+                                                const uint64_t* y) {
+  __m256i any = _mm256_setzero_si256();
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i xv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + w));
+    const __m256i yv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + w));
+    const __m256i ev = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(eq + w));
+    const __m256i r = _mm256_andnot_si256(_mm256_xor_si256(xv, yv), ev);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(eq + w), r);
+    any = _mm256_or_si256(any, r);
+  }
+  return !_mm256_testz_si256(any, any);
+}
+
+__attribute__((target("avx2"))) bool ScalarOnePassAvx2(uint64_t* lt,
+                                                       uint64_t* eq,
+                                                       const uint64_t* s) {
+  __m256i any = _mm256_setzero_si256();
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i sv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + w));
+    const __m256i ev = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(eq + w));
+    const __m256i lv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lt + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lt + w),
+                        _mm256_or_si256(lv, _mm256_andnot_si256(sv, ev)));
+    const __m256i e = _mm256_and_si256(ev, sv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(eq + w), e);
+    any = _mm256_or_si256(any, e);
+  }
+  return !_mm256_testz_si256(any, any);
+}
+
+__attribute__((target("avx2"))) bool ScalarZeroPassAvx2(uint64_t* gt,
+                                                        uint64_t* eq,
+                                                        const uint64_t* s) {
+  __m256i any = _mm256_setzero_si256();
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i sv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + w));
+    const __m256i ev = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(eq + w));
+    const __m256i gv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(gt + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(gt + w),
+                        _mm256_or_si256(gv, _mm256_and_si256(ev, sv)));
+    const __m256i e = _mm256_andnot_si256(sv, ev);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(eq + w), e);
+    any = _mm256_or_si256(any, e);
+  }
+  return !_mm256_testz_si256(any, any);
+}
+
+__attribute__((target("avx2"))) bool CsaPassAvx2(uint64_t* acc,
+                                                 const uint64_t* bits,
+                                                 uint64_t* carry) {
+  __m256i any = _mm256_setzero_si256();
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + w));
+    const __m256i av = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + w));
+    const __m256i cv = _mm256_and_si256(av, bv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + w),
+                        _mm256_xor_si256(av, bv));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(carry + w), cv);
+    any = _mm256_or_si256(any, cv);
+  }
+  return !_mm256_testz_si256(any, any);
+}
+
+__attribute__((target("avx2"))) void MaskAndNot2PassAvx2(uint64_t* dst,
+                                                         const uint64_t* mask,
+                                                         const uint64_t* a,
+                                                         const uint64_t* b) {
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i mv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + w));
+    const __m256i av = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + w),
+        _mm256_andnot_si256(bv, _mm256_andnot_si256(av, mv)));
+  }
+}
+
+__attribute__((target("avx2"))) bool AndPassAvx2(uint64_t* dst,
+                                                 const uint64_t* src) {
+  __m256i any = _mm256_setzero_si256();
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i sv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    const __m256i dv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i r = _mm256_and_si256(dv, sv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), r);
+    any = _mm256_or_si256(any, r);
+  }
+  return !_mm256_testz_si256(any, any);
+}
+
+__attribute__((target("avx2"))) bool AndNotPassAvx2(uint64_t* dst,
+                                                    const uint64_t* src) {
+  __m256i any = _mm256_setzero_si256();
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i sv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    const __m256i dv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i r = _mm256_andnot_si256(sv, dv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), r);
+    any = _mm256_or_si256(any, r);
+  }
+  return !_mm256_testz_si256(any, any);
+}
+
+__attribute__((target("avx2"))) void OrPassAvx2(uint64_t* dst,
+                                                const uint64_t* src) {
+  for (size_t w = 0; w < kWords; w += 4) {
+    const __m256i sv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    const __m256i dv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(dv, sv));
+  }
+}
+
+constexpr WordOps kAvx2Ops = {
+    LtPassAvx2,       EqPassAvx2,     ScalarOnePassAvx2,
+    ScalarZeroPassAvx2, CsaPassAvx2,  MaskAndNot2PassAvx2,
+    AndPassAvx2,      AndNotPassAvx2, OrPassAvx2,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512F variants: 512-bit lanes, 8 words per vector, and vpternlogq to
+// fuse each three-input step into one instruction per vector. The ternary
+// immediates index the truth table as (a << 2) | (b << 1) | c for
+// _mm512_ternarylogic_epi64(a, b, c, imm).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f"))) void LtPassAvx512(uint64_t* lt,
+                                                     const uint64_t* x,
+                                                     const uint64_t* y) {
+  for (size_t w = 0; w < kWords; w += 8) {
+    const __m512i xv = _mm512_loadu_si512(x + w);
+    const __m512i yv = _mm512_loadu_si512(y + w);
+    const __m512i lv = _mm512_loadu_si512(lt + w);
+    // lt' = (y & lt) | ((y | lt) & ~x) with (a, b, c) = (lt, x, y): 0xB2.
+    _mm512_storeu_si512(lt + w, _mm512_ternarylogic_epi64(lv, xv, yv, 0xB2));
+  }
+}
+
+__attribute__((target("avx512f"))) bool EqPassAvx512(uint64_t* eq,
+                                                     const uint64_t* x,
+                                                     const uint64_t* y) {
+  __m512i any = _mm512_setzero_si512();
+  for (size_t w = 0; w < kWords; w += 8) {
+    const __m512i xv = _mm512_loadu_si512(x + w);
+    const __m512i yv = _mm512_loadu_si512(y + w);
+    const __m512i ev = _mm512_loadu_si512(eq + w);
+    // eq' = eq & ~(x ^ y) with (a, b, c) = (eq, x, y): 0x90.
+    const __m512i r = _mm512_ternarylogic_epi64(ev, xv, yv, 0x90);
+    _mm512_storeu_si512(eq + w, r);
+    any = _mm512_or_si512(any, r);
+  }
+  return _mm512_test_epi64_mask(any, any) != 0;
+}
+
+__attribute__((target("avx512f"))) bool ScalarOnePassAvx512(uint64_t* lt,
+                                                            uint64_t* eq,
+                                                            const uint64_t* s) {
+  __m512i any = _mm512_setzero_si512();
+  for (size_t w = 0; w < kWords; w += 8) {
+    const __m512i sv = _mm512_loadu_si512(s + w);
+    const __m512i ev = _mm512_loadu_si512(eq + w);
+    const __m512i lv = _mm512_loadu_si512(lt + w);
+    // lt' = lt | (eq & ~s) with (a, b, c) = (lt, eq, s): 0xF4.
+    _mm512_storeu_si512(lt + w, _mm512_ternarylogic_epi64(lv, ev, sv, 0xF4));
+    const __m512i e = _mm512_and_si512(ev, sv);
+    _mm512_storeu_si512(eq + w, e);
+    any = _mm512_or_si512(any, e);
+  }
+  return _mm512_test_epi64_mask(any, any) != 0;
+}
+
+__attribute__((target("avx512f"))) bool ScalarZeroPassAvx512(
+    uint64_t* gt, uint64_t* eq, const uint64_t* s) {
+  __m512i any = _mm512_setzero_si512();
+  for (size_t w = 0; w < kWords; w += 8) {
+    const __m512i sv = _mm512_loadu_si512(s + w);
+    const __m512i ev = _mm512_loadu_si512(eq + w);
+    const __m512i gv = _mm512_loadu_si512(gt + w);
+    // gt' = gt | (eq & s) with (a, b, c) = (gt, eq, s): 0xF8.
+    _mm512_storeu_si512(gt + w, _mm512_ternarylogic_epi64(gv, ev, sv, 0xF8));
+    const __m512i e = _mm512_andnot_si512(sv, ev);
+    _mm512_storeu_si512(eq + w, e);
+    any = _mm512_or_si512(any, e);
+  }
+  return _mm512_test_epi64_mask(any, any) != 0;
+}
+
+__attribute__((target("avx512f"))) bool CsaPassAvx512(uint64_t* acc,
+                                                      const uint64_t* bits,
+                                                      uint64_t* carry) {
+  __m512i any = _mm512_setzero_si512();
+  for (size_t w = 0; w < kWords; w += 8) {
+    const __m512i bv = _mm512_loadu_si512(bits + w);
+    const __m512i av = _mm512_loadu_si512(acc + w);
+    const __m512i cv = _mm512_and_si512(av, bv);
+    _mm512_storeu_si512(acc + w, _mm512_xor_si512(av, bv));
+    _mm512_storeu_si512(carry + w, cv);
+    any = _mm512_or_si512(any, cv);
+  }
+  return _mm512_test_epi64_mask(any, any) != 0;
+}
+
+__attribute__((target("avx512f"))) void MaskAndNot2PassAvx512(
+    uint64_t* dst, const uint64_t* mask, const uint64_t* a, const uint64_t* b) {
+  for (size_t w = 0; w < kWords; w += 8) {
+    const __m512i mv = _mm512_loadu_si512(mask + w);
+    const __m512i av = _mm512_loadu_si512(a + w);
+    const __m512i bv = _mm512_loadu_si512(b + w);
+    // dst = mask & ~a & ~b with (a, b, c) = (mask, a, b): 0x10.
+    _mm512_storeu_si512(dst + w, _mm512_ternarylogic_epi64(mv, av, bv, 0x10));
+  }
+}
+
+__attribute__((target("avx512f"))) bool AndPassAvx512(uint64_t* dst,
+                                                      const uint64_t* src) {
+  __m512i any = _mm512_setzero_si512();
+  for (size_t w = 0; w < kWords; w += 8) {
+    const __m512i r =
+        _mm512_and_si512(_mm512_loadu_si512(dst + w), _mm512_loadu_si512(src + w));
+    _mm512_storeu_si512(dst + w, r);
+    any = _mm512_or_si512(any, r);
+  }
+  return _mm512_test_epi64_mask(any, any) != 0;
+}
+
+__attribute__((target("avx512f"))) bool AndNotPassAvx512(uint64_t* dst,
+                                                         const uint64_t* src) {
+  __m512i any = _mm512_setzero_si512();
+  for (size_t w = 0; w < kWords; w += 8) {
+    const __m512i r = _mm512_andnot_si512(_mm512_loadu_si512(src + w),
+                                          _mm512_loadu_si512(dst + w));
+    _mm512_storeu_si512(dst + w, r);
+    any = _mm512_or_si512(any, r);
+  }
+  return _mm512_test_epi64_mask(any, any) != 0;
+}
+
+__attribute__((target("avx512f"))) void OrPassAvx512(uint64_t* dst,
+                                                     const uint64_t* src) {
+  for (size_t w = 0; w < kWords; w += 8) {
+    _mm512_storeu_si512(dst + w, _mm512_or_si512(_mm512_loadu_si512(dst + w),
+                                                 _mm512_loadu_si512(src + w)));
+  }
+}
+
+constexpr WordOps kAvx512Ops = {
+    LtPassAvx512,       EqPassAvx512,     ScalarOnePassAvx512,
+    ScalarZeroPassAvx512, CsaPassAvx512,  MaskAndNot2PassAvx512,
+    AndPassAvx512,      AndNotPassAvx512, OrPassAvx512,
+};
+
+#endif  // EXPBSI_HAVE_X86_SIMD
+
+}  // namespace
+
+const WordOps& WordOpsForTier(SimdTier tier) {
+#if defined(EXPBSI_HAVE_X86_SIMD)
+  // Never hand out a table the host cannot execute, even if a caller passes
+  // a raw tier value that bypassed the ActiveSimdTier() clamp.
+  if (static_cast<int>(tier) > static_cast<int>(DetectedSimdTier())) {
+    tier = DetectedSimdTier();
+  }
+  switch (tier) {
+    case SimdTier::kAvx512:
+      return kAvx512Ops;
+    case SimdTier::kAvx2:
+      return kAvx2Ops;
+    case SimdTier::kPortable:
+      break;
+  }
+#else
+  (void)tier;
+#endif
+  return kPortableOps;
+}
+
+}  // namespace expbsi

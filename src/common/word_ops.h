@@ -1,0 +1,69 @@
+#ifndef EXPBSI_COMMON_WORD_OPS_H_
+#define EXPBSI_COMMON_WORD_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu_features.h"
+
+namespace expbsi {
+
+// Fused logical passes over fixed-length 1024-word (65536-bit) buffers --
+// exactly one Roaring container chunk, the unit every word-level kernel in
+// src/bsi works in. Each pass fuses what would otherwise be two or three
+// allocating container operations into a single sweep over the words, and
+// each has portable / AVX2 / AVX-512 variants; ActiveWordOps() returns the
+// table for the currently active dispatch tier (cpu_features.h), so callers
+// fetch the table once per kernel invocation and stay branch-free inside
+// their chunk loops.
+//
+// Passes that can enable an early exit return whether their primary
+// accumulator still has any bit set (false == dead, caller may stop).
+struct WordOps {
+  // Words per buffer (one full Roaring container bitmap).
+  static constexpr size_t kWords = 1024;
+
+  // Algorithm 1 (Lt) inner step: lt = (y & lt) | ((y | lt) & ~x).
+  void (*lt_pass)(uint64_t* lt, const uint64_t* x, const uint64_t* y);
+
+  // Algorithm 2 (Eq) inner step: eq &= ~(x ^ y); returns any(eq).
+  bool (*eq_pass)(uint64_t* eq, const uint64_t* x, const uint64_t* y);
+
+  // Constant-compare step for a set key bit: lt |= eq & ~s; eq &= s;
+  // returns any(eq).
+  bool (*scalar_one_pass)(uint64_t* lt, uint64_t* eq, const uint64_t* s);
+
+  // Constant-compare step for a clear key bit: gt |= eq & s; eq &= ~s;
+  // returns any(eq).
+  bool (*scalar_zero_pass)(uint64_t* gt, uint64_t* eq, const uint64_t* s);
+
+  // Carry-save full-adder step: carry = acc & bits; acc ^= bits;
+  // returns any(carry).
+  bool (*csa_pass)(uint64_t* acc, const uint64_t* bits, uint64_t* carry);
+
+  // Three-way combiner (Between): dst = mask & ~a & ~b.
+  void (*mask_andnot2_pass)(uint64_t* dst, const uint64_t* mask,
+                            const uint64_t* a, const uint64_t* b);
+
+  // dst &= src; returns any(dst).
+  bool (*and_pass)(uint64_t* dst, const uint64_t* src);
+
+  // dst &= ~src; returns any(dst).
+  bool (*andnot_pass)(uint64_t* dst, const uint64_t* src);
+
+  // dst |= src.
+  void (*or_pass)(uint64_t* dst, const uint64_t* src);
+};
+
+// Pass table for an explicit tier. Tiers above DetectedSimdTier() fall back
+// to the widest supported table (never crash on unsupported instructions).
+const WordOps& WordOpsForTier(SimdTier tier);
+
+// Pass table for ActiveSimdTier().
+inline const WordOps& ActiveWordOps() {
+  return WordOpsForTier(ActiveSimdTier());
+}
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_COMMON_WORD_OPS_H_

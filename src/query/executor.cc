@@ -31,6 +31,95 @@ RoaringBitmap ApplyRange(const Bsi& bsi, CompareOp op, uint64_t k) {
   return RoaringBitmap();
 }
 
+// Bound-pair fusion: normalize >=/> predicates to an inclusive lower bound
+// and <=/< ones to an inclusive upper bound. A (lower, upper) pair over the
+// same BSI collapses into one RangeBetween call -- a single three-way
+// partition pass -- instead of two full range scans plus an intersection.
+// The non-normalizable extremes (> UINT64_MAX, < 0) keep the single-
+// predicate path, which returns empty for them anyway.
+bool AsLowerBound(const QueryPredicate& pred, uint64_t* lo) {
+  if (pred.op == CompareOp::kGe) {
+    *lo = pred.constant;
+    return true;
+  }
+  if (pred.op == CompareOp::kGt && pred.constant != ~uint64_t{0}) {
+    *lo = pred.constant + 1;
+    return true;
+  }
+  return false;
+}
+
+bool AsUpperBound(const QueryPredicate& pred, uint64_t* hi) {
+  if (pred.op == CompareOp::kLe) {
+    *hi = pred.constant;
+    return true;
+  }
+  if (pred.op == CompareOp::kLt && pred.constant != 0) {
+    *hi = pred.constant - 1;
+    return true;
+  }
+  return false;
+}
+
+// True when the two predicates scan the same BSI (fusable): value and
+// offset predicates both scan the query source, dimension predicates scan
+// the same dimension log only if id and date agree.
+bool SameRangeTarget(const QueryPredicate& a, const QueryPredicate& b) {
+  if (a.kind == QueryPredicate::Kind::kExposed ||
+      b.kind == QueryPredicate::Kind::kExposed) {
+    return false;
+  }
+  const bool a_source = a.kind != QueryPredicate::Kind::kDimension;
+  const bool b_source = b.kind != QueryPredicate::Kind::kDimension;
+  if (a_source != b_source) return false;
+  if (a_source) return true;
+  return a.dimension_id == b.dimension_id && a.dim_date == b.dim_date;
+}
+
+// partner[i] = j > i when predicates i and j fuse into one Between scan;
+// consumed[j] marks the absorbed upper/lower half.
+void PlanRangeFusion(const std::vector<QueryPredicate>& preds,
+                     std::vector<int>* partner,
+                     std::vector<char>* consumed) {
+  partner->assign(preds.size(), -1);
+  consumed->assign(preds.size(), 0);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if ((*consumed)[i] ||
+        preds[i].kind == QueryPredicate::Kind::kExposed) {
+      continue;
+    }
+    uint64_t bound;
+    const bool is_lo = AsLowerBound(preds[i], &bound);
+    const bool is_hi = !is_lo && AsUpperBound(preds[i], &bound);
+    if (!is_lo && !is_hi) continue;
+    for (size_t j = i + 1; j < preds.size(); ++j) {
+      if ((*consumed)[j] || !SameRangeTarget(preds[i], preds[j])) continue;
+      if ((is_lo && AsUpperBound(preds[j], &bound)) ||
+          (is_hi && AsLowerBound(preds[j], &bound))) {
+        (*partner)[i] = static_cast<int>(j);
+        (*consumed)[j] = 1;
+        break;
+      }
+    }
+  }
+}
+
+// Applies predicate i (optionally fused with its partner) to `bsi`. An
+// inverted fused interval (lo > hi) is empty by definition.
+RoaringBitmap ApplyPredicate(const Bsi& bsi, const QueryPredicate& pred,
+                             const QueryPredicate* fused_with) {
+  if (fused_with != nullptr) {
+    static obs::Counter& fusions = obs::GetCounter("query.range_fusions");
+    fusions.Add(1);
+    uint64_t lo = 0, hi = 0;
+    if (!AsLowerBound(pred, &lo)) AsLowerBound(*fused_with, &lo);
+    if (!AsUpperBound(pred, &hi)) AsUpperBound(*fused_with, &hi);
+    if (lo > hi) return RoaringBitmap();
+    return bsi.RangeBetween(lo, hi);
+  }
+  return ApplyRange(bsi, pred.op, pred.constant);
+}
+
 // Execution state of one (segment, scan-day) cell. Expose sources have a
 // single cell per segment (the expose log is not dated).
 struct SegmentScan {
@@ -96,15 +185,23 @@ SegmentScan BuildScan(const SegmentBsiData& seg, const Query& query,
     scan.source = &source_expose->offset;
   }
   scan.mask = scan.source->existence();
-  for (const QueryPredicate& pred : query.predicates) {
+  const std::vector<QueryPredicate>& preds = query.predicates;
+  std::vector<int> partner;
+  std::vector<char> consumed;
+  PlanRangeFusion(preds, &partner, &consumed);
+  for (size_t i = 0; i < preds.size(); ++i) {
     if (scan.mask.IsEmpty()) break;
+    if (consumed[i]) continue;  // absorbed into an earlier Between scan
+    const QueryPredicate& pred = preds[i];
+    const QueryPredicate* fused_with =
+        partner[i] >= 0 ? &preds[partner[i]] : nullptr;
     switch (pred.kind) {
       case QueryPredicate::Kind::kValue:
-        scan.mask.AndInPlace(ApplyRange(*scan.source, pred.op, pred.constant));
+        scan.mask.AndInPlace(ApplyPredicate(*scan.source, pred, fused_with));
         break;
       case QueryPredicate::Kind::kOffset:
         // Validated: only on expose sources, where source == offset.
-        scan.mask.AndInPlace(ApplyRange(*scan.source, pred.op, pred.constant));
+        scan.mask.AndInPlace(ApplyPredicate(*scan.source, pred, fused_with));
         break;
       case QueryPredicate::Kind::kDimension: {
         const DimensionBsi* dim =
@@ -113,7 +210,7 @@ SegmentScan BuildScan(const SegmentBsiData& seg, const Query& query,
           scan.mask.Clear();
           break;
         }
-        scan.mask.AndInPlace(ApplyRange(dim->value, pred.op, pred.constant));
+        scan.mask.AndInPlace(ApplyPredicate(dim->value, pred, fused_with));
         break;
       }
       case QueryPredicate::Kind::kExposed: {

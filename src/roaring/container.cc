@@ -763,14 +763,26 @@ void Container::UnionInto(uint64_t* words) const {
   }
 }
 
+const uint64_t* Container::WordsInto(uint64_t* scratch) const {
+  if (type_ == ContainerType::kBitmap) return words_.data();
+  std::fill_n(scratch, kWordsPerBitmap, uint64_t{0});
+  UnionInto(scratch);
+  return scratch;
+}
+
 Container Container::FromWords(const uint64_t* words) {
+  return FromWordsRange(words, 0, kWordsPerBitmap);
+}
+
+Container Container::FromWordsRange(const uint64_t* words, int w_lo,
+                                    int w_hi) {
   int card = 0;
-  for (int w = 0; w < kWordsPerBitmap; ++w) card += PopCount64(words[w]);
+  for (int w = w_lo; w < w_hi; ++w) card += PopCount64(words[w]);
   Container c;
   if (card == 0) return c;
   if (card <= kArrayMaxCardinality) {
     c.array_.reserve(card);
-    for (int w = 0; w < kWordsPerBitmap; ++w) {
+    for (int w = w_lo; w < w_hi; ++w) {
       uint64_t word = words[w];
       while (word != 0) {
         c.array_.push_back(

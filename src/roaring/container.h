@@ -94,11 +94,24 @@ class Container {
   // form when the cardinality is at or below kArrayMaxCardinality.
   static Container FromWords(const uint64_t* words);
 
+  // FromWords restricted to the word window [w_lo, w_hi): only those words
+  // are scanned, and every word outside the window must be zero (the
+  // returned container still represents the full buffer). Lets kernels that
+  // track which words they dirtied skip the empty tail of a scratch buffer.
+  static Container FromWordsRange(const uint64_t* words, int w_lo, int w_hi);
+
   // Raw 1024-word payload when type() == kBitmap, nullptr otherwise. Lets
   // word-at-a-time kernels read dense containers without a copy.
   const uint64_t* BitmapWords() const {
     return type_ == ContainerType::kBitmap ? words_.data() : nullptr;
   }
+
+  // Read-only word view for any representation: dense containers lend their
+  // bitmap payload directly; array/run containers overwrite `scratch`
+  // (kWordsPerBitmap words, caller-owned) with their bits and return it.
+  // The word-level compare/range kernels use this to treat every container
+  // uniformly inside a chunk.
+  const uint64_t* WordsInto(uint64_t* scratch) const;
 
   // Number of values <= `value`.
   int Rank(uint16_t value) const;

@@ -20,6 +20,11 @@ void PutU16(std::string* out, uint16_t v) {
 
 }  // namespace
 
+const Container* RoaringBitmap::FindContainer(uint16_t key) const {
+  const int i = FindKey(key);
+  return i < 0 ? nullptr : &entries_[i].container;
+}
+
 int RoaringBitmap::FindKey(uint16_t key) const {
   int lo = 0, hi = static_cast<int>(entries_.size()) - 1;
   while (lo <= hi) {

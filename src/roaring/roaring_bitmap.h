@@ -139,6 +139,10 @@ class RoaringBitmap {
   uint16_t KeyAt(int i) const { return entries_[i].key; }
   const Container& ContainerAt(int i) const { return entries_[i].container; }
 
+  // Container stored under `key`, or nullptr if the chunk is absent
+  // (binary-search point lookup for kernels that don't walk keys in order).
+  const Container* FindContainer(uint16_t key) const;
+
   // Appends a container under a key strictly greater than any key present
   // (bulk-builder path for kernels that emit containers in ascending key
   // order). Empty containers are skipped.

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "bsi/bsi.h"
+#include "bsi/bsi_aggregate.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "tests/test_util.h"
 
@@ -170,6 +172,89 @@ TEST(BsiRangeEdge, ZeroConstantSemantics) {
   EXPECT_TRUE(bsi.RangeLt(0).IsEmpty());
   EXPECT_TRUE(bsi.RangeLe(0).IsEmpty());
   EXPECT_EQ(bsi.RangeGe(0).Cardinality(), 2u);
+}
+
+TEST(BsiRangeEdge, BetweenDegenerateBounds) {
+  Bsi bsi = Bsi::FromPairs({{1, 3}, {2, 8}, {3, 200}});
+  // [0, 0]: no stored value is zero (zero == absent).
+  EXPECT_TRUE(bsi.RangeBetween(0, 0).IsEmpty());
+  // [0, hi] degrades to <= hi.
+  EXPECT_EQ(ToSet(bsi.RangeBetween(0, 8)), (std::set<uint32_t>{1, 2}));
+  // lo == hi is an exact match.
+  EXPECT_EQ(ToSet(bsi.RangeBetween(8, 8)), std::set<uint32_t>{2});
+  // lo wider than the slice count: nothing can qualify.
+  EXPECT_TRUE(bsi.RangeBetween(uint64_t{1} << 40, uint64_t{1} << 41)
+                  .IsEmpty());
+  // hi wider than the slice count degrades to >= lo.
+  EXPECT_EQ(ToSet(bsi.RangeBetween(4, ~uint64_t{0})),
+            (std::set<uint32_t>{2, 3}));
+  // Full-range bounds select everything present.
+  EXPECT_EQ(ToSet(bsi.RangeBetween(0, ~uint64_t{0})),
+            (std::set<uint32_t>{1, 2, 3}));
+}
+
+// One side a dense block (bitset containers), the other a sparse scatter
+// (array containers) sharing the same chunks: the word kernels must take the
+// dense path on one operand and expand/probe the other.
+TEST(BsiCompareBasic, MixedDenseSparseContainers) {
+  Rng rng(77);
+  ValueMap dense_map, sparse_map;
+  for (uint32_t pos = 0; pos < 30000; ++pos) {
+    if (rng.NextBernoulli(0.8)) dense_map[pos] = 1 + rng.NextBounded(64);
+  }
+  for (int i = 0; i < 200; ++i) {
+    sparse_map[static_cast<uint32_t>(rng.NextBounded(30000))] =
+        1 + rng.NextBounded(64);
+  }
+  Bsi dense = Bsi::FromPairs(ToPairVector(dense_map));
+  Bsi sparse = Bsi::FromPairs(ToPairVector(sparse_map));
+
+  const auto expected = [&](auto pred) {
+    std::set<uint32_t> out;
+    for (const auto& [pos, sv] : sparse_map) {
+      auto it = dense_map.find(pos);
+      if (it != dense_map.end() && pred(it->second, sv)) out.insert(pos);
+    }
+    return out;
+  };
+  EXPECT_EQ(ToSet(Bsi::Lt(dense, sparse)),
+            expected([](uint64_t a, uint64_t b) { return a < b; }));
+  EXPECT_EQ(ToSet(Bsi::Eq(dense, sparse)),
+            expected([](uint64_t a, uint64_t b) { return a == b; }));
+  // Swapped argument order flips which operand drives the sparse probe.
+  EXPECT_EQ(ToSet(Bsi::Lt(sparse, dense)),
+            expected([](uint64_t a, uint64_t b) { return b < a; }));
+}
+
+// The word kernels and the legacy pairwise path are interchangeable: force
+// each via the MultiOpKernel flag and require identical bitmaps on a
+// workload with planted equalities and cross-slice differences.
+TEST(BsiCompareBasic, WordAndPairwiseKernelsAgree) {
+  const MultiOpKernel saved = GetMultiOpKernel();
+  Rng rng(123);
+  ValueMap mx = RandomValueMap(rng, 6000, 50000, 64);
+  ValueMap my = RandomValueMap(rng, 6000, 50000, 64);
+  // Plant exact equalities so Eq is non-trivial.
+  int planted = 0;
+  for (const auto& [pos, v] : mx) {
+    if (my.count(pos) && ++planted % 3 == 0) my[pos] = v;
+  }
+  Bsi x = Bsi::FromPairs(ToPairVector(mx));
+  Bsi y = Bsi::FromPairs(ToPairVector(my));
+
+  SetMultiOpKernel(MultiOpKernel::kMultiOperand);
+  const RoaringBitmap lt_w = Bsi::Lt(x, y);
+  const RoaringBitmap eq_w = Bsi::Eq(x, y);
+  const RoaringBitmap ne_w = Bsi::Ne(x, y);
+  const RoaringBitmap le_w = Bsi::Le(x, y);
+  const RoaringBitmap rb_w = x.RangeBetween(10, 40);
+  SetMultiOpKernel(MultiOpKernel::kPairwise);
+  EXPECT_TRUE(Bsi::Lt(x, y).Equals(lt_w));
+  EXPECT_TRUE(Bsi::Eq(x, y).Equals(eq_w));
+  EXPECT_TRUE(Bsi::Ne(x, y).Equals(ne_w));
+  EXPECT_TRUE(Bsi::Le(x, y).Equals(le_w));
+  EXPECT_TRUE(x.RangeBetween(10, 40).Equals(rb_w));
+  SetMultiOpKernel(saved);
 }
 
 TEST(BsiRangeEdge, PaperFilterExample) {

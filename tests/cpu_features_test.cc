@@ -1,0 +1,175 @@
+// Runtime SIMD dispatch (common/cpu_features.h) and the per-tier word pass
+// tables (common/word_ops.h). The cross-tier differential here is the unit
+// counterpart of the end-to-end kernel sweep in differential_test.cc: every
+// pass of every supported tier must produce bit-identical buffers AND the
+// same any()-style return value as the portable reference.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "common/word_ops.h"
+
+namespace expbsi {
+namespace {
+
+TEST(CpuFeaturesTest, TierNames) {
+  EXPECT_STREQ(SimdTierName(SimdTier::kPortable), "portable");
+  EXPECT_STREQ(SimdTierName(SimdTier::kAvx2), "avx2");
+  EXPECT_STREQ(SimdTierName(SimdTier::kAvx512), "avx512");
+}
+
+TEST(CpuFeaturesTest, DetectionOrdering) {
+  EXPECT_GE(static_cast<int>(DetectedSimdTier()),
+            static_cast<int>(SimdTier::kPortable));
+  EXPECT_LE(static_cast<int>(ActiveSimdTier()),
+            static_cast<int>(DetectedSimdTier()));
+}
+
+TEST(CpuFeaturesTest, SetTierClampsToDetected) {
+  const SimdTier saved = ActiveSimdTier();
+  // Asking for the widest tier never exceeds what the host has.
+  SetSimdTierForTesting(SimdTier::kAvx512);
+  EXPECT_LE(static_cast<int>(ActiveSimdTier()),
+            static_cast<int>(DetectedSimdTier()));
+  // Portable is always honored exactly.
+  SetSimdTierForTesting(SimdTier::kPortable);
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kPortable);
+  SetSimdTierForTesting(saved);
+}
+
+// ---------------------------------------------------------------------------
+// WordOps cross-tier differential.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kW = WordOps::kWords;
+
+std::vector<uint64_t> RandomWords(Rng& rng, double density) {
+  std::vector<uint64_t> w(kW);
+  for (uint64_t& word : w) {
+    // Mix of empty, sparse, and dense words; density shifts the blend.
+    const double roll = rng.NextDouble();
+    if (roll < 0.25 * (1.0 - density)) {
+      word = 0;
+    } else if (roll < 0.5) {
+      word = uint64_t{1} << rng.NextBounded(64);
+    } else {
+      word = rng.Next() & rng.Next();
+      if (density > 0.5) word |= rng.Next();
+    }
+  }
+  return w;
+}
+
+TEST(WordOpsTest, AllTiersMatchPortable) {
+  const WordOps& portable = WordOpsForTier(SimdTier::kPortable);
+  Rng rng(0x11E125);
+  for (int iter = 0; iter < 40; ++iter) {
+    const double density = rng.NextDouble();
+    const std::vector<uint64_t> a = RandomWords(rng, density);
+    const std::vector<uint64_t> b = RandomWords(rng, density);
+    const std::vector<uint64_t> c = RandomWords(rng, density);
+    const std::vector<uint64_t> d = RandomWords(rng, density);
+
+    for (int t = 1; t <= static_cast<int>(DetectedSimdTier()); ++t) {
+      const WordOps& ops = WordOpsForTier(static_cast<SimdTier>(t));
+      const std::string ctx = std::string("tier=") +
+                              SimdTierName(static_cast<SimdTier>(t)) +
+                              " iter=" + std::to_string(iter);
+
+      std::vector<uint64_t> ref = a, got = a;
+      portable.lt_pass(ref.data(), b.data(), c.data());
+      ops.lt_pass(got.data(), b.data(), c.data());
+      EXPECT_EQ(got, ref) << ctx << " lt_pass";
+
+      ref = a;
+      got = a;
+      const bool ref_eq = portable.eq_pass(ref.data(), b.data(), c.data());
+      const bool got_eq = ops.eq_pass(got.data(), b.data(), c.data());
+      EXPECT_EQ(got, ref) << ctx << " eq_pass";
+      EXPECT_EQ(got_eq, ref_eq) << ctx << " eq_pass any";
+
+      std::vector<uint64_t> ref2 = b, got2 = b;
+      ref = a;
+      got = a;
+      const bool ref_s1 =
+          portable.scalar_one_pass(ref.data(), ref2.data(), c.data());
+      const bool got_s1 =
+          ops.scalar_one_pass(got.data(), got2.data(), c.data());
+      EXPECT_EQ(got, ref) << ctx << " scalar_one_pass lt";
+      EXPECT_EQ(got2, ref2) << ctx << " scalar_one_pass eq";
+      EXPECT_EQ(got_s1, ref_s1) << ctx << " scalar_one_pass any";
+
+      ref = a;
+      got = a;
+      ref2 = b;
+      got2 = b;
+      const bool ref_s0 =
+          portable.scalar_zero_pass(ref.data(), ref2.data(), c.data());
+      const bool got_s0 =
+          ops.scalar_zero_pass(got.data(), got2.data(), c.data());
+      EXPECT_EQ(got, ref) << ctx << " scalar_zero_pass gt";
+      EXPECT_EQ(got2, ref2) << ctx << " scalar_zero_pass eq";
+      EXPECT_EQ(got_s0, ref_s0) << ctx << " scalar_zero_pass any";
+
+      ref = a;
+      got = a;
+      std::vector<uint64_t> ref_carry(kW), got_carry(kW);
+      const bool ref_csa =
+          portable.csa_pass(ref.data(), b.data(), ref_carry.data());
+      const bool got_csa = ops.csa_pass(got.data(), b.data(), got_carry.data());
+      EXPECT_EQ(got, ref) << ctx << " csa_pass acc";
+      EXPECT_EQ(got_carry, ref_carry) << ctx << " csa_pass carry";
+      EXPECT_EQ(got_csa, ref_csa) << ctx << " csa_pass any";
+
+      ref.assign(kW, 0);
+      got.assign(kW, 0);
+      portable.mask_andnot2_pass(ref.data(), a.data(), b.data(), c.data());
+      ops.mask_andnot2_pass(got.data(), a.data(), b.data(), c.data());
+      EXPECT_EQ(got, ref) << ctx << " mask_andnot2_pass";
+
+      ref = a;
+      got = a;
+      EXPECT_EQ(ops.and_pass(got.data(), d.data()),
+                portable.and_pass(ref.data(), d.data()))
+          << ctx << " and_pass any";
+      EXPECT_EQ(got, ref) << ctx << " and_pass";
+
+      ref = a;
+      got = a;
+      EXPECT_EQ(ops.andnot_pass(got.data(), d.data()),
+                portable.andnot_pass(ref.data(), d.data()))
+          << ctx << " andnot_pass any";
+      EXPECT_EQ(got, ref) << ctx << " andnot_pass";
+
+      ref = a;
+      got = a;
+      portable.or_pass(ref.data(), d.data());
+      ops.or_pass(got.data(), d.data());
+      EXPECT_EQ(got, ref) << ctx << " or_pass";
+    }
+  }
+}
+
+// The any() returns must be exact, not conservative: all-zero inputs report
+// dead accumulators on every tier.
+TEST(WordOpsTest, AnyReturnsFalseOnZeroBuffers) {
+  const std::vector<uint64_t> zeros(kW, 0);
+  for (int t = 0; t <= static_cast<int>(DetectedSimdTier()); ++t) {
+    const WordOps& ops = WordOpsForTier(static_cast<SimdTier>(t));
+    std::vector<uint64_t> acc(kW, 0), aux(kW, 0), carry(kW, 0);
+    EXPECT_FALSE(ops.eq_pass(acc.data(), zeros.data(), zeros.data()));
+    EXPECT_FALSE(ops.scalar_one_pass(acc.data(), aux.data(), zeros.data()));
+    EXPECT_FALSE(ops.scalar_zero_pass(acc.data(), aux.data(), zeros.data()));
+    EXPECT_FALSE(ops.csa_pass(acc.data(), zeros.data(), carry.data()));
+    EXPECT_FALSE(ops.and_pass(acc.data(), zeros.data()));
+    EXPECT_FALSE(ops.andnot_pass(acc.data(), zeros.data()));
+  }
+}
+
+}  // namespace
+}  // namespace expbsi

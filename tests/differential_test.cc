@@ -30,6 +30,7 @@
 
 #include "bsi/bsi.h"
 #include "bsi/bsi_aggregate.h"
+#include "common/cpu_features.h"
 #include "engine/deepdive.h"
 #include "engine/experiment_data.h"
 #include "engine/preexperiment.h"
@@ -416,6 +417,85 @@ TEST(DifferentialTest, ColumnOpsMatchScalarOracle) {
 }
 
 // ---------------------------------------------------------------------------
+// Compare kernels: correlated workloads, swept over every (compare kernel,
+// SIMD dispatch tier) combination the host supports.
+// ---------------------------------------------------------------------------
+
+// One correlated-pair iteration: all six comparisons, boundary-constant
+// range scans, and RangeBetween over boundary bound pairs. Planted equal /
+// off-by-one / high-slice relationships make the eq/lt accumulator updates
+// (Algorithms 1-3) load-bearing instead of vacuously empty.
+void RunCompareIteration(uint64_t seed, const std::string& label) {
+  Rng rng(seed);
+  std::vector<std::pair<uint32_t, uint64_t>> pairs_x, pairs_y;
+  propgen::GenCorrelatedPairs(rng, kUniverse, uint64_t{1} << 20, &pairs_x,
+                              &pairs_y);
+  const auto [x, rx] = BuildBoth(pairs_x);
+  const auto [y, ry] = BuildBoth(pairs_y);
+  const std::string ctx = Ctx(seed, "compare[" + label + "]");
+
+  ExpectPositionsEqual(Bsi::Lt(x, y), RefColumn::Lt(rx, ry), ctx + " Lt");
+  ExpectPositionsEqual(Bsi::Eq(x, y), RefColumn::Eq(rx, ry), ctx + " Eq");
+  ExpectPositionsEqual(Bsi::Ne(x, y), RefColumn::Ne(rx, ry), ctx + " Ne");
+  ExpectPositionsEqual(Bsi::Le(x, y), RefColumn::Le(rx, ry), ctx + " Le");
+  ExpectPositionsEqual(Bsi::Gt(x, y), RefColumn::Gt(rx, ry), ctx + " Gt");
+  ExpectPositionsEqual(Bsi::Ge(x, y), RefColumn::Ge(rx, ry), ctx + " Ge");
+
+  const std::vector<uint64_t> ks = propgen::GenBoundaryConstants(rng, pairs_x);
+  for (const uint64_t k : ks) {
+    const std::string kctx = ctx + " k=" + std::to_string(k);
+    ExpectPositionsEqual(x.RangeEq(k), rx.RangeEq(k), kctx + " RangeEq");
+    ExpectPositionsEqual(x.RangeNe(k), rx.RangeNe(k), kctx + " RangeNe");
+    ExpectPositionsEqual(x.RangeLt(k), rx.RangeLt(k), kctx + " RangeLt");
+    ExpectPositionsEqual(x.RangeLe(k), rx.RangeLe(k), kctx + " RangeLe");
+    ExpectPositionsEqual(x.RangeGt(k), rx.RangeGt(k), kctx + " RangeGt");
+    ExpectPositionsEqual(x.RangeGe(k), rx.RangeGe(k), kctx + " RangeGe");
+  }
+  for (size_t i = 0; i + 1 < ks.size(); i += 2) {
+    const uint64_t lo = std::min(ks[i], ks[i + 1]);
+    const uint64_t hi = std::max(ks[i], ks[i + 1]);
+    ExpectPositionsEqual(x.RangeBetween(lo, hi), rx.RangeBetween(lo, hi),
+                         ctx + " RangeBetween [" + std::to_string(lo) + "," +
+                             std::to_string(hi) + "]");
+  }
+}
+
+// Forces each dispatch tier the host supports (portable always runs; AVX2 /
+// AVX-512 only where detected -- CI hosts without them skip those legs) and
+// both compare kernels, so the word path, the legacy pairwise path, and
+// every SIMD variant all face the same oracle.
+TEST(DifferentialTest, CompareKernelsAcrossKernelAndSimdTiers) {
+  const MultiOpKernel saved_kernel = GetMultiOpKernel();
+  const SimdTier saved_tier = ActiveSimdTier();
+  const int max_tier = static_cast<int>(DetectedSimdTier());
+  for (int t = 0; t <= max_tier; ++t) {
+    const SimdTier tier = static_cast<SimdTier>(t);
+    SetSimdTierForTesting(tier);
+    for (const MultiOpKernel kernel :
+         {MultiOpKernel::kMultiOperand, MultiOpKernel::kPairwise}) {
+      SetMultiOpKernel(kernel);
+      const std::string label =
+          std::string(SimdTierName(tier)) + "/" +
+          (kernel == MultiOpKernel::kMultiOperand ? "word" : "pairwise");
+      // Distinct bases per combination: each leg explores its own seeds on
+      // top of the shared corpus replay.
+      const uint64_t base = 0xC04Bull ^ (static_cast<uint64_t>(t) << 8) ^
+                            static_cast<uint64_t>(kernel);
+      for (const uint64_t seed : SeedSchedule(base, 12)) {
+        RunCompareIteration(seed, label);
+        if (HasFatalFailure()) {
+          SetMultiOpKernel(saved_kernel);
+          SetSimdTierForTesting(saved_tier);
+          return;
+        }
+      }
+    }
+  }
+  SetMultiOpKernel(saved_kernel);
+  SetSimdTierForTesting(saved_tier);
+}
+
+// ---------------------------------------------------------------------------
 // Engines: scorecard / deep-dive / pre-experiment vs the scalar reference.
 // ---------------------------------------------------------------------------
 
@@ -474,6 +554,15 @@ void RunEngineIteration(uint64_t seed) {
       preds.push_back({propgen::kFuzzDimension2,
                        DimensionPredicate::Op::kNe,
                        1 + rng.NextBounded(3)});
+    }
+    if (rng.NextBernoulli(0.5)) {
+      // A lower bound on the same dimension as the kLe above: the deep-dive
+      // engine fuses the pair into one RangeBetween scan (possibly an
+      // inverted, empty interval), the oracle applies them one by one.
+      preds.push_back({propgen::kFuzzDimension,
+                       rng.NextBernoulli(0.5) ? DimensionPredicate::Op::kGe
+                                              : DimensionPredicate::Op::kGt,
+                       1 + rng.NextBounded(4)});
     }
     const Date dim_date = lo + static_cast<Date>(
                                    rng.NextBounded(dataset.config.num_days));

@@ -171,6 +171,110 @@ inline std::vector<std::pair<uint32_t, uint64_t>> GenColumnPairs(
   return {entries.begin(), entries.end()};
 }
 
+// Two correlated columns for the compare kernels (bsi_compare.cc): unlike
+// two independent GenColumnPairs draws -- where Eq almost never fires and
+// Lt/Le boundaries are hit by luck -- most positions here carry a planted
+// relationship. Per shared position one of:
+//   equal        x == y                     (Eq hits, Ne/Lt misses)
+//   off-by-one   y = x +/- 1                (Lt vs Le single-bit boundaries)
+//   high-slice   y = x + 2^b, b high        (equal low slices, one high flip)
+//   random       independent draws
+// plus x-only / y-only positions (both-present masking). Position layout
+// mixes one dense block (bitset containers) with a scattered remainder
+// (array containers), and the two sides get EXTRA private positions with
+// opposite layouts so a chunk is dense on one side and sparse on the other
+// -- the container mix the word kernels' sparse/dense dispatch cares about.
+inline void GenCorrelatedPairs(
+    Rng& rng, uint32_t universe, uint64_t value_cap,
+    std::vector<std::pair<uint32_t, uint64_t>>* x_out,
+    std::vector<std::pair<uint32_t, uint64_t>>* y_out) {
+  std::map<uint32_t, uint64_t> x, y;
+  const auto value = [&]() -> uint64_t {
+    // Half the draws hug powers of two (slice-boundary values).
+    if (rng.NextBernoulli(0.5)) return 1 + rng.NextBounded(value_cap);
+    const int bit = static_cast<int>(rng.NextBounded(40));
+    const uint64_t p = uint64_t{1} << bit;
+    const uint64_t deltas[] = {p - 1, p, p + 1};
+    return std::max<uint64_t>(1, deltas[rng.NextBounded(3)]);
+  };
+  const int n = 64 + static_cast<int>(rng.NextBounded(6000));
+  const uint32_t dense_base =
+      static_cast<uint32_t>(rng.NextBounded(universe >> 16)) << 16;
+  const double dense_fraction = rng.NextDouble();
+  for (int i = 0; i < n; ++i) {
+    const uint32_t pos =
+        rng.NextBernoulli(dense_fraction)
+            ? dense_base + static_cast<uint32_t>(rng.NextBounded(1u << 13))
+            : static_cast<uint32_t>(rng.NextBounded(universe));
+    const uint64_t vx = value();
+    switch (rng.NextBounded(6)) {
+      case 0:  // equal
+        x[pos] = vx;
+        y[pos] = vx;
+        break;
+      case 1:  // off-by-one, either direction, floor at 1
+        x[pos] = vx;
+        y[pos] = rng.NextBernoulli(0.5) ? vx + 1 : std::max<uint64_t>(1, vx - 1);
+        break;
+      case 2: {  // equal low slices, one high bit apart
+        x[pos] = vx;
+        y[pos] = vx + (uint64_t{1} << (20 + rng.NextBounded(20)));
+        break;
+      }
+      case 3:  // independent
+        x[pos] = vx;
+        y[pos] = value();
+        break;
+      case 4:  // x only
+        x[pos] = vx;
+        break;
+      default:  // y only
+        y[pos] = vx;
+        break;
+    }
+  }
+  // Private extras with opposite layouts: x gets a dense block y lacks, y
+  // gets a sparse scatter x lacks.
+  const int extras = static_cast<int>(rng.NextBounded(3000));
+  const uint32_t x_block =
+      static_cast<uint32_t>(rng.NextBounded(universe >> 16)) << 16;
+  for (int i = 0; i < extras; ++i) {
+    x[x_block + static_cast<uint32_t>(rng.NextBounded(1u << 12))] = value();
+    y[static_cast<uint32_t>(rng.NextBounded(universe))] = value();
+  }
+  x_out->assign(x.begin(), x.end());
+  y_out->assign(y.begin(), y.end());
+}
+
+// Boundary-heavy range constants for a column: every interesting k is an
+// actual column value or its off-by-one neighbor, a power of two straddling
+// the column's bit width, or a degenerate extreme (0, 1, UINT64_MAX). The
+// scalar-partition kernels branch on "k-bit set/clear per slice", so these
+// are the constants where lt/eq/gt accumulators flip behavior.
+inline std::vector<uint64_t> GenBoundaryConstants(
+    Rng& rng, const std::vector<std::pair<uint32_t, uint64_t>>& pairs) {
+  std::vector<uint64_t> ks = {0, 1, ~uint64_t{0}};
+  uint64_t max_v = 0;
+  for (const auto& [pos, v] : pairs) max_v = std::max(max_v, v);
+  for (int i = 0; i < 6 && !pairs.empty(); ++i) {
+    const uint64_t v = pairs[rng.NextBounded(pairs.size())].second;
+    const uint64_t deltas[] = {v - 1, v, v + 1};
+    ks.push_back(deltas[rng.NextBounded(3)]);
+  }
+  // Powers of two around the column's width: 2^w is one slice past the top
+  // value, 2^(w-1) sits inside it.
+  int width = 0;
+  for (uint64_t v = max_v; v != 0; v >>= 1) ++width;
+  for (const int b : {width - 1, width, width + 1}) {
+    if (b >= 0 && b < 64) {
+      const uint64_t p = uint64_t{1} << b;
+      ks.push_back(p - 1);
+      ks.push_back(p);
+    }
+  }
+  return ks;
+}
+
 // A skewed array-array intersection workload for the galloping kernel: one
 // small sorted array (1..64 values) and one large one (hundreds..4096) drawn
 // from the SAME 2^16 chunk so both sides stay array containers, with roughly
