@@ -1,0 +1,264 @@
+// Serving-path latency (DESIGN.md §9): what the multi-process split costs
+// on top of the in-process engine. Three layers are timed separately so a
+// regression is attributable:
+//
+//   net_codec_roundtrip   encode + decode of a realistic scorecard
+//                         response payload inside one envelope -- the pure
+//                         CPU cost of the wire format, no sockets;
+//   net_ping_roundtrip    one framed ping/pong over a real loopback TCP
+//                         connection -- transport + framing + scheduling,
+//                         no query execution;
+//   net_query_scatter     a full scorecard query through the coordinator
+//                         against three in-process node servers, reported
+//                         per query -- the end-to-end serving latency the
+//                         cross-process differential test verifies for
+//                         bit-identity.
+//
+// The inline oracle gate compares the scattered result against the direct
+// engine before any timing is recorded, same contract as every other bench.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/adhoc_cluster.h"
+#include "common/timer.h"
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+#include "net/coordinator.h"
+#include "net/node_server.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "wire/envelope.h"
+#include "wire/messages.h"
+
+using namespace expbsi;
+
+namespace {
+
+constexpr int kNumNodes = 3;
+constexpr Date kLo = 50;
+constexpr int kDays = 7;
+
+// A response payload shaped like one node's share of a real scorecard
+// wave: a handful of segments, each carrying strategy x metric partials.
+wire::WireQueryResponse MakeCodecPayload() {
+  wire::WireQueryResponse resp;
+  resp.segments.resize(4);
+  uint32_t seg_id = 0;
+  for (wire::WireSegmentResult& seg : resp.segments) {
+    seg.segment = seg_id++;
+    for (int i = 0; i < 3 * 2; ++i) {  // 3 strategies x 2 metrics
+      seg.sums.push_back(1234.5 * (i + 1));
+      seg.counts.push_back(100.0 * (i + 1));
+    }
+  }
+  resp.retries = 1;
+  resp.bytes_from_cold = 1u << 20;
+  resp.hot_hits = 17;
+  resp.cpu_seconds = 0.0125;
+  return resp;
+}
+
+}  // namespace
+
+int main() {
+  bench_util::OraclePreflight();
+  const uint64_t users = bench_util::ScaledUsers(20000);
+
+  bench_util::PrintBanner(
+      "Serving path: wire codec, transport round-trip, scatter/gather query",
+      "the paper's serving clusters answer scorecard queries over "
+      "segment-sharded nodes; this measures the protocol overhead of that "
+      "split against the in-process engine");
+  std::printf("scale: %llu users, %d nodes, %d segments, %d days\n\n",
+              static_cast<unsigned long long>(users), kNumNodes, 8, kDays);
+
+  // ---- warehouse -----------------------------------------------------------
+  DatasetConfig config;
+  config.num_users = users;
+  config.num_segments = 8;
+  config.num_days = kDays;
+  config.start_date = kLo;
+  config.seed = 20260808;
+  ExperimentConfig exp;
+  exp.strategy_ids = {801, 802, 803};
+  exp.arm_effects = {1.0, 1.05, 0.97};
+  exp.traffic_salt = 3;
+  MetricConfig m1;
+  m1.metric_id = 901;
+  m1.value_range = 21600;
+  m1.daily_participation = 0.6;
+  MetricConfig m2;
+  m2.metric_id = 902;
+  m2.value_range = 1;
+  m2.daily_participation = 0.7;
+  const Dataset dataset = GenerateDataset(config, {exp}, {m1, m2}, {});
+  const ExperimentBsiData bsi = BuildExperimentBsiData(dataset, true);
+  const BsiStore cold = BuildColdStore(bsi);
+
+  const std::vector<uint64_t> strategies = {801, 802, 803};
+  const std::vector<uint64_t> metrics = {901, 902};
+  const Date hi = static_cast<Date>(kLo + kDays - 1);
+
+  // ---- codec: encode + decode, no sockets ---------------------------------
+  {
+    const wire::WireQueryResponse payload = MakeCodecPayload();
+    std::string encoded;
+    wire::EncodeQueryResponse(payload, &encoded);
+    wire::Envelope env;
+    env.type = wire::MsgType::kQueryResponse;
+    env.request_id = 42;
+    env.payload = encoded;
+    constexpr int kIters = 20000;
+    double best_ns = 0;
+    size_t frame_bytes = 0;
+    for (int round = 0; round < 3; ++round) {
+      Stopwatch watch;
+      for (int i = 0; i < kIters; ++i) {
+        std::string frame;
+        wire::EncodeEnvelope(env, &frame);
+        frame_bytes = frame.size();
+        const Result<wire::Envelope> back = wire::DecodeEnvelope(frame);
+        if (!back.ok() ||
+            !wire::DecodeQueryResponse(back.value().payload).ok()) {
+          std::fprintf(stderr, "codec round-trip failed\n");
+          return 1;
+        }
+      }
+      const double ns = watch.ElapsedSeconds() * 1e9 / kIters;
+      if (best_ns == 0 || ns < best_ns) best_ns = ns;
+    }
+    std::printf("codec round-trip: %.0f ns/frame (%zu-byte frame)\n",
+                best_ns, frame_bytes);
+    std::printf("BENCHJSON {\"op\": \"net_codec_roundtrip\", "
+                "\"ns_per_op\": %.0f, \"bytes_per_op\": %zu}\n",
+                best_ns, frame_bytes);
+  }
+
+  // ---- the serving fleet ---------------------------------------------------
+  std::vector<std::unique_ptr<net::NodeServer>> nodes;
+  net::CoordinatorOptions options;
+  for (int i = 0; i < kNumNodes; ++i) {
+    net::NodeServerOptions node_options;
+    node_options.node_id = i;
+    auto node = std::make_unique<net::NodeServer>(&cold, node_options);
+    if (!node->Start().ok()) {
+      std::fprintf(stderr, "node %d failed to start\n", i);
+      return 1;
+    }
+    options.node_ports.push_back(node->port());
+    nodes.push_back(std::move(node));
+  }
+  options.num_segments = config.num_segments;
+  net::Coordinator coordinator(options);
+
+  // ---- transport ping round-trip ------------------------------------------
+  {
+    Result<net::Socket> conn =
+        net::Connect(options.node_ports[0], net::Deadline::After(5.0));
+    if (!conn.ok()) {
+      std::fprintf(stderr, "ping connect failed\n");
+      return 1;
+    }
+    net::Socket sock = std::move(conn.value());
+    net::FaultyEndpoint endpoint(/*endpoint_id=*/999);
+    constexpr int kPings = 2000;
+    double best_ns = 0;
+    for (int round = 0; round < 3; ++round) {
+      Stopwatch watch;
+      for (int i = 0; i < kPings; ++i) {
+        wire::Envelope ping;
+        ping.type = wire::MsgType::kPing;
+        ping.request_id = static_cast<uint64_t>(i + 1);
+        const net::Deadline deadline = net::Deadline::After(5.0);
+        if (!net::SendEnvelope(sock, ping, deadline, &endpoint).ok() ||
+            !net::RecvEnvelope(sock, deadline, ping.request_id).ok()) {
+          std::fprintf(stderr, "ping round-trip failed\n");
+          return 1;
+        }
+      }
+      const double ns = watch.ElapsedSeconds() * 1e9 / kPings;
+      if (best_ns == 0 || ns < best_ns) best_ns = ns;
+    }
+    std::printf("ping round-trip:  %.0f ns over loopback TCP\n", best_ns);
+    std::printf("BENCHJSON {\"op\": \"net_ping_roundtrip\", "
+                "\"ns_per_op\": %.0f}\n",
+                best_ns);
+  }
+
+  // ---- scatter/gather scorecard query -------------------------------------
+  {
+    // Oracle gate: the scattered answer must be bit-identical to the
+    // direct engine before its latency means anything.
+    const Result<AdhocCluster::QueryStats> remote =
+        coordinator.QueryBsi(strategies, metrics, kLo, hi);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "scatter query failed: %s\n",
+                   remote.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [pair, values] : remote.value().results) {
+      const BucketValues direct =
+          ComputeStrategyMetricBsi(bsi, pair.first, pair.second, kLo, hi);
+      if (values.sums != direct.sums || values.counts != direct.counts) {
+        std::fprintf(stderr,
+                     "[preflight] FAILED: scattered scorecard diverged from "
+                     "the direct engine for %llu/%llu\n",
+                     static_cast<unsigned long long>(pair.first),
+                     static_cast<unsigned long long>(pair.second));
+        return 1;
+      }
+    }
+    std::printf("[preflight] scattered scorecard == direct engine\n");
+
+    constexpr int kQueries = 30;
+    double best_ns = 0;
+    for (int round = 0; round < 3; ++round) {
+      Stopwatch watch;
+      for (int i = 0; i < kQueries; ++i) {
+        const Result<AdhocCluster::QueryStats> r =
+            coordinator.QueryBsi(strategies, metrics, kLo, hi);
+        if (!r.ok()) {
+          std::fprintf(stderr, "scatter query failed mid-bench\n");
+          return 1;
+        }
+      }
+      const double ns = watch.ElapsedSeconds() * 1e9 / kQueries;
+      if (best_ns == 0 || ns < best_ns) best_ns = ns;
+    }
+    // In-process baseline on the same warehouse, for the overhead line.
+    AdhocClusterConfig cluster_config;
+    cluster_config.num_nodes = kNumNodes;
+    AdhocCluster cluster(&dataset, &bsi, cluster_config);
+    double local_best_ns = 0;
+    for (int round = 0; round < 3; ++round) {
+      Stopwatch watch;
+      for (int i = 0; i < kQueries; ++i) {
+        if (!cluster.QueryBsi(strategies, metrics, kLo, hi).ok()) {
+          std::fprintf(stderr, "in-process query failed mid-bench\n");
+          return 1;
+        }
+      }
+      const double ns = watch.ElapsedSeconds() * 1e9 / kQueries;
+      if (local_best_ns == 0 || ns < local_best_ns) local_best_ns = ns;
+    }
+    std::printf("scatter/gather:   %.2f ms/query over %d nodes "
+                "(in-process: %.2f ms; protocol overhead %.2f ms)\n",
+                best_ns / 1e6, kNumNodes, local_best_ns / 1e6,
+                (best_ns - local_best_ns) / 1e6);
+    std::printf("BENCHJSON {\"op\": \"net_query_scatter\", "
+                "\"ns_per_op\": %.0f}\n",
+                best_ns);
+    std::printf("BENCHJSON {\"op\": \"net_query_inprocess\", "
+                "\"ns_per_op\": %.0f}\n",
+                local_best_ns);
+  }
+
+  for (auto& node : nodes) node->Stop();
+  bench_util::EmitRegistrySnapshot("net_query");
+  return 0;
+}

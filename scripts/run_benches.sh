@@ -49,7 +49,7 @@ export EXPBSI_PROM_DIR="$tmp/prom"
 mkdir -p "$EXPBSI_PROM_DIR"
 
 for b in ablation_multiop_kernels ablation_preagg_tree table5_table6_compute \
-         snapshot_persistence wal_ingest; do
+         snapshot_persistence wal_ingest net_query; do
   echo "=== $b (EXPBSI_BENCH_USERS=$EXPBSI_BENCH_USERS) ==="
   "$BENCH/$b" | tee "$tmp/$b.out"
   sed -n 's/^BENCHJSON //p' "$tmp/$b.out" >> "$tmp/lines.jsonl"

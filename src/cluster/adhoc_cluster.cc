@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cluster/segment_query.h"
 #include "common/check.h"
 #include "common/fault_injector.h"
 #include "common/timer.h"
@@ -205,21 +206,6 @@ AdhocCluster::AdhocCluster(const Dataset* dataset,
   }
 }
 
-namespace {
-
-// One segment's contribution to every requested (strategy, metric) pair,
-// kept separate from the merged scorecard until the owning node's wave
-// completes: a crashed node loses its whole in-flight wave, like a
-// scatter-gather RPC whose response never arrives.
-struct SegPartial {
-  std::vector<double> sums;    // [si * num_metrics + mi]
-  std::vector<double> counts;
-};
-
-enum class FetchOutcome { kGot, kAbsent, kLost };
-
-}  // namespace
-
 Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
     const std::vector<uint64_t>& strategy_ids,
     const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
@@ -230,7 +216,6 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
   static obs::Counter& queries = obs::GetCounter("cluster.queries");
   queries.Add();
   const int num_segments = num_segments_;
-  const size_t num_metrics = metric_ids.size();
   if (!recovery_lost_segments_.empty() && !config_.allow_degraded) {
     return Status::Corruption(
         "adhoc cluster: warehouse recovered with lost segments; strict mode "
@@ -249,111 +234,17 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
     }
   }
 
-  // Fetch + decode one blob through `tier` under the retry policy. NotFound
-  // is semantic absence (strategy/metric not in this segment), never
-  // retried; Unavailable/Corruption are retried with simulated backoff and,
-  // once attempts are exhausted, either degrade the segment (kLost) or fail
-  // the query (strict mode).
-  auto fetch_decoded = [&](TieredStore& tier, const BsiStoreKey& key,
-                           auto&& decode,
-                           auto* out) -> Result<FetchOutcome> {
-    using Decoded = typename std::decay_t<decltype(*out)>::value_type;
-    RetryStats rstats;
-    Result<Decoded> decoded = RetryWithPolicy<Decoded>(
-        config_.retry, BsiStoreKeyHash{}(key), &rstats,
-        [&]() -> Result<Decoded> {
-          Result<std::shared_ptr<const std::string>> blob = tier.Fetch(key);
-          if (!blob.ok()) return blob.status();
-          return decode(*blob.value());
-        });
-    stats.degraded.retries += rstats.retries;
-    if (rstats.recovered) ++stats.degraded.faults_survived;
-    // A clean fetch stays silent; only the (rare) retried ones mark the
-    // enclosing segment span.
-    if (rstats.retries > 0) {
-      obs::CurrentSpanAttr("fetch_retries",
-                           static_cast<uint64_t>(rstats.retries));
-    }
-    if (decoded.ok()) {
-      out->emplace(std::move(decoded).value());
-      return FetchOutcome::kGot;
-    }
-    if (decoded.status().code() == StatusCode::kNotFound) {
-      return FetchOutcome::kAbsent;
-    }
-    if (config_.allow_degraded) return FetchOutcome::kLost;
-    return decoded.status();
-  };
-
-  // Runs one segment on one node's tier. ok(true): partial filled.
-  // ok(false): segment lost after retries (degraded mode only). error:
-  // permanent failure, propagated (strict mode).
+  // Per-segment execution lives in cluster/segment_query.* and is shared
+  // with the remote NodeServer, so the two serving paths cannot drift.
   auto process_segment = [&](TieredStore& tier, int seg,
                              SegPartial* out) -> Result<bool> {
-    obs::ScopedSpan seg_span("segment_execute");
-    seg_span.AddAttr("segment", static_cast<uint64_t>(seg));
-    out->sums.assign(strategy_ids.size() * num_metrics, 0.0);
-    out->counts.assign(strategy_ids.size() * num_metrics, 0.0);
-    // Fetch + decode the expose BSIs once per (segment, strategy) and
-    // precompute the per-day masks all metrics share.
-    struct StrategyMasks {
-      std::vector<RoaringBitmap> by_day;  // index: date - date_lo
-      uint64_t exposed_by_hi = 0;
-    };
-    std::vector<std::optional<StrategyMasks>> masks(strategy_ids.size());
-    for (size_t si = 0; si < strategy_ids.size(); ++si) {
-      std::optional<ExposeBsi> expose;
-      Result<FetchOutcome> oc = fetch_decoded(
-          tier,
-          BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kExpose,
-                      strategy_ids[si], 0},
-          [](const std::string& b) { return ExposeBsi::Deserialize(b); },
-          &expose);
-      if (!oc.ok()) return oc.status();
-      if (oc.value() == FetchOutcome::kLost) return false;
-      if (oc.value() == FetchOutcome::kAbsent) continue;
-      StrategyMasks sm;
-      sm.by_day.reserve(date_hi - date_lo + 1);
-      for (Date d = date_lo; d <= date_hi; ++d) {
-        if (sm.by_day.empty()) {
-          sm.by_day.push_back(expose->ExposedOnOrBefore(d));
-        } else {
-          // Each unit exposes once, so day d's mask is day d-1's mask plus
-          // the (disjoint) units first exposed on day d -- one small
-          // incremental union instead of a full slice-descent per day.
-          RoaringBitmap mask = sm.by_day.back();
-          mask.OrInPlace(expose->ExposedBetween(d, d));
-          sm.by_day.push_back(std::move(mask));
-        }
-      }
-      sm.exposed_by_hi = sm.by_day.back().Cardinality();
-      masks[si].emplace(std::move(sm));
-    }
-    for (size_t mi = 0; mi < num_metrics; ++mi) {
-      for (Date d = date_lo; d <= date_hi; ++d) {
-        std::optional<MetricBsi> metric;
-        Result<FetchOutcome> oc = fetch_decoded(
-            tier,
-            BsiStoreKey{static_cast<uint16_t>(seg), BsiKind::kMetric,
-                        metric_ids[mi], d},
-            [](const std::string& b) { return MetricBsi::Deserialize(b); },
-            &metric);
-        if (!oc.ok()) return oc.status();
-        if (oc.value() == FetchOutcome::kLost) return false;
-        if (oc.value() == FetchOutcome::kAbsent) continue;
-        for (size_t si = 0; si < strategy_ids.size(); ++si) {
-          if (!masks[si].has_value()) continue;
-          out->sums[si * num_metrics + mi] += static_cast<double>(
-              metric->value.SumUnderMask(masks[si]->by_day[d - date_lo]));
-        }
-      }
-      for (size_t si = 0; si < strategy_ids.size(); ++si) {
-        if (!masks[si].has_value()) continue;
-        out->counts[si * num_metrics + mi] +=
-            static_cast<double>(masks[si]->exposed_by_hi);
-      }
-    }
-    return true;
+    SegmentExecStats exec;
+    Result<bool> r = ExecuteSegmentQuery(
+        tier, seg, strategy_ids, metric_ids, date_lo, date_hi, config_.retry,
+        config_.allow_degraded, out, &exec);
+    stats.degraded.retries += exec.retries;
+    stats.degraded.faults_survived += exec.faults_survived;
+    return r;
   };
 
   // Segment ownership; requeued segments land on survivors in later waves.

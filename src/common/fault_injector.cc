@@ -54,6 +54,18 @@ void FaultInjector::SetDelayProbability(const std::string& site, double p,
   cfg.delay_seconds = delay_seconds;
 }
 
+void FaultInjector::SetDuplicateProbability(const std::string& site,
+                                            double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteFor(site).duplicate_p = p;
+}
+
+void FaultInjector::SetTruncateProbability(const std::string& site,
+                                           double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteFor(site).truncate_p = p;
+}
+
 void FaultInjector::ScheduleFault(const std::string& site, uint64_t op_index,
                                   FaultKind kind) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -78,6 +90,12 @@ FaultDecision FaultInjector::Decide(const SiteConfig& cfg,
   if (cfg.delay_p > 0 && ToUnit(Mix64(base ^ 0x4)) < cfg.delay_p) {
     d.delay_seconds = cfg.delay_seconds;
   }
+  if (cfg.duplicate_p > 0 && ToUnit(Mix64(base ^ 0x5)) < cfg.duplicate_p) {
+    d.duplicate = true;
+  }
+  if (cfg.truncate_p > 0 && ToUnit(Mix64(base ^ 0x6)) < cfg.truncate_p) {
+    d.truncate = true;
+  }
   const auto shot = cfg.one_shots.find(op_index);
   if (shot != cfg.one_shots.end()) {
     switch (shot->second) {
@@ -94,16 +112,24 @@ FaultDecision FaultInjector::Decide(const SiteConfig& cfg,
         d.delay_seconds =
             cfg.delay_seconds > 0 ? cfg.delay_seconds : 0.001;
         break;
+      case FaultKind::kDuplicate:
+        d.duplicate = true;
+        break;
+      case FaultKind::kTruncate:
+        d.truncate = true;
+        break;
     }
   }
   if (d.fail) ++stats_.fails;
   if (d.corrupt) ++stats_.corruptions;
   if (d.crash) ++stats_.crashes;
   if (d.delay_seconds > 0) ++stats_.delays;
+  if (d.duplicate) ++stats_.duplicates;
+  if (d.truncate) ++stats_.truncations;
   // Registry mirror: per-instance stats stay the source for the accessors
   // (chaos tests diff them per schedule); the process-wide counters make an
   // injected fault visible in the same scrape as the recovery it triggered.
-  if (d.fail || d.corrupt || d.crash || d.delay_seconds > 0) {
+  if (d.any()) {
     static obs::Counter& injected = obs::GetCounter("fault.injected");
     injected.Add();
     if (d.fail) {
@@ -120,6 +146,14 @@ FaultDecision FaultInjector::Decide(const SiteConfig& cfg,
     }
     if (d.delay_seconds > 0) {
       static obs::Counter& c = obs::GetCounter("fault.injected_delays");
+      c.Add();
+    }
+    if (d.duplicate) {
+      static obs::Counter& c = obs::GetCounter("fault.injected_duplicates");
+      c.Add();
+    }
+    if (d.truncate) {
+      static obs::Counter& c = obs::GetCounter("fault.injected_truncations");
       c.Add();
     }
   }

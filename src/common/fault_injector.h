@@ -32,11 +32,25 @@ struct FaultDecision {
   bool corrupt = false;        // bit-flip the blob about to be returned
   bool crash = false;          // kill the containing node / executor task
   double delay_seconds = 0.0;  // extra simulated latency
+  // Network-flavored outcomes (net.* sites): send the frame twice / send a
+  // deterministic prefix of it and then close the connection.
+  bool duplicate = false;
+  bool truncate = false;
 
-  bool any() const { return fail || corrupt || crash || delay_seconds > 0; }
+  bool any() const {
+    return fail || corrupt || crash || duplicate || truncate ||
+           delay_seconds > 0;
+  }
 };
 
-enum class FaultKind : uint8_t { kFail = 0, kCorrupt = 1, kCrash = 2, kDelay = 3 };
+enum class FaultKind : uint8_t {
+  kFail = 0,
+  kCorrupt = 1,
+  kCrash = 2,
+  kDelay = 3,
+  kDuplicate = 4,
+  kTruncate = 5,
+};
 
 // Canonical fault-site names. Keep docs/TESTING.md in sync.
 namespace fault_sites {
@@ -83,9 +97,29 @@ inline constexpr char kSnapshotRead[] = "snapshot.read";
 inline constexpr char kWalAppend[] = "wal.append";
 inline constexpr char kWalFsync[] = "wal.fsync";
 inline constexpr char kWalRoll[] = "wal.roll";
+// Serving network (src/net, DESIGN.md §9). kNetSend is evaluated once per
+// envelope about to be written to a socket, indexed explicitly as
+// endpoint_id * kNetOpStride + per-endpoint send counter so schedules are
+// independent of connection-thread interleaving: kFail drops the frame by
+// closing the connection (the peer sees a clean EOF, not a timeout), kDelay
+// sleeps before writing, kDuplicate writes the frame twice (the receiver
+// must dedup by request_id), kTruncate writes a deterministic prefix and
+// closes. kNetAccept is evaluated once per accepted connection (same
+// indexing): kFail closes it immediately. kNetNodeCrash is evaluated once
+// per query request a node admits, indexed endpoint_id * kNetOpStride +
+// request counter: kCrash makes the node server drop the connection and
+// stop serving, simulating a process kill mid-scatter.
+inline constexpr char kNetSend[] = "net.send";
+inline constexpr char kNetAccept[] = "net.accept";
+inline constexpr char kNetNodeCrash[] = "net.node_crash";
 }  // namespace fault_sites
 
 inline constexpr uint64_t kPipelineAttemptStride = 64;
+// Per-endpoint op-index stride for the net.* sites; endpoint ids are small
+// (node id, or kNetClientEndpointBase + node id for the coordinator side of
+// the same node's link), so 2^20 ops per endpoint never collide.
+inline constexpr uint64_t kNetOpStride = 1u << 20;
+inline constexpr uint64_t kNetClientEndpointBase = 1000;
 
 class FaultInjector {
  public:
@@ -98,6 +132,8 @@ class FaultInjector {
   void SetCrashProbability(const std::string& site, double p);
   void SetDelayProbability(const std::string& site, double p,
                            double delay_seconds);
+  void SetDuplicateProbability(const std::string& site, double p);
+  void SetTruncateProbability(const std::string& site, double p);
   // One-shot fault at exactly the `op_index`-th evaluation of `site`.
   void ScheduleFault(const std::string& site, uint64_t op_index,
                      FaultKind kind);
@@ -120,7 +156,12 @@ class FaultInjector {
     uint64_t corruptions = 0;
     uint64_t crashes = 0;
     uint64_t delays = 0;
-    uint64_t any() const { return fails + corruptions + crashes + delays; }
+    uint64_t duplicates = 0;
+    uint64_t truncations = 0;
+    uint64_t any() const {
+      return fails + corruptions + crashes + delays + duplicates +
+             truncations;
+    }
   };
   Stats stats() const;
   uint64_t seed() const { return seed_; }
@@ -143,6 +184,8 @@ class FaultInjector {
     double crash_p = 0.0;
     double delay_p = 0.0;
     double delay_seconds = 0.0;
+    double duplicate_p = 0.0;
+    double truncate_p = 0.0;
     std::map<uint64_t, FaultKind> one_shots;  // by op index
   };
 

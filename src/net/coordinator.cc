@@ -1,0 +1,336 @@
+#include "net/coordinator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injector.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "wire/messages.h"
+
+namespace expbsi {
+namespace net {
+
+namespace {
+
+// Per-RPC classification the wave loop acts on. Permanent failures travel
+// as plain Status instead.
+enum class RpcOutcome {
+  kOk,            // response merged
+  kNodeDead,      // connect/send/recv/decode failed: requeue the wave
+  kBackpressure,  // node alive but rejecting (kError/kUnavailable): same
+                  // requeue, but not counted as a crash
+};
+
+// Grafts a node's shipped span tree under the coordinator's current
+// (node_rpc) span. Remote spans arrive in creation order, so parents are
+// remapped before their children.
+void GraftRemoteSpans(const std::vector<wire::WireSpan>& spans) {
+  obs::QueryTrace* trace = obs::CurrentTrace();
+  const uint32_t rpc_span = obs::CurrentSpanId();
+  if (trace == nullptr || rpc_span == 0) return;
+  std::unordered_map<uint32_t, uint32_t> local_id;
+  std::unordered_map<uint32_t, uint64_t> remote_start;
+  for (const wire::WireSpan& s : spans) {
+    uint32_t parent = rpc_span;
+    uint64_t parent_start = 0;
+    if (s.parent_id != 0) {
+      const auto it = local_id.find(s.parent_id);
+      if (it == local_id.end()) continue;  // orphan: parent was dropped
+      parent = it->second;
+      parent_start = remote_start[s.parent_id];
+    }
+    const uint64_t rel_start =
+        s.start_ns >= parent_start ? s.start_ns - parent_start : 0;
+    local_id[s.id] =
+        trace->ImportSpan(parent, s.name, rel_start, s.duration_ns, s.attrs);
+    remote_start[s.id] = s.start_ns;
+  }
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {
+  CHECK_GT(options_.node_ports.size(), 0u);
+  CHECK_GT(options_.num_segments, 0);
+  endpoints_.reserve(options_.node_ports.size());
+  for (size_t n = 0; n < options_.node_ports.size(); ++n) {
+    endpoints_.push_back(std::make_unique<FaultyEndpoint>(
+        kNetClientEndpointBase + static_cast<uint64_t>(n)));
+  }
+}
+
+Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
+    const std::vector<uint64_t>& strategy_ids,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
+  CHECK_LE(date_lo, date_hi);
+
+  // Admission control: bound concurrent scatter/gathers instead of letting
+  // queued queries blow every deadline downstream.
+  struct RunningGuard {
+    std::atomic<int>& counter;
+    ~RunningGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  };
+  if (running_queries_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_concurrent_queries) {
+    RunningGuard guard{running_queries_};
+    admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& rejected =
+        obs::GetCounter("coordinator.admission_rejections");
+    rejected.Add();
+    return Status::Unavailable("coordinator: at max_concurrent_queries");
+  }
+  RunningGuard guard{running_queries_};
+
+  AdhocCluster::QueryStats stats;
+  stats.trace = std::make_shared<obs::QueryTrace>("coordinator_query_bsi");
+  obs::ScopedTrace install_trace(stats.trace.get());
+  static obs::Counter& queries = obs::GetCounter("coordinator.queries");
+  queries.Add();
+  Stopwatch wall;
+  const Deadline deadline =
+      Deadline::After(options_.query_deadline_seconds);
+
+  const int num_nodes = static_cast<int>(options_.node_ports.size());
+  const int num_segments = options_.num_segments;
+  const size_t num_metrics = metric_ids.size();
+
+  std::map<StrategyMetricPair, BucketValues> partials;
+  for (uint64_t s : strategy_ids) {
+    for (uint64_t m : metric_ids) {
+      BucketValues bv;
+      bv.sums.assign(num_segments, 0.0);
+      bv.counts.assign(num_segments, 0.0);
+      partials.emplace(StrategyMetricPair{s, m}, std::move(bv));
+    }
+  }
+
+  // Same placement as AdhocCluster::NodeOfSegment; requeued segments land
+  // on survivors in later waves.
+  std::vector<std::vector<uint32_t>> assignment(num_nodes);
+  for (int seg = 0; seg < num_segments; ++seg) {
+    assignment[seg % num_nodes].push_back(static_cast<uint32_t>(seg));
+  }
+  std::vector<bool> alive(num_nodes, true);
+  std::vector<int> lost_segments;
+  std::set<uint32_t> requeued_segments;
+  int wave_index = 0;
+  bool deadline_hit = false;
+  static obs::Counter& waves_counter = obs::GetCounter("coordinator.waves");
+  static obs::Counter& requeue_counter =
+      obs::GetCounter("coordinator.requeued_segments");
+  static obs::Counter& crash_counter =
+      obs::GetCounter("coordinator.nodes_lost");
+
+  // One node RPC: connect, scatter the node's wave, gather its response.
+  // Fills `resp` on kOk; permanent failures come back as a Status.
+  auto node_rpc = [&](int node,
+                      const std::vector<uint32_t>& segments,
+                      wire::WireQueryResponse* resp) -> Result<RpcOutcome> {
+    Result<Socket> sock = Connect(options_.node_ports[node], deadline);
+    if (!sock.ok()) return RpcOutcome::kNodeDead;
+    wire::Envelope env;
+    env.type = wire::MsgType::kQueryRequest;
+    env.request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    wire::WireQueryRequest req;
+    req.strategy_ids = strategy_ids;
+    req.metric_ids = metric_ids;
+    req.date_lo = date_lo;
+    req.date_hi = date_hi;
+    req.segments = segments;
+    req.allow_degraded = options_.allow_degraded;
+    req.want_trace = options_.want_trace;
+    wire::EncodeQueryRequest(req, &env.payload);
+    if (!SendEnvelope(sock.value(), env, deadline, endpoints_[node].get())
+             .ok()) {
+      return RpcOutcome::kNodeDead;
+    }
+    Result<wire::Envelope> reply =
+        RecvEnvelope(sock.value(), deadline, env.request_id);
+    if (!reply.ok()) return RpcOutcome::kNodeDead;
+    if (reply.value().type == wire::MsgType::kError) {
+      Result<wire::WireError> err =
+          wire::DecodeError(reply.value().payload);
+      if (!err.ok()) return RpcOutcome::kNodeDead;
+      if (err.value().code == StatusCode::kUnavailable) {
+        return RpcOutcome::kBackpressure;
+      }
+      // Permanent node-side failure (strict-mode Corruption etc.): fails
+      // the query, exactly as the in-process cluster propagates it.
+      return Status(err.value().code, "node error: " + err.value().message);
+    }
+    if (reply.value().type != wire::MsgType::kQueryResponse) {
+      return RpcOutcome::kNodeDead;
+    }
+    Result<wire::WireQueryResponse> decoded =
+        wire::DecodeQueryResponse(reply.value().payload);
+    if (!decoded.ok()) return RpcOutcome::kNodeDead;
+    // A response must answer exactly the segments asked, with
+    // correctly-shaped vectors; anything else is a protocol violation and
+    // the node is treated as dead rather than trusted.
+    const std::set<uint32_t> asked(segments.begin(), segments.end());
+    std::set<uint32_t> answered;
+    const size_t slots = strategy_ids.size() * num_metrics;
+    for (const wire::WireSegmentResult& seg : decoded.value().segments) {
+      if (asked.count(seg.segment) == 0 ||
+          !answered.insert(seg.segment).second) {
+        return RpcOutcome::kNodeDead;
+      }
+      if (seg.lost == 0 &&
+          (seg.sums.size() != slots || seg.counts.size() != slots)) {
+        return RpcOutcome::kNodeDead;
+      }
+    }
+    if (answered.size() != asked.size()) return RpcOutcome::kNodeDead;
+    *resp = std::move(decoded).value();
+    return RpcOutcome::kOk;
+  };
+
+  while (true) {
+    std::vector<uint32_t> requeue;
+    obs::ScopedSpan wave_span("wave");
+    wave_span.AddAttr("wave", static_cast<uint64_t>(wave_index++));
+    waves_counter.Add();
+    for (int node = 0; node < num_nodes; ++node) {
+      if (!alive[node] || assignment[node].empty()) continue;
+      obs::ScopedSpan rpc_span("node_rpc");
+      rpc_span.AddAttr("node", static_cast<uint64_t>(node));
+      rpc_span.AddAttr("segments", assignment[node].size());
+      wire::WireQueryResponse resp;
+      Result<RpcOutcome> outcome =
+          node_rpc(node, assignment[node], &resp);
+      if (!outcome.ok()) return outcome.status();
+      if (deadline.expired()) {
+        deadline_hit = true;
+        rpc_span.AddAttr("deadline_expired", 1);
+        break;
+      }
+      switch (outcome.value()) {
+        case RpcOutcome::kOk: {
+          stats.degraded.retries += static_cast<int>(resp.retries);
+          stats.degraded.faults_survived +=
+              static_cast<int>(resp.faults_survived);
+          stats.total_cpu_seconds += resp.cpu_seconds;
+          stats.bytes_from_cold += resp.bytes_from_cold;
+          stats.hot_hits += resp.hot_hits;
+          rpc_span.AddAttr("cold_bytes", resp.bytes_from_cold);
+          rpc_span.AddAttr("hot_hits", resp.hot_hits);
+          GraftRemoteSpans(resp.spans);
+          static obs::Counter& seg_counter =
+              obs::GetCounter("coordinator.segments_processed");
+          for (const wire::WireSegmentResult& seg : resp.segments) {
+            if (seg.lost != 0) {
+              // Node-side degradation: the exact segment is enumerated,
+              // never silently zeroed. Not requeued -- the node is alive
+              // and its retries already ran.
+              lost_segments.push_back(static_cast<int>(seg.segment));
+              continue;
+            }
+            seg_counter.Add();
+            size_t slot = 0;
+            for (uint64_t s : strategy_ids) {
+              for (uint64_t m : metric_ids) {
+                BucketValues& bv = partials[{s, m}];
+                bv.sums[seg.segment] = seg.sums[slot];
+                bv.counts[seg.segment] = seg.counts[slot];
+                ++slot;
+              }
+            }
+            if (requeued_segments.erase(seg.segment) > 0) {
+              ++stats.degraded.faults_survived;
+            }
+          }
+          break;
+        }
+        case RpcOutcome::kNodeDead:
+          alive[node] = false;
+          ++stats.degraded.nodes_lost;
+          rpc_span.AddAttr("node_dead", 1);
+          crash_counter.Add();
+          requeue_counter.Add(assignment[node].size());
+          requeue.insert(requeue.end(), assignment[node].begin(),
+                         assignment[node].end());
+          break;
+        case RpcOutcome::kBackpressure:
+          // Alive but full: excluded for the rest of this query, its wave
+          // redistributed. Not a crash.
+          alive[node] = false;
+          rpc_span.AddAttr("backpressure", 1);
+          requeue_counter.Add(assignment[node].size());
+          requeue.insert(requeue.end(), assignment[node].begin(),
+                         assignment[node].end());
+          break;
+      }
+      assignment[node].clear();
+    }
+    if (deadline_hit) {
+      // Everything still unanswered -- this wave's leftovers plus any
+      // requeue backlog -- is enumerated, never dropped quietly.
+      for (int node = 0; node < num_nodes; ++node) {
+        for (uint32_t seg : assignment[node]) {
+          requeue.push_back(seg);
+        }
+        assignment[node].clear();
+      }
+      if (!options_.allow_degraded) {
+        return Status::Unavailable("coordinator: query deadline expired");
+      }
+      for (uint32_t seg : requeue) {
+        lost_segments.push_back(static_cast<int>(seg));
+      }
+      break;
+    }
+    if (requeue.empty()) break;
+    std::vector<int> survivors;
+    for (int node = 0; node < num_nodes; ++node) {
+      if (alive[node]) survivors.push_back(node);
+    }
+    if (survivors.empty()) {
+      if (!options_.allow_degraded) {
+        return Status::Unavailable("coordinator: every node lost mid-query");
+      }
+      for (uint32_t seg : requeue) {
+        lost_segments.push_back(static_cast<int>(seg));
+      }
+      break;
+    }
+    for (size_t i = 0; i < requeue.size(); ++i) {
+      assignment[survivors[i % survivors.size()]].push_back(requeue[i]);
+      requeued_segments.insert(requeue[i]);
+    }
+  }
+
+  std::sort(lost_segments.begin(), lost_segments.end());
+  lost_segments.erase(
+      std::unique(lost_segments.begin(), lost_segments.end()),
+      lost_segments.end());
+  stats.degraded.segments_answered =
+      num_segments - static_cast<int>(lost_segments.size());
+  if (!lost_segments.empty()) {
+    static obs::Counter& lost_counter =
+        obs::GetCounter("coordinator.degraded_segments");
+    lost_counter.Add(lost_segments.size());
+  }
+  obs::CurrentSpanAttr("waves", static_cast<uint64_t>(wave_index));
+  obs::CurrentSpanAttr(
+      "segments_answered",
+      static_cast<uint64_t>(stats.degraded.segments_answered));
+  obs::CurrentSpanAttr("lost_segments", lost_segments.size());
+  obs::CurrentSpanAttr("retries",
+                       static_cast<uint64_t>(stats.degraded.retries));
+  obs::CurrentSpanAttr("nodes_lost",
+                       static_cast<uint64_t>(stats.degraded.nodes_lost));
+  stats.degraded.lost_segments = std::move(lost_segments);
+  stats.results = std::move(partials);
+  stats.latency_seconds = wall.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace net
+}  // namespace expbsi

@@ -1,0 +1,74 @@
+#ifndef EXPBSI_NET_COORDINATOR_H_
+#define EXPBSI_NET_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/adhoc_cluster.h"
+#include "net/socket.h"
+#include "net/transport.h"
+
+namespace expbsi {
+namespace net {
+
+// Scatter/gather coordinator over remote node servers (DESIGN.md §9): the
+// network promotion of AdhocCluster::QueryBsi. Placement is the same
+// segment-per-node mapping (segment % num_nodes), failure handling the
+// same wave-by-wave requeue onto survivors, and the scorecard assembly the
+// same partial-merge -- so its QueryStats (reused from AdhocCluster) are
+// bit-identical to the in-process cluster's on a fault-free run.
+//
+// Failure taxonomy per node RPC:
+//   connect refused / EOF / truncated or corrupt frame  -> node dead: its
+//       whole wave requeues onto survivors (next wave)
+//   kError(kUnavailable) reply (backpressure)           -> same requeue,
+//       node excluded for the rest of this query
+//   kError(other) reply                                 -> permanent:
+//       fails the query (strict semantics, as in-process)
+//   response with lost=1 segments (degraded mode)       -> those exact
+//       segments recorded in DegradedInfo::lost_segments; NOT requeued
+//       (the node is alive; retries already ran node-side)
+//   per-query deadline expires                          -> strict: the
+//       query fails Unavailable; degraded: every unanswered segment is
+//       enumerated as lost
+struct CoordinatorOptions {
+  std::vector<uint16_t> node_ports;  // 127.0.0.1, index = node id
+  int num_segments = 0;
+  double query_deadline_seconds = 10.0;
+  // Admission control: queries beyond this many running concurrently are
+  // rejected Unavailable up front instead of queuing.
+  int max_concurrent_queries = 8;
+  bool allow_degraded = false;
+  bool want_trace = true;  // graft node span trees into the query trace
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+
+  // Scatter the scorecard query over the nodes, gather and merge. Shapes
+  // and semantics match AdhocCluster::QueryBsi; latency_seconds is real
+  // wall time here (there is an actual network).
+  Result<AdhocCluster::QueryStats> QueryBsi(
+      const std::vector<uint64_t>& strategy_ids,
+      const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi);
+
+  uint64_t admission_rejections() const {
+    return admission_rejections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  CoordinatorOptions options_;
+  std::atomic<int> running_queries_{0};
+  std::atomic<uint64_t> admission_rejections_{0};
+  std::atomic<uint64_t> next_request_id_{1};
+  // One send endpoint per node link, so coordinator-side net.send indices
+  // are stable per node regardless of query interleaving.
+  std::vector<std::unique_ptr<FaultyEndpoint>> endpoints_;
+};
+
+}  // namespace net
+}  // namespace expbsi
+
+#endif  // EXPBSI_NET_COORDINATOR_H_

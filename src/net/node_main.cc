@@ -1,0 +1,83 @@
+// expbsi_node: one serving node as a real process (DESIGN.md §9).
+//
+//   expbsi_node --store=<warehouse file> --node-id=N [--port=P]
+//               [--max-inflight=K]
+//
+// Loads the warehouse blobs (BsiStore::SaveToFile format), starts a
+// NodeServer and prints "PORT <port>" on stdout so a parent process
+// spawning it on an ephemeral port can learn where it listens. Runs until
+// stdin reaches EOF -- the parent holds a pipe to each child, so killing
+// the parent (or closing the pipe) cleanly shuts the node down. The
+// cross-process differential test drives a coordinator against several of
+// these.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/node_server.h"
+#include "storage/bsi_store.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_path;
+  std::string value;
+  expbsi::net::NodeServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--store", &value)) {
+      store_path = value;
+    } else if (ParseFlag(argv[i], "--node-id", &value)) {
+      options.node_id = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      options.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--max-inflight", &value)) {
+      options.max_inflight = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "expbsi_node: unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (store_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: expbsi_node --store=<file> --node-id=N [--port=P] "
+                 "[--max-inflight=K]\n");
+    return 2;
+  }
+
+  expbsi::Result<expbsi::BsiStore> store =
+      expbsi::BsiStore::LoadFromFile(store_path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "expbsi_node: load %s: %s\n", store_path.c_str(),
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  expbsi::BsiStore cold = std::move(store).value();
+
+  expbsi::net::NodeServer server(&cold, options);
+  const expbsi::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "expbsi_node: start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("PORT %u\n", server.port());
+  std::fflush(stdout);
+
+  // Serve until the parent closes our stdin.
+  char buf[64];
+  while (std::fread(buf, 1, sizeof(buf), stdin) > 0) {
+  }
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,253 @@
+#include "net/node_server.h"
+
+#include <utility>
+
+#include "cluster/segment_query.h"
+#include "common/fault_injector.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace expbsi {
+namespace net {
+
+namespace {
+// A node finishes any admitted request long before this; it only bounds a
+// wedged peer.
+constexpr double kServerIoDeadlineSeconds = 30.0;
+}  // namespace
+
+NodeServer::NodeServer(const BsiStore* cold, NodeServerOptions options)
+    : cold_(cold),
+      options_(options),
+      tier_(cold, options.hot_capacity_bytes),
+      send_endpoint_(static_cast<uint64_t>(options.node_id)) {}
+
+NodeServer::~NodeServer() { Stop(); }
+
+Status NodeServer::Start() {
+  Result<Socket> listener = Listen(options_.port, &port_);
+  RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(listener).value();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NodeServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void NodeServer::AcceptLoop() {
+  FaultInjector* const fi = FaultInjector::Get();
+  while (!stop_.load(std::memory_order_acquire) && !crashed()) {
+    Result<Socket> conn = Accept(listener_, /*deadline_ms=*/50);
+    if (!conn.ok()) continue;  // timeout or transient; re-check stop flag
+    if (fi != nullptr) {
+      const uint64_t op =
+          static_cast<uint64_t>(options_.node_id) * kNetOpStride +
+          accepts_.fetch_add(1, std::memory_order_relaxed);
+      const FaultDecision d = fi->EvaluateAt(fault_sites::kNetAccept, op);
+      if (d.fail || d.crash) continue;  // connection dropped at accept
+    }
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers_.emplace_back(
+        [this, c = std::move(conn).value()]() mutable {
+          HandleConnection(std::move(c));
+        });
+  }
+}
+
+void NodeServer::HandleConnection(Socket conn) {
+  while (!stop_.load(std::memory_order_acquire) && !crashed() &&
+         conn.valid()) {
+    // Wait in short slices so Stop() never hangs on an idle connection.
+    Result<bool> readable = WaitReadable(conn, /*timeout_ms=*/50);
+    if (!readable.ok()) return;
+    if (!readable.value()) continue;
+    Result<wire::Envelope> env = RecvEnvelope(
+        conn, Deadline::After(kServerIoDeadlineSeconds),
+        /*expected_request_id=*/0);
+    if (!env.ok()) return;  // peer closed, truncated frame, or corrupt
+    switch (env.value().type) {
+      case wire::MsgType::kPing: {
+        wire::Envelope pong;
+        pong.type = wire::MsgType::kPong;
+        pong.request_id = env.value().request_id;
+        if (!SendEnvelope(conn, pong,
+                          Deadline::After(kServerIoDeadlineSeconds),
+                          &send_endpoint_)
+                 .ok()) {
+          return;
+        }
+        break;
+      }
+      case wire::MsgType::kQueryRequest:
+        if (!HandleQuery(conn, env.value().request_id,
+                         env.value().payload)) {
+          return;
+        }
+        break;
+      default:
+        // A node only serves; anything else on the wire is a protocol
+        // error worth reporting but not worth dying for.
+        if (!SendError(conn, env.value().request_id,
+                       Status::InvalidArgument(
+                           "node: unexpected message type"))) {
+          return;
+        }
+        break;
+    }
+  }
+}
+
+bool NodeServer::SendError(Socket& conn, uint64_t request_id,
+                           const Status& status) {
+  wire::Envelope env;
+  env.type = wire::MsgType::kError;
+  env.request_id = request_id;
+  wire::EncodeError(wire::WireError{status.code(), status.message()},
+                    &env.payload);
+  return SendEnvelope(conn, env, Deadline::After(kServerIoDeadlineSeconds),
+                      &send_endpoint_)
+      .ok();
+}
+
+bool NodeServer::HandleQuery(Socket& conn, uint64_t request_id,
+                             const std::string& payload) {
+  // Injected process kill: drop the connection mid-scatter and stop
+  // serving. The coordinator sees EOF here and connection-refused on the
+  // next wave -- exactly what a dead process looks like.
+  FaultInjector* const fi = FaultInjector::Get();
+  const uint64_t query_op =
+      static_cast<uint64_t>(options_.node_id) * kNetOpStride +
+      requests_.fetch_add(1, std::memory_order_relaxed);
+  if (fi != nullptr) {
+    const FaultDecision d =
+        fi->EvaluateAt(fault_sites::kNetNodeCrash, query_op);
+    if (d.crash || d.fail) {
+      crashed_.store(true, std::memory_order_release);
+      conn.Close();
+      return false;
+    }
+  }
+
+  // Backpressure: reject rather than queue unboundedly; the coordinator
+  // treats kUnavailable as "requeue this wave elsewhere".
+  struct InflightGuard {
+    std::atomic<int>& counter;
+    ~InflightGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  };
+  if (inflight_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_inflight) {
+    InflightGuard guard{inflight_};
+    backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& rejected =
+        obs::GetCounter("node.backpressure_rejections");
+    rejected.Add();
+    return SendError(conn, request_id,
+                     Status::Unavailable("node: at max_inflight"));
+  }
+  InflightGuard guard{inflight_};
+
+  Result<wire::WireQueryRequest> req = wire::DecodeQueryRequest(payload);
+  if (!req.ok()) return SendError(conn, request_id, req.status());
+  if (req.value().date_lo > req.value().date_hi) {
+    return SendError(conn, request_id,
+                     Status::InvalidArgument("node: date_lo > date_hi"));
+  }
+  for (uint32_t seg : req.value().segments) {
+    if (seg > UINT16_MAX) {
+      return SendError(conn, request_id,
+                       Status::InvalidArgument("node: segment id overflow"));
+    }
+  }
+
+  static obs::Counter& queries = obs::GetCounter("node.queries");
+  queries.Add();
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+
+  wire::WireQueryResponse resp;
+  Status exec_status;
+  {
+    // Trace the node-side execution when asked; the spans ship back in the
+    // response and the coordinator grafts them under its RPC span.
+    std::unique_ptr<obs::QueryTrace> trace;
+    if (req.value().want_trace) {
+      trace = std::make_unique<obs::QueryTrace>("node_query");
+    }
+    {
+      obs::ScopedTrace install_trace(trace.get());
+      const TieredStore::Stats io_before = tier_.stats();
+      CpuTimer cpu;
+      for (uint32_t seg : req.value().segments) {
+        SegPartial partial;
+        SegmentExecStats exec;
+        Result<bool> processed = ExecuteSegmentQuery(
+            tier_, static_cast<int>(seg), req.value().strategy_ids,
+            req.value().metric_ids, req.value().date_lo,
+            req.value().date_hi, options_.retry,
+            req.value().allow_degraded, &partial, &exec);
+        resp.retries += static_cast<uint32_t>(exec.retries);
+        resp.faults_survived += static_cast<uint32_t>(exec.faults_survived);
+        if (!processed.ok()) {
+          exec_status = processed.status();
+          break;
+        }
+        wire::WireSegmentResult out;
+        out.segment = seg;
+        if (processed.value()) {
+          out.sums = std::move(partial.sums);
+          out.counts = std::move(partial.counts);
+        } else {
+          out.lost = 1;  // degraded: named explicitly, never silent
+        }
+        resp.segments.push_back(std::move(out));
+      }
+      resp.cpu_seconds = cpu.ElapsedSeconds();
+      const TieredStore::Stats io_after = tier_.stats();
+      resp.bytes_from_cold =
+          io_after.bytes_from_cold - io_before.bytes_from_cold;
+      resp.hot_hits = io_after.hot_hits - io_before.hot_hits;
+    }
+    // ScopedTrace closed the root above, so every shipped span is closed.
+    if (trace != nullptr) {
+      for (const obs::QueryTrace::Span& s : trace->spans()) {
+        wire::WireSpan ws;
+        ws.id = s.id;
+        ws.parent_id = s.parent_id;
+        ws.name = s.name;
+        ws.start_ns = s.start_ns;
+        ws.duration_ns = s.duration_ns;
+        ws.attrs = s.attrs;
+        resp.spans.push_back(std::move(ws));
+      }
+    }
+  }
+  if (!exec_status.ok()) {
+    // Strict mode: a permanent failure fails the whole request.
+    return SendError(conn, request_id, exec_status);
+  }
+
+  static obs::Counter& segs = obs::GetCounter("node.segments_served");
+  segs.Add(resp.segments.size());
+  wire::Envelope env;
+  env.type = wire::MsgType::kQueryResponse;
+  env.request_id = request_id;
+  wire::EncodeQueryResponse(resp, &env.payload);
+  return SendEnvelope(conn, env, Deadline::After(kServerIoDeadlineSeconds),
+                      &send_endpoint_)
+      .ok();
+}
+
+}  // namespace net
+}  // namespace expbsi

@@ -1,0 +1,183 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace expbsi {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+// The loopback frames here are small request/response pairs; Nagle only
+// adds latency to them.
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+int Deadline::RemainingMs() const {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        at_ - std::chrono::steady_clock::now())
+                        .count();
+  return static_cast<int>(std::max<int64_t>(left, 0));
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Listen(uint16_t port, uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, 64) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Result<Socket> Accept(const Socket& listener, int deadline_ms) {
+  pollfd pfd{listener.fd(), POLLIN, 0};
+  const int r = ::poll(&pfd, 1, deadline_ms);
+  if (r < 0) return Errno("poll(accept)");
+  if (r == 0) return Status::Unavailable("accept: timed out");
+  const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return Errno("accept");
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+Result<Socket> Connect(uint16_t port, const Deadline& deadline) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    const int r = ::poll(&pfd, 1, deadline.RemainingMs());
+    if (r < 0) return Errno("poll(connect)");
+    if (r == 0) return Status::Unavailable("connect: deadline expired");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return Errno("connect");
+    }
+  }
+  SetNoDelay(fd);
+  return sock;
+}
+
+Status SendAll(const Socket& sock, const char* data, size_t len,
+               const Deadline& deadline) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n =
+        ::send(sock.fd(), data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (deadline.expired()) {
+        return Status::Unavailable("send: deadline expired");
+      }
+      pollfd pfd{sock.fd(), POLLOUT, 0};
+      const int r = ::poll(&pfd, 1, deadline.RemainingMs());
+      if (r < 0) return Errno("poll(send)");
+      if (r == 0) return Status::Unavailable("send: deadline expired");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<bool> WaitReadable(const Socket& sock, int timeout_ms) {
+  pollfd pfd{sock.fd(), POLLIN, 0};
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) return Errno("poll(readable)");
+  return r > 0;
+}
+
+Status RecvAll(const Socket& sock, char* buf, size_t len,
+               const Deadline& deadline) {
+  size_t got = 0;
+  while (got < len) {
+    if (deadline.expired()) {
+      return Status::Unavailable("recv: deadline expired");
+    }
+    pollfd pfd{sock.fd(), POLLIN, 0};
+    const int r = ::poll(&pfd, 1, deadline.RemainingMs());
+    if (r < 0) return Errno("poll(recv)");
+    if (r == 0) return Status::Unavailable("recv: deadline expired");
+    const ssize_t n = ::recv(sock.fd(), buf + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      // Distinguish a peer that closed between frames (retryable: the node
+      // dropped the frame or died) from one that died mid-frame (the bytes
+      // already read are unusable -- a truncated frame).
+      return got == 0 ? Status::Unavailable("recv: connection closed")
+                      : Status::Corruption("recv: short read mid-frame");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace expbsi

@@ -1,0 +1,88 @@
+#ifndef EXPBSI_NET_SOCKET_H_
+#define EXPBSI_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace expbsi {
+namespace net {
+
+// Thin POSIX TCP layer under the transport (DESIGN.md §9): loopback-only
+// sockets, absolute per-query deadlines, and nothing else -- no framing
+// (wire/envelope.h) and no retries (the coordinator owns recovery).
+
+// Absolute deadline carried through every blocking call of one query, so a
+// query's budget is shared across connect, send and all gather reads
+// instead of resetting per call.
+class Deadline {
+ public:
+  static Deadline After(double seconds) {
+    return Deadline(std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+  // Milliseconds left, clamped to >= 0; the poll() timeout.
+  int RemainingMs() const;
+  bool expired() const { return RemainingMs() <= 0; }
+
+ private:
+  explicit Deadline(std::chrono::steady_clock::time_point at) : at_(at) {}
+  std::chrono::steady_clock::time_point at_;
+};
+
+// Owning fd wrapper; close-on-destroy, move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to 127.0.0.1:`port` (0 = kernel-chosen ephemeral
+// port, reported through `bound_port`).
+Result<Socket> Listen(uint16_t port, uint16_t* bound_port);
+
+// Blocks until a connection arrives, `deadline_ms` elapses (-1 = forever)
+// or the listening socket is closed by another thread. Unavailable on
+// timeout/shutdown.
+Result<Socket> Accept(const Socket& listener, int deadline_ms);
+
+// Connects to 127.0.0.1:`port` within the deadline (non-blocking connect +
+// poll). Unavailable on refusal or deadline expiry.
+Result<Socket> Connect(uint16_t port, const Deadline& deadline);
+
+// Writes all of `data`, polling for writability under the deadline.
+Status SendAll(const Socket& sock, const char* data, size_t len,
+               const Deadline& deadline);
+
+// Polls for readability (or EOF) for up to `timeout_ms`. Returns true when
+// a read would not block, false on timeout; servers use this to check a
+// stop flag between requests without holding a blocking read.
+Result<bool> WaitReadable(const Socket& sock, int timeout_ms);
+
+// Reads exactly `len` bytes. A clean EOF before any byte yields
+// Unavailable("connection closed"); an EOF mid-buffer yields
+// Corruption("short read") -- the transport maps the latter onto a
+// truncated frame. Deadline expiry yields Unavailable("deadline").
+Status RecvAll(const Socket& sock, char* buf, size_t len,
+               const Deadline& deadline);
+
+}  // namespace net
+}  // namespace expbsi
+
+#endif  // EXPBSI_NET_SOCKET_H_

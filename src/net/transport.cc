@@ -1,0 +1,91 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/fault_injector.h"
+#include "obs/metrics.h"
+
+namespace expbsi {
+namespace net {
+
+uint64_t FaultyEndpoint::NextSendIndex() {
+  return endpoint_id_ * kNetOpStride +
+         sends_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status SendEnvelope(Socket& sock, const wire::Envelope& envelope,
+                    const Deadline& deadline, FaultyEndpoint* endpoint) {
+  std::string frame;
+  wire::EncodeEnvelope(envelope, &frame);
+  int copies = 1;
+  size_t bytes_to_send = frame.size();
+  bool close_after = false;
+  FaultInjector* const fi = FaultInjector::Get();
+  if (fi != nullptr && endpoint != nullptr) {
+    const FaultDecision d =
+        fi->EvaluateAt(fault_sites::kNetSend, endpoint->NextSendIndex());
+    if (d.delay_seconds > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(d.delay_seconds));
+    }
+    if (d.fail || d.crash) {
+      // Drop: the frame never leaves this host. Closing (instead of
+      // silently not writing) gives the peer a prompt EOF, so schedules
+      // replay without waiting out a deadline.
+      sock.Close();
+      return Status::Unavailable("net.send: injected drop");
+    }
+    if (d.truncate) {
+      bytes_to_send = frame.size() / 2;
+      close_after = true;
+    } else if (d.duplicate) {
+      copies = 2;
+    }
+  }
+  static obs::Counter& frames = obs::GetCounter("net.frames_sent");
+  static obs::Counter& bytes = obs::GetCounter("net.bytes_sent");
+  for (int i = 0; i < copies; ++i) {
+    RETURN_IF_ERROR(SendAll(sock, frame.data(), bytes_to_send, deadline));
+    frames.Add();
+    bytes.Add(bytes_to_send);
+  }
+  if (close_after) {
+    sock.Close();
+    return Status::Unavailable("net.send: injected truncation");
+  }
+  return Status::OK();
+}
+
+Result<wire::Envelope> RecvEnvelope(Socket& sock, const Deadline& deadline,
+                                    uint64_t expected_request_id) {
+  static obs::Counter& frames = obs::GetCounter("net.frames_received");
+  static obs::Counter& bytes = obs::GetCounter("net.bytes_received");
+  static obs::Counter& dups = obs::GetCounter("net.frames_deduped");
+  while (true) {
+    char header[wire::kEnvelopeHeaderBytes];
+    RETURN_IF_ERROR(RecvAll(sock, header, sizeof(header), deadline));
+    Result<size_t> frame_size = wire::FrameSizeFromHeader(
+        std::string_view(header, sizeof(header)));
+    RETURN_IF_ERROR(frame_size.status());
+    std::string frame(header, sizeof(header));
+    frame.resize(frame_size.value());
+    RETURN_IF_ERROR(RecvAll(sock, frame.data() + sizeof(header),
+                            frame.size() - sizeof(header), deadline));
+    Result<wire::Envelope> env = wire::DecodeEnvelope(frame);
+    RETURN_IF_ERROR(env.status());
+    frames.Add();
+    bytes.Add(frame.size());
+    if (expected_request_id != 0 &&
+        env.value().request_id != expected_request_id) {
+      // Duplicated or stale reply; skip it and keep reading.
+      dups.Add();
+      continue;
+    }
+    return env;
+  }
+}
+
+}  // namespace net
+}  // namespace expbsi

@@ -1,0 +1,61 @@
+#ifndef EXPBSI_NET_TRANSPORT_H_
+#define EXPBSI_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "wire/envelope.h"
+
+namespace expbsi {
+namespace net {
+
+// Framed envelope exchange over a socket, with the net.send fault site
+// applied on the sending side (DESIGN.md §9 failure taxonomy):
+//
+//   drop       close the connection without writing -- the peer sees a
+//              clean EOF instead of a timeout, so chaos schedules replay
+//              at full speed
+//   truncate   write a deterministic prefix of the frame, then close; the
+//              peer fails the frame's CRC / length check
+//   duplicate  write the frame twice; the receiver dedups by request_id
+//   delay      sleep before writing (real wall-clock, so deadline-expiry
+//              schedules exercise the actual timeout path)
+//
+// Fault op indices are explicit: endpoint_id * kNetOpStride + a
+// per-endpoint send counter, so multi-threaded servers evaluate the same
+// (site, index) stream regardless of connection interleaving.
+
+// Per-endpoint send state; one per connection direction.
+class FaultyEndpoint {
+ public:
+  explicit FaultyEndpoint(uint64_t endpoint_id)
+      : endpoint_id_(endpoint_id) {}
+
+  uint64_t endpoint_id() const { return endpoint_id_; }
+  // Consumes and returns the next net.send op index for this endpoint.
+  uint64_t NextSendIndex();
+
+ private:
+  uint64_t endpoint_id_;
+  std::atomic<uint64_t> sends_{0};
+};
+
+// Encodes and writes one envelope. On an injected drop/truncate the socket
+// is closed and Unavailable("net.send: injected ...") is returned -- the
+// sender knows its peer will never see the frame.
+Status SendEnvelope(Socket& sock, const wire::Envelope& envelope,
+                    const Deadline& deadline, FaultyEndpoint* endpoint);
+
+// Reads one envelope: header first (validated -- CRC, magic, length cap --
+// before the body read is sized), then exactly the promised body. Frames
+// whose request_id is not `expected_request_id` are skipped (duplicated or
+// stale replies from an abandoned exchange); pass 0 to accept any id.
+Result<wire::Envelope> RecvEnvelope(Socket& sock, const Deadline& deadline,
+                                    uint64_t expected_request_id);
+
+}  // namespace net
+}  // namespace expbsi
+
+#endif  // EXPBSI_NET_TRANSPORT_H_

@@ -76,6 +76,28 @@ void QueryTrace::EndSpan(uint32_t id) {
   s.open = false;
 }
 
+uint32_t QueryTrace::ImportSpan(
+    uint32_t parent_id, const std::string& name, uint64_t start_ns,
+    uint64_t duration_ns,
+    const std::vector<std::pair<std::string, uint64_t>>& attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK_LE(parent_id, spans_.size());  // parent (if any) already local
+  Span s;
+  s.id = static_cast<uint32_t>(spans_.size()) + 1;
+  s.parent_id = parent_id;
+  s.name = name;
+  // Remote offsets are relative to the remote trace start; re-base onto the
+  // local parent so children sit inside it in the flame view.
+  const uint64_t base =
+      parent_id == 0 ? 0 : spans_[parent_id - 1].start_ns;
+  s.start_ns = base + start_ns;
+  s.duration_ns = duration_ns;
+  s.open = false;
+  s.attrs = attrs;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
 void QueryTrace::AddAttr(uint32_t id, const std::string& key, uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
   CHECK(id >= 1 && id <= spans_.size());

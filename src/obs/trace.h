@@ -56,6 +56,19 @@ class QueryTrace {
   void EndSpan(uint32_t id);
   void AddAttr(uint32_t id, const std::string& key, uint64_t value);
 
+  // Grafts a span recorded by ANOTHER trace (e.g. shipped back from a
+  // remote node over the wire) under `parent_id` of this one. The imported
+  // span arrives closed with its remote-measured duration; `start_ns` is
+  // the offset from the PARENT's start (the caller subtracts the remote
+  // parent's own start when replaying a remote tree) and is re-based onto
+  // the local parent so the flame view nests sensibly. Returns the local id
+  // assigned, so a caller replaying a remote span tree (parents arrive
+  // before children) can remap child parent_ids as it goes.
+  uint32_t ImportSpan(uint32_t parent_id, const std::string& name,
+                      uint64_t start_ns, uint64_t duration_ns,
+                      const std::vector<std::pair<std::string, uint64_t>>&
+                          attrs);
+
   const std::string& name() const { return name_; }
   // Snapshot of the spans recorded so far.
   std::vector<Span> spans() const;

@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/check.h"
 #include "common/crc32c.h"
@@ -478,6 +480,7 @@ Status WalWriter::CloseSegment() {
 }
 
 Result<uint64_t> WalWriter::Append(const std::vector<WalEvent>& events) {
+  if (options_.group_commit) return AppendGrouped(events);
   static obs::Counter& appends = obs::GetCounter("wal.appends");
   static obs::Counter& append_bytes = obs::GetCounter("wal.append_bytes");
   static obs::Counter& append_failures =
@@ -577,6 +580,7 @@ Result<uint64_t> WalWriter::Append(const std::vector<WalEvent>& events) {
       return Status::Unavailable("wal: fsync failed for " + active_path_);
     }
     unsynced_ = false;
+    fsyncs_performed_.fetch_add(1, std::memory_order_relaxed);
     fsyncs.Add();
   }
 
@@ -587,7 +591,173 @@ Result<uint64_t> WalWriter::Append(const std::vector<WalEvent>& events) {
   return sequence;
 }
 
+Result<uint64_t> WalWriter::AppendGrouped(const std::vector<WalEvent>& events) {
+  static obs::Counter& appends = obs::GetCounter("wal.appends");
+  static obs::Counter& append_bytes = obs::GetCounter("wal.append_bytes");
+  static obs::Counter& append_failures =
+      obs::GetCounter("wal.append_failures");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (dead_) {
+    append_failures.Add();
+    return Status::Unavailable("wal: writer is dead after a crash");
+  }
+  if (events.size() > kMaxWalEventsPerRecord) {
+    return Status::InvalidArgument("wal: record of " +
+                                   std::to_string(events.size()) +
+                                   " events exceeds the per-record cap");
+  }
+  const uint64_t sequence = next_sequence_;
+  std::string record = EncodeRecord(sequence, events);
+
+  if (file_ != nullptr && active_segment_bytes_ > kWalSegmentHeaderBytes &&
+      active_segment_bytes_ + record.size() > options_.segment_bytes) {
+    // The roll closes file_, so wait out any fsync a leader is running
+    // against it first.
+    cv_.wait(lock, [&] { return !sync_in_flight_ || dead_; });
+    if (dead_) {
+      append_failures.Add();
+      return Status::Unavailable("wal: writer died while waiting to roll");
+    }
+    const Status closed = CloseSegment();
+    if (!closed.ok()) {
+      append_failures.Add();
+      return closed;
+    }
+    // CloseSegment fsynced the old segment: everything appended so far is
+    // durable, so waiters piled up behind the roll can be released.
+    durable_sequence_ = std::max(durable_sequence_, sequence - 1);
+    cv_.notify_all();
+  }
+  if (file_ == nullptr) {
+    const Status started = StartSegment(sequence);
+    if (!started.ok()) {
+      append_failures.Add();
+      if (dead_) cv_.notify_all();
+      return started;
+    }
+  }
+
+  size_t write_bytes = record.size();
+  bool crash = false;
+  if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+    const FaultDecision d = fi->Evaluate(fault_sites::kWalAppend);
+    if (d.fail) {
+      append_failures.Add();
+      return Status::Unavailable("wal: injected append failure");
+    }
+    if (d.corrupt) {
+      fi->CorruptBlob(Mix64(fi->seed() ^ sequence), &record);
+    }
+    if (d.crash) {
+      crash = true;
+      write_bytes = static_cast<size_t>(
+          Mix64(fi->seed() ^ (record.size() + 0x517cc1b727220a95ull)) %
+          (record.size() + 1));
+    }
+  }
+
+  if (write_bytes > 0 &&
+      std::fwrite(record.data(), 1, write_bytes, file_) != write_bytes) {
+    dead_ = true;
+    cv_.notify_all();
+    append_failures.Add();
+    return Status::Unavailable("wal: short write of record " +
+                               std::to_string(sequence));
+  }
+  if (crash) {
+    FlushAndSync(file_, active_path_);
+    dead_ = true;
+    cv_.notify_all();
+    append_failures.Add();
+    return Status::Unavailable("wal: injected kill mid-append of record " +
+                               std::to_string(sequence) +
+                               " (torn tail left behind)");
+  }
+  unsynced_ = true;
+  active_segment_bytes_ += record.size();
+  next_sequence_ = sequence + 1;
+  appends.Add();
+  append_bytes.Add(record.size());
+
+  if (!options_.sync_each_append) return sequence;
+  const Status durable = WaitDurableLocked(lock, sequence);
+  if (!durable.ok()) {
+    append_failures.Add();
+    return durable;
+  }
+  return sequence;
+}
+
+Status WalWriter::WaitDurableLocked(std::unique_lock<std::mutex>& lock,
+                                    uint64_t sequence) {
+  static obs::Counter& fsyncs = obs::GetCounter("wal.fsyncs");
+  while (true) {
+    if (durable_sequence_ >= sequence) return Status::OK();
+    if (dead_) {
+      return Status::Unavailable("wal: group fsync failed before record " +
+                                 std::to_string(sequence) +
+                                 " was acknowledged");
+    }
+    if (!sync_in_flight_) {
+      // Become the leader. The barrier covers every record written before
+      // the flush starts, so capture the target under the lock.
+      sync_in_flight_ = true;
+      const uint64_t target = next_sequence_ - 1;
+      std::FILE* f = file_;
+      const std::string path = active_path_;
+      lock.unlock();
+      Status result = Status::OK();
+      if (std::fflush(f) != 0) {
+        result = Status::Unavailable("wal: flush failed for " + path);
+      }
+      if (result.ok()) {
+        // Same barrier semantics as the single-append path: the bytes are
+        // flushed before the fault is evaluated, so a killed fsync still
+        // leaves every record of this batch replayable.
+        if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+          const FaultDecision d = fi->Evaluate(fault_sites::kWalFsync);
+          if (d.delay_seconds > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(d.delay_seconds));
+          }
+          if (d.fail || d.crash) {
+            result = Status::Unavailable(
+                "wal: injected fsync failure at the group barrier");
+          }
+        }
+      }
+      if (result.ok() && ::fsync(::fileno(f)) != 0) {
+        result = Status::Unavailable("wal: fsync failed for " + path);
+      }
+      lock.lock();
+      sync_in_flight_ = false;
+      if (!result.ok()) {
+        dead_ = true;
+        cv_.notify_all();
+        return result;
+      }
+      durable_sequence_ = std::max(durable_sequence_, target);
+      if (durable_sequence_ >= next_sequence_ - 1) unsynced_ = false;
+      fsyncs_performed_.fetch_add(1, std::memory_order_relaxed);
+      fsyncs.Add();
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
 Status WalWriter::Sync() {
+  if (options_.group_commit) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (dead_) {
+      return Status::Unavailable("wal: writer is dead after a crash");
+    }
+    if (file_ == nullptr || !unsynced_ || next_sequence_ == 1) {
+      return Status::OK();
+    }
+    return WaitDurableLocked(lock, next_sequence_ - 1);
+  }
   if (dead_) return Status::Unavailable("wal: writer is dead after a crash");
   if (file_ == nullptr || !unsynced_) return Status::OK();
   if (std::fflush(file_) != 0) {
@@ -606,6 +776,7 @@ Status WalWriter::Sync() {
     return Status::Unavailable("wal: fsync failed for " + active_path_);
   }
   unsynced_ = false;
+  fsyncs_performed_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter& fsyncs = obs::GetCounter("wal.fsyncs");
   fsyncs.Add();
   return Status::OK();

@@ -1,9 +1,12 @@
 #ifndef EXPBSI_WAL_WAL_H_
 #define EXPBSI_WAL_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -101,6 +104,14 @@ struct WalOptions {
   // fsync after every append (the durable default). When off, durability
   // barriers are explicit Sync() calls and the roll/close points.
   bool sync_each_append = true;
+  // Leader-based group commit: Append becomes thread-safe and concurrent
+  // appends share fsync barriers. One appender at a time acts as the sync
+  // leader; everyone whose record was written before the leader's flush
+  // began is covered by that one fsync, and later writers wait for the
+  // next leader. The durability contract is unchanged -- Append still
+  // returns only once ITS record is on disk -- but a burst of N concurrent
+  // appends costs far fewer than N fsyncs.
+  bool group_commit = false;
 };
 
 // Format constants, exposed for tests and the fuzz harness.
@@ -172,6 +183,11 @@ class WalWriter {
   uint64_t active_segment_bytes() const { return active_segment_bytes_; }
   bool dead() const { return dead_; }
   const std::string& dir() const { return dir_; }
+  // Physical fsync barriers issued so far (group commit batches many acked
+  // appends behind one of these; without batching it tracks the appends).
+  uint64_t fsyncs_performed() const {
+    return fsyncs_performed_.load(std::memory_order_relaxed);
+  }
 
  private:
   WalWriter(std::string dir, WalOptions options);
@@ -180,6 +196,14 @@ class WalWriter {
   // fault site). Leaves the writer segment-less on failure.
   Status StartSegment(uint64_t first_sequence);
   Status CloseSegment();
+
+  // The group-commit paths (options_.group_commit). AppendGrouped serializes
+  // the write under mu_, then blocks in WaitDurableLocked until an fsync
+  // covering `sequence` has completed -- either one it leads itself or one
+  // a concurrent appender led while it waited.
+  Result<uint64_t> AppendGrouped(const std::vector<WalEvent>& events);
+  Status WaitDurableLocked(std::unique_lock<std::mutex>& lock,
+                           uint64_t sequence);
 
   std::string dir_;
   WalOptions options_;
@@ -190,6 +214,13 @@ class WalWriter {
   uint64_t next_sequence_ = 1;
   bool dead_ = false;
   bool unsynced_ = false;
+
+  // Group-commit state, all under mu_ except the relaxed counter.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool sync_in_flight_ = false;
+  uint64_t durable_sequence_ = 0;  // highest sequence known to be on disk
+  std::atomic<uint64_t> fsyncs_performed_{0};
 };
 
 }  // namespace expbsi

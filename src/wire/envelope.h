@@ -1,0 +1,96 @@
+#ifndef EXPBSI_WIRE_ENVELOPE_H_
+#define EXPBSI_WIRE_ENVELOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace expbsi {
+namespace wire {
+
+// Request/response envelope of the serving protocol (DESIGN.md §9): every
+// message on a node connection is one length-prefixed, CRC32C-closed frame.
+//
+//   header   [magic u32][version u8][type u8][flags u16]
+//            [request_id u64][payload_len u32][header crc u32]   (24 bytes)
+//   body     [payload_len payload bytes][payload crc u32]
+//
+// The header CRC closes the first 20 header bytes and is verified BEFORE
+// any header field is trusted -- in particular before payload_len sizes a
+// read or allocation (the same order of operations as the WAL record
+// scanner). The payload CRC closes the payload, so a truncated or
+// bitflipped frame is classified at the envelope layer and never reaches a
+// payload decoder as silently-wrong bytes.
+//
+// The encoding is canonical: one byte representation per envelope, so
+// Decode followed by Encode reproduces the input frame bit for bit (the
+// fuzz harness contract).
+
+enum class MsgType : uint8_t {
+  kPing = 0,          // health check; empty payload
+  kPong = 1,          // reply to kPing; empty payload
+  kQueryRequest = 2,  // WireQueryRequest payload (wire/messages.h)
+  kQueryResponse = 3, // WireQueryResponse payload
+  kError = 4,         // WireError payload: the request failed before a
+                      // typed response could be built
+};
+inline constexpr uint8_t kMaxMsgType = static_cast<uint8_t>(MsgType::kError);
+
+inline constexpr uint32_t kEnvelopeMagic = 0x45424e56;  // "VNBE" LE = EBNV
+inline constexpr uint8_t kWireFormatVersion = 1;
+// [magic u32][version u8][type u8][flags u16][request_id u64]
+// [payload_len u32] + header crc u32.
+inline constexpr size_t kEnvelopeHeaderBytes = 4 + 1 + 1 + 2 + 8 + 4 + 4;
+// Hard cap on payload_len, checked against the frame before any
+// allocation: a scorecard response for a whole node stays far below this.
+inline constexpr uint32_t kMaxEnvelopePayloadBytes = 64u << 20;
+
+struct Envelope {
+  MsgType type = MsgType::kPing;
+  // Reserved for future use; carried verbatim (and covered by the header
+  // CRC) so old coordinators round-trip frames from newer nodes.
+  uint16_t flags = 0;
+  // Correlates a response with its request: a gather loop drops frames
+  // whose request_id it is not waiting for (duplicated replies, responses
+  // to an abandoned wave) instead of misattributing them.
+  uint64_t request_id = 0;
+  std::string payload;
+
+  friend bool operator==(const Envelope& a, const Envelope& b) {
+    return a.type == b.type && a.flags == b.flags &&
+           a.request_id == b.request_id && a.payload == b.payload;
+  }
+};
+
+// Appends the framed envelope to `*out`.
+void EncodeEnvelope(const Envelope& envelope, std::string* out);
+
+// Decodes one complete frame. Rejects (Corruption) short buffers, header
+// CRC mismatches, bad magic/version/type, payload_len beyond the cap or
+// disagreeing with the buffer size, trailing bytes, and payload CRC
+// mismatches -- in that order, so no untrusted length is used first.
+Result<Envelope> DecodeEnvelope(std::string_view frame);
+
+// Transport-side header peek: validates the 24 header bytes (CRC first)
+// and returns the total frame size, so the receiver can read exactly the
+// body it was promised. `header` must be exactly kEnvelopeHeaderBytes.
+Result<size_t> FrameSizeFromHeader(std::string_view header);
+
+// Payload of a kError envelope: the failure Status of the remote step.
+struct WireError {
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message;
+};
+
+void EncodeError(const WireError& error, std::string* out);
+Result<WireError> DecodeError(std::string_view payload);
+
+// Error-string cap (also the cap for every other string on the wire).
+inline constexpr uint32_t kMaxWireStringBytes = 1u << 16;
+
+}  // namespace wire
+}  // namespace expbsi
+
+#endif  // EXPBSI_WIRE_ENVELOPE_H_

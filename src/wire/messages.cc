@@ -1,0 +1,166 @@
+#include "wire/messages.h"
+
+#include "wire/byte_io.h"
+#include "wire/envelope.h"
+
+namespace expbsi {
+namespace wire {
+
+namespace {
+
+// Shared helpers. Every vector is [count u32][elements]; ReadCount rejects
+// any count whose payload cannot fit in the remaining bytes, so resize() is
+// always bounded by the frame the transport already capped.
+
+bool ReadU64Vec(ByteReader* r, std::vector<uint64_t>* out) {
+  uint32_t n = 0;
+  if (!r->ReadCount(&n, 8)) return false;
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r->ReadU64(&(*out)[i])) return false;
+  }
+  return true;
+}
+
+void PutU64Vec(std::string* out, const std::vector<uint64_t>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (uint64_t x : v) PutU64(out, x);
+}
+
+bool ReadU32Vec(ByteReader* r, std::vector<uint32_t>* out) {
+  uint32_t n = 0;
+  if (!r->ReadCount(&n, 4)) return false;
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r->ReadU32(&(*out)[i])) return false;
+  }
+  return true;
+}
+
+void PutU32Vec(std::string* out, const std::vector<uint32_t>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (uint32_t x : v) PutU32(out, x);
+}
+
+bool ReadF64Vec(ByteReader* r, std::vector<double>* out) {
+  uint32_t n = 0;
+  if (!r->ReadCount(&n, 8)) return false;
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r->ReadF64(&(*out)[i])) return false;
+  }
+  return true;
+}
+
+void PutF64Vec(std::string* out, const std::vector<double>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (double x : v) PutF64(out, x);
+}
+
+// Bools are a single byte that must be exactly 0 or 1: any other value
+// would re-encode differently and break the canonical round trip.
+bool ReadBool(ByteReader* r, bool* out) {
+  uint8_t b = 0;
+  if (!r->ReadU8(&b) || b > 1) return false;
+  *out = (b == 1);
+  return true;
+}
+
+}  // namespace
+
+void EncodeQueryRequest(const WireQueryRequest& req, std::string* out) {
+  PutU64Vec(out, req.strategy_ids);
+  PutU64Vec(out, req.metric_ids);
+  PutU32(out, req.date_lo);
+  PutU32(out, req.date_hi);
+  PutU32Vec(out, req.segments);
+  PutU8(out, req.allow_degraded ? 1 : 0);
+  PutU8(out, req.want_trace ? 1 : 0);
+}
+
+Result<WireQueryRequest> DecodeQueryRequest(std::string_view payload) {
+  ByteReader r(payload);
+  WireQueryRequest req;
+  if (!ReadU64Vec(&r, &req.strategy_ids) ||
+      !ReadU64Vec(&r, &req.metric_ids) || !r.ReadU32(&req.date_lo) ||
+      !r.ReadU32(&req.date_hi) || !ReadU32Vec(&r, &req.segments) ||
+      !ReadBool(&r, &req.allow_degraded) || !ReadBool(&r, &req.want_trace) ||
+      !r.empty()) {
+    return Status::Corruption("wire request: malformed payload");
+  }
+  return req;
+}
+
+void EncodeQueryResponse(const WireQueryResponse& resp, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(resp.segments.size()));
+  for (const WireSegmentResult& seg : resp.segments) {
+    PutU32(out, seg.segment);
+    PutU8(out, seg.lost);
+    PutF64Vec(out, seg.sums);
+    PutF64Vec(out, seg.counts);
+  }
+  PutU32(out, resp.retries);
+  PutU32(out, resp.faults_survived);
+  PutU64(out, resp.bytes_from_cold);
+  PutU64(out, resp.hot_hits);
+  PutF64(out, resp.cpu_seconds);
+  PutU32(out, static_cast<uint32_t>(resp.spans.size()));
+  for (const WireSpan& s : resp.spans) {
+    PutU32(out, s.id);
+    PutU32(out, s.parent_id);
+    PutString(out, s.name);
+    PutU64(out, s.start_ns);
+    PutU64(out, s.duration_ns);
+    PutU32(out, static_cast<uint32_t>(s.attrs.size()));
+    for (const auto& [key, value] : s.attrs) {
+      PutString(out, key);
+      PutU64(out, value);
+    }
+  }
+}
+
+Result<WireQueryResponse> DecodeQueryResponse(std::string_view payload) {
+  ByteReader r(payload);
+  WireQueryResponse resp;
+  const Status malformed =
+      Status::Corruption("wire response: malformed payload");
+  uint32_t num_segments = 0;
+  // A segment result is at least 4+1+4+4 bytes (id, lost, two empty vecs).
+  if (!r.ReadCount(&num_segments, 13)) return malformed;
+  resp.segments.resize(num_segments);
+  for (WireSegmentResult& seg : resp.segments) {
+    if (!r.ReadU32(&seg.segment) || !r.ReadU8(&seg.lost) || seg.lost > 1 ||
+        !ReadF64Vec(&r, &seg.sums) || !ReadF64Vec(&r, &seg.counts)) {
+      return malformed;
+    }
+  }
+  if (!r.ReadU32(&resp.retries) || !r.ReadU32(&resp.faults_survived) ||
+      !r.ReadU64(&resp.bytes_from_cold) || !r.ReadU64(&resp.hot_hits) ||
+      !r.ReadF64(&resp.cpu_seconds)) {
+    return malformed;
+  }
+  uint32_t num_spans = 0;
+  // A span is at least 4+4+4+8+8+4 bytes (ids, empty name, times, attrs).
+  if (!r.ReadCount(&num_spans, 32)) return malformed;
+  resp.spans.resize(num_spans);
+  for (WireSpan& s : resp.spans) {
+    if (!r.ReadU32(&s.id) || !r.ReadU32(&s.parent_id) ||
+        !r.ReadString(&s.name, kMaxWireStringBytes) ||
+        !r.ReadU64(&s.start_ns) || !r.ReadU64(&s.duration_ns)) {
+      return malformed;
+    }
+    uint32_t num_attrs = 0;
+    if (!r.ReadCount(&num_attrs, 12)) return malformed;  // key + u64
+    s.attrs.resize(num_attrs);
+    for (auto& [key, value] : s.attrs) {
+      if (!r.ReadString(&key, kMaxWireStringBytes) || !r.ReadU64(&value)) {
+        return malformed;
+      }
+    }
+  }
+  if (!r.empty()) return malformed;
+  return resp;
+}
+
+}  // namespace wire
+}  // namespace expbsi

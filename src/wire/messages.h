@@ -1,0 +1,126 @@
+#ifndef EXPBSI_WIRE_MESSAGES_H_
+#define EXPBSI_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "expdata/schema.h"
+
+namespace expbsi {
+namespace wire {
+
+// Payload codecs for the serving protocol (DESIGN.md §9). Like the
+// envelope, every encoding is canonical -- decode-then-re-encode is
+// bit-identical -- and every decode is hardened: counts and string lengths
+// are checked against the remaining payload bytes BEFORE any allocation,
+// and trailing bytes fail the decode.
+
+// Coordinator -> node: execute `segments` of a scorecard query against the
+// node's local tier. One request covers one scatter wave on one node.
+struct WireQueryRequest {
+  std::vector<uint64_t> strategy_ids;
+  std::vector<uint64_t> metric_ids;
+  Date date_lo = 0;
+  Date date_hi = 0;
+  std::vector<uint32_t> segments;
+  // Degraded-mode flag from the coordinator's config: the node either
+  // reports unrecoverable segments as lost (true) or fails the request
+  // with a kError envelope (false, the strict default).
+  bool allow_degraded = false;
+  // Ship the node's span tree back in the response so the coordinator can
+  // graft it under its per-node RPC span.
+  bool want_trace = false;
+
+  friend bool operator==(const WireQueryRequest& a,
+                         const WireQueryRequest& b) {
+    return a.strategy_ids == b.strategy_ids && a.metric_ids == b.metric_ids &&
+           a.date_lo == b.date_lo && a.date_hi == b.date_hi &&
+           a.segments == b.segments && a.allow_degraded == b.allow_degraded &&
+           a.want_trace == b.want_trace;
+  }
+};
+
+// One trace span crossing the wire (obs::QueryTrace::Span minus the open
+// flag: only closed spans are shipped).
+struct WireSpan {
+  uint32_t id = 0;
+  uint32_t parent_id = 0;
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, uint64_t>> attrs;
+
+  friend bool operator==(const WireSpan& a, const WireSpan& b) {
+    return a.id == b.id && a.parent_id == b.parent_id && a.name == b.name &&
+           a.start_ns == b.start_ns && a.duration_ns == b.duration_ns &&
+           a.attrs == b.attrs;
+  }
+};
+
+// One segment's result inside a response. `lost == 1` means the node could
+// not recover the segment after retries (degraded mode); its vectors are
+// empty and the coordinator records the exact segment id as lost -- the
+// explicit enumeration that makes degraded results non-silent.
+struct WireSegmentResult {
+  uint32_t segment = 0;
+  uint8_t lost = 0;
+  std::vector<double> sums;    // [si * num_metrics + mi], strategy-major
+  std::vector<double> counts;
+
+  friend bool operator==(const WireSegmentResult& a,
+                         const WireSegmentResult& b) {
+    // Doubles cross the wire as bit patterns; compare them the same way so
+    // NaNs round-trip as equal.
+    auto bits_equal = [](const std::vector<double>& x,
+                         const std::vector<double>& y) {
+      if (x.size() != y.size()) return false;
+      for (size_t i = 0; i < x.size(); ++i) {
+        uint64_t xb, yb;
+        __builtin_memcpy(&xb, &x[i], 8);
+        __builtin_memcpy(&yb, &y[i], 8);
+        if (xb != yb) return false;
+      }
+      return true;
+    };
+    return a.segment == b.segment && a.lost == b.lost &&
+           bits_equal(a.sums, b.sums) && bits_equal(a.counts, b.counts);
+  }
+};
+
+// Node -> coordinator: per-segment partials plus the node-side accounting
+// the coordinator folds into QueryStats, and (on request) the span tree.
+struct WireQueryResponse {
+  std::vector<WireSegmentResult> segments;
+  uint32_t retries = 0;
+  uint32_t faults_survived = 0;
+  uint64_t bytes_from_cold = 0;
+  uint64_t hot_hits = 0;
+  double cpu_seconds = 0.0;
+  std::vector<WireSpan> spans;
+
+  friend bool operator==(const WireQueryResponse& a,
+                         const WireQueryResponse& b) {
+    uint64_t ab, bb;
+    __builtin_memcpy(&ab, &a.cpu_seconds, 8);
+    __builtin_memcpy(&bb, &b.cpu_seconds, 8);
+    return a.segments == b.segments && a.retries == b.retries &&
+           a.faults_survived == b.faults_survived &&
+           a.bytes_from_cold == b.bytes_from_cold &&
+           a.hot_hits == b.hot_hits && ab == bb && a.spans == b.spans;
+  }
+};
+
+void EncodeQueryRequest(const WireQueryRequest& req, std::string* out);
+Result<WireQueryRequest> DecodeQueryRequest(std::string_view payload);
+
+void EncodeQueryResponse(const WireQueryResponse& resp, std::string* out);
+Result<WireQueryResponse> DecodeQueryResponse(std::string_view payload);
+
+}  // namespace wire
+}  // namespace expbsi
+
+#endif  // EXPBSI_WIRE_MESSAGES_H_

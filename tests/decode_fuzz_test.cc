@@ -1,7 +1,8 @@
 // Corrupt-bytes fuzz harness for every byte-decoding path in the codebase
 // (docs/TESTING.md "Decode fuzzing"): Container::Deserialize,
-// RoaringBitmap::Deserialize, Bsi::Deserialize, the snapshot reader and
-// the WAL segment replay path.
+// RoaringBitmap::Deserialize, Bsi::Deserialize, the snapshot reader, the
+// WAL segment replay path, and the serving protocol's wire codec
+// (envelope framing plus every payload decoder, DESIGN.md §9).
 // Each iteration serializes a clean object, applies one seeded mutation
 // (truncation, 1-8 bitflips, a garbage window, pure garbage, or appended
 // bytes) and replays the decoder. The contract:
@@ -48,6 +49,9 @@
 #include "storage/bsi_store.h"
 #include "storage/snapshot.h"
 #include "wal/wal.h"
+#include "wire/byte_io.h"
+#include "wire/envelope.h"
+#include "wire/messages.h"
 
 namespace expbsi {
 namespace {
@@ -307,6 +311,230 @@ TEST(DecodeFuzzTest, RoaringDecodeSurvivesMutations) {
 TEST(DecodeFuzzTest, BsiDecodeSurvivesMutations) {
   for (uint64_t seed : FuzzSeedSchedule(0xB51F0221ull)) {
     RunBsiIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec (DESIGN.md §9). The serving protocol's decoders face bytes
+// from the network, so the contract is strictly stronger than the raw
+// decoders' round-trip: every encoding is CANONICAL -- one byte string per
+// message -- so anything a decoder accepts must re-encode BIT-IDENTICALLY
+// to the accepted bytes. A mutation either produces a clean Corruption
+// rejection or lands on the one encoding of some other valid message;
+// there is no third state where a frame decodes to something that would
+// serialize differently.
+// ---------------------------------------------------------------------------
+
+std::string RandomWireBytes(Rng& rng, size_t max_len) {
+  std::string out(rng.NextBounded(max_len + 1), '\0');
+  for (char& c : out) c = static_cast<char>(rng.Next() & 0xff);
+  return out;
+}
+
+wire::Envelope RandomEnvelope(Rng& rng) {
+  wire::Envelope env;
+  env.type =
+      static_cast<wire::MsgType>(rng.NextBounded(wire::kMaxMsgType + 1));
+  env.flags = static_cast<uint16_t>(rng.Next() & 0xffff);
+  env.request_id = rng.Next();
+  env.payload = RandomWireBytes(rng, 400);
+  return env;
+}
+
+wire::WireQueryRequest RandomWireRequest(Rng& rng) {
+  wire::WireQueryRequest req;
+  for (uint64_t i = rng.NextBounded(5); i > 0; --i) {
+    req.strategy_ids.push_back(rng.Next());
+  }
+  for (uint64_t i = rng.NextBounded(4); i > 0; --i) {
+    req.metric_ids.push_back(rng.Next());
+  }
+  req.date_lo = static_cast<Date>(rng.NextBounded(100));
+  req.date_hi = static_cast<Date>(req.date_lo + rng.NextBounded(30));
+  for (uint64_t i = rng.NextBounded(9); i > 0; --i) {
+    req.segments.push_back(static_cast<uint32_t>(rng.NextBounded(64)));
+  }
+  req.allow_degraded = rng.NextBernoulli(0.5);
+  req.want_trace = rng.NextBernoulli(0.5);
+  return req;
+}
+
+// Doubles drawn straight from the bit space: mutations already produce
+// NaNs and infinities, but the CLEAN message should carry them too so the
+// canonical contract is exercised on every bit pattern, not just finite
+// values.
+double RandomDoubleBits(Rng& rng) {
+  const uint64_t bits = rng.Next();
+  double d;
+  __builtin_memcpy(&d, &bits, 8);
+  return d;
+}
+
+wire::WireQueryResponse RandomWireResponse(Rng& rng) {
+  wire::WireQueryResponse resp;
+  resp.segments.resize(rng.NextBounded(5));
+  for (wire::WireSegmentResult& seg : resp.segments) {
+    seg.segment = static_cast<uint32_t>(rng.NextBounded(64));
+    seg.lost = rng.NextBernoulli(0.2) ? 1 : 0;
+    if (seg.lost == 0) {
+      const size_t cells = rng.NextBounded(8);
+      for (size_t i = 0; i < cells; ++i) {
+        seg.sums.push_back(RandomDoubleBits(rng));
+        seg.counts.push_back(RandomDoubleBits(rng));
+      }
+    }
+  }
+  resp.retries = static_cast<uint32_t>(rng.NextBounded(10));
+  resp.faults_survived = static_cast<uint32_t>(rng.NextBounded(10));
+  resp.bytes_from_cold = rng.Next();
+  resp.hot_hits = rng.Next();
+  resp.cpu_seconds = RandomDoubleBits(rng);
+  resp.spans.resize(rng.NextBounded(4));
+  uint32_t id = 0;
+  for (wire::WireSpan& span : resp.spans) {
+    span.id = ++id;
+    span.parent_id = id > 1 ? 1 + static_cast<uint32_t>(
+                                      rng.NextBounded(id - 1))
+                            : 0;
+    span.name = RandomWireBytes(rng, 24);  // arbitrary bytes, not just text
+    span.start_ns = rng.Next();
+    span.duration_ns = rng.Next();
+    span.attrs.resize(rng.NextBounded(3));
+    for (auto& [key, value] : span.attrs) {
+      key = RandomWireBytes(rng, 16);
+      value = rng.Next();
+    }
+  }
+  return resp;
+}
+
+wire::WireError RandomWireError(Rng& rng) {
+  wire::WireError err;
+  err.code = static_cast<StatusCode>(
+      1 + rng.NextBounded(static_cast<uint64_t>(StatusCode::kUnavailable)));
+  err.message = RandomWireBytes(rng, 120);
+  return err;
+}
+
+void RunEnvelopeIteration(uint64_t seed) {
+  Rng rng(seed);
+  std::string frame;
+  wire::EncodeEnvelope(RandomEnvelope(rng), &frame);
+  const std::string mutated = Mutate(rng, frame, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "envelope");
+
+  // The transport-side header peek must never promise a frame beyond the
+  // cap -- this is the check that bounds the receive allocation.
+  if (mutated.size() >= wire::kEnvelopeHeaderBytes) {
+    const Result<size_t> size = wire::FrameSizeFromHeader(
+        mutated.substr(0, wire::kEnvelopeHeaderBytes));
+    if (size.ok()) {
+      EXPECT_LE(size.value(), wire::kEnvelopeHeaderBytes +
+                                  size_t{wire::kMaxEnvelopePayloadBytes} + 4)
+          << ctx << " header peek promised a frame over the cap";
+    }
+  }
+
+  const Result<wire::Envelope> parsed = wire::DecodeEnvelope(mutated);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << ctx;
+    return;
+  }
+  std::string again;
+  wire::EncodeEnvelope(parsed.value(), &again);
+  EXPECT_EQ(again, mutated)
+      << ctx << " accepted frame did not re-encode bit-identically";
+}
+
+void RunWireRequestIteration(uint64_t seed) {
+  Rng rng(seed);
+  std::string payload;
+  wire::EncodeQueryRequest(RandomWireRequest(rng), &payload);
+  const std::string mutated = Mutate(rng, payload, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "wire request");
+
+  const Result<wire::WireQueryRequest> parsed =
+      wire::DecodeQueryRequest(mutated);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << ctx;
+    return;
+  }
+  std::string again;
+  wire::EncodeQueryRequest(parsed.value(), &again);
+  EXPECT_EQ(again, mutated)
+      << ctx << " accepted payload did not re-encode bit-identically";
+}
+
+void RunWireResponseIteration(uint64_t seed) {
+  Rng rng(seed);
+  std::string payload;
+  wire::EncodeQueryResponse(RandomWireResponse(rng), &payload);
+  const std::string mutated = Mutate(rng, payload, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "wire response");
+
+  const Result<wire::WireQueryResponse> parsed =
+      wire::DecodeQueryResponse(mutated);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << ctx;
+    return;
+  }
+  std::string again;
+  wire::EncodeQueryResponse(parsed.value(), &again);
+  EXPECT_EQ(again, mutated)
+      << ctx << " accepted payload did not re-encode bit-identically";
+  for (const wire::WireSegmentResult& seg : parsed.value().segments) {
+    EXPECT_LE(seg.lost, 1) << ctx;
+  }
+}
+
+void RunWireErrorIteration(uint64_t seed) {
+  Rng rng(seed);
+  std::string payload;
+  wire::EncodeError(RandomWireError(rng), &payload);
+  const std::string mutated = Mutate(rng, payload, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "wire error");
+
+  const Result<wire::WireError> parsed = wire::DecodeError(mutated);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << ctx;
+    return;
+  }
+  // An accepted error must carry a code the coordinator can act on.
+  EXPECT_NE(static_cast<uint8_t>(parsed.value().code), 0) << ctx;
+  EXPECT_LE(static_cast<uint8_t>(parsed.value().code),
+            static_cast<uint8_t>(StatusCode::kUnavailable))
+      << ctx;
+  std::string again;
+  wire::EncodeError(parsed.value(), &again);
+  EXPECT_EQ(again, mutated)
+      << ctx << " accepted payload did not re-encode bit-identically";
+}
+
+TEST(DecodeFuzzTest, EnvelopeDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0xE4E10BE5ull)) {
+    RunEnvelopeIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, WireRequestDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0x317E0E01ull)) {
+    RunWireRequestIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, WireResponseDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0x317E0E02ull)) {
+    RunWireResponseIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, WireErrorDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0x317E0E03ull)) {
+    RunWireErrorIteration(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
@@ -718,12 +946,43 @@ TEST(DecodeFuzzTest, HostileCountsFailBeforeAllocation) {
         Container::Deserialize(&cursor, cursor + bytes.size());
     ASSERT_FALSE(r.ok());
   }
+  {
+    // Wire request claiming 2^30 strategy ids over an empty remainder.
+    const Result<wire::WireQueryRequest> r =
+        wire::DecodeQueryRequest(Hex("00000040"));
+    ASSERT_FALSE(r.ok());
+  }
+  {
+    // Wire response claiming 2^30 segment results over an empty remainder.
+    const Result<wire::WireQueryResponse> r =
+        wire::DecodeQueryResponse(Hex("00000040"));
+    ASSERT_FALSE(r.ok());
+  }
+  {
+    // Wire response with valid empty segments and stats, then a span count
+    // of 2^32-1: rejected against the remaining bytes before resize.
+    std::string payload;
+    wire::PutU32(&payload, 0);  // segments
+    wire::PutU32(&payload, 0);  // retries
+    wire::PutU32(&payload, 0);  // faults_survived
+    wire::PutU64(&payload, 0);  // bytes_from_cold
+    wire::PutU64(&payload, 0);  // hot_hits
+    wire::PutF64(&payload, 0);  // cpu_seconds
+    wire::PutU32(&payload, 0xffffffffu);  // hostile span count
+    ASSERT_FALSE(wire::DecodeQueryResponse(payload).ok());
+  }
+  {
+    // Wire error whose message claims 4 GiB: the string cap rejects it
+    // before any allocation.
+    ASSERT_FALSE(wire::DecodeError(Hex("01" "ffffffff")).ok());
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Regression corpus: hand-crafted malformed blobs, every one of which must
 // be rejected cleanly. Lines: "<decoder> <hex>  # comment", decoder one of
-// container / roaring / bsi / storefile.
+// container / roaring / bsi / storefile / envelope / queryrequest /
+// queryresponse / wireerror.
 // ---------------------------------------------------------------------------
 
 TEST(DecodeFuzzTest, MalformedCorpusIsRejected) {
@@ -756,6 +1015,14 @@ TEST(DecodeFuzzTest, MalformedCorpusIsRejected) {
       out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
       out.close();
       EXPECT_FALSE(BsiStore::LoadFromFile(path).ok()) << ctx;
+    } else if (decoder == "envelope") {
+      EXPECT_FALSE(wire::DecodeEnvelope(bytes).ok()) << ctx;
+    } else if (decoder == "queryrequest") {
+      EXPECT_FALSE(wire::DecodeQueryRequest(bytes).ok()) << ctx;
+    } else if (decoder == "queryresponse") {
+      EXPECT_FALSE(wire::DecodeQueryResponse(bytes).ok()) << ctx;
+    } else if (decoder == "wireerror") {
+      EXPECT_FALSE(wire::DecodeError(bytes).ok()) << ctx;
     } else {
       ADD_FAILURE() << "unknown decoder in corpus: " << decoder;
     }

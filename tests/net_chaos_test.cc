@@ -1,0 +1,576 @@
+// Network chaos suite (DESIGN.md §9, docs/TESTING.md "Network chaos"):
+// seeded fault schedules over the net.* sites replayed against a REAL
+// TCP serving stack -- node servers on loopback, the scatter/gather
+// coordinator in front. The invariants mirror the in-process chaos suite:
+//
+//   (a) a fault-free remote scorecard is BIT-IDENTICAL to the in-process
+//       AdhocCluster's and the scalar oracle's;
+//   (b) a degraded result enumerates exactly the lost segments -- every
+//       other segment's values still match the fault-free run bit for bit
+//       (never a silent loss);
+//   (c) no crash, no hang: drops and truncations surface as prompt
+//       connection closes, never timeout races, so schedules replay
+//       deterministically.
+//
+// Reproducing a failure: every assertion message carries the iteration
+// seed. Re-run just that seed with
+//
+//   EXPBSI_CHAOS_SEED=<seed> ./build/tests/expbsi_tests
+//       --gtest_filter='NetChaosTest.*'   (one command, line-wrapped)
+//
+// EXPBSI_CHAOS_ITERS widens the random exploration (the CI net job runs
+// 200 in Release); tests/corpus/net_seeds.txt is replayed BEFORE the
+// exploration. EXPBSI_CHAOS_LOG=1 prints a one-line classification per
+// seed, which is how corpus candidates are hunted.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/adhoc_cluster.h"
+#include "common/fault_injector.h"
+#include "common/rng.h"
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+#include "net/coordinator.h"
+#include "net/node_server.h"
+
+namespace expbsi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed schedule (same shape as chaos_test.cc).
+// ---------------------------------------------------------------------------
+
+uint64_t Splitmix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<uint64_t> NetCorpusSeeds() {
+  std::vector<uint64_t> seeds;
+#ifdef EXPBSI_CORPUS_DIR
+  std::ifstream in(std::string(EXPBSI_CORPUS_DIR) + "/net_seeds.txt");
+  EXPECT_TRUE(in.good()) << "missing corpus file " << EXPBSI_CORPUS_DIR
+                         << "/net_seeds.txt";
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    uint64_t seed;
+    if (ls >> seed) seeds.push_back(seed);
+  }
+  EXPECT_GE(seeds.size(), 4u) << "net chaos corpus unexpectedly small";
+#endif
+  return seeds;
+}
+
+int ExploreIters() {
+  if (const char* env = std::getenv("EXPBSI_CHAOS_ITERS")) {
+    return static_cast<int>(std::strtol(env, nullptr, 0));
+  }
+  return 25;
+}
+
+std::vector<uint64_t> SeedSchedule(uint64_t base) {
+  if (const char* env = std::getenv("EXPBSI_CHAOS_SEED")) {
+    return {static_cast<uint64_t>(std::strtoull(env, nullptr, 0))};
+  }
+  std::vector<uint64_t> seeds = NetCorpusSeeds();
+  uint64_t x = base;
+  for (int i = 0, n = ExploreIters(); i < n; ++i) {
+    x = Splitmix(x);
+    seeds.push_back(x);
+  }
+  return seeds;
+}
+
+std::string Ctx(uint64_t seed, const std::string& what) {
+  return what + " (reproduce: EXPBSI_CHAOS_SEED=" + std::to_string(seed) +
+         " ./build/tests/expbsi_tests"
+         " --gtest_filter='NetChaosTest.*')";
+}
+
+bool ChaosLogEnabled() {
+  static const bool enabled = std::getenv("EXPBSI_CHAOS_LOG") != nullptr;
+  return enabled;
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: one dataset, fault-free baselines, warehouse store shared by
+// every node server. Servers are restarted per iteration so their fault op
+// counters (accepts, requests, sends) restart from zero -- a schedule is a
+// pure function of the seed, not of how many iterations ran before it.
+// ---------------------------------------------------------------------------
+
+constexpr Date kLo = 10;
+constexpr Date kHi = 14;
+constexpr int kNumNodes = 3;
+const std::vector<uint64_t> kStrategies = {801, 802};
+const std::vector<uint64_t> kMetrics = {901, 902};
+
+class NetChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.num_users = 3000;
+    config.num_segments = 6;
+    config.num_days = 5;
+    config.start_date = kLo;
+    config.seed = 71;
+
+    ExperimentConfig exp;
+    exp.strategy_ids = {801, 802};
+    exp.arm_effects = {1.0, 1.1};
+    exp.traffic_salt = 5;
+
+    MetricConfig m1;
+    m1.metric_id = 901;
+    m1.value_range = 100;
+    m1.daily_participation = 0.5;
+    MetricConfig m2;
+    m2.metric_id = 902;
+    m2.value_range = 1;
+    m2.daily_participation = 0.7;
+
+    dataset_ = new Dataset(GenerateDataset(config, {exp}, {m1, m2}, {}));
+    bsi_ = new ExperimentBsiData(BuildExperimentBsiData(*dataset_, true));
+    cold_ = new BsiStore(BuildColdStore(*bsi_));
+    baseline_ = new std::map<StrategyMetricPair, BucketValues>();
+    for (uint64_t s : kStrategies) {
+      for (uint64_t m : kMetrics) {
+        (*baseline_)[{s, m}] = ComputeStrategyMetricBsi(*bsi_, s, m, kLo, kHi);
+      }
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete cold_;
+    delete bsi_;
+    delete dataset_;
+  }
+
+  struct Fleet {
+    std::vector<std::unique_ptr<net::NodeServer>> nodes;
+    net::CoordinatorOptions options;
+
+    ~Fleet() {
+      for (auto& node : nodes) node->Stop();
+    }
+  };
+
+  static std::unique_ptr<Fleet> StartFleet(bool allow_degraded,
+                                           double deadline_seconds = 10.0) {
+    auto fleet = std::make_unique<Fleet>();
+    for (int i = 0; i < kNumNodes; ++i) {
+      net::NodeServerOptions node_options;
+      node_options.node_id = i;
+      auto node = std::make_unique<net::NodeServer>(cold_, node_options);
+      EXPECT_TRUE(node->Start().ok());
+      fleet->options.node_ports.push_back(node->port());
+      fleet->nodes.push_back(std::move(node));
+    }
+    fleet->options.num_segments = dataset_->config.num_segments;
+    fleet->options.allow_degraded = allow_degraded;
+    fleet->options.query_deadline_seconds = deadline_seconds;
+    return fleet;
+  }
+
+  static void ExpectMatchesBaselineExcept(
+      const std::map<StrategyMetricPair, BucketValues>& results,
+      const std::vector<int>& lost_segments, const std::string& ctx) {
+    const std::set<int> lost(lost_segments.begin(), lost_segments.end());
+    ASSERT_EQ(results.size(), baseline_->size()) << ctx;
+    for (const auto& [pair, values] : results) {
+      const BucketValues& want = baseline_->at(pair);
+      ASSERT_EQ(values.sums.size(), want.sums.size()) << ctx;
+      ASSERT_EQ(values.counts.size(), want.counts.size()) << ctx;
+      for (size_t seg = 0; seg < values.sums.size(); ++seg) {
+        if (lost.count(static_cast<int>(seg)) > 0) {
+          EXPECT_EQ(values.sums[seg], 0.0)
+              << ctx << " lost segment " << seg << " has a nonzero sum";
+          EXPECT_EQ(values.counts[seg], 0.0)
+              << ctx << " lost segment " << seg << " has a nonzero count";
+        } else {
+          EXPECT_EQ(values.sums[seg], want.sums[seg])
+              << ctx << " pair " << pair.first << "/" << pair.second
+              << " segment " << seg << " diverged without being reported";
+          EXPECT_EQ(values.counts[seg], want.counts[seg])
+              << ctx << " pair " << pair.first << "/" << pair.second
+              << " segment " << seg << " count diverged";
+        }
+      }
+    }
+  }
+
+  static void ExpectDegradedInfoWellFormed(
+      const AdhocCluster::DegradedInfo& info, const std::string& ctx) {
+    EXPECT_TRUE(std::is_sorted(info.lost_segments.begin(),
+                               info.lost_segments.end()))
+        << ctx;
+    EXPECT_EQ(std::adjacent_find(info.lost_segments.begin(),
+                                 info.lost_segments.end()),
+              info.lost_segments.end())
+        << ctx << " duplicate lost segment";
+    for (int seg : info.lost_segments) {
+      EXPECT_GE(seg, 0) << ctx;
+      EXPECT_LT(seg, dataset_->config.num_segments) << ctx;
+    }
+    EXPECT_EQ(info.segments_answered,
+              dataset_->config.num_segments -
+                  static_cast<int>(info.lost_segments.size()))
+        << ctx;
+  }
+
+  // One chaos iteration: draw per-site probabilities from the seed, start a
+  // fresh fleet, run one degraded-mode scorecard query under injection, and
+  // check invariants (a)-(c). The schedule covers both link directions
+  // (net.send fires on the coordinator's endpoints AND the nodes' reply
+  // endpoints), accept-time drops, mid-scatter node kills, and node-local
+  // warehouse faults (tier.fetch) so node-side retry/loss accounting is
+  // exercised through the wire too.
+  static void RunNetIteration(uint64_t seed) {
+    Rng rng(seed);
+    FaultInjector injector(Splitmix(seed ^ 0x4E7C4405ull));
+    injector.SetFailProbability(fault_sites::kNetSend,
+                                rng.NextBounded(16) / 100.0);
+    injector.SetTruncateProbability(fault_sites::kNetSend,
+                                    rng.NextBounded(11) / 100.0);
+    injector.SetDuplicateProbability(fault_sites::kNetSend,
+                                     rng.NextBounded(16) / 100.0);
+    injector.SetDelayProbability(fault_sites::kNetSend,
+                                 rng.NextBounded(11) / 100.0,
+                                 /*delay_seconds=*/0.002);
+    injector.SetFailProbability(fault_sites::kNetAccept,
+                                rng.NextBounded(11) / 100.0);
+    injector.SetCrashProbability(fault_sites::kNetNodeCrash,
+                                 rng.NextBounded(7) / 100.0);
+    injector.SetFailProbability(fault_sites::kTierFetch,
+                                rng.NextBounded(11) / 100.0);
+    injector.SetCorruptProbability(fault_sites::kTierFetch,
+                                   rng.NextBounded(11) / 100.0);
+
+    std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/true);
+    net::Coordinator coordinator(fleet->options);
+    Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+    {
+      ScopedFaultInjection scoped(&injector);
+      result = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+    }
+    const std::string ctx = Ctx(seed, "net chaos");
+    ASSERT_TRUE(result.ok()) << ctx << " degraded-mode query failed: "
+                             << result.status().ToString();
+    const AdhocCluster::QueryStats& stats = result.value();
+    ExpectDegradedInfoWellFormed(stats.degraded, ctx);
+    ExpectMatchesBaselineExcept(stats.results, stats.degraded.lost_segments,
+                                ctx);
+    if (ChaosLogEnabled()) {
+      const FaultInjector::Stats fs = injector.stats();
+      std::fprintf(
+          stderr,
+          "[netchaos] seed=%llu lost=%d nodes_lost=%d survived=%d "
+          "drops=%llu dups=%llu truncs=%llu crashes=%llu injected=%llu\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<int>(stats.degraded.lost_segments.size()),
+          stats.degraded.nodes_lost, stats.degraded.faults_survived,
+          static_cast<unsigned long long>(fs.fails),
+          static_cast<unsigned long long>(fs.duplicates),
+          static_cast<unsigned long long>(fs.truncations),
+          static_cast<unsigned long long>(fs.crashes),
+          static_cast<unsigned long long>(fs.any()));
+    }
+  }
+
+  static Dataset* dataset_;
+  static ExperimentBsiData* bsi_;
+  static BsiStore* cold_;
+  static std::map<StrategyMetricPair, BucketValues>* baseline_;
+};
+
+Dataset* NetChaosTest::dataset_ = nullptr;
+ExperimentBsiData* NetChaosTest::bsi_ = nullptr;
+BsiStore* NetChaosTest::cold_ = nullptr;
+std::map<StrategyMetricPair, BucketValues>* NetChaosTest::baseline_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Baseline sanity: the fault-free remote answer IS the oracle answer.
+// ---------------------------------------------------------------------------
+
+TEST_F(NetChaosTest, FaultFreeRemoteQueryMatchesScalarOracle) {
+  ASSERT_EQ(FaultInjector::Get(), nullptr);
+  std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/false);
+  net::Coordinator coordinator(fleet->options);
+  const auto stats = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats.value().degraded.degraded());
+  ExpectMatchesBaselineExcept(stats.value().results, {}, "fault-free");
+}
+
+// ---------------------------------------------------------------------------
+// The seeded sweep (corpus first, then exploration).
+// ---------------------------------------------------------------------------
+
+TEST_F(NetChaosTest, SurvivesSeededNetFaultSchedules) {
+  for (uint64_t seed : SeedSchedule(0x4E7C4A05ull)) {
+    RunNetIteration(seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Same seed, fresh fleet, fresh coordinator, fresh injector: results and
+// degradation accounting replay identically even though real sockets and
+// threads are involved (drops are connection closes, not timing races).
+TEST_F(NetChaosTest, SameSeedReplaysIdentically) {
+  const uint64_t seed = Splitmix(0x4E7DE7ull);
+  auto run = [&](std::map<StrategyMetricPair, BucketValues>* results,
+                 AdhocCluster::DegradedInfo* degraded) {
+    FaultInjector injector(Splitmix(seed ^ 0x4E7C4405ull));
+    injector.SetFailProbability(fault_sites::kNetSend, 0.15);
+    injector.SetTruncateProbability(fault_sites::kNetSend, 0.08);
+    injector.SetDuplicateProbability(fault_sites::kNetSend, 0.10);
+    injector.SetCrashProbability(fault_sites::kNetNodeCrash, 0.10);
+    std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/true);
+    net::Coordinator coordinator(fleet->options);
+    ScopedFaultInjection scoped(&injector);
+    const auto stats = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    *results = stats.value().results;
+    *degraded = stats.value().degraded;
+  };
+  std::map<StrategyMetricPair, BucketValues> first, second;
+  AdhocCluster::DegradedInfo dfirst, dsecond;
+  run(&first, &dfirst);
+  if (HasFatalFailure()) return;
+  run(&second, &dsecond);
+  if (HasFatalFailure()) return;
+  ASSERT_EQ(first.size(), second.size());
+  for (const auto& [pair, values] : first) {
+    EXPECT_EQ(values.sums, second.at(pair).sums);
+    EXPECT_EQ(values.counts, second.at(pair).counts);
+  }
+  EXPECT_EQ(dfirst.lost_segments, dsecond.lost_segments);
+  EXPECT_EQ(dfirst.segments_answered, dsecond.segments_answered);
+  EXPECT_EQ(dfirst.nodes_lost, dsecond.nodes_lost);
+  EXPECT_EQ(dfirst.faults_survived, dsecond.faults_survived);
+}
+
+// ---------------------------------------------------------------------------
+// Named scenarios (hand-pinned schedules).
+// ---------------------------------------------------------------------------
+
+// Kill-at-every-wave sweep: node j is killed on its j-th admitted request,
+// so the first kill orphans wave 1's segments, the second kills the node
+// that picked them up in wave 2, the third kills the last survivor in wave
+// 3. With any survivor left nothing is lost; with none, the loss is exact
+// and enumerated -- never silent.
+TEST_F(NetChaosTest, KillAtEveryWaveNeverLosesDataSilently) {
+  for (int kill_waves = 1; kill_waves <= kNumNodes; ++kill_waves) {
+    const std::string ctx =
+        "kill-at-wave sweep, kills=" + std::to_string(kill_waves);
+    FaultInjector injector(/*seed=*/21);
+    for (int j = 0; j < kill_waves; ++j) {
+      injector.ScheduleFault(
+          fault_sites::kNetNodeCrash,
+          static_cast<uint64_t>(j) * kNetOpStride + static_cast<uint64_t>(j),
+          FaultKind::kCrash);
+    }
+    std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/true);
+    net::Coordinator coordinator(fleet->options);
+    Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+    {
+      ScopedFaultInjection scoped(&injector);
+      result = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+    }
+    ASSERT_TRUE(result.ok()) << ctx << ": " << result.status().ToString();
+    const AdhocCluster::QueryStats& stats = result.value();
+    EXPECT_EQ(stats.degraded.nodes_lost, kill_waves) << ctx;
+    ExpectDegradedInfoWellFormed(stats.degraded, ctx);
+    ExpectMatchesBaselineExcept(stats.results, stats.degraded.lost_segments,
+                                ctx);
+    if (kill_waves < kNumNodes) {
+      EXPECT_TRUE(stats.degraded.lost_segments.empty())
+          << ctx << " lost data with survivors available";
+      EXPECT_GE(stats.degraded.faults_survived, kill_waves) << ctx;
+    } else {
+      EXPECT_FALSE(stats.degraded.lost_segments.empty())
+          << ctx << " total node loss reported no lost segments";
+    }
+    for (int j = 0; j < kNumNodes; ++j) {
+      EXPECT_EQ(fleet->nodes[j]->crashed(), j < kill_waves) << ctx;
+    }
+  }
+
+  // Strict mode: total node loss is an error, not a quiet zero scorecard.
+  FaultInjector injector(/*seed=*/22);
+  injector.SetCrashProbability(fault_sites::kNetNodeCrash, 1.0);
+  std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/false);
+  net::Coordinator coordinator(fleet->options);
+  ScopedFaultInjection scoped(&injector);
+  const auto strict = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kUnavailable);
+}
+
+// A truncated response frame: the coordinator sees a short read mid-frame,
+// treats the node as dead and requeues its wave. Nothing is lost and the
+// final scorecard is still bit-identical.
+TEST_F(NetChaosTest, TruncatedResponseRequeuesWithoutLoss) {
+  FaultInjector injector(/*seed=*/23);
+  // Op 0 = node 0's first reply send (server endpoints are the node ids).
+  injector.ScheduleFault(fault_sites::kNetSend, 0, FaultKind::kTruncate);
+  std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/true);
+  net::Coordinator coordinator(fleet->options);
+  Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+  {
+    ScopedFaultInjection scoped(&injector);
+    result = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().degraded.lost_segments.empty());
+  EXPECT_EQ(result.value().degraded.nodes_lost, 1);
+  EXPECT_GE(result.value().degraded.faults_survived, 1);
+  EXPECT_EQ(injector.stats().truncations, 1u);
+  ExpectMatchesBaselineExcept(result.value().results, {},
+                              "truncated-response");
+}
+
+// A dropped request frame on the coordinator's side of the link: the
+// connection closes before the node ever sees the query; requeue recovers.
+TEST_F(NetChaosTest, DroppedRequestRequeuesWithoutLoss) {
+  FaultInjector injector(/*seed=*/24);
+  injector.ScheduleFault(fault_sites::kNetSend,
+                         kNetClientEndpointBase * kNetOpStride,
+                         FaultKind::kFail);
+  std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/true);
+  net::Coordinator coordinator(fleet->options);
+  Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+  {
+    ScopedFaultInjection scoped(&injector);
+    result = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().degraded.lost_segments.empty());
+  ExpectMatchesBaselineExcept(result.value().results, {}, "dropped-request");
+}
+
+// A duplicated reply frame: the extra copy sits unread in the (per-RPC)
+// connection and must not confuse the gather -- the result is exactly the
+// fault-free one with no degradation recorded.
+TEST_F(NetChaosTest, DuplicatedReplyIsHarmless) {
+  FaultInjector injector(/*seed=*/25);
+  injector.ScheduleFault(fault_sites::kNetSend, 0, FaultKind::kDuplicate);
+  std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/true);
+  net::Coordinator coordinator(fleet->options);
+  Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+  {
+    ScopedFaultInjection scoped(&injector);
+    result = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().degraded.degraded());
+  EXPECT_EQ(result.value().degraded.nodes_lost, 0);
+  EXPECT_EQ(injector.stats().duplicates, 1u);
+  ExpectMatchesBaselineExcept(result.value().results, {}, "duplicated-reply");
+}
+
+// An accept-time drop: the TCP handshake lands (backlog) but the server
+// closes the connection before reading; the coordinator sees a prompt EOF,
+// not a deadline stall, and requeues.
+TEST_F(NetChaosTest, AcceptDropRequeuesWithoutLoss) {
+  FaultInjector injector(/*seed=*/26);
+  injector.ScheduleFault(fault_sites::kNetAccept, 0, FaultKind::kFail);
+  std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/true);
+  net::Coordinator coordinator(fleet->options);
+  Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+  {
+    ScopedFaultInjection scoped(&injector);
+    result = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().degraded.lost_segments.empty());
+  ExpectMatchesBaselineExcept(result.value().results, {}, "accept-drop");
+}
+
+// Deadline expiry: every frame send is delayed past the query deadline. In
+// degraded mode every unanswered segment is enumerated as lost; in strict
+// mode the query fails Unavailable. Either way, never a partial scorecard
+// pretending to be whole.
+TEST_F(NetChaosTest, DeadlineExpiryEnumeratesEveryUnansweredSegment) {
+  {
+    FaultInjector injector(/*seed=*/27);
+    injector.SetDelayProbability(fault_sites::kNetSend, 1.0,
+                                 /*delay_seconds=*/0.2);
+    std::unique_ptr<Fleet> fleet =
+        StartFleet(/*allow_degraded=*/true, /*deadline_seconds=*/0.05);
+    net::Coordinator coordinator(fleet->options);
+    Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+    {
+      ScopedFaultInjection scoped(&injector);
+      result = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+    }
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const AdhocCluster::DegradedInfo& info = result.value().degraded;
+    ExpectDegradedInfoWellFormed(info, "deadline-degraded");
+    EXPECT_EQ(static_cast<int>(info.lost_segments.size()),
+              dataset_->config.num_segments)
+        << "every segment was unanswered, every one must be enumerated";
+    ExpectMatchesBaselineExcept(result.value().results, info.lost_segments,
+                                "deadline-degraded");
+  }
+  {
+    FaultInjector injector(/*seed=*/28);
+    injector.SetDelayProbability(fault_sites::kNetSend, 1.0,
+                                 /*delay_seconds=*/0.2);
+    std::unique_ptr<Fleet> fleet =
+        StartFleet(/*allow_degraded=*/false, /*deadline_seconds=*/0.05);
+    net::Coordinator coordinator(fleet->options);
+    ScopedFaultInjection scoped(&injector);
+    const auto strict = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kUnavailable);
+  }
+}
+
+// Node-side warehouse faults travel the wire correctly: persistent fetch
+// corruption on one segment's blobs exhausts node-side retries, comes back
+// as lost=1 for exactly that segment, and is NOT requeued (the node is
+// alive; retries already ran next to the data).
+TEST_F(NetChaosTest, NodeSideLossIsReportedNotRequeued) {
+  FaultInjector injector(/*seed=*/29);
+  injector.SetCorruptProbability(fault_sites::kTierFetch, 1.0);
+  std::unique_ptr<Fleet> fleet = StartFleet(/*allow_degraded=*/true);
+  net::Coordinator coordinator(fleet->options);
+  Result<AdhocCluster::QueryStats> result(Status::Unavailable("not run"));
+  {
+    ScopedFaultInjection scoped(&injector);
+    result = coordinator.QueryBsi(kStrategies, kMetrics, kLo, kHi);
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AdhocCluster::DegradedInfo& info = result.value().degraded;
+  // Every fetch corrupts, so every segment is lost -- but through the
+  // node-is-alive path: no node was declared dead.
+  EXPECT_EQ(static_cast<int>(info.lost_segments.size()),
+            dataset_->config.num_segments);
+  EXPECT_EQ(info.nodes_lost, 0);
+  ExpectDegradedInfoWellFormed(info, "node-side-loss");
+  ExpectMatchesBaselineExcept(result.value().results, info.lost_segments,
+                              "node-side-loss");
+}
+
+}  // namespace
+}  // namespace expbsi

@@ -1,0 +1,304 @@
+// Cross-process differential test (DESIGN.md §9): spawn REAL expbsi_node
+// processes (the binary built from src/net/node_main.cc), run a full
+// scorecard sweep through the scatter/gather coordinator against them, and
+// require the results bit-identical to (1) the in-process AdhocCluster on
+// the same data and (2) the direct engine. This is the end-to-end proof
+// that the wire codec, the transport and the node execution path preserve
+// every bit across a genuine process boundary -- no shared memory, no
+// shared allocator, nothing but the protocol.
+//
+// Node lifecycle: each child gets the warehouse as a BsiStore file
+// (SaveToFile/LoadFromFile), prints "PORT <p>" on stdout once listening,
+// and serves until its stdin (a pipe held by this process) reaches EOF --
+// so children can never outlive the test, even if it dies mid-run.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/adhoc_cluster.h"
+#include "engine/experiment_data.h"
+#include "engine/scorecard.h"
+#include "expdata/generator.h"
+#include "net/coordinator.h"
+
+namespace expbsi {
+namespace {
+
+#ifndef EXPBSI_NODE_BINARY
+#error "EXPBSI_NODE_BINARY must point at the expbsi_node executable"
+#endif
+
+constexpr int kNumNodes = 3;
+constexpr Date kLo = 30;
+constexpr Date kHi = 35;
+
+// One spawned expbsi_node. The child's stdin is `stdin_fd` (closing it
+// shuts the node down); its stdout was read just long enough to learn the
+// port and is then left to the child.
+struct NodeProcess {
+  pid_t pid = -1;
+  int stdin_fd = -1;
+  uint16_t port = 0;
+};
+
+// Forks and execs one node; returns pid -1 on any setup failure.
+NodeProcess SpawnNode(const std::string& store_path, int node_id) {
+  NodeProcess node;
+  int to_child[2];   // parent writes (never does) -> child stdin
+  int from_child[2]; // child stdout -> parent reads the PORT line
+  if (::pipe(to_child) != 0) return node;
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return node;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      ::close(fd);
+    }
+    return node;
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout and exec the node binary.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      ::close(fd);
+    }
+    const std::string store_arg = "--store=" + store_path;
+    const std::string id_arg = "--node-id=" + std::to_string(node_id);
+    ::execl(EXPBSI_NODE_BINARY, EXPBSI_NODE_BINARY, store_arg.c_str(),
+            id_arg.c_str(), static_cast<char*>(nullptr));
+    std::perror("execl(expbsi_node)");
+    ::_exit(127);
+  }
+  // Parent.
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  node.pid = pid;
+  node.stdin_fd = to_child[1];
+
+  // Read the "PORT <p>\n" line. The child loads the store first, so allow
+  // it a generous amount of time; reads block until it writes or dies.
+  std::string line;
+  char ch;
+  while (line.size() < 64) {
+    const ssize_t n = ::read(from_child[0], &ch, 1);
+    if (n <= 0) break;
+    if (ch == '\n') break;
+    line.push_back(ch);
+  }
+  ::close(from_child[0]);
+  unsigned port = 0;
+  if (std::sscanf(line.c_str(), "PORT %u", &port) == 1 && port > 0 &&
+      port <= 65535) {
+    node.port = static_cast<uint16_t>(port);
+  }
+  return node;
+}
+
+void StopNode(NodeProcess* node) {
+  if (node->stdin_fd >= 0) {
+    ::close(node->stdin_fd);  // EOF on the child's stdin -> clean shutdown
+    node->stdin_fd = -1;
+  }
+  if (node->pid > 0) {
+    int status = 0;
+    // Bounded wait: poll for exit, escalate to SIGKILL if the child wedges.
+    for (int i = 0; i < 200; ++i) {
+      const pid_t r = ::waitpid(node->pid, &status, WNOHANG);
+      if (r == node->pid) {
+        node->pid = -1;
+        return;
+      }
+      ::usleep(25 * 1000);
+    }
+    ::kill(node->pid, SIGKILL);
+    ::waitpid(node->pid, &status, 0);
+    node->pid = -1;
+  }
+}
+
+TEST(NetProcessTest, CoordinatorOverRealProcessesIsBitIdentical) {
+  // Dataset distinct from the other suites', so a passing run here is not
+  // an artifact of shared fixtures.
+  DatasetConfig config;
+  config.num_users = 5000;
+  config.num_segments = 7;  // not a multiple of the node count
+  config.num_days = 6;
+  config.start_date = kLo;
+  config.seed = 83;
+
+  ExperimentConfig exp;
+  exp.strategy_ids = {801, 802, 803};
+  exp.arm_effects = {1.0, 1.08, 0.95};
+  exp.traffic_salt = 7;
+
+  MetricConfig m1;
+  m1.metric_id = 901;
+  m1.value_range = 50;
+  m1.daily_participation = 0.6;
+  MetricConfig m2;
+  m2.metric_id = 902;
+  m2.value_range = 1;
+  m2.daily_participation = 0.8;
+
+  const Dataset dataset = GenerateDataset(config, {exp}, {m1, m2}, {});
+  const ExperimentBsiData bsi = BuildExperimentBsiData(dataset, true);
+  const BsiStore cold = BuildColdStore(bsi);
+
+  const std::string store_path =
+      ::testing::TempDir() + "expbsi_net_process_store.bin";
+  ASSERT_TRUE(cold.SaveToFile(store_path).ok());
+
+  std::vector<NodeProcess> nodes(kNumNodes);
+  net::CoordinatorOptions options;
+  for (int i = 0; i < kNumNodes; ++i) {
+    nodes[i] = SpawnNode(store_path, i);
+    ASSERT_GT(nodes[i].pid, 0) << "failed to spawn node " << i;
+    ASSERT_GT(nodes[i].port, 0)
+        << "node " << i << " never reported its port";
+    options.node_ports.push_back(nodes[i].port);
+  }
+  options.num_segments = config.num_segments;
+
+  const std::vector<uint64_t> strategies = {801, 802, 803};
+  const std::vector<uint64_t> metrics = {901, 902};
+
+  AdhocClusterConfig cluster_config;
+  cluster_config.num_nodes = kNumNodes;
+  AdhocCluster cluster(&dataset, &bsi, cluster_config);
+
+  net::Coordinator coordinator(options);
+
+  // Full sweep: the whole range plus every suffix subrange (the per-day
+  // exposure filters make subranges a distinct code path).
+  for (Date lo = kLo; lo <= kHi; ++lo) {
+    SCOPED_TRACE("date range " + std::to_string(lo) + ".." +
+                 std::to_string(kHi));
+    const Result<AdhocCluster::QueryStats> remote =
+        coordinator.QueryBsi(strategies, metrics, lo, kHi);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    EXPECT_FALSE(remote.value().degraded.degraded());
+
+    const Result<AdhocCluster::QueryStats> local =
+        cluster.QueryBsi(strategies, metrics, lo, kHi);
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+
+    ASSERT_EQ(remote.value().results.size(), local.value().results.size());
+    for (const auto& [pair, values] : remote.value().results) {
+      const BucketValues& in_process = local.value().results.at(pair);
+      EXPECT_EQ(values.sums, in_process.sums)
+          << "pair " << pair.first << "/" << pair.second
+          << " diverged from the in-process cluster";
+      EXPECT_EQ(values.counts, in_process.counts)
+          << "pair " << pair.first << "/" << pair.second;
+      const BucketValues direct =
+          ComputeStrategyMetricBsi(bsi, pair.first, pair.second, lo, kHi);
+      EXPECT_EQ(values.sums, direct.sums)
+          << "pair " << pair.first << "/" << pair.second
+          << " diverged from the direct engine";
+      EXPECT_EQ(values.counts, direct.counts)
+          << "pair " << pair.first << "/" << pair.second;
+    }
+  }
+
+  // A second full-range query exercises the node-side hot tier (first
+  // round pulled everything cold); still bit-identical.
+  const Result<AdhocCluster::QueryStats> warm =
+      coordinator.QueryBsi(strategies, metrics, kLo, kHi);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_GT(warm.value().hot_hits, 0u);
+  for (const auto& [pair, values] : warm.value().results) {
+    const BucketValues direct =
+        ComputeStrategyMetricBsi(bsi, pair.first, pair.second, kLo, kHi);
+    EXPECT_EQ(values.sums, direct.sums);
+    EXPECT_EQ(values.counts, direct.counts);
+  }
+
+  for (NodeProcess& node : nodes) StopNode(&node);
+  ::unlink(store_path.c_str());
+}
+
+// Killing a real node process mid-sweep degrades gracefully: the
+// coordinator requeues its segments onto the surviving processes and the
+// answer stays complete and bit-identical.
+TEST(NetProcessTest, KilledProcessIsRoutedAround) {
+  DatasetConfig config;
+  config.num_users = 2000;
+  config.num_segments = 6;
+  config.num_days = 4;
+  config.start_date = kLo;
+  config.seed = 89;
+
+  ExperimentConfig exp;
+  exp.strategy_ids = {801, 802};
+  exp.arm_effects = {1.0, 1.1};
+  exp.traffic_salt = 9;
+
+  MetricConfig m1;
+  m1.metric_id = 901;
+  m1.value_range = 20;
+  m1.daily_participation = 0.5;
+
+  const Dataset dataset = GenerateDataset(config, {exp}, {m1}, {});
+  const ExperimentBsiData bsi = BuildExperimentBsiData(dataset, true);
+  const BsiStore cold = BuildColdStore(bsi);
+  const std::string store_path =
+      ::testing::TempDir() + "expbsi_net_process_kill_store.bin";
+  ASSERT_TRUE(cold.SaveToFile(store_path).ok());
+
+  std::vector<NodeProcess> nodes(kNumNodes);
+  net::CoordinatorOptions options;
+  for (int i = 0; i < kNumNodes; ++i) {
+    nodes[i] = SpawnNode(store_path, i);
+    ASSERT_GT(nodes[i].pid, 0);
+    ASSERT_GT(nodes[i].port, 0);
+    options.node_ports.push_back(nodes[i].port);
+  }
+  options.num_segments = config.num_segments;
+  options.allow_degraded = true;
+
+  const std::vector<uint64_t> strategies = {801, 802};
+  const std::vector<uint64_t> metrics = {901};
+  const Date hi = static_cast<Date>(kLo + config.num_days - 1);
+
+  net::Coordinator coordinator(options);
+  const Result<AdhocCluster::QueryStats> before =
+      coordinator.QueryBsi(strategies, metrics, kLo, hi);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_FALSE(before.value().degraded.degraded());
+
+  // Kill node 1 outright -- a genuine dead process, connection refused.
+  ::kill(nodes[1].pid, SIGKILL);
+  int status = 0;
+  ::waitpid(nodes[1].pid, &status, 0);
+  nodes[1].pid = -1;
+
+  const Result<AdhocCluster::QueryStats> after =
+      coordinator.QueryBsi(strategies, metrics, kLo, hi);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after.value().degraded.lost_segments.empty())
+      << "segments of the killed process were not requeued";
+  EXPECT_EQ(after.value().degraded.nodes_lost, 1);
+  for (const auto& [pair, values] : after.value().results) {
+    EXPECT_EQ(values.sums, before.value().results.at(pair).sums);
+    EXPECT_EQ(values.counts, before.value().results.at(pair).counts);
+  }
+
+  for (NodeProcess& node : nodes) StopNode(&node);
+  ::unlink(store_path.c_str());
+}
+
+}  // namespace
+}  // namespace expbsi

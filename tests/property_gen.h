@@ -564,6 +564,12 @@ struct FaultSchedule {
           injector->SetDelayProbability(prob.site, prob.p,
                                         prob.delay_seconds);
           break;
+        case FaultKind::kDuplicate:
+          injector->SetDuplicateProbability(prob.site, prob.p);
+          break;
+        case FaultKind::kTruncate:
+          injector->SetTruncateProbability(prob.site, prob.p);
+          break;
       }
     }
     for (const OneShot& shot : one_shots) {

@@ -11,11 +11,14 @@
 // deterministic, named-scenario layer.
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -680,6 +683,172 @@ TEST(WalFaultTest, FsyncCrashStillDurableForTheFlushedRecord) {
   ASSERT_TRUE(replayed.ok());
   EXPECT_TRUE(report.clean());
   ExpectRecordsEq(replayed.value(), appended);
+}
+
+// ---------------------------------------------------------------------------
+// Group commit (WalOptions::group_commit): concurrent appends share fsync
+// barriers, but the acked-prefix durability contract is byte-for-byte the
+// one the single-append path gives -- Append returns only once its record
+// is on disk, and a record whose barrier died was flushed first, so it
+// still replays.
+// ---------------------------------------------------------------------------
+
+TEST(WalGroupCommitTest, ConcurrentAppendsAreDurableAndBatchFsyncs) {
+  const std::string dir = FreshDir("wal_group_batch");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+
+  // A real 2ms stall at every barrier: while one leader is inside its
+  // fsync, the other threads write their records and pile up behind it, so
+  // the next barrier covers the whole batch. This is what makes the
+  // fsync-count assertion below deterministic rather than a scheduling
+  // accident.
+  FaultInjector injector(/*seed=*/17);
+  injector.SetDelayProbability(fault_sites::kWalFsync, 1.0, 0.002);
+  ScopedFaultInjection scoped(&injector);
+
+  WalOptions options;
+  options.group_commit = true;  // sync_each_append stays true: acked=durable
+  std::map<uint64_t, std::vector<WalEvent>> acked;
+  std::mutex acked_mu;
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, options);
+    ASSERT_TRUE(writer.ok());
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::vector<WalEvent> events =
+              MakeEvents(1 + (i % 3), static_cast<uint64_t>(t) * 1000 + i);
+          const Result<uint64_t> seq = writer.value()->Append(events);
+          if (!seq.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          std::lock_guard<std::mutex> lock(acked_mu);
+          acked[seq.value()] = events;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    ASSERT_EQ(failures.load(), 0);
+    ASSERT_EQ(acked.size(), static_cast<size_t>(kThreads * kPerThread));
+    // Sequences are dense 1..N: group commit serializes assignment.
+    EXPECT_EQ(acked.begin()->first, 1u);
+    EXPECT_EQ(acked.rbegin()->first,
+              static_cast<uint64_t>(kThreads * kPerThread));
+    // The point of the feature: far fewer physical barriers than acked
+    // appends (each 2ms barrier above accumulates the other threads).
+    EXPECT_LT(writer.value()->fsyncs_performed(),
+              static_cast<uint64_t>(kThreads * kPerThread) / 2)
+        << "group commit did not batch: one fsync per append";
+    EXPECT_GE(writer.value()->fsyncs_performed(), 1u);
+  }
+
+  // Every acked record replays bit-identically at its acked sequence.
+  WalRecoveryReport report;
+  const Result<std::vector<WalRecord>> replayed = ReplayWal(dir, &report);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(replayed.value().size(), acked.size());
+  for (const WalRecord& record : replayed.value()) {
+    const auto it = acked.find(record.sequence);
+    ASSERT_NE(it, acked.end());
+    EXPECT_EQ(record.events, it->second)
+        << "sequence " << record.sequence << " diverged";
+  }
+}
+
+TEST(WalGroupCommitTest, AckedPrefixSurvivesGroupBarrierKill) {
+  const std::string dir = FreshDir("wal_group_barrier_kill");
+  std::vector<WalRecord> appended;
+  {
+    FaultInjector injector(/*seed=*/13);
+    injector.ScheduleFault(fault_sites::kWalFsync, 3, FaultKind::kFail);
+    ScopedFaultInjection scoped(&injector);
+    WalOptions options;
+    options.group_commit = true;
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, options);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t tag = 1; tag <= 3; ++tag) {
+      WalRecord record;
+      record.events = MakeEvents(static_cast<int>(tag), tag);
+      const Result<uint64_t> seq = writer.value()->Append(record.events);
+      ASSERT_TRUE(seq.ok());
+      record.sequence = seq.value();
+      appended.push_back(std::move(record));
+    }
+    // The fourth barrier dies AFTER the flush: the append fails and the
+    // writer is dead, but the record's bytes are on disk.
+    WalRecord fourth;
+    fourth.events = MakeEvents(2, 4);
+    fourth.sequence = 4;
+    EXPECT_FALSE(writer.value()->Append(fourth.events).ok());
+    EXPECT_TRUE(writer.value()->dead());
+    appended.push_back(std::move(fourth));
+    EXPECT_FALSE(writer.value()->Append(MakeEvents(1, 5)).ok())
+        << "a dead group-commit writer accepted an append";
+  }
+  WalRecoveryReport report;
+  const Result<std::vector<WalRecord>> replayed = ReplayWal(dir, &report);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(report.clean());
+  ExpectRecordsEq(replayed.value(), appended);
+}
+
+TEST(WalGroupCommitTest, ConcurrentAckedRecordsAlwaysReplayAfterBarrierLoss) {
+  const std::string dir = FreshDir("wal_group_concurrent_kill");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+
+  FaultInjector injector(/*seed=*/29);
+  injector.SetFailProbability(fault_sites::kWalFsync, 0.25);
+  ScopedFaultInjection scoped(&injector);
+
+  WalOptions options;
+  options.group_commit = true;
+  std::map<uint64_t, std::vector<WalEvent>> acked;
+  std::mutex acked_mu;
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, options);
+    ASSERT_TRUE(writer.ok());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::vector<WalEvent> events =
+              MakeEvents(1 + (i % 2), static_cast<uint64_t>(t) * 1000 + i);
+          const Result<uint64_t> seq = writer.value()->Append(events);
+          if (!seq.ok()) return;  // barrier died; everything acked so far holds
+          std::lock_guard<std::mutex> lock(acked_mu);
+          acked[seq.value()] = events;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_TRUE(writer.value()->dead())
+        << "a 25% barrier failure rate never fired across "
+        << kThreads * kPerThread << " appends";
+  }
+
+  // Replay is an exact prefix that contains EVERY acked record: an ack is a
+  // durability promise no later barrier failure can revoke.
+  WalRecoveryReport report;
+  const Result<std::vector<WalRecord>> replayed = ReplayWal(dir, &report);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(report.clean());
+  std::map<uint64_t, const WalRecord*> by_sequence;
+  for (const WalRecord& record : replayed.value()) {
+    by_sequence[record.sequence] = &record;
+  }
+  for (const auto& [sequence, events] : acked) {
+    const auto it = by_sequence.find(sequence);
+    ASSERT_NE(it, by_sequence.end())
+        << "acked record " << sequence << " vanished after a barrier loss";
+    EXPECT_EQ(it->second->events, events)
+        << "acked record " << sequence << " replayed with different bytes";
+  }
 }
 
 TEST(WalFaultTest, RollFailLeavesWriterAliveAndRetries) {
