@@ -12,11 +12,19 @@
 //                         against three in-process node servers, reported
 //                         per query -- the end-to-end serving latency the
 //                         cross-process differential test verifies for
-//                         bit-identity.
+//                         bit-identity;
+//   net_query_scatter_r{1,2}  the same query against *pruned* fleets under
+//                         replica placement (DESIGN.md §11) -- what R-way
+//                         replication costs on the fault-free fast path;
+//   net_query_{unhedged,hedged}_slow_node  tail latency with one node's
+//                         responses stalled 50 ms: the unhedged query eats
+//                         the stall, the hedged one covers it from the
+//                         replica.
 //
 // The inline oracle gate compares the scattered result against the direct
 // engine before any timing is recorded, same contract as every other bench.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +32,8 @@
 
 #include "bench/bench_util.h"
 #include "cluster/adhoc_cluster.h"
+#include "cluster/placement.h"
+#include "common/fault_injector.h"
 #include "common/timer.h"
 #include "engine/experiment_data.h"
 #include "engine/scorecard.h"
@@ -32,6 +42,7 @@
 #include "net/node_server.h"
 #include "net/socket.h"
 #include "net/transport.h"
+#include "storage/bsi_store.h"
 #include "wire/envelope.h"
 #include "wire/messages.h"
 
@@ -61,6 +72,50 @@ wire::WireQueryResponse MakeCodecPayload() {
   resp.hot_hits = 17;
   resp.cpu_seconds = 0.0125;
   return resp;
+}
+
+// One node's warehouse slice under replica placement.
+BsiStore PrunedStore(const BsiStore& cold, const Placement& placement,
+                     int node_id) {
+  const std::vector<uint32_t> owned = placement.SegmentsOf(node_id);
+  BsiStore store;
+  cold.ForEachEntry([&](const BsiStoreKey& key, const std::string& bytes,
+                        uint64_t fingerprint) {
+    if (std::find(owned.begin(), owned.end(), key.segment) != owned.end()) {
+      store.PutRecovered(key, bytes, fingerprint);
+    }
+  });
+  return store;
+}
+
+struct ReplicatedFleet {
+  std::vector<std::unique_ptr<BsiStore>> stores;
+  std::vector<std::unique_ptr<net::NodeServer>> nodes;
+  net::CoordinatorOptions options;
+  ~ReplicatedFleet() {
+    for (auto& node : nodes) node->Stop();
+  }
+};
+
+bool StartReplicatedFleet(const BsiStore& cold, int num_segments,
+                          int replication_factor, ReplicatedFleet* fleet) {
+  const Placement placement(kNumNodes, num_segments, replication_factor);
+  for (int i = 0; i < kNumNodes; ++i) {
+    net::NodeServerOptions node_options;
+    node_options.node_id = i;
+    node_options.owned_segments = placement.SegmentsOf(i);
+    fleet->stores.push_back(
+        std::make_unique<BsiStore>(PrunedStore(cold, placement, i)));
+    auto node =
+        std::make_unique<net::NodeServer>(fleet->stores.back().get(),
+                                          node_options);
+    if (!node->Start().ok()) return false;
+    fleet->options.node_ports.push_back(node->port());
+    fleet->nodes.push_back(std::move(node));
+  }
+  fleet->options.num_segments = num_segments;
+  fleet->options.replication_factor = replication_factor;
+  return true;
 }
 
 }  // namespace
@@ -259,6 +314,116 @@ int main() {
   }
 
   for (auto& node : nodes) node->Stop();
+  nodes.clear();
+
+  // ---- replicated scatter: R=1 vs R=2 pruned fleets -----------------------
+  // Same query, but each node serves only its placement slice and the
+  // coordinator routes by replica set. The R=1/R=2 pair prices what
+  // replication costs on the fault-free fast path (wave-1 routing dials
+  // primaries only, and primaries are independent of R, so the answer
+  // should be "almost nothing").
+  for (int replicas = 1; replicas <= 2; ++replicas) {
+    ReplicatedFleet fleet;
+    if (!StartReplicatedFleet(cold, config.num_segments, replicas, &fleet)) {
+      std::fprintf(stderr, "replicated fleet (R=%d) failed to start\n",
+                   replicas);
+      return 1;
+    }
+    net::Coordinator coordinator_r(fleet.options);
+    const Result<AdhocCluster::QueryStats> remote =
+        coordinator_r.QueryBsi(strategies, metrics, kLo, hi);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "replicated scatter (R=%d) failed: %s\n", replicas,
+                   remote.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [pair, values] : remote.value().results) {
+      const BucketValues direct =
+          ComputeStrategyMetricBsi(bsi, pair.first, pair.second, kLo, hi);
+      if (values.sums != direct.sums || values.counts != direct.counts) {
+        std::fprintf(stderr,
+                     "[preflight] FAILED: replicated scorecard (R=%d) "
+                     "diverged from the direct engine\n",
+                     replicas);
+        return 1;
+      }
+    }
+    constexpr int kQueries = 30;
+    double best_ns = 0;
+    for (int round = 0; round < 3; ++round) {
+      Stopwatch watch;
+      for (int i = 0; i < kQueries; ++i) {
+        if (!coordinator_r.QueryBsi(strategies, metrics, kLo, hi).ok()) {
+          std::fprintf(stderr, "replicated scatter failed mid-bench\n");
+          return 1;
+        }
+      }
+      const double ns = watch.ElapsedSeconds() * 1e9 / kQueries;
+      if (best_ns == 0 || ns < best_ns) best_ns = ns;
+    }
+    std::printf("replicated scatter (R=%d): %.2f ms/query over %d pruned "
+                "nodes\n",
+                replicas, best_ns / 1e6, kNumNodes);
+    std::printf("BENCHJSON {\"op\": \"net_query_scatter_r%d\", "
+                "\"ns_per_op\": %.0f}\n",
+                replicas, best_ns);
+  }
+
+  // ---- hedged reads: tail latency with one stalled node -------------------
+  // Every response send from node 0 is delayed 50 ms (scheduled one-shots
+  // on its send endpoint, so nothing else slows down). The unhedged query
+  // eats the stall; the hedged one re-issues to the replica after 5 ms and
+  // takes whichever answer lands first.
+  {
+    constexpr double kStallSeconds = 0.05;
+    constexpr int kQueries = 10;
+    double tail_ns[2] = {0, 0};  // [0] unhedged, [1] hedged
+    for (int hedged = 0; hedged <= 1; ++hedged) {
+      ReplicatedFleet fleet;
+      if (!StartReplicatedFleet(cold, config.num_segments, 2, &fleet)) {
+        std::fprintf(stderr, "hedge fleet failed to start\n");
+        return 1;
+      }
+      fleet.options.hedge_reads = hedged == 1;
+      fleet.options.hedge_delay_seconds = 0.005;
+      net::Coordinator coordinator_h(fleet.options);
+      FaultInjector injector(/*seed=*/20260808);
+      injector.SetDelayProbability(fault_sites::kNetSend, 0.0, kStallSeconds);
+      for (uint64_t op = 0; op < 4096; ++op) {
+        // Node 0's server send endpoint is its node id, so its per-endpoint
+        // op indices start at 0 * kNetOpStride.
+        injector.ScheduleFault(fault_sites::kNetSend, op, FaultKind::kDelay);
+      }
+      double best_ns = 0;
+      {
+        ScopedFaultInjection scoped(&injector);
+        for (int round = 0; round < 3; ++round) {
+          Stopwatch watch;
+          for (int i = 0; i < kQueries; ++i) {
+            const Result<AdhocCluster::QueryStats> r =
+                coordinator_h.QueryBsi(strategies, metrics, kLo, hi);
+            if (!r.ok() || !r.value().degraded.lost_segments.empty()) {
+              std::fprintf(stderr, "slow-node query failed mid-bench\n");
+              return 1;
+            }
+          }
+          const double ns = watch.ElapsedSeconds() * 1e9 / kQueries;
+          if (best_ns == 0 || ns < best_ns) best_ns = ns;
+        }
+      }
+      tail_ns[hedged] = best_ns;
+    }
+    std::printf("slow-node query:  unhedged %.2f ms, hedged %.2f ms "
+                "(one node stalled %.0f ms per response)\n",
+                tail_ns[0] / 1e6, tail_ns[1] / 1e6, kStallSeconds * 1e3);
+    std::printf("BENCHJSON {\"op\": \"net_query_unhedged_slow_node\", "
+                "\"ns_per_op\": %.0f}\n",
+                tail_ns[0]);
+    std::printf("BENCHJSON {\"op\": \"net_query_hedged_slow_node\", "
+                "\"ns_per_op\": %.0f}\n",
+                tail_ns[1]);
+  }
+
   bench_util::EmitRegistrySnapshot("net_query");
   return 0;
 }

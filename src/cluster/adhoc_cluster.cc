@@ -204,6 +204,13 @@ AdhocCluster::AdhocCluster(const Dataset* dataset,
     node_tiers_.push_back(std::make_unique<TieredStore>(
         &cold_, config_.hot_capacity_bytes_per_node));
   }
+  // Same rendezvous primaries as the network Coordinator, so the two
+  // serving paths agree on which node owns a segment. R is 1 here: the
+  // in-process nodes share one warehouse, so crash requeue can already use
+  // any survivor (and primaries are independent of R anyway).
+  placement_ = std::make_unique<Placement>(
+      config_.num_nodes, std::max(num_segments_, 0),
+      /*replication_factor=*/1);
 }
 
 Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(

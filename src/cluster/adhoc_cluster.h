@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/placement.h"
 #include "cluster/precompute_pipeline.h"
 #include "common/retry.h"
 #include "engine/experiment_data.h"
@@ -124,8 +125,11 @@ class AdhocCluster {
       const std::vector<uint64_t>& strategy_ids,
       const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi);
 
+  // Primary owner of a segment under the shared rendezvous placement
+  // (cluster/placement.h) -- the same primaries the network Coordinator
+  // derives, replacing the old `segment % num_nodes` rule.
   int NodeOfSegment(int segment) const {
-    return segment % config_.num_nodes;
+    return placement_->PrimaryOf(segment);
   }
 
   const BsiStore& cold_store() const { return cold_; }
@@ -169,6 +173,7 @@ class AdhocCluster {
   // Segments (< num_segments_) the snapshot recovery lost; pre-marked
   // degraded on every QueryBsi.
   std::vector<int> recovery_lost_segments_;
+  std::unique_ptr<Placement> placement_;
   std::vector<std::unique_ptr<TieredStore>> node_tiers_;
   std::map<uint64_t, ExposeBitmapCache> bitmap_caches_;
   // (metric_id, segment) row groups the baseline has already scanned; a

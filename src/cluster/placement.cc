@@ -1,0 +1,82 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace expbsi {
+
+namespace {
+
+// Distinct salt so placement scores are independent of the segmentation and
+// bucketing hashes (common/hash.h).
+constexpr uint64_t kPlacementSalt = 0x9c7a51e2d40bull;
+
+uint64_t Score(int segment, int node) {
+  const uint64_t seg_h =
+      Mix64(static_cast<uint64_t>(segment) ^ Mix64(kPlacementSalt));
+  return Mix64(seg_h ^ Mix64(static_cast<uint64_t>(node) + 1));
+}
+
+}  // namespace
+
+Placement::Placement(int num_nodes, int num_segments,
+                     int replication_factor)
+    : num_nodes_(num_nodes),
+      num_segments_(num_segments),
+      replication_factor_(
+          std::min(std::max(replication_factor, 1), num_nodes)) {
+  CHECK_GT(num_nodes, 0);
+  CHECK_GE(num_segments, 0);
+
+  // Per-node primary capacity: floor(S/N) + 1 for the first S mod N ids.
+  // Caps sum to exactly S, so the greedy fill below saturates every node.
+  std::vector<int> capacity(num_nodes_);
+  for (int n = 0; n < num_nodes_; ++n) {
+    capacity[n] = num_segments_ / num_nodes_ +
+                  (n < num_segments_ % num_nodes_ ? 1 : 0);
+  }
+
+  replicas_.resize(num_segments_);
+  std::vector<int> ranked(num_nodes_);
+  for (int seg = 0; seg < num_segments_; ++seg) {
+    for (int n = 0; n < num_nodes_; ++n) ranked[n] = n;
+    std::sort(ranked.begin(), ranked.end(), [seg](int a, int b) {
+      const uint64_t sa = Score(seg, a), sb = Score(seg, b);
+      return sa != sb ? sa > sb : a < b;
+    });
+    // Primary: best-ranked node with remaining capacity (capacity only
+    // constrains primaries; secondary replicas follow the pure ranking).
+    int primary = ranked[0];
+    for (int n : ranked) {
+      if (capacity[n] > 0) {
+        primary = n;
+        break;
+      }
+    }
+    --capacity[primary];
+    std::vector<int>& out = replicas_[seg];
+    out.reserve(replication_factor_);
+    out.push_back(primary);
+    for (int n : ranked) {
+      if (static_cast<int>(out.size()) >= replication_factor_) break;
+      if (n != primary) out.push_back(n);
+    }
+  }
+}
+
+bool Placement::IsReplica(int segment, int node) const {
+  const std::vector<int>& r = replicas_[segment];
+  return std::find(r.begin(), r.end(), node) != r.end();
+}
+
+std::vector<uint32_t> Placement::SegmentsOf(int node) const {
+  std::vector<uint32_t> out;
+  for (int seg = 0; seg < num_segments_; ++seg) {
+    if (IsReplica(seg, node)) out.push_back(static_cast<uint32_t>(seg));
+  }
+  return out;
+}
+
+}  // namespace expbsi

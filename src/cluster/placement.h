@@ -1,0 +1,66 @@
+#ifndef EXPBSI_CLUSTER_PLACEMENT_H_
+#define EXPBSI_CLUSTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace expbsi {
+
+// Segment -> replica-set placement shared by the in-process AdhocCluster
+// and the network Coordinator (DESIGN.md §11). Replaces the implicit
+// `segment % num_nodes` rule: each segment maps to `replication_factor`
+// DISTINCT nodes via rendezvous (highest-random-weight) hashing, so any
+// single node failure leaves every segment with a live replica and adding a
+// node moves only the segments it wins.
+//
+// Two deterministic layers:
+//
+//   ranking    every (segment, node) pair gets a pure-hash score; a
+//              segment's nodes are ordered by descending score. This is the
+//              failover preference order.
+//   balancing  primaries are additionally load-capped: walking segments in
+//              order, each takes its best-ranked node that still has
+//              capacity, where node i's capacity is floor(S/N) plus one for
+//              the first S mod N node ids. With S >= N every node therefore
+//              owns at least one primary (the caps sum to exactly S), so a
+//              fleet never idles a node -- pure rendezvous cannot promise
+//              that for small S.
+//
+// The full construction is a pure function of (num_nodes, num_segments,
+// replication_factor): every coordinator, node and test derives the same
+// table independently, nothing is negotiated.
+class Placement {
+ public:
+  // `replication_factor` is clamped to [1, num_nodes]. num_nodes must be
+  // positive; num_segments may be zero (empty placement).
+  Placement(int num_nodes, int num_segments, int replication_factor);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_segments() const { return num_segments_; }
+  int replication_factor() const { return replication_factor_; }
+
+  // The segment's replica set in failover-preference order: element 0 is
+  // the primary, later elements are the replicas a coordinator fails over
+  // to. Always `replication_factor` distinct nodes.
+  const std::vector<int>& ReplicasOf(int segment) const {
+    return replicas_[segment];
+  }
+
+  int PrimaryOf(int segment) const { return replicas_[segment][0]; }
+
+  bool IsReplica(int segment, int node) const;
+
+  // Every segment `node` replicates (primary or not), ascending. This is
+  // the set of segments a serving node must load.
+  std::vector<uint32_t> SegmentsOf(int node) const;
+
+ private:
+  int num_nodes_;
+  int num_segments_;
+  int replication_factor_;
+  std::vector<std::vector<int>> replicas_;  // [segment] -> ordered nodes
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_CLUSTER_PLACEMENT_H_

@@ -112,6 +112,13 @@ inline constexpr char kWalRoll[] = "wal.roll";
 inline constexpr char kNetSend[] = "net.send";
 inline constexpr char kNetAccept[] = "net.accept";
 inline constexpr char kNetNodeCrash[] = "net.node_crash";
+// Replica repair (DESIGN.md §11), evaluated once per kSegmentFetch a peer
+// serves, indexed endpoint_id * kNetOpStride + repair counter: kFail rejects
+// the fetch with kError(kUnavailable) (the recovering node tries the next
+// peer), kCrash kills the serving node mid-repair, kCorrupt flips bits in
+// one pushed blob while keeping the claimed fingerprint -- the receiver's
+// re-fingerprint must catch it -- and kDelay sleeps before replying.
+inline constexpr char kNetRepair[] = "net.repair";
 }  // namespace fault_sites
 
 inline constexpr uint64_t kPipelineAttemptStride = 64;
@@ -120,6 +127,10 @@ inline constexpr uint64_t kPipelineAttemptStride = 64;
 // the same node's link), so 2^20 ops per endpoint never collide.
 inline constexpr uint64_t kNetOpStride = 1u << 20;
 inline constexpr uint64_t kNetClientEndpointBase = 1000;
+// Coordinator-side endpoints used for hedge RPCs. Hedged sends draw from
+// their own endpoint range so enabling hedging does not perturb the op
+// indices (and therefore the fault schedule) of the primary sends.
+inline constexpr uint64_t kNetHedgeEndpointBase = 2000;
 
 class FaultInjector {
  public:

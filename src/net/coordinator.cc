@@ -1,7 +1,9 @@
 #include "net/coordinator.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -21,9 +23,34 @@ namespace {
 // as plain Status instead.
 enum class RpcOutcome {
   kOk,            // response merged
-  kNodeDead,      // connect/send/recv/decode failed: requeue the wave
-  kBackpressure,  // node alive but rejecting (kError/kUnavailable): same
-                  // requeue, but not counted as a crash
+  kNodeDead,      // connect/send/recv/decode failed: fail over + markdown
+  kBackpressure,  // node alive but rejecting (kError/kUnavailable): fail
+                  // over, node excluded this query, but not a crash
+};
+
+// One RPC of a wave: the primary send to a node, or a hedge re-send of a
+// subset of its segments to another replica. Attempts that never completed
+// (hedge raced and lost, or the winner arrived first) carry
+// completed == false and are skipped by the accounting -- their node is
+// neither credited nor penalized.
+struct RpcAttempt {
+  int node = -1;
+  std::vector<uint32_t> segments;
+  uint64_t request_id = 0;
+  bool is_hedge = false;
+  bool completed = false;
+  Result<RpcOutcome> outcome{RpcOutcome::kNodeDead};
+  wire::WireQueryResponse resp;
+  double latency_seconds = 0.0;
+};
+
+// All attempts one scatter task made for one node's wave; [0] is the
+// primary, any hedges follow in hedge-node order.
+struct NodeTask {
+  std::vector<RpcAttempt> attempts;
+  // Hedge plan precomputed by the main thread under deterministic state:
+  // (segment, next untried alive replica) for every segment that has one.
+  std::vector<std::pair<uint32_t, int>> hedge_plan;
 };
 
 // Grafts a node's shipped span tree under the coordinator's current
@@ -55,13 +82,19 @@ void GraftRemoteSpans(const std::vector<wire::WireSpan>& spans) {
 }  // namespace
 
 Coordinator::Coordinator(CoordinatorOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      placement_(static_cast<int>(options_.node_ports.size()),
+                 options_.num_segments, options_.replication_factor),
+      health_(static_cast<int>(options_.node_ports.size())) {
   CHECK_GT(options_.node_ports.size(), 0u);
   CHECK_GT(options_.num_segments, 0);
   endpoints_.reserve(options_.node_ports.size());
+  hedge_endpoints_.reserve(options_.node_ports.size());
   for (size_t n = 0; n < options_.node_ports.size(); ++n) {
     endpoints_.push_back(std::make_unique<FaultyEndpoint>(
         kNetClientEndpointBase + static_cast<uint64_t>(n)));
+    hedge_endpoints_.push_back(std::make_unique<FaultyEndpoint>(
+        kNetHedgeEndpointBase + static_cast<uint64_t>(n)));
   }
 }
 
@@ -99,6 +132,7 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
   const int num_nodes = static_cast<int>(options_.node_ports.size());
   const int num_segments = options_.num_segments;
   const size_t num_metrics = metric_ids.size();
+  const size_t slots = strategy_ids.size() * num_metrics;
 
   std::map<StrategyMetricPair, BucketValues> partials;
   for (uint64_t s : strategy_ids) {
@@ -110,34 +144,37 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
     }
   }
 
-  // Same placement as AdhocCluster::NodeOfSegment; requeued segments land
-  // on survivors in later waves.
-  std::vector<std::vector<uint32_t>> assignment(num_nodes);
-  for (int seg = 0; seg < num_segments; ++seg) {
-    assignment[seg % num_nodes].push_back(static_cast<uint32_t>(seg));
-  }
+  // Per-segment routing state. A segment is pending until answered or
+  // declared lost; `tried[seg]` are replicas that had their chance (dead,
+  // or answered lost=1). Loss is recorded only when no alive untried
+  // replica remains -- with R=2 that needs BOTH replicas down.
+  std::vector<bool> answered(num_segments, false);
+  std::vector<bool> failed_over(num_segments, false);
+  std::vector<std::vector<bool>> tried(
+      num_segments, std::vector<bool>(num_nodes, false));
   std::vector<bool> alive(num_nodes, true);
+  std::vector<uint32_t> pending;
+  pending.reserve(num_segments);
+  for (int seg = 0; seg < num_segments; ++seg) {
+    pending.push_back(static_cast<uint32_t>(seg));
+  }
   std::vector<int> lost_segments;
-  std::set<uint32_t> requeued_segments;
   int wave_index = 0;
-  bool deadline_hit = false;
   static obs::Counter& waves_counter = obs::GetCounter("coordinator.waves");
   static obs::Counter& requeue_counter =
       obs::GetCounter("coordinator.requeued_segments");
   static obs::Counter& crash_counter =
       obs::GetCounter("coordinator.nodes_lost");
+  static obs::Counter& seg_counter =
+      obs::GetCounter("coordinator.segments_processed");
+  static obs::Counter& hedged_rpcs = obs::GetCounter("coordinator.hedged_rpcs");
+  static obs::Counter& hedge_wins = obs::GetCounter("coordinator.hedge_wins");
 
-  // One node RPC: connect, scatter the node's wave, gather its response.
-  // Fills `resp` on kOk; permanent failures come back as a Status.
-  auto node_rpc = [&](int node,
-                      const std::vector<uint32_t>& segments,
-                      wire::WireQueryResponse* resp) -> Result<RpcOutcome> {
-    Result<Socket> sock = Connect(options_.node_ports[node], deadline);
-    if (!sock.ok()) return RpcOutcome::kNodeDead;
+  auto build_request = [&](const std::vector<uint32_t>& segments,
+                           uint64_t request_id) {
     wire::Envelope env;
     env.type = wire::MsgType::kQueryRequest;
-    env.request_id =
-        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    env.request_id = request_id;
     wire::WireQueryRequest req;
     req.strategy_ids = strategy_ids;
     req.metric_ids = metric_ids;
@@ -147,16 +184,20 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
     req.allow_degraded = options_.allow_degraded;
     req.want_trace = options_.want_trace;
     wire::EncodeQueryRequest(req, &env.payload);
-    if (!SendEnvelope(sock.value(), env, deadline, endpoints_[node].get())
-             .ok()) {
-      return RpcOutcome::kNodeDead;
-    }
-    Result<wire::Envelope> reply =
-        RecvEnvelope(sock.value(), deadline, env.request_id);
+    return env;
+  };
+
+  // Gathers and classifies one reply. A response must answer exactly the
+  // segments asked, with correctly-shaped vectors; anything else is a
+  // protocol violation and the node is treated as dead rather than trusted.
+  auto recv_and_classify =
+      [&](Socket& sock, uint64_t request_id,
+          const std::vector<uint32_t>& asked_segments,
+          wire::WireQueryResponse* resp) -> Result<RpcOutcome> {
+    Result<wire::Envelope> reply = RecvEnvelope(sock, deadline, request_id);
     if (!reply.ok()) return RpcOutcome::kNodeDead;
     if (reply.value().type == wire::MsgType::kError) {
-      Result<wire::WireError> err =
-          wire::DecodeError(reply.value().payload);
+      Result<wire::WireError> err = wire::DecodeError(reply.value().payload);
       if (!err.ok()) return RpcOutcome::kNodeDead;
       if (err.value().code == StatusCode::kUnavailable) {
         return RpcOutcome::kBackpressure;
@@ -171,15 +212,11 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
     Result<wire::WireQueryResponse> decoded =
         wire::DecodeQueryResponse(reply.value().payload);
     if (!decoded.ok()) return RpcOutcome::kNodeDead;
-    // A response must answer exactly the segments asked, with
-    // correctly-shaped vectors; anything else is a protocol violation and
-    // the node is treated as dead rather than trusted.
-    const std::set<uint32_t> asked(segments.begin(), segments.end());
-    std::set<uint32_t> answered;
-    const size_t slots = strategy_ids.size() * num_metrics;
+    const std::set<uint32_t> asked(asked_segments.begin(),
+                                   asked_segments.end());
+    std::set<uint32_t> seen;
     for (const wire::WireSegmentResult& seg : decoded.value().segments) {
-      if (asked.count(seg.segment) == 0 ||
-          !answered.insert(seg.segment).second) {
+      if (asked.count(seg.segment) == 0 || !seen.insert(seg.segment).second) {
         return RpcOutcome::kNodeDead;
       }
       if (seg.lost == 0 &&
@@ -187,123 +224,300 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
         return RpcOutcome::kNodeDead;
       }
     }
-    if (answered.size() != asked.size()) return RpcOutcome::kNodeDead;
+    if (seen.size() != asked.size()) return RpcOutcome::kNodeDead;
     *resp = std::move(decoded).value();
     return RpcOutcome::kOk;
   };
 
+  // One scatter task: the primary RPC for one node's wave segments, plus
+  // (when enabled and the primary is slow) hedge RPCs to each segment's
+  // next replica. Runs in its own thread; touches no trace or routing
+  // state -- all accounting happens post-join on the main thread, in
+  // deterministic task order.
+  auto run_task = [&](NodeTask& task) {
+    // Appending hedge attempts must never reallocate `attempts` -- `primary`
+    // stays bound to [0] -- so reserve the worst case (one hedge RPC per
+    // other node) up front.
+    task.attempts.reserve(options_.node_ports.size());
+    RpcAttempt& primary = task.attempts[0];
+    Stopwatch rpc_wall;
+    auto finish = [&](RpcAttempt& a, Result<RpcOutcome> outcome) {
+      a.outcome = std::move(outcome);
+      a.latency_seconds = rpc_wall.ElapsedSeconds();
+      a.completed = true;
+    };
+    Result<Socket> sock =
+        Connect(options_.node_ports[primary.node], deadline);
+    if (!sock.ok()) {
+      finish(primary, RpcOutcome::kNodeDead);
+      return;
+    }
+    if (!SendEnvelope(sock.value(),
+                      build_request(primary.segments, primary.request_id),
+                      deadline, endpoints_[primary.node].get())
+             .ok()) {
+      finish(primary, RpcOutcome::kNodeDead);
+      return;
+    }
+    if (!options_.hedge_reads || task.hedge_plan.empty()) {
+      finish(primary,
+             recv_and_classify(sock.value(), primary.request_id,
+                               primary.segments, &primary.resp));
+      return;
+    }
+
+    // Hedged path: give the primary its hedge delay, then re-send the
+    // outstanding segments to their next replicas and take the first valid
+    // answer per segment.
+    const double delay_s = health_.HedgeDelaySeconds(
+        primary.node, options_.hedge_delay_seconds);
+    const int delay_ms = std::min(
+        std::max(1, static_cast<int>(delay_s * 1000.0)),
+        deadline.RemainingMs());
+    Result<bool> readable = WaitReadable(sock.value(), delay_ms);
+    if (!readable.ok()) {
+      finish(primary, RpcOutcome::kNodeDead);
+      return;
+    }
+    if (readable.value()) {
+      finish(primary,
+             recv_and_classify(sock.value(), primary.request_id,
+                               primary.segments, &primary.resp));
+      return;
+    }
+    hedged_rpcs.Add();
+    std::map<int, std::vector<uint32_t>> by_node;
+    for (const auto& [seg, hedge_node] : task.hedge_plan) {
+      by_node[hedge_node].push_back(seg);
+    }
+    for (auto& [hedge_node, hedge_segments] : by_node) {
+      RpcAttempt a;
+      a.node = hedge_node;
+      a.segments = std::move(hedge_segments);
+      a.is_hedge = true;
+      // Hedge ids are allocated from racing task threads: fine here, but
+      // the reason hedging stays off in determinism suites.
+      a.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+      task.attempts.push_back(std::move(a));
+    }
+    std::vector<Socket> socks(task.attempts.size());
+    socks[0] = std::move(sock).value();
+    for (size_t i = 1; i < task.attempts.size(); ++i) {
+      RpcAttempt& a = task.attempts[i];
+      Result<Socket> hs = Connect(options_.node_ports[a.node], deadline);
+      if (!hs.ok() ||
+          !SendEnvelope(hs.value(), build_request(a.segments, a.request_id),
+                        deadline, hedge_endpoints_[a.node].get())
+               .ok()) {
+        finish(a, RpcOutcome::kNodeDead);
+        continue;
+      }
+      socks[i] = std::move(hs).value();
+    }
+    std::set<uint32_t> got;
+    while (!deadline.expired()) {
+      bool any_open = false;
+      for (size_t i = 0; i < task.attempts.size(); ++i) {
+        RpcAttempt& a = task.attempts[i];
+        if (a.completed || !socks[i].valid()) continue;
+        any_open = true;
+        Result<bool> r = WaitReadable(socks[i], 20);
+        if (!r.ok()) {
+          finish(a, RpcOutcome::kNodeDead);
+          continue;
+        }
+        if (!r.value()) continue;
+        finish(a, recv_and_classify(socks[i], a.request_id, a.segments,
+                                    &a.resp));
+        if (a.outcome.ok() && a.outcome.value() == RpcOutcome::kOk) {
+          if (a.is_hedge) hedge_wins.Add();
+          for (const wire::WireSegmentResult& seg : a.resp.segments) {
+            if (seg.lost == 0) got.insert(seg.segment);
+          }
+        }
+      }
+      if (!any_open) break;
+      bool complete = true;
+      for (uint32_t seg : primary.segments) {
+        if (got.count(seg) == 0) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) break;  // stragglers stay abandoned, never penalized
+    }
+  };
+
   while (true) {
-    std::vector<uint32_t> requeue;
+    health_.BeginRound();
+    // Route every pending segment to the healthiest alive replica it has
+    // not tried; a segment with no such replica is lost right here --
+    // explicitly, never silently.
+    std::map<int, std::vector<uint32_t>> targets;
+    std::vector<uint32_t> still_pending;
+    for (uint32_t seg : pending) {
+      int target = -1;
+      int fallback = -1;  // alive untried replica that is marked down
+      for (int n : placement_.ReplicasOf(static_cast<int>(seg))) {
+        if (!alive[n] || tried[seg][n]) continue;
+        if (fallback < 0) fallback = n;
+        if (health_.Usable(n)) {
+          target = n;
+          break;
+        }
+      }
+      // Every candidate marked down: probe the best one anyway -- loss is
+      // only acceptable after an actual failed dial, not a stale markdown.
+      if (target < 0) target = fallback;
+      if (target < 0) {
+        if (!options_.allow_degraded) {
+          return Status::Unavailable(
+              "coordinator: every replica of segment " +
+              std::to_string(seg) + " lost mid-query");
+        }
+        lost_segments.push_back(static_cast<int>(seg));
+        continue;
+      }
+      targets[target].push_back(seg);
+      still_pending.push_back(seg);
+    }
+    pending = std::move(still_pending);
+    if (targets.empty()) break;
+
     obs::ScopedSpan wave_span("wave");
     wave_span.AddAttr("wave", static_cast<uint64_t>(wave_index++));
     waves_counter.Add();
-    for (int node = 0; node < num_nodes; ++node) {
-      if (!alive[node] || assignment[node].empty()) continue;
-      obs::ScopedSpan rpc_span("node_rpc");
-      rpc_span.AddAttr("node", static_cast<uint64_t>(node));
-      rpc_span.AddAttr("segments", assignment[node].size());
-      wire::WireQueryResponse resp;
-      Result<RpcOutcome> outcome =
-          node_rpc(node, assignment[node], &resp);
-      if (!outcome.ok()) return outcome.status();
-      if (deadline.expired()) {
-        deadline_hit = true;
-        rpc_span.AddAttr("deadline_expired", 1);
-        break;
+
+    // Dispatch: request ids allocated here, in node order, so fault
+    // schedules and traces replay deterministically; hedge plans are
+    // likewise fixed before any thread runs.
+    std::vector<NodeTask> tasks(targets.size());
+    size_t ti = 0;
+    for (auto& [node, segments] : targets) {
+      NodeTask& task = tasks[ti++];
+      RpcAttempt primary;
+      primary.node = node;
+      primary.segments = std::move(segments);
+      primary.request_id =
+          next_request_id_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.hedge_reads) {
+        for (uint32_t seg : primary.segments) {
+          for (int n : placement_.ReplicasOf(static_cast<int>(seg))) {
+            if (n == node || !alive[n] || tried[seg][n]) continue;
+            task.hedge_plan.emplace_back(seg, n);
+            break;
+          }
+        }
       }
-      switch (outcome.value()) {
-        case RpcOutcome::kOk: {
-          stats.degraded.retries += static_cast<int>(resp.retries);
-          stats.degraded.faults_survived +=
-              static_cast<int>(resp.faults_survived);
-          stats.total_cpu_seconds += resp.cpu_seconds;
-          stats.bytes_from_cold += resp.bytes_from_cold;
-          stats.hot_hits += resp.hot_hits;
-          rpc_span.AddAttr("cold_bytes", resp.bytes_from_cold);
-          rpc_span.AddAttr("hot_hits", resp.hot_hits);
-          GraftRemoteSpans(resp.spans);
-          static obs::Counter& seg_counter =
-              obs::GetCounter("coordinator.segments_processed");
-          for (const wire::WireSegmentResult& seg : resp.segments) {
-            if (seg.lost != 0) {
-              // Node-side degradation: the exact segment is enumerated,
-              // never silently zeroed. Not requeued -- the node is alive
-              // and its retries already ran.
-              lost_segments.push_back(static_cast<int>(seg.segment));
-              continue;
+      task.attempts.push_back(std::move(primary));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(tasks.size());
+    for (NodeTask& task : tasks) {
+      threads.emplace_back([&run_task, &task] { run_task(task); });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Post-join accounting, in task order on this thread only: trace span
+    // ids, health updates and routing state all stay deterministic.
+    std::vector<bool> counted_dead(num_nodes, false);
+    for (NodeTask& task : tasks) {
+      for (RpcAttempt& attempt : task.attempts) {
+        if (!attempt.completed) continue;  // abandoned hedge straggler
+        obs::ScopedSpan rpc_span("node_rpc");
+        rpc_span.AddAttr("node", static_cast<uint64_t>(attempt.node));
+        rpc_span.AddAttr("segments", attempt.segments.size());
+        if (attempt.is_hedge) rpc_span.AddAttr("hedge", 1);
+        if (!attempt.outcome.ok()) return attempt.outcome.status();
+        switch (attempt.outcome.value()) {
+          case RpcOutcome::kOk: {
+            health_.RecordSuccess(attempt.node, attempt.latency_seconds);
+            wire::WireQueryResponse& resp = attempt.resp;
+            stats.degraded.retries += static_cast<int>(resp.retries);
+            stats.degraded.faults_survived +=
+                static_cast<int>(resp.faults_survived);
+            stats.total_cpu_seconds += resp.cpu_seconds;
+            stats.bytes_from_cold += resp.bytes_from_cold;
+            stats.hot_hits += resp.hot_hits;
+            rpc_span.AddAttr("cold_bytes", resp.bytes_from_cold);
+            rpc_span.AddAttr("hot_hits", resp.hot_hits);
+            GraftRemoteSpans(resp.spans);
+            for (const wire::WireSegmentResult& seg : resp.segments) {
+              if (seg.lost != 0) {
+                // Node-side degradation: fail the segment over to its next
+                // replica instead of recording it lost -- DegradedInfo is
+                // reachable only once every replica had its chance.
+                tried[seg.segment][attempt.node] = true;
+                failed_over[seg.segment] = true;
+                requeue_counter.Add();
+                continue;
+              }
+              if (answered[seg.segment]) continue;  // hedge duplicate
+              answered[seg.segment] = true;
+              seg_counter.Add();
+              size_t slot = 0;
+              for (uint64_t s : strategy_ids) {
+                for (uint64_t m : metric_ids) {
+                  BucketValues& bv = partials[{s, m}];
+                  bv.sums[seg.segment] = seg.sums[slot];
+                  bv.counts[seg.segment] = seg.counts[slot];
+                  ++slot;
+                }
+              }
+              if (failed_over[seg.segment]) ++stats.degraded.faults_survived;
             }
-            seg_counter.Add();
-            size_t slot = 0;
-            for (uint64_t s : strategy_ids) {
-              for (uint64_t m : metric_ids) {
-                BucketValues& bv = partials[{s, m}];
-                bv.sums[seg.segment] = seg.sums[slot];
-                bv.counts[seg.segment] = seg.counts[slot];
-                ++slot;
+            break;
+          }
+          case RpcOutcome::kNodeDead: {
+            health_.RecordFailure(attempt.node);
+            rpc_span.AddAttr("node_dead", 1);
+            if (alive[attempt.node] && !counted_dead[attempt.node]) {
+              counted_dead[attempt.node] = true;
+              ++stats.degraded.nodes_lost;
+              crash_counter.Add();
+            }
+            alive[attempt.node] = false;
+            for (uint32_t seg : attempt.segments) {
+              tried[seg][attempt.node] = true;
+              if (!answered[seg]) {
+                failed_over[seg] = true;
+                requeue_counter.Add();
               }
             }
-            if (requeued_segments.erase(seg.segment) > 0) {
-              ++stats.degraded.faults_survived;
-            }
+            break;
           }
-          break;
+          case RpcOutcome::kBackpressure: {
+            // Alive but full: excluded for the rest of this query, its
+            // segments fail over. Not a crash and not a health failure.
+            rpc_span.AddAttr("backpressure", 1);
+            alive[attempt.node] = false;
+            for (uint32_t seg : attempt.segments) {
+              if (!answered[seg]) {
+                failed_over[seg] = true;
+                requeue_counter.Add();
+              }
+            }
+            break;
+          }
         }
-        case RpcOutcome::kNodeDead:
-          alive[node] = false;
-          ++stats.degraded.nodes_lost;
-          rpc_span.AddAttr("node_dead", 1);
-          crash_counter.Add();
-          requeue_counter.Add(assignment[node].size());
-          requeue.insert(requeue.end(), assignment[node].begin(),
-                         assignment[node].end());
-          break;
-        case RpcOutcome::kBackpressure:
-          // Alive but full: excluded for the rest of this query, its wave
-          // redistributed. Not a crash.
-          alive[node] = false;
-          rpc_span.AddAttr("backpressure", 1);
-          requeue_counter.Add(assignment[node].size());
-          requeue.insert(requeue.end(), assignment[node].begin(),
-                         assignment[node].end());
-          break;
       }
-      assignment[node].clear();
     }
-    if (deadline_hit) {
-      // Everything still unanswered -- this wave's leftovers plus any
-      // requeue backlog -- is enumerated, never dropped quietly.
-      for (int node = 0; node < num_nodes; ++node) {
-        for (uint32_t seg : assignment[node]) {
-          requeue.push_back(seg);
-        }
-        assignment[node].clear();
-      }
+    std::vector<uint32_t> next_pending;
+    for (uint32_t seg : pending) {
+      if (!answered[seg]) next_pending.push_back(seg);
+    }
+    pending = std::move(next_pending);
+    if (deadline.expired() && !pending.empty()) {
       if (!options_.allow_degraded) {
         return Status::Unavailable("coordinator: query deadline expired");
       }
-      for (uint32_t seg : requeue) {
+      // Everything still unanswered is enumerated, never dropped quietly.
+      for (uint32_t seg : pending) {
         lost_segments.push_back(static_cast<int>(seg));
       }
-      break;
+      pending.clear();
     }
-    if (requeue.empty()) break;
-    std::vector<int> survivors;
-    for (int node = 0; node < num_nodes; ++node) {
-      if (alive[node]) survivors.push_back(node);
-    }
-    if (survivors.empty()) {
-      if (!options_.allow_degraded) {
-        return Status::Unavailable("coordinator: every node lost mid-query");
-      }
-      for (uint32_t seg : requeue) {
-        lost_segments.push_back(static_cast<int>(seg));
-      }
-      break;
-    }
-    for (size_t i = 0; i < requeue.size(); ++i) {
-      assignment[survivors[i % survivors.size()]].push_back(requeue[i]);
-      requeued_segments.insert(requeue[i]);
-    }
+    if (pending.empty()) break;
   }
 
   std::sort(lost_segments.begin(), lost_segments.end());

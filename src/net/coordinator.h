@@ -3,44 +3,73 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cluster/adhoc_cluster.h"
+#include "cluster/placement.h"
+#include "net/node_health.h"
 #include "net/socket.h"
 #include "net/transport.h"
 
 namespace expbsi {
 namespace net {
 
-// Scatter/gather coordinator over remote node servers (DESIGN.md §9): the
-// network promotion of AdhocCluster::QueryBsi. Placement is the same
-// segment-per-node mapping (segment % num_nodes), failure handling the
-// same wave-by-wave requeue onto survivors, and the scorecard assembly the
-// same partial-merge -- so its QueryStats (reused from AdhocCluster) are
-// bit-identical to the in-process cluster's on a fault-free run.
+// Scatter/gather coordinator over remote node servers (DESIGN.md §9, §11):
+// the network promotion of AdhocCluster::QueryBsi, now replication-aware.
+// Placement is the shared rendezvous table (cluster/placement.h): each
+// segment maps to `replication_factor` distinct nodes in failover-preference
+// order, and every wave routes a segment to the healthiest alive replica it
+// has not tried yet. Scorecard assembly is the same partial-merge as the
+// in-process cluster, so QueryStats are bit-identical to AdhocCluster on a
+// fault-free run (only the primary replica is ever dialed then).
 //
 // Failure taxonomy per node RPC:
-//   connect refused / EOF / truncated or corrupt frame  -> node dead: its
-//       whole wave requeues onto survivors (next wave)
-//   kError(kUnavailable) reply (backpressure)           -> same requeue,
-//       node excluded for the rest of this query
+//   connect refused / EOF / truncated or corrupt frame  -> node dead for
+//       this query (and one NodeHealth failure): its segments fail over to
+//       their next untried replica
+//   kError(kUnavailable) reply (backpressure)           -> node excluded
+//       for the rest of this query, segments fail over; not a crash and
+//       not a health failure
 //   kError(other) reply                                 -> permanent:
 //       fails the query (strict semantics, as in-process)
-//   response with lost=1 segments (degraded mode)       -> those exact
-//       segments recorded in DegradedInfo::lost_segments; NOT requeued
-//       (the node is alive; retries already ran node-side)
-//   per-query deadline expires                          -> strict: the
-//       query fails Unavailable; degraded: every unanswered segment is
-//       enumerated as lost
+//   response with lost=1 segments (node-side degraded)  -> those segments
+//       fail over to the next replica; only when every replica has been
+//       tried are they recorded in DegradedInfo::lost_segments
+//   all replicas of a segment down                      -> strict: the
+//       query fails Unavailable; degraded: the exact segment is enumerated
+//   per-query deadline expires                          -> strict: fails
+//       Unavailable; degraded: every unanswered segment is enumerated
+//
+// DegradedInfo is therefore reachable only when all `replication_factor`
+// replicas of some segment are down (or the deadline expires) -- any single
+// node failure with R >= 2 yields a complete, bit-identical scorecard.
+//
+// Hedged reads (off by default, `hedge_reads`): when a node's response has
+// not arrived within its hedge delay -- the configured quantile of that
+// node's recent latencies via NodeHealth, falling back to
+// `hedge_delay_seconds` -- the outstanding segments are re-sent to their
+// next untried replica and the first valid response wins per segment
+// (request_id dedup already drops the straggler). Hedge sends draw op
+// indices from kNetHedgeEndpointBase so enabling hedging does not perturb
+// primary fault schedules.
 struct CoordinatorOptions {
   std::vector<uint16_t> node_ports;  // 127.0.0.1, index = node id
   int num_segments = 0;
+  // Replicas per segment (clamped to [1, num_nodes]). Nodes must serve the
+  // matching replica set (Placement::SegmentsOf) or the full store.
+  int replication_factor = 2;
   double query_deadline_seconds = 10.0;
   // Admission control: queries beyond this many running concurrently are
   // rejected Unavailable up front instead of queuing.
   int max_concurrent_queries = 8;
   bool allow_degraded = false;
   bool want_trace = true;  // graft node span trees into the query trace
+  // Hedged reads: re-send slow outstanding RPCs to the next replica after
+  // the per-node hedge delay. Off by default -- hedges allocate request ids
+  // from racing threads, so determinism suites leave this off.
+  bool hedge_reads = false;
+  double hedge_delay_seconds = 0.02;
 };
 
 class Coordinator {
@@ -58,14 +87,22 @@ class Coordinator {
     return admission_rejections_.load(std::memory_order_relaxed);
   }
 
+  const Placement& placement() const { return placement_; }
+  // Cross-query health state (markdown / probe / latency windows).
+  NodeHealth& health() { return health_; }
+
  private:
   CoordinatorOptions options_;
+  Placement placement_;
+  NodeHealth health_;
   std::atomic<int> running_queries_{0};
   std::atomic<uint64_t> admission_rejections_{0};
   std::atomic<uint64_t> next_request_id_{1};
   // One send endpoint per node link, so coordinator-side net.send indices
-  // are stable per node regardless of query interleaving.
+  // are stable per node regardless of query interleaving; hedge sends get
+  // their own endpoints so hedging never shifts primary schedules.
   std::vector<std::unique_ptr<FaultyEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<FaultyEndpoint>> hedge_endpoints_;
 };
 
 }  // namespace net

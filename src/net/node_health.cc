@@ -1,0 +1,99 @@
+#include "net/node_health.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace expbsi {
+
+NodeHealth::NodeHealth(int num_nodes, NodeHealthOptions options)
+    : num_nodes_(num_nodes), options_(options), nodes_(num_nodes) {
+  CHECK_GT(num_nodes, 0);
+  CHECK_GT(options_.markdown_threshold, 0);
+  CHECK_GT(options_.initial_backoff_rounds, 0);
+  CHECK_GE(options_.max_backoff_rounds, options_.initial_backoff_rounds);
+  CHECK_GT(options_.latency_window, 0);
+  for (NodeState& s : nodes_) {
+    s.latencies.assign(static_cast<size_t>(options_.latency_window), 0.0);
+  }
+}
+
+void NodeHealth::BeginRound() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int n = 0; n < num_nodes_; ++n) {
+    NodeState& s = nodes_[n];
+    if (!s.down || s.probe_due) continue;
+    if (s.rounds_until_probe > 0) --s.rounds_until_probe;
+    if (s.rounds_until_probe == 0) {
+      s.probe_due = true;
+      obs::GetCounter("net.health.probes").Add(1);
+    }
+  }
+}
+
+bool NodeHealth::Usable(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState& s = nodes_[node];
+  return !s.down || s.probe_due;
+}
+
+bool NodeHealth::IsMarkedDown(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_[node].down;
+}
+
+int NodeHealth::consecutive_failures(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_[node].consecutive_failures;
+}
+
+void NodeHealth::RecordSuccess(int node, double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& s = nodes_[node];
+  if (s.down) obs::GetCounter("net.health.revivals").Add(1);
+  s.down = false;
+  s.probe_due = false;
+  s.consecutive_failures = 0;
+  s.backoff_rounds = 0;
+  s.rounds_until_probe = 0;
+  s.latencies[static_cast<size_t>(s.latency_next)] = latency_seconds;
+  s.latency_next = (s.latency_next + 1) % options_.latency_window;
+  if (s.latency_count < options_.latency_window) ++s.latency_count;
+}
+
+void NodeHealth::RecordFailure(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& s = nodes_[node];
+  ++s.consecutive_failures;
+  obs::GetCounter("net.health.failures").Add(1);
+  if (s.down) {
+    // Failed probe: back off twice as long before the next one.
+    s.probe_due = false;
+    s.backoff_rounds =
+        std::min(s.backoff_rounds * 2, options_.max_backoff_rounds);
+    s.rounds_until_probe = s.backoff_rounds;
+    return;
+  }
+  if (s.consecutive_failures >= options_.markdown_threshold) {
+    s.down = true;
+    s.probe_due = false;
+    s.backoff_rounds = options_.initial_backoff_rounds;
+    s.rounds_until_probe = s.backoff_rounds;
+    obs::GetCounter("net.health.markdowns").Add(1);
+  }
+}
+
+double NodeHealth::HedgeDelaySeconds(int node, double default_delay) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState& s = nodes_[node];
+  if (s.latency_count < options_.min_latency_samples) return default_delay;
+  std::vector<double> sorted(s.latencies.begin(),
+                             s.latencies.begin() + s.latency_count);
+  std::sort(sorted.begin(), sorted.end());
+  size_t idx = static_cast<size_t>(options_.hedge_quantile *
+                                   static_cast<double>(sorted.size() - 1));
+  return std::max(sorted[idx], default_delay * 0.1);
+}
+
+}  // namespace expbsi

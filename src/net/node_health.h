@@ -1,0 +1,89 @@
+#ifndef EXPBSI_NET_NODE_HEALTH_H_
+#define EXPBSI_NET_NODE_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace expbsi {
+
+struct NodeHealthOptions {
+  // Consecutive RPC failures before a node is marked down.
+  int markdown_threshold = 2;
+  // Rounds a freshly marked-down node sits out before its first probe; the
+  // wait doubles after every failed probe up to the max.
+  int initial_backoff_rounds = 1;
+  int max_backoff_rounds = 16;
+  // Latency quantile of recent successful RPCs that drives the hedge delay.
+  double hedge_quantile = 0.9;
+  // Ring-buffer capacity of latency samples kept per node.
+  int latency_window = 64;
+  // Minimum samples before the histogram overrides the default hedge delay.
+  int min_latency_samples = 8;
+};
+
+// Coordinator-side node health registry (DESIGN.md §11). Tracks, per serving
+// node: consecutive-failure markdown, exponential-backoff probe-to-revive,
+// and a recent-latency window used to derive per-node hedge delays.
+//
+// State machine:
+//
+//   up ──(markdown_threshold consecutive failures)──> down(backoff=b0)
+//   down ──(b rounds elapse)──> probing  (Usable() returns true once)
+//   probing ──success──> up          probing ──failure──> down(backoff*=2)
+//
+// "Rounds" are scatter waves: the coordinator calls BeginRound() once per
+// wave, which advances every down node's countdown. A down node whose
+// countdown reached zero is probe-eligible — Usable() is true so exactly the
+// normal dial path doubles as the probe. All updates flow through
+// RecordSuccess/RecordFailure, so markdown state is shared across queries.
+//
+// Thread-safe; emits net.health.{failures,markdowns,probes,revivals}.
+class NodeHealth {
+ public:
+  explicit NodeHealth(int num_nodes, NodeHealthOptions options = {});
+
+  int num_nodes() const { return num_nodes_; }
+
+  // Advances probe countdowns of marked-down nodes. Call once per wave.
+  void BeginRound();
+
+  // True when the node should be dialed: either up, or down but due for a
+  // probe this round. Routing prefers usable replicas; a segment whose
+  // replicas are all unusable forces a probe anyway (the alternative is
+  // recording a loss without having tried).
+  bool Usable(int node) const;
+
+  bool IsMarkedDown(int node) const;
+  int consecutive_failures(int node) const;
+
+  void RecordSuccess(int node, double latency_seconds);
+  void RecordFailure(int node);
+
+  // Hedge delay for RPCs to `node`: the configured quantile of its recent
+  // successful latencies, or `default_delay` until enough samples exist.
+  // Never below `default_delay` * 0.1 so a momentarily fast node cannot
+  // drive the delay to zero and double every RPC.
+  double HedgeDelaySeconds(int node, double default_delay) const;
+
+ private:
+  struct NodeState {
+    int consecutive_failures = 0;
+    bool down = false;
+    int backoff_rounds = 0;    // current backoff width
+    int rounds_until_probe = 0;
+    bool probe_due = false;
+    std::vector<double> latencies;  // ring buffer
+    int latency_next = 0;
+    int latency_count = 0;
+  };
+
+  int num_nodes_;
+  NodeHealthOptions options_;
+  mutable std::mutex mu_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace expbsi
+
+#endif  // EXPBSI_NET_NODE_HEALTH_H_

@@ -1,25 +1,47 @@
-// expbsi_node: one serving node as a real process (DESIGN.md §9).
+// expbsi_node: one serving node as a real process (DESIGN.md §9, §11).
 //
 //   expbsi_node --store=<warehouse file> --node-id=N [--port=P]
 //               [--max-inflight=K]
+//               [--num-nodes=N --num-segments=S [--replicas=R]]
+//               [--repair-peers=port1,port2,...]
 //
 // Loads the warehouse blobs (BsiStore::SaveToFile format), starts a
 // NodeServer and prints "PORT <port>" on stdout so a parent process
-// spawning it on an ephemeral port can learn where it listens. Runs until
-// stdin reaches EOF -- the parent holds a pipe to each child, so killing
-// the parent (or closing the pipe) cleanly shuts the node down. The
-// cross-process differential test drives a coordinator against several of
-// these.
+// spawning it on an ephemeral port can learn where it listens.
+//
+// With --num-nodes/--num-segments the node derives its replica set from the
+// shared rendezvous Placement, prunes the loaded store to those segments
+// and rejects queries for any other segment. With --repair-peers it heals
+// missing or quarantined owned segments from the listed peer replicas
+// (fingerprint-verified) before it starts serving.
+//
+// Shutdown: runs until stdin reaches EOF (the parent holds a pipe to each
+// child) or SIGTERM arrives. SIGTERM drains gracefully -- stop accepting,
+// finish in-flight queries, exit 0 -- so a supervisor's rolling restart is
+// distinguishable from a crash.
 
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "cluster/placement.h"
 #include "net/node_server.h"
+#include "net/repair.h"
 #include "storage/bsi_store.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_sigterm = 0;
+
+void HandleSigterm(int) { g_sigterm = 1; }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const size_t n = std::strlen(name);
@@ -28,12 +50,29 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+std::vector<uint16_t> ParsePorts(const std::string& csv) {
+  std::vector<uint16_t> ports;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    ports.push_back(
+        static_cast<uint16_t>(std::atoi(csv.substr(pos, comma - pos).c_str())));
+    pos = comma + 1;
+  }
+  return ports;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string store_path;
   std::string value;
   expbsi::net::NodeServerOptions options;
+  int num_nodes = 0;
+  int num_segments = 0;
+  int replicas = 2;
+  std::vector<uint16_t> repair_peers;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argv[i], "--store", &value)) {
       store_path = value;
@@ -43,6 +82,14 @@ int main(int argc, char** argv) {
       options.port = static_cast<uint16_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "--max-inflight", &value)) {
       options.max_inflight = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--num-nodes", &value)) {
+      num_nodes = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--num-segments", &value)) {
+      num_segments = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--replicas", &value)) {
+      replicas = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--repair-peers", &value)) {
+      repair_peers = ParsePorts(value);
     } else {
       std::fprintf(stderr, "expbsi_node: unknown argument %s\n", argv[i]);
       return 2;
@@ -51,7 +98,8 @@ int main(int argc, char** argv) {
   if (store_path.empty()) {
     std::fprintf(stderr,
                  "usage: expbsi_node --store=<file> --node-id=N [--port=P] "
-                 "[--max-inflight=K]\n");
+                 "[--max-inflight=K] [--num-nodes=N --num-segments=S "
+                 "[--replicas=R]] [--repair-peers=p1,p2,...]\n");
     return 2;
   }
 
@@ -64,6 +112,45 @@ int main(int argc, char** argv) {
   }
   expbsi::BsiStore cold = std::move(store).value();
 
+  if (num_nodes > 0 && num_segments > 0) {
+    const expbsi::Placement placement(num_nodes, num_segments, replicas);
+    const std::vector<uint32_t> owned =
+        placement.SegmentsOf(options.node_id);
+    // Prune the (typically full) warehouse file down to this node's replica
+    // set: replicated serving must prove it never silently answers for a
+    // segment it does not own.
+    expbsi::BsiStore pruned;
+    cold.ForEachEntry([&](const expbsi::BsiStoreKey& key,
+                          const std::string& bytes, uint64_t fingerprint) {
+      for (uint32_t seg : owned) {
+        if (key.segment == seg) {
+          pruned.PutRecovered(key, bytes, fingerprint);
+          return;
+        }
+      }
+    });
+    cold = std::move(pruned);
+    options.owned_segments = owned;
+
+    if (!repair_peers.empty()) {
+      const std::vector<uint32_t> damaged =
+          expbsi::net::FindDamagedSegments(cold, placement, options.node_id);
+      if (!damaged.empty()) {
+        expbsi::net::RepairStats repair_stats;
+        const expbsi::Status repaired = expbsi::net::RepairSegments(
+            damaged, repair_peers, expbsi::net::RepairOptions{}, &cold,
+            &repair_stats);
+        std::fprintf(stderr,
+                     "expbsi_node: repair: %d damaged, %d repaired, %d "
+                     "failed (%s)\n",
+                     repair_stats.segments_attempted,
+                     repair_stats.segments_repaired,
+                     repair_stats.segments_failed,
+                     repaired.ToString().c_str());
+      }
+    }
+  }
+
   expbsi::net::NodeServer server(&cold, options);
   const expbsi::Status started = server.Start();
   if (!started.ok()) {
@@ -71,12 +158,28 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
+  std::signal(SIGTERM, HandleSigterm);
   std::printf("PORT %u\n", server.port());
   std::fflush(stdout);
 
-  // Serve until the parent closes our stdin.
-  char buf[64];
-  while (std::fread(buf, 1, sizeof(buf), stdin) > 0) {
+  // Serve until the parent closes our stdin or SIGTERM asks for a drain.
+  // poll() (not a blocking fread) so the signal flag is re-checked promptly
+  // even when the parent never writes.
+  while (g_sigterm == 0) {
+    struct pollfd pfd;
+    pfd.fd = 0;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready > 0) {
+      char buf[64];
+      const ssize_t n = read(0, buf, sizeof(buf));
+      if (n <= 0) break;  // parent closed the pipe
+    }
+  }
+  if (g_sigterm != 0) {
+    server.Drain();
+    return 0;
   }
   server.Stop();
   return 0;

@@ -1,5 +1,9 @@
 #include "net/node_server.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <tuple>
 #include <utility>
 
 #include "cluster/segment_query.h"
@@ -33,6 +37,31 @@ Status NodeServer::Start() {
   return Status::OK();
 }
 
+void NodeServer::Drain(double max_wait_seconds) {
+  using Clock = std::chrono::steady_clock;
+  // New connections stop here; established connections keep being served so
+  // a request already buffered in a socket is still picked up (the handler
+  // polls every 50ms, well inside the quiescence window below).
+  draining_.store(true, std::memory_order_release);
+  constexpr int64_t kQuiescenceNs = 500'000'000;  // 500ms without a query
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(max_wait_seconds));
+  while (Clock::now() < give_up) {
+    const int64_t last = last_query_ns_.load(std::memory_order_acquire);
+    const int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    if (inflight_.load(std::memory_order_acquire) == 0 &&
+        now_ns - last >= kQuiescenceNs) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  Stop();
+}
+
 void NodeServer::Stop() {
   stop_.store(true, std::memory_order_release);
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -49,7 +78,8 @@ void NodeServer::Stop() {
 
 void NodeServer::AcceptLoop() {
   FaultInjector* const fi = FaultInjector::Get();
-  while (!stop_.load(std::memory_order_acquire) && !crashed()) {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire) && !crashed()) {
     Result<Socket> conn = Accept(listener_, /*deadline_ms=*/50);
     if (!conn.ok()) continue;  // timeout or transient; re-check stop flag
     if (fi != nullptr) {
@@ -97,6 +127,12 @@ void NodeServer::HandleConnection(Socket conn) {
           return;
         }
         break;
+      case wire::MsgType::kSegmentFetch:
+        if (!HandleSegmentFetch(conn, env.value().request_id,
+                                env.value().payload)) {
+          return;
+        }
+        break;
       default:
         // A node only serves; anything else on the wire is a protocol
         // error worth reporting but not worth dying for.
@@ -108,6 +144,81 @@ void NodeServer::HandleConnection(Socket conn) {
         break;
     }
   }
+}
+
+bool NodeServer::HandleSegmentFetch(Socket& conn, uint64_t request_id,
+                                    const std::string& payload) {
+  // Repair pulls share the node's fault surface through the net.repair
+  // site (explicitly indexed, like net.node_crash).
+  FaultInjector* const fi = FaultInjector::Get();
+  FaultDecision fault;
+  if (fi != nullptr) {
+    const uint64_t op =
+        static_cast<uint64_t>(options_.node_id) * kNetOpStride +
+        repairs_.fetch_add(1, std::memory_order_relaxed);
+    fault = fi->EvaluateAt(fault_sites::kNetRepair, op);
+    if (fault.delay_seconds > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(fault.delay_seconds));
+    }
+    if (fault.crash) {
+      crashed_.store(true, std::memory_order_release);
+      conn.Close();
+      return false;
+    }
+    if (fault.fail) {
+      return SendError(conn, request_id,
+                       Status::Unavailable("node: injected repair failure"));
+    }
+  }
+
+  Result<wire::WireSegmentFetch> req = wire::DecodeSegmentFetch(payload);
+  if (!req.ok()) return SendError(conn, request_id, req.status());
+  const uint32_t segment = req.value().segment;
+
+  wire::WireSegmentPush push;
+  push.segment = segment;
+  cold_->ForEachEntry([&](const BsiStoreKey& key, const std::string& bytes,
+                          uint64_t fingerprint) {
+    if (key.segment != segment) return;
+    wire::WireRepairBlob blob;
+    blob.kind = static_cast<uint8_t>(key.kind);
+    blob.id = key.id;
+    blob.date = key.date;
+    blob.fingerprint = fingerprint;
+    blob.bytes = bytes;
+    push.blobs.push_back(std::move(blob));
+  });
+  if (push.blobs.empty()) {
+    return SendError(conn, request_id,
+                     Status::NotFound("node: segment not stored here"));
+  }
+  // Canonical order (also what DecodeSegmentPush enforces).
+  std::sort(push.blobs.begin(), push.blobs.end(),
+            [](const wire::WireRepairBlob& a, const wire::WireRepairBlob& b) {
+              return std::make_tuple(a.kind, a.id, a.date) <
+                     std::make_tuple(b.kind, b.id, b.date);
+            });
+  if (fault.corrupt && fi != nullptr) {
+    // Flip bits in one blob but keep the claimed fingerprint: the receiver
+    // must catch the lie by re-fingerprinting, never install the bytes.
+    wire::WireRepairBlob& victim =
+        push.blobs[fi->seed() % push.blobs.size()];
+    fi->CorruptBlob(victim.id ^ victim.date, &victim.bytes);
+  }
+
+  static obs::Counter& served = obs::GetCounter("repair.fetches_served");
+  static obs::Counter& blobs = obs::GetCounter("repair.blobs_served");
+  served.Add();
+  blobs.Add(push.blobs.size());
+
+  wire::Envelope env;
+  env.type = wire::MsgType::kSegmentPush;
+  env.request_id = request_id;
+  wire::EncodeSegmentPush(push, &env.payload);
+  return SendEnvelope(conn, env, Deadline::After(kServerIoDeadlineSeconds),
+                      &send_endpoint_)
+      .ok();
 }
 
 bool NodeServer::SendError(Socket& conn, uint64_t request_id,
@@ -127,6 +238,11 @@ bool NodeServer::HandleQuery(Socket& conn, uint64_t request_id,
   // Injected process kill: drop the connection mid-scatter and stop
   // serving. The coordinator sees EOF here and connection-refused on the
   // next wave -- exactly what a dead process looks like.
+  last_query_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_release);
   FaultInjector* const fi = FaultInjector::Get();
   const uint64_t query_op =
       static_cast<uint64_t>(options_.node_id) * kNetOpStride +
@@ -169,6 +285,15 @@ bool NodeServer::HandleQuery(Socket& conn, uint64_t request_id,
     if (seg > UINT16_MAX) {
       return SendError(conn, request_id,
                        Status::InvalidArgument("node: segment id overflow"));
+    }
+    // A misrouted segment against a pruned store would execute as silent
+    // zeros (NotFound reads as semantic absence); refuse it loudly instead.
+    if (!options_.owned_segments.empty() &&
+        std::find(options_.owned_segments.begin(),
+                  options_.owned_segments.end(),
+                  seg) == options_.owned_segments.end()) {
+      return SendError(conn, request_id,
+                       Status::InvalidArgument("node: segment not owned"));
     }
   }
 

@@ -33,6 +33,12 @@ struct NodeServerOptions {
   int max_inflight = 4;
   size_t hot_capacity_bytes = 256u << 20;
   RetryPolicy retry;
+  // Replica set this node serves (Placement::SegmentsOf). Empty = serve any
+  // segment (the pre-replication behavior). When set, a query naming a
+  // segment outside the set is rejected with kError(kInvalidArgument): a
+  // misrouted segment must fail loudly, never resolve to silent zeros
+  // against a pruned store.
+  std::vector<uint32_t> owned_segments;
 };
 
 class NodeServer {
@@ -50,6 +56,11 @@ class NodeServer {
   Status Start();
   // Stops accepting, closes the listener and joins every thread. Idempotent.
   void Stop();
+  // Graceful shutdown: stops accepting new connections, keeps serving until
+  // in-flight queries finish and no new query has started for a short
+  // quiescence window (bounded by `max_wait_seconds`), then Stop()s. Lets a
+  // chaos test distinguish a clean drain from a net.node_crash kill.
+  void Drain(double max_wait_seconds = 10.0);
 
   uint16_t port() const { return port_; }
   // True once an injected net.node_crash killed the server: it stopped
@@ -70,6 +81,10 @@ class NodeServer {
   // the connection must close (injected crash or dead socket).
   bool HandleQuery(Socket& conn, uint64_t request_id,
                    const std::string& payload);
+  // Serves a replica-repair pull (kSegmentFetch -> kSegmentPush); returns
+  // false when the connection must close.
+  bool HandleSegmentFetch(Socket& conn, uint64_t request_id,
+                          const std::string& payload);
   bool SendError(Socket& conn, uint64_t request_id, const Status& status);
 
   const BsiStore* cold_;
@@ -80,14 +95,18 @@ class NodeServer {
   FaultyEndpoint send_endpoint_;
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<int> inflight_{0};
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> backpressure_rejections_{0};
-  // Explicit fault op counters (net.accept / net.node_crash), kept apart
-  // from the transport's send counter.
+  // Explicit fault op counters (net.accept / net.node_crash / net.repair),
+  // kept apart from the transport's send counter.
   std::atomic<uint64_t> accepts_{0};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> repairs_{0};
+  // steady_clock nanos of the last query admission; Drain's quiescence test.
+  std::atomic<int64_t> last_query_ns_{0};
 
   std::thread accept_thread_;
   std::mutex handlers_mu_;

@@ -1,0 +1,151 @@
+#include "net/repair.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "net/socket.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "wire/envelope.h"
+#include "wire/messages.h"
+
+namespace expbsi {
+namespace net {
+
+namespace {
+
+// One fetch attempt against one peer. Returns OK and fills `push` only when
+// the peer answered with a fully fingerprint-verified copy of `segment`.
+Status FetchVerified(uint16_t peer_port, uint32_t segment,
+                     uint64_t request_id, const RepairOptions& options,
+                     wire::WireSegmentPush* push, RepairStats* stats) {
+  const Deadline deadline = Deadline::After(options.rpc_deadline_seconds);
+  Result<Socket> conn = Connect(peer_port, deadline);
+  RETURN_IF_ERROR(conn.status());
+  wire::Envelope req;
+  req.type = wire::MsgType::kSegmentFetch;
+  req.request_id = request_id;
+  wire::EncodeSegmentFetch(wire::WireSegmentFetch{segment}, &req.payload);
+  // No FaultyEndpoint: repair faults are injected at the peer's net.repair
+  // site, not on this side's sends, so repair schedules are independent of
+  // how many query RPCs preceded them.
+  RETURN_IF_ERROR(
+      SendEnvelope(conn.value(), req, deadline, /*endpoint=*/nullptr));
+  Result<wire::Envelope> reply =
+      RecvEnvelope(conn.value(), deadline, request_id);
+  RETURN_IF_ERROR(reply.status());
+  if (reply.value().type == wire::MsgType::kError) {
+    Result<wire::WireError> err = wire::DecodeError(reply.value().payload);
+    if (!err.ok()) return err.status();
+    return Status(err.value().code, err.value().message);
+  }
+  if (reply.value().type != wire::MsgType::kSegmentPush) {
+    return Status::InvalidArgument("repair: unexpected reply type");
+  }
+  Result<wire::WireSegmentPush> decoded =
+      wire::DecodeSegmentPush(reply.value().payload);
+  RETURN_IF_ERROR(decoded.status());
+  if (decoded.value().segment != segment) {
+    return Status::InvalidArgument("repair: reply names wrong segment");
+  }
+  if (decoded.value().blobs.empty()) {
+    return Status::NotFound("repair: peer has no blobs for segment");
+  }
+  for (const wire::WireRepairBlob& blob : decoded.value().blobs) {
+    if (BlobFingerprint(blob.bytes) != blob.fingerprint) {
+      if (stats != nullptr) ++stats->fingerprint_rejections;
+      obs::GetCounter("repair.fingerprint_rejections").Add(1);
+      return Status::Corruption(
+          "repair: blob bytes do not match claimed fingerprint");
+    }
+  }
+  *push = std::move(decoded).value();
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint32_t> FindDamagedSegments(const BsiStore& store,
+                                          const Placement& placement,
+                                          int node_id) {
+  std::set<uint32_t> present;
+  std::set<uint32_t> quarantined;
+  store.ForEachEntry([&](const BsiStoreKey& key, const std::string& bytes,
+                         uint64_t fingerprint) {
+    present.insert(key.segment);
+    if (BlobFingerprint(bytes) != fingerprint) {
+      quarantined.insert(key.segment);
+    }
+  });
+  std::vector<uint32_t> damaged;
+  for (uint32_t seg : placement.SegmentsOf(node_id)) {
+    if (present.count(seg) == 0 || quarantined.count(seg) > 0) {
+      damaged.push_back(seg);
+    }
+  }
+  return damaged;
+}
+
+Status RepairSegments(const std::vector<uint32_t>& segments,
+                      const std::vector<uint16_t>& peer_ports,
+                      const RepairOptions& options, BsiStore* dest,
+                      RepairStats* stats) {
+  RepairStats local;
+  if (stats == nullptr) stats = &local;
+  static obs::Counter& repaired = obs::GetCounter("repair.segments_repaired");
+  static obs::Counter& failed = obs::GetCounter("repair.segments_failed");
+  static obs::Counter& installed = obs::GetCounter("repair.blobs_installed");
+  static obs::Counter& peer_failures = obs::GetCounter("repair.peer_failures");
+  uint64_t request_id = 1;
+  for (uint32_t segment : segments) {
+    ++stats->segments_attempted;
+    obs::ScopedSpan span("segment_repair");
+    span.AddAttr("segment", segment);
+    bool healed = false;
+    for (uint16_t port : peer_ports) {
+      wire::WireSegmentPush push;
+      Status fetched = FetchVerified(port, segment, request_id++, options,
+                                     &push, stats);
+      if (!fetched.ok()) {
+        ++stats->peer_failures;
+        peer_failures.Add();
+        continue;
+      }
+      for (wire::WireRepairBlob& blob : push.blobs) {
+        BsiStoreKey key;
+        key.segment = static_cast<uint16_t>(segment);
+        key.kind = static_cast<BsiKind>(blob.kind);
+        key.id = blob.id;
+        key.date = blob.date;
+        // PutRecovered keeps the verified fingerprint and flags the blob so
+        // the tiered store re-verifies it once more on first fetch.
+        dest->PutRecovered(key, std::move(blob.bytes), blob.fingerprint);
+        ++stats->blobs_installed;
+        installed.Add();
+      }
+      span.AddAttr("blobs", push.blobs.size());
+      span.AddAttr("peer_port", port);
+      healed = true;
+      break;
+    }
+    if (healed) {
+      ++stats->segments_repaired;
+      repaired.Add();
+    } else {
+      ++stats->segments_failed;
+      failed.Add();
+      span.AddAttr("failed", 1);
+    }
+  }
+  if (stats->segments_failed > 0) {
+    return Status::Unavailable("repair: " +
+                               std::to_string(stats->segments_failed) +
+                               " segment(s) unrepaired");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace expbsi

@@ -1,0 +1,59 @@
+#ifndef EXPBSI_NET_REPAIR_H_
+#define EXPBSI_NET_REPAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "common/status.h"
+#include "storage/bsi_store.h"
+
+namespace expbsi {
+namespace net {
+
+// Replica repair client (DESIGN.md §11): a node recovering with quarantined
+// or missing segments pulls fingerprint-verified copies from peer replicas
+// before it starts serving, instead of serving a hole.
+//
+// Protocol: kSegmentFetch{segment} -> kSegmentPush{segment, blobs}, every
+// blob carrying the sender's recorded BlobFingerprint. The receiver
+// re-fingerprints each blob; one mismatch rejects the whole segment from
+// that peer (the peer is corrupt or lying) and the next peer is tried.
+// Installed blobs go in via PutRecovered, so TieredStore re-verifies them
+// once more on first fetch -- the same trust level as snapshot recovery.
+
+struct RepairOptions {
+  double rpc_deadline_seconds = 10.0;
+};
+
+struct RepairStats {
+  int segments_attempted = 0;
+  int segments_repaired = 0;
+  int segments_failed = 0;       // no peer could supply a verified copy
+  int blobs_installed = 0;
+  int fingerprint_rejections = 0;  // blobs whose bytes belied their claim
+  int peer_failures = 0;           // dial/RPC/decode failures, per peer try
+};
+
+// Segments of `node_id`'s replica set (per `placement`) that need repair:
+// absent entirely from `store`, or holding at least one blob whose bytes no
+// longer match their recorded fingerprint (quarantine).
+std::vector<uint32_t> FindDamagedSegments(const BsiStore& store,
+                                          const Placement& placement,
+                                          int node_id);
+
+// Pulls each segment from the first peer (in `peer_ports` order) that
+// returns a fully fingerprint-verified copy, installing the blobs into
+// `dest`. Per-segment "segment_repair" trace spans when a trace is active;
+// repair.* counters always. Returns OK when every segment was repaired,
+// Unavailable naming the count otherwise (stats carry the detail either
+// way).
+Status RepairSegments(const std::vector<uint32_t>& segments,
+                      const std::vector<uint16_t>& peer_ports,
+                      const RepairOptions& options, BsiStore* dest,
+                      RepairStats* stats = nullptr);
+
+}  // namespace net
+}  // namespace expbsi
+
+#endif  // EXPBSI_NET_REPAIR_H_

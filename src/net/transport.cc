@@ -63,7 +63,17 @@ Result<wire::Envelope> RecvEnvelope(Socket& sock, const Deadline& deadline,
   static obs::Counter& frames = obs::GetCounter("net.frames_received");
   static obs::Counter& bytes = obs::GetCounter("net.bytes_received");
   static obs::Counter& dups = obs::GetCounter("net.frames_deduped");
+  static obs::Counter& skip_cap = obs::GetCounter("net.frames_skipped");
+  uint32_t skipped = 0;
   while (true) {
+    if (skipped >= kMaxSkippedFrames) {
+      // A peer streaming mismatched request_ids would otherwise pin this
+      // receiver until the deadline; give up on the exchange instead.
+      skip_cap.Add();
+      sock.Close();
+      return Status::Unavailable(
+          "net.recv: skipped frame limit reached waiting for request_id");
+    }
     char header[wire::kEnvelopeHeaderBytes];
     RETURN_IF_ERROR(RecvAll(sock, header, sizeof(header), deadline));
     Result<size_t> frame_size = wire::FrameSizeFromHeader(
@@ -81,6 +91,7 @@ Result<wire::Envelope> RecvEnvelope(Socket& sock, const Deadline& deadline,
         env.value().request_id != expected_request_id) {
       // Duplicated or stale reply; skip it and keep reading.
       dups.Add();
+      ++skipped;
       continue;
     }
     return env;

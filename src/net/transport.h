@@ -48,10 +48,17 @@ class FaultyEndpoint {
 Status SendEnvelope(Socket& sock, const wire::Envelope& envelope,
                     const Deadline& deadline, FaultyEndpoint* endpoint);
 
+// Bound on mismatched-request_id frames one RecvEnvelope call will skip.
+// Past it the receiver closes the connection and returns kUnavailable
+// (counted in net.frames_skipped): a peer flooding stale ids must not pin
+// the receiver until its deadline.
+inline constexpr uint32_t kMaxSkippedFrames = 64;
+
 // Reads one envelope: header first (validated -- CRC, magic, length cap --
 // before the body read is sized), then exactly the promised body. Frames
 // whose request_id is not `expected_request_id` are skipped (duplicated or
-// stale replies from an abandoned exchange); pass 0 to accept any id.
+// stale replies from an abandoned exchange, up to kMaxSkippedFrames); pass
+// 0 to accept any id.
 Result<wire::Envelope> RecvEnvelope(Socket& sock, const Deadline& deadline,
                                     uint64_t expected_request_id);
 

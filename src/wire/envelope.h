@@ -35,8 +35,11 @@ enum class MsgType : uint8_t {
   kQueryResponse = 3, // WireQueryResponse payload
   kError = 4,         // WireError payload: the request failed before a
                       // typed response could be built
+  kSegmentFetch = 5,  // WireSegmentFetch payload: replica repair pull
+  kSegmentPush = 6,   // WireSegmentPush payload: fingerprinted blobs
 };
-inline constexpr uint8_t kMaxMsgType = static_cast<uint8_t>(MsgType::kError);
+inline constexpr uint8_t kMaxMsgType =
+    static_cast<uint8_t>(MsgType::kSegmentPush);
 
 inline constexpr uint32_t kEnvelopeMagic = 0x45424e56;  // "VNBE" LE = EBNV
 inline constexpr uint8_t kWireFormatVersion = 1;

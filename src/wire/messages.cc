@@ -1,5 +1,7 @@
 #include "wire/messages.h"
 
+#include <tuple>
+
 #include "wire/byte_io.h"
 #include "wire/envelope.h"
 
@@ -160,6 +162,67 @@ Result<WireQueryResponse> DecodeQueryResponse(std::string_view payload) {
   }
   if (!r.empty()) return malformed;
   return resp;
+}
+
+void EncodeSegmentFetch(const WireSegmentFetch& fetch, std::string* out) {
+  PutU32(out, fetch.segment);
+}
+
+Result<WireSegmentFetch> DecodeSegmentFetch(std::string_view payload) {
+  ByteReader r(payload);
+  WireSegmentFetch fetch;
+  // Segment ids are u16 in the store key; a wider id never names real data.
+  if (!r.ReadU32(&fetch.segment) || fetch.segment > UINT16_MAX ||
+      !r.empty()) {
+    return Status::Corruption("wire segment fetch: malformed payload");
+  }
+  return fetch;
+}
+
+void EncodeSegmentPush(const WireSegmentPush& push, std::string* out) {
+  PutU32(out, push.segment);
+  PutU32(out, static_cast<uint32_t>(push.blobs.size()));
+  for (const WireRepairBlob& b : push.blobs) {
+    PutU8(out, b.kind);
+    PutU64(out, b.id);
+    PutU32(out, b.date);
+    PutU64(out, b.fingerprint);
+    PutString(out, b.bytes);
+  }
+}
+
+Result<WireSegmentPush> DecodeSegmentPush(std::string_view payload) {
+  ByteReader r(payload);
+  WireSegmentPush push;
+  const Status malformed =
+      Status::Corruption("wire segment push: malformed payload");
+  if (!r.ReadU32(&push.segment) || push.segment > UINT16_MAX) {
+    return malformed;
+  }
+  uint32_t num_blobs = 0;
+  // A blob is at least 1+8+4+8+4 bytes (kind, id, date, fingerprint, empty
+  // bytes), so the count is bounded before the resize.
+  if (!r.ReadCount(&num_blobs, 25)) return malformed;
+  push.blobs.resize(num_blobs);
+  for (uint32_t i = 0; i < num_blobs; ++i) {
+    WireRepairBlob& b = push.blobs[i];
+    if (!r.ReadU8(&b.kind) || b.kind > 3 || !r.ReadU64(&b.id) ||
+        !r.ReadU32(&b.date) || !r.ReadU64(&b.fingerprint) ||
+        !r.ReadString(&b.bytes, kMaxRepairBlobBytes)) {
+      return malformed;
+    }
+    // Blobs must be strictly (kind, id, date)-ascending: one canonical
+    // encoding per segment and no duplicate-key smuggling.
+    if (i > 0) {
+      const WireRepairBlob& prev = push.blobs[i - 1];
+      auto key = [](const WireRepairBlob& x) {
+        return std::make_tuple(x.kind, x.id, x.date);
+      };
+      if (!(key(prev) < key(b))) return malformed;
+    }
+  }
+  if (!r.empty()) return malformed;
+  return push;
 }
 
 }  // namespace wire

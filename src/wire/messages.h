@@ -114,11 +114,61 @@ struct WireQueryResponse {
   }
 };
 
+// Recovering node -> peer replica: send me your copy of `segment`.
+struct WireSegmentFetch {
+  uint32_t segment = 0;
+
+  friend bool operator==(const WireSegmentFetch& a,
+                         const WireSegmentFetch& b) {
+    return a.segment == b.segment;
+  }
+};
+
+// Per-blob serialized-BSI cap inside a kSegmentPush. Individual blobs are
+// whole serialized BSI columns and routinely exceed kMaxWireStringBytes;
+// they get their own, larger bound (the envelope payload cap still closes
+// the total).
+inline constexpr uint32_t kMaxRepairBlobBytes = 8u << 20;
+
+// One fingerprinted store entry inside a kSegmentPush: the BsiStore key
+// fields plus the serialized bytes and the sender's BlobFingerprint of
+// those bytes. The receiver re-fingerprints before installing, so a blob
+// corrupted in flight (or by a lying peer) is rejected, never served.
+struct WireRepairBlob {
+  uint8_t kind = 0;   // BsiKind, <= 3 on the wire
+  uint64_t id = 0;    // strategy or metric id
+  uint32_t date = 0;
+  uint64_t fingerprint = 0;
+  std::string bytes;
+
+  friend bool operator==(const WireRepairBlob& a, const WireRepairBlob& b) {
+    return a.kind == b.kind && a.id == b.id && a.date == b.date &&
+           a.fingerprint == b.fingerprint && a.bytes == b.bytes;
+  }
+};
+
+// Peer replica -> recovering node: every blob of the requested segment,
+// sorted by (kind, id, date) so the encoding is canonical.
+struct WireSegmentPush {
+  uint32_t segment = 0;
+  std::vector<WireRepairBlob> blobs;
+
+  friend bool operator==(const WireSegmentPush& a, const WireSegmentPush& b) {
+    return a.segment == b.segment && a.blobs == b.blobs;
+  }
+};
+
 void EncodeQueryRequest(const WireQueryRequest& req, std::string* out);
 Result<WireQueryRequest> DecodeQueryRequest(std::string_view payload);
 
 void EncodeQueryResponse(const WireQueryResponse& resp, std::string* out);
 Result<WireQueryResponse> DecodeQueryResponse(std::string_view payload);
+
+void EncodeSegmentFetch(const WireSegmentFetch& fetch, std::string* out);
+Result<WireSegmentFetch> DecodeSegmentFetch(std::string_view payload);
+
+void EncodeSegmentPush(const WireSegmentPush& push, std::string* out);
+Result<WireSegmentPush> DecodeSegmentPush(std::string_view payload);
 
 }  // namespace wire
 }  // namespace expbsi

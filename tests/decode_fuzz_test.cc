@@ -511,6 +511,88 @@ void RunWireErrorIteration(uint64_t seed) {
       << ctx << " accepted payload did not re-encode bit-identically";
 }
 
+wire::WireSegmentFetch RandomSegmentFetch(Rng& rng) {
+  wire::WireSegmentFetch fetch;
+  fetch.segment = static_cast<uint32_t>(rng.NextBounded(65536));
+  return fetch;
+}
+
+wire::WireSegmentPush RandomSegmentPush(Rng& rng) {
+  wire::WireSegmentPush push;
+  push.segment = static_cast<uint32_t>(rng.NextBounded(65536));
+  // Strictly ascending (kind, id, date) keys: the canonical order the
+  // decoder enforces.
+  std::set<std::tuple<uint8_t, uint64_t, uint32_t>> keys;
+  for (uint64_t i = rng.NextBounded(5); i > 0; --i) {
+    keys.insert({static_cast<uint8_t>(rng.NextBounded(4)),
+                 rng.NextBounded(2000), static_cast<uint32_t>(
+                     rng.NextBounded(50))});
+  }
+  for (const auto& [kind, id, date] : keys) {
+    wire::WireRepairBlob blob;
+    blob.kind = kind;
+    blob.id = id;
+    blob.date = date;
+    blob.fingerprint = rng.Next();
+    blob.bytes = RandomWireBytes(rng, 200);
+    push.blobs.push_back(std::move(blob));
+  }
+  return push;
+}
+
+void RunSegmentFetchIteration(uint64_t seed) {
+  Rng rng(seed);
+  std::string payload;
+  wire::EncodeSegmentFetch(RandomSegmentFetch(rng), &payload);
+  const std::string mutated = Mutate(rng, payload, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "segment fetch");
+
+  const Result<wire::WireSegmentFetch> parsed =
+      wire::DecodeSegmentFetch(mutated);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << ctx;
+    return;
+  }
+  EXPECT_LE(parsed.value().segment, 65535u) << ctx;
+  std::string again;
+  wire::EncodeSegmentFetch(parsed.value(), &again);
+  EXPECT_EQ(again, mutated)
+      << ctx << " accepted payload did not re-encode bit-identically";
+}
+
+void RunSegmentPushIteration(uint64_t seed) {
+  Rng rng(seed);
+  std::string payload;
+  wire::EncodeSegmentPush(RandomSegmentPush(rng), &payload);
+  const std::string mutated = Mutate(rng, payload, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "segment push");
+
+  const Result<wire::WireSegmentPush> parsed =
+      wire::DecodeSegmentPush(mutated);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << ctx;
+    return;
+  }
+  // Accepted pushes obey every structural invariant the repair client
+  // relies on: canonical order, bounded kinds and blob sizes.
+  EXPECT_LE(parsed.value().segment, 65535u) << ctx;
+  for (size_t i = 0; i < parsed.value().blobs.size(); ++i) {
+    const wire::WireRepairBlob& blob = parsed.value().blobs[i];
+    EXPECT_LE(blob.kind, 3) << ctx;
+    EXPECT_LE(blob.bytes.size(), wire::kMaxRepairBlobBytes) << ctx;
+    if (i > 0) {
+      const wire::WireRepairBlob& prev = parsed.value().blobs[i - 1];
+      EXPECT_LT(std::make_tuple(prev.kind, prev.id, prev.date),
+                std::make_tuple(blob.kind, blob.id, blob.date))
+          << ctx << " accepted blobs out of canonical order";
+    }
+  }
+  std::string again;
+  wire::EncodeSegmentPush(parsed.value(), &again);
+  EXPECT_EQ(again, mutated)
+      << ctx << " accepted payload did not re-encode bit-identically";
+}
+
 TEST(DecodeFuzzTest, EnvelopeDecodeSurvivesMutations) {
   for (uint64_t seed : FuzzSeedSchedule(0xE4E10BE5ull)) {
     RunEnvelopeIteration(seed);
@@ -535,6 +617,20 @@ TEST(DecodeFuzzTest, WireResponseDecodeSurvivesMutations) {
 TEST(DecodeFuzzTest, WireErrorDecodeSurvivesMutations) {
   for (uint64_t seed : FuzzSeedSchedule(0x317E0E03ull)) {
     RunWireErrorIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, SegmentFetchDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0x317E0E04ull)) {
+    RunSegmentFetchIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, SegmentPushDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0x317E0E05ull)) {
+    RunSegmentPushIteration(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
@@ -982,7 +1078,7 @@ TEST(DecodeFuzzTest, HostileCountsFailBeforeAllocation) {
 // Regression corpus: hand-crafted malformed blobs, every one of which must
 // be rejected cleanly. Lines: "<decoder> <hex>  # comment", decoder one of
 // container / roaring / bsi / storefile / envelope / queryrequest /
-// queryresponse / wireerror.
+// queryresponse / wireerror / segmentfetch / segmentpush.
 // ---------------------------------------------------------------------------
 
 TEST(DecodeFuzzTest, MalformedCorpusIsRejected) {
@@ -1023,6 +1119,10 @@ TEST(DecodeFuzzTest, MalformedCorpusIsRejected) {
       EXPECT_FALSE(wire::DecodeQueryResponse(bytes).ok()) << ctx;
     } else if (decoder == "wireerror") {
       EXPECT_FALSE(wire::DecodeError(bytes).ok()) << ctx;
+    } else if (decoder == "segmentfetch") {
+      EXPECT_FALSE(wire::DecodeSegmentFetch(bytes).ok()) << ctx;
+    } else if (decoder == "segmentpush") {
+      EXPECT_FALSE(wire::DecodeSegmentPush(bytes).ok()) << ctx;
     } else {
       ADD_FAILURE() << "unknown decoder in corpus: " << decoder;
     }

@@ -25,10 +25,14 @@
 #include <gtest/gtest.h>
 
 #include "cluster/adhoc_cluster.h"
+#include "cluster/placement.h"
 #include "engine/experiment_data.h"
 #include "engine/scorecard.h"
 #include "expdata/generator.h"
 #include "net/coordinator.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "wire/messages.h"
 
 namespace expbsi {
 namespace {
@@ -51,7 +55,9 @@ struct NodeProcess {
 };
 
 // Forks and execs one node; returns pid -1 on any setup failure.
-NodeProcess SpawnNode(const std::string& store_path, int node_id) {
+// `extra_args` are appended verbatim (topology / repair flags).
+NodeProcess SpawnNode(const std::string& store_path, int node_id,
+                      const std::vector<std::string>& extra_args = {}) {
   NodeProcess node;
   int to_child[2];   // parent writes (never does) -> child stdin
   int from_child[2]; // child stdout -> parent reads the PORT line
@@ -75,11 +81,15 @@ NodeProcess SpawnNode(const std::string& store_path, int node_id) {
     for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
       ::close(fd);
     }
-    const std::string store_arg = "--store=" + store_path;
-    const std::string id_arg = "--node-id=" + std::to_string(node_id);
-    ::execl(EXPBSI_NODE_BINARY, EXPBSI_NODE_BINARY, store_arg.c_str(),
-            id_arg.c_str(), static_cast<char*>(nullptr));
-    std::perror("execl(expbsi_node)");
+    std::vector<std::string> args = {EXPBSI_NODE_BINARY,
+                                     "--store=" + store_path,
+                                     "--node-id=" + std::to_string(node_id)};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(EXPBSI_NODE_BINARY, argv.data());
+    std::perror("execv(expbsi_node)");
     ::_exit(127);
   }
   // Parent.
@@ -298,6 +308,173 @@ TEST(NetProcessTest, KilledProcessIsRoutedAround) {
 
   for (NodeProcess& node : nodes) StopNode(&node);
   ::unlink(store_path.c_str());
+}
+
+// SIGTERM is a graceful drain (satellite of DESIGN.md §11): the node stops
+// accepting, finishes in-flight work and exits 0 -- a supervisor's rolling
+// restart is distinguishable from a crash. Afterwards the port refuses
+// connections.
+TEST(NetProcessTest, SigtermDrainsAndExitsZero) {
+  // An empty warehouse is enough: this test is about lifecycle, not data.
+  const std::string store_path =
+      ::testing::TempDir() + "expbsi_net_process_drain_store.bin";
+  ASSERT_TRUE(BsiStore().SaveToFile(store_path).ok());
+
+  NodeProcess node = SpawnNode(store_path, 0);
+  ASSERT_GT(node.pid, 0);
+  ASSERT_GT(node.port, 0);
+
+  // The node is actually serving before the drain.
+  const net::Deadline deadline = net::Deadline::After(5.0);
+  {
+    Result<net::Socket> sock = net::Connect(node.port, deadline);
+    ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+    wire::Envelope ping;
+    ping.type = wire::MsgType::kPing;
+    ping.request_id = 1;
+    ASSERT_TRUE(
+        net::SendEnvelope(sock.value(), ping, deadline, nullptr).ok());
+    Result<wire::Envelope> pong = net::RecvEnvelope(sock.value(), deadline, 1);
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_EQ(pong.value().type, wire::MsgType::kPong);
+  }
+
+  ASSERT_EQ(::kill(node.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(node.pid, &status, 0), node.pid);
+  node.pid = -1;
+  ASSERT_TRUE(WIFEXITED(status)) << "node did not exit cleanly on SIGTERM";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  Result<net::Socket> refused =
+      net::Connect(node.port, net::Deadline::After(1.0));
+  EXPECT_FALSE(refused.ok()) << "drained node still accepts connections";
+
+  StopNode(&node);
+  ::unlink(store_path.c_str());
+}
+
+// Replica repair across real process boundaries: a node started on an EMPTY
+// warehouse file with --repair-peers heals its whole replica set from peer
+// processes before serving, fingerprints verified -- and then both a direct
+// SegmentFetch and a strict fault-free coordinator sweep are bit-identical
+// to the local warehouse.
+TEST(NetProcessTest, ReplicaRepairHealsEmptyNodeAcrossProcesses) {
+  DatasetConfig config;
+  config.num_users = 2000;
+  config.num_segments = 6;
+  config.num_days = 4;
+  config.start_date = kLo;
+  config.seed = 97;
+
+  ExperimentConfig exp;
+  exp.strategy_ids = {801, 802};
+  exp.arm_effects = {1.0, 1.07};
+  exp.traffic_salt = 11;
+
+  MetricConfig m1;
+  m1.metric_id = 901;
+  m1.value_range = 30;
+  m1.daily_participation = 0.6;
+
+  const Dataset dataset = GenerateDataset(config, {exp}, {m1}, {});
+  const ExperimentBsiData bsi = BuildExperimentBsiData(dataset, true);
+  const BsiStore cold = BuildColdStore(bsi);
+  const std::string full_path =
+      ::testing::TempDir() + "expbsi_net_process_repair_full.bin";
+  const std::string empty_path =
+      ::testing::TempDir() + "expbsi_net_process_repair_empty.bin";
+  ASSERT_TRUE(cold.SaveToFile(full_path).ok());
+  ASSERT_TRUE(BsiStore().SaveToFile(empty_path).ok());
+
+  const std::vector<std::string> topology = {
+      "--num-nodes=" + std::to_string(kNumNodes),
+      "--num-segments=" + std::to_string(config.num_segments),
+      "--replicas=2"};
+
+  // Peers 0 and 1 prune the full warehouse down to their replica sets.
+  std::vector<NodeProcess> nodes(kNumNodes);
+  net::CoordinatorOptions options;
+  for (int i = 0; i < 2; ++i) {
+    nodes[i] = SpawnNode(full_path, i, topology);
+    ASSERT_GT(nodes[i].pid, 0);
+    ASSERT_GT(nodes[i].port, 0);
+    options.node_ports.push_back(nodes[i].port);
+  }
+  // Node 2 starts from NOTHING and must repair every owned segment from
+  // the peers before it prints PORT.
+  std::vector<std::string> repair_args = topology;
+  repair_args.push_back("--repair-peers=" + std::to_string(nodes[0].port) +
+                        "," + std::to_string(nodes[1].port));
+  nodes[2] = SpawnNode(empty_path, 2, repair_args);
+  ASSERT_GT(nodes[2].pid, 0);
+  ASSERT_GT(nodes[2].port, 0) << "node 2 died before finishing repair";
+  options.node_ports.push_back(nodes[2].port);
+
+  // Direct proof the empty node now holds verified copies: fetch one of its
+  // owned segments straight from it and compare every blob, fingerprint
+  // included, against the local warehouse.
+  const Placement placement(kNumNodes, config.num_segments, 2);
+  const std::vector<uint32_t> owned = placement.SegmentsOf(2);
+  ASSERT_FALSE(owned.empty());
+  {
+    const net::Deadline deadline = net::Deadline::After(5.0);
+    Result<net::Socket> sock = net::Connect(nodes[2].port, deadline);
+    ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+    wire::Envelope env;
+    env.type = wire::MsgType::kSegmentFetch;
+    env.request_id = 31;
+    wire::WireSegmentFetch fetch;
+    fetch.segment = owned[0];
+    wire::EncodeSegmentFetch(fetch, &env.payload);
+    ASSERT_TRUE(net::SendEnvelope(sock.value(), env, deadline, nullptr).ok());
+    Result<wire::Envelope> reply =
+        net::RecvEnvelope(sock.value(), deadline, 31);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply.value().type, wire::MsgType::kSegmentPush)
+        << "repair left segment " << owned[0] << " unhealed";
+    Result<wire::WireSegmentPush> push =
+        wire::DecodeSegmentPush(reply.value().payload);
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    size_t expected_blobs = 0;
+    cold.ForEachEntry([&](const BsiStoreKey& key, const std::string& bytes,
+                          uint64_t fingerprint) {
+      if (key.segment != owned[0]) return;
+      ++expected_blobs;
+      for (const wire::WireRepairBlob& blob : push.value().blobs) {
+        if (blob.kind == static_cast<uint8_t>(key.kind) &&
+            blob.id == key.id && blob.date == key.date) {
+          EXPECT_EQ(blob.bytes, bytes);
+          EXPECT_EQ(blob.fingerprint, fingerprint);
+          return;
+        }
+      }
+      ADD_FAILURE() << "healed node is missing a blob of segment "
+                    << owned[0];
+    });
+    EXPECT_EQ(push.value().blobs.size(), expected_blobs);
+  }
+
+  // End to end: a STRICT fault-free sweep over the replicated fleet is
+  // bit-identical to the direct engine -- node 2 serves its primaries.
+  options.num_segments = config.num_segments;
+  options.replication_factor = 2;
+  const Date hi = static_cast<Date>(kLo + config.num_days - 1);
+  net::Coordinator coordinator(options);
+  const Result<AdhocCluster::QueryStats> stats =
+      coordinator.QueryBsi({801, 802}, {901}, kLo, hi);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats.value().degraded.degraded());
+  for (const auto& [pair, values] : stats.value().results) {
+    const BucketValues direct =
+        ComputeStrategyMetricBsi(bsi, pair.first, pair.second, kLo, hi);
+    EXPECT_EQ(values.sums, direct.sums);
+    EXPECT_EQ(values.counts, direct.counts);
+  }
+
+  for (NodeProcess& node : nodes) StopNode(&node);
+  ::unlink(full_path.c_str());
+  ::unlink(empty_path.c_str());
 }
 
 }  // namespace

@@ -7,15 +7,21 @@
 // expiry) live in net_chaos_test.cc; the real-process differential sweep
 // in net_process_test.cc.
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cluster/adhoc_cluster.h"
+#include "cluster/placement.h"
 #include "common/crc32c.h"
+#include "net/node_health.h"
 #include "engine/experiment_data.h"
 #include "engine/scorecard.h"
 #include "expdata/generator.h"
@@ -165,6 +171,218 @@ TEST(WireMessagesTest, RejectsOverdeclaredCounts) {
   wire::PutU32(&payload, 1u << 30);
   EXPECT_FALSE(wire::DecodeQueryRequest(payload).ok());
   EXPECT_FALSE(wire::DecodeQueryResponse(payload).ok());
+}
+
+TEST(WireMessagesTest, SegmentFetchRoundTrips) {
+  wire::WireSegmentFetch fetch;
+  fetch.segment = 65535;
+  std::string payload;
+  wire::EncodeSegmentFetch(fetch, &payload);
+  Result<wire::WireSegmentFetch> decoded = wire::DecodeSegmentFetch(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value() == fetch);
+  std::string reencoded;
+  wire::EncodeSegmentFetch(decoded.value(), &reencoded);
+  EXPECT_EQ(payload, reencoded);
+  // Trailing byte and out-of-range segment ids are rejected.
+  EXPECT_FALSE(wire::DecodeSegmentFetch(payload + "x").ok());
+  wire::WireSegmentFetch big;
+  big.segment = 65536;
+  std::string bad;
+  wire::EncodeSegmentFetch(big, &bad);
+  EXPECT_FALSE(wire::DecodeSegmentFetch(bad).ok());
+}
+
+TEST(WireMessagesTest, SegmentPushRoundTrips) {
+  wire::WireSegmentPush push;
+  push.segment = 3;
+  wire::WireRepairBlob a;
+  a.kind = 0;
+  a.id = 801;
+  a.date = 10;
+  a.fingerprint = 0x1122334455667788ull;
+  a.bytes = std::string("blob\0bytes", 10);
+  wire::WireRepairBlob b = a;
+  b.kind = 1;
+  b.id = 901;
+  b.bytes = "";
+  push.blobs = {a, b};
+  std::string payload;
+  wire::EncodeSegmentPush(push, &payload);
+  Result<wire::WireSegmentPush> decoded = wire::DecodeSegmentPush(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value() == push);
+  std::string reencoded;
+  wire::EncodeSegmentPush(decoded.value(), &reencoded);
+  EXPECT_EQ(payload, reencoded);
+}
+
+TEST(WireMessagesTest, SegmentPushRejectsMalformedPayloads) {
+  wire::WireSegmentPush push;
+  push.segment = 3;
+  wire::WireRepairBlob blob;
+  blob.kind = 2;
+  blob.id = 901;
+  blob.date = 12;
+  blob.fingerprint = 7;
+  blob.bytes = "bsi";
+  push.blobs = {blob};
+  std::string clean;
+  wire::EncodeSegmentPush(push, &clean);
+  ASSERT_TRUE(wire::DecodeSegmentPush(clean).ok());
+
+  // Trailing garbage.
+  EXPECT_FALSE(wire::DecodeSegmentPush(clean + "x").ok());
+  // Out-of-range BsiKind (> kState).
+  wire::WireSegmentPush bad_kind = push;
+  bad_kind.blobs[0].kind = 4;
+  std::string payload;
+  wire::EncodeSegmentPush(bad_kind, &payload);
+  EXPECT_FALSE(wire::DecodeSegmentPush(payload).ok());
+  // Non-ascending (kind, id, date) order: duplicates and swaps both break
+  // canonical form.
+  wire::WireSegmentPush dup = push;
+  dup.blobs.push_back(push.blobs[0]);
+  wire::EncodeSegmentPush(dup, &payload);
+  EXPECT_FALSE(wire::DecodeSegmentPush(payload).ok());
+  // Hostile blob count with no bytes behind it: rejected before allocation.
+  std::string hostile;
+  wire::PutU32(&hostile, 3);          // segment
+  wire::PutU32(&hostile, 1u << 30);   // count
+  EXPECT_FALSE(wire::DecodeSegmentPush(hostile).ok());
+  // Overdeclared blob length.
+  wire::WireSegmentPush long_blob = push;
+  long_blob.blobs[0].bytes = "0123456789";
+  wire::EncodeSegmentPush(long_blob, &payload);
+  const size_t len_at = payload.size() - 10 - 4;
+  payload[len_at] = static_cast<char>(0xff);  // 10 -> 0xff...
+  EXPECT_FALSE(wire::DecodeSegmentPush(payload).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+TEST(PlacementTest, ReplicaSetsAreDistinctInRangeAndSized) {
+  for (const auto& [nodes, segments, r] :
+       std::vector<std::tuple<int, int, int>>{
+           {1, 4, 1}, {3, 6, 2}, {4, 16, 3}, {5, 7, 2}, {8, 64, 5}}) {
+    const Placement placement(nodes, segments, r);
+    for (int seg = 0; seg < segments; ++seg) {
+      const std::vector<int>& replicas = placement.ReplicasOf(seg);
+      ASSERT_EQ(replicas.size(), static_cast<size_t>(std::min(r, nodes)));
+      std::set<int> distinct(replicas.begin(), replicas.end());
+      EXPECT_EQ(distinct.size(), replicas.size());
+      for (int n : replicas) {
+        EXPECT_GE(n, 0);
+        EXPECT_LT(n, nodes);
+        EXPECT_TRUE(placement.IsReplica(seg, n));
+      }
+      EXPECT_EQ(placement.PrimaryOf(seg), replicas[0]);
+    }
+  }
+}
+
+TEST(PlacementTest, PrimariesAreBalancedAndCoverEveryNode) {
+  for (const auto& [nodes, segments] : std::vector<std::pair<int, int>>{
+           {3, 6}, {4, 16}, {5, 7}, {8, 64}, {7, 7}}) {
+    const Placement placement(nodes, segments, 2);
+    std::vector<int> primaries(nodes, 0);
+    for (int seg = 0; seg < segments; ++seg) {
+      ++primaries[placement.PrimaryOf(seg)];
+    }
+    const auto [lo, hi] = std::minmax_element(primaries.begin(),
+                                              primaries.end());
+    EXPECT_GE(*lo, 1) << nodes << " nodes, " << segments
+                      << " segments: a node owns no primary";
+    EXPECT_LE(*hi - *lo, 1) << "primary imbalance";
+  }
+}
+
+TEST(PlacementTest, DeterministicAndPrimariesIndependentOfR) {
+  const Placement a(5, 32, 2);
+  const Placement b(5, 32, 2);
+  const Placement wide(5, 32, 4);
+  for (int seg = 0; seg < 32; ++seg) {
+    EXPECT_EQ(a.ReplicasOf(seg), b.ReplicasOf(seg));
+    // Raising R only appends failover targets; the primary (and the
+    // fault-free routing) never moves.
+    EXPECT_EQ(a.PrimaryOf(seg), wide.PrimaryOf(seg));
+    EXPECT_EQ(wide.ReplicasOf(seg)[1], a.ReplicasOf(seg)[1]);
+  }
+}
+
+TEST(PlacementTest, SegmentsOfAgreesWithIsReplica) {
+  const Placement placement(4, 10, 3);
+  for (int n = 0; n < 4; ++n) {
+    const std::vector<uint32_t> owned = placement.SegmentsOf(n);
+    EXPECT_TRUE(std::is_sorted(owned.begin(), owned.end()));
+    std::set<uint32_t> owned_set(owned.begin(), owned.end());
+    for (int seg = 0; seg < 10; ++seg) {
+      EXPECT_EQ(placement.IsReplica(seg, n),
+                owned_set.count(static_cast<uint32_t>(seg)) == 1)
+          << "node " << n << " segment " << seg;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node health registry
+// ---------------------------------------------------------------------------
+
+TEST(NodeHealthTest, MarkdownAfterConsecutiveFailuresAndSuccessResets) {
+  NodeHealth health(2);
+  EXPECT_TRUE(health.Usable(0));
+  health.RecordFailure(0);
+  EXPECT_FALSE(health.IsMarkedDown(0));  // threshold is 2
+  health.RecordSuccess(0, 0.01);         // resets the streak
+  EXPECT_EQ(health.consecutive_failures(0), 0);
+  health.RecordFailure(0);
+  health.RecordFailure(0);
+  EXPECT_TRUE(health.IsMarkedDown(0));
+  EXPECT_FALSE(health.Usable(0));
+  EXPECT_TRUE(health.Usable(1));  // per-node state
+}
+
+TEST(NodeHealthTest, ProbeBackoffDoublesAndSuccessRevives) {
+  NodeHealth health(1);
+  health.RecordFailure(0);
+  health.RecordFailure(0);
+  ASSERT_TRUE(health.IsMarkedDown(0));
+  // initial_backoff_rounds = 1: one round later the node is probe-due.
+  health.BeginRound();
+  EXPECT_TRUE(health.Usable(0));
+  // The probe fails: backoff doubles to 2 rounds.
+  health.RecordFailure(0);
+  EXPECT_FALSE(health.Usable(0));
+  health.BeginRound();
+  EXPECT_FALSE(health.Usable(0));
+  health.BeginRound();
+  EXPECT_TRUE(health.Usable(0));
+  // This probe succeeds: fully revived, not just probe-due.
+  health.RecordSuccess(0, 0.01);
+  EXPECT_FALSE(health.IsMarkedDown(0));
+  EXPECT_TRUE(health.Usable(0));
+  EXPECT_EQ(health.consecutive_failures(0), 0);
+}
+
+TEST(NodeHealthTest, HedgeDelayTracksTheLatencyQuantile) {
+  // Small default so the default_delay * 0.1 floor cannot mask the
+  // quantile under test.
+  const double kDefault = 0.005;
+  NodeHealth health(1);
+  // Below min_latency_samples (8) the default applies.
+  for (int i = 0; i < 7; ++i) health.RecordSuccess(0, 1.0);
+  EXPECT_DOUBLE_EQ(health.HedgeDelaySeconds(0, kDefault), kDefault);
+  // Ten samples 0.01..0.10: the 0.9 quantile indexes sorted[9 * 0.9] = 0.09.
+  NodeHealth fresh(1);
+  for (int i = 1; i <= 10; ++i) fresh.RecordSuccess(0, 0.01 * i);
+  EXPECT_DOUBLE_EQ(fresh.HedgeDelaySeconds(0, kDefault), 0.09);
+  // A uniformly fast node is floored at a tenth of the default, so hedges
+  // cannot fire on every RPC.
+  NodeHealth fast(1);
+  for (int i = 0; i < 10; ++i) fast.RecordSuccess(0, 1e-6);
+  EXPECT_DOUBLE_EQ(fast.HedgeDelaySeconds(0, kDefault), kDefault * 0.1);
 }
 
 // ---------------------------------------------------------------------------
@@ -410,6 +628,116 @@ TEST_F(NetServingTest, MalformedRequestGetsErrorNotCrash) {
       net::RecvEnvelope(sock.value(), deadline, 10);
   ASSERT_TRUE(pong.ok());
   EXPECT_EQ(pong.value().type, wire::MsgType::kPong);
+  node.Stop();
+}
+
+TEST_F(NetServingTest, RecvSkipCapClosesFloodedExchange) {
+  // A peer spraying frames with stale request ids must not pin the
+  // receiver until its deadline: after kMaxSkippedFrames mismatches the
+  // exchange is closed Unavailable.
+  net::NodeServerOptions options;
+  net::NodeServer node(cold_, options);
+  ASSERT_TRUE(node.Start().ok());
+  const net::Deadline deadline = net::Deadline::After(10.0);
+  Result<net::Socket> sock = net::Connect(node.port(), deadline);
+  ASSERT_TRUE(sock.ok());
+  // Each ping comes back as a pong carrying the ping's id -- none of them
+  // the id we will wait for.
+  for (uint32_t i = 0; i <= net::kMaxSkippedFrames; ++i) {
+    wire::Envelope ping;
+    ping.type = wire::MsgType::kPing;
+    ping.request_id = 100 + i;
+    ASSERT_TRUE(
+        net::SendEnvelope(sock.value(), ping, deadline, nullptr).ok());
+  }
+  Result<wire::Envelope> reply =
+      net::RecvEnvelope(sock.value(), deadline, /*expected_request_id=*/9999);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  node.Stop();
+}
+
+TEST_F(NetServingTest, MisroutedSegmentIsRefusedNotServedAsZeros) {
+  // Replicated serving: a node owning {1, 2} must refuse segment 0 loudly.
+  // Against a pruned store a misroute would otherwise read as semantic
+  // absence and return silent zeros -- the exact SRM hazard.
+  net::NodeServerOptions options;
+  options.owned_segments = {1, 2};
+  net::NodeServer node(cold_, options);
+  ASSERT_TRUE(node.Start().ok());
+  const net::Deadline deadline = net::Deadline::After(5.0);
+  Result<net::Socket> sock = net::Connect(node.port(), deadline);
+  ASSERT_TRUE(sock.ok());
+  wire::Envelope env;
+  env.type = wire::MsgType::kQueryRequest;
+  env.request_id = 11;
+  wire::WireQueryRequest req;
+  req.strategy_ids = {801};
+  req.metric_ids = {901};
+  req.date_lo = 10;
+  req.date_hi = 14;
+  req.segments = {0, 1};
+  wire::EncodeQueryRequest(req, &env.payload);
+  ASSERT_TRUE(net::SendEnvelope(sock.value(), env, deadline, nullptr).ok());
+  Result<wire::Envelope> reply =
+      net::RecvEnvelope(sock.value(), deadline, 11);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply.value().type, wire::MsgType::kError);
+  Result<wire::WireError> err = wire::DecodeError(reply.value().payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value().code, StatusCode::kInvalidArgument);
+  EXPECT_NE(err.value().message.find("not owned"), std::string::npos);
+  node.Stop();
+}
+
+TEST_F(NetServingTest, SegmentFetchReturnsFingerprintedBlobsOrNotFound) {
+  net::NodeServerOptions options;
+  net::NodeServer node(cold_, options);
+  ASSERT_TRUE(node.Start().ok());
+  const net::Deadline deadline = net::Deadline::After(5.0);
+  Result<net::Socket> sock = net::Connect(node.port(), deadline);
+  ASSERT_TRUE(sock.ok());
+
+  wire::Envelope env;
+  env.type = wire::MsgType::kSegmentFetch;
+  env.request_id = 21;
+  wire::WireSegmentFetch fetch;
+  fetch.segment = 2;
+  wire::EncodeSegmentFetch(fetch, &env.payload);
+  ASSERT_TRUE(net::SendEnvelope(sock.value(), env, deadline, nullptr).ok());
+  Result<wire::Envelope> reply =
+      net::RecvEnvelope(sock.value(), deadline, 21);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply.value().type, wire::MsgType::kSegmentPush);
+  Result<wire::WireSegmentPush> push =
+      wire::DecodeSegmentPush(reply.value().payload);
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+  EXPECT_EQ(push.value().segment, 2u);
+  ASSERT_FALSE(push.value().blobs.empty());
+  // Every shipped blob matches the warehouse bytes and fingerprint.
+  for (const wire::WireRepairBlob& blob : push.value().blobs) {
+    BsiStoreKey key{static_cast<uint16_t>(push.value().segment),
+                    static_cast<BsiKind>(blob.kind), blob.id, blob.date};
+    Result<const std::string*> stored = cold_->Get(key);
+    ASSERT_TRUE(stored.ok());
+    EXPECT_EQ(*stored.value(), blob.bytes);
+    Result<uint64_t> fp = cold_->Fingerprint(key);
+    ASSERT_TRUE(fp.ok());
+    EXPECT_EQ(fp.value(), blob.fingerprint);
+  }
+
+  // A segment the store has nothing for is NotFound, not an empty push.
+  env.request_id = 22;
+  fetch.segment = 4000;
+  env.payload.clear();
+  wire::EncodeSegmentFetch(fetch, &env.payload);
+  ASSERT_TRUE(net::SendEnvelope(sock.value(), env, deadline, nullptr).ok());
+  reply = net::RecvEnvelope(sock.value(), deadline, 22);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply.value().type, wire::MsgType::kError);
+  Result<wire::WireError> err = wire::DecodeError(reply.value().payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value().code, StatusCode::kNotFound);
   node.Stop();
 }
 
