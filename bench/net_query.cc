@@ -42,6 +42,7 @@
 #include "net/node_server.h"
 #include "net/socket.h"
 #include "net/transport.h"
+#include "obs/fleet.h"
 #include "storage/bsi_store.h"
 #include "wire/envelope.h"
 #include "wire/messages.h"
@@ -311,6 +312,43 @@ int main() {
     std::printf("BENCHJSON {\"op\": \"net_query_inprocess\", "
                 "\"ns_per_op\": %.0f}\n",
                 local_best_ns);
+  }
+
+  // ---- fleet scrape: merged stats from every node -------------------------
+  // One observability wave over the live 3-node fleet: kStatsFetch to every
+  // node plus the coordinator's self row, merged and rendered as Prometheus
+  // text. This is what a monitoring pull against the coordinator costs, and
+  // it shares the serving sockets -- it should stay far below query latency.
+  {
+    obs::FleetScraperOptions scrape_options;
+    scrape_options.node_ports.assign(options.node_ports.begin(),
+                                     options.node_ports.end());
+    obs::FleetScraper scraper(scrape_options);
+    constexpr int kScrapes = 50;
+    double best_ns = 0;
+    size_t exposition_bytes = 0;
+    for (int round = 0; round < 3; ++round) {
+      Stopwatch watch;
+      for (int i = 0; i < kScrapes; ++i) {
+        const obs::FleetView view = scraper.Scrape();
+        for (const obs::FleetNodeSnapshot& snap : view.nodes) {
+          if (snap.label != "coordinator" && !snap.reachable) {
+            std::fprintf(stderr, "fleet scrape lost node %s: %s\n",
+                         snap.label.c_str(), snap.error.c_str());
+            return 1;
+          }
+        }
+        exposition_bytes = obs::FleetScraper::RenderPrometheus(view).size();
+      }
+      const double ns = watch.ElapsedSeconds() * 1e9 / kScrapes;
+      if (best_ns == 0 || ns < best_ns) best_ns = ns;
+    }
+    std::printf("fleet scrape:     %.2f ms over %d nodes "
+                "(%zu-byte exposition)\n",
+                best_ns / 1e6, kNumNodes, exposition_bytes);
+    std::printf("BENCHJSON {\"op\": \"net_fleet_scrape\", "
+                "\"ns_per_op\": %.0f, \"bytes_per_op\": %zu}\n",
+                best_ns, exposition_bytes);
   }
 
   for (auto& node : nodes) node->Stop();

@@ -26,9 +26,13 @@ import re
 import sys
 
 NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+# Label values may contain \" \\ \n escapes (PromEscapeLabelValue); fleet
+# expositions label every sample with node="..." (and build="...").
+LABEL_PAIR = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
 PROM_SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r'(?:\{(?P<labels>(?:' + LABEL_PAIR + r',)*(?:' + LABEL_PAIR + r')?)\})?'
     r" (?P<value>-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|nan|[+-]?inf))$"
 )
 TYPE_RE = re.compile(r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
@@ -61,16 +65,23 @@ def check_prom_file(path):
         m = PROM_SAMPLE_RE.match(line)
         if m is None:
             fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
-        samples.append((m.group("name"), m.group("le"), m.group("value")))
+        labels = {lm.group("key"): lm.group("value")
+                  for lm in LABEL_RE.finditer(m.group("labels") or "")}
+        samples.append((m.group("name"), labels, m.group("value")))
 
     if not samples:
         fail(f"{path}: no samples and not marked compiled-out")
 
-    hist = {}  # family -> {"buckets": [(le, cum)], "sum": v, "count": v}
-    for name, le, value in samples:
+    # Histogram series are keyed by family plus the non-le labels, so a
+    # fleet exposition carrying one series per node validates per node.
+    hist = {}  # (family, labels) -> {"buckets": [(le, cum)], "sum", "count"}
+    for name, labels, value in samples:
+        le = labels.get("le")
         base = re.sub(r"_(bucket|sum|count)$", "", name)
         if base in types and types[base] == "histogram":
-            entry = hist.setdefault(base, {"buckets": []})
+            series = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            entry = hist.setdefault((base, series), {"buckets": []})
             if name.endswith("_bucket"):
                 if le is None:
                     fail(f"{path}: {name} sample without le label")
@@ -89,7 +100,7 @@ def check_prom_file(path):
         if types[name] == "counter" and float(value) < 0:
             fail(f"{path}: counter {name} is negative ({value})")
 
-    for family, entry in hist.items():
+    for (family, _series), entry in hist.items():
         if "sum" not in entry or "count" not in entry:
             fail(f"{path}: histogram {family} missing _sum or _count")
         buckets = entry["buckets"]
@@ -109,7 +120,7 @@ def check_prom_file(path):
         if buckets[-1][1] != entry["count"]:
             fail(f"{path}: histogram {family} +Inf bucket != _count")
 
-    n_hist = len(hist)
+    n_hist = len({family for family, _series in hist})
     print(f"  {path}: {len(types)} families ({n_hist} histograms), ok")
 
 

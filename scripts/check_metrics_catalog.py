@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Lint the metric catalog in docs/OBSERVABILITY.md against the source tree.
+
+Every metric the code registers via MetricsRegistry::GetCounter / GetGauge /
+GetHistogram must appear in the "### Catalog" table, and every metric the
+table documents must still exist in the code.  The table also records the
+instrument type ((g) gauge, (h) histogram, counter otherwise), which must
+match the registration call.
+
+Exit status is non-zero if the catalog and the code disagree in either
+direction, which is how CI keeps the docs honest.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REGISTRATION_RE = re.compile(r'Get(Counter|Gauge|Histogram)\("([a-z][a-z0-9_.]*)"\)')
+
+# Catalog rows look like:
+#   | `tier.` | `hot_hits`, `cold_blob_bytes` (h) | meaning |
+ROW_RE = re.compile(r"^\|\s*`(?P<prefix>[a-z][a-z0-9_.]*)`\s*\|(?P<metrics>[^|]*)\|")
+METRIC_CELL_RE = re.compile(r"`(?P<name>[a-z][a-z0-9_.]*)`(?:\s*\((?P<type>[gh])\))?")
+
+TYPE_BY_MARKER = {None: "counter", "g": "gauge", "h": "histogram"}
+TYPE_BY_CALL = {"Counter": "counter", "Gauge": "gauge", "Histogram": "histogram"}
+
+
+def collect_code_metrics(src_dirs):
+    """Map metric name -> (type, first file that registers it)."""
+    metrics = {}
+    for src_dir in src_dirs:
+        for path in sorted(src_dir.rglob("*")):
+            if path.suffix not in (".cc", ".h"):
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            for match in REGISTRATION_RE.finditer(text):
+                kind = TYPE_BY_CALL[match.group(1)]
+                name = match.group(2)
+                prev = metrics.get(name)
+                if prev is not None and prev[0] != kind:
+                    raise SystemExit(
+                        f"error: {name} registered as both {prev[0]} ({prev[1]}) "
+                        f"and {kind} ({path})"
+                    )
+                if prev is None:
+                    metrics[name] = (kind, str(path))
+    return metrics
+
+
+def collect_catalog_metrics(doc_path):
+    """Map metric name -> type as documented in the Catalog table."""
+    text = doc_path.read_text(encoding="utf-8")
+    match = re.search(r"^### Catalog$(?P<body>.*?)^### ", text, re.M | re.S)
+    if match is None:
+        raise SystemExit(f"error: no '### Catalog' section found in {doc_path}")
+    documented = {}
+    for line in match.group("body").splitlines():
+        row = ROW_RE.match(line.strip())
+        if row is None:
+            continue
+        prefix = row.group("prefix")
+        for cell in METRIC_CELL_RE.finditer(row.group("metrics")):
+            name = prefix + cell.group("name")
+            kind = TYPE_BY_MARKER[cell.group("type")]
+            if name in documented and documented[name] != kind:
+                raise SystemExit(
+                    f"error: {name} documented twice with conflicting types"
+                )
+            documented[name] = kind
+    if not documented:
+        raise SystemExit(f"error: Catalog table in {doc_path} has no metric rows")
+    return documented
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=".", help="repository root")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.repo)
+    doc_path = root / "docs" / "OBSERVABILITY.md"
+    code = collect_code_metrics([root / "src"])
+    documented = collect_catalog_metrics(doc_path)
+
+    failures = []
+    for name in sorted(set(code) - set(documented)):
+        failures.append(f"undocumented: {name} ({code[name][0]}, {code[name][1]})")
+    for name in sorted(set(documented) - set(code)):
+        failures.append(f"stale doc entry: {name} (not registered anywhere in src/)")
+    for name in sorted(set(code) & set(documented)):
+        if code[name][0] != documented[name]:
+            failures.append(
+                f"type mismatch: {name} is a {code[name][0]} in code "
+                f"but documented as a {documented[name]}"
+            )
+
+    if failures:
+        print(f"metric catalog check FAILED ({len(failures)} problems):")
+        for failure in failures:
+            print(f"  {failure}")
+        print(
+            "\nfix: reconcile docs/OBSERVABILITY.md '### Catalog' with the "
+            "GetCounter/GetGauge/GetHistogram calls under src/."
+        )
+        return 1
+
+    print(
+        f"metric catalog check passed: {len(code)} metrics in code, "
+        f"all documented with matching types."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

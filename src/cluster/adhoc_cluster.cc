@@ -10,7 +10,9 @@
 #include "common/check.h"
 #include "common/fault_injector.h"
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/trace.h"
 #include "wal/ingest_store.h"
 
@@ -217,11 +219,26 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
     const std::vector<uint64_t>& strategy_ids,
     const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
   CHECK_LE(date_lo, date_hi);
+  Result<QueryStats> result =
+      QueryBsiInternal(strategy_ids, metric_ids, date_lo, date_hi);
+  if (!result.ok()) return result;
+  // The internal call's ScopedTrace has closed: the root span is final and
+  // the slow-query check has run before the bundle freezes the trace.
+  MaybeWritePostmortem(&result.value());
+  return result;
+}
+
+Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsiInternal(
+    const std::vector<uint64_t>& strategy_ids,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi) {
   QueryStats stats;
   stats.trace = std::make_shared<obs::QueryTrace>("adhoc_query_bsi");
   obs::ScopedTrace install_trace(stats.trace.get());
   static obs::Counter& queries = obs::GetCounter("cluster.queries");
   queries.Add();
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kQueryAdmit,
+      static_cast<uint64_t>(num_segments_));
   const int num_segments = num_segments_;
   if (!recovery_lost_segments_.empty() && !config_.allow_degraded) {
     return Status::Corruption(
@@ -411,7 +428,59 @@ Result<AdhocCluster::QueryStats> AdhocCluster::QueryBsi(
   CpuTimer merge_cpu;
   stats.results = std::move(partials);
   stats.latency_seconds = total_latency + merge_cpu.ElapsedSeconds();
+  if (stats.degraded.degraded()) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kQueryDegraded,
+        stats.degraded.lost_segments.size(),
+        static_cast<uint64_t>(stats.degraded.nodes_lost));
+  }
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kQueryFinish,
+      static_cast<uint64_t>(stats.latency_seconds * 1e6),
+      stats.degraded.lost_segments.size());
   return stats;
+}
+
+void AdhocCluster::MaybeWritePostmortem(QueryStats* stats) {
+  std::string reason;
+  if (stats->degraded.degraded()) {
+    reason = "degraded";
+  } else if (stats->degraded.nodes_lost > 0) {
+    reason = "node_markdown";
+  } else {
+    const double threshold_ms = obs::SlowQueryThresholdMs();
+    if (threshold_ms >= 0.0 &&
+        stats->latency_seconds * 1000.0 >= threshold_ms) {
+      reason = "slow_query";
+    }
+  }
+  if (reason.empty() || config_.postmortem_dir.empty()) return;
+
+  obs::PostmortemBundle bundle;
+  bundle.reason = reason;
+  bundle.trace_id = stats->trace ? stats->trace->trace_id() : 0;
+  bundle.query = "adhoc_query_bsi";
+  bundle.duration_ms = stats->latency_seconds * 1000.0;
+  for (int seg : stats->degraded.lost_segments) {
+    bundle.lost_segments.push_back(static_cast<uint32_t>(seg));
+  }
+  bundle.segments_answered =
+      static_cast<uint64_t>(stats->degraded.segments_answered);
+  bundle.retries = static_cast<uint32_t>(stats->degraded.retries);
+  bundle.faults_survived =
+      static_cast<uint32_t>(stats->degraded.faults_survived);
+  bundle.nodes_lost = static_cast<uint32_t>(stats->degraded.nodes_lost);
+  if (stats->trace) bundle.trace_json = stats->trace->ToJson();
+  obs::PostmortemFlightSlice self;
+  self.label = "local";
+  self.fetched = true;
+  self.events = obs::FlightRecorder::Global().Snapshot(
+      stats->trace ? stats->trace->start_flight_seq() : 0);
+  self.next_seq = obs::FlightRecorder::Global().NextSeq();
+  bundle.slices.push_back(std::move(self));
+  Result<std::string> written =
+      obs::WritePostmortem(config_.postmortem_dir, bundle);
+  if (written.ok()) stats->postmortem_path = std::move(written).value();
 }
 
 const ExposeBitmapCache& AdhocCluster::GetOrBuildBitmapCache(

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,12 @@ struct AdhocClusterConfig {
   // handling is left to the store's own checkpoints. Mutually exclusive
   // with passing `bsi` (the store IS the BSI source).
   IngestStore* ingest = nullptr;
+  // When non-empty, a degraded or slow QueryBsi writes a postmortem bundle
+  // (obs/postmortem.h) here. The in-process cluster has no remote rings to
+  // pull, so the bundle carries one "local" flight-recorder slice -- the
+  // same recorder the net layer uses, no wire involved -- plus the finished
+  // trace. The path lands in QueryStats::postmortem_path.
+  std::string postmortem_dir;
 };
 
 class AdhocCluster {
@@ -93,6 +100,10 @@ class AdhocCluster {
     // slow-query check applied -- before the stats are returned; shared so
     // callers can keep it past the stats object.
     std::shared_ptr<obs::QueryTrace> trace;
+    // Path of the postmortem bundle written for this query ("" when no
+    // trigger fired or no postmortem_dir is configured). See
+    // obs/postmortem.h.
+    std::string postmortem_path;
   };
 
   // `dataset` backs the normal-format baseline; `bsi` is serialized into the
@@ -153,6 +164,17 @@ class AdhocCluster {
   int num_segments() const { return num_segments_; }
 
  private:
+  // The QueryBsi body. Holds the query's ScopedTrace, so by the time it
+  // returns the root span is closed and the slow-query check has run; the
+  // wrapper then evaluates the postmortem triggers against finished stats.
+  Result<QueryStats> QueryBsiInternal(
+      const std::vector<uint64_t>& strategy_ids,
+      const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi);
+  // Degraded / slow-query postmortem for the in-process cluster: one
+  // "local" flight-recorder slice (no wire), written under
+  // config.postmortem_dir when a trigger fires.
+  void MaybeWritePostmortem(QueryStats* stats);
+
   // Lazily built (and then reused) per-strategy expose bitmap caches for the
   // baseline, mirroring the paper's "cache these bitmaps in memory". Sets
   // `*built` to whether this call (re)built the cache rather than reusing

@@ -2,10 +2,37 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace expbsi {
 namespace {
+
+// Flight-recorder hook: one event per injected fault, recorded AFTER mu_ is
+// released (the recorder is lock-free but the callback ordering must not
+// extend the injector's critical section). `a` is the first FaultKind the
+// decision carries, `b` the stable fault-site id.
+void RecordInjectedFlightEvent(const std::string& site,
+                               const FaultDecision& d) {
+  if (!d.any()) return;
+  FaultKind kind = FaultKind::kFail;
+  if (d.fail) {
+    kind = FaultKind::kFail;
+  } else if (d.corrupt) {
+    kind = FaultKind::kCorrupt;
+  } else if (d.crash) {
+    kind = FaultKind::kCrash;
+  } else if (d.duplicate) {
+    kind = FaultKind::kDuplicate;
+  } else if (d.truncate) {
+    kind = FaultKind::kTruncate;
+  } else {
+    kind = FaultKind::kDelay;
+  }
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kFaultInjected,
+                                       static_cast<uint64_t>(kind),
+                                       obs::FlightSiteId(site.c_str()));
+}
 
 // FNV-1a over the site name, mixed; stable across runs (std::hash is not
 // guaranteed stable, and schedules must replay byte-for-byte).
@@ -161,25 +188,35 @@ FaultDecision FaultInjector::Decide(const SiteConfig& cfg,
 }
 
 FaultDecision FaultInjector::Evaluate(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t op_index = counters_[site]++;
-  const auto it = sites_.find(site);
-  if (it == sites_.end()) {
-    ++stats_.evaluations;
-    return FaultDecision{};
+  FaultDecision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t op_index = counters_[site]++;
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      ++stats_.evaluations;
+      return FaultDecision{};
+    }
+    d = Decide(it->second, site, op_index);
   }
-  return Decide(it->second, site, op_index);
+  RecordInjectedFlightEvent(site, d);
+  return d;
 }
 
 FaultDecision FaultInjector::EvaluateAt(const std::string& site,
                                         uint64_t op_index) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = sites_.find(site);
-  if (it == sites_.end()) {
-    ++stats_.evaluations;
-    return FaultDecision{};
+  FaultDecision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      ++stats_.evaluations;
+      return FaultDecision{};
+    }
+    d = Decide(it->second, site, op_index);
   }
-  return Decide(it->second, site, op_index);
+  RecordInjectedFlightEvent(site, d);
+  return d;
 }
 
 void FaultInjector::CorruptBlob(uint64_t token, std::string* bytes) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace expbsi {
@@ -31,6 +32,10 @@ void RecordRetryMetrics(const RetryStats& op_stats, bool ok) {
     retries.Add(static_cast<uint64_t>(op_stats.retries));
     static obs::Gauge& backoff = obs::GetGauge("retry.backoff_seconds");
     backoff.Add(op_stats.backoff_seconds);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kRetry,
+        static_cast<uint64_t>(op_stats.attempts),
+        op_stats.recovered ? 1 : 0);
   }
   if (op_stats.recovered) {
     static obs::Counter& recovered = obs::GetCounter("retry.recovered_ops");

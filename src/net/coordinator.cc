@@ -10,7 +10,10 @@
 #include "common/check.h"
 #include "common/fault_injector.h"
 #include "common/timer.h"
+#include "obs/fleet.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/trace.h"
 #include "wire/messages.h"
 
@@ -120,11 +123,31 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
   }
   RunningGuard guard{running_queries_};
 
+  const uint64_t markdowns_before = health_.markdown_count();
+  std::vector<int> involved_nodes;
+  Result<AdhocCluster::QueryStats> result = QueryBsiInternal(
+      strategy_ids, metric_ids, date_lo, date_hi, &involved_nodes);
+  if (!result.ok()) return result;
+  // The internal call's ScopedTrace has closed: the root span is final and
+  // the slow-query check has run, so the bundle freezes the same trace the
+  // slow-query line printed.
+  MaybeWritePostmortem(&result.value(), markdowns_before, involved_nodes);
+  return result;
+}
+
+Result<AdhocCluster::QueryStats> Coordinator::QueryBsiInternal(
+    const std::vector<uint64_t>& strategy_ids,
+    const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi,
+    std::vector<int>* involved_nodes) {
   AdhocCluster::QueryStats stats;
   stats.trace = std::make_shared<obs::QueryTrace>("coordinator_query_bsi");
   obs::ScopedTrace install_trace(stats.trace.get());
   static obs::Counter& queries = obs::GetCounter("coordinator.queries");
   queries.Add();
+  const uint64_t flight_trace_id = stats.trace->trace_id();
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kQueryAdmit,
+      static_cast<uint64_t>(options_.num_segments));
   Stopwatch wall;
   const Deadline deadline =
       Deadline::After(options_.query_deadline_seconds);
@@ -159,6 +182,7 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
     pending.push_back(static_cast<uint32_t>(seg));
   }
   std::vector<int> lost_segments;
+  std::set<int> involved;  // nodes any completed RPC attempt touched
   int wave_index = 0;
   static obs::Counter& waves_counter = obs::GetCounter("coordinator.waves");
   static obs::Counter& requeue_counter =
@@ -286,6 +310,11 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
       return;
     }
     hedged_rpcs.Add();
+    // Task threads have no thread-local trace installed, so the trace id is
+    // stamped explicitly.
+    obs::FlightRecorder::Global().RecordWithTraceId(
+        obs::FlightEventKind::kHedgeFired,
+        static_cast<uint64_t>(primary.node), 0, flight_trace_id);
     std::map<int, std::vector<uint32_t>> by_node;
     for (const auto& [seg, hedge_node] : task.hedge_plan) {
       by_node[hedge_node].push_back(seg);
@@ -424,6 +453,7 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
     for (NodeTask& task : tasks) {
       for (RpcAttempt& attempt : task.attempts) {
         if (!attempt.completed) continue;  // abandoned hedge straggler
+        involved.insert(attempt.node);
         obs::ScopedSpan rpc_span("node_rpc");
         rpc_span.AddAttr("node", static_cast<uint64_t>(attempt.node));
         rpc_span.AddAttr("segments", attempt.segments.size());
@@ -450,6 +480,9 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
                 tried[seg.segment][attempt.node] = true;
                 failed_over[seg.segment] = true;
                 requeue_counter.Add();
+                obs::FlightRecorder::Global().Record(
+                    obs::FlightEventKind::kFailover, seg.segment,
+                    static_cast<uint64_t>(attempt.node));
                 continue;
               }
               if (answered[seg.segment]) continue;  // hedge duplicate
@@ -482,6 +515,9 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
               if (!answered[seg]) {
                 failed_over[seg] = true;
                 requeue_counter.Add();
+                obs::FlightRecorder::Global().Record(
+                    obs::FlightEventKind::kFailover, seg,
+                    static_cast<uint64_t>(attempt.node));
               }
             }
             break;
@@ -543,7 +579,101 @@ Result<AdhocCluster::QueryStats> Coordinator::QueryBsi(
   stats.degraded.lost_segments = std::move(lost_segments);
   stats.results = std::move(partials);
   stats.latency_seconds = wall.ElapsedSeconds();
+  if (stats.degraded.degraded()) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kQueryDegraded,
+        stats.degraded.lost_segments.size(),
+        static_cast<uint64_t>(stats.degraded.nodes_lost));
+  }
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kQueryFinish,
+      static_cast<uint64_t>(stats.latency_seconds * 1e6),
+      stats.degraded.lost_segments.size());
+  involved_nodes->assign(involved.begin(), involved.end());
   return stats;
+}
+
+void Coordinator::MaybeWritePostmortem(
+    AdhocCluster::QueryStats* stats, uint64_t markdowns_before,
+    const std::vector<int>& involved_nodes) {
+  std::string reason;
+  if (stats->degraded.degraded()) {
+    reason = "degraded";
+  } else if (health_.markdown_count() > markdowns_before ||
+             stats->degraded.nodes_lost > 0) {
+    reason = "node_markdown";
+  } else {
+    const double threshold_ms = obs::SlowQueryThresholdMs();
+    if (threshold_ms >= 0.0 &&
+        stats->latency_seconds * 1000.0 >= threshold_ms) {
+      reason = "slow_query";
+    }
+  }
+  if (reason.empty() || options_.postmortem_dir.empty()) return;
+
+  obs::PostmortemBundle bundle;
+  bundle.reason = reason;
+  bundle.trace_id = stats->trace ? stats->trace->trace_id() : 0;
+  bundle.query = "coordinator_query_bsi";
+  bundle.duration_ms = stats->latency_seconds * 1000.0;
+  for (int seg : stats->degraded.lost_segments) {
+    bundle.lost_segments.push_back(static_cast<uint32_t>(seg));
+  }
+  bundle.segments_answered =
+      static_cast<uint64_t>(stats->degraded.segments_answered);
+  bundle.retries = static_cast<uint32_t>(stats->degraded.retries);
+  bundle.faults_survived =
+      static_cast<uint32_t>(stats->degraded.faults_survived);
+  bundle.nodes_lost = static_cast<uint32_t>(stats->degraded.nodes_lost);
+  if (stats->trace) bundle.trace_json = stats->trace->ToJson();
+  const std::vector<NodeHealth::NodeSnapshot> health = health_.Snapshot();
+  for (size_t n = 0; n < health.size(); ++n) {
+    obs::PostmortemNodeHealth h;
+    h.node = static_cast<int>(n);
+    h.down = health[n].down;
+    h.consecutive_failures = health[n].consecutive_failures;
+    bundle.health.push_back(h);
+  }
+  // The coordinator's own ring: everything since the query began.
+  obs::PostmortemFlightSlice self;
+  self.label = "coordinator";
+  self.fetched = true;
+  self.events = obs::FlightRecorder::Global().Snapshot(
+      stats->trace ? stats->trace->start_flight_seq() : 0);
+  self.next_seq = obs::FlightRecorder::Global().NextSeq();
+  bundle.slices.push_back(std::move(self));
+  // Every node the query touched, pulled with the coordinator-held cursors
+  // so consecutive bundles ship disjoint event ranges.
+  {
+    std::lock_guard<std::mutex> lock(pm_mu_);
+    if (pm_cursors_.size() < options_.node_ports.size()) {
+      pm_cursors_.resize(options_.node_ports.size(), 0);
+    }
+    for (int n : involved_nodes) {
+      obs::PostmortemFlightSlice slice;
+      slice.label =
+          "127.0.0.1:" + std::to_string(options_.node_ports[n]);
+      wire::WireStatsFetch fetch;
+      fetch.since_seq = pm_cursors_[static_cast<size_t>(n)];
+      fetch.want_metrics = false;
+      fetch.want_events = true;
+      Result<wire::WireStatsReply> reply =
+          obs::FetchStats(options_.node_ports[n], fetch,
+                          options_.postmortem_fetch_deadline_seconds);
+      if (reply.ok()) {
+        slice.fetched = true;
+        slice.events = obs::EventsFromReply(reply.value());
+        slice.next_seq = reply.value().next_seq;
+        pm_cursors_[static_cast<size_t>(n)] = reply.value().next_seq;
+      } else {
+        slice.error = reply.status().ToString();
+      }
+      bundle.slices.push_back(std::move(slice));
+    }
+  }
+  Result<std::string> written =
+      obs::WritePostmortem(options_.postmortem_dir, bundle);
+  if (written.ok()) stats->postmortem_path = std::move(written).value();
 }
 
 }  // namespace net

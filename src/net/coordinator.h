@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "cluster/adhoc_cluster.h"
@@ -70,6 +72,18 @@ struct CoordinatorOptions {
   // from racing threads, so determinism suites leave this off.
   bool hedge_reads = false;
   double hedge_delay_seconds = 0.02;
+  // When non-empty, a query that comes back degraded, marks a node down, or
+  // trips the slow-query threshold (EXPBSI_SLOW_QUERY_MS) writes a
+  // postmortem bundle (obs/postmortem.h) here: the finished trace tree,
+  // the health registry, the coordinator's flight-recorder slice and one
+  // slice pulled from every node the query touched (kStatsFetch with
+  // coordinator-held since-seq cursors). The path lands in
+  // QueryStats::postmortem_path.
+  std::string postmortem_dir;
+  // Deadline for each postmortem kStatsFetch pull; kept short so a dead
+  // node delays the bundle, never the query (the bundle is written after
+  // QueryStats are final).
+  double postmortem_fetch_deadline_seconds = 1.0;
 };
 
 class Coordinator {
@@ -92,9 +106,31 @@ class Coordinator {
   NodeHealth& health() { return health_; }
 
  private:
+  // The scatter/gather body. Holds the query's ScopedTrace, so by the time
+  // it returns the root span is closed and the slow-query check has run --
+  // the postmortem (written by the QueryBsi wrapper) sees a finished trace.
+  // `involved_nodes` collects every node id an RPC attempt completed
+  // against, the set whose flight recorders a postmortem pulls.
+  Result<AdhocCluster::QueryStats> QueryBsiInternal(
+      const std::vector<uint64_t>& strategy_ids,
+      const std::vector<uint64_t>& metric_ids, Date date_lo, Date date_hi,
+      std::vector<int>* involved_nodes);
+  // Evaluates the postmortem triggers against finished stats and, when one
+  // fires and postmortem_dir is set, assembles + writes the bundle and
+  // records its path in the stats. `markdowns_before` is
+  // health_.markdown_count() sampled at admission.
+  void MaybeWritePostmortem(AdhocCluster::QueryStats* stats,
+                            uint64_t markdowns_before,
+                            const std::vector<int>& involved_nodes);
+
   CoordinatorOptions options_;
   Placement placement_;
   NodeHealth health_;
+  // Per-node flight-recorder cursors used by postmortem pulls, so each
+  // bundle ships only events unseen by previous bundles. Guarded by pm_mu_
+  // (concurrent queries may trigger postmortems concurrently).
+  std::mutex pm_mu_;
+  std::vector<uint64_t> pm_cursors_;
   std::atomic<int> running_queries_{0};
   std::atomic<uint64_t> admission_rejections_{0};
   std::atomic<uint64_t> next_request_id_{1};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace expbsi {
@@ -28,6 +29,8 @@ void NodeHealth::BeginRound() {
     if (s.rounds_until_probe == 0) {
       s.probe_due = true;
       obs::GetCounter("net.health.probes").Add(1);
+      obs::FlightRecorder::Global().Record(obs::FlightEventKind::kNodeProbe,
+                                           static_cast<uint64_t>(n));
     }
   }
 }
@@ -51,7 +54,11 @@ int NodeHealth::consecutive_failures(int node) const {
 void NodeHealth::RecordSuccess(int node, double latency_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   NodeState& s = nodes_[node];
-  if (s.down) obs::GetCounter("net.health.revivals").Add(1);
+  if (s.down) {
+    obs::GetCounter("net.health.revivals").Add(1);
+    obs::FlightRecorder::Global().Record(obs::FlightEventKind::kNodeRevive,
+                                         static_cast<uint64_t>(node));
+  }
   s.down = false;
   s.probe_due = false;
   s.consecutive_failures = 0;
@@ -80,8 +87,27 @@ void NodeHealth::RecordFailure(int node) {
     s.probe_due = false;
     s.backoff_rounds = options_.initial_backoff_rounds;
     s.rounds_until_probe = s.backoff_rounds;
+    ++markdown_count_;
     obs::GetCounter("net.health.markdowns").Add(1);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kNodeMarkdown, static_cast<uint64_t>(node),
+        static_cast<uint64_t>(s.consecutive_failures));
   }
+}
+
+uint64_t NodeHealth::markdown_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return markdown_count_;
+}
+
+std::vector<NodeHealth::NodeSnapshot> NodeHealth::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeSnapshot> out(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out[i].down = nodes_[i].down;
+    out[i].consecutive_failures = nodes_[i].consecutive_failures;
+  }
+  return out;
 }
 
 double NodeHealth::HedgeDelaySeconds(int node, double default_delay) const {

@@ -66,6 +66,18 @@ class NodeHealth {
   // drive the delay to zero and double every RPC.
   double HedgeDelaySeconds(int node, double default_delay) const;
 
+  // Total markdown transitions since construction. A postmortem trigger:
+  // the coordinator samples it before and after a query to learn whether
+  // THIS query marked a node down.
+  uint64_t markdown_count() const;
+
+  // Point-in-time per-node state for the postmortem bundle.
+  struct NodeSnapshot {
+    bool down = false;
+    int consecutive_failures = 0;
+  };
+  std::vector<NodeSnapshot> Snapshot() const;
+
  private:
   struct NodeState {
     int consecutive_failures = 0;
@@ -82,6 +94,7 @@ class NodeHealth {
   NodeHealthOptions options_;
   mutable std::mutex mu_;
   std::vector<NodeState> nodes_;
+  uint64_t markdown_count_ = 0;  // guarded by mu_
 };
 
 }  // namespace expbsi

@@ -4,6 +4,8 @@
 //               [--max-inflight=K]
 //               [--num-nodes=N --num-segments=S [--replicas=R]]
 //               [--repair-peers=port1,port2,...]
+//               [--postmortem-dir=<dir>]
+//               [--inject=<site>,<kind>,<p>[,<delay_s>]]... [--inject-seed=S]
 //
 // Loads the warehouse blobs (BsiStore::SaveToFile format), starts a
 // NodeServer and prints "PORT <port>" on stdout so a parent process
@@ -19,6 +21,15 @@
 // child) or SIGTERM arrives. SIGTERM drains gracefully -- stop accepting,
 // finish in-flight queries, exit 0 -- so a supervisor's rolling restart is
 // distinguishable from a crash.
+//
+// --postmortem-dir: node-local postmortem bundles for queries this node
+// answers degraded (NodeServerOptions::postmortem_dir).
+//
+// --inject installs a process-wide FaultInjector in THIS node only, so a
+// multi-process observability test can corrupt one node's cold-tier fetches
+// (`--inject=tier.fetch,corrupt,1.0`) and watch the fault surface in the
+// merged fleet scrape and the coordinator's postmortem. Kinds: fail,
+// corrupt, crash, delay (4th field = seconds), duplicate, truncate.
 
 #include <poll.h>
 #include <unistd.h>
@@ -33,6 +44,7 @@
 #include <vector>
 
 #include "cluster/placement.h"
+#include "common/fault_injector.h"
 #include "net/node_server.h"
 #include "net/repair.h"
 #include "storage/bsi_store.h"
@@ -47,6 +59,52 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const size_t n = std::strlen(name);
   if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
   *out = arg + n + 1;
+  return true;
+}
+
+// One --inject=<site>,<kind>,<p>[,<delay_s>] spec, parsed up front and
+// applied to the injector after all flags are read (so --inject-seed can
+// come in any order).
+struct InjectSpec {
+  std::string site;
+  std::string kind;
+  double p = 0.0;
+  double delay_seconds = 0.01;
+};
+
+bool ParseInjectSpec(const std::string& csv, InjectSpec* out) {
+  std::vector<std::string> fields;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    fields.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (fields.size() < 3 || fields.size() > 4) return false;
+  out->site = fields[0];
+  out->kind = fields[1];
+  out->p = std::atof(fields[2].c_str());
+  if (fields.size() == 4) out->delay_seconds = std::atof(fields[3].c_str());
+  return !out->site.empty() && out->p > 0.0;
+}
+
+bool ApplyInjectSpec(expbsi::FaultInjector* fi, const InjectSpec& spec) {
+  if (spec.kind == "fail") {
+    fi->SetFailProbability(spec.site, spec.p);
+  } else if (spec.kind == "corrupt") {
+    fi->SetCorruptProbability(spec.site, spec.p);
+  } else if (spec.kind == "crash") {
+    fi->SetCrashProbability(spec.site, spec.p);
+  } else if (spec.kind == "delay") {
+    fi->SetDelayProbability(spec.site, spec.p, spec.delay_seconds);
+  } else if (spec.kind == "duplicate") {
+    fi->SetDuplicateProbability(spec.site, spec.p);
+  } else if (spec.kind == "truncate") {
+    fi->SetTruncateProbability(spec.site, spec.p);
+  } else {
+    return false;
+  }
   return true;
 }
 
@@ -73,6 +131,8 @@ int main(int argc, char** argv) {
   int num_segments = 0;
   int replicas = 2;
   std::vector<uint16_t> repair_peers;
+  std::vector<InjectSpec> inject_specs;
+  uint64_t inject_seed = 42;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argv[i], "--store", &value)) {
       store_path = value;
@@ -90,6 +150,19 @@ int main(int argc, char** argv) {
       replicas = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--repair-peers", &value)) {
       repair_peers = ParsePorts(value);
+    } else if (ParseFlag(argv[i], "--postmortem-dir", &value)) {
+      options.postmortem_dir = value;
+    } else if (ParseFlag(argv[i], "--inject", &value)) {
+      InjectSpec spec;
+      if (!ParseInjectSpec(value, &spec)) {
+        std::fprintf(stderr, "expbsi_node: bad --inject spec %s\n",
+                     value.c_str());
+        return 2;
+      }
+      inject_specs.push_back(std::move(spec));
+    } else if (ParseFlag(argv[i], "--inject-seed", &value)) {
+      inject_seed =
+          static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "expbsi_node: unknown argument %s\n", argv[i]);
       return 2;
@@ -99,8 +172,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: expbsi_node --store=<file> --node-id=N [--port=P] "
                  "[--max-inflight=K] [--num-nodes=N --num-segments=S "
-                 "[--replicas=R]] [--repair-peers=p1,p2,...]\n");
+                 "[--replicas=R]] [--repair-peers=p1,p2,...] "
+                 "[--postmortem-dir=dir] "
+                 "[--inject=site,kind,p[,delay_s]]... [--inject-seed=S]\n");
     return 2;
+  }
+
+  if (!inject_specs.empty()) {
+    // Leaked deliberately: the injector must outlive every server thread.
+    auto* fi = new expbsi::FaultInjector(inject_seed);
+    for (const InjectSpec& spec : inject_specs) {
+      if (!ApplyInjectSpec(fi, spec)) {
+        std::fprintf(stderr, "expbsi_node: unknown --inject kind %s\n",
+                     spec.kind.c_str());
+        return 2;
+      }
+    }
+    expbsi::FaultInjector::Install(fi);
   }
 
   expbsi::Result<expbsi::BsiStore> store =

@@ -9,7 +9,10 @@
 #include "cluster/segment_query.h"
 #include "common/fault_injector.h"
 #include "common/timer.h"
+#include "obs/fleet.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/trace.h"
 
 namespace expbsi {
@@ -133,6 +136,12 @@ void NodeServer::HandleConnection(Socket conn) {
           return;
         }
         break;
+      case wire::MsgType::kStatsFetch:
+        if (!HandleStatsFetch(conn, env.value().request_id,
+                              env.value().payload)) {
+          return;
+        }
+        break;
       default:
         // A node only serves; anything else on the wire is a protocol
         // error worth reporting but not worth dying for.
@@ -211,11 +220,31 @@ bool NodeServer::HandleSegmentFetch(Socket& conn, uint64_t request_id,
   static obs::Counter& blobs = obs::GetCounter("repair.blobs_served");
   served.Add();
   blobs.Add(push.blobs.size());
+  obs::FlightRecorder::Global().RecordWithTraceId(
+      obs::FlightEventKind::kRepair, segment, /*b=2: served*/ 2, request_id);
 
   wire::Envelope env;
   env.type = wire::MsgType::kSegmentPush;
   env.request_id = request_id;
   wire::EncodeSegmentPush(push, &env.payload);
+  return SendEnvelope(conn, env, Deadline::After(kServerIoDeadlineSeconds),
+                      &send_endpoint_)
+      .ok();
+}
+
+bool NodeServer::HandleStatsFetch(Socket& conn, uint64_t request_id,
+                                  const std::string& payload) {
+  Result<wire::WireStatsFetch> req = wire::DecodeStatsFetch(payload);
+  if (!req.ok()) return SendError(conn, request_id, req.status());
+  static obs::Counter& fetches = obs::GetCounter("node.stats_fetches");
+  fetches.Add();
+  wire::WireStatsReply reply = obs::LocalStatsReply(
+      req.value(), static_cast<uint32_t>(options_.node_id), queries_served(),
+      backpressure_rejections());
+  wire::Envelope env;
+  env.type = wire::MsgType::kStatsReply;
+  env.request_id = request_id;
+  wire::EncodeStatsReply(reply, &env.payload);
   return SendEnvelope(conn, env, Deadline::After(kServerIoDeadlineSeconds),
                       &send_endpoint_)
       .ok();
@@ -300,6 +329,13 @@ bool NodeServer::HandleQuery(Socket& conn, uint64_t request_id,
   static obs::Counter& queries = obs::GetCounter("node.queries");
   queries.Add();
   queries_served_.fetch_add(1, std::memory_order_relaxed);
+  // Flight events on the serving path carry the wire request_id as their
+  // trace id, which is what the coordinator's postmortem correlates on.
+  const uint64_t admit_seq = obs::FlightRecorder::Global().NextSeq();
+  obs::FlightRecorder::Global().RecordWithTraceId(
+      obs::FlightEventKind::kQueryAdmit, req.value().segments.size(), 0,
+      request_id);
+  const auto wall_start = std::chrono::steady_clock::now();
 
   wire::WireQueryResponse resp;
   Status exec_status;
@@ -358,9 +394,46 @@ bool NodeServer::HandleQuery(Socket& conn, uint64_t request_id,
       }
     }
   }
+  uint64_t lost = 0;
+  for (const wire::WireSegmentResult& seg : resp.segments) {
+    if (seg.lost != 0) ++lost;
+  }
+  const uint64_t wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  obs::FlightRecorder::Global().RecordWithTraceId(
+      obs::FlightEventKind::kQueryFinish, wall_us, lost, request_id);
   if (!exec_status.ok()) {
     // Strict mode: a permanent failure fails the whole request.
     return SendError(conn, request_id, exec_status);
+  }
+  if (lost > 0) {
+    obs::FlightRecorder::Global().RecordWithTraceId(
+        obs::FlightEventKind::kQueryDegraded, lost, 0, request_id);
+    if (!options_.postmortem_dir.empty()) {
+      // Node-local view of the degradation: this node's ring around the
+      // query. The coordinator writes the fleet-wide bundle; this one
+      // survives even if the coordinator never asks.
+      obs::PostmortemBundle bundle;
+      bundle.reason = "degraded";
+      bundle.trace_id = request_id;
+      bundle.query = "node_query";
+      bundle.duration_ms = static_cast<double>(wall_us) / 1000.0;
+      for (const wire::WireSegmentResult& seg : resp.segments) {
+        if (seg.lost != 0) bundle.lost_segments.push_back(seg.segment);
+      }
+      bundle.segments_answered = resp.segments.size() - lost;
+      bundle.retries = resp.retries;
+      bundle.faults_survived = resp.faults_survived;
+      obs::PostmortemFlightSlice slice;
+      slice.label = "local";
+      slice.fetched = true;
+      slice.events = obs::FlightRecorder::Global().Snapshot(admit_seq);
+      slice.next_seq = obs::FlightRecorder::Global().NextSeq();
+      bundle.slices.push_back(std::move(slice));
+      (void)obs::WritePostmortem(options_.postmortem_dir, bundle);
+    }
   }
 
   static obs::Counter& segs = obs::GetCounter("node.segments_served");

@@ -39,6 +39,11 @@ struct NodeServerOptions {
   // misrouted segment must fail loudly, never resolve to silent zeros
   // against a pruned store.
   std::vector<uint32_t> owned_segments;
+  // When non-empty, a query that returns any lost segment also writes a
+  // node-local postmortem bundle (obs/postmortem.h) here -- the node's own
+  // flight-recorder view of the failure, complementing the coordinator's
+  // fleet-wide bundle.
+  std::string postmortem_dir;
 };
 
 class NodeServer {
@@ -85,6 +90,11 @@ class NodeServer {
   // false when the connection must close.
   bool HandleSegmentFetch(Socket& conn, uint64_t request_id,
                           const std::string& payload);
+  // Serves a fleet scrape / postmortem pull (kStatsFetch -> kStatsReply):
+  // the node's full registry snapshot, build/uptime info and the requested
+  // flight-recorder slice (obs/fleet.h LocalStatsReply).
+  bool HandleStatsFetch(Socket& conn, uint64_t request_id,
+                        const std::string& payload);
   bool SendError(Socket& conn, uint64_t request_id, const Status& status);
 
   const BsiStore* cold_;

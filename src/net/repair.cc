@@ -6,6 +6,7 @@
 
 #include "net/socket.h"
 #include "net/transport.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "wire/envelope.h"
@@ -133,10 +134,14 @@ Status RepairSegments(const std::vector<uint32_t>& segments,
     if (healed) {
       ++stats->segments_repaired;
       repaired.Add();
+      obs::FlightRecorder::Global().Record(obs::FlightEventKind::kRepair,
+                                           segment, /*b=repaired*/ 1);
     } else {
       ++stats->segments_failed;
       failed.Add();
       span.AddAttr("failed", 1);
+      obs::FlightRecorder::Global().Record(obs::FlightEventKind::kRepair,
+                                           segment, /*b=failed*/ 0);
     }
   }
   if (stats->segments_failed > 0) {

@@ -1,0 +1,273 @@
+#include "obs/fleet.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/check.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "obs/process_info.h"
+#include "wire/envelope.h"
+
+namespace expbsi {
+namespace obs {
+
+namespace {
+
+// JSON string escaping for free-form fields (build strings, error
+// messages). Control characters become \u00XX.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+uint64_t NextRequestId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+wire::WireStatsReply LocalStatsReply(const wire::WireStatsFetch& fetch,
+                                     uint32_t node_id,
+                                     uint64_t queries_served,
+                                     uint64_t backpressure_rejections) {
+  wire::WireStatsReply reply;
+  reply.node_id = node_id;
+  reply.uptime_seconds = UptimeSeconds();
+  reply.build_info = BuildInfoString();
+  reply.queries_served = queries_served;
+  reply.backpressure_rejections = backpressure_rejections;
+  if (fetch.want_metrics) {
+    MetricsSnapshot snap = MetricsRegistry::Global().Scrape();
+    reply.counters.reserve(snap.counters.size());
+    for (const auto& [name, v] : snap.counters) {
+      reply.counters.emplace_back(name, v);
+    }
+    reply.gauges.reserve(snap.gauges.size());
+    for (const auto& [name, v] : snap.gauges) {
+      reply.gauges.emplace_back(name, v);
+    }
+    reply.histograms.reserve(snap.histograms.size());
+    for (const auto& [name, h] : snap.histograms) {
+      wire::WireHistogram wh;
+      wh.name = name;
+      wh.count = h.count;
+      wh.sum = h.sum;
+      wh.buckets = h.buckets;
+      reply.histograms.push_back(std::move(wh));
+    }
+  }
+  if (fetch.want_events) {
+    std::vector<FlightEvent> events =
+        FlightRecorder::Global().Snapshot(fetch.since_seq);
+    reply.events.reserve(events.size());
+    for (const FlightEvent& e : events) {
+      wire::WireFlightEvent we;
+      we.seq = e.seq;
+      we.t_ns = e.t_ns;
+      we.trace_id = e.trace_id;
+      we.kind = e.kind;
+      we.a = e.a;
+      we.b = e.b;
+      reply.events.push_back(we);
+    }
+  }
+  reply.next_seq = FlightRecorder::Global().NextSeq();
+  return reply;
+}
+
+Result<wire::WireStatsReply> FetchStats(uint16_t port,
+                                        const wire::WireStatsFetch& fetch,
+                                        double deadline_seconds) {
+  net::Deadline deadline = net::Deadline::After(deadline_seconds);
+  Result<net::Socket> sock = net::Connect(port, deadline);
+  if (!sock.ok()) return sock.status();
+  wire::Envelope env;
+  env.type = wire::MsgType::kStatsFetch;
+  env.request_id = NextRequestId();
+  wire::EncodeStatsFetch(fetch, &env.payload);
+  Status sent = net::SendEnvelope(sock.value(), env, deadline, nullptr);
+  if (!sent.ok()) return sent;
+  Result<wire::Envelope> reply =
+      net::RecvEnvelope(sock.value(), deadline, env.request_id);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type == wire::MsgType::kError) {
+    Result<wire::WireError> err = wire::DecodeError(reply.value().payload);
+    if (err.ok()) return Status(err.value().code, err.value().message);
+    return Status::Corruption("stats fetch: malformed error reply");
+  }
+  if (reply.value().type != wire::MsgType::kStatsReply) {
+    return Status::Corruption("stats fetch: unexpected reply type");
+  }
+  return wire::DecodeStatsReply(reply.value().payload);
+}
+
+MetricsSnapshot SnapshotFromReply(const wire::WireStatsReply& reply) {
+  MetricsSnapshot snap;
+  for (const auto& [name, v] : reply.counters) snap.counters[name] = v;
+  for (const auto& [name, v] : reply.gauges) snap.gauges[name] = v;
+  for (const wire::WireHistogram& h : reply.histograms) {
+    MetricsSnapshot::HistogramView view;
+    view.count = h.count;
+    view.sum = h.sum;
+    view.buckets = h.buckets;
+    snap.histograms[h.name] = std::move(view);
+  }
+  return snap;
+}
+
+std::vector<FlightEvent> EventsFromReply(const wire::WireStatsReply& reply) {
+  std::vector<FlightEvent> out;
+  out.reserve(reply.events.size());
+  for (const wire::WireFlightEvent& we : reply.events) {
+    FlightEvent e;
+    e.seq = we.seq;
+    e.t_ns = we.t_ns;
+    e.trace_id = we.trace_id;
+    e.kind = we.kind;
+    e.a = we.a;
+    e.b = we.b;
+    out.push_back(e);
+  }
+  return out;
+}
+
+FleetScraper::FleetScraper(FleetScraperOptions options)
+    : options_(std::move(options)), cursors_(options_.node_ports.size(), 0) {}
+
+FleetView FleetScraper::Scrape() {
+  FleetView view;
+  view.nodes.resize(options_.node_ports.size());
+  std::vector<std::thread> threads;
+  threads.reserve(options_.node_ports.size());
+  for (size_t i = 0; i < options_.node_ports.size(); ++i) {
+    threads.emplace_back([this, i, &view] {
+      const uint16_t port = options_.node_ports[i];
+      FleetNodeSnapshot& snap = view.nodes[i];
+      snap.label = "127.0.0.1:" + std::to_string(port);
+      wire::WireStatsFetch fetch;
+      fetch.since_seq = cursors_[i];
+      fetch.want_metrics = true;
+      fetch.want_events = options_.want_events;
+      Result<wire::WireStatsReply> reply =
+          FetchStats(port, fetch, options_.fetch_deadline_seconds);
+      if (reply.ok()) {
+        snap.reachable = true;
+        snap.reply = std::move(reply.value());
+        if (options_.want_events) cursors_[i] = snap.reply.next_seq;
+      } else {
+        snap.error = reply.status().ToString();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (options_.include_self) {
+    FleetNodeSnapshot self;
+    self.label = "coordinator";
+    self.reachable = true;
+    wire::WireStatsFetch fetch;
+    fetch.want_metrics = true;
+    fetch.want_events = false;  // local events go to postmortems, not scrapes
+    self.reply = LocalStatsReply(fetch, /*node_id=*/UINT32_MAX,
+                                 /*queries_served=*/0,
+                                 /*backpressure_rejections=*/0);
+    view.nodes.push_back(std::move(self));
+  }
+  return view;
+}
+
+uint64_t FleetScraper::cursor(size_t node_index) const {
+  CHECK_LT(node_index, cursors_.size());
+  return cursors_[node_index];
+}
+
+std::string FleetScraper::RenderPrometheus(const FleetView& view) {
+  std::string out;
+  std::set<std::string> typed;
+  for (const FleetNodeSnapshot& node : view.nodes) {
+    const std::string node_label =
+        "node=\"" + PromEscapeLabelValue(node.label) + "\"";
+    // Liveness first, for every configured node, so a dead node is a 0 in
+    // the scrape instead of a missing series.
+    if (typed.insert("expbsi_node_up").second) {
+      out += "# TYPE expbsi_node_up gauge\n";
+    }
+    out += "expbsi_node_up{" + node_label + "} ";
+    out += node.reachable ? "1" : "0";
+    out += "\n";
+    if (!node.reachable) continue;
+    if (typed.insert("expbsi_uptime_seconds").second) {
+      out += "# TYPE expbsi_uptime_seconds gauge\n";
+    }
+    out += "expbsi_uptime_seconds{" + node_label + "} ";
+    AppendDouble(&out, node.reply.uptime_seconds);
+    out += "\n";
+    if (typed.insert("expbsi_build_info").second) {
+      out += "# TYPE expbsi_build_info gauge\n";
+    }
+    out += "expbsi_build_info{" + node_label + ",build=\"" +
+           PromEscapeLabelValue(node.reply.build_info) + "\"} 1\n";
+    AppendPrometheusSnapshot(SnapshotFromReply(node.reply), node_label,
+                             &typed, &out);
+  }
+  return out;
+}
+
+std::string FleetScraper::RenderJson(const FleetView& view) {
+  std::string out = "{\"nodes\": [";
+  bool first = true;
+  for (const FleetNodeSnapshot& node : view.nodes) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"node\": \"" + JsonEscape(node.label) + "\", \"up\": ";
+    out += node.reachable ? "true" : "false";
+    if (!node.reachable) {
+      out += ", \"error\": \"" + JsonEscape(node.error) + "\"}";
+      continue;
+    }
+    out += ", \"node_id\": " + std::to_string(node.reply.node_id);
+    out += ", \"uptime_seconds\": ";
+    AppendDouble(&out, node.reply.uptime_seconds);
+    out += ", \"build_info\": \"" + JsonEscape(node.reply.build_info) + "\"";
+    out += ", \"queries_served\": " + std::to_string(node.reply.queries_served);
+    out += ", \"backpressure_rejections\": " +
+           std::to_string(node.reply.backpressure_rejections);
+    out += ", \"next_seq\": " + std::to_string(node.reply.next_seq);
+    out += ", \"metrics\": ";
+    AppendJsonSnapshot(SnapshotFromReply(node.reply), &out);
+    out += ", \"events\": ";
+    out += FlightEventsToJson(EventsFromReply(node.reply));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace expbsi

@@ -1,0 +1,103 @@
+#ifndef EXPBSI_OBS_FLEET_H_
+#define EXPBSI_OBS_FLEET_H_
+
+// Fleet-level observability (DESIGN.md "Fleet observability"). The PR 5
+// metrics registry is process-local; this layer makes the whole serving
+// cluster scrapeable from one place. A FleetScraper on the coordinator
+// fans a kStatsFetch out to every node, collects kStatsReply snapshots
+// (full MetricsRegistry contents plus node health/uptime/build info and a
+// flight-recorder slice), and merges them into a labeled fleet view:
+// every sample carries `node="host:port"`, the coordinator's own registry
+// rides along as `node="coordinator"`, and `expbsi_node_up` makes dead
+// nodes visible instead of silently absent. Exposed as Prometheus text and
+// as JSON -- one scrape of the coordinator shows the whole cluster.
+//
+// Flight events ship incrementally: the scraper remembers each node's
+// `next_seq` cursor and asks only for what it has not seen. The postmortem
+// writer (obs/postmortem.h) uses the same message with its own cursors.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "wire/messages.h"
+
+namespace expbsi {
+namespace obs {
+
+// Builds this process's own kStatsReply: registry snapshot (empty under
+// EXPBSI_NO_METRICS), flight events with seq >= fetch.since_seq, build
+// info, uptime and the caller-supplied serving counters. Shared by
+// NodeServer (answering the wire message) and FleetScraper (the
+// coordinator's self row).
+wire::WireStatsReply LocalStatsReply(const wire::WireStatsFetch& fetch,
+                                     uint32_t node_id,
+                                     uint64_t queries_served,
+                                     uint64_t backpressure_rejections);
+
+// Dials 127.0.0.1:`port`, sends one kStatsFetch and waits for the
+// kStatsReply under `deadline_seconds`. Unavailable when the node is down;
+// Corruption when it answers with malformed bytes.
+Result<wire::WireStatsReply> FetchStats(uint16_t port,
+                                        const wire::WireStatsFetch& fetch,
+                                        double deadline_seconds);
+
+// One node's contribution to a fleet view.
+struct FleetNodeSnapshot {
+  std::string label;  // "127.0.0.1:9100", or "coordinator" for the self row
+  bool reachable = false;
+  std::string error;            // status message when !reachable
+  wire::WireStatsReply reply;   // meaningful only when reachable
+};
+
+struct FleetView {
+  std::vector<FleetNodeSnapshot> nodes;
+};
+
+struct FleetScraperOptions {
+  std::vector<uint16_t> node_ports;
+  double fetch_deadline_seconds = 2.0;
+  // Append the coordinator's own registry as node="coordinator".
+  bool include_self = true;
+  // Ship flight events (advancing the per-node cursors) on each scrape.
+  bool want_events = true;
+};
+
+class FleetScraper {
+ public:
+  explicit FleetScraper(FleetScraperOptions options);
+
+  // One scrape wave: all nodes fetched concurrently, cursors advanced for
+  // the reachable ones. Unreachable nodes come back with reachable=false
+  // and their error -- a fleet view never fails as a whole.
+  FleetView Scrape();
+
+  // The next-seq cursor for options.node_ports[i] (0 until first success).
+  uint64_t cursor(size_t node_index) const;
+
+  // Merged Prometheus text exposition of a view: one TYPE line per family,
+  // every sample labeled node="<label>", plus expbsi_node_up{node=...} for
+  // every configured node and per-node build info/uptime.
+  static std::string RenderPrometheus(const FleetView& view);
+
+  // {"nodes": [{"node", "up", "error"?, "node_id", "uptime_seconds",
+  //   "build_info", "queries_served", "backpressure_rejections",
+  //   "next_seq", "metrics": {...}, "events": [...]}, ...]}
+  static std::string RenderJson(const FleetView& view);
+
+ private:
+  FleetScraperOptions options_;
+  std::vector<uint64_t> cursors_;
+};
+
+// WireStatsReply section conversions, shared with the postmortem writer.
+MetricsSnapshot SnapshotFromReply(const wire::WireStatsReply& reply);
+std::vector<FlightEvent> EventsFromReply(const wire::WireStatsReply& reply);
+
+}  // namespace obs
+}  // namespace expbsi
+
+#endif  // EXPBSI_OBS_FLEET_H_

@@ -1,0 +1,183 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault_injector.h"
+#include "obs/trace.h"
+
+namespace expbsi {
+namespace obs {
+
+namespace {
+
+const char* const kKindNames[] = {
+    "query_admit",   "query_finish", "query_degraded", "retry",
+    "fault_injected", "node_markdown", "node_probe",    "node_revive",
+    "hedge_fired",   "failover",     "repair",         "wal_roll",
+};
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==
+                  static_cast<size_t>(kMaxFlightEventKind) + 1,
+              "kind name table out of sync with FlightEventKind");
+
+// Fault-site table for FlightSiteId/FlightSiteName. Index + 1 is the wire
+// id; 0 stays "unknown site". Append only.
+const char* const kSiteNames[] = {
+    fault_sites::kWarehouseGet,   // 1
+    fault_sites::kTierFetch,      // 2
+    fault_sites::kNodeSegment,    // 3
+    fault_sites::kPipelineTask,   // 4
+    fault_sites::kSnapshotWrite,  // 5
+    fault_sites::kSnapshotRename, // 6
+    fault_sites::kSnapshotRead,   // 7
+    fault_sites::kWalAppend,      // 8
+    fault_sites::kWalFsync,       // 9
+    fault_sites::kWalRoll,        // 10
+    fault_sites::kNetSend,        // 11
+    fault_sites::kNetAccept,      // 12
+    fault_sites::kNetNodeCrash,   // 13
+    fault_sites::kNetRepair,      // 14
+};
+constexpr size_t kNumSites = sizeof(kSiteNames) / sizeof(kSiteNames[0]);
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+}  // namespace
+
+const char* FlightEventKindName(uint8_t kind) {
+  if (kind > kMaxFlightEventKind) return "unknown";
+  return kKindNames[kind];
+}
+
+uint64_t FlightSiteId(const char* site) {
+  if (site == nullptr) return 0;
+  for (size_t i = 0; i < kNumSites; ++i) {
+    if (std::strcmp(site, kSiteNames[i]) == 0) return i + 1;
+  }
+  return 0;
+}
+
+const char* FlightSiteName(uint64_t id) {
+  if (id == 0 || id > kNumSites) return "";
+  return kSiteNames[id - 1];
+}
+
+std::string FlightEventsToJson(const std::vector<FlightEvent>& events) {
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    if (i > 0) out += ", ";
+    out += "{\"seq\": ";
+    AppendU64(e.seq, &out);
+    out += ", \"t_ns\": ";
+    AppendU64(e.t_ns, &out);
+    out += ", \"trace_id\": ";
+    AppendU64(e.trace_id, &out);
+    out += ", \"kind\": \"";
+    out += FlightEventKindName(e.kind);
+    out += "\", \"a\": ";
+    AppendU64(e.a, &out);
+    out += ", \"b\": ";
+    AppendU64(e.b, &out);
+    if (e.kind == static_cast<uint8_t>(FlightEventKind::kFaultInjected) &&
+        FlightSiteName(e.b)[0] != '\0') {
+      out += ", \"site\": \"";
+      out += FlightSiteName(e.b);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+#if !defined(EXPBSI_NO_METRICS)
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Captured at static-init time so event timestamps read as "ns since
+// process start" and stay small enough to eyeball.
+const uint64_t g_origin_ns = SteadyNowNs();
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* r = new FlightRecorder();
+  return *r;
+}
+
+void FlightRecorder::Record(FlightEventKind kind, uint64_t a, uint64_t b) {
+  RecordWithTraceId(kind, a, b, CurrentTraceId());
+}
+
+void FlightRecorder::RecordWithTraceId(FlightEventKind kind, uint64_t a,
+                                       uint64_t b, uint64_t trace_id) {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& s = slots_[seq & (kCapacity - 1)];
+  // Unpublish first so a concurrent reader drops the slot instead of
+  // stitching the old seq onto the new payload.
+  s.pub.store(0, std::memory_order_release);
+  s.t_ns.store(SteadyNowNs() - g_origin_ns, std::memory_order_relaxed);
+  s.trace_id.store(trace_id, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  s.pub.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot(uint64_t since_seq) const {
+  std::vector<FlightEvent> out;
+  out.reserve(kCapacity);
+  for (size_t i = 0; i < kCapacity; ++i) {
+    const Slot& s = slots_[i];
+    const uint64_t pub1 = s.pub.load(std::memory_order_acquire);
+    if (pub1 == 0) continue;
+    FlightEvent e;
+    e.seq = pub1 - 1;
+    e.t_ns = s.t_ns.load(std::memory_order_relaxed);
+    e.trace_id = s.trace_id.load(std::memory_order_relaxed);
+    e.a = s.a.load(std::memory_order_relaxed);
+    e.b = s.b.load(std::memory_order_relaxed);
+    e.kind = s.kind.load(std::memory_order_relaxed);
+    const uint64_t pub2 = s.pub.load(std::memory_order_acquire);
+    if (pub1 != pub2) continue;               // overwritten mid-read
+    if (e.seq < since_seq) continue;
+    if (e.kind > kMaxFlightEventKind) continue;  // torn beyond repair
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::ToJson(uint64_t since_seq) const {
+  return FlightEventsToJson(Snapshot(since_seq));
+}
+
+void FlightRecorder::ResetForTesting() {
+  for (size_t i = 0; i < kCapacity; ++i) {
+    slots_[i].pub.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_release);
+}
+
+#endif  // !EXPBSI_NO_METRICS
+
+}  // namespace obs
+}  // namespace expbsi

@@ -1,0 +1,166 @@
+#ifndef EXPBSI_OBS_FLIGHT_RECORDER_H_
+#define EXPBSI_OBS_FLIGHT_RECORDER_H_
+
+// In-memory flight recorder (DESIGN.md "Fleet observability"). A fixed-size
+// lock-free ring of compact structured events -- query admit/finish, retry,
+// fault-injection hit, node markdown/probe/revive, hedge fired, repair, WAL
+// roll -- that is always on: recording an event is one atomic bump of the
+// global sequence plus a handful of relaxed stores into the claimed slot.
+// When something goes wrong (a degraded query, a slow query, a node marked
+// down) the last few thousand events are still there, and the postmortem
+// writer (obs/postmortem.h) snapshots them -- locally for AdhocCluster, over
+// kStatsFetch with a since-sequence cursor for remote nodes.
+//
+// Concurrency: each slot is a tiny seqlock. A writer claims a sequence
+// number with fetch_add, clears the slot's published-seq to zero, stores the
+// payload with relaxed atomics, then publishes `seq + 1` with release. A
+// reader loads the published seq (acquire), copies the payload, re-loads the
+// seq and keeps the event only if both loads agree and are non-zero. Readers
+// never block writers; a slot overwritten mid-read is simply dropped from
+// the snapshot. The only way a torn payload survives is a full ring
+// wrap-around (kCapacity events) between a reader's two seq loads, which at
+// 4096 slots does not happen in practice; decoders still bound-check `kind`.
+//
+// Like the metrics registry -- and unlike tracing -- the recorder compiles
+// out under -DEXPBSI_NO_METRICS: Record() becomes an empty inline and the
+// ring is not allocated.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if !defined(EXPBSI_NO_METRICS)
+#include <atomic>
+#endif
+
+namespace expbsi {
+namespace obs {
+
+// Event catalog (docs/OBSERVABILITY.md "Flight recorder"). The `a`/`b`
+// payload fields are per-kind (node ids, segment ids, durations); the
+// catalog documents each. Wire encoding depends on these values: append
+// only, never renumber.
+enum class FlightEventKind : uint8_t {
+  kQueryAdmit = 0,    // a = segments in query (0 = unknown)
+  kQueryFinish = 1,   // a = duration_us, b = lost segments
+  kQueryDegraded = 2, // a = lost segments, b = nodes lost
+  kRetry = 3,         // a = attempts used, b = 1 recovered / 0 exhausted
+  kFaultInjected = 4, // a = FaultKind, b = fault-site id (FlightSiteId)
+  kNodeMarkdown = 5,  // a = node id, b = consecutive failures
+  kNodeProbe = 6,     // a = node id
+  kNodeRevive = 7,    // a = node id
+  kHedgeFired = 8,    // a = node id of the slow primary
+  kFailover = 9,      // a = segment id, b = node id that failed
+  kRepair = 10,       // a = segment id, b = 0 failed / 1 repaired / 2 served
+  kWalRoll = 11,      // a = first sequence number of the new WAL segment
+};
+inline constexpr uint8_t kMaxFlightEventKind =
+    static_cast<uint8_t>(FlightEventKind::kWalRoll);
+
+// Lower-snake name for JSON dumps ("query_admit", ...). Returns "unknown"
+// for out-of-range values (a torn slot or a hostile wire peer).
+const char* FlightEventKindName(uint8_t kind);
+
+// Stable small id for a fault-injection site name (common/fault_injector.h),
+// so kFaultInjected events stay fixed-width. Unknown sites map to 0; the
+// known table is documented in docs/OBSERVABILITY.md.
+uint64_t FlightSiteId(const char* site);
+const char* FlightSiteName(uint64_t id);  // "" for unknown ids
+
+// One recorded event. `seq` is a process-global monotone sequence starting
+// at 0; `t_ns` is steady-clock nanoseconds since process start; `trace_id`
+// ties the event to a QueryTrace (0 = recorded outside any traced query).
+struct FlightEvent {
+  uint64_t seq = 0;
+  uint64_t t_ns = 0;
+  uint64_t trace_id = 0;
+  uint8_t kind = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  friend bool operator==(const FlightEvent& x, const FlightEvent& y) {
+    return x.seq == y.seq && x.t_ns == y.t_ns && x.trace_id == y.trace_id &&
+           x.kind == y.kind && x.a == y.a && x.b == y.b;
+  }
+};
+
+// Ordered JSON array of events -- the shared dump format of the recorder,
+// the postmortem bundle and the fleet JSON scrape. Always compiled (wire
+// replies must render remote events even in a NO_METRICS coordinator).
+std::string FlightEventsToJson(const std::vector<FlightEvent>& events);
+
+#if defined(EXPBSI_NO_METRICS)
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 0;
+
+  static FlightRecorder& Global() {
+    static FlightRecorder r;
+    return r;
+  }
+
+  void Record(FlightEventKind, uint64_t = 0, uint64_t = 0) {}
+  void RecordWithTraceId(FlightEventKind, uint64_t, uint64_t, uint64_t) {}
+  uint64_t NextSeq() const { return 0; }
+  std::vector<FlightEvent> Snapshot(uint64_t = 0) const { return {}; }
+  std::string ToJson(uint64_t = 0) const { return "[]"; }
+  void ResetForTesting() {}
+};
+
+#else  // !EXPBSI_NO_METRICS
+
+class FlightRecorder {
+ public:
+  // Power of two; ~4k events * 48 bytes = 192 KB per process, a few seconds
+  // to minutes of history under load.
+  static constexpr size_t kCapacity = 4096;
+
+  static FlightRecorder& Global();
+
+  // Records one event, stamping the current thread's active trace id (0 if
+  // no trace is installed). Lock-free, wait-free apart from the fetch_add.
+  void Record(FlightEventKind kind, uint64_t a = 0, uint64_t b = 0);
+  // Same, with an explicit trace id (servers correlating by request id).
+  void RecordWithTraceId(FlightEventKind kind, uint64_t a, uint64_t b,
+                         uint64_t trace_id);
+
+  // Sequence number the NEXT event will get; `[since, NextSeq())` brackets
+  // everything recorded after a caller captured `since`.
+  uint64_t NextSeq() const { return next_.load(std::memory_order_acquire); }
+
+  // Events with seq >= since_seq still present in the ring, in sequence
+  // order. Events overwritten by wrap-around (or mid-write during the scan)
+  // are absent -- the recorder keeps the most recent kCapacity.
+  std::vector<FlightEvent> Snapshot(uint64_t since_seq = 0) const;
+
+  // Snapshot(since_seq) rendered via FlightEventsToJson.
+  std::string ToJson(uint64_t since_seq = 0) const;
+
+  void ResetForTesting();
+
+ private:
+  FlightRecorder() = default;
+
+  struct Slot {
+    // 0 = empty or being written; otherwise event seq + 1 (release-published
+    // after the payload below).
+    std::atomic<uint64_t> pub{0};
+    std::atomic<uint64_t> t_ns{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint8_t> kind{0};
+  };
+
+  std::atomic<uint64_t> next_{0};
+  Slot slots_[kCapacity];
+};
+
+#endif  // EXPBSI_NO_METRICS
+
+}  // namespace obs
+}  // namespace expbsi
+
+#endif  // EXPBSI_OBS_FLIGHT_RECORDER_H_

@@ -1,11 +1,155 @@
 #include "obs/metrics.h"
 
-#if !defined(EXPBSI_NO_METRICS)
-
 #include <cstdio>
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/process_info.h"
+
+namespace expbsi {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering -- compiled in BOTH modes (see metrics.h): the fleet
+// scraper renders snapshots shipped from remote, instrumented processes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  // Metric names are [a-z0-9_.], so no escaping is needed.
+  out->push_back('"');
+  out->append(name);
+  out->append("\": ");
+}
+
+// `{label_block}` or `{label_block,extra}`; "" when both are empty.
+std::string LabelBraces(const std::string& label_block,
+                        const std::string& extra) {
+  if (label_block.empty() && extra.empty()) return "";
+  std::string out = "{";
+  out += label_block;
+  if (!label_block.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+void MaybeEmitType(const std::string& family, const char* type,
+                   std::set<std::string>* families_typed, std::string* out) {
+  if (families_typed != nullptr && !families_typed->insert(family).second) {
+    return;
+  }
+  out->append("# TYPE ");
+  out->append(family);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PromEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PromMetricName(const std::string& name) {
+  std::string out = "expbsi_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+void AppendPrometheusSnapshot(const MetricsSnapshot& snap,
+                              const std::string& label_block,
+                              std::set<std::string>* families_typed,
+                              std::string* out) {
+  const std::string braces = LabelBraces(label_block, "");
+  for (const auto& [name, v] : snap.counters) {
+    std::string p = PromMetricName(name);
+    MaybeEmitType(p, "counter", families_typed, out);
+    *out += p + braces + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::string p = PromMetricName(name);
+    MaybeEmitType(p, "gauge", families_typed, out);
+    *out += p + braces + " ";
+    AppendDouble(out, v);
+    *out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string p = PromMetricName(name);
+    MaybeEmitType(p, "histogram", families_typed, out);
+    uint64_t cum = 0;
+    for (const auto& [le, n] : h.buckets) {
+      cum += n;
+      *out += p + "_bucket" +
+              LabelBraces(label_block, "le=\"" + std::to_string(le) + "\"") +
+              " " + std::to_string(cum) + "\n";
+    }
+    *out += p + "_bucket" + LabelBraces(label_block, "le=\"+Inf\"") + " " +
+            std::to_string(h.count) + "\n";
+    *out += p + "_sum" + braces + " " + std::to_string(h.sum) + "\n";
+    *out += p + "_count" + braces + " " + std::to_string(h.count) + "\n";
+  }
+}
+
+void AppendJsonSnapshot(const MetricsSnapshot& snap, std::string* out) {
+  *out += "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) *out += ", ";
+    first = false;
+    AppendJsonKey(out, name);
+    *out += std::to_string(v);
+  }
+  *out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) *out += ", ";
+    first = false;
+    AppendJsonKey(out, name);
+    AppendDouble(out, v);
+  }
+  *out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) *out += ", ";
+    first = false;
+    AppendJsonKey(out, name);
+    *out += "{\"count\": " + std::to_string(h.count) +
+            ", \"sum\": " + std::to_string(h.sum) + ", \"buckets\": [";
+    bool bf = true;
+    for (const auto& [le, n] : h.buckets) {
+      if (!bf) *out += ", ";
+      bf = false;
+      *out += "[" + std::to_string(le) + ", " + std::to_string(n) + "]";
+    }
+    *out += "]}";
+  }
+  *out += "}}";
+}
+
+}  // namespace obs
+}  // namespace expbsi
+
+#if !defined(EXPBSI_NO_METRICS)
 
 namespace expbsi {
 namespace obs {
@@ -115,27 +259,6 @@ bool ValidMetricName(const std::string& name) {
   return name.front() != '.' && name.back() != '.';
 }
 
-// "tier.hot_hits" -> "expbsi_tier_hot_hits" for the Prometheus exposition.
-std::string PromName(const std::string& name) {
-  std::string out = "expbsi_";
-  out.reserve(out.size() + name.size());
-  for (char c : name) out.push_back(c == '.' ? '_' : c);
-  return out;
-}
-
-void AppendDouble(std::string* out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out->append(buf);
-}
-
-void AppendJsonKey(std::string* out, const std::string& name) {
-  // Metric names are [a-z0-9_.], so no escaping is needed.
-  out->push_back('"');
-  out->append(name);
-  out->append("\": ");
-}
-
 }  // namespace
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -177,71 +300,29 @@ MetricsSnapshot MetricsRegistry::Scrape() const {
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  MetricsSnapshot snap = Scrape();
   std::string out;
-  for (const auto& [name, v] : snap.counters) {
-    std::string p = PromName(name);
-    out += "# TYPE " + p + " counter\n";
-    out += p + " " + std::to_string(v) + "\n";
-  }
-  for (const auto& [name, v] : snap.gauges) {
-    std::string p = PromName(name);
-    out += "# TYPE " + p + " gauge\n";
-    out += p + " ";
-    AppendDouble(&out, v);
-    out += "\n";
-  }
-  for (const auto& [name, h] : snap.histograms) {
-    std::string p = PromName(name);
-    out += "# TYPE " + p + " histogram\n";
-    uint64_t cum = 0;
-    for (const auto& [le, n] : h.buckets) {
-      cum += n;
-      out += p + "_bucket{le=\"" + std::to_string(le) + "\"} " +
-             std::to_string(cum) + "\n";
-    }
-    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
-    out += p + "_sum " + std::to_string(h.sum) + "\n";
-    out += p + "_count " + std::to_string(h.count) + "\n";
-  }
+  std::set<std::string> typed;
+  AppendPrometheusSnapshot(Scrape(), "", &typed, &out);
+  // Process identity (docs/OBSERVABILITY.md "Build info & uptime"): a
+  // constant-1 info gauge carrying the build fields as labels, plus uptime.
+  const ProcessInfo& info = BuildInfo();
+  out += "# TYPE expbsi_build_info gauge\n";
+  out += "expbsi_build_info{version=\"" + PromEscapeLabelValue(info.version) +
+         "\",compiler=\"" + PromEscapeLabelValue(info.compiler) +
+         "\",arch=\"" + PromEscapeLabelValue(info.arch) + "\",metrics=\"" +
+         PromEscapeLabelValue(info.metrics) + "\"} 1\n";
+  out += "# TYPE expbsi_uptime_seconds gauge\n";
+  out += "expbsi_uptime_seconds ";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", UptimeSeconds());
+  out += buf;
+  out += "\n";
   return out;
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  MetricsSnapshot snap = Scrape();
-  std::string out = "{\"counters\": {";
-  bool first = true;
-  for (const auto& [name, v] : snap.counters) {
-    if (!first) out += ", ";
-    first = false;
-    AppendJsonKey(&out, name);
-    out += std::to_string(v);
-  }
-  out += "}, \"gauges\": {";
-  first = true;
-  for (const auto& [name, v] : snap.gauges) {
-    if (!first) out += ", ";
-    first = false;
-    AppendJsonKey(&out, name);
-    AppendDouble(&out, v);
-  }
-  out += "}, \"histograms\": {";
-  first = true;
-  for (const auto& [name, h] : snap.histograms) {
-    if (!first) out += ", ";
-    first = false;
-    AppendJsonKey(&out, name);
-    out += "{\"count\": " + std::to_string(h.count) +
-           ", \"sum\": " + std::to_string(h.sum) + ", \"buckets\": [";
-    bool bf = true;
-    for (const auto& [le, n] : h.buckets) {
-      if (!bf) out += ", ";
-      bf = false;
-      out += "[" + std::to_string(le) + ", " + std::to_string(n) + "]";
-    }
-    out += "]}";
-  }
-  out += "}}";
+  std::string out;
+  AppendJsonSnapshot(Scrape(), &out);
   return out;
 }
 

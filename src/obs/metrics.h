@@ -26,7 +26,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #if !defined(EXPBSI_NO_METRICS)
@@ -50,6 +52,34 @@ struct MetricsSnapshot {
   };
   std::map<std::string, HistogramView> histograms;
 };
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering -- always compiled, even under EXPBSI_NO_METRICS: the
+// fleet scraper (obs/fleet.h) renders MetricsSnapshots that arrived over the
+// wire from *instrumented* peers, regardless of how this process was built.
+// ---------------------------------------------------------------------------
+
+// Prometheus label-VALUE escaping per the text exposition format: backslash
+// -> \\, double quote -> \", newline -> \n. Label names and metric names
+// never need escaping here ([a-z0-9_.] enforced at registration).
+std::string PromEscapeLabelValue(std::string_view value);
+
+// "tier.hot_hits" -> "expbsi_tier_hot_hits".
+std::string PromMetricName(const std::string& name);
+
+// Appends `snap` as Prometheus text. Every sample carries `label_block`
+// verbatim inside its braces (e.g. `node="127.0.0.1:9100"`; empty = bare
+// samples). A `# TYPE` line is emitted the first time a family name enters
+// `families_typed`, so a fleet view that renders N node snapshots of the
+// same metric gets one TYPE line per family, as the format requires.
+void AppendPrometheusSnapshot(const MetricsSnapshot& snap,
+                              const std::string& label_block,
+                              std::set<std::string>* families_typed,
+                              std::string* out);
+
+// Appends `snap` as one JSON object: {"counters": {...}, "gauges": {...},
+// "histograms": {name: {"count", "sum", "buckets": [[le, n], ...]}}}.
+void AppendJsonSnapshot(const MetricsSnapshot& snap, std::string* out);
 
 #if defined(EXPBSI_NO_METRICS)
 

@@ -1,0 +1,121 @@
+#include "obs/postmortem.h"
+
+#include <cstdio>
+
+#include "common/file_io.h"
+#include "obs/metrics.h"
+
+namespace expbsi {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Reasons double as file-name components; anything else is a caller bug
+// surfaced as a sanitized name rather than a path traversal.
+bool SafeReason(const std::string& reason) {
+  if (reason.empty()) return false;
+  for (char c : reason) {
+    if (!((c >= 'a' && c <= 'z') || c == '_')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RenderPostmortemJson(const PostmortemBundle& bundle) {
+  std::string out = "{\"schema\": \"expbsi.postmortem.v1\"";
+  out += ", \"reason\": \"" + JsonEscape(bundle.reason) + "\"";
+  out += ", \"trace_id\": " + std::to_string(bundle.trace_id);
+  out += ", \"query\": \"" + JsonEscape(bundle.query) + "\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", bundle.duration_ms);
+  out += ", \"duration_ms\": ";
+  out += buf;
+  out += ", \"degraded\": {\"lost_segments\": [";
+  for (size_t i = 0; i < bundle.lost_segments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(bundle.lost_segments[i]);
+  }
+  out += "], \"segments_answered\": " + std::to_string(bundle.segments_answered);
+  out += ", \"retries\": " + std::to_string(bundle.retries);
+  out += ", \"faults_survived\": " + std::to_string(bundle.faults_survived);
+  out += ", \"nodes_lost\": " + std::to_string(bundle.nodes_lost);
+  out += "}";
+  out += ", \"health\": [";
+  for (size_t i = 0; i < bundle.health.size(); ++i) {
+    const PostmortemNodeHealth& h = bundle.health[i];
+    if (i > 0) out += ", ";
+    out += "{\"node\": " + std::to_string(h.node);
+    out += ", \"down\": ";
+    out += h.down ? "true" : "false";
+    out += ", \"consecutive_failures\": " +
+           std::to_string(h.consecutive_failures) + "}";
+  }
+  out += "], \"trace\": ";
+  out += bundle.trace_json.empty() ? "null" : bundle.trace_json;
+  out += ", \"flight\": [";
+  for (size_t i = 0; i < bundle.slices.size(); ++i) {
+    const PostmortemFlightSlice& s = bundle.slices[i];
+    if (i > 0) out += ", ";
+    out += "{\"node\": \"" + JsonEscape(s.label) + "\", \"fetched\": ";
+    out += s.fetched ? "true" : "false";
+    if (!s.fetched) {
+      out += ", \"error\": \"" + JsonEscape(s.error) + "\"";
+    }
+    out += ", \"next_seq\": " + std::to_string(s.next_seq);
+    out += ", \"events\": ";
+    out += FlightEventsToJson(s.events);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Result<std::string> WritePostmortem(const std::string& dir,
+                                    const PostmortemBundle& bundle) {
+  static Counter& writes = GetCounter("postmortem.writes");
+  static Counter& failures = GetCounter("postmortem.write_failures");
+  const std::string reason =
+      SafeReason(bundle.reason) ? bundle.reason : "unknown";
+  Status mk = fileio::CreateDirIfMissing(dir);
+  if (!mk.ok()) {
+    failures.Add();
+    return mk;
+  }
+  const std::string path = dir + "/postmortem-" +
+                           std::to_string(bundle.trace_id) + "-" + reason +
+                           ".json";
+  Status written = fileio::WriteFileAtomic(path, RenderPostmortemJson(bundle));
+  if (!written.ok()) {
+    failures.Add();
+    return written;
+  }
+  writes.Add();
+  return path;
+}
+
+}  // namespace obs
+}  // namespace expbsi

@@ -1,0 +1,75 @@
+#ifndef EXPBSI_OBS_POSTMORTEM_H_
+#define EXPBSI_OBS_POSTMORTEM_H_
+
+// Degraded-query postmortem bundles (DESIGN.md "Fleet observability").
+// When a query returns DegradedInfo, trips the slow-query threshold, or
+// marks a node down, the evidence is perishable: the flight-recorder rings
+// wrap, the health registry heals, the trace is dropped. A postmortem
+// bundle freezes all of it as one JSON file under a configurable
+// `postmortem_dir` -- the query's trace tree (with grafted remote spans),
+// the coordinator's health-registry state, and a flight-recorder slice
+// from every involved process (the coordinator's own ring plus each node's,
+// fetched over kStatsFetch with a since-sequence cursor) -- and the path is
+// referenced from QueryStats so callers and the load harness can follow it.
+//
+// File name: postmortem-<trace_id>-<reason>.json, written atomically
+// (fileio::WriteFileAtomic), so a half-written bundle is never observed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/flight_recorder.h"
+
+namespace expbsi {
+namespace obs {
+
+// One process's flight-recorder slice inside a bundle.
+struct PostmortemFlightSlice {
+  std::string label;  // "coordinator", "local", or "127.0.0.1:<port>"
+  bool fetched = false;
+  std::string error;  // why the fetch failed, when !fetched
+  std::vector<FlightEvent> events;
+  uint64_t next_seq = 0;
+};
+
+// Coordinator health-registry state for one node at bundle time.
+struct PostmortemNodeHealth {
+  int node = 0;
+  bool down = false;
+  int consecutive_failures = 0;
+};
+
+struct PostmortemBundle {
+  std::string reason;  // "degraded", "slow_query" or "node_markdown"
+  uint64_t trace_id = 0;
+  std::string query;  // trace name
+  double duration_ms = 0.0;
+  // DegradedInfo fields (empty/zero when the results were complete).
+  std::vector<uint32_t> lost_segments;
+  uint64_t segments_answered = 0;
+  uint32_t retries = 0;
+  uint32_t faults_survived = 0;
+  uint32_t nodes_lost = 0;
+  // QueryTrace::ToJson() of the finished (grafted) trace; "" when the query
+  // ran without a trace.
+  std::string trace_json;
+  std::vector<PostmortemNodeHealth> health;
+  std::vector<PostmortemFlightSlice> slices;
+};
+
+// The bundle as one JSON object ({"schema": "expbsi.postmortem.v1", ...};
+// layout in docs/OBSERVABILITY.md).
+std::string RenderPostmortemJson(const PostmortemBundle& bundle);
+
+// Creates `dir` if missing and atomically writes the bundle under it.
+// Returns the full path of the written file. Bumps `postmortem.writes` (or
+// `postmortem.write_failures`).
+Result<std::string> WritePostmortem(const std::string& dir,
+                                    const PostmortemBundle& bundle);
+
+}  // namespace obs
+}  // namespace expbsi
+
+#endif  // EXPBSI_OBS_POSTMORTEM_H_

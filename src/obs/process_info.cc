@@ -1,0 +1,71 @@
+#include "obs/process_info.h"
+
+#include <chrono>
+
+namespace expbsi {
+namespace obs {
+
+namespace {
+
+constexpr char kVersion[] = "0.10";
+
+const char* Arch() {
+#if defined(__x86_64__)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#else
+  return "unknown";
+#endif
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+// Touch the origin during static init so UptimeSeconds() measures from
+// process load, not from the first scrape.
+const bool g_start_captured = (ProcessStart(), true);
+
+}  // namespace
+
+const ProcessInfo& BuildInfo() {
+  static const ProcessInfo* info = [] {
+    auto* p = new ProcessInfo();
+    p->version = kVersion;
+#if defined(__VERSION__)
+    p->compiler = __VERSION__;
+#else
+    p->compiler = "unknown";
+#endif
+    p->arch = Arch();
+#if defined(EXPBSI_NO_METRICS)
+    p->metrics = "compiled_out";
+#else
+    p->metrics = "on";
+#endif
+    return p;
+  }();
+  return *info;
+}
+
+const std::string& BuildInfoString() {
+  static const std::string* s = [] {
+    const ProcessInfo& info = BuildInfo();
+    return new std::string("expbsi/" + info.version + " " + info.compiler +
+                           " " + info.arch + " metrics=" + info.metrics);
+  }();
+  return *s;
+}
+
+double UptimeSeconds() {
+  (void)g_start_captured;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessStart())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace expbsi

@@ -1,0 +1,37 @@
+#ifndef EXPBSI_OBS_PROCESS_INFO_H_
+#define EXPBSI_OBS_PROCESS_INFO_H_
+
+// Static build/process identity for the observability plane: every process
+// (coordinator, expbsi_node, tests, benches) exposes `expbsi_build_info` and
+// `expbsi_uptime_seconds` in its Prometheus exposition, and ships the same
+// fields in kStatsReply so the fleet scrape can tell a stale binary from a
+// fresh one. Always compiled -- identity is not instrumentation, so
+// EXPBSI_NO_METRICS does not remove it.
+
+#include <string>
+
+namespace expbsi {
+namespace obs {
+
+struct ProcessInfo {
+  std::string version;   // repo version, e.g. "0.10"
+  std::string compiler;  // __VERSION__
+  std::string arch;      // target architecture
+  std::string metrics;   // "on" or "compiled_out" (EXPBSI_NO_METRICS)
+};
+
+// The process's build identity (computed once).
+const ProcessInfo& BuildInfo();
+
+// One-line rendering "expbsi/<version> <compiler> <arch> metrics=<mode>"
+// used as the kStatsReply build string and the slow-query log field.
+const std::string& BuildInfoString();
+
+// Seconds of steady-clock time since this library was loaded (our proxy for
+// process start).
+double UptimeSeconds();
+
+}  // namespace obs
+}  // namespace expbsi
+
+#endif  // EXPBSI_OBS_PROCESS_INFO_H_

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace expbsi {
@@ -52,7 +53,11 @@ void AppendDurationHuman(std::string* out, uint64_t ns) {
 // --------------------------------------------------------------------------
 
 QueryTrace::QueryTrace(const std::string& name)
-    : name_(name), t0_ns_(SteadyNowNs()) {}
+    : name_(name), t0_ns_(SteadyNowNs()) {
+  static std::atomic<uint64_t> next_trace_id{1};
+  trace_id_ = next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  start_flight_seq_ = FlightRecorder::Global().NextSeq();
+}
 
 uint64_t QueryTrace::NowNs() const { return SteadyNowNs() - t0_ns_; }
 
@@ -224,6 +229,11 @@ QueryTrace* CurrentTrace() { return ThreadActive().trace; }
 
 uint32_t CurrentSpanId() { return ThreadActive().current_span; }
 
+uint64_t CurrentTraceId() {
+  QueryTrace* t = ThreadActive().trace;
+  return t == nullptr ? 0 : t->trace_id();
+}
+
 void CurrentSpanAttr(const char* key, uint64_t value) {
   ActiveTrace& active = ThreadActive();
   if (active.trace == nullptr || active.current_span == 0) return;
@@ -274,13 +284,39 @@ void MaybeLogSlowQuery(const QueryTrace& trace) {
   if (threshold_ms < 0) return;
   double elapsed_ms = trace.TotalDurationNs() / 1e6;
   if (elapsed_ms < threshold_ms) return;
-  std::string text = trace.ToText();
   static Counter& slow = GetCounter("trace.slow_queries");
   slow.Add();
-  std::fprintf(stderr, "[expbsi] slow query (%.2fms >= %.2fms):\n%s",
-               elapsed_ms, threshold_ms, text.c_str());
+  // A query that went degraded carries "lost_segments" > 0 on its root span
+  // (both AdhocCluster and the net coordinator set it there).
+  bool degraded = false;
+  {
+    std::vector<QueryTrace::Span> spans = trace.spans();
+    if (!spans.empty()) {
+      for (const auto& [k, v] : spans.front().attrs) {
+        if (k == "lost_segments" && v > 0) degraded = true;
+      }
+    }
+  }
+  // [fr_seq_lo, fr_seq_hi) is the flight-recorder range the query spans --
+  // the same slice the postmortem bundle snapshots, so the log line and the
+  // bundle cross-reference.
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\"event\": \"slow_query\", \"trace_id\": %llu, "
+                "\"duration_ms\": %.3f, \"threshold_ms\": %.3f, "
+                "\"degraded\": %s, \"fr_seq_lo\": %llu, \"fr_seq_hi\": %llu, ",
+                static_cast<unsigned long long>(trace.trace_id()), elapsed_ms,
+                threshold_ms, degraded ? "true" : "false",
+                static_cast<unsigned long long>(trace.start_flight_seq()),
+                static_cast<unsigned long long>(
+                    FlightRecorder::Global().NextSeq()));
+  std::string line = head;
+  line += "\"query\": \"" + trace.name() + "\", \"trace\": ";
+  line += trace.ToJson();
+  line += "}";
+  std::fprintf(stderr, "%s\n", line.c_str());
   std::lock_guard<std::mutex> lock(g_slow_mu);
-  g_last_slow_text = std::move(text);
+  g_last_slow_text = std::move(line);
 }
 
 std::string LastSlowQueryTextForTesting() {

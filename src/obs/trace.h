@@ -25,8 +25,11 @@
 // it is per-query opt-in, and its off-path cost is already ~zero.
 //
 // The slow-query log (docs/OBSERVABILITY.md): if EXPBSI_SLOW_QUERY_MS is
-// set and a traced query's wall time exceeds it, the flame-style text tree
-// is printed to stderr and `trace.slow_queries` is incremented.
+// set and a traced query's wall time exceeds it, ONE structured JSON line
+// is printed to stderr -- trace id, duration, degraded flag, the embedded
+// span tree, and the flight-recorder sequence range covering the query so
+// the line links to the matching postmortem bundle -- and
+// `trace.slow_queries` is incremented.
 
 #include <cstdint>
 #include <mutex>
@@ -49,6 +52,14 @@ class QueryTrace {
   };
 
   explicit QueryTrace(const std::string& name);
+
+  // Process-unique id (1-based creation order of traces). Flight-recorder
+  // events recorded while this trace is installed carry it, which is how a
+  // postmortem slices "events of THIS query" out of the ring.
+  uint64_t trace_id() const { return trace_id_; }
+  // FlightRecorder::Global().NextSeq() at construction: with NextSeq() at
+  // query end it brackets every event recorded during the query.
+  uint64_t start_flight_seq() const { return start_flight_seq_; }
 
   // Opens a child of `parent_id` (0 for a root-level span) and returns its
   // id. Thread-safe; normally called through ScopedSpan.
@@ -85,6 +96,8 @@ class QueryTrace {
   uint64_t NowNs() const;
 
   std::string name_;
+  uint64_t trace_id_ = 0;
+  uint64_t start_flight_seq_ = 0;
   uint64_t t0_ns_;  // steady-clock origin
   mutable std::mutex mu_;
   std::vector<Span> spans_;
@@ -134,6 +147,9 @@ class ScopedSpan {
 QueryTrace* CurrentTrace();
 // Id of this thread's innermost open span (0 if none).
 uint32_t CurrentSpanId();
+// trace_id() of the active trace (0 if none) -- what the flight recorder
+// stamps on events.
+uint64_t CurrentTraceId();
 // AddAttr on the current span; no-op without an active trace.
 void CurrentSpanAttr(const char* key, uint64_t value);
 
@@ -142,11 +158,13 @@ void CurrentSpanAttr(const char* key, uint64_t value);
 double SlowQueryThresholdMs();
 // Test hook; overrides the env value for the rest of the process.
 void SetSlowQueryThresholdMsForTesting(double ms);
-// Applies the threshold to a finished trace: logs the text tree to stderr,
-// bumps `trace.slow_queries` and retains the text for tests. Called by
+// Applies the threshold to a finished trace: emits one JSON line to stderr
+// ({"event": "slow_query", "trace_id", "query", "duration_ms",
+// "threshold_ms", "degraded", "fr_seq_lo", "fr_seq_hi", "trace": {...}}),
+// bumps `trace.slow_queries` and retains the line for tests. Called by
 // ~ScopedTrace; exposed for traces finished by hand.
 void MaybeLogSlowQuery(const QueryTrace& trace);
-// Text tree of the most recent slow query ("" if none yet).
+// The most recent slow-query JSON line ("" if none yet).
 std::string LastSlowQueryTextForTesting();
 
 }  // namespace obs

@@ -14,6 +14,7 @@
 #include "common/fault_injector.h"
 #include "common/file_io.h"
 #include "common/hash.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -466,6 +467,8 @@ Status WalWriter::StartSegment(uint64_t first_sequence) {
   unsynced_ = false;
   static obs::Counter& rolls = obs::GetCounter("wal.rolls");
   rolls.Add();
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kWalRoll,
+                                       first_sequence);
   return Status::OK();
 }
 

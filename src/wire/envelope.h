@@ -37,9 +37,11 @@ enum class MsgType : uint8_t {
                       // typed response could be built
   kSegmentFetch = 5,  // WireSegmentFetch payload: replica repair pull
   kSegmentPush = 6,   // WireSegmentPush payload: fingerprinted blobs
+  kStatsFetch = 7,    // WireStatsFetch payload: fleet-scrape pull
+  kStatsReply = 8,    // WireStatsReply payload: metrics + flight events
 };
 inline constexpr uint8_t kMaxMsgType =
-    static_cast<uint8_t>(MsgType::kSegmentPush);
+    static_cast<uint8_t>(MsgType::kStatsReply);
 
 inline constexpr uint32_t kEnvelopeMagic = 0x45424e56;  // "VNBE" LE = EBNV
 inline constexpr uint8_t kWireFormatVersion = 1;

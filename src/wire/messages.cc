@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "obs/flight_recorder.h"
 #include "wire/byte_io.h"
 #include "wire/envelope.h"
 
@@ -223,6 +224,146 @@ Result<WireSegmentPush> DecodeSegmentPush(std::string_view payload) {
   }
   if (!r.empty()) return malformed;
   return push;
+}
+
+void EncodeStatsFetch(const WireStatsFetch& fetch, std::string* out) {
+  PutU64(out, fetch.since_seq);
+  PutU8(out, fetch.want_metrics ? 1 : 0);
+  PutU8(out, fetch.want_events ? 1 : 0);
+}
+
+Result<WireStatsFetch> DecodeStatsFetch(std::string_view payload) {
+  ByteReader r(payload);
+  WireStatsFetch fetch;
+  if (!r.ReadU64(&fetch.since_seq) || !ReadBool(&r, &fetch.want_metrics) ||
+      !ReadBool(&r, &fetch.want_events) || !r.empty()) {
+    return Status::Corruption("wire stats fetch: malformed payload");
+  }
+  return fetch;
+}
+
+void EncodeStatsReply(const WireStatsReply& reply, std::string* out) {
+  PutU32(out, reply.node_id);
+  PutF64(out, reply.uptime_seconds);
+  PutString(out, reply.build_info);
+  PutU64(out, reply.queries_served);
+  PutU64(out, reply.backpressure_rejections);
+  PutU32(out, static_cast<uint32_t>(reply.counters.size()));
+  for (const auto& [name, v] : reply.counters) {
+    PutString(out, name);
+    PutU64(out, v);
+  }
+  PutU32(out, static_cast<uint32_t>(reply.gauges.size()));
+  for (const auto& [name, v] : reply.gauges) {
+    PutString(out, name);
+    PutF64(out, v);
+  }
+  PutU32(out, static_cast<uint32_t>(reply.histograms.size()));
+  for (const WireHistogram& h : reply.histograms) {
+    PutString(out, h.name);
+    PutU64(out, h.count);
+    PutU64(out, h.sum);
+    PutU32(out, static_cast<uint32_t>(h.buckets.size()));
+    for (const auto& [le, n] : h.buckets) {
+      PutU64(out, le);
+      PutU64(out, n);
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(reply.events.size()));
+  for (const WireFlightEvent& e : reply.events) {
+    PutU64(out, e.seq);
+    PutU64(out, e.t_ns);
+    PutU64(out, e.trace_id);
+    PutU8(out, e.kind);
+    PutU64(out, e.a);
+    PutU64(out, e.b);
+  }
+  PutU64(out, reply.next_seq);
+}
+
+Result<WireStatsReply> DecodeStatsReply(std::string_view payload) {
+  ByteReader r(payload);
+  WireStatsReply reply;
+  const Status malformed =
+      Status::Corruption("wire stats reply: malformed payload");
+  if (!r.ReadU32(&reply.node_id) || !r.ReadF64(&reply.uptime_seconds) ||
+      !r.ReadString(&reply.build_info, kMaxWireStringBytes) ||
+      !r.ReadU64(&reply.queries_served) ||
+      !r.ReadU64(&reply.backpressure_rejections)) {
+    return malformed;
+  }
+  // Metric names inside each section must be strictly ascending: one
+  // canonical encoding per snapshot and no duplicate-name smuggling.
+  uint32_t num_counters = 0;
+  if (!r.ReadCount(&num_counters, 12)) return malformed;  // name + u64
+  reply.counters.resize(num_counters);
+  for (uint32_t i = 0; i < num_counters; ++i) {
+    auto& [name, v] = reply.counters[i];
+    if (!r.ReadString(&name, kMaxWireStringBytes) || !r.ReadU64(&v)) {
+      return malformed;
+    }
+    if (i > 0 && !(reply.counters[i - 1].first < name)) return malformed;
+  }
+  uint32_t num_gauges = 0;
+  if (!r.ReadCount(&num_gauges, 12)) return malformed;  // name + f64
+  reply.gauges.resize(num_gauges);
+  for (uint32_t i = 0; i < num_gauges; ++i) {
+    auto& [name, v] = reply.gauges[i];
+    if (!r.ReadString(&name, kMaxWireStringBytes) || !r.ReadF64(&v)) {
+      return malformed;
+    }
+    if (i > 0 && !(reply.gauges[i - 1].first < name)) return malformed;
+  }
+  uint32_t num_histograms = 0;
+  // A histogram is at least 4+8+8+4 bytes (empty name, count, sum, empty
+  // bucket vector).
+  if (!r.ReadCount(&num_histograms, 24)) return malformed;
+  reply.histograms.resize(num_histograms);
+  for (uint32_t i = 0; i < num_histograms; ++i) {
+    WireHistogram& h = reply.histograms[i];
+    if (!r.ReadString(&h.name, kMaxWireStringBytes) || !r.ReadU64(&h.count) ||
+        !r.ReadU64(&h.sum)) {
+      return malformed;
+    }
+    if (i > 0 && !(reply.histograms[i - 1].name < h.name)) return malformed;
+    uint32_t num_buckets = 0;
+    if (!r.ReadCount(&num_buckets, 16)) return malformed;  // le + n
+    h.buckets.resize(num_buckets);
+    uint64_t total = 0;
+    for (uint32_t j = 0; j < num_buckets; ++j) {
+      auto& [le, n] = h.buckets[j];
+      if (!r.ReadU64(&le) || !r.ReadU64(&n)) return malformed;
+      // Only non-empty buckets are shipped, in strictly ascending le order,
+      // and they must account for the claimed count exactly.
+      if (n == 0) return malformed;
+      if (j > 0 && !(h.buckets[j - 1].first < le)) return malformed;
+      // total <= count is a loop invariant, so this rejects any overshoot
+      // without u64 overflow.
+      if (n > h.count - total) return malformed;
+      total += n;
+    }
+    if (total != h.count) return malformed;
+  }
+  uint32_t num_events = 0;
+  // An event is 8+8+8+1+8+8 = 41 bytes.
+  if (!r.ReadCount(&num_events, 41)) return malformed;
+  reply.events.resize(num_events);
+  for (uint32_t i = 0; i < num_events; ++i) {
+    WireFlightEvent& e = reply.events[i];
+    if (!r.ReadU64(&e.seq) || !r.ReadU64(&e.t_ns) ||
+        !r.ReadU64(&e.trace_id) || !r.ReadU8(&e.kind) ||
+        e.kind > obs::kMaxFlightEventKind || !r.ReadU64(&e.a) ||
+        !r.ReadU64(&e.b)) {
+      return malformed;
+    }
+    if (i > 0 && !(reply.events[i - 1].seq < e.seq)) return malformed;
+  }
+  if (!r.ReadU64(&reply.next_seq) || !r.empty()) return malformed;
+  // Every shipped event precedes the advertised cursor.
+  if (!reply.events.empty() && reply.events.back().seq >= reply.next_seq) {
+    return malformed;
+  }
+  return reply;
 }
 
 }  // namespace wire

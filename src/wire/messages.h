@@ -158,6 +158,96 @@ struct WireSegmentPush {
   }
 };
 
+// Coordinator -> node: fleet-observability pull (DESIGN.md "Fleet
+// observability"). One message serves both the periodic fleet scrape
+// (want_metrics, since_seq = cursor so flight events are shipped
+// incrementally) and the postmortem slice fetch (want_events only).
+struct WireStatsFetch {
+  // Ship flight events with seq >= since_seq (0 = everything in the ring).
+  uint64_t since_seq = 0;
+  bool want_metrics = true;
+  bool want_events = true;
+
+  friend bool operator==(const WireStatsFetch& a, const WireStatsFetch& b) {
+    return a.since_seq == b.since_seq && a.want_metrics == b.want_metrics &&
+           a.want_events == b.want_events;
+  }
+};
+
+// One histogram family inside a kStatsReply: obs::MetricsSnapshot's
+// HistogramView plus its name. Buckets are strictly le-ascending, non-empty
+// only, and their counts must total `count` -- the decoder enforces all
+// three, so one snapshot has one encoding.
+struct WireHistogram {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;  // (le, n)
+
+  friend bool operator==(const WireHistogram& a, const WireHistogram& b) {
+    return a.name == b.name && a.count == b.count && a.sum == b.sum &&
+           a.buckets == b.buckets;
+  }
+};
+
+// One flight-recorder event crossing the wire (obs::FlightEvent mirror;
+// `kind` is bounds-checked against the event catalog on decode).
+struct WireFlightEvent {
+  uint64_t seq = 0;
+  uint64_t t_ns = 0;
+  uint64_t trace_id = 0;
+  uint8_t kind = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  friend bool operator==(const WireFlightEvent& x, const WireFlightEvent& y) {
+    return x.seq == y.seq && x.t_ns == y.t_ns && x.trace_id == y.trace_id &&
+           x.kind == y.kind && x.a == y.a && x.b == y.b;
+  }
+};
+
+// Node -> coordinator: the node's identity, health counters, full metrics
+// snapshot (names strictly ascending per section) and flight-recorder slice
+// (seq strictly ascending, all below next_seq). An EXPBSI_NO_METRICS node
+// replies with empty sections -- identity and next_seq are still real.
+struct WireStatsReply {
+  uint32_t node_id = 0;
+  double uptime_seconds = 0.0;
+  std::string build_info;
+  uint64_t queries_served = 0;
+  uint64_t backpressure_rejections = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<WireHistogram> histograms;
+  std::vector<WireFlightEvent> events;
+  // The node's FlightRecorder::NextSeq() at reply time: the scraper's
+  // cursor for the next incremental fetch.
+  uint64_t next_seq = 0;
+
+  friend bool operator==(const WireStatsReply& a, const WireStatsReply& b) {
+    // Doubles cross the wire as bit patterns; compare them the same way.
+    auto dbits = [](double d) {
+      uint64_t b64;
+      __builtin_memcpy(&b64, &d, 8);
+      return b64;
+    };
+    if (a.gauges.size() != b.gauges.size()) return false;
+    for (size_t i = 0; i < a.gauges.size(); ++i) {
+      if (a.gauges[i].first != b.gauges[i].first ||
+          dbits(a.gauges[i].second) != dbits(b.gauges[i].second)) {
+        return false;
+      }
+    }
+    return a.node_id == b.node_id &&
+           dbits(a.uptime_seconds) == dbits(b.uptime_seconds) &&
+           a.build_info == b.build_info &&
+           a.queries_served == b.queries_served &&
+           a.backpressure_rejections == b.backpressure_rejections &&
+           a.counters == b.counters && a.histograms == b.histograms &&
+           a.events == b.events && a.next_seq == b.next_seq;
+  }
+};
+
 void EncodeQueryRequest(const WireQueryRequest& req, std::string* out);
 Result<WireQueryRequest> DecodeQueryRequest(std::string_view payload);
 
@@ -169,6 +259,12 @@ Result<WireSegmentFetch> DecodeSegmentFetch(std::string_view payload);
 
 void EncodeSegmentPush(const WireSegmentPush& push, std::string* out);
 Result<WireSegmentPush> DecodeSegmentPush(std::string_view payload);
+
+void EncodeStatsFetch(const WireStatsFetch& fetch, std::string* out);
+Result<WireStatsFetch> DecodeStatsFetch(std::string_view payload);
+
+void EncodeStatsReply(const WireStatsReply& reply, std::string* out);
+Result<WireStatsReply> DecodeStatsReply(std::string_view payload);
 
 }  // namespace wire
 }  // namespace expbsi

@@ -44,6 +44,7 @@
 #include "common/file_io.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "roaring/container.h"
 #include "roaring/roaring_bitmap.h"
 #include "storage/bsi_store.h"
@@ -593,6 +594,138 @@ void RunSegmentPushIteration(uint64_t seed) {
       << ctx << " accepted payload did not re-encode bit-identically";
 }
 
+wire::WireStatsFetch RandomStatsFetch(Rng& rng) {
+  wire::WireStatsFetch fetch;
+  fetch.since_seq = rng.Next() >> (rng.NextBounded(64));
+  fetch.want_metrics = rng.NextBounded(2) == 1;
+  fetch.want_events = rng.NextBounded(2) == 1;
+  return fetch;
+}
+
+wire::WireStatsReply RandomStatsReply(Rng& rng) {
+  wire::WireStatsReply reply;
+  reply.node_id = static_cast<uint32_t>(rng.NextBounded(64));
+  reply.uptime_seconds = static_cast<double>(rng.NextBounded(100000)) / 7.0;
+  reply.build_info = "expbsi/0.t " + std::to_string(rng.NextBounded(100));
+  reply.queries_served = rng.NextBounded(1u << 20);
+  reply.backpressure_rejections = rng.NextBounded(100);
+  // Strictly ascending names per section: build from a set.
+  std::set<std::string> names;
+  for (uint64_t i = rng.NextBounded(5); i > 0; --i) {
+    names.insert("c." + std::to_string(rng.NextBounded(1000)));
+  }
+  for (const std::string& n : names) {
+    reply.counters.emplace_back(n, rng.Next());
+  }
+  names.clear();
+  for (uint64_t i = rng.NextBounded(4); i > 0; --i) {
+    names.insert("g." + std::to_string(rng.NextBounded(1000)));
+  }
+  for (const std::string& n : names) {
+    reply.gauges.emplace_back(
+        n, static_cast<double>(rng.NextBounded(1u << 16)) / 3.0);
+  }
+  names.clear();
+  for (uint64_t i = rng.NextBounded(3); i > 0; --i) {
+    names.insert("h." + std::to_string(rng.NextBounded(1000)));
+  }
+  for (const std::string& n : names) {
+    wire::WireHistogram h;
+    h.name = n;
+    // Strictly le-ascending non-empty buckets whose counts total `count`.
+    uint64_t le = 0;
+    for (uint64_t b = rng.NextBounded(4); b > 0; --b) {
+      le += 1 + rng.NextBounded(100);
+      const uint64_t cnt = 1 + rng.NextBounded(50);
+      h.buckets.emplace_back(le, cnt);
+      h.count += cnt;
+      h.sum += cnt * le;
+    }
+    reply.histograms.push_back(std::move(h));
+  }
+  // Strictly seq-ascending events, all below next_seq.
+  uint64_t seq = rng.NextBounded(100);
+  for (uint64_t i = rng.NextBounded(6); i > 0; --i) {
+    wire::WireFlightEvent ev;
+    ev.seq = seq;
+    seq += 1 + rng.NextBounded(5);
+    ev.t_ns = rng.Next() >> 20;
+    ev.trace_id = rng.NextBounded(1000);
+    ev.kind = static_cast<uint8_t>(rng.NextBounded(obs::kMaxFlightEventKind + 1));
+    ev.a = rng.NextBounded(10000);
+    ev.b = rng.NextBounded(10000);
+    reply.events.push_back(ev);
+  }
+  reply.next_seq = seq + rng.NextBounded(10);
+  return reply;
+}
+
+void RunStatsFetchIteration(uint64_t seed) {
+  Rng rng(seed);
+  std::string payload;
+  wire::EncodeStatsFetch(RandomStatsFetch(rng), &payload);
+  const std::string mutated = Mutate(rng, payload, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "stats fetch");
+
+  const Result<wire::WireStatsFetch> parsed =
+      wire::DecodeStatsFetch(mutated);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << ctx;
+    return;
+  }
+  std::string again;
+  wire::EncodeStatsFetch(parsed.value(), &again);
+  EXPECT_EQ(again, mutated)
+      << ctx << " accepted payload did not re-encode bit-identically";
+}
+
+void RunStatsReplyIteration(uint64_t seed) {
+  Rng rng(seed);
+  std::string payload;
+  wire::EncodeStatsReply(RandomStatsReply(rng), &payload);
+  const std::string mutated = Mutate(rng, payload, RandomMutation(rng));
+  const std::string ctx = Ctx(seed, "stats reply");
+
+  const Result<wire::WireStatsReply> parsed =
+      wire::DecodeStatsReply(mutated);
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << ctx;
+    return;
+  }
+  // Accepted replies obey the invariants the fleet merger trusts: canonical
+  // name order, consistent histograms, bounded event kinds under next_seq.
+  const wire::WireStatsReply& reply = parsed.value();
+  for (size_t i = 1; i < reply.counters.size(); ++i) {
+    EXPECT_LT(reply.counters[i - 1].first, reply.counters[i].first) << ctx;
+  }
+  for (const wire::WireHistogram& h : reply.histograms) {
+    uint64_t total = 0;
+    uint64_t prev_le = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) {
+        EXPECT_LT(prev_le, h.buckets[b].first) << ctx;
+      }
+      prev_le = h.buckets[b].first;
+      EXPECT_NE(h.buckets[b].second, 0u) << ctx;
+      total += h.buckets[b].second;
+    }
+    EXPECT_EQ(total, h.count) << ctx;
+  }
+  for (size_t i = 0; i < reply.events.size(); ++i) {
+    EXPECT_LE(reply.events[i].kind, obs::kMaxFlightEventKind) << ctx;
+    if (i > 0) {
+      EXPECT_LT(reply.events[i - 1].seq, reply.events[i].seq) << ctx;
+    }
+  }
+  if (!reply.events.empty()) {
+    EXPECT_LT(reply.events.back().seq, reply.next_seq) << ctx;
+  }
+  std::string again;
+  wire::EncodeStatsReply(reply, &again);
+  EXPECT_EQ(again, mutated)
+      << ctx << " accepted payload did not re-encode bit-identically";
+}
+
 TEST(DecodeFuzzTest, EnvelopeDecodeSurvivesMutations) {
   for (uint64_t seed : FuzzSeedSchedule(0xE4E10BE5ull)) {
     RunEnvelopeIteration(seed);
@@ -631,6 +764,20 @@ TEST(DecodeFuzzTest, SegmentFetchDecodeSurvivesMutations) {
 TEST(DecodeFuzzTest, SegmentPushDecodeSurvivesMutations) {
   for (uint64_t seed : FuzzSeedSchedule(0x317E0E05ull)) {
     RunSegmentPushIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, StatsFetchDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0x317E0E06ull)) {
+    RunStatsFetchIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DecodeFuzzTest, StatsReplyDecodeSurvivesMutations) {
+  for (uint64_t seed : FuzzSeedSchedule(0x317E0E07ull)) {
+    RunStatsReplyIteration(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
@@ -1123,6 +1270,10 @@ TEST(DecodeFuzzTest, MalformedCorpusIsRejected) {
       EXPECT_FALSE(wire::DecodeSegmentFetch(bytes).ok()) << ctx;
     } else if (decoder == "segmentpush") {
       EXPECT_FALSE(wire::DecodeSegmentPush(bytes).ok()) << ctx;
+    } else if (decoder == "statsfetch") {
+      EXPECT_FALSE(wire::DecodeStatsFetch(bytes).ok()) << ctx;
+    } else if (decoder == "statsreply") {
+      EXPECT_FALSE(wire::DecodeStatsReply(bytes).ok()) << ctx;
     } else {
       ADD_FAILURE() << "unknown decoder in corpus: " << decoder;
     }

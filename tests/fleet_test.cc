@@ -1,0 +1,755 @@
+// Fleet observability plane (DESIGN.md "Fleet observability"): kStatsFetch /
+// kStatsReply codec canonicality, the lock-free flight recorder (ordering,
+// since-seq cursors, trace stamping, wrap-around and a TSan-targeted
+// writer/reader hammer), LocalStatsReply / FetchStats / FleetScraper over
+// real loopback NodeServers, the merged Prometheus / JSON renderings, and
+// degraded- and slow-query postmortem bundles from both the net Coordinator
+// and the in-process AdhocCluster. The cross-process path (real expbsi_node
+// children with injected faults) lives in net_process_test.cc.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/adhoc_cluster.h"
+#include "common/fault_injector.h"
+#include "common/file_io.h"
+#include "engine/experiment_data.h"
+#include "expdata/generator.h"
+#include "net/coordinator.h"
+#include "net/node_server.h"
+#include "obs/fleet.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/postmortem.h"
+#include "obs/process_info.h"
+#include "obs/trace.h"
+#include "storage/bsi_store.h"
+#include "wire/messages.h"
+
+namespace expbsi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// kStatsFetch / kStatsReply codecs
+// ---------------------------------------------------------------------------
+
+wire::WireStatsReply SampleReply() {
+  wire::WireStatsReply reply;
+  reply.node_id = 3;
+  reply.uptime_seconds = 12.5;
+  reply.build_info = "expbsi/0.10 test x86_64 metrics=on";
+  reply.queries_served = 41;
+  reply.backpressure_rejections = 2;
+  reply.counters = {{"a.count", 7}, {"b.count", 9}};
+  reply.gauges = {{"g.bytes", 123.0}};
+  wire::WireHistogram h;
+  h.name = "h.latency";
+  h.count = 5;
+  h.sum = 90;
+  h.buckets = {{10, 2}, {50, 3}};
+  reply.histograms = {h};
+  reply.events = {wire::WireFlightEvent{0, 100, 1, 0, 4, 0},
+                  wire::WireFlightEvent{2, 300, 1, 1, 1500, 0}};
+  reply.next_seq = 5;
+  return reply;
+}
+
+TEST(WireStatsCodecTest, StatsFetchRoundTripsBitIdentically) {
+  wire::WireStatsFetch fetch;
+  fetch.since_seq = 0x0123456789abcdefull;
+  fetch.want_metrics = false;
+  fetch.want_events = true;
+  std::string payload;
+  wire::EncodeStatsFetch(fetch, &payload);
+  Result<wire::WireStatsFetch> decoded = wire::DecodeStatsFetch(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value() == fetch);
+  std::string reencoded;
+  wire::EncodeStatsFetch(decoded.value(), &reencoded);
+  EXPECT_EQ(payload, reencoded);
+}
+
+TEST(WireStatsCodecTest, StatsFetchRejectsTrailingBytesAndBadBools) {
+  wire::WireStatsFetch fetch;
+  std::string payload;
+  wire::EncodeStatsFetch(fetch, &payload);
+  // Trailing byte after a structurally complete message.
+  EXPECT_FALSE(wire::DecodeStatsFetch(payload + '\0').ok());
+  // Truncation anywhere inside.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(wire::DecodeStatsFetch(payload.substr(0, cut)).ok());
+  }
+  // Bools must be exactly 0 or 1 -- one canonical encoding per value.
+  std::string tampered = payload;
+  tampered[8] = 2;
+  EXPECT_FALSE(wire::DecodeStatsFetch(tampered).ok());
+}
+
+TEST(WireStatsCodecTest, StatsReplyRoundTripsBitIdentically) {
+  const wire::WireStatsReply reply = SampleReply();
+  std::string payload;
+  wire::EncodeStatsReply(reply, &payload);
+  Result<wire::WireStatsReply> decoded = wire::DecodeStatsReply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value() == reply);
+  std::string reencoded;
+  wire::EncodeStatsReply(decoded.value(), &reencoded);
+  EXPECT_EQ(payload, reencoded);
+}
+
+TEST(WireStatsCodecTest, StatsReplyRejectsUnsortedMetricNames) {
+  // The encoder emits whatever order it is given; canonicality is the
+  // decoder's contract, so a shuffled section must fail to parse.
+  wire::WireStatsReply reply = SampleReply();
+  std::swap(reply.counters[0], reply.counters[1]);
+  std::string payload;
+  wire::EncodeStatsReply(reply, &payload);
+  EXPECT_FALSE(wire::DecodeStatsReply(payload).ok());
+
+  reply = SampleReply();
+  reply.counters.push_back(reply.counters.back());  // duplicate name
+  wire::EncodeStatsReply(reply, &payload);
+  EXPECT_FALSE(wire::DecodeStatsReply(payload).ok());
+}
+
+TEST(WireStatsCodecTest, StatsReplyRejectsMalformedHistograms) {
+  // Bucket counts must total `count`.
+  wire::WireStatsReply reply = SampleReply();
+  reply.histograms[0].count = 6;
+  std::string payload;
+  wire::EncodeStatsReply(reply, &payload);
+  EXPECT_FALSE(wire::DecodeStatsReply(payload).ok());
+
+  // Empty buckets are omitted from a canonical snapshot, never shipped.
+  reply = SampleReply();
+  reply.histograms[0].buckets = {{10, 0}, {50, 5}};
+  wire::EncodeStatsReply(reply, &payload);
+  EXPECT_FALSE(wire::DecodeStatsReply(payload).ok());
+
+  // `le` bounds must be strictly ascending.
+  reply = SampleReply();
+  reply.histograms[0].buckets = {{50, 3}, {10, 2}};
+  wire::EncodeStatsReply(reply, &payload);
+  EXPECT_FALSE(wire::DecodeStatsReply(payload).ok());
+}
+
+TEST(WireStatsCodecTest, StatsReplyRejectsMalformedEvents) {
+  // Event kinds outside the catalog are hostile or torn; drop the message.
+  wire::WireStatsReply reply = SampleReply();
+  reply.events[0].kind = obs::kMaxFlightEventKind + 1;
+  std::string payload;
+  wire::EncodeStatsReply(reply, &payload);
+  EXPECT_FALSE(wire::DecodeStatsReply(payload).ok());
+
+  // Sequence numbers must be strictly ascending...
+  reply = SampleReply();
+  reply.events[1].seq = reply.events[0].seq;
+  wire::EncodeStatsReply(reply, &payload);
+  EXPECT_FALSE(wire::DecodeStatsReply(payload).ok());
+
+  // ...and every one must sit below the advertised next_seq cursor.
+  reply = SampleReply();
+  reply.events[1].seq = reply.next_seq;
+  wire::EncodeStatsReply(reply, &payload);
+  EXPECT_FALSE(wire::DecodeStatsReply(payload).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+#if !defined(EXPBSI_NO_METRICS)
+
+TEST(FlightRecorderTest, RecordsEventsInSequenceOrder) {
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.ResetForTesting();
+  EXPECT_EQ(fr.NextSeq(), 0u);
+  fr.Record(obs::FlightEventKind::kQueryAdmit, 8);
+  fr.Record(obs::FlightEventKind::kQueryFinish, 1500, 0);
+  fr.Record(obs::FlightEventKind::kNodeMarkdown, 2, 3);
+  EXPECT_EQ(fr.NextSeq(), 3u);
+  const std::vector<obs::FlightEvent> events = fr.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].kind,
+            static_cast<uint8_t>(obs::FlightEventKind::kQueryAdmit));
+  EXPECT_EQ(events[0].a, 8u);
+  EXPECT_EQ(events[0].trace_id, 0u);  // recorded outside any trace
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].a, 1500u);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(events[2].b, 3u);
+  EXPECT_LE(events[0].t_ns, events[2].t_ns);
+  fr.ResetForTesting();
+}
+
+TEST(FlightRecorderTest, SnapshotSinceSeqIsACursor) {
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.ResetForTesting();
+  fr.Record(obs::FlightEventKind::kQueryAdmit, 1);
+  fr.Record(obs::FlightEventKind::kQueryAdmit, 2);
+  const uint64_t cursor = fr.NextSeq();
+  fr.Record(obs::FlightEventKind::kQueryFinish, 3);
+  const std::vector<obs::FlightEvent> fresh = fr.Snapshot(cursor);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].seq, cursor);
+  EXPECT_EQ(fresh[0].a, 3u);
+  // A cursor at NextSeq() sees nothing until something new is recorded.
+  EXPECT_TRUE(fr.Snapshot(fr.NextSeq()).empty());
+  fr.ResetForTesting();
+}
+
+TEST(FlightRecorderTest, StampsTheActiveTraceId) {
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.ResetForTesting();
+  obs::QueryTrace trace("fleet_test");
+  EXPECT_EQ(trace.start_flight_seq(), 0u);
+  {
+    obs::ScopedTrace st(&trace);
+    fr.Record(obs::FlightEventKind::kQueryAdmit, 4);
+  }
+  fr.RecordWithTraceId(obs::FlightEventKind::kHedgeFired, 1, 0,
+                       trace.trace_id());
+  const std::vector<obs::FlightEvent> events =
+      fr.Snapshot(trace.start_flight_seq());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, trace.trace_id());
+  EXPECT_EQ(events[1].trace_id, trace.trace_id());
+  fr.ResetForTesting();
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsTheMostRecentCapacityEvents) {
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.ResetForTesting();
+  const uint64_t total = obs::FlightRecorder::kCapacity + 100;
+  for (uint64_t i = 0; i < total; ++i) {
+    fr.Record(obs::FlightEventKind::kQueryAdmit, i);
+  }
+  const std::vector<obs::FlightEvent> events = fr.Snapshot();
+  ASSERT_EQ(events.size(), obs::FlightRecorder::kCapacity);
+  EXPECT_EQ(events.front().seq, total - obs::FlightRecorder::kCapacity);
+  EXPECT_EQ(events.back().seq, total - 1);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, events[i].seq);  // payload rode along with seq
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].seq, events[i].seq);
+    }
+  }
+  // A cursor past the wrap sees only the tail.
+  EXPECT_EQ(fr.Snapshot(total - 5).size(), 5u);
+  fr.ResetForTesting();
+}
+
+// Writers hammer the ring while readers snapshot it: under TSan this is the
+// seqlock proof, and in any mode a snapshot must never contain a torn,
+// out-of-order or out-of-catalog event.
+TEST(FlightRecorderTest, ConcurrentWritersAndReadersStayCoherent) {
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.ResetForTesting();
+  static constexpr int kWriters = 4;
+  static constexpr uint64_t kPerWriter = obs::FlightRecorder::kCapacity;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&fr, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        fr.Record(obs::FlightEventKind::kRetry, i,
+                  static_cast<uint64_t>(w));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&fr, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<obs::FlightEvent> snap = fr.Snapshot();
+      for (size_t i = 0; i < snap.size(); ++i) {
+        ASSERT_LE(snap[i].kind, obs::kMaxFlightEventKind);
+        ASSERT_LT(snap[i].a, kPerWriter);
+        ASSERT_LT(snap[i].b, static_cast<uint64_t>(kWriters));
+        if (i > 0) {
+          ASSERT_LT(snap[i - 1].seq, snap[i].seq);
+        }
+      }
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(fr.NextSeq(), kWriters * kPerWriter);
+  const std::vector<obs::FlightEvent> final_snap = fr.Snapshot();
+  EXPECT_EQ(final_snap.size(), obs::FlightRecorder::kCapacity);
+  fr.ResetForTesting();
+}
+
+#endif  // !EXPBSI_NO_METRICS
+
+TEST(FlightEventJsonTest, RendersCatalogNamesAndFields) {
+  std::vector<obs::FlightEvent> events(1);
+  events[0].seq = 7;
+  events[0].t_ns = 123;
+  events[0].trace_id = 9;
+  events[0].kind = static_cast<uint8_t>(obs::FlightEventKind::kNodeMarkdown);
+  events[0].a = 2;
+  events[0].b = 3;
+  const std::string json = obs::FlightEventsToJson(events);
+  EXPECT_NE(json.find("\"seq\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"node_markdown\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 2"), std::string::npos);
+  EXPECT_EQ(obs::FlightEventsToJson({}), "[]");
+  // Out-of-catalog kinds render as "unknown" instead of indexing off the
+  // end of the name table.
+  events[0].kind = obs::kMaxFlightEventKind + 1;
+  EXPECT_NE(obs::FlightEventsToJson(events).find("\"kind\": \"unknown\""),
+            std::string::npos);
+}
+
+TEST(FlightEventJsonTest, FaultInjectedEventsNameTheirSite) {
+  std::vector<obs::FlightEvent> events(1);
+  events[0].kind = static_cast<uint8_t>(obs::FlightEventKind::kFaultInjected);
+  events[0].a = 1;  // FaultKind::kCorrupt
+  events[0].b = obs::FlightSiteId(fault_sites::kTierFetch);
+  EXPECT_NE(
+      obs::FlightEventsToJson(events).find("\"site\": \"tier.fetch\""),
+      std::string::npos);
+}
+
+TEST(FlightSiteTest, SiteIdsRoundTripAndUnknownsMapToZero) {
+  const uint64_t id = obs::FlightSiteId(fault_sites::kTierFetch);
+  EXPECT_NE(id, 0u);
+  EXPECT_STREQ(obs::FlightSiteName(id), fault_sites::kTierFetch);
+  EXPECT_NE(obs::FlightSiteId(fault_sites::kNetSend), 0u);
+  EXPECT_NE(obs::FlightSiteId(fault_sites::kNetSend), id);
+  EXPECT_EQ(obs::FlightSiteId("no.such.site"), 0u);
+  EXPECT_EQ(obs::FlightSiteId(nullptr), 0u);
+  EXPECT_STREQ(obs::FlightSiteName(0), "");
+  EXPECT_STREQ(obs::FlightSiteName(1u << 20), "");
+}
+
+// ---------------------------------------------------------------------------
+// LocalStatsReply
+// ---------------------------------------------------------------------------
+
+TEST(LocalStatsReplyTest, CarriesIdentityAndEncodesCanonically) {
+  wire::WireStatsFetch fetch;
+  const wire::WireStatsReply reply =
+      obs::LocalStatsReply(fetch, /*node_id=*/6, /*queries_served=*/10,
+                           /*backpressure_rejections=*/1);
+  EXPECT_EQ(reply.node_id, 6u);
+  EXPECT_EQ(reply.queries_served, 10u);
+  EXPECT_EQ(reply.backpressure_rejections, 1u);
+  EXPECT_EQ(reply.build_info, obs::BuildInfoString());
+  EXPECT_GE(reply.uptime_seconds, 0.0);
+  // A self-snapshot is canonical by construction: it must survive its own
+  // codec bit-identically (sorted names, valid histograms, ordered events).
+  std::string payload;
+  wire::EncodeStatsReply(reply, &payload);
+  Result<wire::WireStatsReply> decoded = wire::DecodeStatsReply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value() == reply);
+}
+
+#if !defined(EXPBSI_NO_METRICS)
+
+TEST(LocalStatsReplyTest, ShipsRegistryMetricsAndHonorsWantFlags) {
+  obs::GetCounter("fleet.test_only_counter").Add(5);
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.ResetForTesting();
+  fr.Record(obs::FlightEventKind::kQueryAdmit, 1);
+  const uint64_t cursor = fr.NextSeq();
+  fr.Record(obs::FlightEventKind::kQueryFinish, 2);
+
+  wire::WireStatsFetch fetch;
+  fetch.since_seq = cursor;
+  wire::WireStatsReply reply = obs::LocalStatsReply(fetch, 0, 0, 0);
+  bool found = false;
+  for (const auto& [name, v] : reply.counters) {
+    if (name == "fleet.test_only_counter") {
+      found = true;
+      EXPECT_GE(v, 5u);
+    }
+  }
+  EXPECT_TRUE(found);
+  ASSERT_EQ(reply.events.size(), 1u);  // cursor skipped the admit event
+  EXPECT_EQ(reply.events[0].seq, cursor);
+  EXPECT_EQ(reply.next_seq, fr.NextSeq());
+
+  fetch.want_metrics = false;
+  fetch.want_events = false;
+  reply = obs::LocalStatsReply(fetch, 0, 0, 0);
+  EXPECT_TRUE(reply.counters.empty());
+  EXPECT_TRUE(reply.gauges.empty());
+  EXPECT_TRUE(reply.histograms.empty());
+  EXPECT_TRUE(reply.events.empty());
+  EXPECT_EQ(reply.next_seq, fr.NextSeq());  // cursor still advances
+  fr.ResetForTesting();
+}
+
+#endif  // !EXPBSI_NO_METRICS
+
+// ---------------------------------------------------------------------------
+// Fleet rendering
+// ---------------------------------------------------------------------------
+
+TEST(PromRenderTest, EscapesLabelValues) {
+  EXPECT_EQ(obs::PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::PromEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::PromEscapeLabelValue("line\nbreak"), "line\\nbreak");
+}
+
+obs::FleetView SampleView() {
+  obs::FleetView view;
+  obs::FleetNodeSnapshot up;
+  up.label = "127.0.0.1:9100";
+  up.reachable = true;
+  up.reply = SampleReply();
+  obs::FleetNodeSnapshot down;
+  down.label = "127.0.0.1:9101";
+  down.error = "unavailable: connect: refused";
+  view.nodes = {std::move(up), std::move(down)};
+  return view;
+}
+
+TEST(FleetRenderTest, PrometheusLabelsEverySampleAndExposesLiveness) {
+  const std::string text = obs::FleetScraper::RenderPrometheus(SampleView());
+  // Liveness for both nodes, dead one as an explicit 0.
+  EXPECT_NE(text.find("expbsi_node_up{node=\"127.0.0.1:9100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("expbsi_node_up{node=\"127.0.0.1:9101\"} 0"),
+            std::string::npos);
+  // One TYPE line per family even with many nodes.
+  EXPECT_EQ(text.find("# TYPE expbsi_node_up gauge"),
+            text.rfind("# TYPE expbsi_node_up gauge"));
+  // Identity gauges and registry samples all carry the node label.
+  EXPECT_NE(text.find("expbsi_build_info{node=\"127.0.0.1:9100\",build=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("expbsi_uptime_seconds{node=\"127.0.0.1:9100\"} 12.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("expbsi_a_count{node=\"127.0.0.1:9100\"} 7"),
+            std::string::npos);
+  // Histograms render cumulative buckets plus the +Inf catch-all.
+  EXPECT_NE(
+      text.find("expbsi_h_latency_bucket{node=\"127.0.0.1:9100\",le=\"50\"} 5"),
+      std::string::npos);
+  EXPECT_NE(text.find(
+                "expbsi_h_latency_bucket{node=\"127.0.0.1:9100\",le=\"+Inf\"}"),
+            std::string::npos);
+  // A dead node contributes nothing beyond its node_up sample.
+  EXPECT_EQ(text.find("expbsi_a_count{node=\"127.0.0.1:9101\"}"),
+            std::string::npos);
+}
+
+TEST(FleetRenderTest, PrometheusEscapesHostileLabels) {
+  obs::FleetView view;
+  obs::FleetNodeSnapshot node;
+  node.label = "evil\"host\nname";
+  node.reachable = false;
+  view.nodes.push_back(std::move(node));
+  const std::string text = obs::FleetScraper::RenderPrometheus(view);
+  EXPECT_NE(text.find("expbsi_node_up{node=\"evil\\\"host\\nname\"} 0"),
+            std::string::npos);
+}
+
+TEST(FleetRenderTest, JsonCarriesIdentityMetricsAndEvents) {
+  const std::string json = obs::FleetScraper::RenderJson(SampleView());
+  EXPECT_NE(json.find("\"node\": \"127.0.0.1:9100\", \"up\": true"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"node\": \"127.0.0.1:9101\", \"up\": false"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"error\": \"unavailable: connect: refused\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"queries_served\": 41"), std::string::npos);
+  EXPECT_NE(json.find("\"next_seq\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"query_finish\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FetchStats + FleetScraper over real loopback NodeServers
+// ---------------------------------------------------------------------------
+
+TEST(FetchStatsTest, PullsARemoteSnapshotAndFailsCleanlyWhenDown) {
+  BsiStore empty;
+  net::NodeServerOptions options;
+  options.node_id = 7;
+  net::NodeServer node(&empty, options);
+  ASSERT_TRUE(node.Start().ok());
+  wire::WireStatsFetch fetch;
+  Result<wire::WireStatsReply> reply =
+      obs::FetchStats(node.port(), fetch, 5.0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().node_id, 7u);
+  // Same process, same library: identity fields match our own.
+  EXPECT_EQ(reply.value().build_info, obs::BuildInfoString());
+  const uint16_t port = node.port();
+  node.Stop();
+  Result<wire::WireStatsReply> dead = obs::FetchStats(port, fetch, 0.5);
+  EXPECT_FALSE(dead.ok());
+}
+
+TEST(FleetScraperTest, MergesLiveNodesAndMarksDeadOnes) {
+  BsiStore empty;
+  net::NodeServerOptions a_options;
+  a_options.node_id = 0;
+  net::NodeServer a(&empty, a_options);
+  ASSERT_TRUE(a.Start().ok());
+  net::NodeServerOptions b_options;
+  b_options.node_id = 1;
+  net::NodeServer b(&empty, b_options);
+  ASSERT_TRUE(b.Start().ok());
+  // A node that came up and went away: its port now refuses connections.
+  net::NodeServer ghost(&empty, net::NodeServerOptions{});
+  ASSERT_TRUE(ghost.Start().ok());
+  const uint16_t dead_port = ghost.port();
+  ghost.Stop();
+
+  obs::FleetScraperOptions options;
+  options.node_ports = {a.port(), b.port(), dead_port};
+  obs::FleetScraper scraper(options);
+  const obs::FleetView view = scraper.Scrape();
+  ASSERT_EQ(view.nodes.size(), 4u);  // 3 configured + coordinator self row
+  EXPECT_TRUE(view.nodes[0].reachable);
+  EXPECT_EQ(view.nodes[0].reply.node_id, 0u);
+  EXPECT_TRUE(view.nodes[1].reachable);
+  EXPECT_EQ(view.nodes[1].reply.node_id, 1u);
+  EXPECT_FALSE(view.nodes[2].reachable);
+  EXPECT_FALSE(view.nodes[2].error.empty());
+  EXPECT_EQ(view.nodes[2].label, "127.0.0.1:" + std::to_string(dead_port));
+  EXPECT_EQ(view.nodes[3].label, "coordinator");
+  EXPECT_TRUE(view.nodes[3].reachable);
+
+  // Event cursors advanced only for the nodes that answered.
+  EXPECT_EQ(scraper.cursor(0), view.nodes[0].reply.next_seq);
+  EXPECT_EQ(scraper.cursor(1), view.nodes[1].reply.next_seq);
+  EXPECT_EQ(scraper.cursor(2), 0u);
+
+  const std::string text = obs::FleetScraper::RenderPrometheus(view);
+  EXPECT_NE(text.find("expbsi_node_up{node=\"127.0.0.1:" +
+                      std::to_string(dead_port) + "\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("expbsi_node_up{node=\"coordinator\"} 1"),
+            std::string::npos);
+  a.Stop();
+  b.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Postmortem bundles
+// ---------------------------------------------------------------------------
+
+obs::PostmortemBundle SampleBundle() {
+  obs::PostmortemBundle bundle;
+  bundle.reason = "degraded";
+  bundle.trace_id = 42;
+  bundle.query = "coordinator_query_bsi";
+  bundle.duration_ms = 1.25;
+  bundle.lost_segments = {3, 5};
+  bundle.segments_answered = 6;
+  bundle.retries = 1;
+  bundle.nodes_lost = 1;
+  bundle.trace_json = "{\"name\": \"coordinator_query_bsi\"}";
+  bundle.health.push_back(obs::PostmortemNodeHealth{1, true, 4});
+  obs::PostmortemFlightSlice slice;
+  slice.label = "coordinator";
+  slice.fetched = true;
+  slice.next_seq = 9;
+  obs::FlightEvent e;
+  e.seq = 8;
+  e.kind = static_cast<uint8_t>(obs::FlightEventKind::kQueryDegraded);
+  e.a = 2;
+  slice.events.push_back(e);
+  bundle.slices.push_back(std::move(slice));
+  obs::PostmortemFlightSlice lost;
+  lost.label = "127.0.0.1:9101";
+  lost.error = "unavailable: connect: refused";
+  bundle.slices.push_back(std::move(lost));
+  return bundle;
+}
+
+TEST(PostmortemTest, RenderIncludesEverySection) {
+  const std::string json = obs::RenderPostmortemJson(SampleBundle());
+  EXPECT_NE(json.find("\"schema\": \"expbsi.postmortem.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"lost_segments\": [3, 5]"), std::string::npos);
+  EXPECT_NE(json.find("\"node\": 1, \"down\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": {\"name\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\": \"coordinator\", \"fetched\": true"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"query_degraded\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"node\": \"127.0.0.1:9101\", \"fetched\": false, "
+                "\"error\": \"unavailable: connect: refused\""),
+      std::string::npos);
+  // No trace -> explicit null, still valid JSON.
+  obs::PostmortemBundle traceless = SampleBundle();
+  traceless.trace_json.clear();
+  EXPECT_NE(obs::RenderPostmortemJson(traceless).find("\"trace\": null"),
+            std::string::npos);
+}
+
+TEST(PostmortemTest, WriteCreatesTheFileAndSanitizesHostileReasons) {
+  const std::string dir = ::testing::TempDir() + "expbsi_pm_unit";
+  obs::PostmortemBundle bundle = SampleBundle();
+  Result<std::string> written = obs::WritePostmortem(dir, bundle);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(written.value(), dir + "/postmortem-42-degraded.json");
+  Result<std::string> contents =
+      fileio::ReadFileToString(written.value(), 1u << 20);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), obs::RenderPostmortemJson(bundle));
+
+  // A reason outside [a-z_] must not become a path component.
+  bundle.reason = "../evil";
+  written = obs::WritePostmortem(dir, bundle);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value(), dir + "/postmortem-42-unknown.json");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end postmortems from real queries
+// ---------------------------------------------------------------------------
+
+class FleetServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.num_users = 2000;
+    config.num_segments = 8;
+    config.num_days = 3;
+    config.start_date = 10;
+    config.seed = 48;
+
+    ExperimentConfig exp;
+    exp.strategy_ids = {801, 802};
+    exp.arm_effects = {1.0, 1.1};
+    exp.traffic_salt = 5;
+
+    MetricConfig m1;
+    m1.metric_id = 901;
+    m1.value_range = 100;
+    m1.daily_participation = 0.5;
+
+    dataset_ = new Dataset(GenerateDataset(config, {exp}, {m1}, {}));
+    bsi_ = new ExperimentBsiData(BuildExperimentBsiData(*dataset_, true));
+    cold_ = new BsiStore(BuildColdStore(*bsi_));
+  }
+
+  static void TearDownTestSuite() {
+    delete cold_;
+    delete bsi_;
+    delete dataset_;
+  }
+
+  static Dataset* dataset_;
+  static ExperimentBsiData* bsi_;
+  static BsiStore* cold_;
+};
+
+Dataset* FleetServingTest::dataset_ = nullptr;
+ExperimentBsiData* FleetServingTest::bsi_ = nullptr;
+BsiStore* FleetServingTest::cold_ = nullptr;
+
+TEST_F(FleetServingTest, CoordinatorWritesAPostmortemOnDegradedQueries) {
+  net::CoordinatorOptions options;
+  std::vector<std::unique_ptr<net::NodeServer>> nodes;
+  options.node_ports.clear();
+  for (int i = 0; i < 2; ++i) {
+    net::NodeServerOptions node_options;
+    node_options.node_id = i;
+    auto node = std::make_unique<net::NodeServer>(cold_, node_options);
+    ASSERT_TRUE(node->Start().ok());
+    options.node_ports.push_back(node->port());
+    nodes.push_back(std::move(node));
+  }
+  options.num_segments = dataset_->config.num_segments;
+  options.replication_factor = 1;  // no failover: a dead node degrades
+  options.allow_degraded = true;
+  options.postmortem_dir = ::testing::TempDir() + "expbsi_pm_coordinator";
+  options.postmortem_fetch_deadline_seconds = 0.5;
+  net::Coordinator coordinator(options);
+
+  // Healthy query: complete results, no bundle.
+  Result<AdhocCluster::QueryStats> healthy =
+      coordinator.QueryBsi({801}, {901}, 10, 12);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_TRUE(healthy.value().postmortem_path.empty());
+
+  // Kill whichever node owns segments under R=1 and query again.
+  const int victim =
+      coordinator.placement().SegmentsOf(1).empty() ? 0 : 1;
+  nodes[victim]->Stop();
+  Result<AdhocCluster::QueryStats> degraded =
+      coordinator.QueryBsi({801}, {901}, 10, 12);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_FALSE(degraded.value().degraded.lost_segments.empty());
+  ASSERT_FALSE(degraded.value().postmortem_path.empty());
+  EXPECT_NE(degraded.value().postmortem_path.find("-degraded.json"),
+            std::string::npos);
+
+  Result<std::string> contents = fileio::ReadFileToString(
+      degraded.value().postmortem_path, 16u << 20);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  const std::string& json = contents.value();
+  EXPECT_NE(json.find("\"schema\": \"expbsi.postmortem.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\": \"coordinator_query_bsi\""),
+            std::string::npos);
+  // The coordinator's own flight slice is always present; the dead node's
+  // slice records the failed pull instead of vanishing.
+  EXPECT_NE(json.find("\"node\": \"coordinator\", \"fetched\": true"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"node\": \"127.0.0.1:" +
+                      std::to_string(options.node_ports[victim]) +
+                      "\", \"fetched\": false"),
+            std::string::npos);
+  // The finished trace tree rode along.
+  EXPECT_NE(json.find("\"trace\": {"), std::string::npos);
+#if !defined(EXPBSI_NO_METRICS)
+  // The coordinator slice names the degradation itself.
+  EXPECT_NE(json.find("\"kind\": \"query_degraded\""), std::string::npos);
+#endif
+  for (auto& node : nodes) node->Stop();
+}
+
+TEST_F(FleetServingTest, AdhocClusterWritesASlowQueryPostmortem) {
+  AdhocClusterConfig config;
+  config.num_nodes = 2;
+  config.postmortem_dir = ::testing::TempDir() + "expbsi_pm_adhoc";
+  AdhocCluster cluster(dataset_, bsi_, config);
+  obs::SetSlowQueryThresholdMsForTesting(0.0);  // every query is "slow"
+  Result<AdhocCluster::QueryStats> stats =
+      cluster.QueryBsi({801}, {901}, 10, 12);
+  obs::SetSlowQueryThresholdMsForTesting(-1.0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(stats.value().postmortem_path.empty());
+  EXPECT_NE(stats.value().postmortem_path.find("-slow_query.json"),
+            std::string::npos);
+  Result<std::string> contents =
+      fileio::ReadFileToString(stats.value().postmortem_path, 16u << 20);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents.value().find("\"reason\": \"slow_query\""),
+            std::string::npos);
+  // The in-process cluster has exactly one ring: its own.
+  EXPECT_NE(contents.value().find("\"node\": \"local\", \"fetched\": true"),
+            std::string::npos);
+  // The slow-query log line and the bundle cross-reference through the
+  // flight-recorder sequence range.
+  const std::string slow_line = obs::LastSlowQueryTextForTesting();
+  EXPECT_NE(slow_line.find("\"event\": \"slow_query\""), std::string::npos);
+  EXPECT_NE(slow_line.find("\"fr_seq_lo\": "), std::string::npos);
+  EXPECT_NE(slow_line.find("\"query\": \"adhoc_query_bsi\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace expbsi

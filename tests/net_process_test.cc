@@ -26,12 +26,14 @@
 
 #include "cluster/adhoc_cluster.h"
 #include "cluster/placement.h"
+#include "common/file_io.h"
 #include "engine/experiment_data.h"
 #include "engine/scorecard.h"
 #include "expdata/generator.h"
 #include "net/coordinator.h"
 #include "net/socket.h"
 #include "net/transport.h"
+#include "obs/fleet.h"
 #include "wire/messages.h"
 
 namespace expbsi {
@@ -475,6 +477,215 @@ TEST(NetProcessTest, ReplicaRepairHealsEmptyNodeAcrossProcesses) {
   for (NodeProcess& node : nodes) StopNode(&node);
   ::unlink(full_path.c_str());
   ::unlink(empty_path.c_str());
+}
+
+// The fleet observability plane across REAL process boundaries: one of
+// three expbsi_node processes runs with injected tier.fetch corruption
+// (--inject, this process never shares its FaultInjector), the merged fleet
+// scrape attributes the faults to exactly that node's label, and the
+// degraded query's postmortem bundle carries the corrupt node's own
+// flight-recorder slice -- evidence pulled over kStatsFetch from a process
+// this test cannot inspect any other way.
+TEST(NetProcessTest, InjectedFaultSurfacesInFleetScrapeAndPostmortem) {
+  DatasetConfig config;
+  config.num_users = 2000;
+  config.num_segments = 6;
+  config.num_days = 3;
+  config.start_date = kLo;
+  config.seed = 101;
+
+  ExperimentConfig exp;
+  exp.strategy_ids = {801, 802};
+  exp.arm_effects = {1.0, 1.05};
+  exp.traffic_salt = 13;
+
+  MetricConfig m1;
+  m1.metric_id = 901;
+  m1.value_range = 40;
+  m1.daily_participation = 0.6;
+
+  const Dataset dataset = GenerateDataset(config, {exp}, {m1}, {});
+  const ExperimentBsiData bsi = BuildExperimentBsiData(dataset, true);
+  const BsiStore cold = BuildColdStore(bsi);
+  const std::string store_path =
+      ::testing::TempDir() + "expbsi_net_process_obs_store.bin";
+  ASSERT_TRUE(cold.SaveToFile(store_path).ok());
+
+  // R=1 so the corrupt node's segments have nowhere to fail over: the query
+  // must come back degraded, which is the postmortem trigger under test.
+  // The victim is whichever node actually owns segments under R=1.
+  const Placement placement(kNumNodes, config.num_segments, 1);
+  int victim = -1;
+  for (int i = 0; i < kNumNodes; ++i) {
+    if (!placement.SegmentsOf(i).empty()) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+
+  std::vector<NodeProcess> nodes(kNumNodes);
+  net::CoordinatorOptions options;
+  for (int i = 0; i < kNumNodes; ++i) {
+    std::vector<std::string> extra;
+    if (i == victim) extra.push_back("--inject=tier.fetch,corrupt,1.0");
+    nodes[i] = SpawnNode(store_path, i, extra);
+    ASSERT_GT(nodes[i].pid, 0);
+    ASSERT_GT(nodes[i].port, 0);
+    options.node_ports.push_back(nodes[i].port);
+  }
+  options.num_segments = config.num_segments;
+  options.replication_factor = 1;
+  options.allow_degraded = true;
+  options.postmortem_dir = ::testing::TempDir() + "expbsi_pm_process";
+
+  net::Coordinator coordinator(options);
+  const Date hi = static_cast<Date>(kLo + config.num_days - 1);
+  const Result<AdhocCluster::QueryStats> stats =
+      coordinator.QueryBsi({801, 802}, {901}, kLo, hi);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Every segment the corrupt node owns was lost; every other answered.
+  const std::vector<uint32_t> owned = placement.SegmentsOf(victim);
+  EXPECT_EQ(stats.value().degraded.lost_segments,
+            std::vector<int>(owned.begin(), owned.end()));
+
+  // The postmortem bundle names the faults the victim injected -- its
+  // flight slice crossed the process boundary via kStatsFetch.
+  ASSERT_FALSE(stats.value().postmortem_path.empty());
+  Result<std::string> contents = fileio::ReadFileToString(
+      stats.value().postmortem_path, 16u << 20);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  const std::string& bundle = contents.value();
+  EXPECT_NE(bundle.find("\"reason\": \"degraded\""), std::string::npos);
+  const std::string victim_label =
+      "127.0.0.1:" + std::to_string(nodes[victim].port);
+  EXPECT_NE(
+      bundle.find("\"node\": \"" + victim_label + "\", \"fetched\": true"),
+      std::string::npos);
+#if !defined(EXPBSI_NO_METRICS)
+  EXPECT_NE(bundle.find("\"kind\": \"fault_injected\""), std::string::npos);
+  EXPECT_NE(bundle.find("\"site\": \"tier.fetch\""), std::string::npos);
+#endif
+
+  // The merged fleet scrape shows all three nodes up and pins the fault
+  // counters on the victim's label alone.
+  obs::FleetScraperOptions scrape_options;
+  scrape_options.node_ports = options.node_ports;
+  obs::FleetScraper scraper(scrape_options);
+  const obs::FleetView view = scraper.Scrape();
+  const std::string prom = obs::FleetScraper::RenderPrometheus(view);
+  for (int i = 0; i < kNumNodes; ++i) {
+    EXPECT_NE(prom.find("expbsi_node_up{node=\"127.0.0.1:" +
+                        std::to_string(nodes[i].port) + "\"} 1"),
+              std::string::npos);
+  }
+#if !defined(EXPBSI_NO_METRICS)
+  EXPECT_NE(prom.find("expbsi_fault_injected{node=\"" + victim_label + "\"}"),
+            std::string::npos);
+  for (int i = 0; i < kNumNodes; ++i) {
+    if (i == victim) continue;
+    EXPECT_EQ(prom.find("expbsi_fault_injected{node=\"127.0.0.1:" +
+                        std::to_string(nodes[i].port) + "\"}"),
+              std::string::npos)
+        << "fault counter attributed to a clean node";
+  }
+#endif
+
+  for (NodeProcess& node : nodes) StopNode(&node);
+  ::unlink(store_path.c_str());
+}
+
+// Kill one replica of an R=2 fleet: results stay complete and bit-identical
+// (failover), and once the dead node crosses the markdown threshold the
+// postmortem bundle's flight events name both the markdown and the
+// failovers that routed around it.
+TEST(NetProcessTest, KilledReplicaPostmortemNamesMarkdownAndFailover) {
+  DatasetConfig config;
+  config.num_users = 2000;
+  config.num_segments = 6;
+  config.num_days = 3;
+  config.start_date = kLo;
+  config.seed = 103;
+
+  ExperimentConfig exp;
+  exp.strategy_ids = {801, 802};
+  exp.arm_effects = {1.0, 1.12};
+  exp.traffic_salt = 17;
+
+  MetricConfig m1;
+  m1.metric_id = 901;
+  m1.value_range = 25;
+  m1.daily_participation = 0.5;
+
+  const Dataset dataset = GenerateDataset(config, {exp}, {m1}, {});
+  const ExperimentBsiData bsi = BuildExperimentBsiData(dataset, true);
+  const BsiStore cold = BuildColdStore(bsi);
+  const std::string store_path =
+      ::testing::TempDir() + "expbsi_net_process_markdown_store.bin";
+  ASSERT_TRUE(cold.SaveToFile(store_path).ok());
+
+  std::vector<NodeProcess> nodes(kNumNodes);
+  net::CoordinatorOptions options;
+  for (int i = 0; i < kNumNodes; ++i) {
+    nodes[i] = SpawnNode(store_path, i);
+    ASSERT_GT(nodes[i].pid, 0);
+    ASSERT_GT(nodes[i].port, 0);
+    options.node_ports.push_back(nodes[i].port);
+  }
+  options.num_segments = config.num_segments;
+  options.replication_factor = 2;
+  options.allow_degraded = true;
+  options.postmortem_dir = ::testing::TempDir() + "expbsi_pm_markdown";
+
+  const Date hi = static_cast<Date>(kLo + config.num_days - 1);
+  net::Coordinator coordinator(options);
+  const Result<AdhocCluster::QueryStats> baseline =
+      coordinator.QueryBsi({801, 802}, {901}, kLo, hi);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_FALSE(baseline.value().degraded.degraded());
+  EXPECT_TRUE(baseline.value().postmortem_path.empty());
+
+  ::kill(nodes[1].pid, SIGKILL);
+  int status = 0;
+  ::waitpid(nodes[1].pid, &status, 0);
+  nodes[1].pid = -1;
+
+  // Re-query until the dead node crosses the markdown threshold (two
+  // consecutive failures); every answer along the way must stay complete
+  // and bit-identical to the healthy baseline.
+  std::string markdown_bundle_path;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const Result<AdhocCluster::QueryStats> stats =
+        coordinator.QueryBsi({801, 802}, {901}, kLo, hi);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_TRUE(stats.value().degraded.lost_segments.empty());
+    for (const auto& [pair, values] : stats.value().results) {
+      EXPECT_EQ(values.sums, baseline.value().results.at(pair).sums);
+      EXPECT_EQ(values.counts, baseline.value().results.at(pair).counts);
+    }
+    if (coordinator.health().IsMarkedDown(1)) {
+      markdown_bundle_path = stats.value().postmortem_path;
+      break;
+    }
+  }
+  ASSERT_TRUE(coordinator.health().IsMarkedDown(1))
+      << "dead node never crossed the markdown threshold";
+  ASSERT_FALSE(markdown_bundle_path.empty())
+      << "markdown query produced no postmortem bundle";
+
+  Result<std::string> contents =
+      fileio::ReadFileToString(markdown_bundle_path, 16u << 20);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  const std::string& bundle = contents.value();
+  EXPECT_NE(bundle.find("\"reason\": \"node_markdown\""), std::string::npos);
+  EXPECT_NE(bundle.find("\"node\": 1, \"down\": true"), std::string::npos);
+#if !defined(EXPBSI_NO_METRICS)
+  EXPECT_NE(bundle.find("\"kind\": \"node_markdown\""), std::string::npos);
+  EXPECT_NE(bundle.find("\"kind\": \"failover\""), std::string::npos);
+#endif
+
+  for (NodeProcess& node : nodes) StopNode(&node);
+  ::unlink(store_path.c_str());
 }
 
 }  // namespace
